@@ -1,0 +1,30 @@
+// Ablation A1 — full object-class sweep (S1/S2/S4/S8/SX) for the DFS API in
+// both IOR modes, isolating how shard count drives placement balance vs
+// per-target stream locality.
+#include "figure_common.hpp"
+
+int main() {
+  using namespace daosim;
+  using client::ObjClass;
+  auto mk = [&](ObjClass oc, bool fpp) {
+    ior::IorConfig cfg;
+    cfg.api = ior::Api::dfs;
+    cfg.transfer_size = 8 * kMiB;
+    cfg.block_size = 32 * kMiB;
+    cfg.file_per_process = fpp;
+    cfg.oclass = std::uint8_t(oc);
+    return cfg;
+  };
+  bench::SweepOptions opt;
+  for (const bool fpp : {true, false}) {
+    const std::vector<bench::Series> series = {
+        {"S1", mk(ObjClass::S1, fpp)}, {"S2", mk(ObjClass::S2, fpp)},
+        {"S4", mk(ObjClass::S4, fpp)}, {"S8", mk(ObjClass::S8, fpp)},
+        {"SX", mk(ObjClass::SX, fpp)},
+    };
+    bench::print_figure(fpp ? "A1 object classes (file-per-process)"
+                            : "A1 object classes (shared-file)",
+                        series, opt);
+  }
+  return 0;
+}

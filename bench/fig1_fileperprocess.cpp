@@ -1,0 +1,17 @@
+// Figure 1 — "IOR: File-per-process" (paper Fig. 1a read, Fig. 1b write).
+//
+// IOR easy mode: one file per rank, 16 ranks per client node, large
+// contiguous transfers, sweeping client nodes 1..16 over the 8-server
+// (16-engine) testbed. Series: DFS API under object classes S1/S2/SX, plus
+// MPI-I/O and HDF5 over the DFuse mount.
+#include "figure_common.hpp"
+
+int main() {
+  using namespace daosim;
+  const auto series = bench::paper_series(/*file_per_process=*/true,
+                                          /*transfer=*/8 * kMiB,
+                                          /*block=*/32 * kMiB);
+  bench::SweepOptions opt;
+  bench::print_figure("Fig.1 IOR file-per-process (easy)", series, opt);
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Figure 2 — "IOR: Shared-file" (paper Fig. 2a read, Fig. 2b write).
+//
+// IOR hard mode: one shared file, segmented layout, 16 ranks per client
+// node. Same series as Figure 1.
+#include "figure_common.hpp"
+
+int main() {
+  using namespace daosim;
+  const auto series = bench::paper_series(/*file_per_process=*/false,
+                                          /*transfer=*/8 * kMiB,
+                                          /*block=*/32 * kMiB);
+  bench::SweepOptions opt;
+  bench::print_figure("Fig.2 IOR shared-file (hard)", series, opt);
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Figure 3 (extension) — the paper's §V future work: "extending benchmarking
+// to use the DAOS API (rather than DFS or DFuse POSIX-based backends)".
+// Compares the native array API against DFS and the DFuse-based POSIX path
+// in both IOR modes.
+#include "figure_common.hpp"
+
+int main() {
+  using namespace daosim;
+  auto base = [&](ior::Api api, bool fpp) {
+    ior::IorConfig cfg;
+    cfg.api = api;
+    cfg.transfer_size = 8 * kMiB;
+    cfg.block_size = 32 * kMiB;
+    cfg.file_per_process = fpp;
+    cfg.oclass = std::uint8_t(client::ObjClass::SX);
+    return cfg;
+  };
+  bench::SweepOptions opt;
+
+  const std::vector<bench::Series> easy = {
+      {"DAOS-API", base(ior::Api::daos_array, true)},
+      {"DFS", base(ior::Api::dfs, true)},
+      {"POSIX", base(ior::Api::posix, true)},
+  };
+  bench::print_figure("Fig.3a DAOS API vs file interfaces (file-per-process)", easy, opt);
+
+  const std::vector<bench::Series> hard = {
+      {"DAOS-API", base(ior::Api::daos_array, false)},
+      {"DFS", base(ior::Api::dfs, false)},
+      {"POSIX", base(ior::Api::posix, false)},
+  };
+  bench::print_figure("Fig.3b DAOS API vs file interfaces (shared-file)", hard, opt);
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Shared sweep driver for the figure benchmarks: builds the NEXTGenIO-like
+// testbed at each client-node count, runs one IOR job per series, and prints
+// the read/write bandwidth tables the paper's figures plot.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "ior/ior.hpp"
+
+namespace daosim::bench {
+
+struct Series {
+  std::string name;
+  ior::IorConfig cfg;
+};
+
+struct SweepOptions {
+  std::vector<std::uint32_t> node_counts{1, 2, 4, 8, 16};
+  std::uint32_t ppn = 16;
+  std::uint64_t dfs_chunk = 1 * kMiB;
+  posix::DfuseConfig dfuse{};
+  std::uint64_t seed = 42;
+};
+
+/// The paper's benchmark deployment: 8 server nodes, 2 engines each.
+inline cluster::ClusterConfig nextgenio_cluster(std::uint32_t client_nodes,
+                                                std::uint64_t seed = 42) {
+  cluster::ClusterConfig cfg;
+  cfg.server_nodes = 8;
+  cfg.engines_per_server = 2;
+  cfg.targets_per_engine = 8;
+  cfg.client_nodes = client_nodes;
+  cfg.payload = vos::PayloadMode::discard;  // timing-only at benchmark scale
+  cfg.seed = seed;
+  return cfg;
+}
+
+struct Cell {
+  double read_gibs = 0;
+  double write_gibs = 0;
+};
+
+/// Runs the sweep; returns results[node_count_index][series_index].
+inline std::vector<std::vector<Cell>> run_sweep(const std::vector<Series>& series,
+                                                const SweepOptions& opt) {
+  std::vector<std::vector<Cell>> results;
+  for (const std::uint32_t nodes : opt.node_counts) {
+    cluster::Testbed tb(nextgenio_cluster(nodes, opt.seed));
+    tb.start();
+    ior::IorRunner runner(tb, opt.ppn, opt.dfs_chunk, opt.dfuse);
+    std::vector<Cell> row;
+    for (const Series& s : series) {
+      const ior::IorResult r = runner.run(s.cfg);
+      row.push_back(Cell{r.read.gib_per_sec(), r.write.gib_per_sec()});
+      std::fprintf(stderr, "  [%2u nodes] %-10s write %8.2f GiB/s  read %8.2f GiB/s\n", nodes,
+                   s.name.c_str(), r.write.gib_per_sec(), r.read.gib_per_sec());
+    }
+    results.push_back(std::move(row));
+    tb.stop();
+  }
+  return results;
+}
+
+inline void print_table(const char* title, bool read, const std::vector<Series>& series,
+                        const SweepOptions& opt,
+                        const std::vector<std::vector<Cell>>& results) {
+  std::printf("\n# %s — %s bandwidth (GiB/s)\n", title, read ? "read" : "write");
+  std::printf("%-12s", "client_nodes");
+  for (const auto& s : series) std::printf(" %12s", s.name.c_str());
+  std::printf("\n");
+  for (std::size_t i = 0; i < opt.node_counts.size(); ++i) {
+    std::printf("%-12u", opt.node_counts[i]);
+    for (std::size_t j = 0; j < series.size(); ++j) {
+      std::printf(" %12.2f", read ? results[i][j].read_gibs : results[i][j].write_gibs);
+    }
+    std::printf("\n");
+  }
+}
+
+inline void print_figure(const char* title, const std::vector<Series>& series,
+                         const SweepOptions& opt) {
+  const auto results = run_sweep(series, opt);
+  print_table(title, /*read=*/true, series, opt, results);
+  print_table(title, /*read=*/false, series, opt, results);
+  std::printf("\n");
+}
+
+/// The figure-1/2 series: DFS ("DAOS") under S1/S2/SX plus MPI-IO and HDF5
+/// over the DFuse mount, as in the paper's legends.
+inline std::vector<Series> paper_series(bool file_per_process, std::uint64_t transfer,
+                                        std::uint64_t block) {
+  auto base = [&](ior::Api api, client::ObjClass oc) {
+    ior::IorConfig cfg;
+    cfg.api = api;
+    cfg.transfer_size = transfer;
+    cfg.block_size = block;
+    cfg.file_per_process = file_per_process;
+    cfg.oclass = std::uint8_t(oc);
+    cfg.verify = false;
+    return cfg;
+  };
+  return {
+      {"DAOS-S1", base(ior::Api::dfs, client::ObjClass::S1)},
+      {"DAOS-S2", base(ior::Api::dfs, client::ObjClass::S2)},
+      {"DAOS-SX", base(ior::Api::dfs, client::ObjClass::SX)},
+      {"MPIIO", base(ior::Api::mpiio, client::ObjClass::SX)},
+      {"HDF5", base(ior::Api::hdf5, client::ObjClass::SX)},
+  };
+}
+
+}  // namespace daosim::bench

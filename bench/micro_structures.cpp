@@ -1,0 +1,152 @@
+// Micro-benchmarks (google-benchmark): the hot data structures under the
+// stack — B+tree, placement, VOS extent resolution — and the DES kernel.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "client/object_class.hpp"
+#include "client/placement.hpp"
+#include "sim/bandwidth.hpp"
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+#include "vos/btree.hpp"
+#include "vos/value_store.hpp"
+
+namespace {
+
+using namespace daosim;
+
+void BM_BTreeInsert(benchmark::State& state) {
+  const auto n = std::size_t(state.range(0));
+  sim::Xoshiro256 rng(1);
+  std::vector<std::uint64_t> keys(n);
+  for (auto& k : keys) k = rng();
+  for (auto _ : state) {
+    vos::BPlusTree<std::uint64_t, std::uint64_t> t;
+    for (auto k : keys) t.insert_or_assign(k, k);
+    benchmark::DoNotOptimize(t.size());
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) * std::int64_t(n));
+}
+BENCHMARK(BM_BTreeInsert)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_StdMapInsert(benchmark::State& state) {  // baseline comparator
+  const auto n = std::size_t(state.range(0));
+  sim::Xoshiro256 rng(1);
+  std::vector<std::uint64_t> keys(n);
+  for (auto& k : keys) k = rng();
+  for (auto _ : state) {
+    std::map<std::uint64_t, std::uint64_t> t;
+    for (auto k : keys) t.insert_or_assign(k, k);
+    benchmark::DoNotOptimize(t.size());
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) * std::int64_t(n));
+}
+BENCHMARK(BM_StdMapInsert)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_BTreeFind(benchmark::State& state) {
+  sim::Xoshiro256 rng(2);
+  vos::BPlusTree<std::uint64_t, std::uint64_t> t;
+  std::vector<std::uint64_t> keys(100000);
+  for (auto& k : keys) {
+    k = rng();
+    t.insert_or_assign(k, k);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.find(keys[i++ % keys.size()]));
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()));
+}
+BENCHMARK(BM_BTreeFind);
+
+void BM_BTreeEraseInsertChurn(benchmark::State& state) {
+  sim::Xoshiro256 rng(3);
+  vos::BPlusTree<std::uint64_t, std::uint64_t> t;
+  for (int i = 0; i < 50000; ++i) t.insert_or_assign(rng() % 100000, 1);
+  for (auto _ : state) {
+    const std::uint64_t k = rng() % 100000;
+    t.erase(k);
+    t.insert_or_assign(k + 1, 1);
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) * 2);
+}
+BENCHMARK(BM_BTreeEraseInsertChurn);
+
+void BM_PlacementLayout(benchmark::State& state) {
+  const auto shards = std::uint32_t(state.range(0));
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    auto layout = client::compute_layout(client::make_oid(seq++, client::ObjClass::SX),
+                                         shards, 128);
+    benchmark::DoNotOptimize(layout.data());
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()));
+}
+BENCHMARK(BM_PlacementLayout)->Arg(1)->Arg(8)->Arg(128);
+
+void BM_JumpConsistentHash(benchmark::State& state) {
+  std::uint64_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client::jump_consistent_hash(client::mix64(k++), 128));
+  }
+}
+BENCHMARK(BM_JumpConsistentHash);
+
+void BM_ArrayStoreWrite(benchmark::State& state) {
+  for (auto _ : state) {
+    vos::ArrayStore a;
+    for (vos::Epoch e = 1; e <= 64; ++e) {
+      a.write((e - 1) * 4096, 4096, {}, e, vos::PayloadMode::discard);
+    }
+    benchmark::DoNotOptimize(a.extent_count());
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) * 64);
+}
+BENCHMARK(BM_ArrayStoreWrite);
+
+void BM_ArrayStoreReadResolve(benchmark::State& state) {
+  vos::ArrayStore a;
+  sim::Xoshiro256 rng(4);
+  std::vector<std::byte> data(1024);
+  for (vos::Epoch e = 1; e <= 256; ++e) {
+    a.write(rng.uniform(64 * 1024), 1024, data, e, vos::PayloadMode::store);
+  }
+  std::vector<std::byte> out(4096);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.read(rng.uniform(60 * 1024), out, 200));
+  }
+}
+BENCHMARK(BM_ArrayStoreReadResolve);
+
+void BM_SchedulerEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler s;
+    for (int i = 0; i < 1000; ++i) {
+      s.schedule_callback(sim::Time(i), [] {});
+    }
+    s.run();
+    benchmark::DoNotOptimize(s.events_processed());
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) * 1000);
+}
+BENCHMARK(BM_SchedulerEventThroughput);
+
+void BM_SharedBandwidthFairShare(benchmark::State& state) {
+  const int flows = int(state.range(0));
+  for (auto _ : state) {
+    sim::Scheduler s;
+    sim::SharedBandwidth bw(s, 1e9);
+    for (int i = 0; i < flows; ++i) {
+      s.spawn([&bw]() -> sim::CoTask<void> { co_await bw.transfer(1'000'000); });
+    }
+    s.run();
+    benchmark::DoNotOptimize(bw.bytes_served());
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) * flows);
+}
+BENCHMARK(BM_SharedBandwidthFairShare)->Arg(4)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,102 @@
+// Checkpoint/restart: the classic HPC bulk-I/O pattern (IOR easy mode is its
+// proxy). A 64-rank job on 4 client nodes checkpoints through the POSIX
+// (DFuse) interface — the path unmodified applications use — then restarts
+// and reads the checkpoint back, with integrity verification.
+#include <cstdio>
+
+#include "ior/ior.hpp"
+
+using namespace daosim;
+using cluster::kPoolUuid;
+using sim::CoTask;
+
+namespace {
+
+constexpr std::uint32_t kNodes = 4;
+constexpr std::uint32_t kPpn = 16;
+constexpr std::uint64_t kRankState = 16 * kMiB;
+
+CoTask<void> checkpoint_rank(posix::DfuseMount& mount, std::uint32_t rank,
+                             std::shared_ptr<std::uint64_t> errors) {
+  const std::string path = strfmt("/ckpt/rank%04u.dat", rank);
+  posix::VfsOpenFlags flags;
+  flags.create = true;
+  flags.truncate = true;
+  flags.oclass = std::uint8_t(client::ObjClass::S2);
+  auto fd = co_await mount.open(path, flags);
+  if (!fd.ok()) {
+    ++*errors;
+    co_return;
+  }
+  std::vector<std::byte> state(kRankState);
+  ior::fill_pattern(state, 0, rank);
+  auto n = co_await mount.pwrite(*fd, 0, state.size(), state);
+  if (!n.ok() || *n != kRankState) ++*errors;
+  (void)co_await mount.fsync(*fd);
+  (void)co_await mount.close(*fd);
+}
+
+CoTask<void> restart_rank(posix::DfuseMount& mount, std::uint32_t rank,
+                          std::shared_ptr<std::uint64_t> errors) {
+  const std::string path = strfmt("/ckpt/rank%04u.dat", rank);
+  auto fd = co_await mount.open(path, posix::VfsOpenFlags{.read_only = true});
+  if (!fd.ok()) {
+    ++*errors;
+    co_return;
+  }
+  std::vector<std::byte> state(kRankState);
+  auto n = co_await mount.pread(*fd, 0, state);
+  if (!n.ok() || *n != kRankState || ior::check_pattern(state, 0, rank) != 0) ++*errors;
+  (void)co_await mount.close(*fd);
+}
+
+}  // namespace
+
+int main() {
+  cluster::ClusterConfig cfg;
+  cfg.server_nodes = 4;
+  cfg.engines_per_server = 2;
+  cfg.targets_per_engine = 8;
+  cfg.client_nodes = kNodes;
+  cluster::Testbed tb(cfg);
+  tb.start();
+
+  tb.run([&]() -> CoTask<void> {
+    (void)co_await tb.client(0).cont_create(kPoolUuid, pool::ContProps{1 * kMiB, 0});
+    // One DFS + DFuse mount per client node, as deployed in practice.
+    std::vector<std::unique_ptr<dfs::DfsMount>> dfs_mounts;
+    std::vector<std::unique_ptr<posix::DfuseMount>> mounts;
+    for (std::uint32_t n = 0; n < kNodes; ++n) {
+      auto m = co_await dfs::DfsMount::mount(tb.client(n), kPoolUuid);
+      dfs_mounts.push_back(std::move(*m));
+      mounts.push_back(std::make_unique<posix::DfuseMount>(tb.sched(), *dfs_mounts.back(),
+                                                           posix::DfuseConfig{}));
+    }
+    (void)co_await dfs_mounts[0]->mkdir("/ckpt");
+
+    auto errors = std::make_shared<std::uint64_t>(0);
+    const sim::Time t0 = tb.sched().now();
+    sim::WaitGroup wg(tb.sched());
+    for (std::uint32_t r = 0; r < kNodes * kPpn; ++r) {
+      wg.spawn(checkpoint_rank(*mounts[r / kPpn], r, errors));
+    }
+    co_await wg.wait();
+    const double ws = sim::to_seconds(tb.sched().now() - t0);
+    const double gib = double(kNodes * kPpn) * double(kRankState) / double(kGiB);
+    std::printf("checkpoint: %3.0f GiB from %u ranks in %6.1f ms -> %6.2f GiB/s (%llu errors)\n",
+                gib, kNodes * kPpn, ws * 1e3, gib / ws, (unsigned long long)*errors);
+
+    const sim::Time t1 = tb.sched().now();
+    sim::WaitGroup rg(tb.sched());
+    for (std::uint32_t r = 0; r < kNodes * kPpn; ++r) {
+      rg.spawn(restart_rank(*mounts[r / kPpn], r, errors));
+    }
+    co_await rg.wait();
+    const double rs = sim::to_seconds(tb.sched().now() - t1);
+    std::printf("restart:    %3.0f GiB in %6.1f ms -> %6.2f GiB/s (%llu errors)\n", gib,
+                rs * 1e3, gib / rs, (unsigned long long)*errors);
+  });
+
+  tb.stop();
+  return 0;
+}

@@ -1,0 +1,117 @@
+// ior_cli: a command-line IOR front-end for the simulated cluster, with the
+// familiar flag names. Example:
+//   ior_cli -a DFS -t 8m -b 32m -N 8 -n 16 -F -o SX
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "ior/ior.hpp"
+
+using namespace daosim;
+
+namespace {
+
+std::uint64_t parse_size(const char* s) {
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  std::uint64_t mult = 1;
+  if (end != nullptr) {
+    switch (*end) {
+      case 'k': case 'K': mult = kKiB; break;
+      case 'm': case 'M': mult = kMiB; break;
+      case 'g': case 'G': mult = kGiB; break;
+      default: break;
+    }
+  }
+  return std::uint64_t(v * double(mult));
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: ior_cli [options]\n"
+               "  -a API     POSIX | DFS | MPIIO | HDF5 | DAOS   (default DFS)\n"
+               "  -t SIZE    transfer size (default 8m)\n"
+               "  -b SIZE    block size per rank (default 32m)\n"
+               "  -s N       segments (default 1)\n"
+               "  -N N       client nodes (default 4)\n"
+               "  -n N       ranks per node (default 16)\n"
+               "  -F         file-per-process (easy mode; default shared file)\n"
+               "  -c         MPI-IO collective buffering\n"
+               "  -o CLASS   object class S1|S2|S4|S8|SX (default SX)\n"
+               "  -S N       server nodes (default 8)\n"
+               "  -V         store payloads and verify data\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ior::IorConfig cfg;
+  cfg.api = ior::Api::dfs;
+  cfg.file_per_process = false;
+  std::uint32_t client_nodes = 4, ppn = 16, servers = 8;
+  bool verify = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return ++i < argc ? argv[i] : ""; };
+    if (arg == "-a") {
+      const std::string api = next();
+      if (api == "POSIX") cfg.api = ior::Api::posix;
+      else if (api == "DFS") cfg.api = ior::Api::dfs;
+      else if (api == "MPIIO") cfg.api = ior::Api::mpiio;
+      else if (api == "HDF5") cfg.api = ior::Api::hdf5;
+      else if (api == "DAOS") cfg.api = ior::Api::daos_array;
+      else return usage();
+    } else if (arg == "-t") cfg.transfer_size = parse_size(next());
+    else if (arg == "-b") cfg.block_size = parse_size(next());
+    else if (arg == "-s") cfg.segments = std::uint32_t(std::atoi(next()));
+    else if (arg == "-N") client_nodes = std::uint32_t(std::atoi(next()));
+    else if (arg == "-n") ppn = std::uint32_t(std::atoi(next()));
+    else if (arg == "-F") cfg.file_per_process = true;
+    else if (arg == "-c") cfg.collective = true;
+    else if (arg == "-S") servers = std::uint32_t(std::atoi(next()));
+    else if (arg == "-V") verify = true;
+    else if (arg == "-o") {
+      const std::string oc = next();
+      using client::ObjClass;
+      if (oc == "S1") cfg.oclass = std::uint8_t(ObjClass::S1);
+      else if (oc == "S2") cfg.oclass = std::uint8_t(ObjClass::S2);
+      else if (oc == "S4") cfg.oclass = std::uint8_t(ObjClass::S4);
+      else if (oc == "S8") cfg.oclass = std::uint8_t(ObjClass::S8);
+      else if (oc == "SX") cfg.oclass = std::uint8_t(ObjClass::SX);
+      else return usage();
+    } else {
+      return usage();
+    }
+  }
+  cfg.verify = verify;
+
+  cluster::ClusterConfig ccfg;
+  ccfg.server_nodes = servers;
+  ccfg.engines_per_server = 2;
+  ccfg.targets_per_engine = 8;
+  ccfg.client_nodes = client_nodes;
+  ccfg.payload = verify ? vos::PayloadMode::store : vos::PayloadMode::discard;
+
+  std::printf("IOR (daosim) -a %s %s t=%s b=%s segs=%u  %u nodes x %u ppn, %u servers\n",
+              ior::to_string(cfg.api), cfg.file_per_process ? "file-per-process" : "shared-file",
+              format_bytes(cfg.transfer_size).c_str(), format_bytes(cfg.block_size).c_str(),
+              cfg.segments, client_nodes, ppn, servers);
+
+  cluster::Testbed tb(ccfg);
+  tb.start();
+  ior::IorRunner runner(tb, ppn);
+  const ior::IorResult res = runner.run(cfg);
+  std::printf("write: %10.2f GiB/s  (%s in %.3f s)\n", res.write.gib_per_sec(),
+              format_bytes(res.write.bytes).c_str(), res.write.seconds);
+  std::printf("read:  %10.2f GiB/s  (%s in %.3f s)\n", res.read.gib_per_sec(),
+              format_bytes(res.read.bytes).c_str(), res.read.seconds);
+  if (verify) {
+    std::printf("verify: %llu bad bytes, %llu short reads\n",
+                (unsigned long long)res.verify_errors,
+                (unsigned long long)res.read_fill_errors);
+  }
+  tb.stop();
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Weather-field I/O: the workload motivating the authors' interest in DAOS
+// (ECMWF numerical weather prediction). A model step writes hundreds of
+// small-ish 2D fields (one file each, like FDB objects); a post-processing
+// step reads a subset back. This is the many-small-files pattern that
+// stresses parallel-filesystem metadata — exactly where the paper argues
+// object stores help.
+#include <cstdio>
+
+#include "ior/ior.hpp"
+
+using namespace daosim;
+using cluster::kPoolUuid;
+using sim::CoTask;
+
+namespace {
+
+constexpr std::uint32_t kWriters = 16;       // model ranks on one client node
+constexpr std::uint32_t kFieldsPerRank = 24; // fields per step per rank
+constexpr std::uint64_t kFieldBytes = 2 * kMiB;  // one global field at ~9 km
+
+CoTask<void> write_step(dfs::DfsMount& dfs, std::uint32_t rank, std::uint32_t step,
+                        std::shared_ptr<std::uint64_t> bytes) {
+  for (std::uint32_t f = 0; f < kFieldsPerRank; ++f) {
+    const std::string path =
+        strfmt("/fdb/step%02u/rank%02u.field%02u.grib", step, rank, f);
+    dfs::OpenFlags flags;
+    flags.create = true;
+    flags.oclass = std::uint8_t(client::ObjClass::S2);  // small files: low stripe
+    auto file = co_await dfs.open(path, flags);
+    if (!file.ok()) continue;
+    std::vector<std::byte> field(kFieldBytes);
+    ior::fill_pattern(field, 0, rank * 1000 + f);
+    (void)co_await file->write(0, field.size(), field);
+    *bytes += kFieldBytes;
+  }
+}
+
+CoTask<void> read_fields(dfs::DfsMount& dfs, std::uint32_t rank, std::uint32_t step,
+                         std::shared_ptr<std::uint64_t> bytes,
+                         std::shared_ptr<std::uint64_t> errors) {
+  // Post-processing reads every 4th field of the previous step.
+  for (std::uint32_t f = rank % 4; f < kFieldsPerRank; f += 4) {
+    const std::string path =
+        strfmt("/fdb/step%02u/rank%02u.field%02u.grib", step, rank, f);
+    auto file = co_await dfs.open(path, dfs::OpenFlags{});
+    if (!file.ok()) {
+      ++*errors;
+      continue;
+    }
+    std::vector<std::byte> out(kFieldBytes);
+    auto n = co_await file->read(0, out);
+    if (!n.ok() || *n != kFieldBytes ||
+        ior::check_pattern(out, 0, rank * 1000 + f) != 0) {
+      ++*errors;
+    }
+    *bytes += kFieldBytes;
+  }
+}
+
+}  // namespace
+
+int main() {
+  cluster::ClusterConfig cfg;
+  cfg.server_nodes = 4;
+  cfg.engines_per_server = 2;
+  cfg.targets_per_engine = 8;
+  cluster::Testbed tb(cfg);
+  tb.start();
+
+  tb.run([&]() -> CoTask<void> {
+    auto& client = tb.client(0);
+    (void)co_await client.cont_create(kPoolUuid, pool::ContProps{1 * kMiB, 0});
+    auto mount = co_await dfs::DfsMount::mount(client, kPoolUuid);
+    auto& dfs = **mount;
+    (void)co_await dfs.mkdir("/fdb");
+
+    for (std::uint32_t step = 0; step < 2; ++step) {
+      const std::string dir = strfmt("/fdb/step%02u", step);
+      (void)co_await dfs.mkdir(dir);
+
+      auto bytes = std::make_shared<std::uint64_t>(0);
+      const sim::Time t0 = tb.sched().now();
+      sim::WaitGroup wg(tb.sched());
+      for (std::uint32_t r = 0; r < kWriters; ++r) wg.spawn(write_step(dfs, r, step, bytes));
+      co_await wg.wait();
+      const double ws = sim::to_seconds(tb.sched().now() - t0);
+      std::printf("step %u: wrote %4u fields (%s) in %6.1f ms -> %6.2f GiB/s\n", step,
+                  kWriters * kFieldsPerRank, format_bytes(*bytes).c_str(), ws * 1e3,
+                  double(*bytes) / double(kGiB) / ws);
+
+      auto rbytes = std::make_shared<std::uint64_t>(0);
+      auto errors = std::make_shared<std::uint64_t>(0);
+      const sim::Time t1 = tb.sched().now();
+      sim::WaitGroup rg(tb.sched());
+      for (std::uint32_t r = 0; r < kWriters; ++r) {
+        rg.spawn(read_fields(dfs, r, step, rbytes, errors));
+      }
+      co_await rg.wait();
+      const double rs = sim::to_seconds(tb.sched().now() - t1);
+      std::printf("step %u: post-processed %s in %6.1f ms -> %6.2f GiB/s (%llu errors)\n",
+                  step, format_bytes(*rbytes).c_str(), rs * 1e3,
+                  double(*rbytes) / double(kGiB) / rs, (unsigned long long)*errors);
+    }
+    // The namespace is enumerable like any filesystem.
+    auto steps = co_await dfs.readdir("/fdb");
+    std::printf("catalogue: %zu steps under /fdb\n", steps->size());
+  });
+
+  tb.stop();
+  return 0;
+}

@@ -1,0 +1,369 @@
+#include "client/client.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace daosim::client {
+
+using engine::ObjEnumReq;
+using engine::ObjEnumResp;
+using engine::ObjFetchReq;
+using engine::ObjFetchResp;
+using engine::ObjPunchReq;
+using engine::ObjQueryReq;
+using engine::ObjQueryResp;
+using engine::ObjUpdateReq;
+using engine::PunchScope;
+using engine::RecordType;
+using net::Body;
+using net::Reply;
+
+namespace {
+constexpr std::uint64_t kSvcMsgBytes = 128;
+constexpr int kSvcMaxRetries = 16;
+constexpr sim::Time kSvcRetryDelay = 20 * sim::kMs;
+
+std::uint64_t key_hash(const vos::Key& k) {
+  return std::hash<std::string>{}(k);
+}
+}  // namespace
+
+DaosClient::DaosClient(net::RpcDomain& domain, net::NodeId node, pool::PoolMap map,
+                       std::vector<net::NodeId> svc_replicas)
+    : ep_(domain, node),
+      sched_(domain.scheduler()),
+      map_(std::move(map)),
+      svc_replicas_(std::move(svc_replicas)) {
+  DAOSIM_REQUIRE(!svc_replicas_.empty(), "no pool service replicas");
+  DAOSIM_REQUIRE(map_.target_count() > 0, "empty pool map");
+}
+
+sim::CoTask<Result<std::string>> DaosClient::svc_command(std::string cmd) {
+  std::size_t rr = 0;
+  for (int attempt = 0; attempt < kSvcMaxRetries; ++attempt) {
+    const net::NodeId dst =
+        cached_leader_.value_or(svc_replicas_[rr++ % svc_replicas_.size()]);
+    // Hoisted out of the co_await expression: GCC 12 miscompiles non-trivial
+    // temporaries nested in co_await argument lists (double destruction).
+    engine::PoolSvcReq preq{cmd};
+    Body body = Body::make(std::move(preq));
+    Reply r = co_await ep_.call(dst, engine::kOpPoolSvc, std::move(body),
+                                kSvcMsgBytes + cmd.size());
+    if (r.status == Errno::ok) {
+      cached_leader_ = dst;
+      co_return r.body.get<engine::PoolSvcResp>().response;
+    }
+    cached_leader_.reset();
+    if (r.status == Errno::again && r.body.has_value()) {
+      cached_leader_ = r.body.get<engine::PoolSvcResp>().leader_hint;
+    }
+    co_await sched_.delay(kSvcRetryDelay);
+  }
+  co_return Errno::timed_out;
+}
+
+sim::CoTask<Result<ContInfo>> DaosClient::cont_create(vos::Uuid uuid, pool::ContProps props) {
+  auto res = co_await svc_command(strfmt("cont_create %llu %llu %llu %u",
+                                         (unsigned long long)uuid.hi, (unsigned long long)uuid.lo,
+                                         (unsigned long long)props.chunk_size,
+                                         unsigned(props.oclass)));
+  if (!res.ok()) co_return res.error();
+  if (*res == "EEXIST") co_return Errno::exists;
+  if (*res != "ok") co_return Errno::io;
+  co_return ContInfo{uuid, props};
+}
+
+sim::CoTask<Result<ContInfo>> DaosClient::cont_open(vos::Uuid uuid) {
+  auto res = co_await svc_command(
+      strfmt("cont_open %llu %llu", (unsigned long long)uuid.hi, (unsigned long long)uuid.lo));
+  if (!res.ok()) co_return res.error();
+  std::istringstream is(*res);
+  std::string status;
+  is >> status;
+  if (status == "ENOENT") co_return Errno::no_entry;
+  if (status != "ok") co_return Errno::io;
+  ContInfo info{uuid, {}};
+  unsigned oclass = 0;
+  is >> info.props.chunk_size >> oclass;
+  info.props.oclass = std::uint8_t(oclass);
+  co_return info;
+}
+
+sim::CoTask<Result<void>> DaosClient::cont_destroy(vos::Uuid uuid) {
+  auto res = co_await svc_command(
+      strfmt("cont_destroy %llu %llu", (unsigned long long)uuid.hi, (unsigned long long)uuid.lo));
+  if (!res.ok()) co_return res.error();
+  if (*res == "ENOENT") co_return Errno::no_entry;
+  co_return Result<void>{};
+}
+
+sim::CoTask<Result<std::uint64_t>> DaosClient::alloc_oids(vos::Uuid cont, std::uint64_t count) {
+  auto res = co_await svc_command(strfmt("alloc_oids %llu %llu %llu",
+                                         (unsigned long long)cont.hi, (unsigned long long)cont.lo,
+                                         (unsigned long long)count));
+  if (!res.ok()) co_return res.error();
+  std::istringstream is(*res);
+  std::string status;
+  std::uint64_t base = 0;
+  is >> status >> base;
+  if (status != "ok") co_return Errno::no_entry;
+  co_return base;
+}
+
+sim::CoTask<net::Reply> DaosClient::call_target(std::uint32_t map_target, std::uint16_t opcode,
+                                                net::Body body, std::uint64_t wire_bytes) {
+  DAOSIM_REQUIRE(map_target < map_.target_count(), "target %u outside pool map", map_target);
+  const auto& ref = map_.targets[map_target];
+  return ep_.call(ref.engine, opcode, std::move(body), wire_bytes);
+}
+
+// ---------------------------------------------------------------------------
+// KvObject
+
+KvObject::KvObject(DaosClient& client, vos::Uuid cont, vos::ObjId oid)
+    : client_(client), cont_(cont), oid_(oid) {
+  const auto cls = class_of(oid);
+  layout_ = compute_layout(oid, client::shard_count(cls, client.pool_map().target_count()),
+                           client.pool_map().target_count());
+}
+
+std::uint32_t KvObject::shard_of(const vos::Key& dkey) const {
+  return dkey_to_shard(key_hash(dkey), std::uint32_t(layout_.size()));
+}
+
+sim::CoTask<Errno> KvObject::put(const vos::Key& dkey, const vos::Key& akey,
+                                 std::span<const std::byte> value, bool excl) {
+  ObjUpdateReq req;
+  req.cont = cont_;
+  req.oid = oid_;
+  const std::uint32_t map_target = layout_[shard_of(dkey)];
+  req.target = client_.pool_map().targets[map_target].target;
+  req.dkey = dkey;
+  req.akey = akey;
+  req.type = RecordType::single_value;
+  req.cond_insert = excl;
+  req.length = value.size();
+  req.data = std::make_shared<std::vector<std::byte>>(value.begin(), value.end());
+  Reply r = co_await client_.call_target(map_target, engine::kOpObjUpdate, Body::make(std::move(req)),
+                                         engine::kObjRpcHeader + value.size());
+  co_return r.status;
+}
+
+sim::CoTask<Result<std::vector<std::byte>>> KvObject::get(const vos::Key& dkey,
+                                                          const vos::Key& akey) {
+  ObjFetchReq req;
+  req.cont = cont_;
+  req.oid = oid_;
+  const std::uint32_t map_target = layout_[shard_of(dkey)];
+  req.target = client_.pool_map().targets[map_target].target;
+  req.dkey = dkey;
+  req.akey = akey;
+  req.type = RecordType::single_value;
+  Reply r = co_await client_.call_target(map_target, engine::kOpObjFetch, Body::make(std::move(req)),
+                                         engine::kObjRpcHeader);
+  if (r.status != Errno::ok) co_return r.status;
+  auto& resp = r.body.get<ObjFetchResp>();
+  if (!resp.exists) co_return Errno::no_entry;
+  if (resp.data == nullptr) co_return std::vector<std::byte>{};
+  co_return std::move(*resp.data);
+}
+
+sim::CoTask<Result<std::vector<vos::Key>>> KvObject::list_dkeys() {
+  std::set<vos::Key> merged;
+  for (std::uint32_t s = 0; s < layout_.size(); ++s) {
+    ObjEnumReq req;
+    req.cont = cont_;
+    req.oid = oid_;
+    const std::uint32_t map_target = layout_[s];
+    req.target = client_.pool_map().targets[map_target].target;
+    Reply r = co_await client_.call_target(map_target, engine::kOpObjEnumDkeys,
+                                           Body::make(std::move(req)), engine::kObjRpcHeader);
+    if (r.status != Errno::ok) co_return r.status;
+    for (auto& k : r.body.get<ObjEnumResp>().keys) merged.insert(std::move(k));
+  }
+  co_return std::vector<vos::Key>(merged.begin(), merged.end());
+}
+
+sim::CoTask<Errno> KvObject::punch() {
+  std::set<std::uint32_t> touched(layout_.begin(), layout_.end());
+  Errno status = Errno::ok;
+  for (std::uint32_t map_target : touched) {
+    ObjPunchReq req;
+    req.cont = cont_;
+    req.oid = oid_;
+    req.target = client_.pool_map().targets[map_target].target;
+    req.scope = PunchScope::object;
+    Reply r = co_await client_.call_target(map_target, engine::kOpObjPunch,
+                                           Body::make(std::move(req)), engine::kObjRpcHeader);
+    if (r.status != Errno::ok) status = r.status;
+  }
+  co_return status;
+}
+
+sim::CoTask<Errno> KvObject::punch_dkey(const vos::Key& dkey) {
+  ObjPunchReq req;
+  req.cont = cont_;
+  req.oid = oid_;
+  const std::uint32_t map_target = layout_[shard_of(dkey)];
+  req.target = client_.pool_map().targets[map_target].target;
+  req.scope = PunchScope::dkey;
+  req.dkey = dkey;
+  Reply r = co_await client_.call_target(map_target, engine::kOpObjPunch,
+                                         Body::make(std::move(req)), engine::kObjRpcHeader);
+  co_return r.status;
+}
+
+// ---------------------------------------------------------------------------
+// ArrayObject
+
+ArrayObject::ArrayObject(DaosClient& client, vos::Uuid cont, vos::ObjId oid,
+                         std::uint64_t chunk_size)
+    : client_(client), cont_(cont), oid_(oid), chunk_(chunk_size) {
+  DAOSIM_REQUIRE(chunk_ > 0, "chunk size must be positive");
+  const auto cls = class_of(oid);
+  layout_ = compute_layout(oid, client::shard_count(cls, client.pool_map().target_count()),
+                           client.pool_map().target_count());
+}
+
+sim::CoTask<Errno> ArrayObject::write(std::uint64_t offset, std::uint64_t length,
+                                      std::span<const std::byte> data) {
+  DAOSIM_REQUIRE(data.empty() || data.size() == length, "payload size mismatch");
+  if (length == 0) co_return Errno::ok;
+  auto status = std::make_shared<Errno>(Errno::ok);
+  sim::WaitGroup wg(client_.scheduler());
+  const std::uint64_t global_end = offset + length;
+
+  std::uint64_t pos = offset;
+  while (pos < global_end) {
+    const std::uint64_t chunk_idx = pos / chunk_;
+    const std::uint64_t in_chunk = pos % chunk_;
+    const std::uint64_t piece = std::min(chunk_ - in_chunk, global_end - pos);
+
+    ObjUpdateReq req;
+    req.cont = cont_;
+    req.oid = oid_;
+    const std::uint32_t map_target = layout_[shard_of_chunk(chunk_idx)];
+    req.target = client_.pool_map().targets[map_target].target;
+    req.dkey = strfmt("%llu", (unsigned long long)chunk_idx);
+    req.akey = "0";
+    req.type = RecordType::array;
+    req.offset = in_chunk;
+    req.length = piece;
+    req.array_end_hint = global_end;
+    if (!data.empty()) {
+      auto sub = data.subspan(std::size_t(pos - offset), std::size_t(piece));
+      req.data = std::make_shared<std::vector<std::byte>>(sub.begin(), sub.end());
+    }
+    const std::uint64_t wire = engine::kObjRpcHeader + piece;
+    wg.spawn(update_piece(map_target, std::move(req), wire, status));
+    pos += piece;
+  }
+  co_await wg.wait();
+  co_return *status;
+}
+
+sim::CoTask<Result<std::uint64_t>> ArrayObject::read(std::uint64_t offset,
+                                                     std::span<std::byte> out) {
+  if (out.empty()) co_return std::uint64_t{0};
+  auto status = std::make_shared<Errno>(Errno::ok);
+  auto filled = std::make_shared<std::uint64_t>(0);
+  sim::WaitGroup wg(client_.scheduler());
+  const std::uint64_t end = offset + out.size();
+
+  std::uint64_t pos = offset;
+  while (pos < end) {
+    const std::uint64_t chunk_idx = pos / chunk_;
+    const std::uint64_t in_chunk = pos % chunk_;
+    const std::uint64_t piece = std::min(chunk_ - in_chunk, end - pos);
+
+    ObjFetchReq req;
+    req.cont = cont_;
+    req.oid = oid_;
+    const std::uint32_t map_target = layout_[shard_of_chunk(chunk_idx)];
+    req.target = client_.pool_map().targets[map_target].target;
+    req.dkey = strfmt("%llu", (unsigned long long)chunk_idx);
+    req.akey = "0";
+    req.type = RecordType::array;
+    req.offset = in_chunk;
+    req.length = piece;
+    auto dst = out.subspan(std::size_t(pos - offset), std::size_t(piece));
+    wg.spawn(fetch_piece(map_target, std::move(req), dst, status, filled));
+    pos += piece;
+  }
+  co_await wg.wait();
+  if (*status != Errno::ok) co_return *status;
+  co_return *filled;
+}
+
+sim::CoTask<Result<std::uint64_t>> ArrayObject::size() {
+  std::set<std::uint32_t> touched(layout_.begin(), layout_.end());
+  auto status = std::make_shared<Errno>(Errno::ok);
+  auto max_end = std::make_shared<std::uint64_t>(0);
+  sim::WaitGroup wg(client_.scheduler());
+  for (std::uint32_t map_target : touched) {
+    ObjQueryReq req;
+    req.cont = cont_;
+    req.oid = oid_;
+    req.target = client_.pool_map().targets[map_target].target;
+    req.kind = engine::QueryKind::array_end_hint;
+    wg.spawn(query_piece(map_target, std::move(req), status, max_end));
+  }
+  co_await wg.wait();
+  if (*status != Errno::ok) co_return *status;
+  co_return *max_end;
+}
+
+sim::CoTask<void> ArrayObject::update_piece(std::uint32_t map_target, engine::ObjUpdateReq req,
+                                            std::uint64_t wire, std::shared_ptr<Errno> status) {
+  Reply reply = co_await client_.call_target(map_target, engine::kOpObjUpdate,
+                                             Body::make(std::move(req)), wire);
+  if (reply.status != Errno::ok) *status = reply.status;
+}
+
+sim::CoTask<void> ArrayObject::fetch_piece(std::uint32_t map_target, engine::ObjFetchReq req,
+                                           std::span<std::byte> dst,
+                                           std::shared_ptr<Errno> status,
+                                           std::shared_ptr<std::uint64_t> filled) {
+  Reply reply = co_await client_.call_target(map_target, engine::kOpObjFetch,
+                                             Body::make(std::move(req)), engine::kObjRpcHeader);
+  if (reply.status != Errno::ok) {
+    *status = reply.status;
+    co_return;
+  }
+  auto& resp = reply.body.get<ObjFetchResp>();
+  *filled += resp.filled;
+  if (resp.data != nullptr) {
+    std::copy(resp.data->begin(), resp.data->end(), dst.begin());
+  }
+}
+
+sim::CoTask<void> ArrayObject::query_piece(std::uint32_t map_target, engine::ObjQueryReq req,
+                                           std::shared_ptr<Errno> status,
+                                           std::shared_ptr<std::uint64_t> max_end) {
+  Reply reply = co_await client_.call_target(map_target, engine::kOpObjQuery,
+                                             Body::make(std::move(req)), engine::kObjRpcHeader);
+  if (reply.status != Errno::ok) {
+    *status = reply.status;
+    co_return;
+  }
+  *max_end = std::max(*max_end, reply.body.get<ObjQueryResp>().value);
+}
+
+sim::CoTask<Errno> ArrayObject::punch() {
+  std::set<std::uint32_t> touched(layout_.begin(), layout_.end());
+  Errno status = Errno::ok;
+  for (std::uint32_t map_target : touched) {
+    ObjPunchReq req;
+    req.cont = cont_;
+    req.oid = oid_;
+    req.target = client_.pool_map().targets[map_target].target;
+    req.scope = PunchScope::object;
+    Reply r = co_await client_.call_target(map_target, engine::kOpObjPunch,
+                                           Body::make(std::move(req)), engine::kObjRpcHeader);
+    if (r.status != Errno::ok) status = r.status;
+  }
+  co_return status;
+}
+
+}  // namespace daosim::client

@@ -1,0 +1,177 @@
+// libdaos equivalent: the client-side API the paper's interface stack builds
+// on. A DaosClient lives on one client node; it talks to the pool service
+// (container metadata, OID allocation) and directly to engines for object
+// I/O, placing shards algorithmically from the pool map.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "client/object_class.hpp"
+#include "client/placement.hpp"
+#include "engine/proto.hpp"
+#include "net/rpc.hpp"
+#include "pool/pool_map.hpp"
+#include "sim/sync.hpp"
+
+namespace daosim::client {
+
+/// Bounded asynchronous operation queue (the daos_event/EQ model): launch
+/// operations without blocking, then await completion of all of them.
+class EventQueue {
+ public:
+  /// @param max_inflight 0 = unbounded
+  EventQueue(sim::Scheduler& s, std::size_t max_inflight = 0)
+      : sched_(s), wg_(s), slots_(max_inflight > 0
+                                      ? std::make_unique<sim::Semaphore>(s, max_inflight)
+                                      : nullptr) {}
+
+  /// Launches `op`; suspends only while the queue is at max_inflight.
+  sim::CoTask<void> launch(sim::CoTask<void> op) {
+    if (slots_ != nullptr) co_await slots_->acquire();
+    // Hoisted into a named local: GCC 12 miscompiles coroutine temporaries
+    // passed directly into another coroutine's by-value parameter.
+    sim::CoTask<void> wrapped = run(std::move(op));
+    wg_.spawn(std::move(wrapped));
+  }
+
+  /// Callable overload keeping the closure alive (see Scheduler::spawn).
+  template <typename F>
+    requires requires(F f) {
+      { f() } -> std::same_as<sim::CoTask<void>>;
+    }
+  sim::CoTask<void> launch(F f) {
+    return launch(invoke_holding(std::move(f)));
+  }
+
+  /// Completes when every launched operation has finished.
+  auto wait_all() { return wg_.wait(); }
+  std::size_t inflight() const { return wg_.pending(); }
+
+ private:
+  template <typename F>
+  static sim::CoTask<void> invoke_holding(F f) {
+    co_await f();
+  }
+
+  sim::CoTask<void> run(sim::CoTask<void> op) {
+    co_await std::move(op);
+    if (slots_ != nullptr) slots_->release();
+  }
+  sim::Scheduler& sched_;
+  sim::WaitGroup wg_;
+  std::unique_ptr<sim::Semaphore> slots_;
+};
+
+struct ContInfo {
+  vos::Uuid uuid;
+  pool::ContProps props;
+};
+
+class DaosClient {
+ public:
+  /// @param node          this client's fabric node
+  /// @param map           the pool map obtained at pool connect
+  /// @param svc_replicas  engines hosting the pool service (Raft group)
+  DaosClient(net::RpcDomain& domain, net::NodeId node, pool::PoolMap map,
+             std::vector<net::NodeId> svc_replicas);
+
+  net::RpcEndpoint& endpoint() { return ep_; }
+  sim::Scheduler& scheduler() { return sched_; }
+  const pool::PoolMap& pool_map() const { return map_; }
+
+  // --- pool service operations ---
+  sim::CoTask<Result<ContInfo>> cont_create(vos::Uuid uuid, pool::ContProps props);
+  sim::CoTask<Result<ContInfo>> cont_open(vos::Uuid uuid);
+  sim::CoTask<Result<void>> cont_destroy(vos::Uuid uuid);
+  /// Allocates a contiguous range of object sequence numbers; returns base.
+  sim::CoTask<Result<std::uint64_t>> alloc_oids(vos::Uuid cont, std::uint64_t count);
+
+  // --- raw object RPC (used by the handles and by DFS) ---
+  sim::CoTask<net::Reply> call_target(std::uint32_t map_target, std::uint16_t opcode,
+                                      net::Body body, std::uint64_t wire_bytes);
+
+  std::uint64_t rpcs_sent() const { return ep_.calls_made(); }
+
+ private:
+  sim::CoTask<Result<std::string>> svc_command(std::string cmd);
+
+  net::RpcEndpoint ep_;
+  sim::Scheduler& sched_;
+  pool::PoolMap map_;
+  std::vector<net::NodeId> svc_replicas_;
+  std::optional<net::NodeId> cached_leader_;
+};
+
+/// KV-style object handle (DAOS "multi-level KV" API): dkey -> akey -> value.
+class KvObject {
+ public:
+  KvObject(DaosClient& client, vos::Uuid cont, vos::ObjId oid);
+
+  /// With `excl`, fails with Errno::exists when the dkey already holds a
+  /// visible record (DAOS conditional insert).
+  sim::CoTask<Errno> put(const vos::Key& dkey, const vos::Key& akey,
+                         std::span<const std::byte> value, bool excl = false);
+  sim::CoTask<Result<std::vector<std::byte>>> get(const vos::Key& dkey, const vos::Key& akey);
+  sim::CoTask<Result<std::vector<vos::Key>>> list_dkeys();
+  sim::CoTask<Errno> punch();
+  sim::CoTask<Errno> punch_dkey(const vos::Key& dkey);
+
+  vos::ObjId oid() const { return oid_; }
+
+ private:
+  std::uint32_t shard_of(const vos::Key& dkey) const;
+
+  DaosClient& client_;
+  vos::Uuid cont_;
+  vos::ObjId oid_;
+  std::vector<std::uint32_t> layout_;
+};
+
+/// Byte-array object handle (the DAOS array API): a flat address space
+/// chunked into dkeys and striped over the object's shards.
+class ArrayObject {
+ public:
+  ArrayObject(DaosClient& client, vos::Uuid cont, vos::ObjId oid, std::uint64_t chunk_size);
+
+  /// Writes `length` logical bytes at `offset`. `data` must be either
+  /// length bytes or empty (metadata-only mode for large benchmarks).
+  sim::CoTask<Errno> write(std::uint64_t offset, std::uint64_t length,
+                           std::span<const std::byte> data);
+  /// Reads into `out`; returns bytes overlapping written data.
+  sim::CoTask<Result<std::uint64_t>> read(std::uint64_t offset, std::span<std::byte> out);
+  /// Array size = high-water mark of all completed writes.
+  sim::CoTask<Result<std::uint64_t>> size();
+  sim::CoTask<Errno> punch();
+
+  vos::ObjId oid() const { return oid_; }
+  std::uint64_t chunk_size() const { return chunk_; }
+  std::uint32_t shard_count() const { return std::uint32_t(layout_.size()); }
+
+ private:
+  std::uint32_t shard_of_chunk(std::uint64_t chunk_idx) const {
+    return dkey_to_shard(chunk_idx ^ mix64(oid_.lo), std::uint32_t(layout_.size()));
+  }
+
+  // Per-piece coroutines (explicit parameters; see CP.51 note in scheduler.hpp).
+  sim::CoTask<void> update_piece(std::uint32_t map_target, engine::ObjUpdateReq req,
+                                 std::uint64_t wire, std::shared_ptr<Errno> status);
+  sim::CoTask<void> fetch_piece(std::uint32_t map_target, engine::ObjFetchReq req,
+                                std::span<std::byte> dst, std::shared_ptr<Errno> status,
+                                std::shared_ptr<std::uint64_t> filled);
+  sim::CoTask<void> query_piece(std::uint32_t map_target, engine::ObjQueryReq req,
+                                std::shared_ptr<Errno> status,
+                                std::shared_ptr<std::uint64_t> max_end);
+
+  DaosClient& client_;
+  vos::Uuid cont_;
+  vos::ObjId oid_;
+  std::uint64_t chunk_;
+  std::vector<std::uint32_t> layout_;
+};
+
+}  // namespace daosim::client

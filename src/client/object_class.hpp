@@ -1,0 +1,58 @@
+// Object classes: how many shards (targets) an object is striped over.
+// Mirrors DAOS's S1/S2/S4/S8/SX classes from the paper ("objects ... S1
+// through to SX ... distributed across DAOS engines in a similar manner to
+// Lustre file striping"). The class is encoded in the object ID's high bits,
+// exactly like daos_obj_generate_oid does.
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.hpp"
+#include "vos/types.hpp"
+
+namespace daosim::client {
+
+enum class ObjClass : std::uint8_t {
+  S1 = 1,  // single shard
+  S2 = 2,
+  S4 = 3,
+  S8 = 4,
+  SX = 5,  // one shard per pool target (full striping)
+};
+
+inline const char* to_string(ObjClass c) {
+  switch (c) {
+    case ObjClass::S1: return "S1";
+    case ObjClass::S2: return "S2";
+    case ObjClass::S4: return "S4";
+    case ObjClass::S8: return "S8";
+    case ObjClass::SX: return "SX";
+  }
+  return "S?";
+}
+
+inline std::uint32_t shard_count(ObjClass c, std::uint32_t pool_targets) {
+  DAOSIM_REQUIRE(pool_targets > 0, "empty pool");
+  switch (c) {
+    case ObjClass::S1: return 1;
+    case ObjClass::S2: return std::min(2u, pool_targets);
+    case ObjClass::S4: return std::min(4u, pool_targets);
+    case ObjClass::S8: return std::min(8u, pool_targets);
+    case ObjClass::SX: return pool_targets;
+  }
+  return 1;
+}
+
+/// Packs the class into oid.hi's top byte (sequence below), like DAOS.
+inline vos::ObjId make_oid(std::uint64_t seq, ObjClass c) {
+  return vos::ObjId{std::uint64_t(c) << 56, seq};
+}
+
+inline ObjClass class_of(vos::ObjId oid) {
+  const auto c = std::uint8_t(oid.hi >> 56);
+  DAOSIM_REQUIRE(c >= 1 && c <= 5, "oid %llx has no valid object class",
+                 (unsigned long long)oid.hi);
+  return ObjClass(c);
+}
+
+}  // namespace daosim::client

@@ -1,0 +1,64 @@
+// Client-side algorithmic placement: object shard -> pool target, computed
+// from the object ID and the pool map alone (no per-I/O metadata service
+// traffic — DAOS's key scalability property).
+//
+// Shard 0 lands on a pseudo-random target (jump consistent hash); the
+// remaining shards walk the target ring with an odd, object-specific stride,
+// giving every multi-shard object a collision-free layout (a permutation of
+// targets) while different objects start at independent positions —
+// reproducing the balls-into-bins behaviour that differentiates S1/S2/SX in
+// the paper's figures.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+#include "vos/types.hpp"
+
+namespace daosim::client {
+
+/// splitmix64 finalizer: cheap, well-mixed 64-bit hash.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Lamping & Veach jump consistent hash: key -> bucket in [0, buckets).
+constexpr std::uint32_t jump_consistent_hash(std::uint64_t key, std::uint32_t buckets) {
+  std::int64_t b = -1, j = 0;
+  while (j < std::int64_t(buckets)) {
+    b = j;
+    key = key * 2862933555777941757ULL + 1;
+    j = std::int64_t(double(b + 1) * (double(1LL << 31) / double((key >> 33) + 1)));
+  }
+  return std::uint32_t(b);
+}
+
+/// Per-object shard layout: layout[s] is the pool-map target index of shard s.
+inline std::vector<std::uint32_t> compute_layout(vos::ObjId oid, std::uint32_t shards,
+                                                 std::uint32_t pool_targets) {
+  DAOSIM_REQUIRE(shards >= 1 && shards <= pool_targets, "bad shard count %u (pool %u)", shards,
+                 pool_targets);
+  const std::uint64_t h = mix64(oid.hi ^ mix64(oid.lo));
+  const std::uint32_t start = jump_consistent_hash(h, pool_targets);
+  // Odd ring stride co-prime with the target count -> a permutation.
+  std::uint32_t stride = 1 + 2 * std::uint32_t(mix64(h) % std::max(1u, pool_targets / 2));
+  while (std::gcd(stride, pool_targets) != 1) stride += 2;
+  std::vector<std::uint32_t> layout(shards);
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    layout[s] = (start + std::uint64_t(s) * stride) % pool_targets;
+  }
+  return layout;
+}
+
+/// Distribution-key hash -> shard index (DAOS hashes the dkey to pick the
+/// shard; array chunk indices are dkeys).
+inline std::uint32_t dkey_to_shard(std::uint64_t dkey_hash, std::uint32_t shards) {
+  return std::uint32_t(mix64(dkey_hash) % shards);
+}
+
+}  // namespace daosim::client

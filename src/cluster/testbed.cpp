@@ -1,0 +1,108 @@
+#include "cluster/testbed.hpp"
+
+namespace daosim::cluster {
+
+Testbed::Testbed(ClusterConfig cfg) : cfg_(cfg), fabric_(sched_, cfg.fabric) {
+  DAOSIM_REQUIRE(cfg_.server_nodes > 0 && cfg_.engines_per_server > 0, "bad cluster config");
+  DAOSIM_REQUIRE(cfg_.client_nodes > 0, "need at least one client node");
+  domain_ = std::make_unique<net::RpcDomain>(fabric_);
+
+  // Engines: one fabric node per engine (each socket binds one rail of the
+  // server's dual-rail NIC), one DCPMM interleave set per socket.
+  engine::EngineConfig ecfg = cfg_.engine;
+  ecfg.targets = cfg_.targets_per_engine;
+  ecfg.payload = cfg_.payload;
+  const std::uint32_t total_engines = cfg_.server_nodes * cfg_.engines_per_server;
+  for (std::uint32_t e = 0; e < total_engines; ++e) {
+    const net::NodeId node = fabric_.add_node(/*rails=*/1);
+    sockets_.push_back(std::make_unique<media::DcpmmInterleaveSet>(sched_, cfg_.dcpmm));
+    engines_.push_back(
+        std::make_unique<engine::Engine>(*domain_, node, *sockets_.back(), ecfg));
+  }
+
+  // Pool map: every target of every engine, in engine-major order.
+  map_.pool = kPoolUuid;
+  for (auto& eng : engines_) {
+    for (std::uint32_t t = 0; t < eng->target_count(); ++t) {
+      map_.targets.push_back(pool::TargetRef{eng->node(), t, true});
+    }
+  }
+
+  // Pool service replicas co-located with the first engines.
+  const std::uint32_t nsvc = std::min(cfg_.svc_replicas, total_engines);
+  for (std::uint32_t s = 0; s < nsvc; ++s) svc_nodes_.push_back(engines_[s]->node());
+  for (std::uint32_t s = 0; s < nsvc; ++s) {
+    svc_.push_back(std::make_unique<pool::PoolServiceReplica>(
+        engines_[s]->endpoint(), svc_nodes_, map_, cfg_.raft, cfg_.seed + s));
+  }
+
+  // Client nodes (dual-rail NICs) with one DaosClient each.
+  for (std::uint32_t c = 0; c < cfg_.client_nodes; ++c) {
+    const net::NodeId node = fabric_.add_node();
+    clients_.push_back(std::make_unique<client::DaosClient>(*domain_, node, map_, svc_nodes_));
+  }
+}
+
+Testbed::~Testbed() {
+  if (started_) stop();
+}
+
+void Testbed::start() {
+  DAOSIM_REQUIRE(!started_, "testbed already started");
+  for (auto& s : svc_) s->start();
+  started_ = true;
+  // Run until the pool service has a leader.
+  const sim::Time deadline = sched_.now() + 10 * sim::kSec;
+  while (sched_.now() < deadline) {
+    sched_.run_until(sched_.now() + 20 * sim::kMs);
+    for (auto& s : svc_) {
+      if (s->is_leader()) return;
+    }
+  }
+  raise("pool service failed to elect a leader");
+}
+
+void Testbed::stop() {
+  if (!started_) return;
+  for (auto& s : svc_) s->stop();
+  started_ = false;
+  sched_.run();  // drain retired service loops
+}
+
+sim::CoTask<void> Testbed::wrap_main(sim::CoTask<void> main, bool& done) {
+  co_await std::move(main);
+  done = true;
+}
+
+void Testbed::run(sim::CoTask<void> main) {
+  DAOSIM_REQUIRE(started_, "start() the testbed before run()");
+  bool done = false;
+  sched_.spawn(wrap_main(std::move(main), done));
+  // Hard cap: a year of virtual time — any workload hitting this is hung.
+  const sim::Time cap = sched_.now() + 365ULL * 24 * 3600 * sim::kSec;
+  while (!done && sched_.now() < cap) {
+    const bool more = sched_.run_until(sched_.now() + 100 * sim::kMs);
+    if (!more && !done) {
+      raise("testbed workload blocked with no pending events");
+    }
+  }
+  DAOSIM_REQUIRE(done, "testbed workload exceeded the virtual time cap");
+}
+
+std::uint64_t Testbed::total_updates() const {
+  std::uint64_t n = 0;
+  for (const auto& e : engines_) n += e->updates_served();
+  return n;
+}
+std::uint64_t Testbed::total_fetches() const {
+  std::uint64_t n = 0;
+  for (const auto& e : engines_) n += e->fetches_served();
+  return n;
+}
+std::uint64_t Testbed::total_shard_cache_misses() const {
+  std::uint64_t n = 0;
+  for (const auto& e : engines_) n += e->shard_cache_misses();
+  return n;
+}
+
+}  // namespace daosim::cluster

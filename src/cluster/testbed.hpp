@@ -1,0 +1,99 @@
+// Testbed: assembles the simulated NEXTGenIO-like cluster the paper
+// benchmarks on — server nodes with two DAOS engines each (one per socket,
+// each with its own DCPMM interleave set and fabric rail), a Raft-replicated
+// pool service on the first engines, and a set of client nodes.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "client/client.hpp"
+#include "engine/engine.hpp"
+#include "media/dcpmm.hpp"
+#include "net/fabric.hpp"
+#include "net/rpc.hpp"
+#include "pool/pool_service.hpp"
+#include "sim/scheduler.hpp"
+
+namespace daosim::cluster {
+
+struct ClusterConfig {
+  std::uint32_t server_nodes = 8;        // NEXTGenIO benchmark deployment
+  std::uint32_t engines_per_server = 2;  // one per socket
+  std::uint32_t targets_per_engine = 8;
+  std::uint32_t client_nodes = 1;
+  std::uint32_t svc_replicas = 3;  // pool service Raft group size
+  net::FabricConfig fabric{};      // dual-rail for clients; engines bind 1 rail
+  media::DcpmmConfig dcpmm{};
+  engine::EngineConfig engine{};
+  raft::RaftConfig raft{};
+  vos::PayloadMode payload = vos::PayloadMode::store;
+  std::uint64_t seed = 42;
+};
+
+/// The benchmark pool's UUID (one pool spanning every target, as deployed
+/// for the paper's runs).
+constexpr vos::Uuid kPoolUuid{0xDA05, 0x1};
+
+class Testbed {
+ public:
+  explicit Testbed(ClusterConfig cfg);
+  ~Testbed();
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
+
+  /// Starts the pool service and runs until a Raft leader is established.
+  void start();
+  /// Stops services and drains the event queue.
+  void stop();
+
+  /// Runs `main` to completion while the services keep ticking.
+  void run(sim::CoTask<void> main);
+  template <typename F>
+    requires requires(F f) {
+      { f() } -> std::same_as<sim::CoTask<void>>;
+    }
+  void run(F f) {
+    run(invoke_holding(std::move(f)));
+  }
+
+  sim::Scheduler& sched() { return sched_; }
+  net::Fabric& fabric() { return fabric_; }
+  net::RpcDomain& domain() { return *domain_; }
+  const pool::PoolMap& pool_map() const { return map_; }
+  const std::vector<net::NodeId>& svc_nodes() const { return svc_nodes_; }
+  const ClusterConfig& config() const { return cfg_; }
+
+  std::uint32_t engine_count() const { return std::uint32_t(engines_.size()); }
+  engine::Engine& engine(std::uint32_t i) { return *engines_[i]; }
+
+  std::uint32_t client_node_count() const { return std::uint32_t(clients_.size()); }
+  /// The DaosClient living on client node `i` (all ranks on that node share it).
+  client::DaosClient& client(std::uint32_t i) { return *clients_[i]; }
+
+  /// Aggregate engine-side counters (for reports and shape assertions).
+  std::uint64_t total_updates() const;
+  std::uint64_t total_fetches() const;
+  std::uint64_t total_shard_cache_misses() const;
+
+ private:
+  template <typename F>
+  static sim::CoTask<void> invoke_holding(F f) {
+    co_await f();
+  }
+  static sim::CoTask<void> wrap_main(sim::CoTask<void> main, bool& done);
+
+  ClusterConfig cfg_;
+  sim::Scheduler sched_;
+  net::Fabric fabric_;
+  std::unique_ptr<net::RpcDomain> domain_;
+  std::vector<std::unique_ptr<media::DcpmmInterleaveSet>> sockets_;
+  std::vector<std::unique_ptr<engine::Engine>> engines_;
+  std::vector<std::unique_ptr<pool::PoolServiceReplica>> svc_;
+  std::vector<net::NodeId> svc_nodes_;
+  std::vector<std::unique_ptr<client::DaosClient>> clients_;
+  pool::PoolMap map_;
+  bool started_ = false;
+};
+
+}  // namespace daosim::cluster

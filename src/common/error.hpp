@@ -1,0 +1,145 @@
+// Common error-handling vocabulary for daosim.
+//
+// Two regimes, following the C++ Core Guidelines (E.2 / E.14):
+//  * programming errors and broken invariants  -> exceptions (DaosimError)
+//  * expected, recoverable failures (e.g. DFS lookup of a missing path)
+//    -> Errno codes carried in Result<T>.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace daosim {
+
+/// printf-style formatting into a std::string (libstdc++ 12 lacks <format>).
+inline std::string strfmt(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args2;
+  va_copy(args2, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out(n > 0 ? static_cast<size_t>(n) : 0, '\0');
+  if (n > 0) std::vsnprintf(out.data(), out.size() + 1, fmt, args2);
+  va_end(args2);
+  return out;
+}
+
+/// Root exception for invariant violations and unrecoverable failures.
+class DaosimError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Throws DaosimError with a printf-formatted message.
+[[noreturn]] inline void raise(std::string msg) { throw DaosimError(std::move(msg)); }
+
+#define DAOSIM_REQUIRE(cond, ...)                                        \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::daosim::raise(::daosim::strfmt("%s:%d: requirement failed: %s: ", \
+                                       __FILE__, __LINE__, #cond) +      \
+                      ::daosim::strfmt(__VA_ARGS__));                    \
+    }                                                                    \
+  } while (0)
+
+/// Recoverable error codes, mirroring the POSIX/DAOS errno values the paper's
+/// interfaces surface to applications.
+enum class Errno : int {
+  ok = 0,
+  no_entry,        // ENOENT
+  exists,          // EEXIST
+  not_dir,         // ENOTDIR
+  is_dir,          // EISDIR
+  not_empty,       // ENOTEMPTY
+  invalid,         // EINVAL
+  no_space,        // ENOSPC
+  busy,            // EBUSY
+  io,              // EIO
+  bad_fd,          // EBADF
+  perm,            // EPERM
+  again,           // EAGAIN
+  name_too_long,   // ENAMETOOLONG
+  not_supported,   // ENOTSUP
+  stale,           // ESTALE (e.g. pool map out of date)
+  timed_out,       // ETIMEDOUT
+};
+
+inline const char* errno_name(Errno e) {
+  switch (e) {
+    case Errno::ok: return "OK";
+    case Errno::no_entry: return "ENOENT";
+    case Errno::exists: return "EEXIST";
+    case Errno::not_dir: return "ENOTDIR";
+    case Errno::is_dir: return "EISDIR";
+    case Errno::not_empty: return "ENOTEMPTY";
+    case Errno::invalid: return "EINVAL";
+    case Errno::no_space: return "ENOSPC";
+    case Errno::busy: return "EBUSY";
+    case Errno::io: return "EIO";
+    case Errno::bad_fd: return "EBADF";
+    case Errno::perm: return "EPERM";
+    case Errno::again: return "EAGAIN";
+    case Errno::name_too_long: return "ENAMETOOLONG";
+    case Errno::not_supported: return "ENOTSUP";
+    case Errno::stale: return "ESTALE";
+    case Errno::timed_out: return "ETIMEDOUT";
+  }
+  return "E?";
+}
+
+/// Minimal expected-like result type (std::expected is C++23).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : state_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Errno err) : state_(err) {}             // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+  explicit operator bool() const { return ok(); }
+
+  Errno error() const { return ok() ? Errno::ok : std::get<Errno>(state_); }
+
+  T& value() & {
+    check();
+    return std::get<T>(state_);
+  }
+  const T& value() const& {
+    check();
+    return std::get<T>(state_);
+  }
+  T&& value() && {
+    check();
+    return std::move(std::get<T>(state_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  void check() const {
+    if (!ok()) raise(strfmt("Result::value() on error %s", errno_name(std::get<Errno>(state_))));
+  }
+  std::variant<T, Errno> state_;
+};
+
+template <>
+class [[nodiscard]] Result<void> {
+ public:
+  Result() : err_(Errno::ok) {}
+  Result(Errno err) : err_(err) {}  // NOLINT(google-explicit-constructor)
+  bool ok() const { return err_ == Errno::ok; }
+  explicit operator bool() const { return ok(); }
+  Errno error() const { return err_; }
+
+ private:
+  Errno err_;
+};
+
+}  // namespace daosim

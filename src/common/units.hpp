@@ -1,0 +1,37 @@
+// Byte- and time-unit helpers shared across the codebase.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace daosim {
+
+constexpr std::uint64_t kKiB = 1024ULL;
+constexpr std::uint64_t kMiB = 1024ULL * kKiB;
+constexpr std::uint64_t kGiB = 1024ULL * kMiB;
+constexpr std::uint64_t kTiB = 1024ULL * kGiB;
+
+constexpr double kKB = 1e3;
+constexpr double kMB = 1e6;
+constexpr double kGB = 1e9;
+
+/// Renders a byte count as a compact human-readable string ("8 MiB", "1.5 GiB").
+inline std::string format_bytes(std::uint64_t bytes) {
+  if (bytes % kGiB == 0 && bytes >= kGiB) return strfmt("%llu GiB", (unsigned long long)(bytes / kGiB));
+  if (bytes % kMiB == 0 && bytes >= kMiB) return strfmt("%llu MiB", (unsigned long long)(bytes / kMiB));
+  if (bytes % kKiB == 0 && bytes >= kKiB) return strfmt("%llu KiB", (unsigned long long)(bytes / kKiB));
+  if (bytes >= kGiB) return strfmt("%.2f GiB", double(bytes) / double(kGiB));
+  if (bytes >= kMiB) return strfmt("%.2f MiB", double(bytes) / double(kMiB));
+  if (bytes >= kKiB) return strfmt("%.2f KiB", double(bytes) / double(kKiB));
+  return strfmt("%llu B", (unsigned long long)bytes);
+}
+
+/// Integer ceiling division.
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) { return (a + b - 1) / b; }
+
+/// Rounds `a` up to the next multiple of `b`.
+constexpr std::uint64_t round_up(std::uint64_t a, std::uint64_t b) { return ceil_div(a, b) * b; }
+
+}  // namespace daosim

@@ -1,0 +1,364 @@
+#include "dfs/dfs.hpp"
+
+#include <cstring>
+
+namespace daosim::dfs {
+
+using client::ArrayObject;
+using client::KvObject;
+using client::ObjClass;
+
+namespace {
+/// Root directory object: sequence 0 (the allocator hands out >= 1).
+vos::ObjId root_oid() { return client::make_oid(0, kDirObjClass); }
+
+constexpr std::uint64_t kOidBatch = 1024;
+inline const vos::Key kSuperblockDkey = "__dfs_superblock__";
+inline const std::string kSbMagic = "DFS1";
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Dirent codec (fixed little-endian layout + symlink tail)
+
+std::vector<std::byte> DfsMount::encode(const Dirent& e) {
+  std::vector<std::byte> out(8 + 8 + 1 + 8 + 1 + e.symlink_target.size());
+  std::size_t p = 0;
+  auto put64 = [&](std::uint64_t v) {
+    std::memcpy(out.data() + p, &v, 8);
+    p += 8;
+  };
+  put64(e.oid.hi);
+  put64(e.oid.lo);
+  out[p++] = std::byte(e.type);
+  put64(e.chunk_size);
+  out[p++] = std::byte(e.oclass);
+  std::memcpy(out.data() + p, e.symlink_target.data(), e.symlink_target.size());
+  return out;
+}
+
+Dirent DfsMount::decode(std::span<const std::byte> raw) {
+  DAOSIM_REQUIRE(raw.size() >= 26, "corrupt dirent (%zu bytes)", raw.size());
+  Dirent e;
+  std::size_t p = 0;
+  auto get64 = [&] {
+    std::uint64_t v;
+    std::memcpy(&v, raw.data() + p, 8);
+    p += 8;
+    return v;
+  };
+  e.oid.hi = get64();
+  e.oid.lo = get64();
+  e.type = FileType(raw[p++]);
+  e.chunk_size = get64();
+  e.oclass = std::uint8_t(raw[p++]);
+  e.symlink_target.assign(reinterpret_cast<const char*>(raw.data() + p), raw.size() - p);
+  return e;
+}
+
+// ---------------------------------------------------------------------------
+// Mount
+
+DfsMount::DfsMount(client::DaosClient& client, vos::Uuid cont, pool::ContProps props)
+    : client_(client), cont_(cont), props_(props) {
+  if (props_.chunk_size == 0) props_.chunk_size = 1 << 20;
+  if (props_.oclass >= 1 && props_.oclass <= 5) {
+    default_oclass_ = ObjClass(props_.oclass);
+  }
+  root_ = Dirent{root_oid(), FileType::directory, 0, std::uint8_t(kDirObjClass), {}};
+}
+
+sim::CoTask<Result<std::unique_ptr<DfsMount>>> DfsMount::mount(client::DaosClient& client,
+                                                               vos::Uuid cont) {
+  auto info = co_await client.cont_open(cont);
+  if (!info.ok()) co_return info.error();
+  auto m = std::unique_ptr<DfsMount>(new DfsMount(client, cont, info->props));
+  // Superblock: a KV record on the root object; created on first mount.
+  KvObject rootobj(client, cont, root_oid());
+  auto sb = co_await rootobj.get(kSuperblockDkey, kEntryAkey);
+  if (!sb.ok()) {
+    if (sb.error() != Errno::no_entry) co_return sb.error();
+    std::vector<std::byte> magic(kSbMagic.size());
+    std::memcpy(magic.data(), kSbMagic.data(), kSbMagic.size());
+    const Errno put = co_await rootobj.put(kSuperblockDkey, kEntryAkey, magic);
+    if (put != Errno::ok) co_return put;
+  }
+  co_return std::move(m);
+}
+
+// ---------------------------------------------------------------------------
+// Path handling
+
+Result<std::vector<std::string>> DfsMount::split(const std::string& path) {
+  if (path.empty() || path[0] != '/') return Errno::invalid;
+  std::vector<std::string> comps;
+  std::size_t i = 1;
+  while (i < path.size()) {
+    std::size_t j = path.find('/', i);
+    if (j == std::string::npos) j = path.size();
+    if (j > i) {
+      std::string c = path.substr(i, j - i);
+      if (c == "." || c == "..") return Errno::invalid;  // no relative links
+      if (c.size() > 255) return Errno::name_too_long;
+      comps.push_back(std::move(c));
+    }
+    i = j + 1;
+  }
+  return comps;
+}
+
+sim::CoTask<Result<Dirent>> DfsMount::lookup(const Dirent& dir, const std::string& name) {
+  if (dir.type != FileType::directory) co_return Errno::not_dir;
+  KvObject obj(client_, cont_, dir.oid);
+  auto raw = co_await obj.get(name, kEntryAkey);
+  if (!raw.ok()) co_return raw.error();
+  co_return decode(*raw);
+}
+
+sim::CoTask<Result<Dirent>> DfsMount::resolve_parent(const std::vector<std::string>& comps) {
+  Dirent cur = root_;
+  for (std::size_t i = 0; i + 1 < comps.size(); ++i) {
+    auto next = co_await lookup(cur, comps[i]);
+    if (!next.ok()) co_return next.error();
+    if (next->type != FileType::directory) co_return Errno::not_dir;
+    cur = *next;
+  }
+  co_return cur;
+}
+
+sim::CoTask<Errno> DfsMount::insert_entry(const Dirent& dir, const std::string& name,
+                                          const Dirent& entry, bool excl) {
+  KvObject obj(client_, cont_, dir.oid);
+  std::vector<std::byte> raw = encode(entry);
+  co_return co_await obj.put(name, kEntryAkey, raw, excl);
+}
+
+sim::CoTask<Errno> DfsMount::remove_entry(const Dirent& dir, const std::string& name) {
+  KvObject obj(client_, cont_, dir.oid);
+  co_return co_await obj.punch_dkey(name);
+}
+
+sim::CoTask<Result<vos::ObjId>> DfsMount::alloc_oid(ObjClass oclass) {
+  if (oid_next_ >= oid_limit_) {
+    auto base = co_await client_.alloc_oids(cont_, kOidBatch);
+    if (!base.ok()) co_return base.error();
+    oid_next_ = *base;
+    oid_limit_ = *base + kOidBatch;
+  }
+  co_return client::make_oid(oid_next_++, oclass);
+}
+
+// ---------------------------------------------------------------------------
+// Namespace operations
+
+sim::CoTask<Errno> DfsMount::mkdir(const std::string& path) {
+  auto comps = split(path);
+  if (!comps.ok()) co_return comps.error();
+  if (comps->empty()) co_return Errno::exists;  // mkdir("/")
+  auto parent = co_await resolve_parent(*comps);
+  if (!parent.ok()) co_return parent.error();
+  auto existing = co_await lookup(*parent, comps->back());
+  if (existing.ok()) co_return Errno::exists;
+  if (existing.error() != Errno::no_entry) co_return existing.error();
+  auto oid = co_await alloc_oid(kDirObjClass);
+  if (!oid.ok()) co_return oid.error();
+  Dirent d{*oid, FileType::directory, 0, std::uint8_t(kDirObjClass), {}};
+  // Conditional insert resolves concurrent mkdir() races server-side.
+  co_return co_await insert_entry(*parent, comps->back(), d, /*excl=*/true);
+}
+
+sim::CoTask<Result<File>> DfsMount::open(const std::string& path, OpenFlags flags) {
+  auto comps = split(path);
+  if (!comps.ok()) co_return comps.error();
+  if (comps->empty()) co_return Errno::is_dir;
+  auto parent = co_await resolve_parent(*comps);
+  if (!parent.ok()) co_return parent.error();
+
+  auto existing = co_await lookup(*parent, comps->back());
+  if (existing.ok()) {
+    if (flags.create && flags.excl) co_return Errno::exists;
+    if (existing->type == FileType::directory) co_return Errno::is_dir;
+    if (existing->type == FileType::symlink) co_return Errno::invalid;  // no follow here
+    const std::uint64_t chunk =
+        existing->chunk_size ? existing->chunk_size : props_.chunk_size;
+    auto arr = std::make_unique<ArrayObject>(client_, cont_, existing->oid, chunk);
+    if (flags.truncate) {
+      const Errno st = co_await arr->punch();
+      if (st != Errno::ok) co_return st;
+    }
+    co_return File(std::move(arr));
+  }
+  if (existing.error() != Errno::no_entry) co_return existing.error();
+  if (!flags.create) co_return Errno::no_entry;
+
+  const ObjClass oclass =
+      (flags.oclass >= 1 && flags.oclass <= 5) ? ObjClass(flags.oclass) : default_oclass_;
+  const std::uint64_t chunk = flags.chunk_size ? flags.chunk_size : props_.chunk_size;
+  auto oid = co_await alloc_oid(oclass);
+  if (!oid.ok()) co_return oid.error();
+  Dirent e{*oid, FileType::regular, chunk, std::uint8_t(oclass), {}};
+  // Conditional insert: when ranks race to O_CREAT the same path (IOR's
+  // shared-file mode), exactly one object wins; losers adopt it.
+  const Errno ins = co_await insert_entry(*parent, comps->back(), e, /*excl=*/true);
+  if (ins == Errno::exists) {
+    if (flags.excl) co_return Errno::exists;
+    auto winner = co_await lookup(*parent, comps->back());
+    if (!winner.ok()) co_return winner.error();
+    if (winner->type != FileType::regular) co_return Errno::is_dir;
+    const std::uint64_t wchunk = winner->chunk_size ? winner->chunk_size : props_.chunk_size;
+    co_return File(std::make_unique<ArrayObject>(client_, cont_, winner->oid, wchunk));
+  }
+  if (ins != Errno::ok) co_return ins;
+  co_return File(std::make_unique<ArrayObject>(client_, cont_, *oid, chunk));
+}
+
+sim::CoTask<Result<Stat>> DfsMount::stat(const std::string& path) {
+  auto comps = split(path);
+  if (!comps.ok()) co_return comps.error();
+  if (comps->empty()) co_return Stat{FileType::directory, 0, root_.oid};
+  auto parent = co_await resolve_parent(*comps);
+  if (!parent.ok()) co_return parent.error();
+  auto e = co_await lookup(*parent, comps->back());
+  if (!e.ok()) co_return e.error();
+  Stat st{e->type, 0, e->oid};
+  if (e->type == FileType::regular) {
+    ArrayObject arr(client_, cont_, e->oid,
+                    e->chunk_size ? e->chunk_size : props_.chunk_size);
+    auto sz = co_await arr.size();
+    if (!sz.ok()) co_return sz.error();
+    st.size = *sz;
+  } else if (e->type == FileType::symlink) {
+    st.size = e->symlink_target.size();
+  }
+  co_return st;
+}
+
+sim::CoTask<Result<std::vector<std::string>>> DfsMount::readdir(const std::string& path) {
+  auto comps = split(path);
+  if (!comps.ok()) co_return comps.error();
+  Dirent dir = root_;
+  if (!comps->empty()) {
+    auto parent = co_await resolve_parent(*comps);
+    if (!parent.ok()) co_return parent.error();
+    auto e = co_await lookup(*parent, comps->back());
+    if (!e.ok()) co_return e.error();
+    if (e->type != FileType::directory) co_return Errno::not_dir;
+    dir = *e;
+  }
+  KvObject obj(client_, cont_, dir.oid);
+  auto keys = co_await obj.list_dkeys();
+  if (!keys.ok()) co_return keys.error();
+  std::vector<std::string> names;
+  for (auto& k : *keys) {
+    if (k != kSuperblockDkey) names.push_back(std::move(k));
+  }
+  co_return names;
+}
+
+sim::CoTask<Errno> DfsMount::unlink(const std::string& path) {
+  auto comps = split(path);
+  if (!comps.ok()) co_return comps.error();
+  if (comps->empty()) co_return Errno::is_dir;
+  auto parent = co_await resolve_parent(*comps);
+  if (!parent.ok()) co_return parent.error();
+  auto e = co_await lookup(*parent, comps->back());
+  if (!e.ok()) co_return e.error();
+  if (e->type == FileType::directory) co_return Errno::is_dir;
+  if (e->type == FileType::regular) {
+    ArrayObject arr(client_, cont_, e->oid,
+                    e->chunk_size ? e->chunk_size : props_.chunk_size);
+    const Errno st = co_await arr.punch();
+    if (st != Errno::ok) co_return st;
+  }
+  co_return co_await remove_entry(*parent, comps->back());
+}
+
+sim::CoTask<Errno> DfsMount::rmdir(const std::string& path) {
+  auto comps = split(path);
+  if (!comps.ok()) co_return comps.error();
+  if (comps->empty()) co_return Errno::busy;  // cannot remove root
+  auto parent = co_await resolve_parent(*comps);
+  if (!parent.ok()) co_return parent.error();
+  auto e = co_await lookup(*parent, comps->back());
+  if (!e.ok()) co_return e.error();
+  if (e->type != FileType::directory) co_return Errno::not_dir;
+  KvObject obj(client_, cont_, e->oid);
+  auto keys = co_await obj.list_dkeys();
+  if (!keys.ok()) co_return keys.error();
+  if (!keys->empty()) co_return Errno::not_empty;
+  const Errno st = co_await obj.punch();
+  if (st != Errno::ok) co_return st;
+  co_return co_await remove_entry(*parent, comps->back());
+}
+
+sim::CoTask<Errno> DfsMount::rename(const std::string& from, const std::string& to) {
+  auto fc = split(from);
+  if (!fc.ok()) co_return fc.error();
+  auto tc = split(to);
+  if (!tc.ok()) co_return tc.error();
+  if (fc->empty() || tc->empty()) co_return Errno::invalid;
+  auto fparent = co_await resolve_parent(*fc);
+  if (!fparent.ok()) co_return fparent.error();
+  auto e = co_await lookup(*fparent, fc->back());
+  if (!e.ok()) co_return e.error();
+  auto tparent = co_await resolve_parent(*tc);
+  if (!tparent.ok()) co_return tparent.error();
+  auto dst = co_await lookup(*tparent, tc->back());
+  if (dst.ok() && dst->type == FileType::directory) co_return Errno::is_dir;
+  if (!dst.ok() && dst.error() != Errno::no_entry) co_return dst.error();
+  const Errno ins = co_await insert_entry(*tparent, tc->back(), *e);
+  if (ins != Errno::ok) co_return ins;
+  co_return co_await remove_entry(*fparent, fc->back());
+}
+
+sim::CoTask<Errno> DfsMount::symlink(const std::string& target, const std::string& linkpath) {
+  auto comps = split(linkpath);
+  if (!comps.ok()) co_return comps.error();
+  if (comps->empty()) co_return Errno::exists;
+  auto parent = co_await resolve_parent(*comps);
+  if (!parent.ok()) co_return parent.error();
+  auto existing = co_await lookup(*parent, comps->back());
+  if (existing.ok()) co_return Errno::exists;
+  if (existing.error() != Errno::no_entry) co_return existing.error();
+  Dirent e{vos::ObjId{}, FileType::symlink, 0, 0, target};
+  e.oid = client::make_oid(0, client::ObjClass::S1);  // no backing object
+  co_return co_await insert_entry(*parent, comps->back(), e, /*excl=*/true);
+}
+
+sim::CoTask<Result<std::string>> DfsMount::readlink(const std::string& path) {
+  auto comps = split(path);
+  if (!comps.ok()) co_return comps.error();
+  if (comps->empty()) co_return Errno::invalid;
+  auto parent = co_await resolve_parent(*comps);
+  if (!parent.ok()) co_return parent.error();
+  auto e = co_await lookup(*parent, comps->back());
+  if (!e.ok()) co_return e.error();
+  if (e->type != FileType::symlink) co_return Errno::invalid;
+  co_return e->symlink_target;
+}
+
+sim::CoTask<Errno> DfsMount::truncate(const std::string& path) {
+  auto comps = split(path);
+  if (!comps.ok()) co_return comps.error();
+  if (comps->empty()) co_return Errno::is_dir;
+  auto parent = co_await resolve_parent(*comps);
+  if (!parent.ok()) co_return parent.error();
+  auto e = co_await lookup(*parent, comps->back());
+  if (!e.ok()) co_return e.error();
+  if (e->type != FileType::regular) co_return Errno::is_dir;
+  ArrayObject arr(client_, cont_, e->oid, e->chunk_size ? e->chunk_size : props_.chunk_size);
+  co_return co_await arr.punch();
+}
+
+// ---------------------------------------------------------------------------
+// File
+
+sim::CoTask<Errno> File::write(std::uint64_t offset, std::uint64_t length,
+                               std::span<const std::byte> data) {
+  return array_->write(offset, length, data);
+}
+sim::CoTask<Result<std::uint64_t>> File::read(std::uint64_t offset, std::span<std::byte> out) {
+  return array_->read(offset, out);
+}
+sim::CoTask<Result<std::uint64_t>> File::size() { return array_->size(); }
+
+}  // namespace daosim::dfs

@@ -1,0 +1,119 @@
+// DFS — the DAOS File System (libdfs equivalent).
+//
+// A POSIX-like namespace encoded in DAOS objects, as in the paper (§II):
+// directories are KV objects mapping entry name -> serialized dirent
+// (including the entry's object ID, mode, chunk size and object class);
+// regular files are byte-array objects chunked across shards. The DFS API is
+// what IOR's "DFS backend" drives directly; DFuse (src/posix) re-exports it
+// through a POSIX mount.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "client/client.hpp"
+
+namespace daosim::dfs {
+
+enum class FileType : std::uint8_t { directory = 1, regular = 2, symlink = 3 };
+
+struct Dirent {
+  vos::ObjId oid;
+  FileType type = FileType::regular;
+  std::uint64_t chunk_size = 0;  // 0 = container default
+  std::uint8_t oclass = 0;       // client::ObjClass value; 0 = default
+  std::string symlink_target;    // symlinks only
+};
+
+struct Stat {
+  FileType type = FileType::regular;
+  std::uint64_t size = 0;
+  vos::ObjId oid;
+};
+
+/// An open regular file.
+class File {
+ public:
+  sim::CoTask<Errno> write(std::uint64_t offset, std::uint64_t length,
+                           std::span<const std::byte> data);
+  sim::CoTask<Result<std::uint64_t>> read(std::uint64_t offset, std::span<std::byte> out);
+  sim::CoTask<Result<std::uint64_t>> size();
+  vos::ObjId oid() const { return array_->oid(); }
+  std::uint64_t chunk_size() const { return array_->chunk_size(); }
+
+ private:
+  friend class DfsMount;
+  explicit File(std::unique_ptr<client::ArrayObject> array) : array_(std::move(array)) {}
+  std::unique_ptr<client::ArrayObject> array_;
+};
+
+/// Options for create/open.
+struct OpenFlags {
+  bool create = false;
+  bool excl = false;            // with create: fail if it exists
+  bool truncate = false;
+  std::uint64_t chunk_size = 0; // 0 = container default
+  std::uint8_t oclass = 0;      // 0 = container default
+};
+
+/// A mounted DFS container. All paths are absolute ("/a/b/c").
+class DfsMount {
+ public:
+  /// Mounts `cont` (creating the superblock and root directory on first
+  /// mount). The container must already exist in the pool service.
+  static sim::CoTask<Result<std::unique_ptr<DfsMount>>> mount(client::DaosClient& client,
+                                                              vos::Uuid cont);
+
+  // --- namespace operations ---
+  sim::CoTask<Errno> mkdir(const std::string& path);
+  sim::CoTask<Result<File>> open(const std::string& path, OpenFlags flags);
+  sim::CoTask<Result<Stat>> stat(const std::string& path);
+  sim::CoTask<Result<std::vector<std::string>>> readdir(const std::string& path);
+  sim::CoTask<Errno> unlink(const std::string& path);
+  sim::CoTask<Errno> rmdir(const std::string& path);
+  sim::CoTask<Errno> rename(const std::string& from, const std::string& to);
+  sim::CoTask<Errno> symlink(const std::string& target, const std::string& linkpath);
+  sim::CoTask<Result<std::string>> readlink(const std::string& path);
+  sim::CoTask<Errno> truncate(const std::string& path);  // to zero (punch)
+
+  client::DaosClient& client() { return client_; }
+  vos::Uuid container() const { return cont_; }
+  std::uint64_t default_chunk_size() const { return props_.chunk_size; }
+  client::ObjClass default_oclass() const { return default_oclass_; }
+
+ private:
+  DfsMount(client::DaosClient& client, vos::Uuid cont, pool::ContProps props);
+
+  /// Splits "/a/b/c" into components; Errno::invalid for malformed paths.
+  static Result<std::vector<std::string>> split(const std::string& path);
+  /// Resolves the directory holding the path's final component.
+  sim::CoTask<Result<Dirent>> resolve_parent(const std::vector<std::string>& comps);
+  /// Looks up one entry in directory `dir`.
+  sim::CoTask<Result<Dirent>> lookup(const Dirent& dir, const std::string& name);
+  sim::CoTask<Errno> insert_entry(const Dirent& dir, const std::string& name,
+                                  const Dirent& entry, bool excl = false);
+  sim::CoTask<Errno> remove_entry(const Dirent& dir, const std::string& name);
+  sim::CoTask<Result<vos::ObjId>> alloc_oid(client::ObjClass oclass);
+
+  static std::vector<std::byte> encode(const Dirent& e);
+  static Dirent decode(std::span<const std::byte> raw);
+
+  client::DaosClient& client_;
+  vos::Uuid cont_;
+  pool::ContProps props_;
+  client::ObjClass default_oclass_ = client::ObjClass::SX;
+  Dirent root_;
+  // OID allocation batch (DAOS clients lease ranges from the container svc).
+  std::uint64_t oid_next_ = 0;
+  std::uint64_t oid_limit_ = 0;
+};
+
+/// Directory objects use this class (entries hashed across a few shards).
+constexpr client::ObjClass kDirObjClass = client::ObjClass::S4;
+/// The akey under which a dirent value is stored.
+inline const vos::Key kEntryAkey = "entry";
+
+}  // namespace daosim::dfs

@@ -1,0 +1,211 @@
+#include "engine/engine.hpp"
+
+#include <algorithm>
+
+namespace daosim::engine {
+
+using net::Body;
+using net::Reply;
+using net::Request;
+
+Engine::Engine(net::RpcDomain& domain, net::NodeId node, media::DcpmmInterleaveSet& media,
+               EngineConfig cfg)
+    : ep_(domain, node), sched_(domain.scheduler()), media_(media), cfg_(cfg) {
+  DAOSIM_REQUIRE(cfg_.targets > 0, "engine needs at least one target");
+  // Per-target sustained rates (xstream-bound); the shared interleave-set
+  // pipe still caps the socket aggregate.
+  for (std::uint32_t i = 0; i < cfg_.targets; ++i) {
+    targets_.push_back(std::make_unique<Target>(sched_, cfg_.payload, cfg_.target_read_bw,
+                                                cfg_.target_write_bw));
+  }
+  ep_.register_handler(kOpObjUpdate, [this](Request r) { return on_update(std::move(r)); });
+  ep_.register_handler(kOpObjFetch, [this](Request r) { return on_fetch(std::move(r)); });
+  ep_.register_handler(kOpObjEnumDkeys,
+                       [this](Request r) { return on_enum_dkeys(std::move(r)); });
+  ep_.register_handler(kOpObjEnumAkeys,
+                       [this](Request r) { return on_enum_akeys(std::move(r)); });
+  ep_.register_handler(kOpObjPunch, [this](Request r) { return on_punch(std::move(r)); });
+  ep_.register_handler(kOpObjQuery, [this](Request r) { return on_query(std::move(r)); });
+}
+
+Engine::Target& Engine::target_for(std::uint32_t idx) {
+  DAOSIM_REQUIRE(idx < targets_.size(), "target index %u out of range", idx);
+  return *targets_[idx];
+}
+
+sim::Time Engine::stream_context_touch(Target& t, vos::Uuid cont, vos::ObjId oid,
+                                       bool write) {
+  const auto key = std::make_pair(cont, oid);
+  auto it = std::find(t.stream_lru.begin(), t.stream_lru.end(), key);
+  if (it != t.stream_lru.end()) {
+    t.stream_lru.erase(it);
+    t.stream_lru.push_back(key);
+    return 0;
+  }
+  ++cache_misses_;
+  t.stream_lru.push_back(key);
+  if (t.stream_lru.size() > cfg_.stream_contexts) t.stream_lru.pop_front();
+  return write ? cfg_.stream_switch_write : cfg_.stream_switch_read;
+}
+
+sim::CoTask<void> Engine::media_write(Target& t, std::uint64_t bytes) {
+  // Target slice and socket pipe are charged concurrently: the slice models
+  // the xstream's DIMM-channel share, the pipe the socket aggregate.
+  std::vector<sim::CoTask<void>> stages;
+  stages.push_back([](sim::SharedBandwidth& bw, std::uint64_t b) -> sim::CoTask<void> {
+    co_await bw.transfer(b);
+  }(t.write_slice, bytes));
+  stages.push_back(media_.write(bytes));
+  co_await sim::when_all(sched_, std::move(stages));
+}
+
+sim::CoTask<void> Engine::media_read(Target& t, std::uint64_t bytes) {
+  std::vector<sim::CoTask<void>> stages;
+  stages.push_back([](sim::SharedBandwidth& bw, std::uint64_t b) -> sim::CoTask<void> {
+    co_await bw.transfer(b);
+  }(t.read_slice, bytes));
+  stages.push_back(media_.read(bytes));
+  co_await sim::when_all(sched_, std::move(stages));
+}
+
+sim::CoTask<net::Reply> Engine::on_update(net::Request req) {
+  auto& r = req.body.get<ObjUpdateReq>();
+  Target& t = target_for(r.target);
+  ++updates_;
+
+  // A stream-context miss occupies the target's xstream (serialised): a
+  // target fed from many distinct objects loses throughput, not just latency.
+  const sim::Time sw = stream_context_touch(t, r.cont, r.oid, /*write=*/true);
+  co_await t.xstream.acquire();
+  co_await sched_.delay(cfg_.update_cpu + sw);
+  t.xstream.release();
+
+  co_await media_write(t, r.length + 64);  // record + tree-node write
+
+  auto& cont = t.vos.container(r.cont);
+  if (r.cond_insert && r.type == RecordType::single_value &&
+      cont.kv_get(r.oid, r.dkey, r.akey, vos::kEpochMax).exists) {
+    co_return Reply{Errno::exists, kObjRpcHeader, {}};
+  }
+  const vos::Epoch epoch = cont.next_epoch();
+  std::span<const std::byte> data;
+  if (r.data != nullptr) data = std::span<const std::byte>(*r.data);
+  if (r.type == RecordType::array) {
+    cont.array_write(r.oid, r.dkey, r.akey, r.offset, r.length, data, epoch);
+    if (r.array_end_hint > 0) cont.note_array_end(r.oid, r.array_end_hint);
+  } else {
+    cont.kv_put(r.oid, r.dkey, r.akey, data, epoch);
+  }
+  co_return Reply{Errno::ok, kObjRpcHeader, {}};
+}
+
+sim::CoTask<net::Reply> Engine::on_fetch(net::Request req) {
+  auto& r = req.body.get<ObjFetchReq>();
+  Target& t = target_for(r.target);
+  ++fetches_;
+
+  const sim::Time sw = stream_context_touch(t, r.cont, r.oid, /*write=*/false);
+  co_await t.xstream.acquire();
+  co_await sched_.delay(cfg_.fetch_cpu + sw);
+  t.xstream.release();
+
+  ObjFetchResp resp;
+  auto& cont = t.vos.container(r.cont);
+  std::uint64_t reply_bytes = 0;
+  if (r.type == RecordType::array) {
+    co_await media_read(t, r.length + 64);
+    if (cfg_.payload == vos::PayloadMode::store) {
+      resp.data = std::make_shared<std::vector<std::byte>>(r.length);
+      resp.filled = cont.array_read(r.oid, r.dkey, r.akey, r.offset, *resp.data, r.epoch);
+    } else {
+      // Discard mode: report fill from extent metadata only.
+      const std::uint64_t sz = cont.array_size(r.oid, r.dkey, r.akey, r.epoch);
+      resp.filled = sz > r.offset ? std::min(r.length, sz - r.offset) : 0;
+    }
+    resp.exists = resp.filled > 0;
+    reply_bytes = r.length;
+  } else {
+    auto view = cont.kv_get(r.oid, r.dkey, r.akey, r.epoch);
+    co_await media_read(t, view.size + 64);
+    resp.exists = view.exists;
+    if (view.exists) {
+      resp.data = std::make_shared<std::vector<std::byte>>(view.data.begin(), view.data.end());
+      resp.filled = view.size;
+    }
+    reply_bytes = view.size;
+  }
+  co_return Reply{Errno::ok, kObjRpcHeader + reply_bytes, Body::make(std::move(resp))};
+}
+
+sim::CoTask<net::Reply> Engine::on_enum_dkeys(net::Request req) {
+  auto& r = req.body.get<ObjEnumReq>();
+  Target& t = target_for(r.target);
+
+  co_await t.xstream.acquire();
+  co_await sched_.delay(cfg_.enum_cpu);
+  t.xstream.release();
+
+  ObjEnumResp resp;
+  resp.keys = t.vos.container(r.cont).list_dkeys(r.oid, r.epoch);
+  std::uint64_t bytes = kObjRpcHeader;
+  for (const auto& k : resp.keys) bytes += k.size() + 8;
+  co_await media_read(t, bytes);
+  co_return Reply{Errno::ok, bytes, Body::make(std::move(resp))};
+}
+
+sim::CoTask<net::Reply> Engine::on_enum_akeys(net::Request req) {
+  auto& r = req.body.get<ObjEnumReq>();
+  Target& t = target_for(r.target);
+
+  co_await t.xstream.acquire();
+  co_await sched_.delay(cfg_.enum_cpu);
+  t.xstream.release();
+
+  ObjEnumResp resp;
+  resp.keys = t.vos.container(r.cont).list_akeys(r.oid, r.dkey, r.epoch);
+  std::uint64_t bytes = kObjRpcHeader;
+  for (const auto& k : resp.keys) bytes += k.size() + 8;
+  co_await media_read(t, bytes);
+  co_return Reply{Errno::ok, bytes, Body::make(std::move(resp))};
+}
+
+sim::CoTask<net::Reply> Engine::on_punch(net::Request req) {
+  auto& r = req.body.get<ObjPunchReq>();
+  Target& t = target_for(r.target);
+
+  co_await t.xstream.acquire();
+  co_await sched_.delay(cfg_.punch_cpu);
+  t.xstream.release();
+  co_await media_write(t, 64);
+
+  auto& cont = t.vos.container(r.cont);
+  const vos::Epoch epoch = cont.next_epoch();
+  switch (r.scope) {
+    case PunchScope::object: cont.punch_object(r.oid, epoch); break;
+    case PunchScope::dkey: cont.punch_dkey(r.oid, r.dkey, epoch); break;
+    case PunchScope::akey: cont.punch_akey(r.oid, r.dkey, r.akey, epoch); break;
+  }
+  co_return Reply{Errno::ok, kObjRpcHeader, {}};
+}
+
+sim::CoTask<net::Reply> Engine::on_query(net::Request req) {
+  auto& r = req.body.get<ObjQueryReq>();
+  Target& t = target_for(r.target);
+
+  co_await t.xstream.acquire();
+  co_await sched_.delay(cfg_.fetch_cpu);
+  t.xstream.release();
+  co_await media_read(t, 64);
+
+  ObjQueryResp resp;
+  auto& cont = t.vos.container(r.cont);
+  switch (r.kind) {
+    case QueryKind::array_end_hint: resp.value = cont.array_end_hint(r.oid); break;
+    case QueryKind::dkey_array_size:
+      resp.value = cont.array_size(r.oid, r.dkey, r.akey, r.epoch);
+      break;
+  }
+  co_return Reply{Errno::ok, kObjRpcHeader, Body::make(resp)};
+}
+
+}  // namespace daosim::engine

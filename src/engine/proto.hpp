@@ -1,0 +1,118 @@
+// Wire protocol between the DAOS client library and engines: object I/O
+// requests/replies and the pool-service client opcode. Bodies travel in
+// net::Body (zero-copy), with wire sizes modelled explicitly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "vos/types.hpp"
+
+namespace daosim::engine {
+
+// Object I/O opcodes (0x20 block; Raft uses 0x10, pool service 0x30).
+constexpr std::uint16_t kOpObjUpdate = 0x20;
+constexpr std::uint16_t kOpObjFetch = 0x21;
+constexpr std::uint16_t kOpObjEnumDkeys = 0x22;
+constexpr std::uint16_t kOpObjEnumAkeys = 0x23;
+constexpr std::uint16_t kOpObjPunch = 0x24;
+constexpr std::uint16_t kOpObjQuery = 0x25;
+constexpr std::uint16_t kOpPoolSvc = 0x30;
+
+/// Fixed per-message protocol overhead added to payload sizes.
+constexpr std::uint64_t kObjRpcHeader = 256;
+
+using Payload = std::shared_ptr<std::vector<std::byte>>;
+
+enum class RecordType : std::uint8_t { array, single_value };
+
+struct ObjUpdateReq {
+  vos::Uuid cont;
+  vos::ObjId oid;
+  std::uint32_t target = 0;  // target index within the engine
+  vos::Key dkey;
+  vos::Key akey;
+  RecordType type = RecordType::array;
+  std::uint64_t offset = 0;  // array only
+  std::uint64_t length = 0;  // logical bytes (payload may be null in discard mode)
+  Payload data;              // null => metadata-only accounting
+  std::uint64_t array_end_hint = 0;  // global array high-water mark (0 = none)
+  /// Conditional dkey insert (DAOS_COND_DKEY_INSERT): fail with
+  /// Errno::exists if the dkey already holds a visible record. Serialises
+  /// concurrent create() races on directory entries.
+  bool cond_insert = false;
+};
+
+struct ObjFetchReq {
+  vos::Uuid cont;
+  vos::ObjId oid;
+  std::uint32_t target = 0;
+  vos::Key dkey;
+  vos::Key akey;
+  RecordType type = RecordType::array;
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+  vos::Epoch epoch = vos::kEpochMax;
+};
+
+struct ObjFetchResp {
+  bool exists = false;       // single-value: record present
+  std::uint64_t filled = 0;  // array: bytes overlapping written data
+  Payload data;              // null in discard mode
+};
+
+struct ObjEnumReq {
+  vos::Uuid cont;
+  vos::ObjId oid;
+  std::uint32_t target = 0;
+  vos::Key dkey;  // for akey enumeration
+  vos::Epoch epoch = vos::kEpochMax;
+};
+
+struct ObjEnumResp {
+  std::vector<vos::Key> keys;
+};
+
+enum class PunchScope : std::uint8_t { object, dkey, akey };
+
+struct ObjPunchReq {
+  vos::Uuid cont;
+  vos::ObjId oid;
+  std::uint32_t target = 0;
+  PunchScope scope = PunchScope::object;
+  vos::Key dkey;
+  vos::Key akey;
+};
+
+enum class QueryKind : std::uint8_t { array_end_hint, dkey_array_size };
+
+struct ObjQueryReq {
+  vos::Uuid cont;
+  vos::ObjId oid;
+  std::uint32_t target = 0;
+  QueryKind kind = QueryKind::array_end_hint;
+  vos::Key dkey;
+  vos::Key akey;
+  vos::Epoch epoch = vos::kEpochMax;
+};
+
+struct ObjQueryResp {
+  std::uint64_t value = 0;
+};
+
+/// Pool service client command: an opaque state-machine command string
+/// submitted to the Raft leader co-located with the engine.
+struct PoolSvcReq {
+  std::string command;
+};
+
+struct PoolSvcResp {
+  std::string response;                      // state machine output
+  std::optional<net::NodeId> leader_hint{};  // when redirected
+};
+
+}  // namespace daosim::engine

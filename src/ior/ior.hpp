@@ -1,0 +1,103 @@
+// IOR reimplementation (the paper's benchmark, §III).
+//
+// Supports the paper's modes and backends:
+//   * easy  = file-per-process, hard = single shared file;
+//   * backends: POSIX (DFuse mount), DFS (libdfs — the "DAOS" lines in the
+//     figures), MPIIO (over DFuse), HDF5 (H5Lite over DFuse), and the native
+//     DAOS array API (the paper's §V future-work backend);
+//   * per-rank block split into transfer-size operations, write phase then
+//     read phase (optionally rank-shifted, IOR -C), bandwidth computed from
+//     barrier-to-barrier virtual time, optional data verification.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/units.hpp"
+#include "cluster/testbed.hpp"
+#include "dfs/dfs.hpp"
+#include "h5/h5lite.hpp"
+#include "mpi/mpi.hpp"
+#include "mpiio/mpiio.hpp"
+#include "posix/dfuse.hpp"
+
+namespace daosim::ior {
+
+enum class Api { posix, dfs, mpiio, hdf5, daos_array };
+
+const char* to_string(Api api);
+
+struct IorConfig {
+  Api api = Api::dfs;
+  std::uint64_t transfer_size = 8 * kMiB;
+  std::uint64_t block_size = 64 * kMiB;  // per rank per segment
+  std::uint32_t segments = 1;
+  bool file_per_process = true;  // easy; false = hard (shared file)
+  bool collective = false;       // MPIIO collective buffering (-c)
+  bool reorder_tasks = true;     // IOR -C: read a neighbour's data
+  bool verify = false;           // compare read data (payload mode store only)
+  std::uint8_t oclass = std::uint8_t(client::ObjClass::SX);
+  std::string test_dir = "/ior";
+  bool do_write = true;
+  bool do_read = true;
+};
+
+struct PhaseResult {
+  double seconds = 0;
+  std::uint64_t bytes = 0;
+  double gib_per_sec() const { return seconds > 0 ? double(bytes) / double(kGiB) / seconds : 0; }
+};
+
+struct IorResult {
+  PhaseResult write;
+  PhaseResult read;
+  std::uint64_t verify_errors = 0;
+  std::uint64_t read_fill_errors = 0;  // short reads
+};
+
+/// Drives IOR jobs on a testbed. One runner per testbed; per-client-node DFS
+/// and DFuse mounts are created lazily and reused across runs.
+class IorRunner {
+ public:
+  /// @param chunk_size  DFS container chunk size (DAOS default 1 MiB)
+  /// @param dfuse       DFuse mount tuning (ablation A2)
+  IorRunner(cluster::Testbed& tb, std::uint32_t ppn, std::uint64_t chunk_size = 1 * kMiB,
+            posix::DfuseConfig dfuse = {});
+
+  /// Runs one IOR job (write+read) and returns aggregate bandwidths.
+  IorResult run(const IorConfig& cfg);
+
+  std::uint32_t ppn() const { return ppn_; }
+  std::uint32_t ranks() const { return ppn_ * tb_.client_node_count(); }
+
+ private:
+  struct NodeCtx {
+    std::unique_ptr<dfs::DfsMount> dfs;
+    std::unique_ptr<posix::DfuseMount> dfuse;
+  };
+  struct JobState;  // per-run shared state (see ior.cpp)
+
+  sim::CoTask<void> setup();
+  sim::CoTask<void> job_main(const IorConfig* cfg, IorResult* result);
+  sim::CoTask<void> rank_body(mpi::Comm comm, const IorConfig* cfg,
+                              std::shared_ptr<JobState> st);
+
+  cluster::Testbed& tb_;
+  std::uint32_t ppn_;
+  std::uint64_t chunk_size_;
+  posix::DfuseConfig dfuse_cfg_;
+  bool setup_done_ = false;
+  std::vector<NodeCtx> nodes_;
+  std::unique_ptr<mpi::MpiWorld> world_;
+  std::uint64_t job_seq_ = 0;
+};
+
+/// Deterministic data pattern IOR stamps into write buffers: 8-byte words
+/// derived from the absolute file offset and a file seed.
+void fill_pattern(std::span<std::byte> buf, std::uint64_t file_offset, std::uint64_t seed);
+/// Returns the number of mismatching bytes.
+std::uint64_t check_pattern(std::span<const std::byte> buf, std::uint64_t file_offset,
+                            std::uint64_t seed);
+
+}  // namespace daosim::ior

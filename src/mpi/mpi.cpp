@@ -1,0 +1,123 @@
+#include "mpi/mpi.hpp"
+
+#include <algorithm>
+
+#include "sim/time.hpp"
+
+namespace daosim::mpi {
+
+MpiWorld::MpiWorld(sim::Scheduler& sched, net::Fabric& fabric,
+                   std::vector<net::NodeId> rank_nodes)
+    : sched_(sched), fabric_(fabric), rank_nodes_(std::move(rank_nodes)) {
+  DAOSIM_REQUIRE(!rank_nodes_.empty(), "empty MPI job");
+}
+
+int Comm::size() const { return world_->size(); }
+
+double Comm::wtime() const { return sim::to_seconds(world_->sched_.now()); }
+
+sim::Channel<MpiWorld::Msg>& MpiWorld::mailbox(int src, int dst) {
+  const std::uint64_t key = (std::uint64_t(std::uint32_t(src)) << 32) | std::uint32_t(dst);
+  auto it = mailboxes_.find(key);
+  if (it == mailboxes_.end()) {
+    it = mailboxes_.emplace(key, std::make_unique<sim::Channel<Msg>>(sched_)).first;
+  }
+  return *it->second;
+}
+
+sim::CoTask<void> MpiWorld::transfer(int src, int dst, std::uint64_t bytes) {
+  return fabric_.transfer(node_of(src), node_of(dst), bytes);
+}
+
+sim::CoTask<void> MpiWorld::send_msg(int src, int dst, std::uint64_t bytes, double value) {
+  co_await transfer(src, dst, bytes);
+  mailbox(src, dst).push(Msg{value});
+}
+
+sim::CoTask<double> MpiWorld::recv_msg(int src, int dst) {
+  Msg m = co_await mailbox(src, dst).pop();
+  co_return m.value;
+}
+
+double MpiWorld::combine(double a, double b, ReduceOp op) {
+  switch (op) {
+    case ReduceOp::min: return std::min(a, b);
+    case ReduceOp::max: return std::max(a, b);
+    case ReduceOp::sum: return a + b;
+  }
+  return a;
+}
+
+sim::CoTask<void> Comm::send(int dst, std::uint64_t bytes, double value) {
+  return world_->send_msg(rank_, dst, bytes, value);
+}
+
+sim::CoTask<double> Comm::recv(int src) { return world_->recv_msg(src, rank_); }
+
+sim::CoTask<double> Comm::allreduce(double value, ReduceOp op) {
+  MpiWorld& w = *world_;
+  const int p = w.size();
+  const int me = rank_;
+  double acc = value;
+  // Binomial-tree reduce to rank 0 ...
+  for (int mask = 1; mask < p; mask <<= 1) {
+    if ((me & mask) != 0) {
+      co_await w.send_msg(me, me - mask, kCollectiveMsgBytes, acc);
+      break;
+    }
+    if (me + mask < p) {
+      const double got = co_await w.recv_msg(me + mask, me);
+      acc = MpiWorld::combine(acc, got, op);
+    }
+  }
+  // ... then binomial-tree broadcast of the result.
+  int highest = 1;
+  while (highest < p) highest <<= 1;
+  for (int mask = highest >> 1; mask >= 1; mask >>= 1) {
+    if ((me & (mask - 1)) != 0) continue;
+    if ((me & mask) != 0) {
+      acc = co_await w.recv_msg(me - mask, me);
+    } else if (me + mask < p) {
+      co_await w.send_msg(me, me + mask, kCollectiveMsgBytes, acc);
+    }
+  }
+  co_return acc;
+}
+
+sim::CoTask<void> Comm::barrier() {
+  (void)co_await allreduce(0.0, ReduceOp::max);
+}
+
+sim::CoTask<void> Comm::bcast_bytes(std::uint64_t bytes, int root) {
+  MpiWorld& w = *world_;
+  const int p = w.size();
+  // Rotate so the tree is rooted at `root`.
+  const int vme = (rank_ - root + p) % p;
+  int highest = 1;
+  while (highest < p) highest <<= 1;
+  for (int mask = highest >> 1; mask >= 1; mask >>= 1) {
+    if ((vme & (mask - 1)) != 0) continue;
+    if ((vme & mask) != 0) {
+      (void)co_await w.recv_msg((vme - mask + root) % p, rank_);
+    } else if (vme + mask < p) {
+      co_await w.send_msg(rank_, (vme + mask + root) % p, kCollectiveMsgBytes + bytes, 0.0);
+    }
+  }
+}
+
+
+sim::CoTask<void> MpiWorld::run_spmd(std::function<sim::CoTask<void>(Comm)> body) {
+  auto shared = std::make_shared<std::function<sim::CoTask<void>(Comm)>>(std::move(body));
+  sim::WaitGroup wg(sched_);
+  for (int r = 0; r < size(); ++r) {
+    wg.spawn(rank_main(shared, r));
+  }
+  co_await wg.wait();
+}
+
+sim::CoTask<void> MpiWorld::rank_main(
+    std::shared_ptr<std::function<sim::CoTask<void>(Comm)>> body, int rank) {
+  co_await (*body)(Comm(this, rank));
+}
+
+}  // namespace daosim::mpi

@@ -1,0 +1,90 @@
+// Simulated MPI runtime: SPMD ranks are coroutines pinned to client nodes;
+// point-to-point messages and collectives move real bytes over the simulated
+// fabric (loopback for ranks sharing a node). Provides the subset IOR and
+// the MPI-IO layer need: barrier, reduce/allreduce, bcast, send/recv, wtime.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/error.hpp"
+#include "net/fabric.hpp"
+#include "sim/sync.hpp"
+
+namespace daosim::mpi {
+
+enum class ReduceOp { min, max, sum };
+
+class MpiWorld;
+
+/// Per-rank communicator handle (MPI_COMM_WORLD).
+class Comm {
+ public:
+  Comm() = default;
+  Comm(MpiWorld* world, int rank) : world_(world), rank_(rank) {}
+
+  int rank() const { return rank_; }
+  int size() const;
+  double wtime() const;  // virtual seconds
+
+  sim::CoTask<void> barrier();
+  sim::CoTask<double> allreduce(double value, ReduceOp op);
+  /// Broadcast charges tree-communication time; in-process data is shared.
+  sim::CoTask<void> bcast_bytes(std::uint64_t bytes, int root);
+  sim::CoTask<void> send(int dst, std::uint64_t bytes, double value = 0.0);
+  sim::CoTask<double> recv(int src);
+
+ private:
+  MpiWorld* world_ = nullptr;
+  int rank_ = 0;
+};
+
+/// The job: ranks mapped onto client fabric nodes (ppn ranks per node).
+class MpiWorld {
+ public:
+  MpiWorld(sim::Scheduler& sched, net::Fabric& fabric, std::vector<net::NodeId> rank_nodes);
+
+  int size() const { return int(rank_nodes_.size()); }
+  Comm comm(int rank) { return Comm(this, rank); }
+  sim::Scheduler& scheduler() { return sched_; }
+  net::NodeId node_of(int rank) const { return rank_nodes_[std::size_t(rank)]; }
+
+  /// Runs `body(comm)` on every rank and completes when all ranks return.
+  sim::CoTask<void> run_spmd(std::function<sim::CoTask<void>(Comm)> body);
+
+  /// Charges a bulk data movement between two ranks' nodes (used by the
+  /// MPI-IO two-phase shuffle, where data is exchanged outside mailboxes).
+  sim::CoTask<void> charge_transfer(int src_rank, int dst_rank, std::uint64_t bytes) {
+    return transfer(src_rank, dst_rank, bytes);
+  }
+
+ private:
+  friend class Comm;
+
+  struct Msg {
+    double value;
+  };
+
+  sim::Channel<Msg>& mailbox(int src, int dst);
+  sim::CoTask<void> transfer(int src, int dst, std::uint64_t bytes);
+  sim::CoTask<void> send_msg(int src, int dst, std::uint64_t bytes, double value);
+  sim::CoTask<double> recv_msg(int src, int dst);
+
+  sim::CoTask<void> rank_main(std::shared_ptr<std::function<sim::CoTask<void>(Comm)>> body,
+                              int rank);
+
+  static double combine(double a, double b, ReduceOp op);
+
+  sim::Scheduler& sched_;
+  net::Fabric& fabric_;
+  std::vector<net::NodeId> rank_nodes_;
+  std::map<std::uint64_t, std::unique_ptr<sim::Channel<Msg>>> mailboxes_;
+};
+
+/// Control-message size for collectives (header + one double).
+constexpr std::uint64_t kCollectiveMsgBytes = 72;
+
+}  // namespace daosim::mpi

@@ -1,0 +1,63 @@
+#include "net/fabric.hpp"
+
+#include "common/error.hpp"
+
+namespace daosim::net {
+
+namespace {
+sim::CoTask<void> stage(sim::SharedBandwidth& bw, std::uint64_t bytes) {
+  co_await bw.transfer(bytes);
+}
+}  // namespace
+
+Fabric::Fabric(sim::Scheduler& sched, FabricConfig cfg) : sched_(sched), cfg_(cfg) {
+  DAOSIM_REQUIRE(cfg_.rail_bytes_per_sec > 0 && cfg_.rails_per_node > 0, "bad fabric config");
+}
+
+NodeId Fabric::add_node(std::uint32_t rails) {
+  if (rails == 0) rails = cfg_.rails_per_node;
+  const double nic_rate = cfg_.rail_bytes_per_sec * rails;
+  Node n;
+  n.egress = std::make_unique<sim::SharedBandwidth>(sched_, nic_rate);
+  n.ingress = std::make_unique<sim::SharedBandwidth>(sched_, nic_rate);
+  nodes_.push_back(std::move(n));
+  switch_.reset();  // re-size the core switch for the new node count
+  return NodeId(nodes_.size() - 1);
+}
+
+void Fabric::ensure_switch() {
+  if (switch_) return;
+  double rate = cfg_.switch_bytes_per_sec;
+  if (rate <= 0.0) {
+    // Non-blocking: capacity equal to the sum of all NIC rates.
+    rate = cfg_.rail_bytes_per_sec * cfg_.rails_per_node * double(std::max<std::size_t>(nodes_.size(), 1));
+  }
+  switch_ = std::make_unique<sim::SharedBandwidth>(sched_, rate);
+}
+
+sim::CoTask<void> Fabric::transfer(NodeId src, NodeId dst, std::uint64_t bytes) {
+  DAOSIM_REQUIRE(src < nodes_.size() && dst < nodes_.size(), "unknown fabric node");
+  ++messages_;
+  const std::uint64_t wire = bytes + cfg_.message_header_bytes;
+  nodes_[src].bytes_sent += wire;
+  if (src == dst) {  // loopback: shared-memory copy, no NIC involvement
+    co_await sched_.delay(cfg_.latency / 2);
+    co_return;
+  }
+  ensure_switch();
+  co_await sched_.delay(cfg_.latency);
+  // Cut-through: the transfer completes when the last byte has cleared the
+  // slowest of the three shared stages; we serve them concurrently.
+  std::vector<sim::CoTask<void>> stages;
+  stages.push_back(stage(*nodes_[src].egress, wire));
+  stages.push_back(stage(*switch_, wire));
+  stages.push_back(stage(*nodes_[dst].ingress, wire));
+  co_await sim::when_all(sched_, std::move(stages));
+}
+
+std::uint64_t Fabric::bytes_sent(NodeId n) const {
+  DAOSIM_REQUIRE(n < nodes_.size(), "unknown fabric node");
+  return nodes_[n].bytes_sent;
+}
+
+}  // namespace daosim::net

@@ -1,0 +1,71 @@
+// Simulated high-performance fabric (the OFI layer under DAOS).
+//
+// Each node has a full-duplex NIC (per-direction SharedBandwidth sized as
+// rails × per-rail rate, matching NEXTGenIO's dual-rail Omni-Path). Transfers
+// pay a fixed propagation/software latency plus fair-shared bandwidth at the
+// sender egress, a core-switch aggregate pipe, and the receiver ingress
+// concurrently (cut-through approximation).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/bandwidth.hpp"
+#include "sim/co_task.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/sync.hpp"
+#include "sim/time.hpp"
+
+namespace daosim::net {
+
+using NodeId = std::uint32_t;
+
+struct FabricConfig {
+  double rail_bytes_per_sec = 12.5e9;  // one 100 Gb/s rail
+  std::uint32_t rails_per_node = 2;    // NEXTGenIO: dual-rail Omni-Path
+  sim::Time latency = 3 * sim::kUs;    // per-message software + wire latency
+  /// Aggregate core-switch capacity; 0 = non-blocking (sized on demand).
+  double switch_bytes_per_sec = 0.0;
+  std::uint64_t message_header_bytes = 128;
+};
+
+class Fabric {
+ public:
+  Fabric(sim::Scheduler& sched, FabricConfig cfg = {});
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  /// Registers a new node; returns its id (dense, starting at 0).
+  /// `rails` overrides the per-node rail count (0 = config default) — DAOS
+  /// engines bind one rail per socket while client nodes use both.
+  NodeId add_node(std::uint32_t rails = 0);
+
+  std::size_t node_count() const { return nodes_.size(); }
+  const FabricConfig& config() const { return cfg_; }
+  sim::Scheduler& scheduler() { return sched_; }
+
+  /// Moves `bytes` (plus the message header) from `src` to `dst`, completing
+  /// when the last byte lands. Loopback messages pay latency only.
+  sim::CoTask<void> transfer(NodeId src, NodeId dst, std::uint64_t bytes);
+
+  std::uint64_t bytes_sent(NodeId n) const;
+  std::uint64_t messages_sent() const { return messages_; }
+
+ private:
+  struct Node {
+    std::unique_ptr<sim::SharedBandwidth> egress;
+    std::unique_ptr<sim::SharedBandwidth> ingress;
+    std::uint64_t bytes_sent = 0;
+  };
+
+  void ensure_switch();
+
+  sim::Scheduler& sched_;
+  FabricConfig cfg_;
+  std::vector<Node> nodes_;
+  std::unique_ptr<sim::SharedBandwidth> switch_;
+  std::uint64_t messages_ = 0;
+};
+
+}  // namespace daosim::net

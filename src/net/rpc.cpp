@@ -1,0 +1,42 @@
+#include "net/rpc.hpp"
+
+namespace daosim::net {
+
+RpcEndpoint::RpcEndpoint(RpcDomain& domain, NodeId node) : domain_(domain), node_(node) {
+  auto [it, inserted] = domain_.endpoints_.emplace(node, this);
+  (void)it;
+  DAOSIM_REQUIRE(inserted, "duplicate RPC endpoint for node %u", node);
+}
+
+RpcEndpoint::~RpcEndpoint() { domain_.endpoints_.erase(node_); }
+
+void RpcEndpoint::register_handler(std::uint16_t opcode, Handler h) {
+  handlers_[opcode] = std::move(h);
+}
+
+sim::CoTask<Reply> RpcEndpoint::call(NodeId dst, std::uint16_t opcode, Body body,
+                                     std::uint64_t request_bytes) {
+  ++calls_;
+  auto& fabric = domain_.fabric_;
+  co_await fabric.transfer(node_, dst, request_bytes);
+
+  auto it = domain_.endpoints_.find(dst);
+  if (it == domain_.endpoints_.end() || it->second->down_ || down_) {
+    // Destination unreachable (crashed node / partition): model a timeout.
+    co_await fabric.scheduler().delay(kRpcTimeout);
+    co_return Reply{Errno::timed_out, 0, {}};
+  }
+  RpcEndpoint& server = *it->second;
+  auto hit = server.handlers_.find(opcode);
+  if (hit == server.handlers_.end()) {
+    co_return Reply{Errno::not_supported, 0, {}};
+  }
+  ++server.served_;
+  Request req{node_, request_bytes, std::move(body)};
+  Reply reply = co_await hit->second(std::move(req));
+
+  co_await fabric.transfer(dst, node_, reply.wire_bytes);
+  co_return reply;
+}
+
+}  // namespace daosim::net

@@ -1,0 +1,115 @@
+// Minimal typed RPC layer over the simulated fabric (the Mercury/CART
+// equivalent in DAOS). A call moves the request body across the fabric,
+// runs the registered coroutine handler on the destination node (handlers
+// charge their own CPU/media time), then moves the reply back.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "net/fabric.hpp"
+#include "sim/co_task.hpp"
+
+namespace daosim::net {
+
+/// Type-erased message body. Bodies are shared_ptr-held so zero-copy
+/// "serialization" is safe while the wire size still drives timing.
+class Body {
+ public:
+  Body() = default;
+  template <typename T>
+  static Body make(T value) {
+    Body b;
+    b.ptr_ = std::make_shared<T>(std::move(value));
+    return b;
+  }
+  template <typename T>
+  const T& get() const {
+    DAOSIM_REQUIRE(ptr_, "empty RPC body");
+    return *std::static_pointer_cast<const T>(ptr_);
+  }
+  template <typename T>
+  T& get() {
+    DAOSIM_REQUIRE(ptr_, "empty RPC body");
+    return *std::static_pointer_cast<T>(ptr_);
+  }
+  bool has_value() const { return ptr_ != nullptr; }
+
+ private:
+  std::shared_ptr<void> ptr_;
+};
+
+struct Reply {
+  Errno status = Errno::ok;
+  std::uint64_t wire_bytes = 0;  // reply payload size for timing
+  Body body;
+};
+
+struct Request {
+  NodeId source = 0;
+  std::uint64_t wire_bytes = 0;  // request payload size for timing
+  Body body;
+};
+
+using Handler = std::function<sim::CoTask<Reply>(Request)>;
+
+class RpcEndpoint;
+
+/// One RPC address space per fabric: resolves NodeId -> endpoint.
+class RpcDomain {
+ public:
+  explicit RpcDomain(Fabric& fabric) : fabric_(fabric) {}
+  RpcDomain(const RpcDomain&) = delete;
+  RpcDomain& operator=(const RpcDomain&) = delete;
+
+  Fabric& fabric() { return fabric_; }
+  sim::Scheduler& scheduler() { return fabric_.scheduler(); }
+
+ private:
+  friend class RpcEndpoint;
+  Fabric& fabric_;
+  std::unordered_map<NodeId, RpcEndpoint*> endpoints_;
+};
+
+/// Per-node RPC endpoint: registers handlers, issues calls.
+class RpcEndpoint {
+ public:
+  RpcEndpoint(RpcDomain& domain, NodeId node);
+  ~RpcEndpoint();
+  RpcEndpoint(const RpcEndpoint&) = delete;
+  RpcEndpoint& operator=(const RpcEndpoint&) = delete;
+
+  NodeId node() const { return node_; }
+  RpcDomain& domain() { return domain_; }
+
+  void register_handler(std::uint16_t opcode, Handler h);
+
+  /// Issues an RPC to `dst` and awaits the reply. Calls to nodes without an
+  /// endpoint or handler fail with Errno::no_entry / Errno::not_supported.
+  sim::CoTask<Reply> call(NodeId dst, std::uint16_t opcode, Body body,
+                          std::uint64_t request_bytes);
+
+  /// Marks this endpoint unreachable (for failure injection); calls to it
+  /// time out with Errno::timed_out after `timeout`.
+  void set_down(bool down) { down_ = down; }
+  bool is_down() const { return down_; }
+
+  std::uint64_t calls_made() const { return calls_; }
+  std::uint64_t calls_served() const { return served_; }
+
+ private:
+  RpcDomain& domain_;
+  NodeId node_;
+  bool down_ = false;
+  std::unordered_map<std::uint16_t, Handler> handlers_;
+  std::uint64_t calls_ = 0;
+  std::uint64_t served_ = 0;
+};
+
+/// Timeout used when calling an unreachable node.
+constexpr sim::Time kRpcTimeout = 100 * sim::kMs;
+
+}  // namespace daosim::net

@@ -1,0 +1,34 @@
+// The pool map: the authoritative list of storage targets a pool spans.
+// Clients receive it at connect time and place objects algorithmically
+// against it (no per-I/O metadata lookups — the core DAOS scaling idea).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "vos/types.hpp"
+
+namespace daosim::pool {
+
+struct TargetRef {
+  net::NodeId engine = 0;      // fabric node of the owning engine
+  std::uint32_t target = 0;    // target index within that engine
+  bool up = true;
+};
+
+struct PoolMap {
+  vos::Uuid pool;
+  std::uint32_t version = 1;
+  std::vector<TargetRef> targets;
+
+  std::uint32_t target_count() const { return std::uint32_t(targets.size()); }
+};
+
+/// Container properties fixed at create time.
+struct ContProps {
+  std::uint64_t chunk_size = 1 << 20;  // DFS/array chunking (DAOS default 1 MiB)
+  std::uint8_t oclass = 0;             // default object class (client enum value)
+};
+
+}  // namespace daosim::pool

@@ -1,0 +1,112 @@
+#include "pool/pool_service.hpp"
+
+#include <sstream>
+
+#include "engine/proto.hpp"
+
+namespace daosim::pool {
+
+using net::Body;
+using net::Reply;
+using net::Request;
+
+std::string PoolMetaSm::apply(const std::string& command) {
+  std::istringstream is(command);
+  std::string op;
+  is >> op;
+  if (op == "cont_create") {
+    vos::Uuid u;
+    ContMeta meta;
+    std::uint64_t chunk = 0;
+    unsigned oclass = 0;
+    is >> u.hi >> u.lo >> chunk >> oclass;
+    meta.props.chunk_size = chunk;
+    meta.props.oclass = std::uint8_t(oclass);
+    if (containers_.contains(u)) return "EEXIST";
+    containers_.emplace(u, meta);
+    return "ok";
+  }
+  if (op == "cont_open") {
+    vos::Uuid u;
+    is >> u.hi >> u.lo;
+    auto it = containers_.find(u);
+    if (it == containers_.end()) return "ENOENT";
+    return strfmt("ok %llu %u", (unsigned long long)it->second.props.chunk_size,
+                  unsigned(it->second.props.oclass));
+  }
+  if (op == "cont_destroy") {
+    vos::Uuid u;
+    is >> u.hi >> u.lo;
+    return containers_.erase(u) > 0 ? "ok" : "ENOENT";
+  }
+  if (op == "alloc_oids") {
+    vos::Uuid u;
+    std::uint64_t count = 0;
+    is >> u.hi >> u.lo >> count;
+    auto it = containers_.find(u);
+    if (it == containers_.end()) return "ENOENT";
+    const std::uint64_t base = it->second.oid_counter;
+    it->second.oid_counter += count;
+    return strfmt("ok %llu", (unsigned long long)base);
+  }
+  if (op == "list_conts") {
+    std::ostringstream os;
+    os << "ok " << containers_.size();
+    for (const auto& [u, meta] : containers_) os << ' ' << u.hi << ' ' << u.lo;
+    return os.str();
+  }
+  return "EINVAL";
+}
+
+std::string PoolMetaSm::snapshot() const {
+  std::ostringstream os;
+  os << containers_.size() << '\n';
+  for (const auto& [u, m] : containers_) {
+    os << u.hi << ' ' << u.lo << ' ' << m.props.chunk_size << ' ' << unsigned(m.props.oclass)
+       << ' ' << m.oid_counter << '\n';
+  }
+  return os.str();
+}
+
+void PoolMetaSm::restore(const std::string& snap) {
+  containers_.clear();
+  if (snap.empty()) return;
+  std::istringstream is(snap);
+  std::size_t n = 0;
+  is >> n;
+  for (std::size_t i = 0; i < n; ++i) {
+    vos::Uuid u;
+    ContMeta m;
+    std::uint64_t chunk = 0;
+    unsigned oclass = 0;
+    is >> u.hi >> u.lo >> chunk >> oclass >> m.oid_counter;
+    m.props.chunk_size = chunk;
+    m.props.oclass = std::uint8_t(oclass);
+    containers_.emplace(u, m);
+  }
+}
+
+PoolServiceReplica::PoolServiceReplica(net::RpcEndpoint& ep, std::vector<net::NodeId> replicas,
+                                       PoolMap map, raft::RaftConfig cfg, std::uint64_t seed)
+    : ep_(ep), map_(std::move(map)) {
+  raft_ = std::make_unique<raft::RaftNode>(ep_, std::move(replicas), sm_, cfg, seed);
+  ep_.register_handler(engine::kOpPoolSvc,
+                       [this](Request r) { return on_client_command(std::move(r)); });
+}
+
+sim::CoTask<net::Reply> PoolServiceReplica::on_client_command(net::Request req) {
+  const auto& r = req.body.get<engine::PoolSvcReq>();
+  if (!raft_->is_leader()) {
+    engine::PoolSvcResp resp{{}, raft_->leader_hint()};
+    co_return Reply{Errno::again, 64, Body::make(std::move(resp))};
+  }
+  raft::SubmitResult sr = co_await raft_->submit(r.command);
+  if (sr.status != Errno::ok) {
+    engine::PoolSvcResp resp{{}, sr.leader_hint};
+    co_return Reply{sr.status, 64, Body::make(std::move(resp))};
+  }
+  engine::PoolSvcResp resp{std::move(sr.response), raft_->leader_hint()};
+  co_return Reply{Errno::ok, 64 + resp.response.size(), Body::make(std::move(resp))};
+}
+
+}  // namespace daosim::pool

@@ -1,0 +1,65 @@
+// The pool service: DAOS's Raft-replicated metadata service, co-located with
+// a subset of engines. It owns container metadata (create/open/destroy,
+// properties) and object-ID range allocation, all serialized through the
+// Raft log so every replica applies the same transactional updates.
+//
+// Commands are line-oriented strings (deterministic, snapshot-friendly):
+//   cont_create <hi> <lo> <chunk> <oclass>   -> "ok" | "EEXIST"
+//   cont_open <hi> <lo>                      -> "ok <chunk> <oclass>" | "ENOENT"
+//   cont_destroy <hi> <lo>                   -> "ok" | "ENOENT"
+//   alloc_oids <hi> <lo> <count>             -> "ok <base>" | "ENOENT"
+//   list_conts                               -> "ok <n> <hi> <lo> ..."
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "net/rpc.hpp"
+#include "pool/pool_map.hpp"
+#include "raft/raft.hpp"
+
+namespace daosim::pool {
+
+/// Raft state machine holding the pool's container metadata.
+class PoolMetaSm final : public raft::StateMachine {
+ public:
+  std::string apply(const std::string& command) override;
+  std::string snapshot() const override;
+  void restore(const std::string& snap) override;
+
+  struct ContMeta {
+    ContProps props;
+    std::uint64_t oid_counter = 1;
+  };
+  const std::map<vos::Uuid, ContMeta>& containers() const { return containers_; }
+
+ private:
+  std::map<vos::Uuid, ContMeta> containers_;
+};
+
+/// One pool-service replica, sharing an engine's RPC endpoint. The replica
+/// answers kOpPoolSvc requests: the Raft leader executes the command, others
+/// redirect with a leader hint.
+class PoolServiceReplica {
+ public:
+  PoolServiceReplica(net::RpcEndpoint& ep, std::vector<net::NodeId> replicas, PoolMap map,
+                     raft::RaftConfig cfg, std::uint64_t seed);
+
+  void start() { raft_->start(); }
+  void stop() { raft_->stop(); }
+  bool is_leader() const { return raft_->is_leader(); }
+  raft::RaftNode& raft() { return *raft_; }
+  const PoolMap& pool_map() const { return map_; }
+  const PoolMetaSm& meta() const { return sm_; }
+
+ private:
+  sim::CoTask<net::Reply> on_client_command(net::Request req);
+
+  net::RpcEndpoint& ep_;
+  PoolMap map_;
+  PoolMetaSm sm_;
+  std::unique_ptr<raft::RaftNode> raft_;
+};
+
+}  // namespace daosim::pool

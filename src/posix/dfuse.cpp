@@ -1,0 +1,179 @@
+#include "posix/dfuse.hpp"
+
+namespace daosim::posix {
+
+DfuseMount::DfuseMount(sim::Scheduler& sched, dfs::DfsMount& dfs, DfuseConfig cfg)
+    : sched_(sched),
+      dfs_(dfs),
+      cfg_(cfg),
+      threads_(sched, cfg.daemon_threads),
+      window_(sched, cfg.kernel_window) {}
+
+sim::CoTask<void> DfuseMount::request_gate_enter() {
+  ++requests_;
+  co_await window_.acquire();
+  co_await sched_.delay(cfg_.op_cost);  // user/kernel crossing + queueing
+  co_await threads_.acquire();
+}
+
+void DfuseMount::request_gate_exit() {
+  threads_.release();
+  window_.release();
+}
+
+sim::CoTask<Result<Fd>> DfuseMount::open(const std::string& path, VfsOpenFlags flags) {
+  co_await request_gate_enter();
+  dfs::OpenFlags dflags;
+  dflags.create = flags.create;
+  dflags.excl = flags.excl;
+  dflags.truncate = flags.truncate;
+  dflags.chunk_size = flags.chunk_size;
+  dflags.oclass = flags.oclass;
+  auto file = co_await dfs_.open(path, dflags);
+  request_gate_exit();
+  if (!file.ok()) co_return file.error();
+  const Fd fd = next_fd_++;
+  fds_[fd] = OpenFile{std::make_unique<dfs::File>(std::move(*file))};
+  co_return fd;
+}
+
+sim::CoTask<Errno> DfuseMount::close(Fd fd) {
+  // FUSE release is async; no round trip charged to the caller.
+  co_return fds_.erase(fd) > 0 ? Errno::ok : Errno::bad_fd;
+}
+
+sim::CoTask<void> DfuseMount::write_piece(Fd fd, std::uint64_t offset, std::uint64_t length,
+                                          std::span<const std::byte> data,
+                                          std::shared_ptr<Errno> status) {
+  co_await request_gate_enter();
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) {
+    *status = Errno::bad_fd;
+    request_gate_exit();
+    co_return;
+  }
+  const Errno st = co_await it->second.file->write(offset, length, data);
+  if (st != Errno::ok) *status = st;
+  request_gate_exit();
+}
+
+sim::CoTask<void> DfuseMount::read_piece(Fd fd, std::uint64_t offset, std::span<std::byte> out,
+                                         std::shared_ptr<Errno> status,
+                                         std::shared_ptr<std::uint64_t> filled) {
+  co_await request_gate_enter();
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) {
+    *status = Errno::bad_fd;
+    request_gate_exit();
+    co_return;
+  }
+  auto n = co_await it->second.file->read(offset, out);
+  if (n.ok()) {
+    *filled += *n;
+  } else {
+    *status = n.error();
+  }
+  request_gate_exit();
+}
+
+sim::CoTask<Result<std::uint64_t>> DfuseMount::pwrite(Fd fd, std::uint64_t offset,
+                                                      std::uint64_t length,
+                                                      std::span<const std::byte> data) {
+  if (!fds_.contains(fd)) co_return Errno::bad_fd;
+  // The kernel splits the syscall into max_request_bytes FUSE writes and
+  // pipelines them (async FUSE); completion when all land.
+  auto status = std::make_shared<Errno>(Errno::ok);
+  sim::WaitGroup wg(sched_);
+  std::uint64_t pos = 0;
+  while (pos < length) {
+    const std::uint64_t piece = std::min(cfg_.max_request_bytes, length - pos);
+    std::span<const std::byte> slice;
+    if (!data.empty()) slice = data.subspan(std::size_t(pos), std::size_t(piece));
+    wg.spawn(write_piece(fd, offset + pos, piece, slice, status));
+    pos += piece;
+  }
+  co_await wg.wait();
+  if (*status != Errno::ok) co_return *status;
+  co_return length;
+}
+
+sim::CoTask<Result<std::uint64_t>> DfuseMount::pread(Fd fd, std::uint64_t offset,
+                                                     std::span<std::byte> out) {
+  if (!fds_.contains(fd)) co_return Errno::bad_fd;
+  auto status = std::make_shared<Errno>(Errno::ok);
+  auto filled = std::make_shared<std::uint64_t>(0);
+  sim::WaitGroup wg(sched_);
+  std::uint64_t pos = 0;
+  while (pos < out.size()) {
+    const std::uint64_t piece = std::min<std::uint64_t>(cfg_.max_request_bytes, out.size() - pos);
+    wg.spawn(read_piece(fd, offset + pos, out.subspan(std::size_t(pos), std::size_t(piece)),
+                        status, filled));
+    pos += piece;
+  }
+  co_await wg.wait();
+  if (*status != Errno::ok) co_return *status;
+  co_return *filled;
+}
+
+sim::CoTask<Result<std::uint64_t>> DfuseMount::fsize(Fd fd) {
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) co_return Errno::bad_fd;
+  co_await request_gate_enter();
+  auto sz = co_await it->second.file->size();
+  request_gate_exit();
+  if (!sz.ok()) co_return sz.error();
+  co_return *sz;
+}
+
+sim::CoTask<Errno> DfuseMount::fsync(Fd fd) {
+  if (!fds_.contains(fd)) co_return Errno::bad_fd;
+  co_await request_gate_enter();
+  request_gate_exit();  // DFS I/O is synchronous server-side: nothing to flush
+  co_return Errno::ok;
+}
+
+sim::CoTask<Result<VfsStat>> DfuseMount::stat(const std::string& path) {
+  co_await request_gate_enter();
+  auto st = co_await dfs_.stat(path);
+  request_gate_exit();
+  if (!st.ok()) co_return st.error();
+  co_return VfsStat{st->type == dfs::FileType::directory,
+                    st->type == dfs::FileType::symlink, st->size};
+}
+
+sim::CoTask<Errno> DfuseMount::mkdir(const std::string& path) {
+  co_await request_gate_enter();
+  const Errno st = co_await dfs_.mkdir(path);
+  request_gate_exit();
+  co_return st;
+}
+
+sim::CoTask<Result<std::vector<std::string>>> DfuseMount::readdir(const std::string& path) {
+  co_await request_gate_enter();
+  auto names = co_await dfs_.readdir(path);
+  request_gate_exit();
+  co_return names;
+}
+
+sim::CoTask<Errno> DfuseMount::unlink(const std::string& path) {
+  co_await request_gate_enter();
+  const Errno st = co_await dfs_.unlink(path);
+  request_gate_exit();
+  co_return st;
+}
+
+sim::CoTask<Errno> DfuseMount::rmdir(const std::string& path) {
+  co_await request_gate_enter();
+  const Errno st = co_await dfs_.rmdir(path);
+  request_gate_exit();
+  co_return st;
+}
+
+sim::CoTask<Errno> DfuseMount::rename(const std::string& from, const std::string& to) {
+  co_await request_gate_enter();
+  const Errno st = co_await dfs_.rename(from, to);
+  request_gate_exit();
+  co_return st;
+}
+
+}  // namespace daosim::posix

@@ -1,0 +1,78 @@
+// DfuseMount: the paper's DFuse — a FUSE daemon re-exporting DFS as a POSIX
+// mount. Applications (IOR's POSIX backend, MPI-I/O, HDF5) issue ordinary
+// file calls; each becomes one or more FUSE requests that pay a kernel
+// round-trip and are serviced by a bounded daemon thread pool calling libdfs.
+//
+// Cost model per request:
+//   caller  -> [kernel crossing + queueing]   (op_cost, serial per request)
+//   daemon  -> thread-pool slot held while the DFS/libdaos call runs
+//   kernel splits large reads/writes into max_request_bytes pieces and keeps
+//   up to `kernel_window` of them in flight (async FUSE).
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "dfs/dfs.hpp"
+#include "posix/vfs.hpp"
+#include "sim/sync.hpp"
+
+namespace daosim::posix {
+
+struct DfuseConfig {
+  std::uint64_t max_request_bytes = 1 << 20;  // FUSE_MAX_PAGES era default
+  sim::Time op_cost = 35 * sim::kUs;          // user->kernel->daemon crossing
+  std::uint32_t daemon_threads = 32;
+  std::uint32_t kernel_window = 64;  // async FUSE in-flight requests per mount
+};
+
+class DfuseMount final : public Vfs {
+ public:
+  DfuseMount(sim::Scheduler& sched, dfs::DfsMount& dfs, DfuseConfig cfg = {});
+
+  sim::CoTask<Result<Fd>> open(const std::string& path, VfsOpenFlags flags) override;
+  sim::CoTask<Errno> close(Fd fd) override;
+  sim::CoTask<Result<std::uint64_t>> pread(Fd fd, std::uint64_t offset,
+                                           std::span<std::byte> out) override;
+  sim::CoTask<Result<std::uint64_t>> pwrite(Fd fd, std::uint64_t offset, std::uint64_t length,
+                                            std::span<const std::byte> data) override;
+  sim::CoTask<Result<std::uint64_t>> fsize(Fd fd) override;
+  sim::CoTask<Errno> fsync(Fd fd) override;
+  sim::CoTask<Result<VfsStat>> stat(const std::string& path) override;
+  sim::CoTask<Errno> mkdir(const std::string& path) override;
+  sim::CoTask<Result<std::vector<std::string>>> readdir(const std::string& path) override;
+  sim::CoTask<Errno> unlink(const std::string& path) override;
+  sim::CoTask<Errno> rmdir(const std::string& path) override;
+  sim::CoTask<Errno> rename(const std::string& from, const std::string& to) override;
+
+  std::uint64_t requests_served() const { return requests_; }
+  const DfuseConfig& config() const { return cfg_; }
+
+ private:
+  /// Charges one FUSE request's crossing cost and holds a daemon thread for
+  /// the duration of `body`.
+  sim::CoTask<void> request_gate_enter();
+  void request_gate_exit();
+
+  sim::CoTask<void> write_piece(Fd fd, std::uint64_t offset, std::uint64_t length,
+                                std::span<const std::byte> data,
+                                std::shared_ptr<Errno> status);
+  sim::CoTask<void> read_piece(Fd fd, std::uint64_t offset, std::span<std::byte> out,
+                               std::shared_ptr<Errno> status,
+                               std::shared_ptr<std::uint64_t> filled);
+
+  struct OpenFile {
+    std::unique_ptr<dfs::File> file;
+  };
+
+  sim::Scheduler& sched_;
+  dfs::DfsMount& dfs_;
+  DfuseConfig cfg_;
+  sim::Semaphore threads_;
+  sim::Semaphore window_;
+  std::map<Fd, OpenFile> fds_;
+  Fd next_fd_ = 3;
+  std::uint64_t requests_ = 0;
+};
+
+}  // namespace daosim::posix

@@ -1,0 +1,134 @@
+#include "posix/vfs.hpp"
+
+#include <algorithm>
+
+namespace daosim::posix {
+
+Result<std::string> MemVfs::parent_of(const std::string& path) {
+  if (path.empty() || path[0] != '/') return Errno::invalid;
+  const auto pos = path.find_last_of('/');
+  if (pos == std::string::npos || path.size() == 1) return Errno::invalid;
+  return pos == 0 ? std::string("/") : path.substr(0, pos);
+}
+
+sim::CoTask<Result<Fd>> MemVfs::open(const std::string& path, VfsOpenFlags flags) {
+  auto it = files_.find(path);
+  if (it != files_.end()) {
+    if (it->second.is_dir) co_return Errno::is_dir;
+    if (flags.create && flags.excl) co_return Errno::exists;
+    if (flags.truncate) it->second.data.clear();
+  } else {
+    if (!flags.create) co_return Errno::no_entry;
+    auto parent = parent_of(path);
+    if (!parent.ok()) co_return parent.error();
+    auto pit = files_.find(*parent);
+    if (pit == files_.end() || !pit->second.is_dir) co_return Errno::no_entry;
+    files_[path] = Node{false, {}};
+  }
+  const Fd fd = next_fd_++;
+  fds_[fd] = path;
+  co_return fd;
+}
+
+sim::CoTask<Errno> MemVfs::close(Fd fd) {
+  co_return fds_.erase(fd) > 0 ? Errno::ok : Errno::bad_fd;
+}
+
+sim::CoTask<Result<std::uint64_t>> MemVfs::pread(Fd fd, std::uint64_t offset,
+                                                 std::span<std::byte> out) {
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) co_return Errno::bad_fd;
+  auto& data = files_.at(it->second).data;
+  std::fill(out.begin(), out.end(), std::byte{0});
+  if (offset >= data.size()) co_return std::uint64_t{0};
+  const std::uint64_t n = std::min<std::uint64_t>(out.size(), data.size() - offset);
+  std::copy_n(data.begin() + std::ptrdiff_t(offset), n, out.begin());
+  co_return n;
+}
+
+sim::CoTask<Result<std::uint64_t>> MemVfs::pwrite(Fd fd, std::uint64_t offset,
+                                                  std::uint64_t length,
+                                                  std::span<const std::byte> data) {
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) co_return Errno::bad_fd;
+  auto& file = files_.at(it->second).data;
+  if (file.size() < offset + length) file.resize(offset + length);
+  if (!data.empty()) {
+    DAOSIM_REQUIRE(data.size() == length, "payload size mismatch");
+    std::copy(data.begin(), data.end(), file.begin() + std::ptrdiff_t(offset));
+  }
+  co_return length;
+}
+
+sim::CoTask<Result<std::uint64_t>> MemVfs::fsize(Fd fd) {
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) co_return Errno::bad_fd;
+  co_return std::uint64_t(files_.at(it->second).data.size());
+}
+
+sim::CoTask<Errno> MemVfs::fsync(Fd fd) {
+  co_return fds_.contains(fd) ? Errno::ok : Errno::bad_fd;
+}
+
+sim::CoTask<Result<VfsStat>> MemVfs::stat(const std::string& path) {
+  auto it = files_.find(path);
+  if (it == files_.end()) co_return Errno::no_entry;
+  co_return VfsStat{it->second.is_dir, false, it->second.data.size()};
+}
+
+sim::CoTask<Errno> MemVfs::mkdir(const std::string& path) {
+  if (files_.contains(path)) co_return Errno::exists;
+  auto parent = parent_of(path);
+  if (!parent.ok()) co_return parent.error();
+  auto pit = files_.find(*parent);
+  if (pit == files_.end() || !pit->second.is_dir) co_return Errno::no_entry;
+  files_[path] = Node{true, {}};
+  co_return Errno::ok;
+}
+
+sim::CoTask<Result<std::vector<std::string>>> MemVfs::readdir(const std::string& path) {
+  auto it = files_.find(path);
+  if (it == files_.end()) co_return Errno::no_entry;
+  if (!it->second.is_dir) co_return Errno::not_dir;
+  std::vector<std::string> names;
+  const std::string prefix = path == "/" ? "/" : path + "/";
+  for (auto& [p, node] : files_) {
+    if (p.size() > prefix.size() && p.starts_with(prefix) &&
+        p.find('/', prefix.size()) == std::string::npos) {
+      names.push_back(p.substr(prefix.size()));
+    }
+  }
+  co_return names;
+}
+
+sim::CoTask<Errno> MemVfs::unlink(const std::string& path) {
+  auto it = files_.find(path);
+  if (it == files_.end()) co_return Errno::no_entry;
+  if (it->second.is_dir) co_return Errno::is_dir;
+  files_.erase(it);
+  co_return Errno::ok;
+}
+
+sim::CoTask<Errno> MemVfs::rmdir(const std::string& path) {
+  auto it = files_.find(path);
+  if (it == files_.end()) co_return Errno::no_entry;
+  if (!it->second.is_dir) co_return Errno::not_dir;
+  const std::string prefix = path + "/";
+  for (auto& [p, node] : files_) {
+    if (p.starts_with(prefix)) co_return Errno::not_empty;
+  }
+  files_.erase(it);
+  co_return Errno::ok;
+}
+
+sim::CoTask<Errno> MemVfs::rename(const std::string& from, const std::string& to) {
+  auto it = files_.find(from);
+  if (it == files_.end()) co_return Errno::no_entry;
+  auto dst = files_.find(to);
+  if (dst != files_.end() && dst->second.is_dir) co_return Errno::is_dir;
+  files_[to] = std::move(it->second);
+  files_.erase(from);
+  co_return Errno::ok;
+}
+
+}  // namespace daosim::posix

@@ -1,0 +1,92 @@
+// Vfs: the POSIX-style file interface the paper's upper layers consume.
+// MPI-IO (src/mpiio) and H5Lite (src/h5) are written against this interface;
+// in the benchmarks they run on DfuseMount (src/posix/dfuse.hpp), exactly as
+// the paper runs MPI-I/O and HDF5 on a DFuse mount point. MemVfs is a
+// zero-cost in-memory implementation for unit tests.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "sim/co_task.hpp"
+
+namespace daosim::posix {
+
+using Fd = int;
+
+struct VfsOpenFlags {
+  bool create = false;
+  bool excl = false;
+  bool truncate = false;
+  bool read_only = false;
+  // DAOS extensions surfaced through dfuse mount options / ioctl:
+  std::uint64_t chunk_size = 0;  // 0 = container default
+  std::uint8_t oclass = 0;       // 0 = container default
+};
+
+struct VfsStat {
+  bool is_dir = false;
+  bool is_symlink = false;
+  std::uint64_t size = 0;
+};
+
+class Vfs {
+ public:
+  virtual ~Vfs() = default;
+
+  virtual sim::CoTask<Result<Fd>> open(const std::string& path, VfsOpenFlags flags) = 0;
+  virtual sim::CoTask<Errno> close(Fd fd) = 0;
+  virtual sim::CoTask<Result<std::uint64_t>> pread(Fd fd, std::uint64_t offset,
+                                                   std::span<std::byte> out) = 0;
+  /// `data` may be empty (metadata-only benchmarking mode); `length` rules.
+  virtual sim::CoTask<Result<std::uint64_t>> pwrite(Fd fd, std::uint64_t offset,
+                                                    std::uint64_t length,
+                                                    std::span<const std::byte> data) = 0;
+  virtual sim::CoTask<Result<std::uint64_t>> fsize(Fd fd) = 0;
+  virtual sim::CoTask<Errno> fsync(Fd fd) = 0;
+  virtual sim::CoTask<Result<VfsStat>> stat(const std::string& path) = 0;
+  virtual sim::CoTask<Errno> mkdir(const std::string& path) = 0;
+  virtual sim::CoTask<Result<std::vector<std::string>>> readdir(const std::string& path) = 0;
+  virtual sim::CoTask<Errno> unlink(const std::string& path) = 0;
+  virtual sim::CoTask<Errno> rmdir(const std::string& path) = 0;
+  virtual sim::CoTask<Errno> rename(const std::string& from, const std::string& to) = 0;
+};
+
+/// In-memory Vfs with POSIX semantics and zero simulated cost. Used by the
+/// mpiio/h5 unit tests; the real benchmarks use DfuseMount.
+class MemVfs final : public Vfs {
+ public:
+  sim::CoTask<Result<Fd>> open(const std::string& path, VfsOpenFlags flags) override;
+  sim::CoTask<Errno> close(Fd fd) override;
+  sim::CoTask<Result<std::uint64_t>> pread(Fd fd, std::uint64_t offset,
+                                           std::span<std::byte> out) override;
+  sim::CoTask<Result<std::uint64_t>> pwrite(Fd fd, std::uint64_t offset, std::uint64_t length,
+                                            std::span<const std::byte> data) override;
+  sim::CoTask<Result<std::uint64_t>> fsize(Fd fd) override;
+  sim::CoTask<Errno> fsync(Fd fd) override;
+  sim::CoTask<Result<VfsStat>> stat(const std::string& path) override;
+  sim::CoTask<Errno> mkdir(const std::string& path) override;
+  sim::CoTask<Result<std::vector<std::string>>> readdir(const std::string& path) override;
+  sim::CoTask<Errno> unlink(const std::string& path) override;
+  sim::CoTask<Errno> rmdir(const std::string& path) override;
+  sim::CoTask<Errno> rename(const std::string& from, const std::string& to) override;
+
+  std::size_t file_count() const { return files_.size(); }
+
+ private:
+  static Result<std::string> parent_of(const std::string& path);
+
+  struct Node {
+    bool is_dir = false;
+    std::vector<std::byte> data;
+  };
+  std::map<std::string, Node> files_{{"/", Node{true, {}}}};
+  std::map<Fd, std::string> fds_;
+  Fd next_fd_ = 3;
+};
+
+}  // namespace daosim::posix

@@ -1,0 +1,90 @@
+// Deterministic PRNG for the simulation: xoshiro256++ seeded via splitmix64.
+// Every stochastic choice in daosim flows through one of these so a run is
+// exactly reproducible from its seed.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace daosim::sim {
+
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    // splitmix64 expansion of the seed into the 256-bit state.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Lemire's unbiased multiply-shift method.
+  std::uint64_t uniform(std::uint64_t bound) {
+    DAOSIM_REQUIRE(bound > 0, "uniform bound must be positive");
+    // Rejection loop guarantees exact uniformity.
+    __uint128_t m = __uint128_t((*this)()) * bound;
+    auto lo = std::uint64_t(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = -bound % bound;
+      while (lo < threshold) {
+        m = __uint128_t((*this)()) * bound;
+        lo = std::uint64_t(m);
+      }
+    }
+    return std::uint64_t(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() { return double((*this)() >> 11) * 0x1.0p-53; }
+
+  /// Exponentially distributed value with the given mean.
+  double exponential(double mean) {
+    double u = uniform01();
+    while (u <= 0.0) u = uniform01();
+    return -mean * std::log(u);
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[uniform(i)]);
+    }
+  }
+
+  /// Deterministically derives an independent sub-stream (e.g. per rank).
+  Xoshiro256 fork(std::uint64_t salt) {
+    return Xoshiro256((*this)() ^ (salt * 0xD1342543DE82EF95ULL + 0x2545F4914F6CDD1DULL));
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  std::uint64_t state_[4];
+};
+
+}  // namespace daosim::sim

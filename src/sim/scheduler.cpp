@@ -1,0 +1,81 @@
+#include "sim/scheduler.hpp"
+
+#include "common/error.hpp"
+
+namespace daosim::sim {
+
+void Scheduler::schedule(Time at, std::coroutine_handle<> h) {
+  DAOSIM_REQUIRE(at >= now_, "scheduling into the past (at=%llu now=%llu)",
+                 (unsigned long long)at, (unsigned long long)now_);
+  queue_.push(Item{at, seq_++, h, nullptr});
+}
+
+Timer Scheduler::schedule_callback(Time at, std::function<void()> fn) {
+  DAOSIM_REQUIRE(at >= now_, "scheduling into the past (at=%llu now=%llu)",
+                 (unsigned long long)at, (unsigned long long)now_);
+  auto state = std::make_shared<Timer::State>();
+  state->fn = std::move(fn);
+  queue_.push(Item{at, seq_++, nullptr, state});
+  return Timer(state);
+}
+
+Scheduler::Detached Scheduler::run_detached(CoTask<void> t) {
+  try {
+    co_await std::move(t);
+  } catch (...) {
+    errors_.push_back(std::current_exception());
+  }
+  --live_;
+}
+
+void Scheduler::spawn(CoTask<void> t) {
+  ++live_;
+  Detached d = run_detached(std::move(t));
+  schedule(now_, d.h);
+}
+
+void Scheduler::dispatch(Item& it) {
+  now_ = it.at;
+  ++events_;
+  if (it.h) {
+    it.h.resume();
+  } else if (!it.cb->cancelled) {
+    it.cb->fired = true;
+    it.cb->fn();
+  }
+}
+
+void Scheduler::finish_run() {
+  if (!errors_.empty()) {
+    auto e = errors_.front();
+    errors_.clear();
+    std::rethrow_exception(e);
+  }
+}
+
+void Scheduler::run() {
+  while (!queue_.empty()) {
+    Item it = queue_.top();
+    queue_.pop();
+    dispatch(it);
+    if (!errors_.empty()) finish_run();
+  }
+  finish_run();
+  if (live_ > 0) {
+    raise(strfmt("deadlock: %zu process(es) blocked with no pending events", live_));
+  }
+}
+
+bool Scheduler::run_until(Time t) {
+  while (!queue_.empty() && queue_.top().at <= t) {
+    Item it = queue_.top();
+    queue_.pop();
+    dispatch(it);
+    if (!errors_.empty()) finish_run();
+  }
+  finish_run();
+  if (now_ < t) now_ = t;
+  return !queue_.empty();
+}
+
+}  // namespace daosim::sim

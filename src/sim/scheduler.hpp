@@ -1,0 +1,143 @@
+// The discrete-event scheduler: a priority queue of (time, sequence) ordered
+// events driving coroutine resumptions and plain callbacks under a virtual
+// clock. Single-threaded and fully deterministic.
+#pragma once
+
+#include <concepts>
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/co_task.hpp"
+#include "sim/time.hpp"
+
+namespace daosim::sim {
+
+class Scheduler;
+
+/// Handle to a cancellable callback timer (see Scheduler::schedule_callback).
+class Timer {
+ public:
+  Timer() = default;
+  /// Cancels the timer; a cancelled timer's callback never fires.
+  void cancel() {
+    if (state_) state_->cancelled = true;
+    state_.reset();
+  }
+  bool armed() const { return state_ && !state_->cancelled && !state_->fired; }
+
+ private:
+  friend class Scheduler;
+  struct State {
+    std::function<void()> fn;
+    bool cancelled = false;
+    bool fired = false;
+  };
+  explicit Timer(std::shared_ptr<State> s) : state_(std::move(s)) {}
+  std::shared_ptr<State> state_;
+};
+
+class Scheduler {
+ public:
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  Time now() const { return now_; }
+
+  /// Resumes `h` at virtual time `at` (>= now). Events with equal time fire
+  /// in scheduling order.
+  void schedule(Time at, std::coroutine_handle<> h);
+
+  /// Runs `fn` at virtual time `at` unless the returned Timer is cancelled.
+  Timer schedule_callback(Time at, std::function<void()> fn);
+
+  /// Launches `t` as a detached top-level process starting at the current
+  /// time. Exceptions escaping the process abort run().
+  void spawn(CoTask<void> t);
+
+  /// Spawns a callable returning CoTask<void>. The callable is moved into a
+  /// wrapper coroutine frame so lambda captures stay alive for the process's
+  /// lifetime — always prefer this over spawning `lambda()` directly, which
+  /// dangles the closure (CppCoreGuidelines CP.51).
+  template <typename F>
+    requires requires(F f) {
+      { f() } -> std::same_as<CoTask<void>>;
+    }
+  void spawn(F f) {
+    spawn(invoke_holding(std::move(f)));
+  }
+
+  /// Awaitable that suspends the current coroutine for `dt` virtual time.
+  auto delay(Time dt) {
+    struct Awaiter {
+      Scheduler& s;
+      Time dt;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) { s.schedule(s.now_ + dt, h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, dt};
+  }
+
+  /// Awaitable that reschedules the current coroutine behind all events
+  /// already pending at the current time.
+  auto yield() { return delay(0); }
+
+  /// Drains the event queue. Throws the first exception that escaped a
+  /// spawned process, or DaosimError if processes remain blocked (deadlock).
+  void run();
+
+  /// Runs until the virtual clock would pass `t`; returns true if events
+  /// remain. Processes blocked on future events keep their state.
+  bool run_until(Time t);
+
+  std::size_t live_processes() const { return live_; }
+  std::uint64_t events_processed() const { return events_; }
+
+ private:
+  struct Detached {
+    struct promise_type {
+      Detached get_return_object() {
+        return Detached{std::coroutine_handle<promise_type>::from_promise(*this)};
+      }
+      std::suspend_always initial_suspend() noexcept { return {}; }
+      std::suspend_never final_suspend() noexcept { return {}; }
+      void return_void() noexcept {}
+      void unhandled_exception() noexcept { std::terminate(); }  // body catches
+    };
+    std::coroutine_handle<> h;
+  };
+  Detached run_detached(CoTask<void> t);
+
+  template <typename F>
+  static CoTask<void> invoke_holding(F f) {
+    co_await f();
+  }
+
+  struct Item {
+    Time at;
+    std::uint64_t seq;
+    std::coroutine_handle<> h;            // exactly one of h / cb is set
+    std::shared_ptr<Timer::State> cb;
+    bool operator>(const Item& o) const {
+      return at != o.at ? at > o.at : seq > o.seq;
+    }
+  };
+
+  void dispatch(Item& it);
+  void finish_run();
+
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> queue_;
+  Time now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t events_ = 0;
+  std::size_t live_ = 0;
+  std::vector<std::exception_ptr> errors_;
+};
+
+}  // namespace daosim::sim

@@ -1,0 +1,78 @@
+// Small statistics helpers used by benchmarks and reports.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace daosim::sim {
+
+/// Streaming summary (Welford) with min/max.
+class Summary {
+ public:
+  void add(double x) {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / double(n_);
+    m2_ += d * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const { return n_ > 1 ? m2_ / double(n_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Sample reservoir with exact percentiles (fine for the sample counts the
+/// benches produce).
+class Samples {
+ public:
+  void add(double x) {
+    data_.push_back(x);
+    sorted_ = false;
+  }
+
+  std::size_t count() const { return data_.size(); }
+
+  double percentile(double p) {
+    DAOSIM_REQUIRE(!data_.empty(), "percentile of empty sample set");
+    DAOSIM_REQUIRE(p >= 0.0 && p <= 100.0, "percentile out of range");
+    if (!sorted_) {
+      std::sort(data_.begin(), data_.end());
+      sorted_ = true;
+    }
+    const double idx = p / 100.0 * double(data_.size() - 1);
+    const auto lo = std::size_t(idx);
+    const auto hi = std::min(lo + 1, data_.size() - 1);
+    const double frac = idx - double(lo);
+    return data_[lo] * (1.0 - frac) + data_[hi] * frac;
+  }
+
+  double median() { return percentile(50.0); }
+
+  Summary summarize() const {
+    Summary s;
+    for (double x : data_) s.add(x);
+    return s;
+  }
+
+ private:
+  std::vector<double> data_;
+  bool sorted_ = true;
+};
+
+}  // namespace daosim::sim

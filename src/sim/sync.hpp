@@ -1,0 +1,269 @@
+// Cooperative synchronisation primitives for simulated processes: Event,
+// Semaphore, Mutex, Channel and WaitGroup. All are single-threaded (the
+// simulation is cooperative); "blocking" means suspending the coroutine until
+// another process signals it through the scheduler.
+#pragma once
+
+#include <coroutine>
+#include <deque>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "sim/scheduler.hpp"
+
+namespace daosim::sim {
+
+/// One-to-many level-triggered event. wait() completes immediately if the
+/// event is set; otherwise the waiter suspends until set() fires.
+class Event {
+ public:
+  explicit Event(Scheduler& s) : sched_(s) {}
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  auto wait() {
+    struct Awaiter {
+      Event& e;
+      bool await_ready() const noexcept { return e.set_; }
+      void await_suspend(std::coroutine_handle<> h) { e.waiters_.push_back(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+  /// Timed wait: resumes with true when the event fires, false on timeout.
+  auto wait_for(Time timeout) { return TimedAwaiter{*this, timeout}; }
+
+  void set() {
+    set_ = true;
+    for (auto h : waiters_) sched_.schedule(sched_.now(), h);
+    waiters_.clear();
+    for (auto* w : timed_waiters_) {
+      w->timer.cancel();
+      w->fired = true;
+      sched_.schedule(sched_.now(), w->handle);
+    }
+    timed_waiters_.clear();
+  }
+
+  void reset() { set_ = false; }
+  bool is_set() const { return set_; }
+  std::size_t waiter_count() const { return waiters_.size() + timed_waiters_.size(); }
+
+ private:
+  struct TimedAwaiter {
+    Event& e;
+    Time timeout;
+    bool fired = false;
+    Timer timer{};
+    std::coroutine_handle<> handle{};
+
+    bool await_ready() const noexcept { return e.set_; }
+    void await_suspend(std::coroutine_handle<> h) {
+      handle = h;
+      e.timed_waiters_.push_back(this);
+      timer = e.sched_.schedule_callback(e.sched_.now() + timeout, [this] {
+        std::erase(e.timed_waiters_, this);
+        fired = false;
+        e.sched_.schedule(e.sched_.now(), handle);
+      });
+    }
+    bool await_resume() const noexcept { return fired || e.set_; }
+  };
+
+  Scheduler& sched_;
+  bool set_ = false;
+  std::deque<std::coroutine_handle<>> waiters_;
+  std::vector<TimedAwaiter*> timed_waiters_;
+};
+
+/// FIFO counting semaphore. release() hands the permit directly to the oldest
+/// waiter, preserving arrival order.
+class Semaphore {
+ public:
+  Semaphore(Scheduler& s, std::size_t permits) : sched_(s), permits_(permits) {}
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  auto acquire() {
+    struct Awaiter {
+      Semaphore& sem;
+      bool await_ready() const noexcept {
+        if (sem.permits_ > 0) {
+          --sem.permits_;
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) { sem.waiters_.push_back(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+  void release() {
+    if (!waiters_.empty()) {
+      auto h = waiters_.front();
+      waiters_.pop_front();
+      sched_.schedule(sched_.now(), h);  // permit handed to waiter
+    } else {
+      ++permits_;
+    }
+  }
+
+  std::size_t available() const { return permits_; }
+  std::size_t waiting() const { return waiters_.size(); }
+
+ private:
+  Scheduler& sched_;
+  std::size_t permits_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// Scoped-release mutex built on Semaphore.
+class Mutex {
+ public:
+  explicit Mutex(Scheduler& s) : sem_(s, 1) {}
+  auto lock() { return sem_.acquire(); }
+  void unlock() { sem_.release(); }
+
+ private:
+  Semaphore sem_;
+};
+
+/// RAII guard: `auto g = co_await ScopedLock::acquire(mutex);`
+class ScopedLock {
+ public:
+  static CoTask<ScopedLock> acquire(Mutex& m) {
+    co_await m.lock();
+    co_return ScopedLock(&m);
+  }
+  ScopedLock(ScopedLock&& o) noexcept : m_(std::exchange(o.m_, nullptr)) {}
+  ScopedLock& operator=(ScopedLock&& o) noexcept {
+    if (this != &o) {
+      release();
+      m_ = std::exchange(o.m_, nullptr);
+    }
+    return *this;
+  }
+  ~ScopedLock() { release(); }
+
+ private:
+  explicit ScopedLock(Mutex* m) : m_(m) {}
+  void release() {
+    if (m_) {
+      m_->unlock();
+      m_ = nullptr;
+    }
+  }
+  Mutex* m_;
+};
+
+/// Unbounded FIFO channel. pop() suspends while the channel is empty.
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(Scheduler& s) : sched_(s) {}
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  void push(T v) {
+    if (!poppers_.empty()) {
+      PopAwaiter* p = poppers_.front();
+      poppers_.pop_front();
+      p->value.emplace(std::move(v));
+      sched_.schedule(sched_.now(), p->handle);
+    } else {
+      buf_.push_back(std::move(v));
+    }
+  }
+
+  auto pop() { return PopAwaiter{*this}; }
+
+  std::size_t size() const { return buf_.size(); }
+  bool empty() const { return buf_.empty(); }
+
+ private:
+  struct PopAwaiter {
+    Channel& ch;
+    std::optional<T> value{};
+    std::coroutine_handle<> handle{};
+    bool await_ready() noexcept {
+      if (!ch.buf_.empty()) {
+        value.emplace(std::move(ch.buf_.front()));
+        ch.buf_.pop_front();
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      handle = h;
+      ch.poppers_.push_back(this);
+    }
+    T await_resume() { return std::move(*value); }
+  };
+
+  Scheduler& sched_;
+  std::deque<T> buf_;
+  std::deque<PopAwaiter*> poppers_;
+};
+
+/// Fork/join helper: spawn N child tasks, then `co_await wg.wait()`.
+/// wait() completes immediately when nothing is pending.
+class WaitGroup {
+ public:
+  explicit WaitGroup(Scheduler& s) : sched_(s), done_(s) { done_.set(); }
+
+  void spawn(CoTask<void> t) {
+    ++pending_;
+    done_.reset();
+    sched_.spawn(wrap(std::move(t)));
+  }
+
+  /// Callable overload keeping the closure alive (see Scheduler::spawn).
+  template <typename F>
+    requires requires(F f) {
+      { f() } -> std::same_as<CoTask<void>>;
+    }
+  void spawn(F f) {
+    spawn(invoke_holding(std::move(f)));
+  }
+
+  auto wait() { return done_.wait(); }
+  std::size_t pending() const { return pending_; }
+
+ private:
+  template <typename F>
+  static CoTask<void> invoke_holding(F f) {
+    co_await f();
+  }
+
+  CoTask<void> wrap(CoTask<void> t) {
+    co_await std::move(t);
+    DAOSIM_REQUIRE(pending_ > 0, "WaitGroup underflow");
+    if (--pending_ == 0) done_.set();
+  }
+
+  Scheduler& sched_;
+  Event done_;
+  std::size_t pending_ = 0;
+};
+
+/// Runs all tasks concurrently and completes when every one has finished.
+inline CoTask<void> when_all(Scheduler& s, std::vector<CoTask<void>> tasks) {
+  WaitGroup wg(s);
+  for (auto& t : tasks) wg.spawn(std::move(t));
+  co_await wg.wait();
+}
+
+/// Two-task convenience overload.
+inline CoTask<void> when_all(Scheduler& s, CoTask<void> a, CoTask<void> b) {
+  std::vector<CoTask<void>> v;
+  v.push_back(std::move(a));
+  v.push_back(std::move(b));
+  return when_all(s, std::move(v));
+}
+
+}  // namespace daosim::sim

@@ -1,0 +1,19 @@
+// Virtual time for the discrete-event simulation. All timing in daosim is
+// expressed in integer nanoseconds of simulated time.
+#pragma once
+
+#include <cstdint>
+
+namespace daosim::sim {
+
+using Time = std::uint64_t;  // nanoseconds of virtual time
+
+constexpr Time kNs = 1;
+constexpr Time kUs = 1000 * kNs;
+constexpr Time kMs = 1000 * kUs;
+constexpr Time kSec = 1000 * kMs;
+
+/// Converts a virtual duration to seconds (for bandwidth math / reporting).
+constexpr double to_seconds(Time t) { return double(t) * 1e-9; }
+
+}  // namespace daosim::sim

@@ -1,0 +1,377 @@
+// In-memory B+ tree, the index structure underlying the Versioned Object
+// Store (DAOS keeps its object/dkey/akey indices in btrees on persistent
+// memory; we keep them in DRAM but preserve the structure).
+//
+// Properties: sorted iteration via linked leaves, O(log n) point ops,
+// move-only value support, and a validate() invariant checker used by the
+// property tests.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace daosim::vos {
+
+template <typename K, typename V, typename Compare = std::less<K>, std::size_t MaxKeys = 15>
+class BPlusTree {
+  static_assert(MaxKeys >= 3, "fanout too small");
+  static constexpr std::size_t kMinKeys = MaxKeys / 2;
+
+  struct Node {
+    explicit Node(bool l) : leaf(l) {}
+    virtual ~Node() = default;
+    bool leaf;
+    std::vector<K> keys;
+  };
+  struct LeafNode final : Node {
+    LeafNode() : Node(true) {}
+    std::vector<V> vals;
+    LeafNode* next = nullptr;
+    LeafNode* prev = nullptr;
+  };
+  struct InternalNode final : Node {
+    InternalNode() : Node(false) {}
+    std::vector<std::unique_ptr<Node>> kids;  // kids.size() == keys.size() + 1
+  };
+
+ public:
+  BPlusTree() : root_(std::make_unique<LeafNode>()) {}
+  BPlusTree(BPlusTree&&) noexcept = default;
+  BPlusTree& operator=(BPlusTree&&) noexcept = default;
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void clear() {
+    root_ = std::make_unique<LeafNode>();
+    size_ = 0;
+  }
+
+  V* find(const K& key) {
+    LeafNode* leaf = descend(key);
+    const std::size_t i = lower_idx(leaf->keys, key);
+    if (i < leaf->keys.size() && equal(leaf->keys[i], key)) return &leaf->vals[i];
+    return nullptr;
+  }
+  const V* find(const K& key) const { return const_cast<BPlusTree*>(this)->find(key); }
+
+  /// Inserts or overwrites; returns true if a new key was inserted.
+  template <typename U>
+  bool insert_or_assign(const K& key, U&& value) {
+    bool inserted = false;
+    auto split = insert_rec(root_.get(), key, std::forward<U>(value), inserted);
+    if (split) {
+      auto new_root = std::make_unique<InternalNode>();
+      new_root->keys.push_back(std::move(split->sep));
+      new_root->kids.push_back(std::move(root_));
+      new_root->kids.push_back(std::move(split->right));
+      root_ = std::move(new_root);
+    }
+    if (inserted) ++size_;
+    return inserted;
+  }
+
+  bool erase(const K& key) {
+    const bool erased = erase_rec(root_.get(), key);
+    if (!root_->leaf) {
+      auto* r = static_cast<InternalNode*>(root_.get());
+      if (r->kids.size() == 1) {
+        root_ = std::move(r->kids.front());
+      }
+    }
+    if (erased) --size_;
+    return erased;
+  }
+
+  class iterator {
+   public:
+    iterator() = default;
+    bool valid() const { return leaf_ != nullptr && idx_ < leaf_->keys.size(); }
+    const K& key() const { return leaf_->keys[idx_]; }
+    V& value() const { return leaf_->vals[idx_]; }
+    iterator& operator++() {
+      if (++idx_ >= leaf_->keys.size()) {
+        leaf_ = leaf_->next;
+        idx_ = 0;
+      }
+      return *this;
+    }
+    bool operator==(const iterator& o) const {
+      if (!valid() && !o.valid()) return true;
+      return leaf_ == o.leaf_ && idx_ == o.idx_;
+    }
+
+   private:
+    friend class BPlusTree;
+    iterator(LeafNode* l, std::size_t i) : leaf_(l), idx_(i) {
+      if (leaf_ != nullptr && idx_ >= leaf_->keys.size()) {
+        leaf_ = leaf_->next;
+        idx_ = 0;
+      }
+    }
+    LeafNode* leaf_ = nullptr;
+    std::size_t idx_ = 0;
+  };
+
+  iterator begin() {
+    Node* n = root_.get();
+    while (!n->leaf) n = static_cast<InternalNode*>(n)->kids.front().get();
+    return iterator(static_cast<LeafNode*>(n), 0);
+  }
+  iterator end() { return iterator(); }
+
+  /// First element with key >= `key`.
+  iterator lower_bound(const K& key) {
+    LeafNode* leaf = descend(key);
+    return iterator(leaf, lower_idx(leaf->keys, key));
+  }
+
+  /// Checks every structural invariant; throws DaosimError on violation.
+  void validate() const {
+    int depth = -1;
+    std::size_t counted = 0;
+    validate_rec(root_.get(), 0, depth, nullptr, nullptr, counted, root_.get());
+    DAOSIM_REQUIRE(counted == size_, "size mismatch: counted %zu recorded %zu", counted, size_);
+    // Leaf chain must be globally sorted and cover all elements.
+    const Node* n = root_.get();
+    while (!n->leaf) n = static_cast<const InternalNode*>(n)->kids.front().get();
+    auto* leaf = static_cast<const LeafNode*>(n);
+    std::size_t chain = 0;
+    const K* prev = nullptr;
+    while (leaf != nullptr) {
+      for (const auto& k : leaf->keys) {
+        if (prev != nullptr) DAOSIM_REQUIRE(cmp_(*prev, k), "leaf chain out of order");
+        prev = &k;
+        ++chain;
+      }
+      leaf = leaf->next;
+    }
+    DAOSIM_REQUIRE(chain == size_, "leaf chain covers %zu of %zu", chain, size_);
+  }
+
+ private:
+  struct Split {
+    K sep;
+    std::unique_ptr<Node> right;
+  };
+
+  bool equal(const K& a, const K& b) const { return !cmp_(a, b) && !cmp_(b, a); }
+
+  std::size_t lower_idx(const std::vector<K>& keys, const K& key) const {
+    return std::size_t(std::lower_bound(keys.begin(), keys.end(), key, cmp_) - keys.begin());
+  }
+  /// Routing index inside an internal node: keys equal to a separator go right.
+  std::size_t route_idx(const std::vector<K>& keys, const K& key) const {
+    return std::size_t(std::upper_bound(keys.begin(), keys.end(), key, cmp_) - keys.begin());
+  }
+
+  LeafNode* descend(const K& key) const {
+    Node* n = root_.get();
+    while (!n->leaf) {
+      auto* in = static_cast<InternalNode*>(n);
+      n = in->kids[route_idx(in->keys, key)].get();
+    }
+    return static_cast<LeafNode*>(n);
+  }
+
+  template <typename U>
+  std::optional<Split> insert_rec(Node* n, const K& key, U&& value, bool& inserted) {
+    if (n->leaf) {
+      auto* leaf = static_cast<LeafNode*>(n);
+      const std::size_t i = lower_idx(leaf->keys, key);
+      if (i < leaf->keys.size() && equal(leaf->keys[i], key)) {
+        leaf->vals[i] = std::forward<U>(value);
+        inserted = false;
+        return std::nullopt;
+      }
+      leaf->keys.insert(leaf->keys.begin() + std::ptrdiff_t(i), key);
+      leaf->vals.insert(leaf->vals.begin() + std::ptrdiff_t(i), std::forward<U>(value));
+      inserted = true;
+      if (leaf->keys.size() <= MaxKeys) return std::nullopt;
+      // Split the leaf in half; separator is the right half's first key.
+      auto right = std::make_unique<LeafNode>();
+      const std::size_t half = leaf->keys.size() / 2;
+      right->keys.assign(std::make_move_iterator(leaf->keys.begin() + std::ptrdiff_t(half)),
+                         std::make_move_iterator(leaf->keys.end()));
+      right->vals.assign(std::make_move_iterator(leaf->vals.begin() + std::ptrdiff_t(half)),
+                         std::make_move_iterator(leaf->vals.end()));
+      leaf->keys.resize(half);
+      leaf->vals.resize(half);
+      right->next = leaf->next;
+      right->prev = leaf;
+      if (right->next != nullptr) right->next->prev = right.get();
+      leaf->next = right.get();
+      return Split{right->keys.front(), std::move(right)};
+    }
+
+    auto* in = static_cast<InternalNode*>(n);
+    const std::size_t ci = route_idx(in->keys, key);
+    auto split = insert_rec(in->kids[ci].get(), key, std::forward<U>(value), inserted);
+    if (!split) return std::nullopt;
+    in->keys.insert(in->keys.begin() + std::ptrdiff_t(ci), std::move(split->sep));
+    in->kids.insert(in->kids.begin() + std::ptrdiff_t(ci) + 1, std::move(split->right));
+    if (in->keys.size() <= MaxKeys) return std::nullopt;
+    // Split the internal node; the middle key moves up.
+    auto right = std::make_unique<InternalNode>();
+    const std::size_t mid = in->keys.size() / 2;
+    K sep = std::move(in->keys[mid]);
+    right->keys.assign(std::make_move_iterator(in->keys.begin() + std::ptrdiff_t(mid) + 1),
+                       std::make_move_iterator(in->keys.end()));
+    right->kids.assign(std::make_move_iterator(in->kids.begin() + std::ptrdiff_t(mid) + 1),
+                       std::make_move_iterator(in->kids.end()));
+    in->keys.resize(mid);
+    in->kids.resize(mid + 1);
+    return Split{std::move(sep), std::move(right)};
+  }
+
+  bool erase_rec(Node* n, const K& key) {
+    if (n->leaf) {
+      auto* leaf = static_cast<LeafNode*>(n);
+      const std::size_t i = lower_idx(leaf->keys, key);
+      if (i >= leaf->keys.size() || !equal(leaf->keys[i], key)) return false;
+      leaf->keys.erase(leaf->keys.begin() + std::ptrdiff_t(i));
+      leaf->vals.erase(leaf->vals.begin() + std::ptrdiff_t(i));
+      return true;
+    }
+    auto* in = static_cast<InternalNode*>(n);
+    const std::size_t ci = route_idx(in->keys, key);
+    const bool erased = erase_rec(in->kids[ci].get(), key);
+    if (erased) fix_underflow(in, ci);
+    return erased;
+  }
+
+  static std::size_t node_size(const Node* n) { return n->keys.size(); }
+
+  void fix_underflow(InternalNode* parent, std::size_t ci) {
+    Node* child = parent->kids[ci].get();
+    if (node_size(child) >= kMinKeys) return;
+
+    Node* left = ci > 0 ? parent->kids[ci - 1].get() : nullptr;
+    Node* right = ci + 1 < parent->kids.size() ? parent->kids[ci + 1].get() : nullptr;
+
+    if (left != nullptr && node_size(left) > kMinKeys) {
+      borrow_from_left(parent, ci);
+    } else if (right != nullptr && node_size(right) > kMinKeys) {
+      borrow_from_right(parent, ci);
+    } else if (left != nullptr) {
+      merge(parent, ci - 1);
+    } else if (right != nullptr) {
+      merge(parent, ci);
+    }
+  }
+
+  void borrow_from_left(InternalNode* parent, std::size_t ci) {
+    Node* child = parent->kids[ci].get();
+    Node* left = parent->kids[ci - 1].get();
+    if (child->leaf) {
+      auto* c = static_cast<LeafNode*>(child);
+      auto* l = static_cast<LeafNode*>(left);
+      c->keys.insert(c->keys.begin(), std::move(l->keys.back()));
+      c->vals.insert(c->vals.begin(), std::move(l->vals.back()));
+      l->keys.pop_back();
+      l->vals.pop_back();
+      parent->keys[ci - 1] = c->keys.front();
+    } else {
+      auto* c = static_cast<InternalNode*>(child);
+      auto* l = static_cast<InternalNode*>(left);
+      c->keys.insert(c->keys.begin(), std::move(parent->keys[ci - 1]));
+      parent->keys[ci - 1] = std::move(l->keys.back());
+      l->keys.pop_back();
+      c->kids.insert(c->kids.begin(), std::move(l->kids.back()));
+      l->kids.pop_back();
+    }
+  }
+
+  void borrow_from_right(InternalNode* parent, std::size_t ci) {
+    Node* child = parent->kids[ci].get();
+    Node* right = parent->kids[ci + 1].get();
+    if (child->leaf) {
+      auto* c = static_cast<LeafNode*>(child);
+      auto* r = static_cast<LeafNode*>(right);
+      c->keys.push_back(std::move(r->keys.front()));
+      c->vals.push_back(std::move(r->vals.front()));
+      r->keys.erase(r->keys.begin());
+      r->vals.erase(r->vals.begin());
+      parent->keys[ci] = r->keys.front();
+    } else {
+      auto* c = static_cast<InternalNode*>(child);
+      auto* r = static_cast<InternalNode*>(right);
+      c->keys.push_back(std::move(parent->keys[ci]));
+      parent->keys[ci] = std::move(r->keys.front());
+      r->keys.erase(r->keys.begin());
+      c->kids.push_back(std::move(r->kids.front()));
+      r->kids.erase(r->kids.begin());
+    }
+  }
+
+  /// Merges kids[i+1] into kids[i] and removes separator i.
+  void merge(InternalNode* parent, std::size_t i) {
+    Node* ln = parent->kids[i].get();
+    Node* rn = parent->kids[i + 1].get();
+    if (ln->leaf) {
+      auto* l = static_cast<LeafNode*>(ln);
+      auto* r = static_cast<LeafNode*>(rn);
+      std::move(r->keys.begin(), r->keys.end(), std::back_inserter(l->keys));
+      std::move(r->vals.begin(), r->vals.end(), std::back_inserter(l->vals));
+      l->next = r->next;
+      if (r->next != nullptr) r->next->prev = l;
+    } else {
+      auto* l = static_cast<InternalNode*>(ln);
+      auto* r = static_cast<InternalNode*>(rn);
+      l->keys.push_back(std::move(parent->keys[i]));
+      std::move(r->keys.begin(), r->keys.end(), std::back_inserter(l->keys));
+      std::move(r->kids.begin(), r->kids.end(), std::back_inserter(l->kids));
+    }
+    parent->keys.erase(parent->keys.begin() + std::ptrdiff_t(i));
+    parent->kids.erase(parent->kids.begin() + std::ptrdiff_t(i) + 1);
+  }
+
+  void validate_rec(const Node* n, int level, int& leaf_depth, const K* lo, const K* hi,
+                    std::size_t& counted, const Node* root) const {
+    for (std::size_t i = 1; i < n->keys.size(); ++i) {
+      DAOSIM_REQUIRE(cmp_(n->keys[i - 1], n->keys[i]), "keys not strictly sorted");
+    }
+    if (lo != nullptr && !n->keys.empty()) {
+      DAOSIM_REQUIRE(!cmp_(n->keys.front(), *lo), "key below subtree lower bound");
+    }
+    if (hi != nullptr && !n->keys.empty()) {
+      DAOSIM_REQUIRE(cmp_(n->keys.back(), *hi), "key above subtree upper bound");
+    }
+    if (n->leaf) {
+      if (leaf_depth < 0) leaf_depth = level;
+      DAOSIM_REQUIRE(leaf_depth == level, "leaves at unequal depth");
+      if (n != root) {
+        DAOSIM_REQUIRE(n->keys.size() >= kMinKeys, "leaf underflow (%zu)", n->keys.size());
+      }
+      DAOSIM_REQUIRE(n->keys.size() <= MaxKeys, "leaf overflow");
+      counted += n->keys.size();
+      return;
+    }
+    auto* in = static_cast<const InternalNode*>(n);
+    DAOSIM_REQUIRE(in->kids.size() == in->keys.size() + 1, "child count mismatch");
+    if (n != root) {
+      DAOSIM_REQUIRE(n->keys.size() >= kMinKeys, "internal underflow");
+    }
+    DAOSIM_REQUIRE(n->keys.size() <= MaxKeys, "internal overflow");
+    for (std::size_t i = 0; i < in->kids.size(); ++i) {
+      const K* sub_lo = i == 0 ? lo : &in->keys[i - 1];
+      const K* sub_hi = i == in->keys.size() ? hi : &in->keys[i];
+      validate_rec(in->kids[i].get(), level + 1, leaf_depth, sub_lo, sub_hi, counted, root);
+    }
+  }
+
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+  [[no_unique_address]] Compare cmp_{};
+};
+
+}  // namespace daosim::vos

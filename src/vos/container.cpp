@@ -1,0 +1,203 @@
+#include "vos/container.hpp"
+
+#include <algorithm>
+
+namespace daosim::vos {
+
+VosContainer::ObjectNode& VosContainer::obj(ObjId oid) {
+  if (auto* p = objects_.find(oid)) return **p;
+  auto node = std::make_unique<ObjectNode>();
+  auto* raw = node.get();
+  objects_.insert_or_assign(oid, std::move(node));
+  return *raw;
+}
+
+const VosContainer::ObjectNode* VosContainer::find_obj(ObjId oid) const {
+  const auto* p = objects_.find(oid);
+  return p != nullptr ? p->get() : nullptr;
+}
+
+VosContainer::AkeyNode& VosContainer::akey_node(ObjId oid, const Key& dkey, const Key& akey) {
+  ObjectNode& o = obj(oid);
+  DkeyNode* dk;
+  if (auto* p = o.dkeys.find(dkey)) {
+    dk = p->get();
+  } else {
+    auto node = std::make_unique<DkeyNode>();
+    dk = node.get();
+    o.dkeys.insert_or_assign(dkey, std::move(node));
+  }
+  if (auto* p = dk->akeys.find(akey)) return **p;
+  auto node = std::make_unique<AkeyNode>();
+  auto* raw = node.get();
+  dk->akeys.insert_or_assign(akey, std::move(node));
+  return *raw;
+}
+
+const VosContainer::AkeyNode* VosContainer::find_akey(ObjId oid, const Key& dkey,
+                                                      const Key& akey) const {
+  const auto* o = find_obj(oid);
+  if (o == nullptr) return nullptr;
+  const auto* dk = const_cast<ObjectNode*>(o)->dkeys.find(dkey);
+  if (dk == nullptr) return nullptr;
+  const auto* ak = (*dk)->akeys.find(akey);
+  return ak != nullptr ? ak->get() : nullptr;
+}
+
+void VosContainer::array_write(ObjId oid, const Key& dkey, const Key& akey,
+                               std::uint64_t offset, std::uint64_t length,
+                               std::span<const std::byte> data, Epoch epoch) {
+  AkeyNode& a = akey_node(oid, dkey, akey);
+  DAOSIM_REQUIRE(!a.has_sv, "akey already holds a single value");
+  a.has_arr = true;
+  a.arr.write(offset, length, data, epoch, mode_);
+  logical_bytes_ += length;
+}
+
+std::uint64_t VosContainer::array_read(ObjId oid, const Key& dkey, const Key& akey,
+                                       std::uint64_t offset, std::span<std::byte> out,
+                                       Epoch epoch) const {
+  const AkeyNode* a = find_akey(oid, dkey, akey);
+  if (a == nullptr || !a->has_arr) {
+    std::fill(out.begin(), out.end(), std::byte{0});
+    return 0;
+  }
+  return a->arr.read(offset, out, epoch);
+}
+
+std::uint64_t VosContainer::array_size(ObjId oid, const Key& dkey, const Key& akey,
+                                       Epoch epoch) const {
+  const AkeyNode* a = find_akey(oid, dkey, akey);
+  return (a != nullptr && a->has_arr) ? a->arr.size(epoch) : 0;
+}
+
+void VosContainer::kv_put(ObjId oid, const Key& dkey, const Key& akey,
+                          std::span<const std::byte> value, Epoch epoch) {
+  AkeyNode& a = akey_node(oid, dkey, akey);
+  DAOSIM_REQUIRE(!a.has_arr, "akey already holds array records");
+  a.has_sv = true;
+  a.sv.put(value, epoch, mode_ == PayloadMode::discard ? PayloadMode::store : mode_);
+  logical_bytes_ += value.size();
+}
+
+SingleValueStore::View VosContainer::kv_get(ObjId oid, const Key& dkey, const Key& akey,
+                                            Epoch epoch) const {
+  const AkeyNode* a = find_akey(oid, dkey, akey);
+  if (a == nullptr || !a->has_sv) return {};
+  return a->sv.get(epoch);
+}
+
+void VosContainer::punch_akey(ObjId oid, const Key& dkey, const Key& akey, Epoch epoch) {
+  auto* a = const_cast<AkeyNode*>(find_akey(oid, dkey, akey));
+  if (a == nullptr) return;
+  if (a->has_sv) a->sv.punch(epoch);
+  if (a->has_arr) a->arr.punch_all(epoch);
+}
+
+void VosContainer::punch_dkey(ObjId oid, const Key& dkey, Epoch epoch) {
+  auto* o = const_cast<ObjectNode*>(find_obj(oid));
+  if (o == nullptr) return;
+  auto* dk = o->dkeys.find(dkey);
+  if (dk == nullptr) return;
+  for (auto it = (*dk)->akeys.begin(); it != (*dk)->akeys.end(); ++it) {
+    AkeyNode& a = *it.value();
+    if (a.has_sv) a.sv.punch(epoch);
+    if (a.has_arr) a.arr.punch_all(epoch);
+  }
+}
+
+void VosContainer::punch_object(ObjId oid, Epoch epoch) {
+  auto* o = const_cast<ObjectNode*>(find_obj(oid));
+  if (o == nullptr) return;
+  for (auto dit = o->dkeys.begin(); dit != o->dkeys.end(); ++dit) {
+    for (auto ait = dit.value()->akeys.begin(); ait != dit.value()->akeys.end(); ++ait) {
+      AkeyNode& a = *ait.value();
+      if (a.has_sv) a.sv.punch(epoch);
+      if (a.has_arr) a.arr.punch_all(epoch);
+    }
+  }
+  o->array_end_hint = 0;
+}
+
+bool VosContainer::akey_visible(const AkeyNode& a, Epoch epoch) {
+  if (a.has_sv && a.sv.get(epoch).exists) return true;
+  return a.has_arr && a.arr.size(epoch) > 0;
+}
+
+std::vector<Key> VosContainer::list_dkeys(ObjId oid, Epoch epoch) const {
+  std::vector<Key> out;
+  const auto* o = find_obj(oid);
+  if (o == nullptr) return out;
+  auto& dkeys = const_cast<ObjectNode*>(o)->dkeys;
+  for (auto it = dkeys.begin(); it != dkeys.end(); ++it) {
+    auto& akeys = it.value()->akeys;
+    for (auto ait = akeys.begin(); ait != akeys.end(); ++ait) {
+      if (akey_visible(*ait.value(), epoch)) {
+        out.push_back(it.key());
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Key> VosContainer::list_akeys(ObjId oid, const Key& dkey, Epoch epoch) const {
+  std::vector<Key> out;
+  const auto* o = find_obj(oid);
+  if (o == nullptr) return out;
+  auto* dk = const_cast<ObjectNode*>(o)->dkeys.find(dkey);
+  if (dk == nullptr) return out;
+  for (auto it = (*dk)->akeys.begin(); it != (*dk)->akeys.end(); ++it) {
+    if (akey_visible(*it.value(), epoch)) out.push_back(it.key());
+  }
+  return out;
+}
+
+std::vector<ObjId> VosContainer::list_objects() const {
+  std::vector<ObjId> out;
+  auto& objects = const_cast<BPlusTree<ObjId, std::unique_ptr<ObjectNode>>&>(objects_);
+  for (auto it = objects.begin(); it != objects.end(); ++it) out.push_back(it.key());
+  return out;
+}
+
+void VosContainer::note_array_end(ObjId oid, std::uint64_t global_end) {
+  ObjectNode& o = obj(oid);
+  o.array_end_hint = std::max(o.array_end_hint, global_end);
+}
+
+std::uint64_t VosContainer::array_end_hint(ObjId oid) const {
+  const auto* o = find_obj(oid);
+  return o != nullptr ? o->array_end_hint : 0;
+}
+
+void VosContainer::aggregate(Epoch upto) {
+  auto& objects = objects_;
+  for (auto oit = objects.begin(); oit != objects.end(); ++oit) {
+    auto& dkeys = oit.value()->dkeys;
+    for (auto dit = dkeys.begin(); dit != dkeys.end(); ++dit) {
+      auto& akeys = dit.value()->akeys;
+      for (auto ait = akeys.begin(); ait != akeys.end(); ++ait) {
+        AkeyNode& a = *ait.value();
+        if (a.has_sv) a.sv.aggregate(upto);
+        if (a.has_arr) a.arr.aggregate(upto, mode_);
+      }
+    }
+  }
+}
+
+std::uint64_t VosContainer::stored_bytes() const {
+  std::uint64_t total = 0;
+  auto& objects = const_cast<BPlusTree<ObjId, std::unique_ptr<ObjectNode>>&>(objects_);
+  for (auto oit = objects.begin(); oit != objects.end(); ++oit) {
+    auto& dkeys = oit.value()->dkeys;
+    for (auto dit = dkeys.begin(); dit != dkeys.end(); ++dit) {
+      auto& akeys = dit.value()->akeys;
+      for (auto ait = akeys.begin(); ait != akeys.end(); ++ait) {
+        if (ait.value()->has_arr) total += ait.value()->arr.stored_bytes();
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace daosim::vos

@@ -1,0 +1,95 @@
+// VosContainer: one container's object index on one target.
+//
+// Index structure mirrors VOS: object table -> per-object dkey tree ->
+// per-dkey akey tree -> versioned records (single values or array extents).
+// Epochs within a container are issued by a monotonic counter (the engine's
+// transaction clock).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "vos/btree.hpp"
+#include "vos/types.hpp"
+#include "vos/value_store.hpp"
+
+namespace daosim::vos {
+
+class VosContainer {
+ public:
+  explicit VosContainer(PayloadMode mode) : mode_(mode) {}
+  VosContainer(VosContainer&&) noexcept = default;
+  VosContainer& operator=(VosContainer&&) noexcept = default;
+
+  /// Issues the next write epoch (monotonic per container).
+  Epoch next_epoch() { return ++epoch_clock_; }
+  Epoch current_epoch() const { return epoch_clock_; }
+  PayloadMode payload_mode() const { return mode_; }
+
+  // --- array records ---
+  void array_write(ObjId oid, const Key& dkey, const Key& akey, std::uint64_t offset,
+                   std::uint64_t length, std::span<const std::byte> data, Epoch epoch);
+  /// Returns bytes that overlapped written data; holes read as zero.
+  std::uint64_t array_read(ObjId oid, const Key& dkey, const Key& akey, std::uint64_t offset,
+                           std::span<std::byte> out, Epoch epoch) const;
+  std::uint64_t array_size(ObjId oid, const Key& dkey, const Key& akey, Epoch epoch) const;
+
+  // --- single-value (KV) records ---
+  void kv_put(ObjId oid, const Key& dkey, const Key& akey, std::span<const std::byte> value,
+              Epoch epoch);
+  SingleValueStore::View kv_get(ObjId oid, const Key& dkey, const Key& akey, Epoch epoch) const;
+
+  // --- punch ---
+  void punch_akey(ObjId oid, const Key& dkey, const Key& akey, Epoch epoch);
+  void punch_dkey(ObjId oid, const Key& dkey, Epoch epoch);
+  void punch_object(ObjId oid, Epoch epoch);
+
+  // --- enumeration ---
+  /// Dkeys with at least one record visible at `epoch`, in key order.
+  std::vector<Key> list_dkeys(ObjId oid, Epoch epoch) const;
+  std::vector<Key> list_akeys(ObjId oid, const Key& dkey, Epoch epoch) const;
+  std::vector<ObjId> list_objects() const;
+
+  /// Object-level array high-water mark (global array offset), maintained by
+  /// the client array API for O(1) size queries (mirrors the DAOS array
+  /// metadata record).
+  void note_array_end(ObjId oid, std::uint64_t global_end);
+  std::uint64_t array_end_hint(ObjId oid) const;
+
+  /// Merges record versions <= `upto` (background aggregation service).
+  void aggregate(Epoch upto);
+
+  std::size_t object_count() const { return objects_.size(); }
+  std::uint64_t stored_bytes() const;
+  std::uint64_t logical_bytes_written() const { return logical_bytes_; }
+
+ private:
+  struct AkeyNode {
+    SingleValueStore sv;
+    ArrayStore arr;
+    bool has_sv = false;
+    bool has_arr = false;
+  };
+  struct DkeyNode {
+    BPlusTree<Key, std::unique_ptr<AkeyNode>> akeys;
+  };
+  struct ObjectNode {
+    BPlusTree<Key, std::unique_ptr<DkeyNode>> dkeys;
+    std::uint64_t array_end_hint = 0;
+  };
+
+  ObjectNode& obj(ObjId oid);
+  const ObjectNode* find_obj(ObjId oid) const;
+  AkeyNode& akey_node(ObjId oid, const Key& dkey, const Key& akey);
+  const AkeyNode* find_akey(ObjId oid, const Key& dkey, const Key& akey) const;
+  static bool akey_visible(const AkeyNode& a, Epoch epoch);
+
+  PayloadMode mode_;
+  Epoch epoch_clock_ = 0;
+  std::uint64_t logical_bytes_ = 0;
+  BPlusTree<ObjId, std::unique_ptr<ObjectNode>> objects_;
+};
+
+}  // namespace daosim::vos

@@ -1,0 +1,51 @@
+// VosTarget: the per-target storage instance (one VOS pool shard in DAOS
+// terms). A target owns one VosContainer per container UUID; the engine
+// routes object shard I/O here.
+#pragma once
+
+#include <unordered_map>
+
+#include "vos/container.hpp"
+
+namespace daosim::vos {
+
+class VosTarget {
+ public:
+  explicit VosTarget(PayloadMode mode) : mode_(mode) {}
+
+  /// Opens (creating on first touch) the container's shard on this target.
+  VosContainer& container(Uuid uuid) {
+    auto it = containers_.find(uuid);
+    if (it == containers_.end()) {
+      it = containers_.emplace(uuid, VosContainer(mode_)).first;
+    }
+    return it->second;
+  }
+
+  const VosContainer* find_container(Uuid uuid) const {
+    auto it = containers_.find(uuid);
+    return it == containers_.end() ? nullptr : &it->second;
+  }
+
+  bool destroy_container(Uuid uuid) { return containers_.erase(uuid) > 0; }
+
+  std::size_t container_count() const { return containers_.size(); }
+  PayloadMode payload_mode() const { return mode_; }
+
+  std::uint64_t stored_bytes() const {
+    std::uint64_t total = 0;
+    for (const auto& [uuid, c] : containers_) total += c.stored_bytes();
+    return total;
+  }
+  std::uint64_t logical_bytes_written() const {
+    std::uint64_t total = 0;
+    for (const auto& [uuid, c] : containers_) total += c.logical_bytes_written();
+    return total;
+  }
+
+ private:
+  PayloadMode mode_;
+  std::unordered_map<Uuid, VosContainer> containers_;
+};
+
+}  // namespace daosim::vos

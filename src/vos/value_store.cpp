@@ -1,0 +1,203 @@
+#include "vos/value_store.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace daosim::vos {
+
+// ---------------------------------------------------------------------------
+// SingleValueStore
+
+void SingleValueStore::put(std::span<const std::byte> value, Epoch epoch, PayloadMode mode) {
+  DAOSIM_REQUIRE(versions_.empty() || versions_.back().epoch <= epoch,
+                 "single-value epochs must be non-decreasing");
+  Version v{epoch, false, value.size(), {}};
+  if (mode == PayloadMode::store) v.data.assign(value.begin(), value.end());
+  if (!versions_.empty() && versions_.back().epoch == epoch) {
+    versions_.back() = std::move(v);
+  } else {
+    versions_.push_back(std::move(v));
+  }
+}
+
+void SingleValueStore::punch(Epoch epoch) {
+  DAOSIM_REQUIRE(versions_.empty() || versions_.back().epoch <= epoch,
+                 "single-value epochs must be non-decreasing");
+  if (!versions_.empty() && versions_.back().epoch == epoch) {
+    versions_.back() = Version{epoch, true, 0, {}};
+  } else {
+    versions_.push_back(Version{epoch, true, 0, {}});
+  }
+}
+
+SingleValueStore::View SingleValueStore::get(Epoch epoch) const {
+  // Versions are sorted by epoch: find the last one <= epoch.
+  const Version* best = nullptr;
+  for (const auto& v : versions_) {
+    if (v.epoch > epoch) break;
+    best = &v;
+  }
+  if (best == nullptr || best->punched) return {};
+  return View{true, best->size, std::span<const std::byte>(best->data)};
+}
+
+void SingleValueStore::aggregate(Epoch upto) {
+  // Keep the newest version <= upto plus everything > upto.
+  const Version* keep = nullptr;
+  for (const auto& v : versions_) {
+    if (v.epoch > upto) break;
+    keep = &v;
+  }
+  if (keep == nullptr) return;
+  std::vector<Version> out;
+  for (auto& v : versions_) {
+    if (&v == keep || v.epoch > upto) out.push_back(std::move(v));
+  }
+  versions_ = std::move(out);
+}
+
+// ---------------------------------------------------------------------------
+// ArrayStore
+
+Epoch ArrayStore::last_full_punch_at(Epoch epoch) const {
+  Epoch last = 0;
+  for (Epoch p : full_punches_) {
+    if (p > epoch) break;
+    last = p;
+  }
+  return last;
+}
+
+void ArrayStore::write(std::uint64_t offset, std::uint64_t length,
+                       std::span<const std::byte> data, Epoch epoch, PayloadMode mode) {
+  if (length == 0) return;
+  DAOSIM_REQUIRE(extents_.empty() || extents_.back().epoch <= epoch,
+                 "array epochs must be non-decreasing");
+  Extent e{offset, length, epoch, false, {}};
+  // An empty span with store mode means "no payload shipped" (callers doing
+  // metadata-only I/O against a storing container): the extent reads as zeros.
+  if (mode == PayloadMode::store && !data.empty()) {
+    DAOSIM_REQUIRE(data.size() == length, "payload size mismatch (%zu vs %llu)", data.size(),
+                   (unsigned long long)length);
+    e.data.assign(data.begin(), data.end());
+    stored_bytes_ += length;
+  }
+  extents_.push_back(std::move(e));
+}
+
+void ArrayStore::punch_range(std::uint64_t offset, std::uint64_t length, Epoch epoch) {
+  if (length == 0) return;
+  DAOSIM_REQUIRE(extents_.empty() || extents_.back().epoch <= epoch,
+                 "array epochs must be non-decreasing");
+  extents_.push_back(Extent{offset, length, epoch, true, {}});
+}
+
+void ArrayStore::punch_all(Epoch epoch) {
+  DAOSIM_REQUIRE(full_punches_.empty() || full_punches_.back() <= epoch,
+                 "punch epochs must be non-decreasing");
+  if (full_punches_.empty() || full_punches_.back() != epoch) full_punches_.push_back(epoch);
+}
+
+std::uint64_t ArrayStore::read(std::uint64_t offset, std::span<std::byte> out,
+                               Epoch epoch) const {
+  std::fill(out.begin(), out.end(), std::byte{0});
+  if (out.empty()) return 0;
+  const Epoch floor = last_full_punch_at(epoch);
+  const std::uint64_t end = offset + out.size();
+
+  // Overlay extents oldest-to-newest: later versions overwrite earlier ones.
+  // Track fill state per byte to report the filled count.
+  std::vector<bool> filled(out.size(), false);
+  for (const auto& e : extents_) {
+    if (e.epoch > epoch || e.epoch <= floor) continue;
+    const std::uint64_t lo = std::max(offset, e.offset);
+    const std::uint64_t hi = std::min(end, e.offset + e.length);
+    if (lo >= hi) continue;
+    for (std::uint64_t b = lo; b < hi; ++b) {
+      const std::size_t oi = std::size_t(b - offset);
+      if (e.punch) {
+        out[oi] = std::byte{0};
+        filled[oi] = false;
+      } else {
+        out[oi] = e.data.empty() ? std::byte{0} : e.data[std::size_t(b - e.offset)];
+        filled[oi] = true;
+      }
+    }
+  }
+  return std::uint64_t(std::count(filled.begin(), filled.end(), true));
+}
+
+std::uint64_t ArrayStore::size(Epoch epoch) const {
+  const Epoch floor = last_full_punch_at(epoch);
+  std::uint64_t max_end = 0;
+  for (const auto& e : extents_) {
+    if (e.epoch > epoch || e.epoch <= floor || e.punch) continue;
+    max_end = std::max(max_end, e.offset + e.length);
+  }
+  return max_end;
+}
+
+void ArrayStore::aggregate(Epoch upto, PayloadMode mode) {
+  const Epoch floor = last_full_punch_at(upto);
+  // Elementary-segment resolution over all boundaries of extents <= upto.
+  std::vector<std::uint64_t> cuts;
+  std::vector<const Extent*> old_extents;
+  std::vector<Extent> keep;
+  for (auto& e : extents_) {
+    if (e.epoch > upto) {
+      keep.push_back(std::move(e));
+    } else if (e.epoch > floor) {
+      old_extents.push_back(&e);
+      cuts.push_back(e.offset);
+      cuts.push_back(e.offset + e.length);
+    }
+  }
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+  std::vector<Extent> merged;
+  for (std::size_t s = 0; s + 1 < cuts.size(); ++s) {
+    const std::uint64_t lo = cuts[s], hi = cuts[s + 1];
+    // Newest covering extent wins for the whole elementary segment.
+    const Extent* top = nullptr;
+    for (const Extent* e : old_extents) {
+      if (e->offset <= lo && e->offset + e->length >= hi) top = e;  // ascending epoch
+    }
+    if (top == nullptr || top->punch) continue;
+    const bool has_payload = mode == PayloadMode::store && !top->data.empty();
+    // Coalesce with the previous merged extent when contiguous and both
+    // sides carry (or both lack) payload bytes.
+    if (!merged.empty() && merged.back().offset + merged.back().length == lo &&
+        (merged.back().data.size() == merged.back().length) == has_payload) {
+      auto& prev = merged.back();
+      prev.length += hi - lo;
+      if (has_payload) {
+        const auto* src = top->data.data() + (lo - top->offset);
+        prev.data.insert(prev.data.end(), src, src + (hi - lo));
+      }
+      continue;
+    }
+    Extent m{lo, hi - lo, upto, false, {}};
+    if (has_payload) {
+      m.data.assign(top->data.begin() + std::ptrdiff_t(lo - top->offset),
+                    top->data.begin() + std::ptrdiff_t(hi - top->offset));
+    }
+    merged.push_back(std::move(m));
+  }
+
+  stored_bytes_ = 0;
+  extents_.clear();
+  for (auto& e : merged) {
+    stored_bytes_ += e.data.size();
+    extents_.push_back(std::move(e));
+  }
+  for (auto& e : keep) {
+    stored_bytes_ += e.data.size();
+    extents_.push_back(std::move(e));
+  }
+  // Full punches <= upto are now baked into the merged extents.
+  std::erase_if(full_punches_, [&](Epoch p) { return p <= upto; });
+}
+
+}  // namespace daosim::vos

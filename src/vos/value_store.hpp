@@ -1,0 +1,90 @@
+// Versioned value stores for one attribute key (akey):
+//   SingleValueStore — one value per epoch (DAOS "single value" records)
+//   ArrayStore       — byte-extent records with epoch-resolved visibility
+//
+// Both keep every version until aggregate() merges epochs, mirroring VOS's
+// multi-version design.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "vos/types.hpp"
+
+namespace daosim::vos {
+
+class SingleValueStore {
+ public:
+  void put(std::span<const std::byte> value, Epoch epoch, PayloadMode mode);
+  void punch(Epoch epoch);
+
+  /// Latest value visible at `epoch`; nullptr if none (or punched).
+  /// With PayloadMode::discard, returns an empty-but-present record.
+  struct View {
+    bool exists = false;
+    std::uint64_t size = 0;
+    std::span<const std::byte> data{};  // empty in discard mode
+  };
+  View get(Epoch epoch) const;
+
+  /// Drops versions shadowed at `upto`.
+  void aggregate(Epoch upto);
+
+  std::size_t version_count() const { return versions_.size(); }
+
+ private:
+  struct Version {
+    Epoch epoch;
+    bool punched;
+    std::uint64_t size;
+    std::vector<std::byte> data;
+  };
+  std::vector<Version> versions_;  // ascending epoch
+};
+
+class ArrayStore {
+ public:
+  /// Records a write of `length` bytes at `offset`. `data` may be empty in
+  /// discard mode; otherwise data.size() == length.
+  void write(std::uint64_t offset, std::uint64_t length, std::span<const std::byte> data,
+             Epoch epoch, PayloadMode mode);
+
+  /// Punches (logically zeroes / removes) the byte range at `epoch`.
+  void punch_range(std::uint64_t offset, std::uint64_t length, Epoch epoch);
+  /// Punches the whole akey at `epoch`: size drops to zero.
+  void punch_all(Epoch epoch);
+
+  /// Reads `out.size()` bytes at `offset` as visible at `epoch`. Holes and
+  /// punched ranges read as zero. Returns the number of bytes that overlap
+  /// written data (the "filled" count).
+  std::uint64_t read(std::uint64_t offset, std::span<std::byte> out, Epoch epoch) const;
+
+  /// Highest written offset+length visible at `epoch` (0 if empty/punched).
+  std::uint64_t size(Epoch epoch) const;
+
+  /// Merges all versions <= `upto` into flat non-overlapping extents.
+  void aggregate(Epoch upto, PayloadMode mode);
+
+  std::size_t extent_count() const { return extents_.size(); }
+  std::uint64_t stored_bytes() const { return stored_bytes_; }
+
+ private:
+  struct Extent {
+    std::uint64_t offset;
+    std::uint64_t length;
+    Epoch epoch;
+    bool punch;  // range punch: reads as hole above older data
+    std::vector<std::byte> data;  // empty in discard mode or punch extents
+  };
+  // Ascending epoch order (append-only between aggregations). Visibility is
+  // resolved by overlaying extents oldest-to-newest.
+  std::vector<Extent> extents_;
+  std::vector<Epoch> full_punches_;  // ascending
+  std::uint64_t stored_bytes_ = 0;
+
+  Epoch last_full_punch_at(Epoch epoch) const;
+};
+
+}  // namespace daosim::vos

@@ -1,0 +1,240 @@
+// B+ tree unit and property tests. The property suites drive the tree with
+// randomized workloads and cross-check every observable behaviour against a
+// std::map oracle, validating structural invariants after each phase.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "sim/random.hpp"
+#include "vos/btree.hpp"
+
+namespace daosim::vos {
+namespace {
+
+TEST(BPlusTree, EmptyTree) {
+  BPlusTree<int, int> t;
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.find(1), nullptr);
+  EXPECT_FALSE(t.erase(1));
+  EXPECT_EQ(t.begin(), t.end());
+  t.validate();
+}
+
+TEST(BPlusTree, InsertFindSingle) {
+  BPlusTree<int, std::string> t;
+  EXPECT_TRUE(t.insert_or_assign(7, "seven"));
+  ASSERT_NE(t.find(7), nullptr);
+  EXPECT_EQ(*t.find(7), "seven");
+  EXPECT_EQ(t.find(8), nullptr);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(BPlusTree, AssignOverwrites) {
+  BPlusTree<int, int> t;
+  EXPECT_TRUE(t.insert_or_assign(1, 10));
+  EXPECT_FALSE(t.insert_or_assign(1, 20));
+  EXPECT_EQ(*t.find(1), 20);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(BPlusTree, SplitsAtCapacity) {
+  BPlusTree<int, int> t;  // MaxKeys = 15
+  for (int i = 0; i < 100; ++i) t.insert_or_assign(i, i * i);
+  t.validate();
+  EXPECT_EQ(t.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_NE(t.find(i), nullptr) << i;
+    EXPECT_EQ(*t.find(i), i * i);
+  }
+}
+
+TEST(BPlusTree, ReverseInsertionStaysSorted) {
+  BPlusTree<int, int> t;
+  for (int i = 99; i >= 0; --i) t.insert_or_assign(i, i);
+  t.validate();
+  int expect = 0;
+  for (auto it = t.begin(); it != t.end(); ++it) EXPECT_EQ(it.key(), expect++);
+  EXPECT_EQ(expect, 100);
+}
+
+TEST(BPlusTree, EraseLeafOnly) {
+  BPlusTree<int, int> t;
+  for (int i = 0; i < 5; ++i) t.insert_or_assign(i, i);
+  EXPECT_TRUE(t.erase(2));
+  EXPECT_FALSE(t.erase(2));
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.find(2), nullptr);
+  t.validate();
+}
+
+TEST(BPlusTree, EraseEverythingAscending) {
+  BPlusTree<int, int> t;
+  for (int i = 0; i < 200; ++i) t.insert_or_assign(i, i);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(t.erase(i)) << i;
+    t.validate();
+  }
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(BPlusTree, EraseEverythingDescending) {
+  BPlusTree<int, int> t;
+  for (int i = 0; i < 200; ++i) t.insert_or_assign(i, i);
+  for (int i = 199; i >= 0; --i) {
+    ASSERT_TRUE(t.erase(i)) << i;
+    t.validate();
+  }
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(BPlusTree, LowerBoundSemantics) {
+  BPlusTree<int, int> t;
+  for (int i = 0; i < 100; i += 10) t.insert_or_assign(i, i);
+  auto it = t.lower_bound(35);
+  ASSERT_TRUE(it.valid());
+  EXPECT_EQ(it.key(), 40);
+  it = t.lower_bound(40);
+  ASSERT_TRUE(it.valid());
+  EXPECT_EQ(it.key(), 40);
+  it = t.lower_bound(91);
+  EXPECT_FALSE(it.valid());
+  it = t.lower_bound(-5);
+  ASSERT_TRUE(it.valid());
+  EXPECT_EQ(it.key(), 0);
+}
+
+TEST(BPlusTree, IterationCoversAllInOrder) {
+  BPlusTree<int, int> t;
+  sim::Xoshiro256 rng(3);
+  std::map<int, int> oracle;
+  for (int i = 0; i < 1000; ++i) {
+    const int k = int(rng.uniform(5000));
+    t.insert_or_assign(k, i);
+    oracle[k] = i;
+  }
+  auto oit = oracle.begin();
+  for (auto it = t.begin(); it != t.end(); ++it, ++oit) {
+    ASSERT_NE(oit, oracle.end());
+    EXPECT_EQ(it.key(), oit->first);
+    EXPECT_EQ(it.value(), oit->second);
+  }
+  EXPECT_EQ(oit, oracle.end());
+}
+
+TEST(BPlusTree, MoveOnlyValues) {
+  BPlusTree<int, std::unique_ptr<int>> t;
+  for (int i = 0; i < 100; ++i) t.insert_or_assign(i, std::make_unique<int>(i));
+  for (int i = 0; i < 100; i += 2) t.erase(i);
+  t.validate();
+  ASSERT_NE(t.find(51), nullptr);
+  EXPECT_EQ(**t.find(51), 51);
+  EXPECT_EQ(t.find(50), nullptr);
+}
+
+TEST(BPlusTree, StringKeys) {
+  BPlusTree<std::string, int> t;
+  t.insert_or_assign("delta", 4);
+  t.insert_or_assign("alpha", 1);
+  t.insert_or_assign("charlie", 3);
+  t.insert_or_assign("bravo", 2);
+  int expect = 1;
+  for (auto it = t.begin(); it != t.end(); ++it) EXPECT_EQ(it.value(), expect++);
+}
+
+TEST(BPlusTree, ClearResets) {
+  BPlusTree<int, int> t;
+  for (int i = 0; i < 50; ++i) t.insert_or_assign(i, i);
+  t.clear();
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.find(10), nullptr);
+  t.insert_or_assign(1, 1);
+  EXPECT_EQ(t.size(), 1u);
+  t.validate();
+}
+
+// Property: a random mix of inserts, overwrites and erases matches std::map
+// exactly (size, membership, values, ordered iteration), and invariants hold.
+class BTreeOracleProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BTreeOracleProperty, MatchesStdMap) {
+  sim::Xoshiro256 rng(GetParam());
+  BPlusTree<std::uint64_t, std::uint64_t> t;
+  std::map<std::uint64_t, std::uint64_t> oracle;
+  const std::uint64_t key_space = 1 + rng.uniform(2000);
+  for (int step = 0; step < 5000; ++step) {
+    const std::uint64_t k = rng.uniform(key_space);
+    switch (rng.uniform(3)) {
+      case 0:
+      case 1: {  // insert / overwrite
+        const std::uint64_t v = rng();
+        const bool inserted = t.insert_or_assign(k, v);
+        EXPECT_EQ(inserted, oracle.find(k) == oracle.end());
+        oracle[k] = v;
+        break;
+      }
+      case 2: {  // erase
+        EXPECT_EQ(t.erase(k), oracle.erase(k) > 0);
+        break;
+      }
+    }
+  }
+  t.validate();
+  EXPECT_EQ(t.size(), oracle.size());
+  for (const auto& [k, v] : oracle) {
+    ASSERT_NE(t.find(k), nullptr) << k;
+    EXPECT_EQ(*t.find(k), v);
+  }
+  auto oit = oracle.begin();
+  for (auto it = t.begin(); it != t.end(); ++it, ++oit) {
+    EXPECT_EQ(it.key(), oit->first);
+  }
+  // lower_bound agreement on random probes.
+  for (int probe = 0; probe < 200; ++probe) {
+    const std::uint64_t k = rng.uniform(key_space + 10);
+    auto ti = t.lower_bound(k);
+    auto oi = oracle.lower_bound(k);
+    if (oi == oracle.end()) {
+      EXPECT_FALSE(ti.valid());
+    } else {
+      ASSERT_TRUE(ti.valid());
+      EXPECT_EQ(ti.key(), oi->first);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BTreeOracleProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+// Property: dense churn around the underflow boundary exercises every
+// borrow/merge path.
+class BTreeChurnProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BTreeChurnProperty, SurvivesTightChurn) {
+  sim::Xoshiro256 rng(GetParam() * 7919);
+  BPlusTree<int, int> t;
+  std::map<int, int> oracle;
+  for (int round = 0; round < 40; ++round) {
+    // Grow.
+    for (int i = 0; i < 120; ++i) {
+      const int k = int(rng.uniform(300));
+      t.insert_or_assign(k, round);
+      oracle[k] = round;
+    }
+    t.validate();
+    // Shrink hard.
+    for (int i = 0; i < 140; ++i) {
+      const int k = int(rng.uniform(300));
+      EXPECT_EQ(t.erase(k), oracle.erase(k) > 0);
+    }
+    t.validate();
+    EXPECT_EQ(t.size(), oracle.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BTreeChurnProperty, ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace daosim::vos

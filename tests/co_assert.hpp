@@ -1,0 +1,41 @@
+// Coroutine-safe assertion macros: gtest's ASSERT_* use `return`, which is
+// illegal inside a coroutine; these record the failure and co_return.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#define CO_ASSERT_TRUE(cond)                              \
+  do {                                                    \
+    if (!(cond)) {                                        \
+      ADD_FAILURE() << "CO_ASSERT_TRUE(" #cond ")";       \
+      co_return;                                          \
+    }                                                     \
+  } while (0)
+
+#define CO_ASSERT_OK(expr)                                               \
+  do {                                                                   \
+    const auto& co_assert_val = (expr);                                  \
+    if (!co_assert_val.ok()) {                                           \
+      ADD_FAILURE() << #expr << " failed: "                              \
+                    << ::daosim::errno_name(co_assert_val.error());      \
+      co_return;                                                         \
+    }                                                                    \
+  } while (0)
+
+#define CO_ASSERT_EQ(a, b)                                \
+  do {                                                    \
+    if (!((a) == (b))) {                                  \
+      ADD_FAILURE() << "CO_ASSERT_EQ(" #a ", " #b ")";    \
+      co_return;                                          \
+    }                                                     \
+  } while (0)
+
+#define CO_ASSERT_ERRNO(expr, expected)                                      \
+  do {                                                                       \
+    const auto co_assert_rc = (expr);                                        \
+    if (co_assert_rc != (expected)) {                                        \
+      ADD_FAILURE() << #expr << " = " << ::daosim::errno_name(co_assert_rc)  \
+                    << ", expected " << ::daosim::errno_name(expected);      \
+      co_return;                                                             \
+    }                                                                        \
+  } while (0)

@@ -1,0 +1,507 @@
+// Unit and property tests for the discrete-event simulation kernel.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "sim/bandwidth.hpp"
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/stats.hpp"
+#include "sim/sync.hpp"
+
+namespace daosim::sim {
+namespace {
+
+CoTask<void> record_at(Scheduler& s, Time dt, std::vector<Time>& out) {
+  co_await s.delay(dt);
+  out.push_back(s.now());
+}
+
+TEST(Scheduler, DelayAdvancesVirtualTime) {
+  Scheduler s;
+  std::vector<Time> seen;
+  s.spawn(record_at(s, 500, seen));
+  s.spawn(record_at(s, 100, seen));
+  s.spawn(record_at(s, 300, seen));
+  s.run();
+  EXPECT_EQ(seen, (std::vector<Time>{100, 300, 500}));
+  EXPECT_EQ(s.now(), 500u);
+}
+
+TEST(Scheduler, FifoOrderAtEqualTimes) {
+  Scheduler s;
+  std::vector<int> order;
+  auto proc = [&](int id) -> CoTask<void> {
+    co_await s.delay(42);
+    order.push_back(id);
+  };
+  for (int i = 0; i < 8; ++i) s.spawn(proc(i));
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(Scheduler, NestedCoTasksReturnValues) {
+  Scheduler s;
+  auto leaf = [&](int x) -> CoTask<int> {
+    co_await s.delay(10);
+    co_return x * 2;
+  };
+  auto mid = [&](int x) -> CoTask<int> {
+    int a = co_await leaf(x);
+    int b = co_await leaf(a);
+    co_return a + b;
+  };
+  int result = 0;
+  auto top = [&]() -> CoTask<void> {
+    result = co_await mid(5);
+  };
+  s.spawn(top());
+  s.run();
+  EXPECT_EQ(result, 10 + 20);
+  EXPECT_EQ(s.now(), 20u);  // two sequential 10ns leaf delays
+}
+
+TEST(Scheduler, ExceptionPropagatesThroughAwaitChain) {
+  Scheduler s;
+  auto thrower = [&]() -> CoTask<void> {
+    co_await s.delay(5);
+    throw DaosimError("boom");
+  };
+  bool caught = false;
+  auto top = [&]() -> CoTask<void> {
+    try {
+      co_await thrower();
+    } catch (const DaosimError&) {
+      caught = true;
+    }
+  };
+  s.spawn(top());
+  s.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(Scheduler, UncaughtExceptionAbortsRun) {
+  Scheduler s;
+  auto thrower = [&]() -> CoTask<void> {
+    co_await s.delay(5);
+    throw DaosimError("boom");
+  };
+  s.spawn(thrower());
+  EXPECT_THROW(s.run(), DaosimError);
+}
+
+TEST(Scheduler, DeadlockDetected) {
+  Scheduler s;
+  auto ev = std::make_shared<Event>(s);
+  auto waiter = [&, ev]() -> CoTask<void> {
+    co_await ev->wait();  // never set
+  };
+  s.spawn(waiter());
+  EXPECT_THROW(s.run(), DaosimError);
+}
+
+TEST(Scheduler, CancelledTimerDoesNotFire) {
+  Scheduler s;
+  bool fired = false;
+  Timer t = s.schedule_callback(100, [&] { fired = true; });
+  t.cancel();
+  s.schedule_callback(200, [] {});
+  s.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(s.now(), 200u);
+}
+
+TEST(Scheduler, RunUntilStopsAtBoundary) {
+  Scheduler s;
+  std::vector<Time> seen;
+  s.spawn(record_at(s, 100, seen));
+  s.spawn(record_at(s, 900, seen));
+  const bool more = s.run_until(500);
+  EXPECT_TRUE(more);
+  EXPECT_EQ(seen, (std::vector<Time>{100}));
+  EXPECT_EQ(s.now(), 500u);
+  s.run();
+  EXPECT_EQ(seen.size(), 2u);
+}
+
+TEST(Event, WakesAllWaiters) {
+  Scheduler s;
+  Event ev(s);
+  int woke = 0;
+  auto waiter = [&]() -> CoTask<void> {
+    co_await ev.wait();
+    ++woke;
+  };
+  for (int i = 0; i < 5; ++i) s.spawn(waiter());
+  s.spawn([&]() -> CoTask<void> {
+    co_await s.delay(50);
+    ev.set();
+  });
+  s.run();
+  EXPECT_EQ(woke, 5);
+}
+
+TEST(Event, WaitAfterSetIsImmediate) {
+  Scheduler s;
+  Event ev(s);
+  ev.set();
+  Time when = ~0ULL;
+  s.spawn([&]() -> CoTask<void> {
+    co_await ev.wait();
+    when = s.now();
+  });
+  s.run();
+  EXPECT_EQ(when, 0u);
+}
+
+TEST(Semaphore, LimitsConcurrency) {
+  Scheduler s;
+  Semaphore sem(s, 2);
+  int active = 0, peak = 0;
+  auto worker = [&]() -> CoTask<void> {
+    co_await sem.acquire();
+    peak = std::max(peak, ++active);
+    co_await s.delay(100);
+    --active;
+    sem.release();
+  };
+  for (int i = 0; i < 10; ++i) s.spawn(worker());
+  s.run();
+  EXPECT_EQ(peak, 2);
+  EXPECT_EQ(s.now(), 500u);  // 10 workers / 2 wide * 100ns
+}
+
+TEST(Semaphore, FifoHandoff) {
+  Scheduler s;
+  Semaphore sem(s, 1);
+  std::vector<int> order;
+  auto worker = [&](int id) -> CoTask<void> {
+    co_await sem.acquire();
+    order.push_back(id);
+    co_await s.delay(10);
+    sem.release();
+  };
+  for (int i = 0; i < 6; ++i) s.spawn(worker(i));
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(Mutex, ScopedLockReleasesOnScopeExit) {
+  Scheduler s;
+  Mutex m(s);
+  int inside = 0;
+  bool overlapped = false;
+  auto worker = [&]() -> CoTask<void> {
+    auto guard = co_await ScopedLock::acquire(m);
+    if (++inside > 1) overlapped = true;
+    co_await s.delay(10);
+    --inside;
+  };
+  for (int i = 0; i < 4; ++i) s.spawn(worker());
+  s.run();
+  EXPECT_FALSE(overlapped);
+}
+
+TEST(Channel, DeliversInOrder) {
+  Scheduler s;
+  Channel<int> ch(s);
+  std::vector<int> got;
+  s.spawn([&]() -> CoTask<void> {
+    for (int i = 0; i < 5; ++i) {
+      int v = co_await ch.pop();
+      got.push_back(v);
+    }
+  });
+  s.spawn([&]() -> CoTask<void> {
+    for (int i = 0; i < 5; ++i) {
+      co_await s.delay(10);
+      ch.push(i);
+    }
+  });
+  s.run();
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Channel, PopBeforePushSuspends) {
+  Scheduler s;
+  Channel<std::string> ch(s);
+  std::string got;
+  Time when = 0;
+  s.spawn([&]() -> CoTask<void> {
+    got = co_await ch.pop();
+    when = s.now();
+  });
+  s.spawn([&]() -> CoTask<void> {
+    co_await s.delay(77);
+    ch.push("hello");
+  });
+  s.run();
+  EXPECT_EQ(got, "hello");
+  EXPECT_EQ(when, 77u);
+}
+
+TEST(WaitGroup, JoinsAllChildren) {
+  Scheduler s;
+  WaitGroup wg(s);
+  int done = 0;
+  Time joined = 0;
+  auto child = [&](Time dt) -> CoTask<void> {
+    co_await s.delay(dt);
+    ++done;
+  };
+  s.spawn([&]() -> CoTask<void> {
+    wg.spawn(child(100));
+    wg.spawn(child(300));
+    wg.spawn(child(200));
+    co_await wg.wait();
+    joined = s.now();
+  });
+  s.run();
+  EXPECT_EQ(done, 3);
+  EXPECT_EQ(joined, 300u);
+}
+
+TEST(WaitGroup, WaitWithNoChildrenIsImmediate) {
+  Scheduler s;
+  WaitGroup wg(s);
+  bool reached = false;
+  s.spawn([&]() -> CoTask<void> {
+    co_await wg.wait();
+    reached = true;
+  });
+  s.run();
+  EXPECT_TRUE(reached);
+}
+
+TEST(WhenAll, CompletesAtSlowestTask) {
+  Scheduler s;
+  Time done_at = 0;
+  auto sleeper = [&](Time dt) -> CoTask<void> { co_await s.delay(dt); };
+  s.spawn([&]() -> CoTask<void> {
+    std::vector<CoTask<void>> v;
+    v.push_back(sleeper(10));
+    v.push_back(sleeper(500));
+    v.push_back(sleeper(100));
+    co_await when_all(s, std::move(v));
+    done_at = s.now();
+  });
+  s.run();
+  EXPECT_EQ(done_at, 500u);
+}
+
+// ---------------------------------------------------------------------------
+// SharedBandwidth (processor sharing)
+
+TEST(SharedBandwidth, SingleFlowExactTime) {
+  Scheduler s;
+  SharedBandwidth bw(s, 1e9);  // 1 GB/s = 1 byte/ns
+  Time done = 0;
+  s.spawn([&]() -> CoTask<void> {
+    co_await bw.transfer(1'000'000);
+    done = s.now();
+  });
+  s.run();
+  EXPECT_EQ(done, 1'000'000u);
+}
+
+TEST(SharedBandwidth, TwoEqualFlowsShareFairly) {
+  Scheduler s;
+  SharedBandwidth bw(s, 1e9);
+  std::vector<Time> done;
+  auto flow = [&]() -> CoTask<void> {
+    co_await bw.transfer(1'000'000);
+    done.push_back(s.now());
+  };
+  s.spawn(flow());
+  s.spawn(flow());
+  s.run();
+  ASSERT_EQ(done.size(), 2u);
+  // Both finish together at 2x the solo time.
+  EXPECT_NEAR(double(done[0]), 2'000'000.0, 2.0);
+  EXPECT_NEAR(double(done[1]), 2'000'000.0, 2.0);
+}
+
+TEST(SharedBandwidth, LateArrivalGetsRemainingShare) {
+  Scheduler s;
+  SharedBandwidth bw(s, 1e9);
+  Time first = 0, second = 0;
+  s.spawn([&]() -> CoTask<void> {
+    co_await bw.transfer(1'000'000);
+    first = s.now();
+  });
+  s.spawn([&]() -> CoTask<void> {
+    co_await s.delay(500'000);  // arrives when flow 1 is half done
+    co_await bw.transfer(1'000'000);
+    second = s.now();
+  });
+  s.run();
+  // Flow1: 500k solo + 500k shared (takes 1000k) -> done at 1.5e6.
+  EXPECT_NEAR(double(first), 1'500'000.0, 5.0);
+  // Flow2: 500k shared (takes 1000k) + 500k solo -> done at 2.0e6.
+  EXPECT_NEAR(double(second), 2'000'000.0, 5.0);
+}
+
+TEST(SharedBandwidth, AggregateRateConserved) {
+  Scheduler s;
+  SharedBandwidth bw(s, 2e9);
+  const int n = 7;
+  const std::uint64_t bytes = 3'000'000;
+  Time done = 0;
+  auto flow = [&]() -> CoTask<void> {
+    co_await bw.transfer(bytes);
+    done = std::max(done, s.now());
+  };
+  for (int i = 0; i < n; ++i) s.spawn(flow());
+  s.run();
+  const double expect_ns = double(n) * double(bytes) / 2.0;  // 2 bytes/ns
+  EXPECT_NEAR(double(done), expect_ns, expect_ns * 1e-6 + 10);
+  EXPECT_EQ(bw.bytes_served(), std::uint64_t(n) * bytes);
+}
+
+TEST(SharedBandwidth, EfficiencyCurveDegradesThroughput) {
+  Scheduler s;
+  EfficiencyCurve eff{2, 1.0, 0.25};  // halves per doubling beyond 2 flows
+  SharedBandwidth bw(s, 1e9, eff);
+  Time done = 0;
+  for (int i = 0; i < 4; ++i) {
+    s.spawn([&]() -> CoTask<void> {
+      co_await bw.transfer(1'000'000);
+      done = s.now();
+    });
+  }
+  s.run();
+  // 4 flows, eff(4) = (2/4)^1 = 0.5 -> total rate 0.5 byte/ns.
+  EXPECT_NEAR(double(done), 8'000'000.0, 20.0);
+}
+
+TEST(SharedBandwidth, BusyTimeTracksActivity) {
+  Scheduler s;
+  SharedBandwidth bw(s, 1e9);
+  s.spawn([&]() -> CoTask<void> {
+    co_await bw.transfer(1000);
+    co_await s.delay(5000);  // idle gap
+    co_await bw.transfer(1000);
+  });
+  s.run();
+  EXPECT_NEAR(double(bw.busy_time()), 2000.0, 4.0);
+}
+
+TEST(SharedBandwidth, ZeroByteTransferIsFree) {
+  Scheduler s;
+  SharedBandwidth bw(s, 1e9);
+  Time done = 1;
+  s.spawn([&]() -> CoTask<void> {
+    co_await bw.transfer(0);
+    done = s.now();
+  });
+  s.run();
+  EXPECT_EQ(done, 0u);
+}
+
+// Property: for any mix of flow sizes and arrival times, total service time
+// conservation holds: sum(bytes) == bytes_served and the last completion is
+// at least sum(bytes)/rate.
+class BandwidthProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BandwidthProperty, ConservationAndWorkBound) {
+  Scheduler s;
+  Xoshiro256 rng(GetParam());
+  SharedBandwidth bw(s, 1e9);
+  const int n = 20;
+  std::uint64_t total = 0;
+  Time last_done = 0;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t bytes = 1000 + rng.uniform(500'000);
+    const Time start = rng.uniform(1'000'000);
+    total += bytes;
+    s.spawn([&, bytes, start]() -> CoTask<void> {
+      co_await s.delay(start);
+      co_await bw.transfer(bytes);
+      last_done = std::max(last_done, s.now());
+    });
+  }
+  s.run();
+  EXPECT_NEAR(double(bw.bytes_served()), double(total), 1.0);
+  // Work conservation: cannot finish faster than total/rate.
+  EXPECT_GE(double(last_done) + 2.0, double(total) / 1.0);
+  // And cannot be slower than serial arrival-adjusted upper bound.
+  EXPECT_LE(last_done, Time(2'000'000 + total));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BandwidthProperty, ::testing::Values(1, 2, 3, 7, 13, 42, 99));
+
+// ---------------------------------------------------------------------------
+// RNG and stats
+
+TEST(Random, DeterministicFromSeed) {
+  Xoshiro256 a(123), b(123), c(124);
+  bool all_equal = true, any_diff = false;
+  for (int i = 0; i < 100; ++i) {
+    auto va = a(), vb = b(), vc = c();
+    all_equal &= (va == vb);
+    any_diff |= (va != vc);
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Random, UniformBoundsRespected) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(rng.uniform(17), 17u);
+  }
+}
+
+TEST(Random, UniformIsRoughlyUniform) {
+  Xoshiro256 rng(11);
+  std::map<std::uint64_t, int> counts;
+  const int n = 100'000, buckets = 10;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform(buckets)];
+  for (auto& [bucket, count] : counts) {
+    EXPECT_NEAR(count, n / buckets, n / buckets * 0.1) << "bucket " << bucket;
+  }
+}
+
+TEST(Random, ForkGivesIndependentStream) {
+  Xoshiro256 rng(5);
+  auto f1 = rng.fork(1);
+  auto f2 = rng.fork(2);
+  EXPECT_NE(f1(), f2());
+}
+
+TEST(Random, Uniform01InRange) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Stats, SummaryMoments) {
+  Summary s;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_NEAR(s.stddev(), 1.5811, 1e-3);
+  EXPECT_EQ(s.count(), 5u);
+}
+
+TEST(Stats, Percentiles) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(double(i));
+  EXPECT_NEAR(s.median(), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(0), 1.0, 1e-9);
+  EXPECT_NEAR(s.percentile(100), 100.0, 1e-9);
+  EXPECT_NEAR(s.percentile(90), 90.1, 1e-9);
+}
+
+TEST(Stats, PercentileOfEmptyThrows) {
+  Samples s;
+  EXPECT_THROW(s.percentile(50), DaosimError);
+}
+
+}  // namespace
+}  // namespace daosim::sim

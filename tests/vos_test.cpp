@@ -1,0 +1,341 @@
+// Tests for the Versioned Object Store: single-value epochs, array extent
+// visibility, punches, enumeration, aggregation — including a randomized
+// property suite cross-checked against a flat byte-map oracle.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "vos/container.hpp"
+#include "vos/target.hpp"
+
+namespace daosim::vos {
+namespace {
+
+std::vector<std::byte> bytes(const std::string& s) {
+  std::vector<std::byte> v(s.size());
+  std::memcpy(v.data(), s.data(), s.size());
+  return v;
+}
+std::string str(std::span<const std::byte> s) {
+  return std::string(reinterpret_cast<const char*>(s.data()), s.size());
+}
+
+constexpr ObjId kOid{1, 100};
+
+TEST(SingleValue, LatestVisibleAtEpoch) {
+  SingleValueStore sv;
+  auto v1 = bytes("one"), v2 = bytes("two");
+  sv.put(v1, 10, PayloadMode::store);
+  sv.put(v2, 20, PayloadMode::store);
+  EXPECT_FALSE(sv.get(9).exists);
+  EXPECT_EQ(str(sv.get(10).data), "one");
+  EXPECT_EQ(str(sv.get(15).data), "one");
+  EXPECT_EQ(str(sv.get(20).data), "two");
+  EXPECT_EQ(str(sv.get(kEpochMax).data), "two");
+}
+
+TEST(SingleValue, PunchHidesValue) {
+  SingleValueStore sv;
+  auto v = bytes("x");
+  sv.put(v, 5, PayloadMode::store);
+  sv.punch(8);
+  EXPECT_TRUE(sv.get(7).exists);
+  EXPECT_FALSE(sv.get(8).exists);
+  EXPECT_FALSE(sv.get(100).exists);
+}
+
+TEST(SingleValue, RewriteAfterPunch) {
+  SingleValueStore sv;
+  auto v1 = bytes("a"), v2 = bytes("b");
+  sv.put(v1, 1, PayloadMode::store);
+  sv.punch(2);
+  sv.put(v2, 3, PayloadMode::store);
+  EXPECT_FALSE(sv.get(2).exists);
+  EXPECT_EQ(str(sv.get(3).data), "b");
+}
+
+TEST(SingleValue, AggregateDropsShadowedVersions) {
+  SingleValueStore sv;
+  for (Epoch e = 1; e <= 10; ++e) {
+    auto v = bytes(strfmt("v%llu", (unsigned long long)e));
+    sv.put(v, e, PayloadMode::store);
+  }
+  EXPECT_EQ(sv.version_count(), 10u);
+  sv.aggregate(7);
+  EXPECT_EQ(sv.version_count(), 4u);  // v7 + v8..v10
+  EXPECT_EQ(str(sv.get(7).data), "v7");
+  EXPECT_EQ(str(sv.get(9).data), "v9");
+}
+
+TEST(ArrayStore, WriteReadRoundTrip) {
+  ArrayStore a;
+  auto d = bytes("hello world");
+  a.write(100, d.size(), d, 1, PayloadMode::store);
+  std::vector<std::byte> out(11);
+  EXPECT_EQ(a.read(100, out, 1), 11u);
+  EXPECT_EQ(str(out), "hello world");
+  EXPECT_EQ(a.size(1), 111u);
+}
+
+TEST(ArrayStore, HolesReadAsZero) {
+  ArrayStore a;
+  auto d = bytes("xy");
+  a.write(10, 2, d, 1, PayloadMode::store);
+  std::vector<std::byte> out(6);
+  EXPECT_EQ(a.read(8, out, 1), 2u);
+  EXPECT_EQ(out[0], std::byte{0});
+  EXPECT_EQ(out[1], std::byte{0});
+  EXPECT_EQ(char(out[2]), 'x');
+  EXPECT_EQ(char(out[3]), 'y');
+  EXPECT_EQ(out[4], std::byte{0});
+}
+
+TEST(ArrayStore, NewerEpochShadowsOlder) {
+  ArrayStore a;
+  auto d1 = bytes("aaaa"), d2 = bytes("BB");
+  a.write(0, 4, d1, 1, PayloadMode::store);
+  a.write(1, 2, d2, 2, PayloadMode::store);
+  std::vector<std::byte> out(4);
+  a.read(0, out, 2);
+  EXPECT_EQ(str(out), "aBBa");
+  a.read(0, out, 1);  // time travel: old epoch still intact
+  EXPECT_EQ(str(out), "aaaa");
+}
+
+TEST(ArrayStore, RangePunchZeroes) {
+  ArrayStore a;
+  auto d = bytes("abcdef");
+  a.write(0, 6, d, 1, PayloadMode::store);
+  a.punch_range(2, 2, 2);
+  std::vector<std::byte> out(6);
+  EXPECT_EQ(a.read(0, out, 2), 4u);
+  EXPECT_EQ(str(out), std::string("ab\0\0ef", 6));
+}
+
+TEST(ArrayStore, FullPunchResetsSize) {
+  ArrayStore a;
+  auto d = bytes("data");
+  a.write(100, 4, d, 1, PayloadMode::store);
+  a.punch_all(5);
+  EXPECT_EQ(a.size(5), 0u);
+  EXPECT_EQ(a.size(4), 104u);
+  auto d2 = bytes("x");
+  a.write(0, 1, d2, 6, PayloadMode::store);
+  EXPECT_EQ(a.size(6), 1u);
+  std::vector<std::byte> out(1);
+  EXPECT_EQ(a.read(100, out, 6), 0u);  // pre-punch data invisible
+}
+
+TEST(ArrayStore, DiscardModeTracksSizesOnly) {
+  ArrayStore a;
+  a.write(0, 1024, {}, 1, PayloadMode::discard);
+  EXPECT_EQ(a.size(1), 1024u);
+  EXPECT_EQ(a.stored_bytes(), 0u);
+  std::vector<std::byte> out(16);
+  EXPECT_EQ(a.read(0, out, 1), 16u);  // filled (zeros), counts as data
+}
+
+TEST(ArrayStore, AggregateMergesAndPreservesView) {
+  ArrayStore a;
+  auto d1 = bytes("aaaaaaaa"), d2 = bytes("bbbb"), d3 = bytes("cc");
+  a.write(0, 8, d1, 1, PayloadMode::store);
+  a.write(2, 4, d2, 2, PayloadMode::store);
+  a.write(4, 2, d3, 3, PayloadMode::store);
+  std::vector<std::byte> before(8);
+  a.read(0, before, 3);
+  a.aggregate(3, PayloadMode::store);
+  std::vector<std::byte> after(8);
+  a.read(0, after, kEpochMax);
+  EXPECT_EQ(str(before), str(after));
+  EXPECT_EQ(str(after), "aabbccaa");  // e2 covers [2,6): bytes 6-7 stay from e1
+  EXPECT_LE(a.extent_count(), 3u);
+  EXPECT_EQ(a.size(kEpochMax), 8u);
+}
+
+TEST(ArrayStore, AggregateKeepsNewerVersions) {
+  ArrayStore a;
+  auto d1 = bytes("1111"), d2 = bytes("22");
+  a.write(0, 4, d1, 1, PayloadMode::store);
+  a.write(0, 2, d2, 10, PayloadMode::store);
+  a.aggregate(5, PayloadMode::store);
+  std::vector<std::byte> out(4);
+  a.read(0, out, 5);
+  EXPECT_EQ(str(out), "1111");
+  a.read(0, out, 10);
+  EXPECT_EQ(str(out), "2211");
+}
+
+// ---------------------------------------------------------------------------
+// Container-level
+
+TEST(Container, KvPutGet) {
+  VosContainer c(PayloadMode::store);
+  auto v = bytes("value");
+  c.kv_put(kOid, "dir-entry", "entry", v, c.next_epoch());
+  auto view = c.kv_get(kOid, "dir-entry", "entry", kEpochMax);
+  ASSERT_TRUE(view.exists);
+  EXPECT_EQ(str(view.data), "value");
+  EXPECT_FALSE(c.kv_get(kOid, "missing", "entry", kEpochMax).exists);
+}
+
+TEST(Container, ArrayAcrossDkeys) {
+  VosContainer c(PayloadMode::store);
+  auto d0 = bytes("chunk0"), d1 = bytes("chunk1");
+  c.array_write(kOid, "0", "data", 0, 6, d0, c.next_epoch());
+  c.array_write(kOid, "1", "data", 0, 6, d1, c.next_epoch());
+  std::vector<std::byte> out(6);
+  c.array_read(kOid, "1", "data", 0, out, kEpochMax);
+  EXPECT_EQ(str(out), "chunk1");
+  EXPECT_EQ(c.array_size(kOid, "0", "data", kEpochMax), 6u);
+}
+
+TEST(Container, MixingKvAndArrayOnSameAkeyThrows) {
+  VosContainer c(PayloadMode::store);
+  auto v = bytes("v");
+  c.kv_put(kOid, "d", "a", v, c.next_epoch());
+  EXPECT_THROW(c.array_write(kOid, "d", "a", 0, 1, v, c.next_epoch()), DaosimError);
+}
+
+TEST(Container, PunchDkeyHidesFromEnumeration) {
+  VosContainer c(PayloadMode::store);
+  auto v = bytes("v");
+  c.kv_put(kOid, "file-a", "entry", v, c.next_epoch());
+  c.kv_put(kOid, "file-b", "entry", v, c.next_epoch());
+  EXPECT_EQ(c.list_dkeys(kOid, kEpochMax).size(), 2u);
+  c.punch_dkey(kOid, "file-a", c.next_epoch());
+  auto keys = c.list_dkeys(kOid, kEpochMax);
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0], "file-b");
+  // Older epochs still see both (snapshot semantics).
+  EXPECT_EQ(c.list_dkeys(kOid, 2).size(), 2u);
+}
+
+TEST(Container, PunchObjectHidesEverything) {
+  VosContainer c(PayloadMode::store);
+  auto v = bytes("v");
+  c.kv_put(kOid, "d1", "a", v, c.next_epoch());
+  c.array_write(kOid, "d2", "arr", 0, 1, v, c.next_epoch());
+  c.punch_object(kOid, c.next_epoch());
+  EXPECT_TRUE(c.list_dkeys(kOid, kEpochMax).empty());
+}
+
+TEST(Container, ListAkeysFiltersPunched) {
+  VosContainer c(PayloadMode::store);
+  auto v = bytes("v");
+  c.kv_put(kOid, "d", "a1", v, c.next_epoch());
+  c.kv_put(kOid, "d", "a2", v, c.next_epoch());
+  c.punch_akey(kOid, "d", "a1", c.next_epoch());
+  auto akeys = c.list_akeys(kOid, "d", kEpochMax);
+  ASSERT_EQ(akeys.size(), 1u);
+  EXPECT_EQ(akeys[0], "a2");
+}
+
+TEST(Container, ArrayEndHint) {
+  VosContainer c(PayloadMode::store);
+  c.note_array_end(kOid, 4096);
+  c.note_array_end(kOid, 1024);  // smaller: ignored
+  EXPECT_EQ(c.array_end_hint(kOid), 4096u);
+  EXPECT_EQ(c.array_end_hint(ObjId{9, 9}), 0u);
+}
+
+TEST(Container, ObjectEnumeration) {
+  VosContainer c(PayloadMode::store);
+  auto v = bytes("v");
+  c.kv_put(ObjId{2, 1}, "d", "a", v, c.next_epoch());
+  c.kv_put(ObjId{1, 5}, "d", "a", v, c.next_epoch());
+  auto oids = c.list_objects();
+  ASSERT_EQ(oids.size(), 2u);
+  EXPECT_EQ(oids[0], (ObjId{1, 5}));  // sorted
+  EXPECT_EQ(oids[1], (ObjId{2, 1}));
+}
+
+TEST(Target, ContainersAreIsolated) {
+  VosTarget t(PayloadMode::store);
+  auto v = bytes("v");
+  auto& c1 = t.container(Uuid{1, 1});
+  auto& c2 = t.container(Uuid{2, 2});
+  c1.kv_put(kOid, "d", "a", v, c1.next_epoch());
+  EXPECT_TRUE(c1.kv_get(kOid, "d", "a", kEpochMax).exists);
+  EXPECT_FALSE(c2.kv_get(kOid, "d", "a", kEpochMax).exists);
+  EXPECT_EQ(t.container_count(), 2u);
+  EXPECT_TRUE(t.destroy_container(Uuid{2, 2}));
+  EXPECT_EQ(t.container_count(), 1u);
+}
+
+TEST(Target, StoredBytesAccounting) {
+  VosTarget t(PayloadMode::store);
+  auto& c = t.container(Uuid{1, 1});
+  auto d = bytes("12345678");
+  c.array_write(kOid, "0", "data", 0, 8, d, c.next_epoch());
+  EXPECT_EQ(t.stored_bytes(), 8u);
+  EXPECT_EQ(t.logical_bytes_written(), 8u);
+}
+
+// ---------------------------------------------------------------------------
+// Property: array visibility matches a per-epoch byte-map oracle.
+
+class ArrayOracleProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ArrayOracleProperty, MatchesByteOracle) {
+  sim::Xoshiro256 rng(GetParam() * 2654435761ULL);
+  ArrayStore a;
+  // Oracle: full byte image + fill mask snapshot after every epoch.
+  struct Snapshot {
+    std::vector<char> img;
+    std::vector<bool> filled;
+  };
+  const std::uint64_t space = 512;
+  std::vector<Snapshot> snaps;  // snaps[e-1] = state at epoch e
+  Snapshot cur{std::vector<char>(space, 0), std::vector<bool>(space, false)};
+
+  for (Epoch e = 1; e <= 60; ++e) {
+    const int op = int(rng.uniform(10));
+    if (op < 7) {  // write
+      const std::uint64_t off = rng.uniform(space - 1);
+      const std::uint64_t len = 1 + rng.uniform(std::min<std::uint64_t>(64, space - off));
+      std::vector<std::byte> data(len);
+      for (auto& b : data) b = std::byte(rng.uniform(256));
+      a.write(off, len, data, e, PayloadMode::store);
+      for (std::uint64_t i = 0; i < len; ++i) {
+        cur.img[off + i] = char(data[i]);
+        cur.filled[off + i] = true;
+      }
+    } else if (op < 9) {  // range punch
+      const std::uint64_t off = rng.uniform(space - 1);
+      const std::uint64_t len = 1 + rng.uniform(std::min<std::uint64_t>(64, space - off));
+      a.punch_range(off, len, e);
+      for (std::uint64_t i = 0; i < len; ++i) {
+        cur.img[off + i] = 0;
+        cur.filled[off + i] = false;
+      }
+    } else {  // full punch
+      a.punch_all(e);
+      std::fill(cur.img.begin(), cur.img.end(), 0);
+      std::fill(cur.filled.begin(), cur.filled.end(), false);
+    }
+    snaps.push_back(cur);
+  }
+
+  // Every epoch's full view matches, including after aggregation.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (Epoch e = 1; e <= snaps.size(); ++e) {
+      // After aggregating to epoch A, views at e >= A must still match.
+      if (pass == 1 && e < 30) continue;
+      std::vector<std::byte> out(space);
+      a.read(0, out, e);
+      const auto& snap = snaps[e - 1];
+      for (std::uint64_t i = 0; i < space; ++i) {
+        ASSERT_EQ(char(out[i]), snap.img[i]) << "epoch " << e << " byte " << i << " pass " << pass;
+      }
+    }
+    if (pass == 0) a.aggregate(30, PayloadMode::store);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArrayOracleProperty, ::testing::Values(1, 2, 3, 5, 8, 13, 21, 42));
+
+}  // namespace
+}  // namespace daosim::vos
