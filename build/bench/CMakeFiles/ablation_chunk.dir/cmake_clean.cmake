@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_chunk.dir/ablation_chunk.cpp.o"
+  "CMakeFiles/ablation_chunk.dir/ablation_chunk.cpp.o.d"
+  "ablation_chunk"
+  "ablation_chunk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_chunk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

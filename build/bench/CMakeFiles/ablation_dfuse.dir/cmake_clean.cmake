@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dfuse.dir/ablation_dfuse.cpp.o"
+  "CMakeFiles/ablation_dfuse.dir/ablation_dfuse.cpp.o.d"
+  "ablation_dfuse"
+  "ablation_dfuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dfuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_objclass.dir/ablation_objclass.cpp.o"
+  "CMakeFiles/ablation_objclass.dir/ablation_objclass.cpp.o.d"
+  "ablation_objclass"
+  "ablation_objclass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_objclass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_fileperprocess.dir/fig1_fileperprocess.cpp.o"
+  "CMakeFiles/fig1_fileperprocess.dir/fig1_fileperprocess.cpp.o.d"
+  "fig1_fileperprocess"
+  "fig1_fileperprocess.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_fileperprocess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_sharedfile.dir/fig2_sharedfile.cpp.o"
+  "CMakeFiles/fig2_sharedfile.dir/fig2_sharedfile.cpp.o.d"
+  "fig2_sharedfile"
+  "fig2_sharedfile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_sharedfile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

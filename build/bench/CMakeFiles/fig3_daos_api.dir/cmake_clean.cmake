@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_daos_api.dir/fig3_daos_api.cpp.o"
+  "CMakeFiles/fig3_daos_api.dir/fig3_daos_api.cpp.o.d"
+  "fig3_daos_api"
+  "fig3_daos_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_daos_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

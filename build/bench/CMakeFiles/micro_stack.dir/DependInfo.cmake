@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_stack.cpp" "bench/CMakeFiles/micro_stack.dir/micro_stack.cpp.o" "gcc" "bench/CMakeFiles/micro_stack.dir/micro_stack.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ior/CMakeFiles/daosim_ior.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/daosim_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpiio/CMakeFiles/daosim_mpiio.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/daosim_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/h5/CMakeFiles/daosim_h5.dir/DependInfo.cmake"
+  "/root/repo/build/src/posix/CMakeFiles/daosim_posix.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/daosim_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/daosim_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/pool/CMakeFiles/daosim_pool.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/daosim_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/daosim_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/vos/CMakeFiles/daosim_vos.dir/DependInfo.cmake"
+  "/root/repo/build/src/raft/CMakeFiles/daosim_raft.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/daosim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/daosim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ior_cli.dir/ior_cli.cpp.o"
+  "CMakeFiles/ior_cli.dir/ior_cli.cpp.o.d"
+  "ior_cli"
+  "ior_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ior_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

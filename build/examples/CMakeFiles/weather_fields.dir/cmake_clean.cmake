@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weather_fields.dir/weather_fields.cpp.o"
+  "CMakeFiles/weather_fields.dir/weather_fields.cpp.o.d"
+  "weather_fields"
+  "weather_fields.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weather_fields.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("net")
+subdirs("media")
+subdirs("raft")
+subdirs("vos")
+subdirs("engine")
+subdirs("pool")
+subdirs("client")
+subdirs("dfs")
+subdirs("posix")
+subdirs("mpi")
+subdirs("mpiio")
+subdirs("h5")
+subdirs("ior")
+subdirs("cluster")

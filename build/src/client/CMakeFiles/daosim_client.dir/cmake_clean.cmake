@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daosim_client.dir/client.cpp.o"
+  "CMakeFiles/daosim_client.dir/client.cpp.o.d"
+  "libdaosim_client.a"
+  "libdaosim_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daosim_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daosim_cluster.dir/testbed.cpp.o"
+  "CMakeFiles/daosim_cluster.dir/testbed.cpp.o.d"
+  "libdaosim_cluster.a"
+  "libdaosim_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daosim_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daosim_dfs.dir/dfs.cpp.o"
+  "CMakeFiles/daosim_dfs.dir/dfs.cpp.o.d"
+  "libdaosim_dfs.a"
+  "libdaosim_dfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daosim_dfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdaosim_dfs.a"
+)

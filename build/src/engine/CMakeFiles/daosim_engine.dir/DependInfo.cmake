@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/engine.cpp" "src/engine/CMakeFiles/daosim_engine.dir/engine.cpp.o" "gcc" "src/engine/CMakeFiles/daosim_engine.dir/engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/daosim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/daosim_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/vos/CMakeFiles/daosim_vos.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/daosim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

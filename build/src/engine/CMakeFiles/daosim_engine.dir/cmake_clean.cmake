@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daosim_engine.dir/engine.cpp.o"
+  "CMakeFiles/daosim_engine.dir/engine.cpp.o.d"
+  "libdaosim_engine.a"
+  "libdaosim_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daosim_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

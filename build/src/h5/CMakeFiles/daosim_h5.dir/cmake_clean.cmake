@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daosim_h5.dir/h5lite.cpp.o"
+  "CMakeFiles/daosim_h5.dir/h5lite.cpp.o.d"
+  "libdaosim_h5.a"
+  "libdaosim_h5.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daosim_h5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

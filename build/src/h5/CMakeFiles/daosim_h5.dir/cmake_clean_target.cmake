@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdaosim_h5.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for daosim_h5.
+# This may be replaced when dependencies are built.

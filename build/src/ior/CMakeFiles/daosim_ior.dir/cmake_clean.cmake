@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daosim_ior.dir/ior.cpp.o"
+  "CMakeFiles/daosim_ior.dir/ior.cpp.o.d"
+  "libdaosim_ior.a"
+  "libdaosim_ior.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daosim_ior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdaosim_ior.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daosim_media.dir/dcpmm.cpp.o"
+  "CMakeFiles/daosim_media.dir/dcpmm.cpp.o.d"
+  "libdaosim_media.a"
+  "libdaosim_media.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daosim_media.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daosim_mpi.dir/mpi.cpp.o"
+  "CMakeFiles/daosim_mpi.dir/mpi.cpp.o.d"
+  "libdaosim_mpi.a"
+  "libdaosim_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daosim_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

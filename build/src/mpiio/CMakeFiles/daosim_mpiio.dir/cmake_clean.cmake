@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daosim_mpiio.dir/mpiio.cpp.o"
+  "CMakeFiles/daosim_mpiio.dir/mpiio.cpp.o.d"
+  "libdaosim_mpiio.a"
+  "libdaosim_mpiio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daosim_mpiio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

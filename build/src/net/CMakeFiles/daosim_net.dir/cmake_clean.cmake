@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daosim_net.dir/fabric.cpp.o"
+  "CMakeFiles/daosim_net.dir/fabric.cpp.o.d"
+  "CMakeFiles/daosim_net.dir/rpc.cpp.o"
+  "CMakeFiles/daosim_net.dir/rpc.cpp.o.d"
+  "libdaosim_net.a"
+  "libdaosim_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daosim_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daosim_pool.dir/pool_service.cpp.o"
+  "CMakeFiles/daosim_pool.dir/pool_service.cpp.o.d"
+  "libdaosim_pool.a"
+  "libdaosim_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daosim_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daosim_posix.dir/dfuse.cpp.o"
+  "CMakeFiles/daosim_posix.dir/dfuse.cpp.o.d"
+  "CMakeFiles/daosim_posix.dir/vfs.cpp.o"
+  "CMakeFiles/daosim_posix.dir/vfs.cpp.o.d"
+  "libdaosim_posix.a"
+  "libdaosim_posix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daosim_posix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

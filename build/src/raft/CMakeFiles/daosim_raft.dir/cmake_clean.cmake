@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daosim_raft.dir/raft.cpp.o"
+  "CMakeFiles/daosim_raft.dir/raft.cpp.o.d"
+  "libdaosim_raft.a"
+  "libdaosim_raft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daosim_raft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

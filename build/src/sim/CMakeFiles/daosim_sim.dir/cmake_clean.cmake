@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daosim_sim.dir/bandwidth.cpp.o"
+  "CMakeFiles/daosim_sim.dir/bandwidth.cpp.o.d"
+  "CMakeFiles/daosim_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/daosim_sim.dir/scheduler.cpp.o.d"
+  "libdaosim_sim.a"
+  "libdaosim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daosim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

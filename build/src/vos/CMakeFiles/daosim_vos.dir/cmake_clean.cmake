@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daosim_vos.dir/container.cpp.o"
+  "CMakeFiles/daosim_vos.dir/container.cpp.o.d"
+  "CMakeFiles/daosim_vos.dir/value_store.cpp.o"
+  "CMakeFiles/daosim_vos.dir/value_store.cpp.o.d"
+  "libdaosim_vos.a"
+  "libdaosim_vos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daosim_vos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h5_test.dir/h5_test.cpp.o"
+  "CMakeFiles/h5_test.dir/h5_test.cpp.o.d"
+  "h5_test"
+  "h5_test.pdb"
+  "h5_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h5_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

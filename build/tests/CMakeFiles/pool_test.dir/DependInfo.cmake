@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pool_test.cpp" "tests/CMakeFiles/pool_test.dir/pool_test.cpp.o" "gcc" "tests/CMakeFiles/pool_test.dir/pool_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/daosim_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/daosim_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/pool/CMakeFiles/daosim_pool.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/daosim_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/daosim_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/vos/CMakeFiles/daosim_vos.dir/DependInfo.cmake"
+  "/root/repo/build/src/raft/CMakeFiles/daosim_raft.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/daosim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/daosim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/posix_test.dir/posix_test.cpp.o"
+  "CMakeFiles/posix_test.dir/posix_test.cpp.o.d"
+  "posix_test"
+  "posix_test.pdb"
+  "posix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/posix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vos_test.dir/vos_test.cpp.o"
+  "CMakeFiles/vos_test.dir/vos_test.cpp.o.d"
+  "vos_test"
+  "vos_test.pdb"
+  "vos_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
