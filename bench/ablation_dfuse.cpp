@@ -23,7 +23,7 @@ int main() {
       ior::IorRunner runner(tb, 16, 1 * kMiB, dfuse);
       const ior::IorResult r = runner.run(cfg);
       std::printf("%-12llu %-14s %12.2f %12.2f\n",
-                  (unsigned long long)(op_cost / sim::kUs), format_bytes(max_req).c_str(),
+                  static_cast<unsigned long long>(op_cost / sim::kUs), format_bytes(max_req).c_str(),
                   r.write.gib_per_sec(), r.read.gib_per_sec());
       tb.stop();
     }

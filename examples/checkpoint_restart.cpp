@@ -84,7 +84,7 @@ int main() {
     const double ws = sim::to_seconds(tb.sched().now() - t0);
     const double gib = double(kNodes * kPpn) * double(kRankState) / double(kGiB);
     std::printf("checkpoint: %3.0f GiB from %u ranks in %6.1f ms -> %6.2f GiB/s (%llu errors)\n",
-                gib, kNodes * kPpn, ws * 1e3, gib / ws, (unsigned long long)*errors);
+                gib, kNodes * kPpn, ws * 1e3, gib / ws, static_cast<unsigned long long>(*errors));
 
     const sim::Time t1 = tb.sched().now();
     sim::WaitGroup rg(tb.sched());
@@ -94,7 +94,7 @@ int main() {
     co_await rg.wait();
     const double rs = sim::to_seconds(tb.sched().now() - t1);
     std::printf("restart:    %3.0f GiB in %6.1f ms -> %6.2f GiB/s (%llu errors)\n", gib,
-                rs * 1e3, gib / rs, (unsigned long long)*errors);
+                rs * 1e3, gib / rs, static_cast<unsigned long long>(*errors));
   });
 
   tb.stop();

@@ -14,6 +14,7 @@ namespace {
 std::uint64_t parse_size(const char* s) {
   char* end = nullptr;
   const double v = std::strtod(s, &end);
+  if (end == s || v <= 0) return 0;  // caller treats 0 as a parse error
   std::uint64_t mult = 1;
   if (end != nullptr) {
     switch (*end) {
@@ -87,6 +88,16 @@ int main(int argc, char** argv) {
   }
   cfg.verify = verify;
 
+  if (cfg.transfer_size == 0 || cfg.block_size == 0 || cfg.segments == 0 ||
+      client_nodes == 0 || ppn == 0 || servers == 0) {
+    std::fprintf(stderr, "ior_cli: sizes and counts must be positive\n");
+    return usage();
+  }
+  if (cfg.block_size % cfg.transfer_size != 0) {
+    std::fprintf(stderr, "ior_cli: block size (-b) must be a multiple of transfer size (-t)\n");
+    return usage();
+  }
+
   cluster::ClusterConfig ccfg;
   ccfg.server_nodes = servers;
   ccfg.engines_per_server = 2;
@@ -109,8 +120,8 @@ int main(int argc, char** argv) {
               format_bytes(res.read.bytes).c_str(), res.read.seconds);
   if (verify) {
     std::printf("verify: %llu bad bytes, %llu short reads\n",
-                (unsigned long long)res.verify_errors,
-                (unsigned long long)res.read_fill_errors);
+                static_cast<unsigned long long>(res.verify_errors),
+                static_cast<unsigned long long>(res.read_fill_errors));
   }
   tb.stop();
   return 0;

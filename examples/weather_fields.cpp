@@ -69,7 +69,7 @@ int main() {
 
   tb.run([&]() -> CoTask<void> {
     auto& client = tb.client(0);
-    (void)co_await client.cont_create(kPoolUuid, pool::ContProps{1 * kMiB, 0});
+    (void)co_await client.cont_create(kPoolUuid, pool::ContProps{1 * kMiB, 0});  // daosim-lint: allow(ignored-result)
     auto mount = co_await dfs::DfsMount::mount(client, kPoolUuid);
     auto& dfs = **mount;
     (void)co_await dfs.mkdir("/fdb");
@@ -99,7 +99,7 @@ int main() {
       const double rs = sim::to_seconds(tb.sched().now() - t1);
       std::printf("step %u: post-processed %s in %6.1f ms -> %6.2f GiB/s (%llu errors)\n",
                   step, format_bytes(*rbytes).c_str(), rs * 1e3,
-                  double(*rbytes) / double(kGiB) / rs, (unsigned long long)*errors);
+                  double(*rbytes) / double(kGiB) / rs, static_cast<unsigned long long>(*errors));
     }
     // The namespace is enumerable like any filesystem.
     auto steps = co_await dfs.readdir("/fdb");

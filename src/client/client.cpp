@@ -65,8 +65,8 @@ sim::CoTask<Result<std::string>> DaosClient::svc_command(std::string cmd) {
 
 sim::CoTask<Result<ContInfo>> DaosClient::cont_create(vos::Uuid uuid, pool::ContProps props) {
   auto res = co_await svc_command(strfmt("cont_create %llu %llu %llu %u",
-                                         (unsigned long long)uuid.hi, (unsigned long long)uuid.lo,
-                                         (unsigned long long)props.chunk_size,
+                                         static_cast<unsigned long long>(uuid.hi), static_cast<unsigned long long>(uuid.lo),
+                                         static_cast<unsigned long long>(props.chunk_size),
                                          unsigned(props.oclass)));
   if (!res.ok()) co_return res.error();
   if (*res == "EEXIST") co_return Errno::exists;
@@ -76,7 +76,7 @@ sim::CoTask<Result<ContInfo>> DaosClient::cont_create(vos::Uuid uuid, pool::Cont
 
 sim::CoTask<Result<ContInfo>> DaosClient::cont_open(vos::Uuid uuid) {
   auto res = co_await svc_command(
-      strfmt("cont_open %llu %llu", (unsigned long long)uuid.hi, (unsigned long long)uuid.lo));
+      strfmt("cont_open %llu %llu", static_cast<unsigned long long>(uuid.hi), static_cast<unsigned long long>(uuid.lo)));
   if (!res.ok()) co_return res.error();
   std::istringstream is(*res);
   std::string status;
@@ -92,7 +92,7 @@ sim::CoTask<Result<ContInfo>> DaosClient::cont_open(vos::Uuid uuid) {
 
 sim::CoTask<Result<void>> DaosClient::cont_destroy(vos::Uuid uuid) {
   auto res = co_await svc_command(
-      strfmt("cont_destroy %llu %llu", (unsigned long long)uuid.hi, (unsigned long long)uuid.lo));
+      strfmt("cont_destroy %llu %llu", static_cast<unsigned long long>(uuid.hi), static_cast<unsigned long long>(uuid.lo)));
   if (!res.ok()) co_return res.error();
   if (*res == "ENOENT") co_return Errno::no_entry;
   co_return Result<void>{};
@@ -100,8 +100,8 @@ sim::CoTask<Result<void>> DaosClient::cont_destroy(vos::Uuid uuid) {
 
 sim::CoTask<Result<std::uint64_t>> DaosClient::alloc_oids(vos::Uuid cont, std::uint64_t count) {
   auto res = co_await svc_command(strfmt("alloc_oids %llu %llu %llu",
-                                         (unsigned long long)cont.hi, (unsigned long long)cont.lo,
-                                         (unsigned long long)count));
+                                         static_cast<unsigned long long>(cont.hi), static_cast<unsigned long long>(cont.lo),
+                                         static_cast<unsigned long long>(count)));
   if (!res.ok()) co_return res.error();
   std::istringstream is(*res);
   std::string status;
@@ -245,7 +245,7 @@ sim::CoTask<Errno> ArrayObject::write(std::uint64_t offset, std::uint64_t length
     req.oid = oid_;
     const std::uint32_t map_target = layout_[shard_of_chunk(chunk_idx)];
     req.target = client_.pool_map().targets[map_target].target;
-    req.dkey = strfmt("%llu", (unsigned long long)chunk_idx);
+    req.dkey = strfmt("%llu", static_cast<unsigned long long>(chunk_idx));
     req.akey = "0";
     req.type = RecordType::array;
     req.offset = in_chunk;
@@ -282,7 +282,7 @@ sim::CoTask<Result<std::uint64_t>> ArrayObject::read(std::uint64_t offset,
     req.oid = oid_;
     const std::uint32_t map_target = layout_[shard_of_chunk(chunk_idx)];
     req.target = client_.pool_map().targets[map_target].target;
-    req.dkey = strfmt("%llu", (unsigned long long)chunk_idx);
+    req.dkey = strfmt("%llu", static_cast<unsigned long long>(chunk_idx));
     req.akey = "0";
     req.type = RecordType::array;
     req.offset = in_chunk;

@@ -51,7 +51,7 @@ inline vos::ObjId make_oid(std::uint64_t seq, ObjClass c) {
 inline ObjClass class_of(vos::ObjId oid) {
   const auto c = std::uint8_t(oid.hi >> 56);
   DAOSIM_REQUIRE(c >= 1 && c <= 5, "oid %llx has no valid object class",
-                 (unsigned long long)oid.hi);
+                 static_cast<unsigned long long>(oid.hi));
   return ObjClass(c);
 }
 

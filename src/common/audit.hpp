@@ -1,0 +1,31 @@
+// Runtime invariant auditing, gated behind the DAOSIM_AUDIT compile
+// definition (CMake -DDAOSIM_AUDIT=ON).
+//
+// Audit checks are stronger than DAOSIM_REQUIRE preconditions: they sit on
+// hot paths (every B+ tree mutation, every bandwidth fair-share round) and
+// re-derive properties the code is supposed to maintain by construction.
+// They are compiled to nothing in normal builds but stay type-checked, so
+// audit code cannot bit-rot.
+#pragma once
+
+#include "common/error.hpp"
+
+namespace daosim {
+
+#if defined(DAOSIM_AUDIT)
+inline constexpr bool kAuditEnabled = true;
+#else
+inline constexpr bool kAuditEnabled = false;
+#endif
+
+}  // namespace daosim
+
+/// Checks `cond` (with a DaosimError on failure) only in audit builds. The
+/// condition is still compiled in normal builds — dead-code-eliminated, never
+/// evaluated — so it must be valid, side-effect-free code.
+#define DAOSIM_AUDIT_CHECK(cond, ...)           \
+  do {                                          \
+    if constexpr (::daosim::kAuditEnabled) {    \
+      DAOSIM_REQUIRE(cond, __VA_ARGS__);        \
+    }                                           \
+  } while (0)

@@ -19,13 +19,13 @@ constexpr double kGB = 1e9;
 
 /// Renders a byte count as a compact human-readable string ("8 MiB", "1.5 GiB").
 inline std::string format_bytes(std::uint64_t bytes) {
-  if (bytes % kGiB == 0 && bytes >= kGiB) return strfmt("%llu GiB", (unsigned long long)(bytes / kGiB));
-  if (bytes % kMiB == 0 && bytes >= kMiB) return strfmt("%llu MiB", (unsigned long long)(bytes / kMiB));
-  if (bytes % kKiB == 0 && bytes >= kKiB) return strfmt("%llu KiB", (unsigned long long)(bytes / kKiB));
+  if (bytes % kGiB == 0 && bytes >= kGiB) return strfmt("%llu GiB", static_cast<unsigned long long>(bytes / kGiB));
+  if (bytes % kMiB == 0 && bytes >= kMiB) return strfmt("%llu MiB", static_cast<unsigned long long>(bytes / kMiB));
+  if (bytes % kKiB == 0 && bytes >= kKiB) return strfmt("%llu KiB", static_cast<unsigned long long>(bytes / kKiB));
   if (bytes >= kGiB) return strfmt("%.2f GiB", double(bytes) / double(kGiB));
   if (bytes >= kMiB) return strfmt("%.2f MiB", double(bytes) / double(kMiB));
   if (bytes >= kKiB) return strfmt("%.2f KiB", double(bytes) / double(kKiB));
-  return strfmt("%llu B", (unsigned long long)bytes);
+  return strfmt("%llu B", static_cast<unsigned long long>(bytes));
 }
 
 /// Integer ceiling division.

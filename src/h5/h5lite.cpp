@@ -11,7 +11,7 @@ constexpr char kMagic[8] = {'\x89', 'H', '5', 'L', 'I', 'T', 'E', '\n'};
 std::vector<std::byte> to_bytes(const std::string& s, std::uint64_t block) {
   std::vector<std::byte> out(std::size_t(block), std::byte{0});
   DAOSIM_REQUIRE(s.size() <= block, "metadata block overflow (%zu > %llu)", s.size(),
-                 (unsigned long long)block);
+                 static_cast<unsigned long long>(block));
   std::memcpy(out.data(), s.data(), s.size());
   return out;
 }
@@ -150,11 +150,15 @@ sim::CoTask<Result<H5Dataset>> H5File::open_dataset(const std::string& name) {
   DAOSIM_REQUIRE(open_, "file closed");
   auto it = meta_->datasets.find(name);
   if (it == meta_->datasets.end()) co_return Errno::no_entry;
+  // Copy the entry before suspending: the shadow H5Meta is shared across
+  // ranks, and a concurrent open() re-parses it wholesale while we sit in
+  // the pread below, invalidating iterators into the map.
+  const DsetMeta dm = it->second;
   // Header read (charged; content authoritative from parsed/shared meta).
   std::vector<std::byte> hdr(std::size_t(cfg_.header_bytes));
-  auto rc = co_await vfs_.pread(fd_, it->second.header_addr, hdr);
+  auto rc = co_await vfs_.pread(fd_, dm.header_addr, hdr);
   if (!rc.ok()) co_return rc.error();
-  co_return H5Dataset(this, name, it->second);
+  co_return H5Dataset(this, name, dm);
 }
 
 sim::CoTask<Errno> H5File::write_attribute(const std::string& name, std::uint64_t bytes) {

@@ -62,7 +62,7 @@ sim::CoTask<void> IorRunner::setup() {
   auto& c0 = tb_.client(0);
   pool::ContProps props;
   props.chunk_size = chunk_size_;
-  (void)co_await c0.cont_create(kPoolUuid, props);  // EEXIST on reruns is fine
+  (void)co_await c0.cont_create(kPoolUuid, props);  // EEXIST on reruns is fine; daosim-lint: allow(ignored-result)
   nodes_.resize(tb_.client_node_count());
   std::vector<net::NodeId> rank_nodes;
   for (std::uint32_t i = 0; i < tb_.client_node_count(); ++i) {
@@ -91,7 +91,7 @@ sim::CoTask<void> IorRunner::job_main(const IorConfig* cfg, IorResult* result) {
   if (!setup_done_) co_await setup();
   auto st = std::make_shared<JobState>();
   st->file_seed = mix64(0xF17E5EED ^ (job_seq_ + 1));
-  st->dir = strfmt("%s/job%llu", cfg->test_dir.c_str(), (unsigned long long)job_seq_);
+  st->dir = strfmt("%s/job%llu", cfg->test_dir.c_str(), static_cast<unsigned long long>(job_seq_));
   {
     const Errno mk1 = co_await nodes_[0].dfs->mkdir(cfg->test_dir);
     DAOSIM_REQUIRE(mk1 == Errno::ok || mk1 == Errno::exists, "mkdir %s: %s",

@@ -31,7 +31,7 @@ std::string PoolMetaSm::apply(const std::string& command) {
     is >> u.hi >> u.lo;
     auto it = containers_.find(u);
     if (it == containers_.end()) return "ENOENT";
-    return strfmt("ok %llu %u", (unsigned long long)it->second.props.chunk_size,
+    return strfmt("ok %llu %u", static_cast<unsigned long long>(it->second.props.chunk_size),
                   unsigned(it->second.props.oclass));
   }
   if (op == "cont_destroy") {
@@ -47,7 +47,7 @@ std::string PoolMetaSm::apply(const std::string& command) {
     if (it == containers_.end()) return "ENOENT";
     const std::uint64_t base = it->second.oid_counter;
     it->second.oid_counter += count;
-    return strfmt("ok %llu", (unsigned long long)base);
+    return strfmt("ok %llu", static_cast<unsigned long long>(base));
   }
   if (op == "list_conts") {
     std::ostringstream os;

@@ -51,8 +51,8 @@ std::uint64_t RaftNode::term_at(std::uint64_t index) const {
   if (index == 0) return 0;
   if (index == snap_last_index_) return snap_last_term_;
   DAOSIM_REQUIRE(index > snap_last_index_ && index <= last_log_index(),
-                 "term_at(%llu) outside log [%llu, %llu]", (unsigned long long)index,
-                 (unsigned long long)snap_last_index_, (unsigned long long)last_log_index());
+                 "term_at(%llu) outside log [%llu, %llu]", static_cast<unsigned long long>(index),
+                 static_cast<unsigned long long>(snap_last_index_), static_cast<unsigned long long>(last_log_index()));
   return log_[index - snap_last_index_ - 1].term;
 }
 
@@ -288,7 +288,7 @@ sim::CoTask<void> RaftNode::apply_loop() {
       ++applied_;
       auto entry = entry_at(applied_);
       DAOSIM_REQUIRE(entry.has_value(), "committed entry %llu missing from log",
-                     (unsigned long long)applied_);
+                     static_cast<unsigned long long>(applied_));
       std::string response = entry->command.empty() ? std::string() : sm_.apply(entry->command);
       auto it = waiters_.find(applied_);
       if (it != waiters_.end()) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/audit.hpp"
 #include "common/error.hpp"
 
 namespace daosim::sim {
@@ -38,12 +39,29 @@ void SharedBandwidth::advance() {
   }
   const double elapsed = double(now - last_update_);
   const double per_flow = elapsed * rate_ns_ * eff_(flows_.size()) / double(flows_.size());
+  double served_round = 0.0;
+  bool clipped = false;
   for (auto& f : flows_) {
     const double served = std::min(f.remaining, per_flow);
+    if (f.remaining < per_flow) clipped = true;
     f.remaining -= served;
     bytes_served_ += served;
+    served_round += served;
   }
   last_update_ = now;
+  // Audit (DAOSIM_AUDIT): fair sharing must conserve capacity. The round can
+  // never serve more than the link could carry, and when no flow ran out of
+  // demand mid-round the allocations must sum to exactly the link capacity.
+  if constexpr (kAuditEnabled) {
+    const double capacity = elapsed * rate_ns_ * eff_(flows_.size());
+    const double slack = capacity * 1e-9 + kEpsilonBytes;
+    DAOSIM_REQUIRE(served_round <= capacity + slack,
+                   "audit: fair-share round served %.3f bytes over capacity %.3f",
+                   served_round, capacity);
+    DAOSIM_REQUIRE(clipped || std::abs(served_round - capacity) <= slack,
+                   "audit: unclipped round served %.3f != capacity %.3f",
+                   served_round, capacity);
+  }
 }
 
 void SharedBandwidth::reschedule() {

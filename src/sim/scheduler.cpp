@@ -6,13 +6,13 @@ namespace daosim::sim {
 
 void Scheduler::schedule(Time at, std::coroutine_handle<> h) {
   DAOSIM_REQUIRE(at >= now_, "scheduling into the past (at=%llu now=%llu)",
-                 (unsigned long long)at, (unsigned long long)now_);
+                 static_cast<unsigned long long>(at), static_cast<unsigned long long>(now_));
   queue_.push(Item{at, seq_++, h, nullptr});
 }
 
 Timer Scheduler::schedule_callback(Time at, std::function<void()> fn) {
   DAOSIM_REQUIRE(at >= now_, "scheduling into the past (at=%llu now=%llu)",
-                 (unsigned long long)at, (unsigned long long)now_);
+                 static_cast<unsigned long long>(at), static_cast<unsigned long long>(now_));
   auto state = std::make_shared<Timer::State>();
   state->fn = std::move(fn);
   queue_.push(Item{at, seq_++, nullptr, state});
@@ -31,12 +31,42 @@ Scheduler::Detached Scheduler::run_detached(CoTask<void> t) {
 void Scheduler::spawn(CoTask<void> t) {
   ++live_;
   Detached d = run_detached(std::move(t));
+  d.h.promise().sched = this;
+  d.h.promise().slot = detached_.size();
+  detached_.push_back(d.h);
   schedule(now_, d.h);
+}
+
+void Scheduler::unregister_detached(std::size_t slot) noexcept {
+  detached_[slot] = detached_.back();
+  detached_[slot].promise().slot = slot;
+  detached_.pop_back();
+}
+
+Scheduler::~Scheduler() {
+  // Processes still suspended here would otherwise leak their frames. destroy()
+  // runs the frame's local destructors (unwinding the owned CoTask chain) but
+  // not final_suspend, so null the back-pointer and tear down back-to-front.
+  while (!detached_.empty()) {
+    auto h = detached_.back();
+    detached_.pop_back();
+    h.promise().sched = nullptr;
+    h.destroy();
+  }
 }
 
 void Scheduler::dispatch(Item& it) {
   now_ = it.at;
   ++events_;
+  EventKind kind;
+  if (it.h) {
+    kind = EventKind::resume;
+  } else {
+    kind = it.cb->cancelled ? EventKind::cancelled : EventKind::callback;
+  }
+  fold_trace(it.at);
+  fold_trace(it.seq);
+  fold_trace(std::uint64_t(kind));
   if (it.h) {
     it.h.resume();
   } else if (!it.cb->cancelled) {

@@ -46,6 +46,11 @@ class Scheduler {
   Scheduler() = default;
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
+  /// Destroys the frames of detached processes still suspended at teardown
+  /// (e.g. blocked forever after a deadlock, or parked beyond the horizon of
+  /// the last run_until). Each root frame owns its CoTask chain, so this
+  /// unwinds whole processes.
+  ~Scheduler();
 
   Time now() const { return now_; }
 
@@ -99,6 +104,13 @@ class Scheduler {
   std::size_t live_processes() const { return live_; }
   std::uint64_t events_processed() const { return events_; }
 
+  /// Determinism-audit digest: an FNV-1a hash folding every dispatched event
+  /// as the tuple (virtual time, sequence number, kind). Two runs of the same
+  /// scenario must produce bit-identical digests; any divergence means hidden
+  /// nondeterminism (wall-clock input, hash-order iteration, an unseeded RNG)
+  /// leaked into event scheduling.
+  std::uint64_t trace_hash() const { return trace_hash_; }
+
  private:
   struct Detached {
     struct promise_type {
@@ -106,13 +118,20 @@ class Scheduler {
         return Detached{std::coroutine_handle<promise_type>::from_promise(*this)};
       }
       std::suspend_always initial_suspend() noexcept { return {}; }
-      std::suspend_never final_suspend() noexcept { return {}; }
+      std::suspend_never final_suspend() noexcept {
+        // The frame self-destroys after this; drop it from the live registry.
+        if (sched) sched->unregister_detached(slot);
+        return {};
+      }
       void return_void() noexcept {}
       void unhandled_exception() noexcept { std::terminate(); }  // body catches
+      Scheduler* sched = nullptr;
+      std::size_t slot = 0;
     };
-    std::coroutine_handle<> h;
+    std::coroutine_handle<promise_type> h;
   };
   Detached run_detached(CoTask<void> t);
+  void unregister_detached(std::size_t slot) noexcept;
 
   template <typename F>
   static CoTask<void> invoke_holding(F f) {
@@ -129,15 +148,27 @@ class Scheduler {
     }
   };
 
+  /// What a dispatched event did, folded into the trace digest.
+  enum class EventKind : std::uint8_t { resume = 0, callback = 1, cancelled = 2 };
+
   void dispatch(Item& it);
   void finish_run();
+  void fold_trace(std::uint64_t v) {
+    // FNV-1a over the value's 8 little-endian bytes.
+    for (int i = 0; i < 8; ++i) {
+      trace_hash_ ^= (v >> (8 * i)) & 0xFF;
+      trace_hash_ *= 0x100000001B3ULL;
+    }
+  }
 
   std::priority_queue<Item, std::vector<Item>, std::greater<>> queue_;
   Time now_ = 0;
   std::uint64_t seq_ = 0;
   std::uint64_t events_ = 0;
   std::size_t live_ = 0;
+  std::uint64_t trace_hash_ = 0xCBF29CE484222325ULL;  // FNV-1a offset basis
   std::vector<std::exception_ptr> errors_;
+  std::vector<std::coroutine_handle<Detached::promise_type>> detached_;
 };
 
 }  // namespace daosim::sim

@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/audit.hpp"
 #include "common/error.hpp"
 
 namespace daosim::vos {
@@ -77,6 +78,7 @@ class BPlusTree {
       root_ = std::move(new_root);
     }
     if (inserted) ++size_;
+    audit_path(key);
     return inserted;
   }
 
@@ -89,6 +91,7 @@ class BPlusTree {
       }
     }
     if (erased) --size_;
+    audit_path(key);
     return erased;
   }
 
@@ -333,6 +336,45 @@ class BPlusTree {
     }
     parent->keys.erase(parent->keys.begin() + std::ptrdiff_t(i));
     parent->kids.erase(parent->kids.begin() + std::ptrdiff_t(i) + 1);
+  }
+
+  /// Audit-build hook (DAOSIM_AUDIT): after a mutation of `key`, re-descend
+  /// its root-to-leaf path — exactly the nodes the mutation touched — and
+  /// re-check key ordering and node occupancy. O(log n) per call, compiled
+  /// out entirely in normal builds.
+  void audit_path(const K& key) const {
+    if constexpr (kAuditEnabled) {
+      const Node* n = root_.get();
+      bool is_root = true;
+      while (true) {
+        audit_node(n, is_root);
+        if (n->leaf) break;
+        auto* in = static_cast<const InternalNode*>(n);
+        n = in->kids[route_idx(in->keys, key)].get();
+        is_root = false;
+      }
+    } else {
+      (void)key;
+    }
+  }
+
+  void audit_node(const Node* n, bool is_root) const {
+    for (std::size_t i = 1; i < n->keys.size(); ++i) {
+      DAOSIM_REQUIRE(cmp_(n->keys[i - 1], n->keys[i]), "audit: keys not strictly sorted");
+    }
+    DAOSIM_REQUIRE(n->keys.size() <= MaxKeys, "audit: node overflow (%zu > %zu)",
+                   n->keys.size(), MaxKeys);
+    if (!is_root) {
+      DAOSIM_REQUIRE(n->keys.size() >= kMinKeys, "audit: node underflow (%zu < %zu)",
+                     n->keys.size(), kMinKeys);
+    }
+    if (n->leaf) {
+      DAOSIM_REQUIRE(static_cast<const LeafNode*>(n)->vals.size() == n->keys.size(),
+                     "audit: leaf key/value count mismatch");
+    } else {
+      DAOSIM_REQUIRE(static_cast<const InternalNode*>(n)->kids.size() == n->keys.size() + 1,
+                     "audit: child count mismatch");
+    }
   }
 
   void validate_rec(const Node* n, int level, int& leaf_depth, const K* lo, const K* hi,

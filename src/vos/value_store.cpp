@@ -79,7 +79,7 @@ void ArrayStore::write(std::uint64_t offset, std::uint64_t length,
   // metadata-only I/O against a storing container): the extent reads as zeros.
   if (mode == PayloadMode::store && !data.empty()) {
     DAOSIM_REQUIRE(data.size() == length, "payload size mismatch (%zu vs %llu)", data.size(),
-                   (unsigned long long)length);
+                   static_cast<unsigned long long>(length));
     e.data.assign(data.begin(), data.end());
     stored_bytes_ += length;
   }

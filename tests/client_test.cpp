@@ -109,7 +109,7 @@ TEST(Placement, JumpHashIsStableUnderGrowth) {
     const auto h = mix64(k);
     const auto b1 = jump_consistent_hash(h, 100);
     const auto b2 = jump_consistent_hash(h, 101);
-    if (b2 != b1) EXPECT_EQ(b2, 100u) << k;
+    if (b2 != b1) { EXPECT_EQ(b2, 100u) << k; }
   }
 }
 
@@ -158,7 +158,7 @@ TEST(Cluster, OidAllocationIsDisjoint) {
   tb.start();
   tb.run([&]() -> CoTask<void> {
     auto& cl = tb.client(0);
-    (void)co_await cl.cont_create(kPoolUuid, {});
+    (void)co_await cl.cont_create(kPoolUuid, {});  // daosim-lint: allow(ignored-result)
     auto a = co_await cl.alloc_oids(kPoolUuid, 100);
     auto b = co_await cl.alloc_oids(kPoolUuid, 100);
     CO_ASSERT_TRUE(a.ok());
@@ -173,7 +173,7 @@ TEST(Cluster, KvPutGetRoundTrip) {
   tb.start();
   tb.run([&]() -> CoTask<void> {
     auto& cl = tb.client(0);
-    (void)co_await cl.cont_create(kPoolUuid, {});
+    (void)co_await cl.cont_create(kPoolUuid, {});  // daosim-lint: allow(ignored-result)
     KvObject kv(cl, kPoolUuid, make_oid(1, ObjClass::S1));
     auto v = bytes("hello-daos");
     EXPECT_EQ(co_await kv.put("dir", "entry", v), Errno::ok);
@@ -191,7 +191,7 @@ TEST(Cluster, KvEnumerationAcrossShards) {
   tb.start();
   tb.run([&]() -> CoTask<void> {
     auto& cl = tb.client(0);
-    (void)co_await cl.cont_create(kPoolUuid, {});
+    (void)co_await cl.cont_create(kPoolUuid, {});  // daosim-lint: allow(ignored-result)
     KvObject kv(cl, kPoolUuid, make_oid(2, ObjClass::S8));  // multi-shard dir
     auto v = bytes("x");
     for (int i = 0; i < 20; ++i) {
@@ -216,7 +216,7 @@ TEST(Cluster, ArrayWriteReadRoundTrip) {
   tb.start();
   tb.run([&]() -> CoTask<void> {
     auto& cl = tb.client(0);
-    (void)co_await cl.cont_create(kPoolUuid, {});
+    (void)co_await cl.cont_create(kPoolUuid, {});  // daosim-lint: allow(ignored-result)
     ArrayObject arr(cl, kPoolUuid, make_oid(3, ObjClass::S2), /*chunk=*/4096);
     // Write a pattern spanning several chunks, unaligned.
     std::vector<std::byte> data(10'000);
@@ -241,7 +241,7 @@ TEST(Cluster, ArrayHolesReadZero) {
   tb.start();
   tb.run([&]() -> CoTask<void> {
     auto& cl = tb.client(0);
-    (void)co_await cl.cont_create(kPoolUuid, {});
+    (void)co_await cl.cont_create(kPoolUuid, {});  // daosim-lint: allow(ignored-result)
     ArrayObject arr(cl, kPoolUuid, make_oid(4, ObjClass::SX), 4096);
     auto d = bytes("marker");
     EXPECT_EQ(co_await arr.write(100'000, d.size(), d), Errno::ok);
@@ -259,7 +259,7 @@ TEST(Cluster, ArrayPunchResetsSize) {
   tb.start();
   tb.run([&]() -> CoTask<void> {
     auto& cl = tb.client(0);
-    (void)co_await cl.cont_create(kPoolUuid, {});
+    (void)co_await cl.cont_create(kPoolUuid, {});  // daosim-lint: allow(ignored-result)
     ArrayObject arr(cl, kPoolUuid, make_oid(5, ObjClass::S2), 4096);
     auto d = bytes("0123456789");
     EXPECT_EQ(co_await arr.write(0, d.size(), d), Errno::ok);
@@ -279,7 +279,7 @@ TEST(Cluster, MetadataOnlyWritesTrackSizes) {
   tb.start();
   tb.run([&]() -> CoTask<void> {
     auto& cl = tb.client(0);
-    (void)co_await cl.cont_create(kPoolUuid, {});
+    (void)co_await cl.cont_create(kPoolUuid, {});  // daosim-lint: allow(ignored-result)
     ArrayObject arr(cl, kPoolUuid, make_oid(6, ObjClass::SX), 1 << 20);
     EXPECT_EQ(co_await arr.write(0, 64 << 20, {}), Errno::ok);  // 64 MiB, no payload
     auto sz = co_await arr.size();
@@ -298,7 +298,7 @@ TEST(Cluster, SxWritesTouchManyEngines) {
   tb.start();
   tb.run([&]() -> CoTask<void> {
     auto& cl = tb.client(0);
-    (void)co_await cl.cont_create(kPoolUuid, {});
+    (void)co_await cl.cont_create(kPoolUuid, {});  // daosim-lint: allow(ignored-result)
     ArrayObject arr(cl, kPoolUuid, make_oid(7, ObjClass::SX), 4096);
     std::vector<std::byte> data(64 * 4096);
     EXPECT_EQ(co_await arr.write(0, data.size(), data), Errno::ok);
@@ -316,7 +316,7 @@ TEST(Cluster, S1WritesStayOnOneTarget) {
   tb.start();
   tb.run([&]() -> CoTask<void> {
     auto& cl = tb.client(0);
-    (void)co_await cl.cont_create(kPoolUuid, {});
+    (void)co_await cl.cont_create(kPoolUuid, {});  // daosim-lint: allow(ignored-result)
     ArrayObject arr(cl, kPoolUuid, make_oid(8, ObjClass::S1), 4096);
     std::vector<std::byte> data(64 * 4096);
     EXPECT_EQ(co_await arr.write(0, data.size(), data), Errno::ok);
@@ -334,7 +334,7 @@ TEST(Cluster, EventQueueBoundsInflight) {
   tb.start();
   tb.run([&]() -> CoTask<void> {
     auto& cl = tb.client(0);
-    (void)co_await cl.cont_create(kPoolUuid, {});
+    (void)co_await cl.cont_create(kPoolUuid, {});  // daosim-lint: allow(ignored-result)
     EventQueue eq(tb.sched(), /*max_inflight=*/4);
     auto peak = std::make_shared<std::size_t>(0);
     for (int i = 0; i < 32; ++i) {

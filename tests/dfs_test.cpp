@@ -264,7 +264,7 @@ TEST_P(DfsNamespaceProperty, MatchesOracle) {
       const auto op = rng.uniform(4);
       const std::string parent = random_dir();
       const std::string name = pool[rng.uniform(pool.size())] + strfmt("%llu",
-                               (unsigned long long)rng.uniform(4));
+                               static_cast<unsigned long long>(rng.uniform(4)));
       const std::string path = join(parent, name);
       const bool exists = dirs.contains(path) || files.contains(path);
       if (op == 0) {  // mkdir

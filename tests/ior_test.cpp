@@ -57,9 +57,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(Api::posix, Api::dfs, Api::mpiio, Api::hdf5,
                                          Api::daos_array),
                        ::testing::Values(true, false)),
-    [](const auto& info) {
-      return std::string(to_string(std::get<0>(info.param))) +
-             (std::get<1>(info.param) ? "_easy" : "_hard");
+    [](const auto& tp) {
+      return std::string(to_string(std::get<0>(tp.param))) +
+             (std::get<1>(tp.param) ? "_easy" : "_hard");
     });
 
 TEST(Ior, CollectiveMpiioSharedFileVerifies) {

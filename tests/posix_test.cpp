@@ -74,7 +74,7 @@ TEST(MemVfs, RenameAndStat) {
     auto fd = co_await vfs.open("/a", flags);
     CO_ASSERT_OK(fd);
     std::vector<std::byte> d(7, std::byte{1});
-    (void)co_await vfs.pwrite(*fd, 0, d.size(), d);
+    (void)co_await vfs.pwrite(*fd, 0, d.size(), d);  // daosim-lint: allow(ignored-result)
     CO_ASSERT_ERRNO(co_await vfs.rename("/a", "/b"), Errno::ok);
     auto st = co_await vfs.stat("/b");
     CO_ASSERT_OK(st);
@@ -93,7 +93,7 @@ TEST(MemVfs, ReadPastEofReturnsShort) {
     auto fd = co_await vfs.open("/f", flags);
     CO_ASSERT_OK(fd);
     std::vector<std::byte> d(10, std::byte{2});
-    (void)co_await vfs.pwrite(*fd, 0, d.size(), d);
+    (void)co_await vfs.pwrite(*fd, 0, d.size(), d);  // daosim-lint: allow(ignored-result)
     std::vector<std::byte> out(20);
     auto r = co_await vfs.pread(*fd, 5, out);
     CO_ASSERT_OK(r);

@@ -60,7 +60,7 @@ TEST(SingleValue, RewriteAfterPunch) {
 TEST(SingleValue, AggregateDropsShadowedVersions) {
   SingleValueStore sv;
   for (Epoch e = 1; e <= 10; ++e) {
-    auto v = bytes(strfmt("v%llu", (unsigned long long)e));
+    auto v = bytes(strfmt("v%llu", static_cast<unsigned long long>(e)));
     sv.put(v, e, PayloadMode::store);
   }
   EXPECT_EQ(sv.version_count(), 10u);

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# daosim CI entrypoint: lint pass + a build/test matrix.
+#
+#   tools/ci.sh            run everything (lint, RelWithDebInfo, ASan+UBSan)
+#   tools/ci.sh lint       lint only
+#   tools/ci.sh release    RelWithDebInfo build + ctest only
+#   tools/ci.sh asan       ASan+UBSan (+ runtime audits) build + ctest only
+#   tools/ci.sh tsan       TSan build + ctest (optional; sim is single-threaded)
+#
+# Every configuration runs the full ctest suite, which itself includes the
+# lint tree scan and lint self-test, so `ctest` alone also catches violations.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS=${JOBS:-$(nproc)}
+STAGE=${1:-all}
+
+run_config() {
+  local name=$1
+  shift
+  echo "=== [$name] configure: $* ==="
+  cmake -B "build-ci-$name" -S . "$@"
+  echo "=== [$name] build ==="
+  cmake --build "build-ci-$name" -j "$JOBS"
+  echo "=== [$name] ctest ==="
+  ctest --test-dir "build-ci-$name" --output-on-failure -j "$JOBS"
+}
+
+if [[ $STAGE == lint || $STAGE == all ]]; then
+  echo "=== [lint] tree scan + rule self-test ==="
+  python3 tools/lint/daosim_lint.py --root .
+  python3 tools/lint/daosim_lint.py --self-test --root .
+fi
+
+if [[ $STAGE == release || $STAGE == all ]]; then
+  run_config release -DCMAKE_BUILD_TYPE=RelWithDebInfo
+fi
+
+if [[ $STAGE == asan || $STAGE == all ]]; then
+  # Audits ride along with the sanitizer config: same "slow but thorough"
+  # budget, and ASan stack traces make audit failures easy to localise.
+  run_config asan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DDAOSIM_SANITIZE="address;undefined" -DDAOSIM_AUDIT=ON
+fi
+
+if [[ $STAGE == tsan ]]; then
+  run_config tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDAOSIM_SANITIZE=thread
+fi
+
+echo "=== CI ($STAGE) passed ==="

@@ -1,0 +1,48 @@
+// Fixture: ignored-result — Errno propagation must not be dropped.
+#pragma once
+
+namespace fixture {
+
+enum class Errno : int { ok = 0, io };
+
+template <typename T>
+class Result {
+ public:
+  Result(T) {}
+  Result(Errno) {}
+  bool ok() const { return true; }
+};
+
+// Declarations mimicking src/ headers: the linter collects these names.
+Result<int> frob_fixture(int fd);
+Result<int> unlink_fixture(const char* path);
+
+struct Dir {
+  Result<int> remove_fixture(const char* name);
+};
+
+inline void cases(Dir& d) {
+  // BAD: bare expression statement — the Errno vanishes.
+  frob_fixture(3);  // EXPECT-LINT: ignored-result
+
+  // BAD: method call through a receiver, same silent drop.
+  d.remove_fixture("x");  // EXPECT-LINT: ignored-result
+
+  // BAD: (void) hides the drop from [[nodiscard]] but not from the linter;
+  // intentional discards must carry a lint-allow comment instead.
+  (void)unlink_fixture("/tmp/y");  // EXPECT-LINT: ignored-result
+
+  // GOOD: captured.
+  auto r1 = frob_fixture(4);
+  (void)r1;
+
+  // GOOD: checked inline.
+  if (d.remove_fixture("z").ok()) {
+    frob_fixture(5).ok();
+  }
+
+  // GOOD (suppressed): best-effort cleanup where failure is acceptable.
+  unlink_fixture("/tmp/scratch");  // daosim-lint: allow(ignored-result)
+}
+
+}  // namespace fixture

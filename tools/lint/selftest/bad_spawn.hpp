@@ -1,0 +1,35 @@
+// Fixture: spawn-temporary — the CP.51 dangling-closure trap.
+#pragma once
+#include <coroutine>
+
+namespace fixture {
+
+struct CoTaskVoid {};
+struct Sched {
+  void spawn(CoTaskVoid) {}
+  template <typename F>
+  void spawn(F) {}
+};
+
+inline void cases(Sched& s, int fd) {
+  // BAD: the lambda temporary is invoked inline; its closure dies at the end
+  // of the full expression while the coroutine frame still references it.
+  s.spawn([&fd]() -> CoTaskVoid { return {}; }());  // EXPECT-LINT: spawn-temporary
+
+  // BAD: same trap split over multiple lines — reported at the spawn line.
+  s.spawn([&fd]() -> CoTaskVoid {  // EXPECT-LINT: spawn-temporary
+    return {};
+  }());
+
+  // GOOD: pass the callable itself; the wrapper frame keeps the closure alive.
+  s.spawn([&fd]() -> CoTaskVoid { return {}; });
+
+  // GOOD: spawning a named task factory's result is fine (no closure involved).
+  s.spawn(CoTaskVoid{});
+
+  // GOOD (suppressed): capture-free immediately-invoked lambda has no state to
+  // dangle; an explicit allow documents that.
+  s.spawn([]() -> CoTaskVoid { return {}; }());  // daosim-lint: allow(spawn-temporary)
+}
+
+}  // namespace fixture

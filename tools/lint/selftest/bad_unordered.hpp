@@ -1,0 +1,51 @@
+// Fixture: unordered-iteration — hash-order must never reach the event queue.
+#pragma once
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+struct Handle { void resume() {} };
+struct Sched {
+  void schedule(std::uint64_t, Handle) {}
+  template <typename F>
+  void spawn(F) {}
+};
+
+struct Node {
+  std::unordered_map<int, Handle> waiters_;
+  std::unordered_set<int> peers_;
+  Sched sched_;
+  std::uint64_t total_ = 0;
+
+  void cases() {
+    // BAD: iteration order of waiters_ is address/rehash dependent, and each
+    // element lands in the scheduler queue in that order.
+    for (auto& [id, h] : waiters_) {  // EXPECT-LINT: unordered-iteration
+      sched_.schedule(0, h);
+    }
+
+    // BAD: resuming coroutine handles straight out of a hash set.
+    for (auto id : peers_) {  // EXPECT-LINT: unordered-iteration
+      Handle h;
+      h.resume();
+      total_ += std::uint64_t(id);
+    }
+
+    // GOOD: pure accumulation never observes ordering.
+    for (const auto& [id, h] : waiters_) total_ += std::uint64_t(id);
+
+    // GOOD: iterating an ordered container into the scheduler is fine; this
+    // loop's range is not an unordered container.
+    Handle hs[2];
+    for (auto& h : hs) sched_.schedule(0, h);
+
+    // GOOD (suppressed): sole-element maps cannot expose an order.
+    for (auto& [id, h] : waiters_) {  // daosim-lint: allow(unordered-iteration)
+      sched_.schedule(1, h);
+    }
+  }
+};
+
+}  // namespace fixture

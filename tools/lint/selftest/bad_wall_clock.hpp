@@ -1,0 +1,38 @@
+// Fixture: wall-clock — host time and global randomness are banned in src/.
+#pragma once
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+inline long cases() {
+  auto t0 = std::chrono::system_clock::now();           // EXPECT-LINT: wall-clock
+  auto t1 = std::chrono::steady_clock::now();           // EXPECT-LINT: wall-clock
+  auto t2 = std::chrono::high_resolution_clock::now();  // EXPECT-LINT: wall-clock
+  int r = rand();                                       // EXPECT-LINT: wall-clock
+  srand(42);                                            // EXPECT-LINT: wall-clock
+  std::random_device rd;                                // EXPECT-LINT: wall-clock
+  long now = time(nullptr);                             // EXPECT-LINT: wall-clock
+  std::mt19937 unseeded;                                // EXPECT-LINT: wall-clock
+  std::mt19937_64 braced{};                             // EXPECT-LINT: wall-clock
+
+  // GOOD: an explicitly seeded engine does not trip the unseeded rule (though
+  // new code should still prefer sim/random.hpp).
+  std::mt19937 seeded(12345);
+
+  // GOOD: identifiers merely containing the banned words are untouched.
+  long busy_time_ns = 0;
+  struct { long time_ms; } stats{0};
+  busy_time_ns += stats.time_ms;
+
+  // GOOD: comments and strings never fire: rand() system_clock time(nullptr).
+  const char* label = "rand() std::random_device time(0)";
+
+  (void)t0; (void)t1; (void)t2; (void)r; (void)rd; (void)label;
+  (void)seeded; (void)unseeded; (void)braced;
+  return now + busy_time_ns;
+}
+
+}  // namespace fixture
