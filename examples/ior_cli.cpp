@@ -5,6 +5,7 @@
 #include <cstring>
 #include <string>
 
+#include "fault/fault.hpp"
 #include "ior/ior.hpp"
 
 using namespace daosim;
@@ -40,7 +41,9 @@ int usage() {
                "  -c         MPI-IO collective buffering\n"
                "  -o CLASS   object class S1|S2|S4|S8|SX (default SX)\n"
                "  -S N       server nodes (default 8)\n"
-               "  -V         store payloads and verify data\n");
+               "  -V         store payloads and verify data\n"
+               "  --faults SPEC   fault schedule, e.g. crash@200ms:e3 (docs/faults.md)\n"
+               "  --fault-seed N  seed for probabilistic faults (default 1)\n");
   return 2;
 }
 
@@ -52,6 +55,8 @@ int main(int argc, char** argv) {
   cfg.file_per_process = false;
   std::uint32_t client_nodes = 4, ppn = 16, servers = 8;
   bool verify = false;
+  std::string fault_spec;
+  std::uint64_t fault_seed = 1;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -73,6 +78,8 @@ int main(int argc, char** argv) {
     else if (arg == "-c") cfg.collective = true;
     else if (arg == "-S") servers = std::uint32_t(std::atoi(next()));
     else if (arg == "-V") verify = true;
+    else if (arg == "--faults") fault_spec = next();
+    else if (arg == "--fault-seed") fault_seed = std::uint64_t(std::strtoull(next(), nullptr, 10));
     else if (arg == "-o") {
       const std::string oc = next();
       using client::ObjClass;
@@ -112,6 +119,25 @@ int main(int argc, char** argv) {
 
   cluster::Testbed tb(ccfg);
   tb.start();
+  if (!fault_spec.empty()) {
+    Result<fault::Schedule> sched = fault::Schedule::parse(fault_spec);
+    if (!sched.ok()) {
+      std::fprintf(stderr, "ior_cli: bad --faults spec '%s' (see docs/faults.md)\n",
+                   fault_spec.c_str());
+      return 2;
+    }
+    if (!sched->validate(tb.engine_count(), ccfg.targets_per_engine).ok()) {
+      std::fprintf(stderr,
+                   "ior_cli: --faults names an engine/target outside the cluster "
+                   "(%u engines x %u targets)\n",
+                   tb.engine_count(), ccfg.targets_per_engine);
+      return 2;
+    }
+    const fault::Injector& inj = tb.inject_faults(*sched, fault_seed);
+    std::printf("faults: %zu events armed, seed %llu\n", sched->events().size(),
+                static_cast<unsigned long long>(fault_seed));
+    (void)inj;
+  }
   ior::IorRunner runner(tb, ppn);
   const ior::IorResult res = runner.run(cfg);
   std::printf("write: %10.2f GiB/s  (%s in %.3f s)\n", res.write.gib_per_sec(),

@@ -23,6 +23,15 @@ namespace {
 constexpr std::uint64_t kSvcMsgBytes = 128;
 constexpr int kSvcMaxRetries = 16;
 constexpr sim::Time kSvcRetryDelay = 20 * sim::kMs;
+/// Bound on re-placement rounds after Errno::stale: each round follows one
+/// pool-map refresh, and maps only move forward, so a handful suffices.
+constexpr int kMaxPlaceRounds = 3;
+
+// Trace-digest tags for recovery actions (arbitrary distinct constants,
+// xor-combined with the affected engine/version).
+constexpr std::uint64_t kTraceEvictReport = 0xFA17E001'0000'0000ULL;
+constexpr std::uint64_t kTraceMapRefresh = 0xFA17E002'0000'0000ULL;
+constexpr std::uint64_t kTraceRefreshFail = 0xFA17E003'0000'0000ULL;
 
 std::uint64_t key_hash(const vos::Key& k) {
   return std::hash<std::string>{}(k);
@@ -39,6 +48,131 @@ DaosClient::DaosClient(net::RpcDomain& domain, net::NodeId node, pool::PoolMap m
   DAOSIM_REQUIRE(map_.target_count() > 0, "empty pool map");
 }
 
+// ---------------------------------------------------------------------------
+// Resilient RPC path
+
+struct DaosClient::PendingCall {
+  explicit PendingCall(sim::Scheduler& s) : done(s) {}
+  sim::Event done;
+  net::Reply reply;
+};
+
+sim::CoTask<void> DaosClient::run_call(net::RpcEndpoint* ep, net::NodeId dst,
+                                       std::uint16_t opcode, net::Body body,
+                                       std::uint64_t wire_bytes,
+                                       std::shared_ptr<PendingCall> st) {
+  st->reply = co_await ep->call(dst, opcode, std::move(body), wire_bytes);  // daosim-lint: allow(raw-rpc-call)
+  st->done.set();
+}
+
+sim::CoTask<net::Reply> DaosClient::call_with_deadline(net::NodeId dst, std::uint16_t opcode,
+                                                       net::Body body, std::uint64_t wire_bytes,
+                                                       sim::Time deadline) {
+  auto st = std::make_shared<PendingCall>(sched_);
+  // The attempt runs detached so an expired deadline abandons it without
+  // cancelling it: the request already left this node, and the server will
+  // still execute it — which is why retried updates must be idempotent.
+  sim::CoTask<void> runner = run_call(&ep_, dst, opcode, std::move(body), wire_bytes, st);
+  sched_.spawn(std::move(runner));
+  const bool replied = co_await st->done.wait_for(deadline);
+  if (!replied) co_return net::Reply{Errno::timed_out, 0, {}};
+  co_return std::move(st->reply);
+}
+
+sim::CoTask<net::Reply> DaosClient::call_retry(net::NodeId dst, std::uint16_t opcode,
+                                               net::Body body, std::uint64_t wire_bytes) {
+  Reply r{};
+  for (int attempt = 1;; ++attempt) {
+    Body attempt_body = body;  // bodies are shared_ptr-held: copies are cheap
+    r = co_await call_with_deadline(dst, opcode, std::move(attempt_body), wire_bytes,
+                                    retry_.deadline);
+    if (r.status != Errno::timed_out && r.status != Errno::busy) co_return r;
+    if (attempt >= retry_.max_attempts) co_return r;
+    co_await sched_.delay(retry_backoff(retry_, attempt));
+  }
+}
+
+sim::CoTask<net::Reply> DaosClient::call_target(std::uint32_t map_target, std::uint16_t opcode,
+                                                net::Body body, std::uint64_t wire_bytes) {
+  DAOSIM_REQUIRE(map_target < map_.target_count(), "target %u outside pool map", map_target);
+  const pool::TargetRef ref = map_.targets[map_target];  // copy: map_ may refresh mid-call
+  if (ref.health == pool::TargetHealth::excluded) {
+    co_return net::Reply{Errno::stale, 0, {}};
+  }
+  net::Reply r = co_await call_retry(ref.engine, opcode, std::move(body), wire_bytes);
+  if (r.status != Errno::timed_out) co_return r;
+  // The whole attempt budget burned: suspect the engine (DOWN), report it for
+  // eviction, and hand Errno::stale to the caller so it re-places against the
+  // refreshed map.
+  for (auto& t : map_.targets) {
+    if (t.engine == ref.engine && t.health == pool::TargetHealth::up) {
+      t.health = pool::TargetHealth::down;
+    }
+  }
+  co_await report_engine_failure(ref.engine);
+  co_return net::Reply{Errno::stale, 0, {}};
+}
+
+sim::CoTask<void> DaosClient::report_engine_failure(net::NodeId engine) {
+  if (auto it = evict_gates_.find(engine); it != evict_gates_.end()) {
+    auto gate = it->second;  // keep the Event alive across the wait
+    co_await gate->wait();
+    co_return;
+  }
+  auto gate = std::make_shared<sim::Event>(sched_);
+  evict_gates_.emplace(engine, gate);
+  ++evictions_;
+  sched_.trace_note(kTraceEvictReport ^ engine);
+  auto evicted = co_await svc_command(strfmt("pool_evict %u", engine));
+  if (evicted.ok()) {
+    Result<void> refreshed = co_await refresh_pool_map();
+    if (!refreshed.ok()) {
+      // Targets stay marked DOWN; the next failing call retries the refresh.
+      sched_.trace_note(kTraceRefreshFail ^ engine);
+    }
+  }
+  evict_gates_.erase(engine);
+  gate->set();
+}
+
+sim::CoTask<Result<void>> DaosClient::refresh_pool_map() {
+  auto res = co_await svc_command("map_query");
+  if (!res.ok()) co_return res.error();
+  std::istringstream is(*res);
+  std::string status;
+  std::uint32_t version = 0;
+  std::size_t count = 0;
+  is >> status >> version >> count;
+  if (status != "ok") co_return Errno::io;
+  std::set<net::NodeId> excluded;
+  for (std::size_t i = 0; i < count; ++i) {
+    net::NodeId e = 0;
+    is >> e;
+    excluded.insert(e);
+  }
+  if (version <= map_.version) co_return Result<void>{};
+  map_.version = version;
+  for (auto& t : map_.targets) {
+    if (excluded.contains(t.engine)) {
+      t.health = pool::TargetHealth::excluded;
+    } else if (t.health == pool::TargetHealth::excluded) {
+      t.health = pool::TargetHealth::up;  // reintegrated
+    }
+  }
+  sched_.trace_note(kTraceMapRefresh ^ version);
+  co_return Result<void>{};
+}
+
+sim::CoTask<Result<void>> DaosClient::pool_reint(net::NodeId engine) {
+  auto res = co_await svc_command(strfmt("pool_reint %u", engine));
+  if (!res.ok()) co_return res.error();
+  std::istringstream is(*res);
+  std::string status;
+  is >> status;
+  if (status != "ok") co_return Errno::io;
+  co_return co_await refresh_pool_map();
+}
+
 sim::CoTask<Result<std::string>> DaosClient::svc_command(std::string cmd) {
   std::size_t rr = 0;
   for (int attempt = 0; attempt < kSvcMaxRetries; ++attempt) {
@@ -48,8 +182,8 @@ sim::CoTask<Result<std::string>> DaosClient::svc_command(std::string cmd) {
     // temporaries nested in co_await argument lists (double destruction).
     engine::PoolSvcReq preq{cmd};
     Body body = Body::make(std::move(preq));
-    Reply r = co_await ep_.call(dst, engine::kOpPoolSvc, std::move(body),
-                                kSvcMsgBytes + cmd.size());
+    Reply r = co_await call_with_deadline(dst, engine::kOpPoolSvc, std::move(body),
+                                          kSvcMsgBytes + cmd.size(), retry_.deadline);
     if (r.status == Errno::ok) {
       cached_leader_ = dst;
       co_return r.body.get<engine::PoolSvcResp>().response;
@@ -62,6 +196,9 @@ sim::CoTask<Result<std::string>> DaosClient::svc_command(std::string cmd) {
   }
   co_return Errno::timed_out;
 }
+
+// ---------------------------------------------------------------------------
+// Pool service operations
 
 sim::CoTask<Result<ContInfo>> DaosClient::cont_create(vos::Uuid uuid, pool::ContProps props) {
   auto res = co_await svc_command(strfmt("cont_create %llu %llu %llu %u",
@@ -111,25 +248,25 @@ sim::CoTask<Result<std::uint64_t>> DaosClient::alloc_oids(vos::Uuid cont, std::u
   co_return base;
 }
 
-sim::CoTask<net::Reply> DaosClient::call_target(std::uint32_t map_target, std::uint16_t opcode,
-                                                net::Body body, std::uint64_t wire_bytes) {
-  DAOSIM_REQUIRE(map_target < map_.target_count(), "target %u outside pool map", map_target);
-  const auto& ref = map_.targets[map_target];
-  return ep_.call(ref.engine, opcode, std::move(body), wire_bytes);
-}
-
 // ---------------------------------------------------------------------------
 // KvObject
 
 KvObject::KvObject(DaosClient& client, vos::Uuid cont, vos::ObjId oid)
     : client_(client), cont_(cont), oid_(oid) {
   const auto cls = class_of(oid);
+  map_version_ = client.pool_map().version;
   layout_ = compute_layout(oid, client::shard_count(cls, client.pool_map().target_count()),
-                           client.pool_map().target_count());
+                           client.pool_map());
 }
 
 std::uint32_t KvObject::shard_of(const vos::Key& dkey) const {
   return dkey_to_shard(key_hash(dkey), std::uint32_t(layout_.size()));
+}
+
+void KvObject::refresh_layout() {
+  if (map_version_ == client_.pool_map().version) return;
+  map_version_ = client_.pool_map().version;
+  layout_ = compute_layout(oid_, std::uint32_t(layout_.size()), client_.pool_map());
 }
 
 sim::CoTask<Errno> KvObject::put(const vos::Key& dkey, const vos::Key& akey,
@@ -137,17 +274,21 @@ sim::CoTask<Errno> KvObject::put(const vos::Key& dkey, const vos::Key& akey,
   ObjUpdateReq req;
   req.cont = cont_;
   req.oid = oid_;
-  const std::uint32_t map_target = layout_[shard_of(dkey)];
-  req.target = client_.pool_map().targets[map_target].target;
   req.dkey = dkey;
   req.akey = akey;
   req.type = RecordType::single_value;
   req.cond_insert = excl;
   req.length = value.size();
   req.data = std::make_shared<std::vector<std::byte>>(value.begin(), value.end());
-  Reply r = co_await client_.call_target(map_target, engine::kOpObjUpdate, Body::make(std::move(req)),
-                                         engine::kObjRpcHeader + value.size());
-  co_return r.status;
+  for (int round = 0;; ++round) {
+    refresh_layout();
+    const std::uint32_t map_target = layout_[shard_of(dkey)];
+    req.target = client_.pool_map().targets[map_target].target;
+    Body body = Body::make(req);
+    Reply r = co_await client_.call_target(map_target, engine::kOpObjUpdate, std::move(body),
+                                           engine::kObjRpcHeader + value.size());
+    if (r.status != Errno::stale || round >= kMaxPlaceRounds) co_return r.status;
+  }
 }
 
 sim::CoTask<Result<std::vector<std::byte>>> KvObject::get(const vos::Key& dkey,
@@ -155,13 +296,19 @@ sim::CoTask<Result<std::vector<std::byte>>> KvObject::get(const vos::Key& dkey,
   ObjFetchReq req;
   req.cont = cont_;
   req.oid = oid_;
-  const std::uint32_t map_target = layout_[shard_of(dkey)];
-  req.target = client_.pool_map().targets[map_target].target;
   req.dkey = dkey;
   req.akey = akey;
   req.type = RecordType::single_value;
-  Reply r = co_await client_.call_target(map_target, engine::kOpObjFetch, Body::make(std::move(req)),
-                                         engine::kObjRpcHeader);
+  Reply r{};
+  for (int round = 0;; ++round) {
+    refresh_layout();
+    const std::uint32_t map_target = layout_[shard_of(dkey)];
+    req.target = client_.pool_map().targets[map_target].target;
+    Body body = Body::make(req);
+    r = co_await client_.call_target(map_target, engine::kOpObjFetch, std::move(body),
+                                     engine::kObjRpcHeader);
+    if (r.status != Errno::stale || round >= kMaxPlaceRounds) break;
+  }
   if (r.status != Errno::ok) co_return r.status;
   auto& resp = r.body.get<ObjFetchResp>();
   if (!resp.exists) co_return Errno::no_entry;
@@ -175,10 +322,16 @@ sim::CoTask<Result<std::vector<vos::Key>>> KvObject::list_dkeys() {
     ObjEnumReq req;
     req.cont = cont_;
     req.oid = oid_;
-    const std::uint32_t map_target = layout_[s];
-    req.target = client_.pool_map().targets[map_target].target;
-    Reply r = co_await client_.call_target(map_target, engine::kOpObjEnumDkeys,
-                                           Body::make(std::move(req)), engine::kObjRpcHeader);
+    Reply r{};
+    for (int round = 0;; ++round) {
+      refresh_layout();
+      const std::uint32_t map_target = layout_[s];
+      req.target = client_.pool_map().targets[map_target].target;
+      Body body = Body::make(req);
+      r = co_await client_.call_target(map_target, engine::kOpObjEnumDkeys, std::move(body),
+                                       engine::kObjRpcHeader);
+      if (r.status != Errno::stale || round >= kMaxPlaceRounds) break;
+    }
     if (r.status != Errno::ok) co_return r.status;
     for (auto& k : r.body.get<ObjEnumResp>().keys) merged.insert(std::move(k));
   }
@@ -186,16 +339,26 @@ sim::CoTask<Result<std::vector<vos::Key>>> KvObject::list_dkeys() {
 }
 
 sim::CoTask<Errno> KvObject::punch() {
-  std::set<std::uint32_t> touched(layout_.begin(), layout_.end());
+  refresh_layout();
   Errno status = Errno::ok;
-  for (std::uint32_t map_target : touched) {
+  // The layout is a permutation on a healthy map, so per-shard iteration hits
+  // each target once; degraded layouts may punch a substitute twice, which is
+  // harmless (punch is idempotent).
+  for (std::uint32_t s = 0; s < layout_.size(); ++s) {
     ObjPunchReq req;
     req.cont = cont_;
     req.oid = oid_;
-    req.target = client_.pool_map().targets[map_target].target;
     req.scope = PunchScope::object;
-    Reply r = co_await client_.call_target(map_target, engine::kOpObjPunch,
-                                           Body::make(std::move(req)), engine::kObjRpcHeader);
+    Reply r{};
+    for (int round = 0;; ++round) {
+      refresh_layout();
+      const std::uint32_t map_target = layout_[s];
+      req.target = client_.pool_map().targets[map_target].target;
+      Body body = Body::make(req);
+      r = co_await client_.call_target(map_target, engine::kOpObjPunch, std::move(body),
+                                       engine::kObjRpcHeader);
+      if (r.status != Errno::stale || round >= kMaxPlaceRounds) break;
+    }
     if (r.status != Errno::ok) status = r.status;
   }
   co_return status;
@@ -205,13 +368,17 @@ sim::CoTask<Errno> KvObject::punch_dkey(const vos::Key& dkey) {
   ObjPunchReq req;
   req.cont = cont_;
   req.oid = oid_;
-  const std::uint32_t map_target = layout_[shard_of(dkey)];
-  req.target = client_.pool_map().targets[map_target].target;
   req.scope = PunchScope::dkey;
   req.dkey = dkey;
-  Reply r = co_await client_.call_target(map_target, engine::kOpObjPunch,
-                                         Body::make(std::move(req)), engine::kObjRpcHeader);
-  co_return r.status;
+  for (int round = 0;; ++round) {
+    refresh_layout();
+    const std::uint32_t map_target = layout_[shard_of(dkey)];
+    req.target = client_.pool_map().targets[map_target].target;
+    Body body = Body::make(req);
+    Reply r = co_await client_.call_target(map_target, engine::kOpObjPunch, std::move(body),
+                                           engine::kObjRpcHeader);
+    if (r.status != Errno::stale || round >= kMaxPlaceRounds) co_return r.status;
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -222,8 +389,15 @@ ArrayObject::ArrayObject(DaosClient& client, vos::Uuid cont, vos::ObjId oid,
     : client_(client), cont_(cont), oid_(oid), chunk_(chunk_size) {
   DAOSIM_REQUIRE(chunk_ > 0, "chunk size must be positive");
   const auto cls = class_of(oid);
+  map_version_ = client.pool_map().version;
   layout_ = compute_layout(oid, client::shard_count(cls, client.pool_map().target_count()),
-                           client.pool_map().target_count());
+                           client.pool_map());
+}
+
+void ArrayObject::refresh_layout() {
+  if (map_version_ == client_.pool_map().version) return;
+  map_version_ = client_.pool_map().version;
+  layout_ = compute_layout(oid_, std::uint32_t(layout_.size()), client_.pool_map());
 }
 
 sim::CoTask<Errno> ArrayObject::write(std::uint64_t offset, std::uint64_t length,
@@ -243,8 +417,6 @@ sim::CoTask<Errno> ArrayObject::write(std::uint64_t offset, std::uint64_t length
     ObjUpdateReq req;
     req.cont = cont_;
     req.oid = oid_;
-    const std::uint32_t map_target = layout_[shard_of_chunk(chunk_idx)];
-    req.target = client_.pool_map().targets[map_target].target;
     req.dkey = strfmt("%llu", static_cast<unsigned long long>(chunk_idx));
     req.akey = "0";
     req.type = RecordType::array;
@@ -256,7 +428,7 @@ sim::CoTask<Errno> ArrayObject::write(std::uint64_t offset, std::uint64_t length
       req.data = std::make_shared<std::vector<std::byte>>(sub.begin(), sub.end());
     }
     const std::uint64_t wire = engine::kObjRpcHeader + piece;
-    wg.spawn(update_piece(map_target, std::move(req), wire, status));
+    wg.spawn(update_piece(chunk_idx, std::move(req), wire, status));
     pos += piece;
   }
   co_await wg.wait();
@@ -280,15 +452,13 @@ sim::CoTask<Result<std::uint64_t>> ArrayObject::read(std::uint64_t offset,
     ObjFetchReq req;
     req.cont = cont_;
     req.oid = oid_;
-    const std::uint32_t map_target = layout_[shard_of_chunk(chunk_idx)];
-    req.target = client_.pool_map().targets[map_target].target;
     req.dkey = strfmt("%llu", static_cast<unsigned long long>(chunk_idx));
     req.akey = "0";
     req.type = RecordType::array;
     req.offset = in_chunk;
     req.length = piece;
     auto dst = out.subspan(std::size_t(pos - offset), std::size_t(piece));
-    wg.spawn(fetch_piece(map_target, std::move(req), dst, status, filled));
+    wg.spawn(fetch_piece(chunk_idx, std::move(req), dst, status, filled));
     pos += piece;
   }
   co_await wg.wait();
@@ -297,36 +467,50 @@ sim::CoTask<Result<std::uint64_t>> ArrayObject::read(std::uint64_t offset,
 }
 
 sim::CoTask<Result<std::uint64_t>> ArrayObject::size() {
-  std::set<std::uint32_t> touched(layout_.begin(), layout_.end());
+  refresh_layout();
   auto status = std::make_shared<Errno>(Errno::ok);
   auto max_end = std::make_shared<std::uint64_t>(0);
   sim::WaitGroup wg(client_.scheduler());
-  for (std::uint32_t map_target : touched) {
+  for (std::uint32_t s = 0; s < layout_.size(); ++s) {
     ObjQueryReq req;
     req.cont = cont_;
     req.oid = oid_;
-    req.target = client_.pool_map().targets[map_target].target;
     req.kind = engine::QueryKind::array_end_hint;
-    wg.spawn(query_piece(map_target, std::move(req), status, max_end));
+    wg.spawn(query_piece(s, std::move(req), status, max_end));
   }
   co_await wg.wait();
   if (*status != Errno::ok) co_return *status;
   co_return *max_end;
 }
 
-sim::CoTask<void> ArrayObject::update_piece(std::uint32_t map_target, engine::ObjUpdateReq req,
+sim::CoTask<void> ArrayObject::update_piece(std::uint64_t chunk_idx, engine::ObjUpdateReq req,
                                             std::uint64_t wire, std::shared_ptr<Errno> status) {
-  Reply reply = co_await client_.call_target(map_target, engine::kOpObjUpdate,
-                                             Body::make(std::move(req)), wire);
+  Reply reply{};
+  for (int round = 0;; ++round) {
+    refresh_layout();
+    const std::uint32_t map_target = layout_[shard_of_chunk(chunk_idx)];
+    req.target = client_.pool_map().targets[map_target].target;
+    Body body = Body::make(req);
+    reply = co_await client_.call_target(map_target, engine::kOpObjUpdate, std::move(body), wire);
+    if (reply.status != Errno::stale || round >= kMaxPlaceRounds) break;
+  }
   if (reply.status != Errno::ok) *status = reply.status;
 }
 
-sim::CoTask<void> ArrayObject::fetch_piece(std::uint32_t map_target, engine::ObjFetchReq req,
+sim::CoTask<void> ArrayObject::fetch_piece(std::uint64_t chunk_idx, engine::ObjFetchReq req,
                                            std::span<std::byte> dst,
                                            std::shared_ptr<Errno> status,
                                            std::shared_ptr<std::uint64_t> filled) {
-  Reply reply = co_await client_.call_target(map_target, engine::kOpObjFetch,
-                                             Body::make(std::move(req)), engine::kObjRpcHeader);
+  Reply reply{};
+  for (int round = 0;; ++round) {
+    refresh_layout();
+    const std::uint32_t map_target = layout_[shard_of_chunk(chunk_idx)];
+    req.target = client_.pool_map().targets[map_target].target;
+    Body body = Body::make(req);
+    reply = co_await client_.call_target(map_target, engine::kOpObjFetch, std::move(body),
+                                         engine::kObjRpcHeader);
+    if (reply.status != Errno::stale || round >= kMaxPlaceRounds) break;
+  }
   if (reply.status != Errno::ok) {
     *status = reply.status;
     co_return;
@@ -338,11 +522,19 @@ sim::CoTask<void> ArrayObject::fetch_piece(std::uint32_t map_target, engine::Obj
   }
 }
 
-sim::CoTask<void> ArrayObject::query_piece(std::uint32_t map_target, engine::ObjQueryReq req,
+sim::CoTask<void> ArrayObject::query_piece(std::uint32_t shard, engine::ObjQueryReq req,
                                            std::shared_ptr<Errno> status,
                                            std::shared_ptr<std::uint64_t> max_end) {
-  Reply reply = co_await client_.call_target(map_target, engine::kOpObjQuery,
-                                             Body::make(std::move(req)), engine::kObjRpcHeader);
+  Reply reply{};
+  for (int round = 0;; ++round) {
+    refresh_layout();
+    const std::uint32_t map_target = layout_[shard];
+    req.target = client_.pool_map().targets[map_target].target;
+    Body body = Body::make(req);
+    reply = co_await client_.call_target(map_target, engine::kOpObjQuery, std::move(body),
+                                         engine::kObjRpcHeader);
+    if (reply.status != Errno::stale || round >= kMaxPlaceRounds) break;
+  }
   if (reply.status != Errno::ok) {
     *status = reply.status;
     co_return;
@@ -351,16 +543,23 @@ sim::CoTask<void> ArrayObject::query_piece(std::uint32_t map_target, engine::Obj
 }
 
 sim::CoTask<Errno> ArrayObject::punch() {
-  std::set<std::uint32_t> touched(layout_.begin(), layout_.end());
+  refresh_layout();
   Errno status = Errno::ok;
-  for (std::uint32_t map_target : touched) {
+  for (std::uint32_t s = 0; s < layout_.size(); ++s) {
     ObjPunchReq req;
     req.cont = cont_;
     req.oid = oid_;
-    req.target = client_.pool_map().targets[map_target].target;
     req.scope = PunchScope::object;
-    Reply r = co_await client_.call_target(map_target, engine::kOpObjPunch,
-                                           Body::make(std::move(req)), engine::kObjRpcHeader);
+    Reply r{};
+    for (int round = 0;; ++round) {
+      refresh_layout();
+      const std::uint32_t map_target = layout_[s];
+      req.target = client_.pool_map().targets[map_target].target;
+      Body body = Body::make(req);
+      r = co_await client_.call_target(map_target, engine::kOpObjPunch, std::move(body),
+                                       engine::kObjRpcHeader);
+      if (r.status != Errno::stale || round >= kMaxPlaceRounds) break;
+    }
     if (r.status != Errno::ok) status = r.status;
   }
   co_return status;

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <optional>
 #include <span>
@@ -72,6 +73,35 @@ struct ContInfo {
   pool::ContProps props;
 };
 
+/// Client-side RPC resilience policy: every RPC gets a per-attempt reply
+/// deadline and a bounded number of retries separated by deterministic
+/// exponential backoff. All durations are virtual time, so the resulting
+/// retry pattern is bit-reproducible.
+///
+/// The default deadline is deliberately generous (cf. CaRT's 60s RPC
+/// timeout): it must sit well above worst-case *legitimate* queueing — a
+/// single-shard (S1) object at 256 ranks funnels every transfer through one
+/// target, where the tail request waits >1s of virtual time. Unreachable
+/// engines don't need the deadline at all: each attempt fails after
+/// net::kRpcTimeout, so eviction latency is governed by that, not by this.
+/// Tests that want aggressive duplicate-apply behaviour shrink the deadline
+/// via set_retry_policy.
+struct RetryPolicy {
+  int max_attempts = 4;                      // total attempts (first + retries)
+  sim::Time deadline = 5 * sim::kSec;        // per-attempt reply deadline
+  sim::Time backoff_base = 20 * sim::kMs;    // delay before the first retry
+  sim::Time backoff_cap = 500 * sim::kMs;    // backoff growth ceiling
+};
+
+/// Backoff inserted before retry attempt `attempt` (1-based: the delay
+/// between attempt N and attempt N+1 is retry_backoff(policy, N)):
+/// base, 2*base, 4*base, ... capped at backoff_cap.
+constexpr sim::Time retry_backoff(const RetryPolicy& p, int attempt) {
+  sim::Time d = p.backoff_base;
+  for (int i = 1; i < attempt && d < p.backoff_cap; ++i) d *= 2;
+  return d < p.backoff_cap ? d : p.backoff_cap;
+}
+
 class DaosClient {
  public:
   /// @param node          this client's fabric node
@@ -84,6 +114,9 @@ class DaosClient {
   sim::Scheduler& scheduler() { return sched_; }
   const pool::PoolMap& pool_map() const { return map_; }
 
+  const RetryPolicy& retry_policy() const { return retry_; }
+  void set_retry_policy(RetryPolicy p) { retry_ = p; }
+
   // --- pool service operations ---
   sim::CoTask<Result<ContInfo>> cont_create(vos::Uuid uuid, pool::ContProps props);
   sim::CoTask<Result<ContInfo>> cont_open(vos::Uuid uuid);
@@ -91,20 +124,60 @@ class DaosClient {
   /// Allocates a contiguous range of object sequence numbers; returns base.
   sim::CoTask<Result<std::uint64_t>> alloc_oids(vos::Uuid cont, std::uint64_t count);
 
-  // --- raw object RPC (used by the handles and by DFS) ---
+  // --- resilient RPC (the only sanctioned path to RpcEndpoint::call) ---
+
+  /// One RPC attempt racing a reply deadline. On expiry the attempt is
+  /// abandoned (the in-flight call still completes against the server — the
+  /// duplicate-apply window real retries face) and Errno::timed_out returns.
+  sim::CoTask<net::Reply> call_with_deadline(net::NodeId dst, std::uint16_t opcode,
+                                             net::Body body, std::uint64_t wire_bytes,
+                                             sim::Time deadline);
+
+  /// Bounded retry with deterministic exponential backoff: retries on
+  /// timed_out/busy up to the policy's attempt budget, then surfaces the
+  /// final status.
+  sim::CoTask<net::Reply> call_retry(net::NodeId dst, std::uint16_t opcode, net::Body body,
+                                     std::uint64_t wire_bytes);
+
+  /// Object RPC to a pool-map target. Targets this client already knows are
+  /// EXCLUDED fail fast with Errno::stale; a target that exhausts its retry
+  /// budget is reported to the pool service for eviction, the local map is
+  /// refreshed, and Errno::stale tells the caller to re-place.
   sim::CoTask<net::Reply> call_target(std::uint32_t map_target, std::uint16_t opcode,
                                       net::Body body, std::uint64_t wire_bytes);
 
+  /// Re-fetches pool-map health state (map_query) from the pool service and
+  /// applies it to the local map if the version advanced.
+  sim::CoTask<Result<void>> refresh_pool_map();
+
+  /// Admin reintegration (the `dmg pool reintegrate` equivalent): clears the
+  /// engine's EXCLUDED state through the pool service and refreshes the local
+  /// map. Restarting an engine does NOT reintegrate it — this call does.
+  sim::CoTask<Result<void>> pool_reint(net::NodeId engine);
+
   std::uint64_t rpcs_sent() const { return ep_.calls_made(); }
+  std::uint64_t evictions_reported() const { return evictions_; }
 
  private:
+  struct PendingCall;
+
   sim::CoTask<Result<std::string>> svc_command(std::string cmd);
+  static sim::CoTask<void> run_call(net::RpcEndpoint* ep, net::NodeId dst, std::uint16_t opcode,
+                                    net::Body body, std::uint64_t wire_bytes,
+                                    std::shared_ptr<PendingCall> st);
+  sim::CoTask<void> report_engine_failure(net::NodeId engine);
 
   net::RpcEndpoint ep_;
   sim::Scheduler& sched_;
   pool::PoolMap map_;
   std::vector<net::NodeId> svc_replicas_;
   std::optional<net::NodeId> cached_leader_;
+  RetryPolicy retry_;
+  /// Coalesces concurrent failure reports per engine: the first caller runs
+  /// the eviction, later callers wait on its gate. std::map: iteration order
+  /// must never depend on addresses (determinism).
+  std::map<net::NodeId, std::shared_ptr<sim::Event>> evict_gates_;
+  std::uint64_t evictions_ = 0;
 };
 
 /// KV-style object handle (DAOS "multi-level KV" API): dkey -> akey -> value.
@@ -125,11 +198,15 @@ class KvObject {
 
  private:
   std::uint32_t shard_of(const vos::Key& dkey) const;
+  /// Recomputes the layout when the client's pool map moved past the version
+  /// this handle last placed against (refresh-on-stale).
+  void refresh_layout();
 
   DaosClient& client_;
   vos::Uuid cont_;
   vos::ObjId oid_;
   std::vector<std::uint32_t> layout_;
+  std::uint32_t map_version_ = 0;
 };
 
 /// Byte-array object handle (the DAOS array API): a flat address space
@@ -156,14 +233,18 @@ class ArrayObject {
   std::uint32_t shard_of_chunk(std::uint64_t chunk_idx) const {
     return dkey_to_shard(chunk_idx ^ mix64(oid_.lo), std::uint32_t(layout_.size()));
   }
+  /// See KvObject::refresh_layout.
+  void refresh_layout();
 
   // Per-piece coroutines (explicit parameters; see CP.51 note in scheduler.hpp).
-  sim::CoTask<void> update_piece(std::uint32_t map_target, engine::ObjUpdateReq req,
+  // Each piece resolves its target from the current layout per attempt and
+  // re-places (bounded) when the pool map goes stale under it.
+  sim::CoTask<void> update_piece(std::uint64_t chunk_idx, engine::ObjUpdateReq req,
                                  std::uint64_t wire, std::shared_ptr<Errno> status);
-  sim::CoTask<void> fetch_piece(std::uint32_t map_target, engine::ObjFetchReq req,
+  sim::CoTask<void> fetch_piece(std::uint64_t chunk_idx, engine::ObjFetchReq req,
                                 std::span<std::byte> dst, std::shared_ptr<Errno> status,
                                 std::shared_ptr<std::uint64_t> filled);
-  sim::CoTask<void> query_piece(std::uint32_t map_target, engine::ObjQueryReq req,
+  sim::CoTask<void> query_piece(std::uint32_t shard, engine::ObjQueryReq req,
                                 std::shared_ptr<Errno> status,
                                 std::shared_ptr<std::uint64_t> max_end);
 
@@ -172,6 +253,7 @@ class ArrayObject {
   vos::ObjId oid_;
   std::uint64_t chunk_;
   std::vector<std::uint32_t> layout_;
+  std::uint32_t map_version_ = 0;
 };
 
 }  // namespace daosim::client

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "pool/pool_map.hpp"
 #include "vos/types.hpp"
 
 namespace daosim::client {
@@ -38,19 +39,59 @@ constexpr std::uint32_t jump_consistent_hash(std::uint64_t key, std::uint32_t bu
   return std::uint32_t(b);
 }
 
+/// The per-object target ring: position i of the object's permutation of the
+/// pool's targets. Shards occupy positions [0, shards); positions beyond
+/// supply deterministic substitutes when a placed target is excluded.
+struct PlacementRing {
+  std::uint32_t start = 0;
+  std::uint32_t stride = 1;
+  std::uint32_t pool_targets = 1;
+
+  PlacementRing(vos::ObjId oid, std::uint32_t targets) : pool_targets(targets) {
+    const std::uint64_t h = mix64(oid.hi ^ mix64(oid.lo));
+    start = jump_consistent_hash(h, pool_targets);
+    // Odd ring stride co-prime with the target count -> a permutation.
+    stride = 1 + 2 * std::uint32_t(mix64(h) % std::max(1u, pool_targets / 2));
+    while (std::gcd(stride, pool_targets) != 1) stride += 2;
+  }
+
+  std::uint32_t at(std::uint32_t position) const {
+    return std::uint32_t((start + std::uint64_t(position) * stride) % pool_targets);
+  }
+};
+
 /// Per-object shard layout: layout[s] is the pool-map target index of shard s.
 inline std::vector<std::uint32_t> compute_layout(vos::ObjId oid, std::uint32_t shards,
                                                  std::uint32_t pool_targets) {
   DAOSIM_REQUIRE(shards >= 1 && shards <= pool_targets, "bad shard count %u (pool %u)", shards,
                  pool_targets);
-  const std::uint64_t h = mix64(oid.hi ^ mix64(oid.lo));
-  const std::uint32_t start = jump_consistent_hash(h, pool_targets);
-  // Odd ring stride co-prime with the target count -> a permutation.
-  std::uint32_t stride = 1 + 2 * std::uint32_t(mix64(h) % std::max(1u, pool_targets / 2));
-  while (std::gcd(stride, pool_targets) != 1) stride += 2;
+  const PlacementRing ring(oid, pool_targets);
   std::vector<std::uint32_t> layout(shards);
+  for (std::uint32_t s = 0; s < shards; ++s) layout[s] = ring.at(s);
+  return layout;
+}
+
+/// Health-aware layout: identical to the plain overload while every target is
+/// healthy, so existing placements are undisturbed. A shard whose target is
+/// EXCLUDED walks forward along the object's ring (from its own position) to
+/// the first non-excluded target — deterministic, map-version-driven, and
+/// local to the affected shards, mirroring how DAOS rebuilds layouts against
+/// a newer pool map.
+inline std::vector<std::uint32_t> compute_layout(vos::ObjId oid, std::uint32_t shards,
+                                                 const pool::PoolMap& map) {
+  const std::uint32_t n = map.target_count();
+  DAOSIM_REQUIRE(shards >= 1 && shards <= n, "bad shard count %u (pool %u)", shards, n);
+  const PlacementRing ring(oid, n);
+  std::vector<std::uint32_t> layout(shards);
+  const auto excluded = [&map](std::uint32_t t) {
+    return map.targets[t].health == pool::TargetHealth::excluded;
+  };
   for (std::uint32_t s = 0; s < shards; ++s) {
-    layout[s] = (start + std::uint64_t(s) * stride) % pool_targets;
+    std::uint32_t pick = ring.at(s);
+    for (std::uint32_t step = 1; excluded(pick) && step < n; ++step) {
+      pick = ring.at(s + step);
+    }
+    layout[s] = pick;  // every target excluded: keep the original placement
   }
   return layout;
 }

@@ -24,7 +24,7 @@ Testbed::Testbed(ClusterConfig cfg) : cfg_(cfg), fabric_(sched_, cfg.fabric) {
   map_.pool = kPoolUuid;
   for (auto& eng : engines_) {
     for (std::uint32_t t = 0; t < eng->target_count(); ++t) {
-      map_.targets.push_back(pool::TargetRef{eng->node(), t, true});
+      map_.targets.push_back(pool::TargetRef{eng->node(), t, pool::TargetHealth::up});
     }
   }
 
@@ -87,6 +87,49 @@ void Testbed::run(sim::CoTask<void> main) {
     }
   }
   DAOSIM_REQUIRE(done, "testbed workload exceeded the virtual time cap");
+}
+
+fault::Injector& Testbed::inject_faults(const fault::Schedule& s, std::uint64_t seed) {
+  if (!injector_) {
+    fault::Hooks hooks;
+    hooks.engine_count = engine_count();
+    hooks.node_of = [this](std::uint32_t e) { return engines_[e]->node(); };
+    hooks.crash = [this](std::uint32_t e) { crash_engine(e); };
+    hooks.restart = [this](std::uint32_t e) { restart_engine(e); };
+    hooks.stall = [this](std::uint32_t e, std::uint32_t t, sim::Time d) {
+      engines_[e]->stall_target(t, d);
+    };
+    injector_ = std::make_unique<fault::Injector>(*domain_, std::move(hooks), seed);
+  }
+  injector_->arm(s);
+  return *injector_;
+}
+
+void Testbed::crash_engine(std::uint32_t i) {
+  DAOSIM_REQUIRE(i < engines_.size(), "crash_engine: no engine %u", i);
+  const net::NodeId node = engines_[i]->node();
+  // A co-located pool-service replica loses its volatile Raft state with the
+  // engine (its stable log lives on the DCPMM interleave set and survives).
+  for (std::uint32_t s = 0; s < svc_.size(); ++s) {
+    if (svc_nodes_[s] == node && svc_[s]->raft().running()) svc_[s]->raft().crash();
+  }
+  engines_[i]->endpoint().set_down(true);
+}
+
+void Testbed::restart_engine(std::uint32_t i) {
+  DAOSIM_REQUIRE(i < engines_.size(), "restart_engine: no engine %u", i);
+  const net::NodeId node = engines_[i]->node();
+  engines_[i]->endpoint().set_down(false);
+  for (std::uint32_t s = 0; s < svc_.size(); ++s) {
+    if (svc_nodes_[s] == node && !svc_[s]->raft().running()) svc_[s]->raft().restart();
+  }
+}
+
+std::optional<std::uint32_t> Testbed::svc_leader() const {
+  for (std::uint32_t s = 0; s < svc_.size(); ++s) {
+    if (svc_[s]->is_leader()) return s;
+  }
+  return std::nullopt;
 }
 
 std::uint64_t Testbed::total_updates() const {

@@ -5,10 +5,12 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "client/client.hpp"
 #include "engine/engine.hpp"
+#include "fault/fault.hpp"
 #include "media/dcpmm.hpp"
 #include "net/fabric.hpp"
 #include "net/rpc.hpp"
@@ -71,6 +73,28 @@ class Testbed {
   /// The DaosClient living on client node `i` (all ranks on that node share it).
   client::DaosClient& client(std::uint32_t i) { return *clients_[i]; }
 
+  // --- fault injection ---
+
+  /// Arms a fault schedule against this cluster (event times are offsets
+  /// from now()). Crash/restart/stall events resolve engine indices to the
+  /// right engine endpoint — and to its co-located pool-service replica,
+  /// whose Raft node crashes/restarts along with it.
+  fault::Injector& inject_faults(const fault::Schedule& s, std::uint64_t seed);
+
+  /// Network-level crash of engine `i`: its endpoint goes down (in-flight
+  /// replies are lost) and any co-located pool-service replica crashes.
+  /// VOS state survives, as on persistent media.
+  void crash_engine(std::uint32_t i);
+  /// Brings a crashed engine back; a co-located replica recovers from its
+  /// stable Raft state. The engine stays EXCLUDED from placement until a
+  /// pool_reint command reintegrates it (explicit, as in DAOS).
+  void restart_engine(std::uint32_t i);
+
+  std::uint32_t svc_replica_count() const { return std::uint32_t(svc_.size()); }
+  pool::PoolServiceReplica& svc_replica(std::uint32_t i) { return *svc_[i]; }
+  /// Index of the current pool-service leader replica, if any.
+  std::optional<std::uint32_t> svc_leader() const;
+
   /// Aggregate engine-side counters (for reports and shape assertions).
   std::uint64_t total_updates() const;
   std::uint64_t total_fetches() const;
@@ -93,6 +117,9 @@ class Testbed {
   std::vector<net::NodeId> svc_nodes_;
   std::vector<std::unique_ptr<client::DaosClient>> clients_;
   pool::PoolMap map_;
+  /// Declared after domain_/engines_/svc_: the injector's destructor
+  /// uninstalls its hooks from the domain, so it must die first.
+  std::unique_ptr<fault::Injector> injector_;
   bool started_ = false;
 };
 

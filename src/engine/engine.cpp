@@ -33,6 +33,15 @@ Engine::Target& Engine::target_for(std::uint32_t idx) {
   return *targets_[idx];
 }
 
+void Engine::stall_target(std::uint32_t idx, sim::Time duration) {
+  Target& t = target_for(idx);  // targets_ holds unique_ptrs: the ref is stable
+  sched_.spawn([&t, duration, this]() -> sim::CoTask<void> {
+    co_await t.xstream.acquire();
+    co_await sched_.delay(duration);
+    t.xstream.release();
+  });
+}
+
 sim::Time Engine::stream_context_touch(Target& t, vos::Uuid cont, vos::ObjId oid,
                                        bool write) {
   const auto key = std::make_pair(cont, oid);

@@ -61,6 +61,11 @@ class Engine {
 
   vos::VosTarget& vos_target(std::uint32_t idx) { return targets_[idx]->vos; }
 
+  /// Fault injection: wedges target `idx`'s xstream for `duration` of virtual
+  /// time (a GC stall / PMDK flush storm). Requests queue behind the stall in
+  /// FIFO order and drain when it ends — nothing is lost, only delayed.
+  void stall_target(std::uint32_t idx, sim::Time duration);
+
   std::uint64_t updates_served() const { return updates_; }
   std::uint64_t fetches_served() const { return fetches_; }
   std::uint64_t shard_cache_misses() const { return cache_misses_; }  // stream-context misses

@@ -1,0 +1,270 @@
+#include "fault/fault.hpp"
+
+#include <charconv>
+
+namespace daosim::fault {
+
+namespace {
+
+// Trace-digest tags: every injected fault is folded into trace_hash() as
+// tag ^ detail, keeping fault runs bit-reproducible end to end.
+constexpr std::uint64_t kTraceFault = 0xFA017'0000'0000ULL;
+constexpr std::uint64_t kTraceDrop = 0xFA0D2'0000'0000ULL;
+
+/// Parses "200ms" / "1.5s" / "300us" / bare seconds. Returns false on junk.
+bool parse_time(std::string_view s, sim::Time& out) {
+  if (s.empty()) return false;
+  double value = 0.0;
+  const char* begin = s.data();
+  const char* end = begin + s.size();
+  auto [rest, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || value < 0) return false;
+  const std::string_view suffix(rest, std::size_t(end - rest));
+  double scale = double(sim::kSec);
+  if (suffix == "us") scale = double(sim::kUs);
+  else if (suffix == "ms") scale = double(sim::kMs);
+  else if (suffix == "s" || suffix.empty()) scale = double(sim::kSec);
+  else return false;
+  out = sim::Time(value * scale);
+  return true;
+}
+
+/// Parses "e3" / "e0.2" (engine.target) / "*". Returns false on junk.
+bool parse_selector(std::string_view s, std::uint32_t& engine, std::uint32_t* target) {
+  if (s == "*") {
+    engine = kAllEngines;
+    return target == nullptr;  // stall needs a concrete engine.target
+  }
+  if (s.size() < 2 || s[0] != 'e') return false;
+  s.remove_prefix(1);
+  const std::size_t dot = s.find('.');
+  std::string_view epart = s.substr(0, dot);
+  auto [p1, ec1] = std::from_chars(epart.data(), epart.data() + epart.size(), engine);
+  if (ec1 != std::errc{} || p1 != epart.data() + epart.size()) return false;
+  if (target == nullptr) return dot == std::string_view::npos;
+  if (dot == std::string_view::npos) return false;
+  std::string_view tpart = s.substr(dot + 1);
+  auto [p2, ec2] = std::from_chars(tpart.data(), tpart.data() + tpart.size(), *target);
+  return ec2 == std::errc{} && p2 == tpart.data() + tpart.size() && !tpart.empty();
+}
+
+/// Splits "T" or "T1-T2" at the dash (the dash never appears inside a time).
+bool parse_time_range(std::string_view s, sim::Time& from, sim::Time& until, bool window) {
+  const std::size_t dash = s.find('-');
+  if (!window) {
+    return dash == std::string_view::npos && parse_time(s, from);
+  }
+  if (dash == std::string_view::npos) return false;
+  return parse_time(s.substr(0, dash), from) && parse_time(s.substr(dash + 1), until) &&
+         until > from;
+}
+
+}  // namespace
+
+const char* to_string(Kind k) {
+  switch (k) {
+    case Kind::crash: return "crash";
+    case Kind::restart: return "restart";
+    case Kind::drop: return "drop";
+    case Kind::delay: return "delay";
+    case Kind::stall: return "stall";
+  }
+  return "?";
+}
+
+Schedule& Schedule::crash(sim::Time at, std::uint32_t engine) {
+  events_.push_back(Event{Kind::crash, at, 0, engine, 0, 1.0, 0});
+  return *this;
+}
+
+Schedule& Schedule::restart(sim::Time at, std::uint32_t engine) {
+  events_.push_back(Event{Kind::restart, at, 0, engine, 0, 1.0, 0});
+  return *this;
+}
+
+Schedule& Schedule::drop(sim::Time from, sim::Time until, std::uint32_t engine,
+                         double probability) {
+  DAOSIM_REQUIRE(probability > 0.0 && probability <= 1.0, "drop probability out of (0,1]");
+  DAOSIM_REQUIRE(until > from, "empty drop window");
+  events_.push_back(Event{Kind::drop, from, until, engine, 0, probability, 0});
+  return *this;
+}
+
+Schedule& Schedule::delay(sim::Time from, sim::Time until, std::uint32_t engine,
+                          sim::Time extra) {
+  DAOSIM_REQUIRE(extra > 0, "delay amount must be positive");
+  DAOSIM_REQUIRE(until > from, "empty delay window");
+  events_.push_back(Event{Kind::delay, from, until, engine, 0, 1.0, extra});
+  return *this;
+}
+
+Schedule& Schedule::stall(sim::Time at, std::uint32_t engine, std::uint32_t target,
+                          sim::Time duration) {
+  DAOSIM_REQUIRE(duration > 0, "stall duration must be positive");
+  events_.push_back(Event{Kind::stall, at, 0, engine, target, 1.0, duration});
+  return *this;
+}
+
+Result<Schedule> Schedule::parse(std::string_view spec) {
+  if (spec.empty()) return Errno::invalid;
+  Schedule out;
+  while (!spec.empty()) {
+    const std::size_t comma = spec.find(',');
+    std::string_view item = spec.substr(0, comma);
+    spec = (comma == std::string_view::npos) ? std::string_view{} : spec.substr(comma + 1);
+
+    const std::size_t at_pos = item.find('@');
+    if (at_pos == std::string_view::npos) return Errno::invalid;
+    const std::string_view kind_str = item.substr(0, at_pos);
+    std::string_view rest = item.substr(at_pos + 1);
+
+    // rest = time[-time]:selector[:arg]
+    const std::size_t c1 = rest.find(':');
+    if (c1 == std::string_view::npos) return Errno::invalid;
+    const std::string_view time_str = rest.substr(0, c1);
+    rest = rest.substr(c1 + 1);
+    const std::size_t c2 = rest.find(':');
+    const std::string_view sel_str = rest.substr(0, c2);
+    const std::string_view arg_str =
+        (c2 == std::string_view::npos) ? std::string_view{} : rest.substr(c2 + 1);
+
+    sim::Time from = 0, until = 0;
+    std::uint32_t engine = 0, target = 0;
+    if (kind_str == "crash" || kind_str == "restart") {
+      if (!parse_time_range(time_str, from, until, /*window=*/false)) return Errno::invalid;
+      if (!parse_selector(sel_str, engine, nullptr) || engine == kAllEngines) {
+        return Errno::invalid;
+      }
+      if (!arg_str.empty()) return Errno::invalid;
+      if (kind_str == "crash") out.crash(from, engine);
+      else out.restart(from, engine);
+    } else if (kind_str == "drop") {
+      if (!parse_time_range(time_str, from, until, /*window=*/true)) return Errno::invalid;
+      if (!parse_selector(sel_str, engine, nullptr)) return Errno::invalid;
+      double p = 0.0;
+      auto [pe, ec] = std::from_chars(arg_str.data(), arg_str.data() + arg_str.size(), p);
+      if (ec != std::errc{} || pe != arg_str.data() + arg_str.size() || p <= 0.0 || p > 1.0) {
+        return Errno::invalid;
+      }
+      out.drop(from, until, engine, p);
+    } else if (kind_str == "delay") {
+      if (!parse_time_range(time_str, from, until, /*window=*/true)) return Errno::invalid;
+      if (!parse_selector(sel_str, engine, nullptr)) return Errno::invalid;
+      sim::Time extra = 0;
+      if (!parse_time(arg_str, extra) || extra == 0) return Errno::invalid;
+      out.delay(from, until, engine, extra);
+    } else if (kind_str == "stall") {
+      if (!parse_time_range(time_str, from, until, /*window=*/false)) return Errno::invalid;
+      if (!parse_selector(sel_str, engine, &target)) return Errno::invalid;
+      sim::Time duration = 0;
+      if (!parse_time(arg_str, duration) || duration == 0) return Errno::invalid;
+      out.stall(from, engine, target, duration);
+    } else {
+      return Errno::invalid;
+    }
+  }
+  return out;
+}
+
+Result<void> Schedule::validate(std::uint32_t engine_count,
+                                std::uint32_t targets_per_engine) const {
+  for (const Event& ev : events_) {
+    if (ev.engine != kAllEngines && ev.engine >= engine_count) return Errno::invalid;
+    if (ev.kind == Kind::stall && ev.target >= targets_per_engine) return Errno::invalid;
+  }
+  return Result<void>{};
+}
+
+// ---------------------------------------------------------------------------
+// Injector
+
+Injector::Injector(net::RpcDomain& domain, Hooks hooks, std::uint64_t seed)
+    : domain_(domain), sched_(domain.scheduler()), hooks_(std::move(hooks)), rng_(seed) {
+  DAOSIM_REQUIRE(hooks_.crash && hooks_.restart && hooks_.stall && hooks_.node_of,
+                 "fault::Injector needs a full hook set");
+  DAOSIM_REQUIRE(hooks_.engine_count > 0, "fault::Injector needs at least one engine");
+  domain_.set_fault_hook(
+      [this](net::NodeId src, net::NodeId dst, std::uint16_t) { return on_call(src, dst); });
+  domain_.fabric().set_delay_hook(
+      [this](net::NodeId src, net::NodeId dst) { return on_transfer(src, dst); });
+}
+
+Injector::~Injector() {
+  domain_.set_fault_hook(nullptr);
+  domain_.fabric().set_delay_hook(nullptr);
+  for (auto& t : timers_) t.cancel();
+}
+
+void Injector::arm(const Schedule& s) {
+  const sim::Time base = sched_.now();
+  for (const Event& ev : s.events()) {
+    DAOSIM_REQUIRE(ev.engine == kAllEngines || ev.engine < hooks_.engine_count,
+                   "fault event names engine %u of %u", ev.engine, hooks_.engine_count);
+    switch (ev.kind) {
+      case Kind::crash:
+      case Kind::restart:
+      case Kind::stall: {
+        const Event fired = ev;  // copy into the closure; `s` may not outlive us
+        timers_.push_back(sched_.schedule_callback(base + ev.at, [this, fired] { fire(fired); }));
+        break;
+      }
+      case Kind::drop:
+      case Kind::delay: {
+        Window w;
+        w.kind = ev.kind;
+        w.from = base + ev.at;
+        w.until = base + ev.until;
+        w.all_nodes = (ev.engine == kAllEngines);
+        w.node = w.all_nodes ? 0 : hooks_.node_of(ev.engine);
+        w.probability = ev.probability;
+        w.amount = ev.amount;
+        windows_.push_back(w);
+        break;
+      }
+    }
+  }
+}
+
+void Injector::fire(const Event& ev) {
+  ++injected_;
+  sched_.trace_note(kTraceFault ^ (std::uint64_t(ev.kind) << 32) ^ ev.engine);
+  switch (ev.kind) {
+    case Kind::crash: hooks_.crash(ev.engine); break;
+    case Kind::restart: hooks_.restart(ev.engine); break;
+    case Kind::stall: hooks_.stall(ev.engine, ev.target, ev.amount); break;
+    default: break;  // windows never fire as point events
+  }
+}
+
+bool Injector::window_matches(const Window& w, net::NodeId src, net::NodeId dst) const {
+  const sim::Time now = sched_.now();
+  if (now < w.from || now >= w.until) return false;
+  return w.all_nodes || src == w.node || dst == w.node;
+}
+
+net::CallFault Injector::on_call(net::NodeId src, net::NodeId dst) {
+  net::CallFault fault;
+  for (const Window& w : windows_) {
+    if (w.kind != Kind::drop || !window_matches(w, src, dst)) continue;
+    // One rng draw per matching call: calls are dispatched in deterministic
+    // order, so the drop pattern replays exactly for a given seed.
+    if (rng_.uniform01() < w.probability) {
+      fault.drop = true;
+      ++dropped_;
+      sched_.trace_note(kTraceDrop ^ (std::uint64_t(src) << 32) ^ dst);
+      break;
+    }
+  }
+  return fault;
+}
+
+sim::Time Injector::on_transfer(net::NodeId src, net::NodeId dst) {
+  sim::Time extra = 0;
+  for (const Window& w : windows_) {
+    if (w.kind == Kind::delay && window_matches(w, src, dst)) extra += w.amount;
+  }
+  if (extra > 0) ++delayed_;
+  return extra;
+}
+
+}  // namespace daosim::fault

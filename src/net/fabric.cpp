@@ -45,7 +45,9 @@ sim::CoTask<void> Fabric::transfer(NodeId src, NodeId dst, std::uint64_t bytes) 
     co_return;
   }
   ensure_switch();
-  co_await sched_.delay(cfg_.latency);
+  sim::Time latency = cfg_.latency;
+  if (delay_hook_) latency += delay_hook_(src, dst);
+  co_await sched_.delay(latency);
   // Cut-through: the transfer completes when the last byte has cleared the
   // slowest of the three shared stages; we serve them concurrently.
   std::vector<sim::CoTask<void>> stages;

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -52,6 +53,12 @@ class Fabric {
   std::uint64_t bytes_sent(NodeId n) const;
   std::uint64_t messages_sent() const { return messages_; }
 
+  /// Fault-injection hook: consulted per non-loopback transfer; the returned
+  /// duration is added to the message latency (0 = unaffected). The hook must
+  /// be deterministic for a given (src, dst, virtual time) or traces diverge.
+  using DelayHook = std::function<sim::Time(NodeId src, NodeId dst)>;
+  void set_delay_hook(DelayHook h) { delay_hook_ = std::move(h); }
+
  private:
   struct Node {
     std::unique_ptr<sim::SharedBandwidth> egress;
@@ -66,6 +73,7 @@ class Fabric {
   std::vector<Node> nodes_;
   std::unique_ptr<sim::SharedBandwidth> switch_;
   std::uint64_t messages_ = 0;
+  DelayHook delay_hook_;
 };
 
 }  // namespace daosim::net

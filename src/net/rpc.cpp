@@ -16,8 +16,24 @@ void RpcEndpoint::register_handler(std::uint16_t opcode, Handler h) {
 
 sim::CoTask<Reply> RpcEndpoint::call(NodeId dst, std::uint16_t opcode, Body body,
                                      std::uint64_t request_bytes) {
+  if (inflight_ >= max_inflight_) {
+    ++busy_rejections_;
+    co_return Reply{Errno::busy, 0, {}};
+  }
+  InflightGuard guard(inflight_);
   ++calls_;
   auto& fabric = domain_.fabric_;
+
+  if (domain_.fault_hook_) {
+    const CallFault fault = domain_.fault_hook_(node_, dst, opcode);
+    if (fault.drop) {
+      // The request vanished on the wire; the caller burns the full timeout.
+      co_await fabric.scheduler().delay(kRpcTimeout);
+      co_return Reply{Errno::timed_out, 0, {}};
+    }
+    if (fault.extra_delay > 0) co_await fabric.scheduler().delay(fault.extra_delay);
+  }
+
   co_await fabric.transfer(node_, dst, request_bytes);
 
   auto it = domain_.endpoints_.find(dst);
@@ -34,6 +50,15 @@ sim::CoTask<Reply> RpcEndpoint::call(NodeId dst, std::uint16_t opcode, Body body
   ++server.served_;
   Request req{node_, request_bytes, std::move(body)};
   Reply reply = co_await hit->second(std::move(req));
+
+  // The server may have crashed while the handler ran (the handler had
+  // already mutated server state): the reply is lost, the caller times out.
+  // This is exactly the window where a retry duplicate-applies an update.
+  auto again = domain_.endpoints_.find(dst);
+  if (again == domain_.endpoints_.end() || again->second->down_ || down_) {
+    co_await fabric.scheduler().delay(kRpcTimeout);
+    co_return Reply{Errno::timed_out, 0, {}};
+  }
 
   co_await fabric.transfer(dst, node_, reply.wire_bytes);
   co_return reply;

@@ -58,6 +58,12 @@ using Handler = std::function<sim::CoTask<Reply>(Request)>;
 
 class RpcEndpoint;
 
+/// Per-call fault-injection verdict (see RpcDomain::set_fault_hook).
+struct CallFault {
+  bool drop = false;          // swallow the request: caller sees a timeout
+  sim::Time extra_delay = 0;  // added to the request path before the wire
+};
+
 /// One RPC address space per fabric: resolves NodeId -> endpoint.
 class RpcDomain {
  public:
@@ -68,10 +74,18 @@ class RpcDomain {
   Fabric& fabric() { return fabric_; }
   sim::Scheduler& scheduler() { return fabric_.scheduler(); }
 
+  /// Fault-injection hook: consulted at the top of every call. Dropped calls
+  /// burn the full RPC timeout (the client cannot tell a dropped request from
+  /// a dead server). The hook must be deterministic for a given
+  /// (src, dst, opcode, virtual time) or traces diverge.
+  using FaultHook = std::function<CallFault(NodeId src, NodeId dst, std::uint16_t opcode)>;
+  void set_fault_hook(FaultHook h) { fault_hook_ = std::move(h); }
+
  private:
   friend class RpcEndpoint;
   Fabric& fabric_;
   std::unordered_map<NodeId, RpcEndpoint*> endpoints_;
+  FaultHook fault_hook_;
 };
 
 /// Per-node RPC endpoint: registers handlers, issues calls.
@@ -97,16 +111,35 @@ class RpcEndpoint {
   void set_down(bool down) { down_ = down; }
   bool is_down() const { return down_; }
 
+  /// Bounds concurrent outgoing calls from this endpoint. Calls beyond the
+  /// cap fail immediately with Errno::busy instead of parking a waiter —
+  /// otherwise a retry storm against a dead node grows the event queue
+  /// without bound (every unreachable call holds a timeout timer).
+  void set_max_inflight(std::size_t n) { max_inflight_ = n; }
+  std::size_t inflight_calls() const { return inflight_; }
+  std::uint64_t busy_rejections() const { return busy_rejections_; }
+
   std::uint64_t calls_made() const { return calls_; }
   std::uint64_t calls_served() const { return served_; }
 
  private:
+  struct InflightGuard {
+    explicit InflightGuard(std::size_t& n) : n_(n) { ++n_; }
+    ~InflightGuard() { --n_; }
+    InflightGuard(const InflightGuard&) = delete;
+    InflightGuard& operator=(const InflightGuard&) = delete;
+    std::size_t& n_;
+  };
+
   RpcDomain& domain_;
   NodeId node_;
   bool down_ = false;
   std::unordered_map<std::uint16_t, Handler> handlers_;
   std::uint64_t calls_ = 0;
   std::uint64_t served_ = 0;
+  std::size_t inflight_ = 0;
+  std::size_t max_inflight_ = 1024;
+  std::uint64_t busy_rejections_ = 0;
 };
 
 /// Timeout used when calling an unreachable node.

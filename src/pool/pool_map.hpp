@@ -11,10 +11,25 @@
 
 namespace daosim::pool {
 
+/// Target health as recorded in the pool map. `up` and `excluded` are
+/// authoritative (replicated through the pool service); `down` is a client's
+/// local suspicion — RPCs to the target timed out but the eviction has not
+/// been committed yet. See docs/faults.md for the state machine.
+enum class TargetHealth : std::uint8_t { up, down, excluded };
+
+inline const char* to_string(TargetHealth h) {
+  switch (h) {
+    case TargetHealth::up: return "UP";
+    case TargetHealth::down: return "DOWN";
+    case TargetHealth::excluded: return "EXCLUDED";
+  }
+  return "?";
+}
+
 struct TargetRef {
   net::NodeId engine = 0;      // fabric node of the owning engine
   std::uint32_t target = 0;    // target index within that engine
-  bool up = true;
+  TargetHealth health = TargetHealth::up;
 };
 
 struct PoolMap {
@@ -23,6 +38,11 @@ struct PoolMap {
   std::vector<TargetRef> targets;
 
   std::uint32_t target_count() const { return std::uint32_t(targets.size()); }
+  std::uint32_t excluded_count() const {
+    std::uint32_t n = 0;
+    for (const auto& t : targets) n += (t.health == TargetHealth::excluded) ? 1 : 0;
+    return n;
+  }
 };
 
 /// Container properties fixed at create time.

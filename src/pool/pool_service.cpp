@@ -55,6 +55,24 @@ std::string PoolMetaSm::apply(const std::string& command) {
     for (const auto& [u, meta] : containers_) os << ' ' << u.hi << ' ' << u.lo;
     return os.str();
   }
+  if (op == "pool_evict") {
+    net::NodeId engine = 0;
+    is >> engine;
+    if (excluded_.insert(engine).second) ++map_version_;
+    return strfmt("ok %u", map_version_);
+  }
+  if (op == "pool_reint") {
+    net::NodeId engine = 0;
+    is >> engine;
+    if (excluded_.erase(engine) > 0) ++map_version_;
+    return strfmt("ok %u", map_version_);
+  }
+  if (op == "map_query") {
+    std::ostringstream os;
+    os << "ok " << map_version_ << ' ' << excluded_.size();
+    for (const net::NodeId e : excluded_) os << ' ' << e;
+    return os.str();
+  }
   return "EINVAL";
 }
 
@@ -65,11 +83,16 @@ std::string PoolMetaSm::snapshot() const {
     os << u.hi << ' ' << u.lo << ' ' << m.props.chunk_size << ' ' << unsigned(m.props.oclass)
        << ' ' << m.oid_counter << '\n';
   }
+  os << map_version_ << ' ' << excluded_.size();
+  for (const net::NodeId e : excluded_) os << ' ' << e;
+  os << '\n';
   return os.str();
 }
 
 void PoolMetaSm::restore(const std::string& snap) {
   containers_.clear();
+  map_version_ = 1;
+  excluded_.clear();
   if (snap.empty()) return;
   std::istringstream is(snap);
   std::size_t n = 0;
@@ -83,6 +106,16 @@ void PoolMetaSm::restore(const std::string& snap) {
     m.props.chunk_size = chunk;
     m.props.oclass = std::uint8_t(oclass);
     containers_.emplace(u, m);
+  }
+  std::size_t nexcluded = 0;
+  if (is >> map_version_ >> nexcluded) {
+    for (std::size_t i = 0; i < nexcluded; ++i) {
+      net::NodeId e = 0;
+      is >> e;
+      excluded_.insert(e);
+    }
+  } else {
+    map_version_ = 1;  // snapshot from before health tracking existed
   }
 }
 

@@ -9,10 +9,14 @@
 //   cont_destroy <hi> <lo>                   -> "ok" | "ENOENT"
 //   alloc_oids <hi> <lo> <count>             -> "ok <base>" | "ENOENT"
 //   list_conts                               -> "ok <n> <hi> <lo> ..."
+//   pool_evict <engine>                      -> "ok <map_version>"   (idempotent)
+//   pool_reint <engine>                      -> "ok <map_version>"   (idempotent)
+//   map_query                                -> "ok <map_version> <k> <engine> ..."
 #pragma once
 
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 
 #include "net/rpc.hpp"
@@ -34,8 +38,17 @@ class PoolMetaSm final : public raft::StateMachine {
   };
   const std::map<vos::Uuid, ContMeta>& containers() const { return containers_; }
 
+  /// Pool-map health state, replicated through the Raft log. The version
+  /// starts at 1 (the map handed out at connect) and bumps exactly once per
+  /// effective eviction/reintegration; repeated evictions of the same engine
+  /// are no-ops returning the current version.
+  std::uint32_t map_version() const { return map_version_; }
+  const std::set<net::NodeId>& excluded_engines() const { return excluded_; }
+
  private:
   std::map<vos::Uuid, ContMeta> containers_;
+  std::uint32_t map_version_ = 1;
+  std::set<net::NodeId> excluded_;
 };
 
 /// One pool-service replica, sharing an engine's RPC endpoint. The replica

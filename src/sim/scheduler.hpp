@@ -111,6 +111,12 @@ class Scheduler {
   /// leaked into event scheduling.
   std::uint64_t trace_hash() const { return trace_hash_; }
 
+  /// Folds an externally-observed simulation fact into the trace digest —
+  /// fault injections, recovery actions, pool-map transitions. Anything that
+  /// changes the course of a run but is not itself a queue event must be
+  /// noted here so fault runs stay bit-reproducible end to end.
+  void trace_note(std::uint64_t v) { fold_trace(v); }
+
  private:
   struct Detached {
     struct promise_type {

@@ -6,6 +6,8 @@
 #   tools/ci.sh release    RelWithDebInfo build + ctest only
 #   tools/ci.sh asan       ASan+UBSan (+ runtime audits) build + ctest only
 #   tools/ci.sh tsan       TSan build + ctest (optional; sim is single-threaded)
+#   tools/ci.sh faults     fault-injection suite only (release build; the
+#                          asan stage re-runs it under ASan+UBSan)
 #
 # Every configuration runs the full ctest suite, which itself includes the
 # lint tree scan and lint self-test, so `ctest` alone also catches violations.
@@ -45,6 +47,17 @@ fi
 
 if [[ $STAGE == tsan ]]; then
   run_config tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDAOSIM_SANITIZE=thread
+fi
+
+if [[ $STAGE == faults ]]; then
+  # Focused fault-injection run: crash/restart/drop/delay/stall schedules,
+  # retry/backoff, eviction, Raft failover, and seeded-trace determinism.
+  echo "=== [faults] configure + build ==="
+  cmake -B build-ci-faults -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-ci-faults -j "$JOBS" --target fault_test
+  echo "=== [faults] ctest ==="
+  ctest --test-dir build-ci-faults --output-on-failure -j "$JOBS" \
+    -R 'FaultSchedule|FaultDeterminism|FaultAcceptance|FaultDelayOnly|RetryBackoff|RetryPath|RaftFailover|Idempotency|RpcInflight|Placement\.'
 fi
 
 echo "=== CI ($STAGE) passed ==="

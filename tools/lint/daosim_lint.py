@@ -24,6 +24,11 @@ coroutine-heavy C++ codebases:
                       expression statement (or discarded via (void)). Errno
                       propagation is the recoverable-error channel; dropping
                       it silently loses failures.
+  raw-rpc-call        `co_await ... call(...)` (RpcEndpoint::call) inside
+                      src/client/. Client code must go through the resilient
+                      wrappers (call_with_deadline / call_retry / call_target)
+                      so every RPC gets a deadline, bounded retries, and the
+                      eviction path; a raw call hangs forever on a dead node.
 
 Suppression: append  // daosim-lint: allow(<rule>)  to the offending line,
 or put  // daosim-lint: allow-file(<rule>)  anywhere in the file.
@@ -41,12 +46,16 @@ import os
 import re
 import sys
 
-RULES = ("spawn-temporary", "wall-clock", "unordered-iteration", "ignored-result")
+RULES = ("spawn-temporary", "wall-clock", "unordered-iteration", "ignored-result",
+         "raw-rpc-call")
 
 # wall-clock applies to src/ only: tests and benches may legitimately measure
 # host time; the simulation itself never may.
 TREE_DIRS = ("src", "tests", "bench", "examples")
 WALL_CLOCK_DIRS = ("src",)
+# raw-rpc-call applies to the client library only: engines, raft, and tests
+# drive endpoints directly by design; client code must use the retry wrappers.
+RAW_RPC_DIRS = ("src/client",)
 
 CPP_EXTS = (".hpp", ".cpp", ".h", ".cc", ".cxx")
 
@@ -357,10 +366,33 @@ def check_ignored_result(path, text, clean, result_fns):
     return out
 
 
+# `co_await <anything but a statement break> call(` — matches RpcEndpoint::call
+# through any receiver chain (ep.call, ep->call, endpoint().call) but not the
+# sanctioned wrappers (call_retry/call_with_deadline/call_target: `call` is
+# not followed by `(` there).
+RAW_RPC_RE = re.compile(r"\bco_await\b[^;]*?\bcall\s*\(")
+
+
+def check_raw_rpc_call(path, text, clean):
+    out = []
+    for m in RAW_RPC_RE.finditer(clean):
+        out.append(
+            Violation(
+                path,
+                line_of(clean, m.start()),
+                "raw-rpc-call",
+                "raw RpcEndpoint::call in client code: no deadline, no retry, "
+                "no eviction reporting; use call_with_deadline/call_retry/"
+                "call_target (DaosClient)",
+            )
+        )
+    return out
+
+
 # ----------------------------------------------------------- driver ----
 
 
-def lint_file(path, rel, result_fns, wall_clock_scope):
+def lint_file(path, rel, result_fns, wall_clock_scope, raw_rpc_scope=False):
     try:
         text = open(path, encoding="utf-8", errors="replace").read()
     except OSError as e:
@@ -372,6 +404,8 @@ def lint_file(path, rel, result_fns, wall_clock_scope):
         violations += check_wall_clock(rel, text, clean)
     violations += check_unordered_iteration(rel, text, clean)
     violations += check_ignored_result(rel, text, clean, result_fns)
+    if raw_rpc_scope:
+        violations += check_raw_rpc_call(rel, text, clean)
 
     # Apply suppressions from the original text (comments live there).
     file_allows = set()
@@ -400,16 +434,18 @@ def iter_tree_files(root):
             for f in sorted(files):
                 if f.endswith(CPP_EXTS):
                     full = os.path.join(dirpath, f)
-                    yield full, os.path.relpath(full, root), top in WALL_CLOCK_DIRS
+                    rel = os.path.relpath(full, root)
+                    rpc = rel.replace(os.sep, "/").startswith(tuple(d + "/" for d in RAW_RPC_DIRS))
+                    yield full, rel, top in WALL_CLOCK_DIRS, rpc
 
 
 def run_tree(root, quiet):
     result_fns = result_returning_functions(root)
     violations = []
     nfiles = 0
-    for full, rel, wall in iter_tree_files(root):
+    for full, rel, wall, rpc in iter_tree_files(root):
         nfiles += 1
-        violations.extend(lint_file(full, rel, result_fns, wall))
+        violations.extend(lint_file(full, rel, result_fns, wall, rpc))
     for v in violations:
         print(v)
     if nfiles == 0:
@@ -457,7 +493,8 @@ def run_self_test(root):
                     expected[(i, em.group(1))] = expected.get((i, em.group(1)), 0) + 1
                     total_expected += 1
             got = {}
-            for v in lint_file(full, rel, result_fns, wall_clock_scope=True):
+            for v in lint_file(full, rel, result_fns, wall_clock_scope=True,
+                               raw_rpc_scope=True):
                 got[(v.line, v.rule)] = got.get((v.line, v.rule), 0) + 1
             for key, cnt in expected.items():
                 if got.get(key, 0) < cnt:

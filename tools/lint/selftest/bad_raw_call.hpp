@@ -1,0 +1,39 @@
+// Fixture: raw-rpc-call — client code must not co_await RpcEndpoint::call
+// directly; every client RPC goes through the deadline/retry/eviction
+// wrappers on DaosClient.
+#pragma once
+
+namespace fixture {
+
+struct Reply { int status; };
+struct Endpoint {
+  Reply call(int dst, int opcode);
+  Reply call_retry(int dst, int opcode);
+  Reply call_with_deadline(int dst, int opcode, long deadline);
+  Reply call_target(int map_target, int opcode);
+};
+Endpoint* endpoint();
+
+inline void cases(Endpoint& ep, Endpoint* pep) {
+  auto a = co_await ep.call(1, 0x20);                     // EXPECT-LINT: raw-rpc-call
+  auto b = co_await pep->call(1, 0x20);                   // EXPECT-LINT: raw-rpc-call
+  auto c = co_await endpoint()->call(1, 0x20);            // EXPECT-LINT: raw-rpc-call
+  auto d = co_await ep.call(                              // EXPECT-LINT: raw-rpc-call
+      1, 0x21);  // the receiver and argument list may span lines
+
+  // GOOD: the sanctioned resilient wrappers do not fire.
+  auto e = co_await ep.call_retry(1, 0x20);
+  auto f = co_await ep.call_with_deadline(1, 0x20, 100);
+  auto g = co_await ep.call_target(3, 0x20);
+
+  // GOOD: `call` only fires when awaited — a synchronous helper named call
+  // on a non-RPC type is someone else's business.
+  auto h = ep.call(1, 0x20);
+
+  // GOOD: the single bootstrap site may be suppressed explicitly.
+  auto i = co_await ep.call(1, 0x20);  // daosim-lint: allow(raw-rpc-call)
+
+  (void)a; (void)b; (void)c; (void)d; (void)e; (void)f; (void)g; (void)h; (void)i;
+}
+
+}  // namespace fixture
