@@ -1,0 +1,48 @@
+// Ablation A5 — the price of self-healing redundancy: RP_2GX (2-way
+// replication, one group per target pair) against SX (no redundancy) on the
+// native DAOS array API, in both IOR modes, 4..16 client nodes. Every
+// replicated byte is shipped to two engines, so writes pay an amplification
+// factor near 2x (measured directly from engine-side update RPC counts)
+// while reads are served from a single replica and stay close to SX.
+#include "figure_common.hpp"
+
+int main() {
+  using namespace daosim;
+  using client::ObjClass;
+
+  auto mk = [](ObjClass oc, bool fpp) {
+    ior::IorConfig cfg;
+    cfg.api = ior::Api::daos_array;
+    cfg.transfer_size = 4 * kMiB;
+    cfg.block_size = 16 * kMiB;
+    cfg.file_per_process = fpp;
+    cfg.oclass = std::uint8_t(oc);
+    return cfg;
+  };
+
+  const std::vector<std::uint32_t> node_counts{4, 8, 16};
+  for (const bool fpp : {true, false}) {
+    std::printf("\n# A5 redundancy (%s) — DAOS array API, RP_2GX vs SX\n",
+                fpp ? "file-per-process" : "shared-file");
+    std::printf("%-12s %12s %12s %12s %12s %14s\n", "client_nodes", "SX write", "RP write",
+                "SX read", "RP read", "write amp");
+    for (const std::uint32_t nodes : node_counts) {
+      cluster::Testbed tb(bench::nextgenio_cluster(nodes));
+      tb.start();
+      ior::IorRunner runner(tb, /*ppn=*/16);
+
+      const std::uint64_t u0 = tb.total_updates();
+      const ior::IorResult sx = runner.run(mk(ObjClass::SX, fpp));
+      const std::uint64_t u1 = tb.total_updates();
+      const ior::IorResult rp = runner.run(mk(ObjClass::RP_2GX, fpp));
+      const std::uint64_t u2 = tb.total_updates();
+      tb.stop();
+
+      const double amp = u1 > u0 ? double(u2 - u1) / double(u1 - u0) : 0;
+      std::printf("%-12u %12.2f %12.2f %12.2f %12.2f %14.2f\n", nodes,
+                  sx.write.gib_per_sec(), rp.write.gib_per_sec(), sx.read.gib_per_sec(),
+                  rp.read.gib_per_sec(), amp);
+    }
+  }
+  return 0;
+}

@@ -39,11 +39,13 @@ int usage() {
                "  -n N       ranks per node (default 16)\n"
                "  -F         file-per-process (easy mode; default shared file)\n"
                "  -c         MPI-IO collective buffering\n"
-               "  -o CLASS   object class S1|S2|S4|S8|SX (default SX)\n"
+               "  -o CLASS   object class S1|S2|S4|S8|SX|RP_2G1|RP_2G2|RP_2GX (default SX)\n"
                "  -S N       server nodes (default 8)\n"
                "  -V         store payloads and verify data\n"
-               "  --faults SPEC   fault schedule, e.g. crash@200ms:e3 (docs/faults.md)\n"
-               "  --fault-seed N  seed for probabilistic faults (default 1)\n");
+               "  --faults SPEC     fault schedule, e.g. crash@200ms:e3 (docs/faults.md)\n"
+               "  --fault-seed N    seed for probabilistic faults (default 1)\n"
+               "  --wait-rebuild    after the job, wait for self-healing to converge\n"
+               "  --rebuild-inflight N  per-engine rebuild transfer slots (default 4)\n");
   return 2;
 }
 
@@ -57,6 +59,8 @@ int main(int argc, char** argv) {
   bool verify = false;
   std::string fault_spec;
   std::uint64_t fault_seed = 1;
+  bool wait_rebuild = false;
+  std::uint32_t rebuild_inflight = 4;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -80,6 +84,15 @@ int main(int argc, char** argv) {
     else if (arg == "-V") verify = true;
     else if (arg == "--faults") fault_spec = next();
     else if (arg == "--fault-seed") fault_seed = std::uint64_t(std::strtoull(next(), nullptr, 10));
+    else if (arg == "--wait-rebuild") wait_rebuild = true;
+    else if (arg == "--rebuild-inflight") {
+      const int v = std::atoi(next());
+      if (v <= 0) {
+        std::fprintf(stderr, "ior_cli: --rebuild-inflight must be positive\n");
+        return usage();
+      }
+      rebuild_inflight = std::uint32_t(v);
+    }
     else if (arg == "-o") {
       const std::string oc = next();
       using client::ObjClass;
@@ -88,6 +101,9 @@ int main(int argc, char** argv) {
       else if (oc == "S4") cfg.oclass = std::uint8_t(ObjClass::S4);
       else if (oc == "S8") cfg.oclass = std::uint8_t(ObjClass::S8);
       else if (oc == "SX") cfg.oclass = std::uint8_t(ObjClass::SX);
+      else if (oc == "RP_2G1") cfg.oclass = std::uint8_t(ObjClass::RP_2G1);
+      else if (oc == "RP_2G2") cfg.oclass = std::uint8_t(ObjClass::RP_2G2);
+      else if (oc == "RP_2GX") cfg.oclass = std::uint8_t(ObjClass::RP_2GX);
       else return usage();
     } else {
       return usage();
@@ -111,6 +127,7 @@ int main(int argc, char** argv) {
   ccfg.targets_per_engine = 8;
   ccfg.client_nodes = client_nodes;
   ccfg.payload = verify ? vos::PayloadMode::store : vos::PayloadMode::discard;
+  ccfg.rebuild.max_inflight = rebuild_inflight;
 
   std::printf("IOR (daosim) -a %s %s t=%s b=%s segs=%u  %u nodes x %u ppn, %u servers\n",
               ior::to_string(cfg.api), cfg.file_per_process ? "file-per-process" : "shared-file",
@@ -148,6 +165,19 @@ int main(int argc, char** argv) {
     std::printf("verify: %llu bad bytes, %llu short reads\n",
                 static_cast<unsigned long long>(res.verify_errors),
                 static_cast<unsigned long long>(res.read_fill_errors));
+  }
+  if (res.data_loss_events > 0) {
+    std::printf("data loss: %llu reads hit a group with every replica gone\n",
+                static_cast<unsigned long long>(res.data_loss_events));
+  }
+  if (wait_rebuild) {
+    const bool healed = tb.wait_rebuild();
+    std::uint64_t moved = 0;
+    for (std::uint32_t e = 0; e < tb.engine_count(); ++e) {
+      moved += tb.rebuild_service(e).bytes_rebuilt();
+    }
+    std::printf("rebuild: %s, %s re-replicated\n", healed ? "converged" : "TIMED OUT",
+                format_bytes(moved).c_str());
   }
   tb.stop();
   return 0;

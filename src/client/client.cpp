@@ -32,9 +32,19 @@ constexpr int kMaxPlaceRounds = 3;
 constexpr std::uint64_t kTraceEvictReport = 0xFA17E001'0000'0000ULL;
 constexpr std::uint64_t kTraceMapRefresh = 0xFA17E002'0000'0000ULL;
 constexpr std::uint64_t kTraceRefreshFail = 0xFA17E003'0000'0000ULL;
+constexpr std::uint64_t kTraceDataLoss = 0xFA17E004'0000'0000ULL;
 
 std::uint64_t key_hash(const vos::Key& k) {
   return std::hash<std::string>{}(k);
+}
+
+/// True when every nominal replica of the group sits on an EXCLUDED target:
+/// the group's pre-eviction data has no surviving copy.
+bool nominal_group_lost(const pool::PoolMap& map, const GroupLayout& nominal, std::uint32_t g) {
+  for (std::uint32_t r = 0; r < nominal.replicas; ++r) {
+    if (map.targets[nominal.at(g, r)].health != pool::TargetHealth::excluded) return false;
+  }
+  return true;
 }
 }  // namespace
 
@@ -133,6 +143,14 @@ sim::CoTask<void> DaosClient::report_engine_failure(net::NodeId engine) {
   }
   evict_gates_.erase(engine);
   gate->set();
+}
+
+void DaosClient::note_data_loss(vos::ObjId oid, std::uint32_t group) {
+  ++data_loss_;
+  last_data_loss_ = strfmt("object %llx.%llx group %u: all replicas lost",
+                           static_cast<unsigned long long>(oid.hi),
+                           static_cast<unsigned long long>(oid.lo), group);
+  sched_.trace_note(kTraceDataLoss ^ oid.lo ^ group);
 }
 
 sim::CoTask<Result<void>> DaosClient::refresh_pool_map() {
@@ -254,19 +272,25 @@ sim::CoTask<Result<std::uint64_t>> DaosClient::alloc_oids(vos::Uuid cont, std::u
 KvObject::KvObject(DaosClient& client, vos::Uuid cont, vos::ObjId oid)
     : client_(client), cont_(cont), oid_(oid) {
   const auto cls = class_of(oid);
+  const std::uint32_t n = client.pool_map().target_count();
   map_version_ = client.pool_map().version;
-  layout_ = compute_layout(oid, client::shard_count(cls, client.pool_map().target_count()),
-                           client.pool_map());
+  nominal_ = compute_nominal_layout(oid, client::group_count(cls, n),
+                                    client::replica_count(cls), client.pool_map());
+  layout_ = compute_group_layout(oid, nominal_.groups(), nominal_.replicas, client.pool_map());
 }
 
-std::uint32_t KvObject::shard_of(const vos::Key& dkey) const {
-  return dkey_to_shard(key_hash(dkey), std::uint32_t(layout_.size()));
+std::uint32_t KvObject::group_of(const vos::Key& dkey) const {
+  return kv_dkey_group(dkey, layout_.groups());
+}
+
+bool KvObject::group_lost(std::uint32_t group) const {
+  return nominal_group_lost(client_.pool_map(), nominal_, group);
 }
 
 void KvObject::refresh_layout() {
   if (map_version_ == client_.pool_map().version) return;
   map_version_ = client_.pool_map().version;
-  layout_ = compute_layout(oid_, std::uint32_t(layout_.size()), client_.pool_map());
+  layout_ = compute_group_layout(oid_, nominal_.groups(), nominal_.replicas, client_.pool_map());
 }
 
 sim::CoTask<Errno> KvObject::put(const vos::Key& dkey, const vos::Key& akey,
@@ -280,15 +304,24 @@ sim::CoTask<Errno> KvObject::put(const vos::Key& dkey, const vos::Key& akey,
   req.cond_insert = excl;
   req.length = value.size();
   req.data = std::make_shared<std::vector<std::byte>>(value.begin(), value.end());
-  for (int round = 0;; ++round) {
-    refresh_layout();
-    const std::uint32_t map_target = layout_[shard_of(dkey)];
-    req.target = client_.pool_map().targets[map_target].target;
-    Body body = Body::make(req);
-    Reply r = co_await client_.call_target(map_target, engine::kOpObjUpdate, std::move(body),
-                                           engine::kObjRpcHeader + value.size());
-    if (r.status != Errno::stale || round >= kMaxPlaceRounds) co_return r.status;
+  const std::uint32_t g = group_of(dkey);
+  // Fan the update to every replica of the dkey's group. All-or-retry: the
+  // first failure aborts the fan and surfaces to the caller (replica 0 is
+  // always first, so conditional-insert races resolve consistently there).
+  for (std::uint32_t rep = 0; rep < layout_.replicas; ++rep) {
+    for (int round = 0;; ++round) {
+      refresh_layout();
+      const std::uint32_t map_target = layout_.at(g, rep);
+      req.target = client_.pool_map().targets[map_target].target;
+      Body body = Body::make(req);
+      Reply r = co_await client_.call_target(map_target, engine::kOpObjUpdate, std::move(body),
+                                             engine::kObjRpcHeader + value.size());
+      if (r.status == Errno::stale && round < kMaxPlaceRounds) continue;
+      if (r.status != Errno::ok) co_return r.status;
+      break;
+    }
   }
+  co_return Errno::ok;
 }
 
 sim::CoTask<Result<std::vector<std::byte>>> KvObject::get(const vos::Key& dkey,
@@ -299,41 +332,78 @@ sim::CoTask<Result<std::vector<std::byte>>> KvObject::get(const vos::Key& dkey,
   req.dkey = dkey;
   req.akey = akey;
   req.type = RecordType::single_value;
-  Reply r{};
-  for (int round = 0;; ++round) {
-    refresh_layout();
-    const std::uint32_t map_target = layout_[shard_of(dkey)];
-    req.target = client_.pool_map().targets[map_target].target;
-    Body body = Body::make(req);
-    r = co_await client_.call_target(map_target, engine::kOpObjFetch, std::move(body),
-                                     engine::kObjRpcHeader);
-    if (r.status != Errno::stale || round >= kMaxPlaceRounds) break;
+  const std::uint32_t g = group_of(dkey);
+  const std::uint32_t nreps = layout_.replicas;
+  // Degraded read: try replicas in order from a per-key starting point
+  // (spreads load); first one holding the record wins.
+  const std::uint32_t r0 =
+      nreps == 1 ? 0 : std::uint32_t(mix64(key_hash(dkey) ^ oid_.lo) % nreps);
+  bool saw_missing = false;
+  Errno last = Errno::io;
+  for (std::uint32_t i = 0; i < nreps; ++i) {
+    const std::uint32_t rep = (r0 + i) % nreps;
+    Reply r{};
+    for (int round = 0;; ++round) {
+      refresh_layout();
+      const std::uint32_t map_target = layout_.at(g, rep);
+      req.target = client_.pool_map().targets[map_target].target;
+      Body body = Body::make(req);
+      r = co_await client_.call_target(map_target, engine::kOpObjFetch, std::move(body),
+                                       engine::kObjRpcHeader);
+      if (r.status != Errno::stale || round >= kMaxPlaceRounds) break;
+    }
+    if (r.status != Errno::ok) {
+      last = r.status;
+      continue;
+    }
+    auto& resp = r.body.get<ObjFetchResp>();
+    if (resp.exists) {
+      if (resp.data == nullptr) co_return std::vector<std::byte>{};
+      co_return std::move(*resp.data);
+    }
+    saw_missing = true;
   }
-  if (r.status != Errno::ok) co_return r.status;
-  auto& resp = r.body.get<ObjFetchResp>();
-  if (!resp.exists) co_return Errno::no_entry;
-  if (resp.data == nullptr) co_return std::vector<std::byte>{};
-  co_return std::move(*resp.data);
+  if (group_lost(g)) {
+    client_.note_data_loss(oid_, g);
+    co_return Errno::data_loss;
+  }
+  co_return saw_missing ? Errno::no_entry : last;
 }
 
 sim::CoTask<Result<std::vector<vos::Key>>> KvObject::list_dkeys() {
   std::set<vos::Key> merged;
-  for (std::uint32_t s = 0; s < layout_.size(); ++s) {
-    ObjEnumReq req;
-    req.cont = cont_;
-    req.oid = oid_;
-    Reply r{};
-    for (int round = 0;; ++round) {
-      refresh_layout();
-      const std::uint32_t map_target = layout_[s];
-      req.target = client_.pool_map().targets[map_target].target;
-      Body body = Body::make(req);
-      r = co_await client_.call_target(map_target, engine::kOpObjEnumDkeys, std::move(body),
-                                       engine::kObjRpcHeader);
-      if (r.status != Errno::stale || round >= kMaxPlaceRounds) break;
+  refresh_layout();
+  for (std::uint32_t g = 0; g < layout_.groups(); ++g) {
+    bool got = false;
+    Errno last = Errno::io;
+    for (std::uint32_t rep = 0; rep < layout_.replicas && !got; ++rep) {
+      ObjEnumReq req;
+      req.cont = cont_;
+      req.oid = oid_;
+      Reply r{};
+      for (int round = 0;; ++round) {
+        refresh_layout();
+        const std::uint32_t map_target = layout_.at(g, rep);
+        req.target = client_.pool_map().targets[map_target].target;
+        Body body = Body::make(req);
+        r = co_await client_.call_target(map_target, engine::kOpObjEnumDkeys, std::move(body),
+                                         engine::kObjRpcHeader);
+        if (r.status != Errno::stale || round >= kMaxPlaceRounds) break;
+      }
+      if (r.status != Errno::ok) {
+        last = r.status;
+        continue;
+      }
+      got = true;
+      for (auto& k : r.body.get<ObjEnumResp>().keys) merged.insert(std::move(k));
     }
-    if (r.status != Errno::ok) co_return r.status;
-    for (auto& k : r.body.get<ObjEnumResp>().keys) merged.insert(std::move(k));
+    if (!got) {
+      if (group_lost(g)) {
+        client_.note_data_loss(oid_, g);
+        co_return Errno::data_loss;
+      }
+      co_return last;
+    }
   }
   co_return std::vector<vos::Key>(merged.begin(), merged.end());
 }
@@ -352,7 +422,7 @@ sim::CoTask<Errno> KvObject::punch() {
     Reply r{};
     for (int round = 0;; ++round) {
       refresh_layout();
-      const std::uint32_t map_target = layout_[s];
+      const std::uint32_t map_target = layout_.targets[s];
       req.target = client_.pool_map().targets[map_target].target;
       Body body = Body::make(req);
       r = co_await client_.call_target(map_target, engine::kOpObjPunch, std::move(body),
@@ -370,15 +440,21 @@ sim::CoTask<Errno> KvObject::punch_dkey(const vos::Key& dkey) {
   req.oid = oid_;
   req.scope = PunchScope::dkey;
   req.dkey = dkey;
-  for (int round = 0;; ++round) {
-    refresh_layout();
-    const std::uint32_t map_target = layout_[shard_of(dkey)];
-    req.target = client_.pool_map().targets[map_target].target;
-    Body body = Body::make(req);
-    Reply r = co_await client_.call_target(map_target, engine::kOpObjPunch, std::move(body),
-                                           engine::kObjRpcHeader);
-    if (r.status != Errno::stale || round >= kMaxPlaceRounds) co_return r.status;
+  const std::uint32_t g = group_of(dkey);
+  for (std::uint32_t rep = 0; rep < layout_.replicas; ++rep) {
+    for (int round = 0;; ++round) {
+      refresh_layout();
+      const std::uint32_t map_target = layout_.at(g, rep);
+      req.target = client_.pool_map().targets[map_target].target;
+      Body body = Body::make(req);
+      Reply r = co_await client_.call_target(map_target, engine::kOpObjPunch, std::move(body),
+                                             engine::kObjRpcHeader);
+      if (r.status == Errno::stale && round < kMaxPlaceRounds) continue;
+      if (r.status != Errno::ok) co_return r.status;
+      break;
+    }
   }
+  co_return Errno::ok;
 }
 
 // ---------------------------------------------------------------------------
@@ -389,15 +465,21 @@ ArrayObject::ArrayObject(DaosClient& client, vos::Uuid cont, vos::ObjId oid,
     : client_(client), cont_(cont), oid_(oid), chunk_(chunk_size) {
   DAOSIM_REQUIRE(chunk_ > 0, "chunk size must be positive");
   const auto cls = class_of(oid);
+  const std::uint32_t n = client.pool_map().target_count();
   map_version_ = client.pool_map().version;
-  layout_ = compute_layout(oid, client::shard_count(cls, client.pool_map().target_count()),
-                           client.pool_map());
+  nominal_ = compute_nominal_layout(oid, client::group_count(cls, n),
+                                    client::replica_count(cls), client.pool_map());
+  layout_ = compute_group_layout(oid, nominal_.groups(), nominal_.replicas, client.pool_map());
+}
+
+bool ArrayObject::group_lost(std::uint32_t group) const {
+  return nominal_group_lost(client_.pool_map(), nominal_, group);
 }
 
 void ArrayObject::refresh_layout() {
   if (map_version_ == client_.pool_map().version) return;
   map_version_ = client_.pool_map().version;
-  layout_ = compute_layout(oid_, std::uint32_t(layout_.size()), client_.pool_map());
+  layout_ = compute_group_layout(oid_, nominal_.groups(), nominal_.replicas, client_.pool_map());
 }
 
 sim::CoTask<Errno> ArrayObject::write(std::uint64_t offset, std::uint64_t length,
@@ -428,7 +510,11 @@ sim::CoTask<Errno> ArrayObject::write(std::uint64_t offset, std::uint64_t length
       req.data = std::make_shared<std::vector<std::byte>>(sub.begin(), sub.end());
     }
     const std::uint64_t wire = engine::kObjRpcHeader + piece;
-    wg.spawn(update_piece(chunk_idx, std::move(req), wire, status));
+    // Fan the piece to every replica of its group (payload is shared, so the
+    // request copies are cheap). All replicas must land for the write to be ok.
+    for (std::uint32_t rep = 0; rep < layout_.replicas; ++rep) {
+      wg.spawn(update_piece(chunk_idx, rep, req, wire, status));
+    }
     pos += piece;
   }
   co_await wg.wait();
@@ -483,12 +569,13 @@ sim::CoTask<Result<std::uint64_t>> ArrayObject::size() {
   co_return *max_end;
 }
 
-sim::CoTask<void> ArrayObject::update_piece(std::uint64_t chunk_idx, engine::ObjUpdateReq req,
-                                            std::uint64_t wire, std::shared_ptr<Errno> status) {
+sim::CoTask<void> ArrayObject::update_piece(std::uint64_t chunk_idx, std::uint32_t replica,
+                                            engine::ObjUpdateReq req, std::uint64_t wire,
+                                            std::shared_ptr<Errno> status) {
   Reply reply{};
   for (int round = 0;; ++round) {
     refresh_layout();
-    const std::uint32_t map_target = layout_[shard_of_chunk(chunk_idx)];
+    const std::uint32_t map_target = layout_.at(group_of_chunk(chunk_idx), replica);
     req.target = client_.pool_map().targets[map_target].target;
     Body body = Body::make(req);
     reply = co_await client_.call_target(map_target, engine::kOpObjUpdate, std::move(body), wire);
@@ -501,24 +588,58 @@ sim::CoTask<void> ArrayObject::fetch_piece(std::uint64_t chunk_idx, engine::ObjF
                                            std::span<std::byte> dst,
                                            std::shared_ptr<Errno> status,
                                            std::shared_ptr<std::uint64_t> filled) {
-  Reply reply{};
-  for (int round = 0;; ++round) {
-    refresh_layout();
-    const std::uint32_t map_target = layout_[shard_of_chunk(chunk_idx)];
-    req.target = client_.pool_map().targets[map_target].target;
-    Body body = Body::make(req);
-    reply = co_await client_.call_target(map_target, engine::kOpObjFetch, std::move(body),
-                                         engine::kObjRpcHeader);
-    if (reply.status != Errno::stale || round >= kMaxPlaceRounds) break;
+  const std::uint32_t g = group_of_chunk(chunk_idx);
+  const std::uint32_t nreps = layout_.replicas;
+  // Degraded read: try replicas from a per-chunk starting point; keep the
+  // best (most-filled) answer and stop early once the piece is complete.
+  const std::uint32_t r0 =
+      nreps == 1 ? 0 : std::uint32_t(mix64(chunk_idx ^ mix64(oid_.lo)) % nreps);
+  bool have_best = false;
+  std::uint64_t best_filled = 0;
+  engine::Payload best_data;
+  Errno last = Errno::io;
+  for (std::uint32_t i = 0; i < nreps; ++i) {
+    const std::uint32_t rep = (r0 + i) % nreps;
+    Reply reply{};
+    for (int round = 0;; ++round) {
+      refresh_layout();
+      const std::uint32_t map_target = layout_.at(g, rep);
+      req.target = client_.pool_map().targets[map_target].target;
+      Body body = Body::make(req);
+      reply = co_await client_.call_target(map_target, engine::kOpObjFetch, std::move(body),
+                                           engine::kObjRpcHeader);
+      if (reply.status != Errno::stale || round >= kMaxPlaceRounds) break;
+    }
+    if (reply.status != Errno::ok) {
+      last = reply.status;
+      continue;
+    }
+    auto& resp = reply.body.get<ObjFetchResp>();
+    if (!have_best || resp.filled > best_filled) {
+      have_best = true;
+      best_filled = resp.filled;
+      best_data = resp.data;
+    }
+    if (best_filled >= req.length) break;
   }
-  if (reply.status != Errno::ok) {
-    *status = reply.status;
+  if (!have_best) {
+    if (group_lost(g)) {
+      client_.note_data_loss(oid_, g);
+      *status = Errno::data_loss;
+    } else {
+      *status = last;
+    }
     co_return;
   }
-  auto& resp = reply.body.get<ObjFetchResp>();
-  *filled += resp.filled;
-  if (resp.data != nullptr) {
-    std::copy(resp.data->begin(), resp.data->end(), dst.begin());
+  *filled += best_filled;
+  if (best_data != nullptr) {
+    std::copy(best_data->begin(), best_data->end(), dst.begin());
+  }
+  // A short read whose group lost every nominal replica is data loss, not a
+  // legitimate hole: surface it instead of silently returning zeros.
+  if (best_filled < req.length && group_lost(g)) {
+    client_.note_data_loss(oid_, g);
+    *status = Errno::data_loss;
   }
 }
 
@@ -528,7 +649,7 @@ sim::CoTask<void> ArrayObject::query_piece(std::uint32_t shard, engine::ObjQuery
   Reply reply{};
   for (int round = 0;; ++round) {
     refresh_layout();
-    const std::uint32_t map_target = layout_[shard];
+    const std::uint32_t map_target = layout_.targets[shard];
     req.target = client_.pool_map().targets[map_target].target;
     Body body = Body::make(req);
     reply = co_await client_.call_target(map_target, engine::kOpObjQuery, std::move(body),
@@ -553,7 +674,7 @@ sim::CoTask<Errno> ArrayObject::punch() {
     Reply r{};
     for (int round = 0;; ++round) {
       refresh_layout();
-      const std::uint32_t map_target = layout_[s];
+      const std::uint32_t map_target = layout_.targets[s];
       req.target = client_.pool_map().targets[map_target].target;
       Body body = Body::make(req);
       r = co_await client_.call_target(map_target, engine::kOpObjPunch, std::move(body),

@@ -155,8 +155,15 @@ class DaosClient {
   /// map. Restarting an engine does NOT reintegrate it — this call does.
   sim::CoTask<Result<void>> pool_reint(net::NodeId engine);
 
+  /// Records a whole-redundancy-group loss surfaced by a degraded read: every
+  /// nominal replica of the group is EXCLUDED. The message names the object
+  /// and group so data loss is never silent.
+  void note_data_loss(vos::ObjId oid, std::uint32_t group);
+
   std::uint64_t rpcs_sent() const { return ep_.calls_made(); }
   std::uint64_t evictions_reported() const { return evictions_; }
+  std::uint64_t data_loss_events() const { return data_loss_; }
+  const std::string& last_data_loss() const { return last_data_loss_; }
 
  private:
   struct PendingCall;
@@ -178,9 +185,14 @@ class DaosClient {
   /// must never depend on addresses (determinism).
   std::map<net::NodeId, std::shared_ptr<sim::Event>> evict_gates_;
   std::uint64_t evictions_ = 0;
+  std::uint64_t data_loss_ = 0;
+  std::string last_data_loss_;
 };
 
 /// KV-style object handle (DAOS "multi-level KV" API): dkey -> akey -> value.
+/// Replicated classes (RP_*) fan puts to every replica of the dkey's
+/// redundancy group and serve degraded gets from any UP replica; a get whose
+/// group lost every nominal replica fails with Errno::data_loss.
 class KvObject {
  public:
   KvObject(DaosClient& client, vos::Uuid cont, vos::ObjId oid);
@@ -197,7 +209,8 @@ class KvObject {
   vos::ObjId oid() const { return oid_; }
 
  private:
-  std::uint32_t shard_of(const vos::Key& dkey) const;
+  std::uint32_t group_of(const vos::Key& dkey) const;
+  bool group_lost(std::uint32_t group) const;
   /// Recomputes the layout when the client's pool map moved past the version
   /// this handle last placed against (refresh-on-stale).
   void refresh_layout();
@@ -205,7 +218,8 @@ class KvObject {
   DaosClient& client_;
   vos::Uuid cont_;
   vos::ObjId oid_;
-  std::vector<std::uint32_t> layout_;
+  GroupLayout layout_;   // health-aware: where I/O goes right now
+  GroupLayout nominal_;  // intact-pool placement: which replicas exist at all
   std::uint32_t map_version_ = 0;
 };
 
@@ -230,17 +244,19 @@ class ArrayObject {
   std::uint32_t shard_count() const { return std::uint32_t(layout_.size()); }
 
  private:
-  std::uint32_t shard_of_chunk(std::uint64_t chunk_idx) const {
-    return dkey_to_shard(chunk_idx ^ mix64(oid_.lo), std::uint32_t(layout_.size()));
+  std::uint32_t group_of_chunk(std::uint64_t chunk_idx) const {
+    return array_chunk_group(oid_, chunk_idx, layout_.groups());
   }
+  bool group_lost(std::uint32_t group) const;
   /// See KvObject::refresh_layout.
   void refresh_layout();
 
   // Per-piece coroutines (explicit parameters; see CP.51 note in scheduler.hpp).
   // Each piece resolves its target from the current layout per attempt and
   // re-places (bounded) when the pool map goes stale under it.
-  sim::CoTask<void> update_piece(std::uint64_t chunk_idx, engine::ObjUpdateReq req,
-                                 std::uint64_t wire, std::shared_ptr<Errno> status);
+  sim::CoTask<void> update_piece(std::uint64_t chunk_idx, std::uint32_t replica,
+                                 engine::ObjUpdateReq req, std::uint64_t wire,
+                                 std::shared_ptr<Errno> status);
   sim::CoTask<void> fetch_piece(std::uint64_t chunk_idx, engine::ObjFetchReq req,
                                 std::span<std::byte> dst, std::shared_ptr<Errno> status,
                                 std::shared_ptr<std::uint64_t> filled);
@@ -252,7 +268,8 @@ class ArrayObject {
   vos::Uuid cont_;
   vos::ObjId oid_;
   std::uint64_t chunk_;
-  std::vector<std::uint32_t> layout_;
+  GroupLayout layout_;   // health-aware: where I/O goes right now
+  GroupLayout nominal_;  // intact-pool placement: which replicas exist at all
   std::uint32_t map_version_ = 0;
 };
 

@@ -1,10 +1,12 @@
 // Object classes: how many shards (targets) an object is striped over.
 // Mirrors DAOS's S1/S2/S4/S8/SX classes from the paper ("objects ... S1
 // through to SX ... distributed across DAOS engines in a similar manner to
-// Lustre file striping"). The class is encoded in the object ID's high bits,
-// exactly like daos_obj_generate_oid does.
+// Lustre file striping"), plus the replicated RP_* classes (2 replicas per
+// redundancy group; docs.daos.io self-healing design). The class is encoded
+// in the object ID's high bits, exactly like daos_obj_generate_oid does.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 
 #include "common/error.hpp"
@@ -17,7 +19,10 @@ enum class ObjClass : std::uint8_t {
   S2 = 2,
   S4 = 3,
   S8 = 4,
-  SX = 5,  // one shard per pool target (full striping)
+  SX = 5,      // one shard per pool target (full striping)
+  RP_2G1 = 6,  // 2 replicas x 1 redundancy group
+  RP_2G2 = 7,  // 2 replicas x 2 redundancy groups
+  RP_2GX = 8,  // 2 replicas x max groups (half the pool's targets)
 };
 
 inline const char* to_string(ObjClass c) {
@@ -27,11 +32,27 @@ inline const char* to_string(ObjClass c) {
     case ObjClass::S4: return "S4";
     case ObjClass::S8: return "S8";
     case ObjClass::SX: return "SX";
+    case ObjClass::RP_2G1: return "RP_2G1";
+    case ObjClass::RP_2G2: return "RP_2G2";
+    case ObjClass::RP_2GX: return "RP_2GX";
   }
   return "S?";
 }
 
-inline std::uint32_t shard_count(ObjClass c, std::uint32_t pool_targets) {
+/// Replicas per redundancy group: 1 for the striped S classes.
+inline std::uint32_t replica_count(ObjClass c) {
+  switch (c) {
+    case ObjClass::RP_2G1:
+    case ObjClass::RP_2G2:
+    case ObjClass::RP_2GX: return 2;
+    default: return 1;
+  }
+}
+
+/// Redundancy groups (the unit dkeys hash over). For the S classes this is
+/// the shard count; RP classes bound groups so groups * replicas fits the
+/// pool.
+inline std::uint32_t group_count(ObjClass c, std::uint32_t pool_targets) {
   DAOSIM_REQUIRE(pool_targets > 0, "empty pool");
   switch (c) {
     case ObjClass::S1: return 1;
@@ -39,8 +60,16 @@ inline std::uint32_t shard_count(ObjClass c, std::uint32_t pool_targets) {
     case ObjClass::S4: return std::min(4u, pool_targets);
     case ObjClass::S8: return std::min(8u, pool_targets);
     case ObjClass::SX: return pool_targets;
+    case ObjClass::RP_2G1: return 1;
+    case ObjClass::RP_2G2: return std::min(2u, std::max(1u, pool_targets / 2));
+    case ObjClass::RP_2GX: return std::max(1u, pool_targets / 2);
   }
   return 1;
+}
+
+/// Total layout slots (groups x replicas).
+inline std::uint32_t shard_count(ObjClass c, std::uint32_t pool_targets) {
+  return group_count(c, pool_targets) * replica_count(c);
 }
 
 /// Packs the class into oid.hi's top byte (sequence below), like DAOS.
@@ -50,7 +79,7 @@ inline vos::ObjId make_oid(std::uint64_t seq, ObjClass c) {
 
 inline ObjClass class_of(vos::ObjId oid) {
   const auto c = std::uint8_t(oid.hi >> 56);
-  DAOSIM_REQUIRE(c >= 1 && c <= 5, "oid %llx has no valid object class",
+  DAOSIM_REQUIRE(c >= 1 && c <= 8, "oid %llx has no valid object class",
                  static_cast<unsigned long long>(oid.hi));
   return ObjClass(c);
 }

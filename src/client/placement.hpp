@@ -102,4 +102,114 @@ inline std::uint32_t dkey_to_shard(std::uint64_t dkey_hash, std::uint32_t shards
   return std::uint32_t(mix64(dkey_hash) % shards);
 }
 
+/// Redundancy-group routing, shared between the client object handles and the
+/// rebuild scanner (both must agree on which group owns a dkey). Array chunk
+/// indices mix in oid.lo; KV dkeys hash the key string.
+inline std::uint32_t array_chunk_group(vos::ObjId oid, std::uint64_t chunk_idx,
+                                       std::uint32_t groups) {
+  return dkey_to_shard(chunk_idx ^ mix64(oid.lo), groups);
+}
+inline std::uint32_t kv_dkey_group(const vos::Key& dkey, std::uint32_t groups) {
+  return dkey_to_shard(std::hash<std::string>{}(dkey), groups);
+}
+
+/// Layout of a replicated object: `groups` redundancy groups of `replicas`
+/// targets each, group-major (`targets[g*replicas + r]`). Replicas of one
+/// group never share an engine (the failure domain), so losing an engine
+/// costs at most one replica per group.
+struct GroupLayout {
+  std::uint32_t replicas = 1;
+  std::vector<std::uint32_t> targets;  // group-major
+
+  std::uint32_t groups() const {
+    return replicas == 0 ? 0 : std::uint32_t(targets.size()) / replicas;
+  }
+  std::uint32_t at(std::uint32_t group, std::uint32_t replica) const {
+    return targets[std::size_t(group) * replicas + replica];
+  }
+  std::size_t size() const { return targets.size(); }
+};
+
+/// Nominal group layout, ignoring health: where replicas live on an intact
+/// pool. Slot (g, r) starts at ring position g*R+r and walks forward past
+/// targets whose engine already hosts an earlier replica of the same group
+/// (replicas never share a failure domain). With replicas == 1 there is no
+/// constraint to walk past, so S-class placements are byte-identical to the
+/// classic compute_layout. Degraded reads and the rebuild scanner diff this
+/// against the health-aware layout to find lost replicas.
+inline GroupLayout compute_nominal_layout(vos::ObjId oid, std::uint32_t groups,
+                                          std::uint32_t replicas, const pool::PoolMap& map) {
+  const std::uint32_t n = map.target_count();
+  DAOSIM_REQUIRE(groups >= 1 && replicas >= 1 && groups * replicas <= n,
+                 "bad group layout %ux%u (pool %u)", groups, replicas, n);
+  const PlacementRing ring(oid, n);
+  GroupLayout out;
+  out.replicas = replicas;
+  out.targets.resize(std::size_t(groups) * replicas);
+  for (std::uint32_t g = 0; g < groups; ++g) {
+    std::vector<net::NodeId> used;  // engines already hosting a replica of g
+    for (std::uint32_t r = 0; r < replicas; ++r) {
+      const std::uint32_t pos = g * replicas + r;
+      const auto engine_used = [&](std::uint32_t t) {
+        const net::NodeId e = map.targets[t].engine;
+        return std::find(used.begin(), used.end(), e) != used.end();
+      };
+      std::uint32_t pick = ring.at(pos);
+      for (std::uint32_t step = 1; engine_used(pick) && step < n; ++step) {
+        pick = ring.at(pos + step);
+      }
+      if (engine_used(pick)) pick = ring.at(pos);  // single-engine pool: give up
+      out.targets[std::size_t(g) * replicas + r] = pick;
+      used.push_back(map.targets[pick].engine);
+    }
+  }
+  return out;
+}
+
+/// Health-aware group layout: replicas on healthy targets keep their nominal
+/// placement (they never move); a replica whose nominal target is EXCLUDED
+/// walks forward along the ring to the first non-excluded substitute on an
+/// engine distinct from the group's surviving replicas and earlier
+/// substitutes. With replicas == 1 this degenerates to the classic
+/// health-aware compute_layout walk.
+inline GroupLayout compute_group_layout(vos::ObjId oid, std::uint32_t groups,
+                                        std::uint32_t replicas, const pool::PoolMap& map) {
+  GroupLayout out = compute_nominal_layout(oid, groups, replicas, map);
+  const std::uint32_t n = map.target_count();
+  const PlacementRing ring(oid, n);
+  const auto excluded = [&map](std::uint32_t t) {
+    return map.targets[t].health == pool::TargetHealth::excluded;
+  };
+  for (std::uint32_t g = 0; g < groups; ++g) {
+    std::vector<net::NodeId> used;  // engines of the group's surviving replicas
+    for (std::uint32_t r = 0; r < replicas; ++r) {
+      const std::uint32_t t = out.at(g, r);
+      if (!excluded(t)) used.push_back(map.targets[t].engine);
+    }
+    for (std::uint32_t r = 0; r < replicas; ++r) {
+      const std::uint32_t pos = g * replicas + r;
+      if (!excluded(out.at(g, r))) continue;  // healthy replicas never move
+      const auto engine_used = [&](std::uint32_t t) {
+        const net::NodeId e = map.targets[t].engine;
+        return std::find(used.begin(), used.end(), e) != used.end();
+      };
+      std::uint32_t pick = ring.at(pos);
+      for (std::uint32_t step = 1; (excluded(pick) || engine_used(pick)) && step < n; ++step) {
+        pick = ring.at(pos + step);
+      }
+      // Walk exhausted (tiny or mostly-excluded pools): relax the distinct-
+      // engine constraint, keeping the nominal placement as the last resort.
+      if (excluded(pick) || engine_used(pick)) {
+        pick = ring.at(pos);
+        for (std::uint32_t step = 1; excluded(pick) && step < n; ++step) {
+          pick = ring.at(pos + step);
+        }
+      }
+      out.targets[std::size_t(g) * replicas + r] = pick;
+      used.push_back(map.targets[pick].engine);
+    }
+  }
+  return out;
+}
+
 }  // namespace daosim::client

@@ -36,6 +36,13 @@ Testbed::Testbed(ClusterConfig cfg) : cfg_(cfg), fabric_(sched_, cfg.fabric) {
         engines_[s]->endpoint(), svc_nodes_, map_, cfg_.raft, cfg_.seed + s));
   }
 
+  // One rebuild service per engine, answering the pool-service coordinator's
+  // scan/assign RPCs against this pool's membership.
+  for (auto& eng : engines_) {
+    rebuilds_.push_back(
+        std::make_unique<rebuild::RebuildService>(*eng, map_, svc_nodes_, cfg_.rebuild));
+  }
+
   // Client nodes (dual-rail NICs) with one DaosClient each.
   for (std::uint32_t c = 0; c < cfg_.client_nodes; ++c) {
     const net::NodeId node = fabric_.add_node();
@@ -123,6 +130,18 @@ void Testbed::restart_engine(std::uint32_t i) {
   for (std::uint32_t s = 0; s < svc_.size(); ++s) {
     if (svc_nodes_[s] == node && !svc_[s]->raft().running()) svc_[s]->raft().restart();
   }
+}
+
+bool Testbed::wait_rebuild(sim::Time timeout) {
+  DAOSIM_REQUIRE(started_, "start() the testbed before wait_rebuild()");
+  const sim::Time deadline = sched_.now() + timeout;
+  while (sched_.now() < deadline) {
+    if (const auto l = svc_leader()) {
+      if (svc_[*l]->meta().rebuilds_incomplete() == 0) return true;
+    }
+    sched_.run_until(sched_.now() + 20 * sim::kMs);
+  }
+  return false;
 }
 
 std::optional<std::uint32_t> Testbed::svc_leader() const {

@@ -15,6 +15,7 @@
 #include "net/fabric.hpp"
 #include "net/rpc.hpp"
 #include "pool/pool_service.hpp"
+#include "rebuild/rebuild.hpp"
 #include "sim/scheduler.hpp"
 
 namespace daosim::cluster {
@@ -30,6 +31,7 @@ struct ClusterConfig {
   engine::EngineConfig engine{};
   raft::RaftConfig raft{};
   vos::PayloadMode payload = vos::PayloadMode::store;
+  rebuild::RebuildConfig rebuild{};  // per-engine rebuild throttle
   std::uint64_t seed = 42;
 };
 
@@ -95,6 +97,14 @@ class Testbed {
   /// Index of the current pool-service leader replica, if any.
   std::optional<std::uint32_t> svc_leader() const;
 
+  /// Engine `i`'s rebuild service (scan/pull counters, throttle config).
+  rebuild::RebuildService& rebuild_service(std::uint32_t i) { return *rebuilds_[i]; }
+  /// Barrier: runs the simulation until the pool service's Raft-committed
+  /// rebuild state shows no incomplete task (every eviction healed, every
+  /// reintegration resynced). Returns false if `timeout` virtual time passes
+  /// first — e.g. too few surviving engines to ever elect a leader.
+  bool wait_rebuild(sim::Time timeout = 60 * sim::kSec);
+
   /// Aggregate engine-side counters (for reports and shape assertions).
   std::uint64_t total_updates() const;
   std::uint64_t total_fetches() const;
@@ -115,6 +125,7 @@ class Testbed {
   std::vector<std::unique_ptr<engine::Engine>> engines_;
   std::vector<std::unique_ptr<pool::PoolServiceReplica>> svc_;
   std::vector<net::NodeId> svc_nodes_;
+  std::vector<std::unique_ptr<rebuild::RebuildService>> rebuilds_;  // one per engine
   std::vector<std::unique_ptr<client::DaosClient>> clients_;
   pool::PoolMap map_;
   /// Declared after domain_/engines_/svc_: the injector's destructor

@@ -67,6 +67,7 @@ enum class Errno : int {
   not_supported,   // ENOTSUP
   stale,           // ESTALE (e.g. pool map out of date)
   timed_out,       // ETIMEDOUT
+  data_loss,       // every replica of a redundancy group is gone
 };
 
 inline const char* errno_name(Errno e) {
@@ -88,6 +89,7 @@ inline const char* errno_name(Errno e) {
     case Errno::not_supported: return "ENOTSUP";
     case Errno::stale: return "ESTALE";
     case Errno::timed_out: return "ETIMEDOUT";
+    case Errno::data_loss: return "EDATALOSS";
   }
   return "E?";
 }

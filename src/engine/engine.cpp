@@ -77,6 +77,22 @@ sim::CoTask<void> Engine::media_read(Target& t, std::uint64_t bytes) {
   co_await sim::when_all(sched_, std::move(stages));
 }
 
+sim::CoTask<void> Engine::rebuild_read(std::uint32_t idx, std::uint64_t bytes) {
+  Target& t = target_for(idx);
+  co_await t.xstream.acquire();
+  co_await sched_.delay(cfg_.fetch_cpu);
+  t.xstream.release();
+  co_await media_read(t, bytes + 64);
+}
+
+sim::CoTask<void> Engine::rebuild_write(std::uint32_t idx, std::uint64_t bytes) {
+  Target& t = target_for(idx);
+  co_await t.xstream.acquire();
+  co_await sched_.delay(cfg_.update_cpu);
+  t.xstream.release();
+  co_await media_write(t, bytes + 64);
+}
+
 sim::CoTask<net::Reply> Engine::on_update(net::Request req) {
   auto& r = req.body.get<ObjUpdateReq>();
   Target& t = target_for(r.target);

@@ -66,6 +66,12 @@ class Engine {
   /// FIFO order and drain when it ends — nothing is lost, only delayed.
   void stall_target(std::uint32_t idx, sim::Time duration);
 
+  /// Rebuild traffic: charges the target's xstream and media bandwidth like a
+  /// foreground fetch/update, so rebuild transfers share the pipes with
+  /// application I/O instead of teleporting data.
+  sim::CoTask<void> rebuild_read(std::uint32_t idx, std::uint64_t bytes);
+  sim::CoTask<void> rebuild_write(std::uint32_t idx, std::uint64_t bytes);
+
   std::uint64_t updates_served() const { return updates_; }
   std::uint64_t fetches_served() const { return fetches_; }
   std::uint64_t shard_cache_misses() const { return cache_misses_; }  // stream-context misses

@@ -23,6 +23,13 @@ constexpr std::uint16_t kOpObjPunch = 0x24;
 constexpr std::uint16_t kOpObjQuery = 0x25;
 constexpr std::uint16_t kOpPoolSvc = 0x30;
 
+// Rebuild protocol opcodes (0x40 block): the pool-service leader drives
+// surviving engines to scan for under-replicated groups and re-fan the lost
+// replicas onto walk-forward targets.
+constexpr std::uint16_t kOpRebuildScan = 0x40;
+constexpr std::uint16_t kOpRebuildFetch = 0x41;
+constexpr std::uint16_t kOpRebuildDone = 0x42;
+
 /// Fixed per-message protocol overhead added to payload sizes.
 constexpr std::uint64_t kObjRpcHeader = 256;
 
@@ -102,6 +109,76 @@ struct ObjQueryReq {
 
 struct ObjQueryResp {
   std::uint64_t value = 0;
+};
+
+/// One object whose redundancy group lost a replica: pull it from the
+/// surviving source target and re-materialise it on the walk-forward
+/// destination. `src`/`dst` are pool-map target indices.
+struct RebuildEntry {
+  vos::Uuid cont;
+  vos::ObjId oid;
+  std::uint32_t group = 0;
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  vos::Epoch min_epoch = 0;  // resync: only records newer than this
+  /// Apply semantics: eviction rebuild merges under data the destination
+  /// already holds (its degraded-window writes are newer than the source
+  /// image); a resync overwrites (the source's window writes are newer than
+  /// the reintegrated replica's pre-eviction state).
+  bool resync = false;
+};
+
+/// Leader -> engine. Two phases share the opcode: `assign == false` asks the
+/// engine to scan its VOS trees and report entries it is the source for;
+/// `assign == true` hands the engine the entries it is the destination for
+/// (possibly none — it must still report rebuild_done).
+struct RebuildScanReq {
+  std::uint32_t version = 0;  // pool map version the task was created at
+  bool assign = false;
+  bool resync = false;              // reintegration resync (epoch diff) task
+  net::NodeId reint_node = 0;       // resync: the engine coming back
+  std::uint32_t since_version = 0;  // resync: map version of its eviction
+  std::vector<net::NodeId> excluded;
+  std::vector<RebuildEntry> entries;  // assign phase only
+};
+
+struct RebuildScanResp {
+  std::vector<RebuildEntry> entries;
+};
+
+/// Destination engine -> source engine: pull one object's records for the
+/// given redundancy group.
+struct RebuildFetchReq {
+  vos::Uuid cont;
+  vos::ObjId oid;
+  std::uint32_t target = 0;  // source target index within the engine
+  std::uint32_t group = 0;
+  vos::Epoch min_epoch = 0;
+};
+
+struct RebuildRecord {
+  vos::Key dkey;
+  vos::Key akey;
+  RecordType type = RecordType::array;
+  std::uint64_t length = 0;
+  Payload data;  // null in discard mode
+};
+
+struct RebuildFetchResp {
+  std::vector<RebuildRecord> records;
+  std::uint64_t array_end = 0;  // source's array end hint for the object
+  std::uint64_t bytes = 0;      // logical bytes transferred
+};
+
+/// Engine -> pool-service leader: all assigned entries for `version` landed.
+/// Raft-committed so a leader crash mid-rebuild resumes instead of redoing.
+struct RebuildDoneReq {
+  net::NodeId engine = 0;
+  std::uint32_t version = 0;
+};
+
+struct RebuildDoneResp {
+  std::optional<net::NodeId> leader_hint{};
 };
 
 /// Pool service client command: an opaque state-machine command string

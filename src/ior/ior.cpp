@@ -46,6 +46,7 @@ struct IorRunner::JobState {
   double read_start = 0, read_end = 0;
   std::uint64_t verify_errors = 0;
   std::uint64_t fill_errors = 0;
+  std::uint64_t data_loss_errors = 0;
   std::unique_ptr<mpiio::CollectiveFile> cfile;
   std::map<std::string, std::shared_ptr<h5::H5Meta>> h5meta;
   std::uint64_t oid_base = 0;  // daos_array backend
@@ -139,6 +140,8 @@ sim::CoTask<void> IorRunner::job_main(const IorConfig* cfg, IorResult* result) {
   }
   result->verify_errors = st->verify_errors;
   result->read_fill_errors = st->fill_errors;
+  result->data_loss_events = st->data_loss_errors;
+  last_job_ = JobInfo{st->dir, st->file_seed, st->oid_base};
 }
 
 namespace {
@@ -394,15 +397,26 @@ sim::CoTask<void> IorRunner::rank_body(mpi::Comm comm, const IorConfig* cfg,
         std::uint64_t filled = cfg->transfer_size;
         if (store) {
           auto n = co_await rf->read(off, out);
-          DAOSIM_REQUIRE(n.ok(), "rank %d: read failed: %s", me, errno_name(n.error()));
-          filled = *n;
-          if (cfg->verify) st->verify_errors += check_pattern(buf, off, seed);
+          if (!n.ok() && n.error() == Errno::data_loss) {
+            // Every replica of the group is gone: count the event, read on.
+            ++st->data_loss_errors;
+            filled = 0;
+          } else {
+            DAOSIM_REQUIRE(n.ok(), "rank %d: read failed: %s", me, errno_name(n.error()));
+            filled = *n;
+            if (cfg->verify) st->verify_errors += check_pattern(buf, off, seed);
+          }
         } else {
           // Metadata-only mode: issue a zero-copy read of the right size.
           std::vector<std::byte> sink(std::size_t(cfg->transfer_size));
           auto n = co_await rf->read(off, sink);
-          DAOSIM_REQUIRE(n.ok(), "rank %d: read failed: %s", me, errno_name(n.error()));
-          filled = *n;
+          if (!n.ok() && n.error() == Errno::data_loss) {
+            ++st->data_loss_errors;
+            filled = 0;
+          } else {
+            DAOSIM_REQUIRE(n.ok(), "rank %d: read failed: %s", me, errno_name(n.error()));
+            filled = *n;
+          }
         }
         if (filled != cfg->transfer_size) ++st->fill_errors;
       }

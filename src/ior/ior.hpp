@@ -54,6 +54,10 @@ struct IorResult {
   PhaseResult read;
   std::uint64_t verify_errors = 0;
   std::uint64_t read_fill_errors = 0;  // short reads
+  /// Reads that hit a redundancy group with every replica gone
+  /// (Errno::data_loss). Counted, not fatal: IOR keeps going, like a real
+  /// job riding out a degraded pool.
+  std::uint64_t data_loss_events = 0;
 };
 
 /// Drives IOR jobs on a testbed. One runner per testbed; per-client-node DFS
@@ -70,6 +74,17 @@ class IorRunner {
 
   std::uint32_t ppn() const { return ppn_; }
   std::uint32_t ranks() const { return ppn_ * tb_.client_node_count(); }
+
+  /// Identity of the most recent job's files, for out-of-band readback
+  /// (e.g. verifying rebuilt replicas after the job finished). daos_array
+  /// file-per-process rank r uses OID sequence oid_base + r and pattern seed
+  /// file_seed ^ mix64(r); shared files use oid_base and file_seed directly.
+  struct JobInfo {
+    std::string dir;
+    std::uint64_t file_seed = 0;
+    std::uint64_t oid_base = 0;  // daos_array backend only
+  };
+  const JobInfo& last_job() const { return last_job_; }
 
  private:
   struct NodeCtx {
@@ -91,6 +106,7 @@ class IorRunner {
   std::vector<NodeCtx> nodes_;
   std::unique_ptr<mpi::MpiWorld> world_;
   std::uint64_t job_seq_ = 0;
+  JobInfo last_job_;
 };
 
 /// Deterministic data pattern IOR stamps into write buffers: 8-byte words

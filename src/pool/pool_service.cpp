@@ -10,6 +10,22 @@ using net::Body;
 using net::Reply;
 using net::Request;
 
+namespace {
+/// Coordinator tick: how often the leader checks for (and re-drives)
+/// incomplete rebuild tasks. Re-driving is idempotent — scans are read-only
+/// and rebuild_done is duplicate-guarded — so a lost RPC just costs a tick.
+constexpr sim::Time kCoordTick = 50 * sim::kMs;
+/// Consecutive failed scan/assign RPCs before the coordinator evicts the
+/// unresponsive participant (models SWIM-style failure detection; without it
+/// a participant that crashes mid-rebuild wedges the task forever).
+constexpr int kScanFailEvict = 3;
+
+// Trace-digest tags for rebuild coordination milestones.
+constexpr std::uint64_t kTraceRebuildDrive = 0xFA17E005'0000'0000ULL;
+constexpr std::uint64_t kTraceRebuildAssign = 0xFA17E006'0000'0000ULL;
+constexpr std::uint64_t kTraceRebuildDone = 0xFA17E007'0000'0000ULL;
+}  // namespace
+
 std::string PoolMetaSm::apply(const std::string& command) {
   std::istringstream is(command);
   std::string op;
@@ -58,14 +74,33 @@ std::string PoolMetaSm::apply(const std::string& command) {
   if (op == "pool_evict") {
     net::NodeId engine = 0;
     is >> engine;
-    if (excluded_.insert(engine).second) ++map_version_;
+    if (excluded_.insert(engine).second) {
+      ++map_version_;
+      evicted_at_[engine] = map_version_;
+      start_rebuild(/*resync=*/false, engine, 0);
+    }
     return strfmt("ok %u", map_version_);
   }
   if (op == "pool_reint") {
     net::NodeId engine = 0;
     is >> engine;
-    if (excluded_.erase(engine) > 0) ++map_version_;
+    if (excluded_.erase(engine) > 0) {
+      ++map_version_;
+      const auto it = evicted_at_.find(engine);
+      start_rebuild(/*resync=*/true, engine, it != evicted_at_.end() ? it->second : 0);
+    }
     return strfmt("ok %u", map_version_);
+  }
+  if (op == "rebuild_done") {
+    net::NodeId engine = 0;
+    std::uint32_t version = 0;
+    is >> engine >> version;
+    auto it = rebuilds_.find(version);
+    if (it == rebuilds_.end()) return "ok stale";
+    // Duplicate-apply guard: a retried report (lost reply, re-driven task)
+    // must not double-count the engine.
+    if (!it->second.done.insert(engine).second) return "ok dup";
+    return "ok";
   }
   if (op == "map_query") {
     std::ostringstream os;
@@ -74,6 +109,47 @@ std::string PoolMetaSm::apply(const std::string& command) {
     return os.str();
   }
   return "EINVAL";
+}
+
+void PoolMetaSm::start_rebuild(bool resync, net::NodeId node, std::uint32_t since_version) {
+  // A newer map change invalidates in-flight scans: mark them superseded (the
+  // new task's scan covers anything they would have moved).
+  for (auto& [v, t] : rebuilds_) {
+    if (!t.complete()) t.superseded = true;
+  }
+  if (engines_.empty()) return;  // no roster: rebuild coordination disabled
+  RebuildTask task;
+  task.version = map_version_;
+  task.resync = resync;
+  task.node = node;
+  task.since_version = since_version;
+  task.excluded = excluded_;
+  for (const net::NodeId e : engines_) {
+    if (!excluded_.contains(e)) task.participants.insert(e);
+  }
+  if (task.participants.empty()) return;
+  rebuilds_.emplace(map_version_, std::move(task));
+}
+
+const PoolMetaSm::RebuildTask* PoolMetaSm::rebuild_task(std::uint32_t version) const {
+  const auto it = rebuilds_.find(version);
+  return it == rebuilds_.end() ? nullptr : &it->second;
+}
+
+std::optional<std::uint32_t> PoolMetaSm::newest_incomplete_rebuild() const {
+  std::optional<std::uint32_t> out;
+  for (const auto& [v, t] : rebuilds_) {
+    if (!t.complete()) out = v;
+  }
+  return out;
+}
+
+std::size_t PoolMetaSm::rebuilds_incomplete() const {
+  std::size_t n = 0;
+  for (const auto& [v, t] : rebuilds_) {
+    if (!t.complete()) ++n;
+  }
+  return n;
 }
 
 std::string PoolMetaSm::snapshot() const {
@@ -86,6 +162,21 @@ std::string PoolMetaSm::snapshot() const {
   os << map_version_ << ' ' << excluded_.size();
   for (const net::NodeId e : excluded_) os << ' ' << e;
   os << '\n';
+  os << evicted_at_.size();
+  for (const auto& [e, v] : evicted_at_) os << ' ' << e << ' ' << v;
+  os << '\n';
+  os << rebuilds_.size() << '\n';
+  for (const auto& [v, t] : rebuilds_) {
+    os << t.version << ' ' << (t.resync ? 1 : 0) << ' ' << t.node << ' ' << t.since_version
+       << ' ' << (t.superseded ? 1 : 0);
+    os << ' ' << t.excluded.size();
+    for (const net::NodeId e : t.excluded) os << ' ' << e;
+    os << ' ' << t.participants.size();
+    for (const net::NodeId e : t.participants) os << ' ' << e;
+    os << ' ' << t.done.size();
+    for (const net::NodeId e : t.done) os << ' ' << e;
+    os << '\n';
+  }
   return os.str();
 }
 
@@ -93,6 +184,8 @@ void PoolMetaSm::restore(const std::string& snap) {
   containers_.clear();
   map_version_ = 1;
   excluded_.clear();
+  evicted_at_.clear();
+  rebuilds_.clear();
   if (snap.empty()) return;
   std::istringstream is(snap);
   std::size_t n = 0;
@@ -116,15 +209,156 @@ void PoolMetaSm::restore(const std::string& snap) {
     }
   } else {
     map_version_ = 1;  // snapshot from before health tracking existed
+    return;
+  }
+  std::size_t nevict = 0;
+  if (!(is >> nevict)) return;  // snapshot from before rebuild tracking existed
+  for (std::size_t i = 0; i < nevict; ++i) {
+    net::NodeId e = 0;
+    std::uint32_t v = 0;
+    is >> e >> v;
+    evicted_at_[e] = v;
+  }
+  std::size_t ntasks = 0;
+  is >> ntasks;
+  const auto read_set = [&is](std::set<net::NodeId>& out) {
+    std::size_t n = 0;
+    is >> n;
+    for (std::size_t i = 0; i < n; ++i) {
+      net::NodeId e = 0;
+      is >> e;
+      out.insert(e);
+    }
+  };
+  for (std::size_t i = 0; i < ntasks; ++i) {
+    RebuildTask t;
+    int resync = 0;
+    int superseded = 0;
+    is >> t.version >> resync >> t.node >> t.since_version >> superseded;
+    t.resync = resync != 0;
+    t.superseded = superseded != 0;
+    read_set(t.excluded);
+    read_set(t.participants);
+    read_set(t.done);
+    rebuilds_.emplace(t.version, std::move(t));
   }
 }
 
 PoolServiceReplica::PoolServiceReplica(net::RpcEndpoint& ep, std::vector<net::NodeId> replicas,
                                        PoolMap map, raft::RaftConfig cfg, std::uint64_t seed)
     : ep_(ep), map_(std::move(map)) {
+  std::set<net::NodeId> engines;
+  for (const auto& t : map_.targets) engines.insert(t.engine);
+  sm_.set_engines(std::move(engines));
   raft_ = std::make_unique<raft::RaftNode>(ep_, std::move(replicas), sm_, cfg, seed);
   ep_.register_handler(engine::kOpPoolSvc,
                        [this](Request r) { return on_client_command(std::move(r)); });
+  ep_.register_handler(engine::kOpRebuildDone,
+                       [this](Request r) { return on_rebuild_done(std::move(r)); });
+}
+
+void PoolServiceReplica::start() {
+  raft_->start();
+  if (!coord_running_) {
+    coord_running_ = true;
+    sim::CoTask<void> loop = coordinator_loop();
+    ep_.domain().scheduler().spawn(std::move(loop));
+  }
+}
+
+void PoolServiceReplica::stop() {
+  coord_running_ = false;
+  raft_->stop();
+}
+
+sim::CoTask<void> PoolServiceReplica::coordinator_loop() {
+  sim::Scheduler& sched = ep_.domain().scheduler();
+  while (coord_running_) {
+    co_await sched.delay(kCoordTick);
+    if (!coord_running_) break;
+    if (!raft_->is_leader() || driving_) continue;
+    const auto version = sm_.newest_incomplete_rebuild();
+    if (!version.has_value()) continue;
+    driving_ = true;
+    co_await drive_task(*version);
+    driving_ = false;
+  }
+}
+
+sim::CoTask<void> PoolServiceReplica::drive_task(std::uint32_t version) {
+  const PoolMetaSm::RebuildTask* tp = sm_.rebuild_task(version);
+  if (tp == nullptr) co_return;
+  const PoolMetaSm::RebuildTask task = *tp;  // copy: sm_ may change under us
+  if (task.complete()) co_return;
+  ep_.domain().scheduler().trace_note(kTraceRebuildDrive ^ version);
+
+  engine::RebuildScanReq base;
+  base.version = task.version;
+  base.resync = task.resync;
+  base.reint_node = task.resync ? task.node : 0;
+  base.since_version = task.since_version;
+  base.excluded.assign(task.excluded.begin(), task.excluded.end());
+
+  // Phase 1: every participant scans its VOS trees and reports the entries it
+  // is the canonical source for. Participants already done are skipped — a
+  // re-driven task (leader crash, lost reply) only touches the remainder.
+  std::vector<engine::RebuildEntry> entries;
+  for (const net::NodeId node : task.participants) {
+    if (task.done.contains(node)) continue;
+    engine::RebuildScanReq req = base;
+    Body body = Body::make(std::move(req));
+    Reply r = co_await ep_.call(node, engine::kOpRebuildScan, std::move(body), 512);
+    if (r.status != Errno::ok) {
+      if (++scan_fail_[{version, node}] >= kScanFailEvict) {
+        co_await raft_->submit(strfmt("pool_evict %u", node));
+      }
+      co_return;  // superseded or retried next tick
+    }
+    scan_fail_.erase({version, node});
+    auto& resp = r.body.get<engine::RebuildScanResp>();
+    entries.insert(entries.end(), resp.entries.begin(), resp.entries.end());
+  }
+
+  // Phase 2: hand each participant the entries it is the destination for. An
+  // empty assignment still obliges the engine to report rebuild_done, so the
+  // task's `done` set can cover every participant.
+  std::map<net::NodeId, std::vector<engine::RebuildEntry>> by_dst;
+  for (const auto& e : entries) by_dst[map_.targets[e.dst].engine].push_back(e);
+  for (const net::NodeId node : task.participants) {
+    if (task.done.contains(node)) continue;
+    engine::RebuildScanReq req = base;
+    req.assign = true;
+    if (const auto it = by_dst.find(node); it != by_dst.end()) req.entries = it->second;
+    const std::uint64_t wire = 512 + 64 * req.entries.size();
+    Body body = Body::make(std::move(req));
+    Reply r = co_await ep_.call(node, engine::kOpRebuildScan, std::move(body), wire);
+    if (r.status != Errno::ok) {
+      if (++scan_fail_[{version, node}] >= kScanFailEvict) {
+        co_await raft_->submit(strfmt("pool_evict %u", node));
+      }
+      co_return;
+    }
+    scan_fail_.erase({version, node});
+  }
+  ep_.domain().scheduler().trace_note(kTraceRebuildAssign ^ version);
+}
+
+sim::CoTask<net::Reply> PoolServiceReplica::on_rebuild_done(net::Request req) {
+  const auto& r = req.body.get<engine::RebuildDoneReq>();
+  if (!raft_->is_leader()) {
+    engine::RebuildDoneResp resp{raft_->leader_hint()};
+    co_return Reply{Errno::again, 64, Body::make(std::move(resp))};
+  }
+  raft::SubmitResult sr = co_await raft_->submit(
+      strfmt("rebuild_done %u %u", r.engine, r.version));
+  if (sr.status != Errno::ok) {
+    engine::RebuildDoneResp resp{sr.leader_hint};
+    co_return Reply{sr.status, 64, Body::make(std::move(resp))};
+  }
+  ep_.domain().scheduler().trace_note(kTraceRebuildDone ^ (std::uint64_t(r.version) << 16) ^
+                                      r.engine);
+  engine::RebuildDoneResp resp{raft_->leader_hint()};
+  co_return Reply{Errno::ok, 64, Body::make(std::move(resp))};
 }
 
 sim::CoTask<net::Reply> PoolServiceReplica::on_client_command(net::Request req) {

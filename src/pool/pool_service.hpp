@@ -12,12 +12,16 @@
 //   pool_evict <engine>                      -> "ok <map_version>"   (idempotent)
 //   pool_reint <engine>                      -> "ok <map_version>"   (idempotent)
 //   map_query                                -> "ok <map_version> <k> <engine> ..."
+//   rebuild_done <engine> <version>          -> "ok" | "ok dup" | "ok stale"
 #pragma once
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "net/rpc.hpp"
 #include "pool/pool_map.hpp"
@@ -45,10 +49,49 @@ class PoolMetaSm final : public raft::StateMachine {
   std::uint32_t map_version() const { return map_version_; }
   const std::set<net::NodeId>& excluded_engines() const { return excluded_; }
 
+  /// One rebuild task, Raft-replicated with the rest of the pool metadata:
+  /// created when an eviction (or reintegration resync) becomes effective,
+  /// complete when every surviving participant reported rebuild_done for its
+  /// map version — so a leader crash mid-rebuild resumes from the committed
+  /// `done` set instead of redoing (or losing) the task.
+  struct RebuildTask {
+    std::uint32_t version = 0;        // map version the task was created at
+    bool resync = false;              // reintegration catch-up, not eviction
+    net::NodeId node = 0;             // the evicted / reintegrated engine
+    std::uint32_t since_version = 0;  // resync: map version of the eviction
+    std::set<net::NodeId> excluded;   // exclusion set at task creation
+    std::set<net::NodeId> participants;
+    std::set<net::NodeId> done;
+    bool superseded = false;  // a newer map change restarted the scan
+    bool complete() const {
+      if (superseded) return true;
+      for (const net::NodeId p : participants) {
+        if (!done.contains(p)) return false;
+      }
+      return true;
+    }
+  };
+
+  /// Engine roster (static cluster config, derived from the pool map by every
+  /// replica identically — not part of the replicated state). Rebuild tasks
+  /// are only created once the roster is known.
+  void set_engines(std::set<net::NodeId> engines) { engines_ = std::move(engines); }
+
+  const std::map<std::uint32_t, RebuildTask>& rebuild_tasks() const { return rebuilds_; }
+  const RebuildTask* rebuild_task(std::uint32_t version) const;
+  /// Highest-version task still in flight (the one the leader drives).
+  std::optional<std::uint32_t> newest_incomplete_rebuild() const;
+  std::size_t rebuilds_incomplete() const;
+
  private:
+  void start_rebuild(bool resync, net::NodeId node, std::uint32_t since_version);
+
   std::map<vos::Uuid, ContMeta> containers_;
   std::uint32_t map_version_ = 1;
   std::set<net::NodeId> excluded_;
+  std::set<net::NodeId> engines_;
+  std::map<net::NodeId, std::uint32_t> evicted_at_;  // engine -> eviction map version
+  std::map<std::uint32_t, RebuildTask> rebuilds_;    // keyed by map version
 };
 
 /// One pool-service replica, sharing an engine's RPC endpoint. The replica
@@ -59,8 +102,8 @@ class PoolServiceReplica {
   PoolServiceReplica(net::RpcEndpoint& ep, std::vector<net::NodeId> replicas, PoolMap map,
                      raft::RaftConfig cfg, std::uint64_t seed);
 
-  void start() { raft_->start(); }
-  void stop() { raft_->stop(); }
+  void start();
+  void stop();
   bool is_leader() const { return raft_->is_leader(); }
   raft::RaftNode& raft() { return *raft_; }
   const PoolMap& pool_map() const { return map_; }
@@ -68,11 +111,23 @@ class PoolServiceReplica {
 
  private:
   sim::CoTask<net::Reply> on_client_command(net::Request req);
+  sim::CoTask<net::Reply> on_rebuild_done(net::Request req);
+  /// Leader-side rebuild coordinator: a periodic tick that drives the newest
+  /// incomplete task (scan -> assign). Runs on every replica; only the
+  /// current leader acts, so a new leader resumes a crashed leader's task
+  /// from the Raft-committed state.
+  sim::CoTask<void> coordinator_loop();
+  sim::CoTask<void> drive_task(std::uint32_t version);
 
   net::RpcEndpoint& ep_;
   PoolMap map_;
   PoolMetaSm sm_;
   std::unique_ptr<raft::RaftNode> raft_;
+  bool coord_running_ = false;
+  bool driving_ = false;
+  /// Consecutive scan/assign RPC failures per (task, engine): an engine that
+  /// keeps failing mid-rebuild is itself evicted so the task converges.
+  std::map<std::pair<std::uint32_t, net::NodeId>, int> scan_fail_;
 };
 
 }  // namespace daosim::pool

@@ -1,0 +1,323 @@
+#include "rebuild/rebuild.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <optional>
+#include <span>
+#include <utility>
+
+#include "client/object_class.hpp"
+#include "client/placement.hpp"
+
+namespace daosim::rebuild {
+
+namespace {
+/// Trace tag folded into the deterministic run hash per applied entry.
+constexpr std::uint64_t kTraceRebuildPull = 0xFA17E008'0000'0000ULL;
+
+constexpr int kFetchAttempts = 3;
+constexpr int kDoneAttempts = 16;
+constexpr sim::Time kDoneRetryDelay = 20 * sim::kMs;
+}  // namespace
+
+RebuildService::RebuildService(engine::Engine& eng, pool::PoolMap base_map,
+                               std::vector<net::NodeId> svc_nodes, RebuildConfig cfg)
+    : eng_(eng),
+      sched_(eng.endpoint().domain().scheduler()),
+      base_map_(std::move(base_map)),
+      svc_nodes_(std::move(svc_nodes)),
+      cfg_(cfg),
+      inflight_(sched_, cfg.max_inflight) {
+  DAOSIM_REQUIRE(cfg.max_inflight >= 1, "rebuild needs at least one transfer slot");
+  eng_.endpoint().register_handler(
+      engine::kOpRebuildScan, [this](net::Request req) { return on_scan(std::move(req)); });
+  eng_.endpoint().register_handler(
+      engine::kOpRebuildFetch, [this](net::Request req) { return on_fetch(std::move(req)); });
+}
+
+sim::CoTask<net::Reply> RebuildService::on_scan(net::Request req) {
+  const auto& r = req.body.get<engine::RebuildScanReq>();
+  if (!r.assign) {
+    engine::RebuildScanResp resp = scan_local(r);
+    const std::uint64_t wire = 128 + 64 * resp.entries.size();
+    co_return net::Reply{Errno::ok, wire, net::Body::make(std::move(resp))};
+  }
+  if (completed_.contains(r.version)) {
+    // Re-driven task (lost reply or a new leader resuming): the local work is
+    // done, only the Raft-committed done marker is missing. Report again; the
+    // state machine dup-guards.
+    sim::CoTask<void> rep = report_done(r.version);
+    sched_.spawn(std::move(rep));
+  } else if (active_.insert(r.version).second) {
+    sim::CoTask<void> run = run_assignment(r.version, r.entries);
+    sched_.spawn(std::move(run));
+  }
+  // Already active: the running assignment will report when it lands.
+  co_return net::Reply{Errno::ok, 64, {}};
+}
+
+sim::CoTask<net::Reply> RebuildService::on_fetch(net::Request req) {
+  const auto& r = req.body.get<engine::RebuildFetchReq>();
+  engine::RebuildFetchResp resp = fetch_records(r);
+  // Source-side cost: the export streams through the target's xstream and
+  // media read path like a foreground fetch.
+  co_await eng_.rebuild_read(r.target, resp.bytes);
+  const std::uint64_t wire = engine::kObjRpcHeader + resp.bytes;
+  co_return net::Reply{Errno::ok, wire, net::Body::make(std::move(resp))};
+}
+
+engine::RebuildScanResp RebuildService::scan_local(const engine::RebuildScanReq& req) {
+  engine::RebuildScanResp resp;
+  const std::uint32_t n = base_map_.target_count();
+
+  // Health views derived from the task's exclusion set (not live health, so a
+  // re-driven scan is deterministic). The resync `window` view additionally
+  // excludes the reintegrating engine: it is the layout clients wrote against
+  // while that engine was away, i.e. where the window's data lives.
+  const auto is_excluded = [&req](net::NodeId e) {
+    return std::find(req.excluded.begin(), req.excluded.end(), e) != req.excluded.end();
+  };
+  pool::PoolMap degraded = base_map_;
+  for (auto& t : degraded.targets) {
+    t.health = is_excluded(t.engine) ? pool::TargetHealth::excluded : pool::TargetHealth::up;
+  }
+  pool::PoolMap window = degraded;
+  if (req.resync) {
+    for (auto& t : window.targets) {
+      if (t.engine == req.reint_node) t.health = pool::TargetHealth::excluded;
+    }
+  }
+  const auto degraded_out = [&degraded](std::uint32_t t) {
+    return degraded.targets[t].health == pool::TargetHealth::excluded;
+  };
+
+  for (std::uint32_t mi = 0; mi < n; ++mi) {
+    if (base_map_.targets[mi].engine != eng_.node()) continue;
+    const std::uint32_t ti = base_map_.targets[mi].target;
+    vos::VosTarget& vt = eng_.vos_target(ti);
+    for (const vos::Uuid& uuid : vt.list_containers()) {
+      const vos::VosContainer* cont = vt.find_container(uuid);
+      if (cont == nullptr) continue;
+      if (!req.resync) {
+        // Epoch mark for a later reintegration resync: only records newer
+        // than this need to flow back. emplace keeps the first mark, so a
+        // re-driven scan does not advance it.
+        marks_.emplace(std::make_tuple(req.version, ti, uuid), cont->current_epoch());
+      }
+      vos::Epoch mark = 0;
+      if (req.resync) {
+        const auto it = marks_.find(std::make_tuple(req.since_version, ti, uuid));
+        if (it != marks_.end()) mark = it->second;
+      }
+      for (const vos::ObjId oid : cont->list_objects()) {
+        const auto clsb = std::uint8_t(oid.hi >> 56);
+        if (clsb < 1 || clsb > 8) continue;  // not a classed object
+        const auto cls = client::ObjClass(clsb);
+        const std::uint32_t reps = client::replica_count(cls);
+        if (reps < 2) continue;  // unreplicated: nothing to heal
+        const std::uint32_t groups = client::group_count(cls, n);
+        const client::GroupLayout nominal =
+            client::compute_nominal_layout(oid, groups, reps, base_map_);
+        if (!req.resync) {
+          const client::GroupLayout current =
+              client::compute_group_layout(oid, groups, reps, degraded);
+          for (std::uint32_t g = 0; g < groups; ++g) {
+            // Canonical source: the first surviving nominal replica. A group
+            // with no survivor cannot be rebuilt (clients see data_loss).
+            std::uint32_t src = n;
+            for (std::uint32_t r = 0; r < reps; ++r) {
+              if (!degraded_out(nominal.at(g, r))) {
+                src = nominal.at(g, r);
+                break;
+              }
+            }
+            if (src != mi) continue;  // another target/engine is canonical
+            for (std::uint32_t r = 0; r < reps; ++r) {
+              if (!degraded_out(nominal.at(g, r))) continue;  // replica survives
+              const std::uint32_t dst = current.at(g, r);
+              if (dst == src || degraded_out(dst)) continue;
+              resp.entries.push_back({uuid, oid, g, src, dst, 0, false});
+            }
+          }
+        } else {
+          // Resync: the engine that covered for the reintegrated replica
+          // during the window pushes the epoch diff back to the nominal slot.
+          const client::GroupLayout windowl =
+              client::compute_group_layout(oid, groups, reps, window);
+          for (std::uint32_t g = 0; g < groups; ++g) {
+            for (std::uint32_t r = 0; r < reps; ++r) {
+              const std::uint32_t dst = nominal.at(g, r);
+              if (base_map_.targets[dst].engine != req.reint_node) continue;
+              const std::uint32_t src = windowl.at(g, r);
+              if (src != mi || src == dst) continue;
+              resp.entries.push_back({uuid, oid, g, src, dst, mark, true});
+            }
+          }
+        }
+      }
+    }
+  }
+  return resp;
+}
+
+engine::RebuildFetchResp RebuildService::fetch_records(const engine::RebuildFetchReq& req) const {
+  engine::RebuildFetchResp resp;
+  const vos::VosContainer* cont = eng_.vos_target(req.target).find_container(req.cont);
+  if (cont == nullptr) return resp;
+  const std::uint32_t groups =
+      client::group_count(client::class_of(req.oid), base_map_.target_count());
+  for (auto& rec : cont->export_object(req.oid, req.min_epoch)) {
+    // Same group routing the client uses: array dkeys are decimal chunk
+    // indices, KV dkeys hash the key string.
+    const std::uint32_t g =
+        rec.is_array
+            ? client::array_chunk_group(req.oid, std::strtoull(rec.dkey.c_str(), nullptr, 10),
+                                        groups)
+            : client::kv_dkey_group(rec.dkey, groups);
+    if (g != req.group) continue;
+    engine::RebuildRecord out;
+    out.dkey = std::move(rec.dkey);
+    out.akey = std::move(rec.akey);
+    out.type = rec.is_array ? engine::RecordType::array : engine::RecordType::single_value;
+    out.length = rec.length;
+    if (!rec.data.empty()) {
+      out.data = std::make_shared<std::vector<std::byte>>(std::move(rec.data));
+    }
+    resp.bytes += out.length;
+    resp.records.push_back(std::move(out));
+  }
+  resp.array_end = cont->array_end_hint(req.oid);
+  return resp;
+}
+
+sim::CoTask<void> RebuildService::run_assignment(std::uint32_t version,
+                                                 std::vector<engine::RebuildEntry> entries) {
+  auto failed = std::make_shared<bool>(false);
+  sim::WaitGroup wg(sched_);
+  for (const auto& e : entries) {
+    wg.spawn(pull_entry(e, failed));
+  }
+  co_await wg.wait();
+  active_.erase(version);
+  if (*failed) co_return;  // coordinator re-drives the task next tick
+  completed_.insert(version);
+  co_await report_done(version);
+}
+
+sim::CoTask<void> RebuildService::pull_entry(engine::RebuildEntry entry,
+                                             std::shared_ptr<bool> failed) {
+  // Throttle: at most cfg_.max_inflight transfers pull concurrently, so
+  // rebuild never monopolises the engine's xstreams and media bandwidth.
+  co_await inflight_.acquire();
+  ++cur_inflight_;
+  peak_inflight_ = std::max(peak_inflight_, cur_inflight_);
+
+  engine::RebuildFetchReq req;
+  req.cont = entry.cont;
+  req.oid = entry.oid;
+  req.target = base_map_.targets[entry.src].target;
+  req.group = entry.group;
+  req.min_epoch = entry.min_epoch;
+
+  const net::NodeId src_engine = base_map_.targets[entry.src].engine;
+  engine::RebuildFetchResp resp;
+  bool ok = false;
+  if (src_engine == eng_.node()) {
+    // Source and destination share this engine: skip the fabric, still pay
+    // the source-side read.
+    resp = fetch_records(req);
+    co_await eng_.rebuild_read(req.target, resp.bytes);
+    ok = true;
+  } else {
+    for (int attempt = 0; attempt < kFetchAttempts && !ok; ++attempt) {
+      net::Body body = net::Body::make(req);
+      net::Reply r = co_await eng_.endpoint().call(src_engine, engine::kOpRebuildFetch,
+                                                   std::move(body), 256);
+      if (r.status == Errno::ok) {
+        resp = std::move(r.body.get<engine::RebuildFetchResp>());
+        ok = true;
+      }
+    }
+  }
+  if (!ok) {
+    *failed = true;
+  } else {
+    apply_records(entry, resp);
+    co_await eng_.rebuild_write(base_map_.targets[entry.dst].target, resp.bytes);
+    sched_.trace_note(kTraceRebuildPull ^ entry.oid.lo ^ (std::uint64_t(entry.dst) << 32));
+  }
+  --cur_inflight_;
+  inflight_.release();
+}
+
+void RebuildService::apply_records(const engine::RebuildEntry& entry,
+                                   const engine::RebuildFetchResp& resp) {
+  const std::uint32_t ti = base_map_.targets[entry.dst].target;
+  vos::VosContainer& cont = eng_.vos_target(ti).container(entry.cont);
+  const bool store = cont.payload_mode() == vos::PayloadMode::store;
+  for (const auto& rec : resp.records) {
+    if (rec.type == engine::RecordType::single_value) {
+      // Eviction rebuild: a value already present here landed during the
+      // degraded window (this destination held nothing for the group before)
+      // and is newer than the pulled image — keep it. A resync overwrites:
+      // the source's window writes supersede the reintegrated replica's
+      // pre-eviction state.
+      if (!entry.resync && cont.kv_get(entry.oid, rec.dkey, rec.akey, vos::kEpochMax).exists) {
+        ++records_;
+        continue;
+      }
+      std::span<const std::byte> val;
+      if (rec.data != nullptr) val = std::span<const std::byte>(*rec.data);
+      cont.kv_put(entry.oid, rec.dkey, rec.akey, val, cont.next_epoch());
+    } else {
+      // VOS epochs are append-only, so the pulled image must land at a fresh
+      // epoch. To keep it from shadowing bytes concurrent client writes
+      // already put here during the degraded window, merge those (newer)
+      // bytes over the image before writing.
+      std::vector<std::byte> img(rec.length, std::byte{0});
+      if (store && rec.data != nullptr) {
+        std::copy(rec.data->begin(), rec.data->end(), img.begin());
+      }
+      if (!entry.resync) {
+        const std::uint64_t local_size =
+            cont.array_size(entry.oid, rec.dkey, rec.akey, vos::kEpochMax);
+        if (local_size > img.size()) img.resize(local_size, std::byte{0});
+        if (local_size > 0 && store) {
+          std::vector<std::byte> local(img.size());
+          std::vector<bool> mask;
+          cont.array_read_masked(entry.oid, rec.dkey, rec.akey, 0, local, mask, vos::kEpochMax);
+          for (std::size_t i = 0; i < img.size(); ++i) {
+            if (mask[i]) img[i] = local[i];
+          }
+        }
+      }
+      const auto data = store ? std::span<const std::byte>(img) : std::span<const std::byte>();
+      cont.array_write(entry.oid, rec.dkey, rec.akey, 0, img.size(), data, cont.next_epoch());
+    }
+    ++records_;
+  }
+  if (resp.array_end > 0) cont.note_array_end(entry.oid, resp.array_end);
+  bytes_ += resp.bytes;
+}
+
+sim::CoTask<void> RebuildService::report_done(std::uint32_t version) {
+  engine::RebuildDoneReq done{eng_.node(), version};
+  std::optional<net::NodeId> hint;
+  for (int attempt = 0; attempt < kDoneAttempts; ++attempt) {
+    const net::NodeId dst =
+        hint ? *hint : svc_nodes_[std::size_t(attempt) % svc_nodes_.size()];
+    hint.reset();
+    net::Body body = net::Body::make(done);
+    net::Reply r =
+        co_await eng_.endpoint().call(dst, engine::kOpRebuildDone, std::move(body), 128);
+    if (r.status == Errno::ok) co_return;
+    if (r.status == Errno::again && r.body.has_value()) {
+      hint = r.body.get<engine::RebuildDoneResp>().leader_hint;
+    }
+    co_await sched_.delay(kDoneRetryDelay);
+  }
+  // Give up quietly: the coordinator re-drives incomplete tasks, the assign
+  // handler re-reports from completed_, and the state machine dup-guards.
+}
+
+}  // namespace daosim::rebuild

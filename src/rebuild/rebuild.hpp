@@ -1,0 +1,81 @@
+// Engine-side rebuild service: answers the pool-service coordinator's
+// rebuild_scan RPCs (find objects whose redundancy group lost a replica, or
+// whose reintegrated replica is stale), pulls the missing records from the
+// surviving source over rebuild_fetch, applies them to the local VOS, and
+// reports rebuild_done to the Raft leader.
+//
+// Throttling: a bounded number of pulls is in flight per engine
+// (RebuildConfig::max_inflight), and every transfer is charged through the
+// engine's xstream + media path, so rebuild traffic shares bandwidth with
+// foreground I/O instead of starving it. See docs/rebuild.md.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "pool/pool_map.hpp"
+#include "sim/sync.hpp"
+
+namespace daosim::rebuild {
+
+struct RebuildConfig {
+  /// Throttle knob: concurrent rebuild pulls per destination engine.
+  std::uint32_t max_inflight = 4;
+};
+
+class RebuildService {
+ public:
+  /// @param base_map   the pool map at connect time (membership only; health
+  ///                   is taken from each scan request's exclusion list)
+  /// @param svc_nodes  pool-service replica nodes (for rebuild_done reports)
+  RebuildService(engine::Engine& eng, pool::PoolMap base_map,
+                 std::vector<net::NodeId> svc_nodes, RebuildConfig cfg = {});
+  RebuildService(const RebuildService&) = delete;
+  RebuildService& operator=(const RebuildService&) = delete;
+
+  const RebuildConfig& config() const { return cfg_; }
+  std::uint64_t records_rebuilt() const { return records_; }
+  std::uint64_t bytes_rebuilt() const { return bytes_; }
+  std::uint32_t peak_inflight() const { return peak_inflight_; }
+
+ private:
+  sim::CoTask<net::Reply> on_scan(net::Request req);
+  sim::CoTask<net::Reply> on_fetch(net::Request req);
+
+  /// Walks this engine's VOS trees and reports the entries it is the
+  /// canonical source for (CPU-only; the data moves later, throttled).
+  engine::RebuildScanResp scan_local(const engine::RebuildScanReq& req);
+  /// Flattens one object's records for the requested group (source side).
+  engine::RebuildFetchResp fetch_records(const engine::RebuildFetchReq& req) const;
+
+  sim::CoTask<void> run_assignment(std::uint32_t version,
+                                   std::vector<engine::RebuildEntry> entries);
+  sim::CoTask<void> pull_entry(engine::RebuildEntry entry, std::shared_ptr<bool> failed);
+  void apply_records(const engine::RebuildEntry& entry, const engine::RebuildFetchResp& resp);
+  sim::CoTask<void> report_done(std::uint32_t version);
+
+  engine::Engine& eng_;
+  sim::Scheduler& sched_;
+  pool::PoolMap base_map_;
+  std::vector<net::NodeId> svc_nodes_;
+  RebuildConfig cfg_;
+  sim::Semaphore inflight_;
+  std::uint32_t cur_inflight_ = 0;
+  std::uint32_t peak_inflight_ = 0;
+  std::set<std::uint32_t> active_;     // task versions currently pulling
+  std::set<std::uint32_t> completed_;  // task versions fully applied locally
+  /// Resync marks: (eviction map version, in-engine target, container) ->
+  /// the container's epoch when the eviction was first scanned. A later
+  /// pool_reint resync only copies records newer than the mark (epoch diff,
+  /// not full copy). Epoch clocks are per-(target, container), so marks are
+  /// recorded exactly where they are later consumed.
+  std::map<std::tuple<std::uint32_t, std::uint32_t, vos::Uuid>, vos::Epoch> marks_;
+  std::uint64_t records_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace daosim::rebuild

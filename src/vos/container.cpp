@@ -65,6 +65,18 @@ std::uint64_t VosContainer::array_read(ObjId oid, const Key& dkey, const Key& ak
   return a->arr.read(offset, out, epoch);
 }
 
+std::uint64_t VosContainer::array_read_masked(ObjId oid, const Key& dkey, const Key& akey,
+                                              std::uint64_t offset, std::span<std::byte> out,
+                                              std::vector<bool>& mask, Epoch epoch) const {
+  const AkeyNode* a = find_akey(oid, dkey, akey);
+  if (a == nullptr || !a->has_arr) {
+    std::fill(out.begin(), out.end(), std::byte{0});
+    mask.assign(out.size(), false);
+    return 0;
+  }
+  return a->arr.read_masked(offset, out, mask, epoch);
+}
+
 std::uint64_t VosContainer::array_size(ObjId oid, const Key& dkey, const Key& akey,
                                        Epoch epoch) const {
   const AkeyNode* a = find_akey(oid, dkey, akey);
@@ -183,6 +195,34 @@ void VosContainer::aggregate(Epoch upto) {
       }
     }
   }
+}
+
+std::vector<VosContainer::ExportRecord> VosContainer::export_object(ObjId oid,
+                                                                    Epoch min_epoch) const {
+  std::vector<ExportRecord> out;
+  for (const Key& dkey : list_dkeys(oid, kEpochMax)) {
+    for (const Key& akey : list_akeys(oid, dkey, kEpochMax)) {
+      const AkeyNode* a = find_akey(oid, dkey, akey);
+      if (a == nullptr) continue;
+      if (a->has_arr && a->arr.latest_epoch() > min_epoch) {
+        const std::uint64_t size = a->arr.size(kEpochMax);
+        if (size == 0) continue;
+        ExportRecord rec{dkey, akey, /*is_array=*/true, size, {}};
+        if (mode_ == PayloadMode::store) {
+          rec.data.resize(size);
+          a->arr.read(0, rec.data, kEpochMax);
+        }
+        out.push_back(std::move(rec));
+      } else if (a->has_sv && a->sv.latest_epoch() > min_epoch) {
+        const auto view = a->sv.get(kEpochMax);
+        if (!view.exists) continue;
+        ExportRecord rec{dkey, akey, /*is_array=*/false, view.size, {}};
+        rec.data.assign(view.data.begin(), view.data.end());
+        out.push_back(std::move(rec));
+      }
+    }
+  }
+  return out;
 }
 
 std::uint64_t VosContainer::stored_bytes() const {

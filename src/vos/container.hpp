@@ -34,6 +34,12 @@ class VosContainer {
   /// Returns bytes that overlapped written data; holes read as zero.
   std::uint64_t array_read(ObjId oid, const Key& dkey, const Key& akey, std::uint64_t offset,
                            std::span<std::byte> out, Epoch epoch) const;
+  /// Like array_read, but also reports the per-byte fill state in `mask`
+  /// (resized to out.size()). Rebuild merges a pulled image under the bytes
+  /// this replica already holds.
+  std::uint64_t array_read_masked(ObjId oid, const Key& dkey, const Key& akey,
+                                  std::uint64_t offset, std::span<std::byte> out,
+                                  std::vector<bool>& mask, Epoch epoch) const;
   std::uint64_t array_size(ObjId oid, const Key& dkey, const Key& akey, Epoch epoch) const;
 
   // --- single-value (KV) records ---
@@ -60,6 +66,21 @@ class VosContainer {
 
   /// Merges record versions <= `upto` (background aggregation service).
   void aggregate(Epoch upto);
+
+  /// One record flattened for rebuild transfer: arrays export their full
+  /// visible image (holes as zeros), single values the latest version.
+  struct ExportRecord {
+    Key dkey;
+    Key akey;
+    bool is_array = false;
+    std::uint64_t length = 0;
+    std::vector<std::byte> data;  // empty in discard mode
+  };
+
+  /// Flattens the object's records newer than `min_epoch` (per this
+  /// container's epoch clock; 0 = everything) for replication to a peer
+  /// target. Records are emitted in dkey/akey tree order.
+  std::vector<ExportRecord> export_object(ObjId oid, Epoch min_epoch) const;
 
   std::size_t object_count() const { return objects_.size(); }
   std::uint64_t stored_bytes() const;

@@ -3,7 +3,9 @@
 // routes object shard I/O here.
 #pragma once
 
+#include <algorithm>
 #include <unordered_map>
+#include <vector>
 
 #include "vos/container.hpp"
 
@@ -31,6 +33,16 @@ class VosTarget {
 
   std::size_t container_count() const { return containers_.size(); }
   PayloadMode payload_mode() const { return mode_; }
+
+  /// Container UUIDs in sorted order (the backing map is unordered; the
+  /// rebuild scanner needs a deterministic walk).
+  std::vector<Uuid> list_containers() const {
+    std::vector<Uuid> out;
+    out.reserve(containers_.size());
+    for (const auto& [uuid, c] : containers_) out.push_back(uuid);
+    std::sort(out.begin(), out.end());
+    return out;
+  }
 
   std::uint64_t stored_bytes() const {
     std::uint64_t total = 0;

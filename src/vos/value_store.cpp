@@ -101,14 +101,20 @@ void ArrayStore::punch_all(Epoch epoch) {
 
 std::uint64_t ArrayStore::read(std::uint64_t offset, std::span<std::byte> out,
                                Epoch epoch) const {
+  std::vector<bool> filled;
+  return read_masked(offset, out, filled, epoch);
+}
+
+std::uint64_t ArrayStore::read_masked(std::uint64_t offset, std::span<std::byte> out,
+                                      std::vector<bool>& filled, Epoch epoch) const {
   std::fill(out.begin(), out.end(), std::byte{0});
+  filled.assign(out.size(), false);
   if (out.empty()) return 0;
   const Epoch floor = last_full_punch_at(epoch);
   const std::uint64_t end = offset + out.size();
 
   // Overlay extents oldest-to-newest: later versions overwrite earlier ones.
   // Track fill state per byte to report the filled count.
-  std::vector<bool> filled(out.size(), false);
   for (const auto& e : extents_) {
     if (e.epoch > epoch || e.epoch <= floor) continue;
     const std::uint64_t lo = std::max(offset, e.offset);

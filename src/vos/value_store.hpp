@@ -34,6 +34,10 @@ class SingleValueStore {
 
   std::size_t version_count() const { return versions_.size(); }
 
+  /// Epoch of the newest version (0 if empty). Rebuild resync uses this to
+  /// skip records the stale replica already holds.
+  Epoch latest_epoch() const { return versions_.empty() ? 0 : versions_.back().epoch; }
+
  private:
   struct Version {
     Epoch epoch;
@@ -61,6 +65,12 @@ class ArrayStore {
   /// written data (the "filled" count).
   std::uint64_t read(std::uint64_t offset, std::span<std::byte> out, Epoch epoch) const;
 
+  /// Like read(), but also reports the per-byte fill state in `mask`
+  /// (resized to out.size()). Rebuild uses the mask to merge a pulled image
+  /// under bytes the local replica already holds.
+  std::uint64_t read_masked(std::uint64_t offset, std::span<std::byte> out,
+                            std::vector<bool>& mask, Epoch epoch) const;
+
   /// Highest written offset+length visible at `epoch` (0 if empty/punched).
   std::uint64_t size(Epoch epoch) const;
 
@@ -69,6 +79,14 @@ class ArrayStore {
 
   std::size_t extent_count() const { return extents_.size(); }
   std::uint64_t stored_bytes() const { return stored_bytes_; }
+
+  /// Epoch of the newest extent or full punch (0 if empty). Rebuild resync
+  /// uses this to skip akeys the stale replica already holds.
+  Epoch latest_epoch() const {
+    const Epoch e = extents_.empty() ? 0 : extents_.back().epoch;
+    const Epoch p = full_punches_.empty() ? 0 : full_punches_.back();
+    return e > p ? e : p;
+  }
 
  private:
   struct Extent {

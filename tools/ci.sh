@@ -8,6 +8,8 @@
 #   tools/ci.sh tsan       TSan build + ctest (optional; sim is single-threaded)
 #   tools/ci.sh faults     fault-injection suite only (release build; the
 #                          asan stage re-runs it under ASan+UBSan)
+#   tools/ci.sh rebuild    self-healing redundancy suite only (release build;
+#                          the asan stage re-runs it under ASan+UBSan)
 #
 # Every configuration runs the full ctest suite, which itself includes the
 # lint tree scan and lint self-test, so `ctest` alone also catches violations.
@@ -58,6 +60,18 @@ if [[ $STAGE == faults ]]; then
   echo "=== [faults] ctest ==="
   ctest --test-dir build-ci-faults --output-on-failure -j "$JOBS" \
     -R 'FaultSchedule|FaultDeterminism|FaultAcceptance|FaultDelayOnly|RetryBackoff|RetryPath|RaftFailover|Idempotency|RpcInflight|Placement\.'
+fi
+
+if [[ $STAGE == rebuild ]]; then
+  # Focused self-healing run: replicated placement, the rebuild-task state
+  # machine, degraded reads/data-loss, crash-mid-IOR healing, reintegration
+  # resync, and seeded rebuild-trace determinism.
+  echo "=== [rebuild] configure + build ==="
+  cmake -B build-ci-rebuild -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-ci-rebuild -j "$JOBS" --target rebuild_test determinism_test
+  echo "=== [rebuild] ctest ==="
+  ctest --test-dir build-ci-rebuild --output-on-failure -j "$JOBS" \
+    -R 'GroupPlacement|RebuildSm|Rebuild\.|RebuildDeterminism'
 fi
 
 echo "=== CI ($STAGE) passed ==="

@@ -29,6 +29,12 @@ coroutine-heavy C++ codebases:
                       wrappers (call_with_deadline / call_retry / call_target)
                       so every RPC gets a deadline, bounded retries, and the
                       eviction path; a raw call hangs forever on a dead node.
+  rebuild-idempotency A dispatch on the "rebuild_done" command whose handler
+                      body has no duplicate-apply guard (set insert(..).second,
+                      .count(, or .contains(). rebuild_done reports are retried
+                      on lost replies and re-driven tasks, so an unguarded
+                      handler double-counts the reporting engine and declares
+                      rebuild complete too early.
 
 Suppression: append  // daosim-lint: allow(<rule>)  to the offending line,
 or put  // daosim-lint: allow-file(<rule>)  anywhere in the file.
@@ -47,7 +53,7 @@ import re
 import sys
 
 RULES = ("spawn-temporary", "wall-clock", "unordered-iteration", "ignored-result",
-         "raw-rpc-call")
+         "raw-rpc-call", "rebuild-idempotency")
 
 # wall-clock applies to src/ only: tests and benches may legitimately measure
 # host time; the simulation itself never may.
@@ -389,6 +395,55 @@ def check_raw_rpc_call(path, text, clean):
     return out
 
 
+# The dispatch literal lives in the RAW text (string literals are blanked in
+# `clean`), but structure scanning and the guard search use `clean` so that a
+# comment merely mentioning ".contains(" never counts as a guard. Offsets are
+# aligned: blanking preserves positions.
+REBUILD_DISPATCH_RE = re.compile(r'==\s*"rebuild_done"')
+REBUILD_GUARD_RE = re.compile(
+    r"\.\s*insert\s*\([^;]*?\)\s*\.\s*second|\.\s*count\s*\(|\.\s*contains\s*\(")
+
+
+def check_rebuild_idempotency(path, text, clean):
+    """A `== "rebuild_done"` dispatch must guard its handler body against
+    duplicate application: reports are retried on lost replies and re-driven
+    tasks, so the same (engine, version) reaches the handler more than once."""
+    out = []
+    n = len(clean)
+    for m in REBUILD_DISPATCH_RE.finditer(text):
+        # Find the close of the enclosing if-condition: we are nested one
+        # paren deep. Bail to a fixed window if the comparison turns out not
+        # to sit inside parens (e.g. assigned to a flag dispatched elsewhere).
+        pos, depth = m.end(), 1
+        while pos < n and depth > 0 and clean[pos] not in ";{":
+            if clean[pos] == "(":
+                depth += 1
+            elif clean[pos] == ")":
+                depth -= 1
+            pos += 1
+        if depth == 0:
+            while pos < n and clean[pos].isspace():
+                pos += 1
+            if pos < n and clean[pos] == "{":
+                body = clean[pos : skip_balanced(clean, pos, "{", "}")]
+            else:
+                body = clean[pos : clean.find(";", pos) + 1]
+        else:
+            body = clean[m.end() : m.end() + 600]
+        if not REBUILD_GUARD_RE.search(body):
+            out.append(
+                Violation(
+                    path,
+                    line_of(text, m.start()),
+                    "rebuild-idempotency",
+                    'the "rebuild_done" handler has no duplicate-apply guard: '
+                    "retried reports double-count the engine; record done-set "
+                    "membership via insert(..).second / count() / contains()",
+                )
+            )
+    return out
+
+
 # ----------------------------------------------------------- driver ----
 
 
@@ -406,6 +461,7 @@ def lint_file(path, rel, result_fns, wall_clock_scope, raw_rpc_scope=False):
     violations += check_ignored_result(rel, text, clean, result_fns)
     if raw_rpc_scope:
         violations += check_raw_rpc_call(rel, text, clean)
+    violations += check_rebuild_idempotency(rel, text, clean)
 
     # Apply suppressions from the original text (comments live there).
     file_allows = set()

@@ -1,0 +1,60 @@
+// Fixture: rebuild-idempotency — the "rebuild_done" command dispatch must be
+// duplicate-apply guarded. Reports are retried on lost replies and re-driven
+// tasks, so the same (engine, version) reaches apply() more than once.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+namespace fixture {
+
+struct Task {
+  std::set<unsigned> done;
+};
+
+struct GuardedSm {
+  std::map<unsigned, Task> rebuilds;
+
+  // GOOD: insert(..).second absorbs the duplicate before it can count.
+  std::string apply(const std::string& op, unsigned engine, unsigned version) {
+    if (op == "rebuild_done") {
+      auto it = rebuilds.find(version);
+      if (it == rebuilds.end()) return "ok stale";
+      if (!it->second.done.insert(engine).second) return "ok dup";
+      return "ok";
+    }
+    return "EINVAL";
+  }
+};
+
+struct MembershipSm {
+  std::map<unsigned, Task> rebuilds;
+
+  // GOOD: contains() membership test before mutating.
+  std::string apply(const std::string& op, unsigned engine, unsigned version) {
+    if (op == "rebuild_done") {
+      if (rebuilds[version].done.contains(engine)) return "ok dup";
+      rebuilds[version].done.emplace(engine);
+      return "ok";
+    }
+    return "EINVAL";
+  }
+};
+
+struct UnguardedSm {
+  std::map<unsigned, Task> rebuilds;
+  unsigned reports = 0;
+
+  // BAD: a retried report re-runs the body and double-counts the engine.
+  std::string apply(const std::string& op, unsigned engine, unsigned version) {
+    if (op == "rebuild_done") {  // EXPECT-LINT: rebuild-idempotency
+      rebuilds[version].done.emplace(engine);
+      ++reports;
+      return "ok";
+    }
+    return "EINVAL";
+  }
+};
+
+}  // namespace fixture
