@@ -338,7 +338,7 @@ sim::CoTask<Result<std::vector<std::byte>>> KvObject::get(const vos::Key& dkey,
   // (spreads load); first one holding the record wins.
   const std::uint32_t r0 =
       nreps == 1 ? 0 : std::uint32_t(mix64(key_hash(dkey) ^ oid_.lo) % nreps);
-  bool saw_missing = false;
+  bool all_answered = true;
   Errno last = Errno::io;
   for (std::uint32_t i = 0; i < nreps; ++i) {
     const std::uint32_t rep = (r0 + i) % nreps;
@@ -354,6 +354,7 @@ sim::CoTask<Result<std::vector<std::byte>>> KvObject::get(const vos::Key& dkey,
     }
     if (r.status != Errno::ok) {
       last = r.status;
+      all_answered = false;
       continue;
     }
     auto& resp = r.body.get<ObjFetchResp>();
@@ -361,13 +362,15 @@ sim::CoTask<Result<std::vector<std::byte>>> KvObject::get(const vos::Key& dkey,
       if (resp.data == nullptr) co_return std::vector<std::byte>{};
       co_return std::move(*resp.data);
     }
-    saw_missing = true;
   }
   if (group_lost(g)) {
     client_.note_data_loss(oid_, g);
     co_return Errno::data_loss;
   }
-  co_return saw_missing ? Errno::no_entry : last;
+  // "Key does not exist" is only definitive when every replica answered: an
+  // ok-but-missing reply from a not-yet-rebuilt substitute must not mask a
+  // failed replica that may actually hold the record.
+  co_return all_answered ? Errno::no_entry : last;
 }
 
 sim::CoTask<Result<std::vector<vos::Key>>> KvObject::list_dkeys() {
@@ -595,6 +598,7 @@ sim::CoTask<void> ArrayObject::fetch_piece(std::uint64_t chunk_idx, engine::ObjF
   const std::uint32_t r0 =
       nreps == 1 ? 0 : std::uint32_t(mix64(chunk_idx ^ mix64(oid_.lo)) % nreps);
   bool have_best = false;
+  bool all_answered = true;
   std::uint64_t best_filled = 0;
   engine::Payload best_data;
   Errno last = Errno::io;
@@ -612,6 +616,7 @@ sim::CoTask<void> ArrayObject::fetch_piece(std::uint64_t chunk_idx, engine::ObjF
     }
     if (reply.status != Errno::ok) {
       last = reply.status;
+      all_answered = false;
       continue;
     }
     auto& resp = reply.body.get<ObjFetchResp>();
@@ -636,10 +641,17 @@ sim::CoTask<void> ArrayObject::fetch_piece(std::uint64_t chunk_idx, engine::ObjF
     std::copy(best_data->begin(), best_data->end(), dst.begin());
   }
   // A short read whose group lost every nominal replica is data loss, not a
-  // legitimate hole: surface it instead of silently returning zeros.
-  if (best_filled < req.length && group_lost(g)) {
-    client_.note_data_loss(oid_, g);
-    *status = Errno::data_loss;
+  // legitimate hole: surface it instead of silently returning zeros. A short
+  // read with a failed replica is equally inconclusive — a 0-filled answer
+  // from an empty substitute must not pass off as a hole while the replica
+  // that may hold the bytes was unreachable.
+  if (best_filled < req.length) {
+    if (group_lost(g)) {
+      client_.note_data_loss(oid_, g);
+      *status = Errno::data_loss;
+    } else if (!all_answered) {
+      *status = last;
+    }
   }
 }
 

@@ -126,6 +126,9 @@ void Testbed::crash_engine(std::uint32_t i) {
 void Testbed::restart_engine(std::uint32_t i) {
   DAOSIM_REQUIRE(i < engines_.size(), "restart_engine: no engine %u", i);
   const net::NodeId node = engines_[i]->node();
+  // Pin resync epoch floors before the endpoint comes back up, so the first
+  // post-restart client write is already above the floor.
+  rebuilds_[i]->note_restart();
   engines_[i]->endpoint().set_down(false);
   for (std::uint32_t s = 0; s < svc_.size(); ++s) {
     if (svc_nodes_[s] == node && !svc_[s]->raft().running()) svc_[s]->raft().restart();

@@ -112,12 +112,43 @@ std::string PoolMetaSm::apply(const std::string& command) {
 }
 
 void PoolMetaSm::start_rebuild(bool resync, net::NodeId node, std::uint32_t since_version) {
-  // A newer map change invalidates in-flight scans: mark them superseded (the
-  // new task's scan covers anything they would have moved).
-  for (auto& [v, t] : rebuilds_) {
-    if (!t.complete()) t.superseded = true;
-  }
   if (engines_.empty()) return;  // no roster: rebuild coordination disabled
+  // A newer map change invalidates in-flight scans (they ran against a stale
+  // exclusion set), but superseding must not drop their work: an eviction
+  // scan only re-replicates onto substitutes for the current exclusion set,
+  // and a resync scan only pushes one engine's window diff. Anything the new
+  // event's own scan does not cover is re-queued as a fresh task against the
+  // new map.
+  bool requeue_repair = false;
+  std::map<net::NodeId, std::uint32_t> requeue_resyncs;  // node -> since_version
+  for (auto& [v, t] : rebuilds_) {
+    if (t.complete()) continue;
+    t.superseded = true;
+    if (t.resync) {
+      // A pending resync survives unless its engine was evicted again (then
+      // the eviction rebuild restores its replicas from the survivors) or
+      // this very event re-creates it.
+      if (t.node != node && !excluded_.contains(t.node)) {
+        requeue_resyncs.emplace(t.node, t.since_version);
+      }
+    } else if (resync) {
+      // A reintegration scan does not re-replicate data for engines that are
+      // still excluded: carry the pending eviction repair forward.
+      requeue_repair = true;
+    }
+  }
+  queue_task(resync, node, since_version);
+  for (const auto& [n, since] : requeue_resyncs) {
+    ++map_version_;
+    queue_task(/*resync=*/true, n, since);
+  }
+  if (requeue_repair && !excluded_.empty()) {
+    ++map_version_;
+    queue_task(/*resync=*/false, /*node=*/0, /*since_version=*/0);
+  }
+}
+
+void PoolMetaSm::queue_task(bool resync, net::NodeId node, std::uint32_t since_version) {
   RebuildTask task;
   task.version = map_version_;
   task.resync = resync;
@@ -140,6 +171,14 @@ std::optional<std::uint32_t> PoolMetaSm::newest_incomplete_rebuild() const {
   std::optional<std::uint32_t> out;
   for (const auto& [v, t] : rebuilds_) {
     if (!t.complete()) out = v;
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> PoolMetaSm::incomplete_rebuilds() const {
+  std::vector<std::uint32_t> out;
+  for (const auto& [v, t] : rebuilds_) {
+    if (!t.complete()) out.push_back(v);
   }
   return out;
 }
@@ -277,10 +316,15 @@ sim::CoTask<void> PoolServiceReplica::coordinator_loop() {
     co_await sched.delay(kCoordTick);
     if (!coord_running_) break;
     if (!raft_->is_leader() || driving_) continue;
-    const auto version = sm_.newest_incomplete_rebuild();
-    if (!version.has_value()) continue;
+    const std::vector<std::uint32_t> versions = sm_.incomplete_rebuilds();
+    if (versions.empty()) continue;
     driving_ = true;
-    co_await drive_task(*version);
+    // Drive every pending task, oldest first: after a re-queue, an eviction
+    // repair and one or more resyncs can be in flight at the same time.
+    for (const std::uint32_t version : versions) {
+      if (!coord_running_ || !raft_->is_leader()) break;
+      co_await drive_task(version);
+    }
     driving_ = false;
   }
 }
@@ -300,11 +344,15 @@ sim::CoTask<void> PoolServiceReplica::drive_task(std::uint32_t version) {
   base.excluded.assign(task.excluded.begin(), task.excluded.end());
 
   // Phase 1: every participant scans its VOS trees and reports the entries it
-  // is the canonical source for. Participants already done are skipped — a
-  // re-driven task (leader crash, lost reply) only touches the remainder.
+  // is the canonical source for. Done participants are NOT skipped here —
+  // `done` means an engine finished its destination-side assignment, but its
+  // scan feeds other destinations' assignments. A re-driven task (failed
+  // pulls, leader crash, lost reply) must see the full entry set, or the
+  // remaining destinations would silently complete against a partial one.
+  // Scans are read-only and mark-recording is first-wins, so re-scanning a
+  // done engine is idempotent.
   std::vector<engine::RebuildEntry> entries;
   for (const net::NodeId node : task.participants) {
-    if (task.done.contains(node)) continue;
     engine::RebuildScanReq req = base;
     Body body = Body::make(std::move(req));
     Reply r = co_await ep_.call(node, engine::kOpRebuildScan, std::move(body), 512);

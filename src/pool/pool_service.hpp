@@ -79,12 +79,18 @@ class PoolMetaSm final : public raft::StateMachine {
 
   const std::map<std::uint32_t, RebuildTask>& rebuild_tasks() const { return rebuilds_; }
   const RebuildTask* rebuild_task(std::uint32_t version) const;
-  /// Highest-version task still in flight (the one the leader drives).
+  /// Highest-version task still in flight.
   std::optional<std::uint32_t> newest_incomplete_rebuild() const;
+  /// All in-flight task versions, ascending (the leader drives each in turn:
+  /// after a re-queue several tasks can be pending at once).
+  std::vector<std::uint32_t> incomplete_rebuilds() const;
   std::size_t rebuilds_incomplete() const;
 
  private:
   void start_rebuild(bool resync, net::NodeId node, std::uint32_t since_version);
+  /// Creates one rebuild task at the current map version against the current
+  /// exclusion set and surviving-engine roster.
+  void queue_task(bool resync, net::NodeId node, std::uint32_t since_version);
 
   std::map<vos::Uuid, ContMeta> containers_;
   std::uint32_t map_version_ = 1;

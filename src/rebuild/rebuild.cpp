@@ -37,6 +37,9 @@ RebuildService::RebuildService(engine::Engine& eng, pool::PoolMap base_map,
 
 sim::CoTask<net::Reply> RebuildService::on_scan(net::Request req) {
   const auto& r = req.body.get<engine::RebuildScanReq>();
+  // Resync targeting this engine: pin the destination-side epoch floors now
+  // (first receipt wins), before any pulled window image can be applied.
+  if (r.resync && r.reint_node == eng_.node()) record_task_floors(r.version);
   if (!r.assign) {
     engine::RebuildScanResp resp = scan_local(r);
     const std::uint64_t wire = 128 + 64 * resp.entries.size();
@@ -190,12 +193,51 @@ engine::RebuildFetchResp RebuildService::fetch_records(const engine::RebuildFetc
   return resp;
 }
 
+void RebuildService::note_restart() {
+  for (std::uint32_t t = 0; t < eng_.target_count(); ++t) {
+    vos::VosTarget& vt = eng_.vos_target(t);
+    for (const vos::Uuid& uuid : vt.list_containers()) {
+      if (const vos::VosContainer* cont = vt.find_container(uuid)) {
+        // Latest restart wins: each crash/restart cycle starts a new
+        // eviction generation, and only the newest one can have a pending
+        // resync (a re-eviction supersedes and drops the old resync task).
+        restart_floors_[{t, uuid}] = cont->current_epoch();
+      }
+    }
+  }
+}
+
+void RebuildService::record_task_floors(std::uint32_t version) {
+  if (task_floors_.contains(version)) return;
+  auto& floors = task_floors_[version];
+  for (std::uint32_t t = 0; t < eng_.target_count(); ++t) {
+    vos::VosTarget& vt = eng_.vos_target(t);
+    for (const vos::Uuid& uuid : vt.list_containers()) {
+      const vos::VosContainer* cont = vt.find_container(uuid);
+      if (cont == nullptr) continue;
+      const auto it = restart_floors_.find({t, uuid});
+      // No restart floor (live eviction, no crash): fall back to the clock
+      // at first receipt. Post-reint writes racing ahead of this RPC slip
+      // under the fallback floor — a window the restart path closes.
+      floors[{t, uuid}] = it != restart_floors_.end() ? it->second : cont->current_epoch();
+    }
+  }
+}
+
+vos::Epoch RebuildService::task_floor(std::uint32_t version, std::uint32_t target,
+                                      const vos::Uuid& cont) const {
+  const auto it = task_floors_.find(version);
+  if (it == task_floors_.end()) return 0;
+  const auto fit = it->second.find({target, cont});
+  return fit != it->second.end() ? fit->second : 0;
+}
+
 sim::CoTask<void> RebuildService::run_assignment(std::uint32_t version,
                                                  std::vector<engine::RebuildEntry> entries) {
   auto failed = std::make_shared<bool>(false);
   sim::WaitGroup wg(sched_);
   for (const auto& e : entries) {
-    wg.spawn(pull_entry(e, failed));
+    wg.spawn(pull_entry(version, e, failed));
   }
   co_await wg.wait();
   active_.erase(version);
@@ -204,7 +246,7 @@ sim::CoTask<void> RebuildService::run_assignment(std::uint32_t version,
   co_await report_done(version);
 }
 
-sim::CoTask<void> RebuildService::pull_entry(engine::RebuildEntry entry,
+sim::CoTask<void> RebuildService::pull_entry(std::uint32_t version, engine::RebuildEntry entry,
                                              std::shared_ptr<bool> failed) {
   // Throttle: at most cfg_.max_inflight transfers pull concurrently, so
   // rebuild never monopolises the engine's xstreams and media bandwidth.
@@ -242,7 +284,7 @@ sim::CoTask<void> RebuildService::pull_entry(engine::RebuildEntry entry,
   if (!ok) {
     *failed = true;
   } else {
-    apply_records(entry, resp);
+    apply_records(version, entry, resp);
     co_await eng_.rebuild_write(base_map_.targets[entry.dst].target, resp.bytes);
     sched_.trace_note(kTraceRebuildPull ^ entry.oid.lo ^ (std::uint64_t(entry.dst) << 32));
   }
@@ -250,19 +292,27 @@ sim::CoTask<void> RebuildService::pull_entry(engine::RebuildEntry entry,
   inflight_.release();
 }
 
-void RebuildService::apply_records(const engine::RebuildEntry& entry,
+void RebuildService::apply_records(std::uint32_t version, const engine::RebuildEntry& entry,
                                    const engine::RebuildFetchResp& resp) {
   const std::uint32_t ti = base_map_.targets[entry.dst].target;
   vos::VosContainer& cont = eng_.vos_target(ti).container(entry.cont);
   const bool store = cont.payload_mode() == vos::PayloadMode::store;
+  // Resync cut: records the destination wrote at or below the floor are
+  // pre-eviction state the window image supersedes; anything above it is an
+  // acknowledged post-reintegration client write that must stay on top.
+  const vos::Epoch floor = entry.resync ? task_floor(version, ti, entry.cont) : 0;
   for (const auto& rec : resp.records) {
     if (rec.type == engine::RecordType::single_value) {
       // Eviction rebuild: a value already present here landed during the
       // degraded window (this destination held nothing for the group before)
-      // and is newer than the pulled image — keep it. A resync overwrites:
-      // the source's window writes supersede the reintegrated replica's
-      // pre-eviction state.
+      // and is newer than the pulled image — keep it. A resync overwrites
+      // pre-eviction state, but skips values (and punches) this replica
+      // wrote after reintegration: those are newer than the window image.
       if (!entry.resync && cont.kv_get(entry.oid, rec.dkey, rec.akey, vos::kEpochMax).exists) {
+        ++records_;
+        continue;
+      }
+      if (entry.resync && cont.kv_latest_epoch(entry.oid, rec.dkey, rec.akey) > floor) {
         ++records_;
         continue;
       }
@@ -271,24 +321,29 @@ void RebuildService::apply_records(const engine::RebuildEntry& entry,
       cont.kv_put(entry.oid, rec.dkey, rec.akey, val, cont.next_epoch());
     } else {
       // VOS epochs are append-only, so the pulled image must land at a fresh
-      // epoch. To keep it from shadowing bytes concurrent client writes
-      // already put here during the degraded window, merge those (newer)
-      // bytes over the image before writing.
+      // epoch. To keep it from shadowing newer local bytes, merge those over
+      // the image first: for an eviction rebuild everything local is newer
+      // (degraded-window writes); for a resync only bytes written after the
+      // reintegration floor are (pre-eviction bytes lose to the image).
       std::vector<std::byte> img(rec.length, std::byte{0});
       if (store && rec.data != nullptr) {
         std::copy(rec.data->begin(), rec.data->end(), img.begin());
       }
-      if (!entry.resync) {
-        const std::uint64_t local_size =
-            cont.array_size(entry.oid, rec.dkey, rec.akey, vos::kEpochMax);
-        if (local_size > img.size()) img.resize(local_size, std::byte{0});
-        if (local_size > 0 && store) {
-          std::vector<std::byte> local(img.size());
-          std::vector<bool> mask;
-          cont.array_read_masked(entry.oid, rec.dkey, rec.akey, 0, local, mask, vos::kEpochMax);
-          for (std::size_t i = 0; i < img.size(); ++i) {
-            if (mask[i]) img[i] = local[i];
-          }
+      const std::uint64_t local_size =
+          cont.array_size(entry.oid, rec.dkey, rec.akey, vos::kEpochMax);
+      if (local_size > img.size()) img.resize(local_size, std::byte{0});
+      if (store && (local_size > 0 || entry.resync)) {
+        std::vector<std::byte> local(img.size());
+        std::vector<bool> mask;
+        cont.array_read_masked(entry.oid, rec.dkey, rec.akey, 0, local, mask, vos::kEpochMax);
+        if (entry.resync) {
+          // Only bytes touched after the floor are newer than the image; a
+          // post-reint punch masks too (its bytes read back as zeros).
+          mask.assign(img.size(), false);
+          cont.array_mask_newer(entry.oid, rec.dkey, rec.akey, 0, floor, mask);
+        }
+        for (std::size_t i = 0; i < img.size(); ++i) {
+          if (mask[i]) img[i] = local[i];
         }
       }
       const auto data = store ? std::span<const std::byte>(img) : std::span<const std::byte>();

@@ -42,6 +42,13 @@ class RebuildService {
   std::uint64_t bytes_rebuilt() const { return bytes_; }
   std::uint32_t peak_inflight() const { return peak_inflight_; }
 
+  /// Called by the harness when this engine comes back up after a crash.
+  /// Records each local container's epoch clock as a resync floor: the clock
+  /// is frozen while the engine is down, so everything at or below the floor
+  /// is pre-eviction state a later resync may overwrite, and everything above
+  /// it is a post-reintegration client write that must not be shadowed.
+  void note_restart();
+
  private:
   sim::CoTask<net::Reply> on_scan(net::Request req);
   sim::CoTask<net::Reply> on_fetch(net::Request req);
@@ -54,9 +61,17 @@ class RebuildService {
 
   sim::CoTask<void> run_assignment(std::uint32_t version,
                                    std::vector<engine::RebuildEntry> entries);
-  sim::CoTask<void> pull_entry(engine::RebuildEntry entry, std::shared_ptr<bool> failed);
-  void apply_records(const engine::RebuildEntry& entry, const engine::RebuildFetchResp& resp);
+  sim::CoTask<void> pull_entry(std::uint32_t version, engine::RebuildEntry entry,
+                               std::shared_ptr<bool> failed);
+  void apply_records(std::uint32_t version, const engine::RebuildEntry& entry,
+                     const engine::RebuildFetchResp& resp);
   sim::CoTask<void> report_done(std::uint32_t version);
+
+  /// Pins this resync task's destination-side epoch floors on the first
+  /// scan/assign receipt naming this engine as the reintegrated node.
+  void record_task_floors(std::uint32_t version);
+  vos::Epoch task_floor(std::uint32_t version, std::uint32_t target,
+                        const vos::Uuid& cont) const;
 
   engine::Engine& eng_;
   sim::Scheduler& sched_;
@@ -74,6 +89,17 @@ class RebuildService {
   /// not full copy). Epoch clocks are per-(target, container), so marks are
   /// recorded exactly where they are later consumed.
   std::map<std::tuple<std::uint32_t, std::uint32_t, vos::Uuid>, vos::Epoch> marks_;
+  /// Per-(target, container) epoch clock at the most recent restart. The
+  /// clock freezes while the engine is down, so this separates pre-eviction
+  /// records (<= floor) from post-reintegration client writes (> floor).
+  std::map<std::pair<std::uint32_t, vos::Uuid>, vos::Epoch> restart_floors_;
+  /// Resync floors pinned per task version at the first scan/assign receipt
+  /// (restart floor when one exists, current clock otherwise — for live
+  /// evictions that never went through a restart). Containers absent at
+  /// pin time default to floor 0, i.e. everything they hold is preserved:
+  /// a container created after reintegration has no pre-eviction state.
+  std::map<std::uint32_t, std::map<std::pair<std::uint32_t, vos::Uuid>, vos::Epoch>>
+      task_floors_;
   std::uint64_t records_ = 0;
   std::uint64_t bytes_ = 0;
 };

@@ -99,6 +99,18 @@ SingleValueStore::View VosContainer::kv_get(ObjId oid, const Key& dkey, const Ke
   return a->sv.get(epoch);
 }
 
+Epoch VosContainer::kv_latest_epoch(ObjId oid, const Key& dkey, const Key& akey) const {
+  const AkeyNode* a = find_akey(oid, dkey, akey);
+  return (a != nullptr && a->has_sv) ? a->sv.latest_epoch() : 0;
+}
+
+void VosContainer::array_mask_newer(ObjId oid, const Key& dkey, const Key& akey,
+                                    std::uint64_t offset, Epoch since,
+                                    std::vector<bool>& mask) const {
+  const AkeyNode* a = find_akey(oid, dkey, akey);
+  if (a != nullptr && a->has_arr) a->arr.mask_newer_than(offset, since, mask);
+}
+
 void VosContainer::punch_akey(ObjId oid, const Key& dkey, const Key& akey, Epoch epoch) {
   auto* a = const_cast<AkeyNode*>(find_akey(oid, dkey, akey));
   if (a == nullptr) return;

@@ -46,6 +46,14 @@ class VosContainer {
   void kv_put(ObjId oid, const Key& dkey, const Key& akey, std::span<const std::byte> value,
               Epoch epoch);
   SingleValueStore::View kv_get(ObjId oid, const Key& dkey, const Key& akey, Epoch epoch) const;
+  /// Epoch of the akey's newest single-value version (puts and punches);
+  /// 0 if the akey holds no single value. Rebuild resync compares this to
+  /// its reintegration floor to avoid shadowing post-reint writes.
+  Epoch kv_latest_epoch(ObjId oid, const Key& dkey, const Key& akey) const;
+  /// Sets mask bits for bytes of [offset, offset + mask.size()) the akey's
+  /// array store touched after `since` (see ArrayStore::mask_newer_than).
+  void array_mask_newer(ObjId oid, const Key& dkey, const Key& akey, std::uint64_t offset,
+                        Epoch since, std::vector<bool>& mask) const;
 
   // --- punch ---
   void punch_akey(ObjId oid, const Key& dkey, const Key& akey, Epoch epoch);

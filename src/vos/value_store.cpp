@@ -134,6 +134,22 @@ std::uint64_t ArrayStore::read_masked(std::uint64_t offset, std::span<std::byte>
   return std::uint64_t(std::count(filled.begin(), filled.end(), true));
 }
 
+void ArrayStore::mask_newer_than(std::uint64_t offset, Epoch since,
+                                 std::vector<bool>& mask) const {
+  if (mask.empty()) return;
+  if (!full_punches_.empty() && full_punches_.back() > since) {
+    std::fill(mask.begin(), mask.end(), true);
+    return;
+  }
+  const std::uint64_t end = offset + mask.size();
+  for (const auto& e : extents_) {
+    if (e.epoch <= since) continue;
+    const std::uint64_t lo = std::max(offset, e.offset);
+    const std::uint64_t hi = std::min(end, e.offset + e.length);
+    for (std::uint64_t b = lo; b < hi; ++b) mask[std::size_t(b - offset)] = true;
+  }
+}
+
 std::uint64_t ArrayStore::size(Epoch epoch) const {
   const Epoch floor = last_full_punch_at(epoch);
   std::uint64_t max_end = 0;

@@ -74,6 +74,12 @@ class ArrayStore {
   /// Highest written offset+length visible at `epoch` (0 if empty/punched).
   std::uint64_t size(Epoch epoch) const;
 
+  /// Sets mask bits for bytes in [offset, offset + mask.size()) touched by
+  /// any extent, range punch, or full punch recorded after `since`. Rebuild
+  /// resync uses this to keep bytes the replica wrote after reintegration on
+  /// top of the pulled window image. Only sets bits, never clears them.
+  void mask_newer_than(std::uint64_t offset, Epoch since, std::vector<bool>& mask) const;
+
   /// Merges all versions <= `upto` into flat non-overlapping extents.
   void aggregate(Epoch upto, PayloadMode mode);
 

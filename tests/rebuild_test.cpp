@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "co_assert.hpp"
+#include "engine/proto.hpp"
 #include "fault/fault.hpp"
 #include "ior/ior.hpp"
 
@@ -199,6 +200,76 @@ TEST(RebuildSm, NewerMapChangeSupersedesAndReintResyncs) {
   EXPECT_EQ(sm.rebuilds_incomplete(), 1u);
 }
 
+TEST(RebuildSm, EvictionRequeuesSupersededResync) {
+  pool::PoolMetaSm sm;
+  sm.set_engines({1, 2, 3, 4});
+  EXPECT_EQ(sm.apply("pool_evict 3"), "ok 2");
+  EXPECT_EQ(sm.apply("rebuild_done 1 2"), "ok");
+  EXPECT_EQ(sm.apply("rebuild_done 2 2"), "ok");
+  EXPECT_EQ(sm.apply("rebuild_done 4 2"), "ok");
+  EXPECT_EQ(sm.rebuilds_incomplete(), 0u);
+  EXPECT_EQ(sm.apply("pool_reint 3"), "ok 3");
+  ASSERT_NE(sm.rebuild_task(3), nullptr);
+  EXPECT_TRUE(sm.rebuild_task(3)->resync);
+
+  // An unrelated eviction supersedes the pending resync, but must not drop
+  // its work: the eviction scan covers re-replication for the new exclusion
+  // set, not engine 3's window diff. The resync is re-queued at a fresh map
+  // version — hence "ok 5", one bump for the eviction, one for the re-queue.
+  EXPECT_EQ(sm.apply("pool_evict 4"), "ok 5");
+  EXPECT_TRUE(sm.rebuild_task(3)->superseded);
+  const auto* repair = sm.rebuild_task(4);
+  ASSERT_NE(repair, nullptr);
+  EXPECT_FALSE(repair->resync);
+  EXPECT_EQ(repair->node, 4u);
+  const auto* requeued = sm.rebuild_task(5);
+  ASSERT_NE(requeued, nullptr);
+  EXPECT_TRUE(requeued->resync);
+  EXPECT_EQ(requeued->node, 3u);
+  EXPECT_EQ(requeued->since_version, 2u);
+  EXPECT_EQ(requeued->participants, (std::set<net::NodeId>{1, 2, 3}));
+  EXPECT_EQ(sm.incomplete_rebuilds(), (std::vector<std::uint32_t>{4, 5}));
+
+  // Re-evicting the resyncing engine itself drops its resync for good: the
+  // eviction rebuild restores its replicas from the survivors instead.
+  EXPECT_EQ(sm.apply("pool_evict 3"), "ok 6");
+  EXPECT_EQ(sm.incomplete_rebuilds(), (std::vector<std::uint32_t>{6}));
+}
+
+TEST(RebuildSm, ReintRequeuesSupersededEvictionRepair) {
+  pool::PoolMetaSm sm;
+  sm.set_engines({1, 2, 3, 4});
+  EXPECT_EQ(sm.apply("pool_evict 3"), "ok 2");
+  // A second eviction's scan runs against the full exclusion set, so the
+  // superseded v2 task needs no re-queue.
+  EXPECT_EQ(sm.apply("pool_evict 4"), "ok 3");
+  EXPECT_EQ(sm.incomplete_rebuilds(), (std::vector<std::uint32_t>{3}));
+
+  // Reintegrating 3 supersedes the v3 repair, but a resync scan does not
+  // re-replicate data for engine 4 (still excluded): the repair is re-queued
+  // against the new map alongside the resync task.
+  EXPECT_EQ(sm.apply("pool_reint 3"), "ok 5");
+  const auto* resync = sm.rebuild_task(4);
+  ASSERT_NE(resync, nullptr);
+  EXPECT_TRUE(resync->resync);
+  EXPECT_EQ(resync->node, 3u);
+  EXPECT_EQ(resync->since_version, 2u);
+  const auto* repair = sm.rebuild_task(5);
+  ASSERT_NE(repair, nullptr);
+  EXPECT_FALSE(repair->resync);
+  EXPECT_EQ(repair->excluded, (std::set<net::NodeId>{4}));
+  EXPECT_EQ(repair->participants, (std::set<net::NodeId>{1, 2, 3}));
+  EXPECT_EQ(sm.incomplete_rebuilds(), (std::vector<std::uint32_t>{4, 5}));
+
+  // A new leader restoring a snapshot resumes both re-queued tasks.
+  const std::string snap = sm.snapshot();
+  pool::PoolMetaSm fresh;
+  fresh.set_engines({1, 2, 3, 4});
+  fresh.restore(snap);
+  EXPECT_EQ(fresh.incomplete_rebuilds(), (std::vector<std::uint32_t>{4, 5}));
+  EXPECT_EQ(fresh.snapshot(), snap);
+}
+
 TEST(RebuildSm, SnapshotRoundTripsRebuildState) {
   pool::PoolMetaSm sm;
   sm.set_engines({1, 2, 3, 4});
@@ -252,6 +323,48 @@ TEST(Rebuild, ReadSurfacesDataLossWhenGroupIsGone) {
     EXPECT_GE(cl.data_loss_events(), 1u);
     // The diagnostic names the object so an operator can find the victim.
     EXPECT_NE(cl.last_data_loss().find("group"), std::string::npos) << cl.last_data_loss();
+  });
+  tb.stop();
+}
+
+// A miss is only definitive when every replica answered. Here one replica's
+// engine — and every walk-forward substitute the re-placement loop tries
+// after the resulting eviction — drops fetches on the wire, so the surviving
+// replica's ok-but-missing answer must surface the failure rather than a
+// confident no_entry (the unreachable replica could hold the key). The pool
+// is sized so the substitute walk still has fresh engines when the
+// re-placement rounds run out; a smaller pool would relax the walk back onto
+// the answering engine and legitimately conclude no_entry.
+TEST(Rebuild, MissWithFailedReplicaIsNotNoEntry) {
+  ClusterConfig cfg = small_cluster();
+  cfg.server_nodes = 3;  // 6 engines
+  Testbed tb(cfg);
+  tb.start();
+  std::uint32_t other = 0;
+  const std::uint64_t seq = find_group_on_engine(tb, 3, other);
+  ASSERT_NE(seq, 0u);
+  const auto oid = client::make_oid(seq, ObjClass::RP_2G1);
+  const net::NodeId ok_node = tb.engine(other).node();
+
+  tb.run([&]() -> CoTask<void> {
+    auto& cl = tb.client(0);
+    (void)co_await cl.cont_create(kPoolUuid, {});  // daosim-lint: allow(ignored-result)
+    client::KvObject kv(cl, kPoolUuid, oid);
+    auto v1 = bytes("present");
+    CO_ASSERT_ERRNO(co_await kv.put("k1", "a", v1), Errno::ok);
+    // With every replica answering, a miss is a definitive no_entry.
+    auto miss = co_await kv.get("absent", "a");
+    CO_ASSERT_ERRNO(miss.error(), Errno::no_entry);
+    // Now only `other` answers object fetches.
+    tb.domain().set_fault_hook([&](net::NodeId, net::NodeId dst, std::uint16_t op) {
+      net::CallFault f;
+      f.drop = op == engine::kOpObjFetch && dst != ok_node;
+      return f;
+    });
+    auto g = co_await kv.get("absent", "a");
+    tb.domain().set_fault_hook({});
+    CO_ASSERT_TRUE(!g.ok());
+    EXPECT_NE(g.error(), Errno::no_entry);
   });
   tb.stop();
 }
@@ -412,6 +525,179 @@ TEST(Rebuild, ReintegrationResyncsWindowWrites) {
     CO_ASSERT_TRUE(g2.ok());
     EXPECT_EQ(str(*g2), "written-while-engine3-was-out");
   });
+  tb.stop();
+}
+
+// A write that lands after pool_reint but before the resync image is applied
+// must survive: the apply is epoch-floor-guarded, not a blind overwrite. The
+// race window is widened deterministically by wedging the resync source's
+// target, so the pulled window image arrives hundreds of milliseconds after
+// the post-reintegration put.
+TEST(Rebuild, ResyncPreservesPostReintegrationWrites) {
+  Testbed tb(small_cluster());
+  tb.start();
+  std::uint32_t other = 0;
+  const std::uint64_t seq = find_group_on_engine(tb, 3, other);
+  ASSERT_NE(seq, 0u);
+  const auto oid = client::make_oid(seq, ObjClass::RP_2G1);
+  const net::NodeId reint_node = tb.engine(3).node();
+
+  // The walk-forward substitute that covered engine 3's replica during the
+  // outage holds the window diff, so it is the resync source.
+  pool::PoolMap wmap = tb.pool_map();
+  for (auto& t : wmap.targets) {
+    if (t.engine == reint_node) t.health = pool::TargetHealth::excluded;
+  }
+  const auto nominal = client::compute_nominal_layout(oid, 1, 2, tb.pool_map());
+  const auto windowl = client::compute_group_layout(oid, 1, 2, wmap);
+  std::uint32_t sub = std::uint32_t(wmap.targets.size());
+  for (std::uint32_t r = 0; r < 2; ++r) {
+    if (tb.pool_map().targets[nominal.at(0, r)].engine == reint_node) sub = windowl.at(0, r);
+  }
+  ASSERT_LT(sub, wmap.targets.size());
+  std::uint32_t sub_engine = tb.engine_count();
+  for (std::uint32_t e = 0; e < tb.engine_count(); ++e) {
+    if (tb.engine(e).node() == wmap.targets[sub].engine) sub_engine = e;
+  }
+  ASSERT_LT(sub_engine, tb.engine_count());
+
+  tb.run([&]() -> CoTask<void> {
+    auto& cl = tb.client(0);
+    (void)co_await cl.cont_create(kPoolUuid, {});  // daosim-lint: allow(ignored-result)
+    client::KvObject kv(cl, kPoolUuid, oid);
+    auto v1 = bytes("pre-eviction");
+    CO_ASSERT_ERRNO(co_await kv.put("k1", "a", v1), Errno::ok);
+    tb.crash_engine(3);
+    auto v2 = bytes("written-while-engine3-was-out");
+    CO_ASSERT_ERRNO(co_await kv.put("k2", "a", v2), Errno::ok);
+  });
+  ASSERT_TRUE(tb.wait_rebuild());
+
+  // A second window write after the eviction rebuild settled: the first k2
+  // put races ahead of the eviction scan and lands below the substitute's
+  // epoch mark, but this one lands above it, so the resync diff carries it
+  // back to the reintegrated replica.
+  tb.run([&]() -> CoTask<void> {
+    auto& cl = tb.client(0);
+    client::KvObject kv(cl, kPoolUuid, oid);
+    auto v2b = bytes("late-window-write");
+    CO_ASSERT_ERRNO(co_await kv.put("k2", "a", v2b), Errno::ok);
+  });
+
+  tb.restart_engine(3);
+  tb.run([&]() -> CoTask<void> {
+    auto& cl = tb.client(0);
+    auto r = co_await cl.pool_reint(reint_node);
+    CO_ASSERT_TRUE(r.ok());
+    // Wedge the source before the resync fetch can stream: the window image
+    // is exported promptly but applied only after the stall clears, long
+    // after this put has been acknowledged on the reintegrated replica.
+    tb.engine(sub_engine).stall_target(tb.pool_map().targets[sub].target, 500 * sim::kMs);
+    client::KvObject kv(cl, kPoolUuid, oid);
+    auto v3 = bytes("overwritten-after-reintegration");
+    CO_ASSERT_ERRNO(co_await kv.put("k2", "a", v3), Errno::ok);
+  });
+  ASSERT_TRUE(tb.wait_rebuild());
+
+  // The window image did reach the reintegrated engine (the guard was
+  // exercised, not bypassed) ...
+  EXPECT_GT(tb.rebuild_service(3).bytes_rebuilt(), 0u);
+  // ... but its replica keeps the newest generation: the stale image lost to
+  // the post-reintegration put. Assert the VOS directly — a client read could
+  // be served by the other replica and mask a clobbered one.
+  std::uint32_t reint_target = std::uint32_t(wmap.targets.size());
+  for (std::uint32_t r = 0; r < 2; ++r) {
+    const auto& t = tb.pool_map().targets[nominal.at(0, r)];
+    if (t.engine == reint_node) reint_target = t.target;
+  }
+  ASSERT_LT(reint_target, wmap.targets.size());
+  const vos::VosContainer* cont =
+      tb.engine(3).vos_target(reint_target).find_container(kPoolUuid);
+  ASSERT_NE(cont, nullptr);
+  const auto g1 = cont->kv_get(oid, "k1", "a", vos::kEpochMax);
+  ASSERT_TRUE(g1.exists);
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(g1.data.data()), g1.data.size()),
+            "pre-eviction");
+  const auto g2 = cont->kv_get(oid, "k2", "a", vos::kEpochMax);
+  ASSERT_TRUE(g2.exists);
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(g2.data.data()), g2.data.size()),
+            "overwritten-after-reintegration");
+  tb.stop();
+}
+
+// A re-driven task must re-scan participants that already reported done:
+// sources with empty assignments report done almost immediately, and their
+// scans feed other destinations' assignments. Here the destination's first
+// pull round is dropped on the wire, forcing a re-drive after every source
+// is done — the substitute must still receive the records.
+TEST(Rebuild, RedrivenTaskRescansDoneSources) {
+  Testbed tb(small_cluster());
+  tb.start();
+  std::uint32_t other = 0;
+  const std::uint64_t seq = find_group_on_engine(tb, 3, other);
+  ASSERT_NE(seq, 0u);
+  const auto oid = client::make_oid(seq, ObjClass::RP_2G1);
+
+  // Where the rebuild lands: the substitute for engine 3's replica slot.
+  pool::PoolMap emap = tb.pool_map();
+  const net::NodeId victim_node = tb.engine(3).node();
+  for (auto& t : emap.targets) {
+    if (t.engine == victim_node) t.health = pool::TargetHealth::excluded;
+  }
+  const auto nominal = client::compute_nominal_layout(oid, 1, 2, tb.pool_map());
+  const auto degraded = client::compute_group_layout(oid, 1, 2, emap);
+  std::uint32_t sub = std::uint32_t(emap.targets.size());
+  for (std::uint32_t r = 0; r < 2; ++r) {
+    if (tb.pool_map().targets[nominal.at(0, r)].engine == victim_node) sub = degraded.at(0, r);
+  }
+  ASSERT_LT(sub, emap.targets.size());
+  std::uint32_t sub_engine = tb.engine_count();
+  for (std::uint32_t e = 0; e < tb.engine_count(); ++e) {
+    if (tb.engine(e).node() == emap.targets[sub].engine) sub_engine = e;
+  }
+  ASSERT_LT(sub_engine, tb.engine_count());
+
+  // Swallow the destination's first pull round (kFetchAttempts = 3): its
+  // assignment fails after the sources have long reported done, and the
+  // coordinator re-drives the task from scratch.
+  int fetch_drops = 0;
+  tb.domain().set_fault_hook([&fetch_drops](net::NodeId, net::NodeId, std::uint16_t opcode) {
+    net::CallFault f;
+    if (opcode == engine::kOpRebuildFetch && fetch_drops < 3) {
+      ++fetch_drops;
+      f.drop = true;
+    }
+    return f;
+  });
+
+  tb.run([&]() -> CoTask<void> {
+    auto& cl = tb.client(0);
+    (void)co_await cl.cont_create(kPoolUuid, {});  // daosim-lint: allow(ignored-result)
+    client::KvObject kv(cl, kPoolUuid, oid);
+    auto v1 = bytes("needs-rebuild");
+    CO_ASSERT_ERRNO(co_await kv.put("k1", "a", v1), Errno::ok);
+    tb.crash_engine(3);
+    // Rides the crash, reports the eviction, and starts the rebuild.
+    auto v2 = bytes("degraded-window-write");
+    CO_ASSERT_ERRNO(co_await kv.put("k2", "a", v2), Errno::ok);
+  });
+  ASSERT_TRUE(tb.wait_rebuild());
+  EXPECT_EQ(fetch_drops, 3);  // the dropped round actually happened
+  tb.domain().set_fault_hook({});
+
+  // The re-driven assignment carried the done source's entries: the
+  // substitute's VOS holds both generations of the group's data.
+  const vos::VosContainer* cont =
+      tb.engine(sub_engine).vos_target(emap.targets[sub].target).find_container(kPoolUuid);
+  ASSERT_NE(cont, nullptr);
+  const auto g1 = cont->kv_get(oid, "k1", "a", vos::kEpochMax);
+  ASSERT_TRUE(g1.exists);
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(g1.data.data()), g1.data.size()),
+            "needs-rebuild");
+  const auto g2 = cont->kv_get(oid, "k2", "a", vos::kEpochMax);
+  ASSERT_TRUE(g2.exists);
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(g2.data.data()), g2.data.size()),
+            "degraded-window-write");
   tb.stop();
 }
 
