@@ -40,6 +40,11 @@ inline cluster::ClusterConfig nextgenio_cluster(std::uint32_t client_nodes,
 struct Cell {
   double read_gibs = 0;
   double write_gibs = 0;
+  /// Per-phase client RPC latency (µs) alongside the bandwidth the figures
+  /// plot — derived from the telemetry histograms, so collecting it cannot
+  /// change the bandwidth numbers.
+  double read_p50_us = 0, read_p99_us = 0;
+  double write_p50_us = 0, write_p99_us = 0;
 };
 
 /// Runs the sweep; returns results[node_count_index][series_index].
@@ -53,9 +58,17 @@ inline std::vector<std::vector<Cell>> run_sweep(const std::vector<Series>& serie
     std::vector<Cell> row;
     for (const Series& s : series) {
       const ior::IorResult r = runner.run(s.cfg);
-      row.push_back(Cell{r.read.gib_per_sec(), r.write.gib_per_sec()});
-      std::fprintf(stderr, "  [%2u nodes] %-10s write %8.2f GiB/s  read %8.2f GiB/s\n", nodes,
-                   s.name.c_str(), r.write.gib_per_sec(), r.read.gib_per_sec());
+      Cell cell{r.read.gib_per_sec(), r.write.gib_per_sec()};
+      cell.read_p50_us = r.read_rpc_latency.percentile_ns(50) / 1e3;
+      cell.read_p99_us = r.read_rpc_latency.percentile_ns(99) / 1e3;
+      cell.write_p50_us = r.write_rpc_latency.percentile_ns(50) / 1e3;
+      cell.write_p99_us = r.write_rpc_latency.percentile_ns(99) / 1e3;
+      row.push_back(cell);
+      std::fprintf(stderr,
+                   "  [%2u nodes] %-10s write %8.2f GiB/s (p99 %7.0f us)"
+                   "  read %8.2f GiB/s (p99 %7.0f us)\n",
+                   nodes, s.name.c_str(), r.write.gib_per_sec(), cell.write_p99_us,
+                   r.read.gib_per_sec(), cell.read_p99_us);
     }
     results.push_back(std::move(row));
     tb.stop();
@@ -79,11 +92,35 @@ inline void print_table(const char* title, bool read, const std::vector<Series>&
   }
 }
 
+/// Per-phase RPC latency table mirroring the bandwidth table's layout:
+/// "p50/p99" in µs per cell. Printed after the bandwidth tables so existing
+/// output (and any parser of it) is untouched.
+inline void print_latency_table(const char* title, bool read, const std::vector<Series>& series,
+                                const SweepOptions& opt,
+                                const std::vector<std::vector<Cell>>& results) {
+  std::printf("\n# %s — %s RPC latency p50/p99 (us)\n", title, read ? "read" : "write");
+  std::printf("%-12s", "client_nodes");
+  for (const auto& s : series) std::printf(" %16s", s.name.c_str());
+  std::printf("\n");
+  for (std::size_t i = 0; i < opt.node_counts.size(); ++i) {
+    std::printf("%-12u", opt.node_counts[i]);
+    for (std::size_t j = 0; j < series.size(); ++j) {
+      const Cell& c = results[i][j];
+      const std::string cell = strfmt("%.0f/%.0f", read ? c.read_p50_us : c.write_p50_us,
+                                      read ? c.read_p99_us : c.write_p99_us);
+      std::printf(" %16s", cell.c_str());
+    }
+    std::printf("\n");
+  }
+}
+
 inline void print_figure(const char* title, const std::vector<Series>& series,
                          const SweepOptions& opt) {
   const auto results = run_sweep(series, opt);
   print_table(title, /*read=*/true, series, opt, results);
   print_table(title, /*read=*/false, series, opt, results);
+  print_latency_table(title, /*read=*/true, series, opt, results);
+  print_latency_table(title, /*read=*/false, series, opt, results);
   std::printf("\n");
 }
 

@@ -3,10 +3,12 @@
 //   ior_cli -a DFS -t 8m -b 32m -N 8 -n 16 -F -o SX
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "fault/fault.hpp"
 #include "ior/ior.hpp"
+#include "telemetry/telemetry.hpp"
 
 using namespace daosim;
 
@@ -45,7 +47,11 @@ int usage() {
                "  --faults SPEC     fault schedule, e.g. crash@200ms:e3 (docs/faults.md)\n"
                "  --fault-seed N    seed for probabilistic faults (default 1)\n"
                "  --wait-rebuild    after the job, wait for self-healing to converge\n"
-               "  --rebuild-inflight N  per-engine rebuild transfer slots (default 4)\n");
+               "  --rebuild-inflight N  per-engine rebuild transfer slots (default 4)\n"
+               "  --metrics-dump PATH   dump the metric tree after the job (.csv ext\n"
+               "                        selects CSV, anything else JSON; docs/telemetry.md)\n"
+               "  --trace-out PATH      Chrome trace-event JSON of RPC/transfer/rebuild\n"
+               "                        spans (open in Perfetto / chrome://tracing)\n");
   return 2;
 }
 
@@ -61,10 +67,29 @@ int main(int argc, char** argv) {
   std::uint64_t fault_seed = 1;
   bool wait_rebuild = false;
   std::uint32_t rebuild_inflight = 4;
+  std::string metrics_path;
+  std::string trace_path;
 
   for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> const char* { return ++i < argc ? argv[i] : ""; };
+    std::string arg = argv[i];
+    // Long flags accept both "--flag value" and "--flag=value".
+    std::string inline_val;
+    bool has_inline = false;
+    if (arg.rfind("--", 0) == 0) {
+      if (const auto eq = arg.find('='); eq != std::string::npos) {
+        inline_val = arg.substr(eq + 1);
+        arg.resize(eq);
+        has_inline = true;
+      }
+    }
+    auto next = [&]() -> const char* {
+      if (has_inline) return inline_val.c_str();
+      if (++i >= argc) {
+        std::fprintf(stderr, "ior_cli: %s requires a value\n", arg.c_str());
+        std::exit(usage());
+      }
+      return argv[i];
+    };
     if (arg == "-a") {
       const std::string api = next();
       if (api == "POSIX") cfg.api = ior::Api::posix;
@@ -93,6 +118,8 @@ int main(int argc, char** argv) {
       }
       rebuild_inflight = std::uint32_t(v);
     }
+    else if (arg == "--metrics-dump") metrics_path = next();
+    else if (arg == "--trace-out") trace_path = next();
     else if (arg == "-o") {
       const std::string oc = next();
       using client::ObjClass;
@@ -135,6 +162,17 @@ int main(int argc, char** argv) {
               cfg.segments, client_nodes, ppn, servers);
 
   cluster::Testbed tb(ccfg);
+  telemetry::TraceLog trace;
+  if (!trace_path.empty()) {
+    for (std::uint32_t e = 0; e < tb.engine_count(); ++e) {
+      trace.set_process_name(tb.engine(e).node(), strfmt("engine/%u", tb.engine(e).node()));
+    }
+    for (std::uint32_t c = 0; c < tb.client_node_count(); ++c) {
+      const net::NodeId n = tb.client(c).endpoint().node();
+      trace.set_process_name(n, strfmt("client/%u", n));
+    }
+    tb.sched().set_span_sink(&trace);
+  }
   tb.start();
   if (!fault_spec.empty()) {
     Result<fault::Schedule> sched = fault::Schedule::parse(fault_spec);
@@ -161,6 +199,18 @@ int main(int argc, char** argv) {
               format_bytes(res.write.bytes).c_str(), res.write.seconds);
   std::printf("read:  %10.2f GiB/s  (%s in %.3f s)\n", res.read.gib_per_sec(),
               format_bytes(res.read.bytes).c_str(), res.read.seconds);
+  if (res.write_rpc_latency.count > 0) {
+    std::printf("write rpc: %llu updates, p50 %.1f us, p99 %.1f us\n",
+                static_cast<unsigned long long>(res.write_rpc_latency.count),
+                res.write_rpc_latency.percentile_ns(50) / 1e3,
+                res.write_rpc_latency.percentile_ns(99) / 1e3);
+  }
+  if (res.read_rpc_latency.count > 0) {
+    std::printf("read rpc:  %llu fetches, p50 %.1f us, p99 %.1f us\n",
+                static_cast<unsigned long long>(res.read_rpc_latency.count),
+                res.read_rpc_latency.percentile_ns(50) / 1e3,
+                res.read_rpc_latency.percentile_ns(99) / 1e3);
+  }
   if (verify) {
     std::printf("verify: %llu bad bytes, %llu short reads\n",
                 static_cast<unsigned long long>(res.verify_errors),
@@ -178,6 +228,26 @@ int main(int argc, char** argv) {
     }
     std::printf("rebuild: %s, %s re-replicated\n", healed ? "converged" : "TIMED OUT",
                 format_bytes(moved).c_str());
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream os(metrics_path);
+    if (!os) {
+      std::fprintf(stderr, "ior_cli: cannot write %s\n", metrics_path.c_str());
+      return 1;
+    }
+    const bool csv = metrics_path.size() >= 4 &&
+                     metrics_path.compare(metrics_path.size() - 4, 4, ".csv") == 0;
+    tb.dump_metrics(os, csv ? telemetry::DumpFormat::csv : telemetry::DumpFormat::json);
+    std::printf("metrics: %s (%s)\n", metrics_path.c_str(), csv ? "csv" : "json");
+  }
+  if (!trace_path.empty()) {
+    std::ofstream os(trace_path);
+    if (!os) {
+      std::fprintf(stderr, "ior_cli: cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+    trace.write_chrome_json(os);
+    std::printf("trace: %s (%zu spans)\n", trace_path.c_str(), trace.size());
   }
   tb.stop();
   return 0;

@@ -53,9 +53,17 @@ DaosClient::DaosClient(net::RpcDomain& domain, net::NodeId node, pool::PoolMap m
     : ep_(domain, node),
       sched_(domain.scheduler()),
       map_(std::move(map)),
-      svc_replicas_(std::move(svc_replicas)) {
+      svc_replicas_(std::move(svc_replicas)),
+      metrics_(strfmt("client/%u", node)) {
   DAOSIM_REQUIRE(!svc_replicas_.empty(), "no pool service replicas");
   DAOSIM_REQUIRE(map_.target_count() > 0, "empty pool map");
+  ep_.set_telemetry(&metrics_);
+  retry_attempts_ = &metrics_.find_or_create<telemetry::Counter>("retry/attempts");
+  retry_backoff_ns_ = &metrics_.find_or_create<telemetry::Counter>("retry/backoff_ns");
+  degraded_reads_ = &metrics_.find_or_create<telemetry::Counter>("degraded/reads");
+  metrics_.add_probe("evictions_reported", [this] { return evictions_; });
+  metrics_.add_probe("degraded/data_loss", [this] { return data_loss_; });
+  metrics_.add_probe("map_refreshes", [this] { return map_refreshes_; });
 }
 
 // ---------------------------------------------------------------------------
@@ -98,7 +106,10 @@ sim::CoTask<net::Reply> DaosClient::call_retry(net::NodeId dst, std::uint16_t op
                                     retry_.deadline);
     if (r.status != Errno::timed_out && r.status != Errno::busy) co_return r;
     if (attempt >= retry_.max_attempts) co_return r;
-    co_await sched_.delay(retry_backoff(retry_, attempt));
+    const sim::Time backoff = retry_backoff(retry_, attempt);
+    retry_attempts_->inc();
+    retry_backoff_ns_->inc(backoff);
+    co_await sched_.delay(backoff);
   }
 }
 
@@ -154,6 +165,7 @@ void DaosClient::note_data_loss(vos::ObjId oid, std::uint32_t group) {
 }
 
 sim::CoTask<Result<void>> DaosClient::refresh_pool_map() {
+  ++map_refreshes_;
   auto res = co_await svc_command("map_query");
   if (!res.ok()) co_return res.error();
   std::istringstream is(*res);
@@ -355,6 +367,7 @@ sim::CoTask<Result<std::vector<std::byte>>> KvObject::get(const vos::Key& dkey,
     if (r.status != Errno::ok) {
       last = r.status;
       all_answered = false;
+      client_.note_degraded_read();
       continue;
     }
     auto& resp = r.body.get<ObjFetchResp>();
@@ -617,6 +630,7 @@ sim::CoTask<void> ArrayObject::fetch_piece(std::uint64_t chunk_idx, engine::ObjF
     if (reply.status != Errno::ok) {
       last = reply.status;
       all_answered = false;
+      client_.note_degraded_read();
       continue;
     }
     auto& resp = reply.body.get<ObjFetchResp>();

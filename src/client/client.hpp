@@ -18,6 +18,7 @@
 #include "net/rpc.hpp"
 #include "pool/pool_map.hpp"
 #include "sim/sync.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace daosim::client {
 
@@ -165,6 +166,16 @@ class DaosClient {
   std::uint64_t data_loss_events() const { return data_loss_; }
   const std::string& last_data_loss() const { return last_data_loss_; }
 
+  /// This client's metric tree ("client/<node>"): per-opcode RPC metrics from
+  /// the endpoint plus retry/backoff, eviction, map-refresh, degraded-read
+  /// and data-loss counters.
+  telemetry::Registry& telemetry() { return metrics_; }
+  const telemetry::Registry& telemetry() const { return metrics_; }
+
+  /// Counts a read that had to fall back past a failed/unreachable replica
+  /// (called by the object handles' degraded-read loops).
+  void note_degraded_read() { degraded_reads_->inc(); }
+
  private:
   struct PendingCall;
 
@@ -180,12 +191,17 @@ class DaosClient {
   std::vector<net::NodeId> svc_replicas_;
   std::optional<net::NodeId> cached_leader_;
   RetryPolicy retry_;
+  telemetry::Registry metrics_;
+  telemetry::Counter* retry_attempts_ = nullptr;
+  telemetry::Counter* retry_backoff_ns_ = nullptr;
+  telemetry::Counter* degraded_reads_ = nullptr;
   /// Coalesces concurrent failure reports per engine: the first caller runs
   /// the eviction, later callers wait on its gate. std::map: iteration order
   /// must never depend on addresses (determinism).
   std::map<net::NodeId, std::shared_ptr<sim::Event>> evict_gates_;
   std::uint64_t evictions_ = 0;
   std::uint64_t data_loss_ = 0;
+  std::uint64_t map_refreshes_ = 0;
   std::string last_data_loss_;
 };
 

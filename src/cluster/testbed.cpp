@@ -5,7 +5,23 @@ namespace daosim::cluster {
 Testbed::Testbed(ClusterConfig cfg) : cfg_(cfg), fabric_(sched_, cfg.fabric) {
   DAOSIM_REQUIRE(cfg_.server_nodes > 0 && cfg_.engines_per_server > 0, "bad cluster config");
   DAOSIM_REQUIRE(cfg_.client_nodes > 0, "need at least one client node");
+  fabric_.set_telemetry(&fabric_metrics_);
   domain_ = std::make_unique<net::RpcDomain>(fabric_);
+
+  // Human-readable opcode labels for metric paths and trace spans.
+  domain_->name_opcode(raft::kOpRequestVote, "vote");
+  domain_->name_opcode(raft::kOpAppendEntries, "append");
+  domain_->name_opcode(raft::kOpInstallSnapshot, "snapshot");
+  domain_->name_opcode(engine::kOpObjUpdate, "update");
+  domain_->name_opcode(engine::kOpObjFetch, "fetch");
+  domain_->name_opcode(engine::kOpObjEnumDkeys, "enum_dkeys");
+  domain_->name_opcode(engine::kOpObjEnumAkeys, "enum_akeys");
+  domain_->name_opcode(engine::kOpObjPunch, "punch");
+  domain_->name_opcode(engine::kOpObjQuery, "query");
+  domain_->name_opcode(engine::kOpPoolSvc, "pool_svc");
+  domain_->name_opcode(engine::kOpRebuildScan, "rebuild_scan");
+  domain_->name_opcode(engine::kOpRebuildFetch, "rebuild_fetch");
+  domain_->name_opcode(engine::kOpRebuildDone, "rebuild_done");
 
   // Engines: one fabric node per engine (each socket binds one rail of the
   // server's dual-rail NIC), one DCPMM interleave set per socket.
@@ -168,6 +184,29 @@ std::uint64_t Testbed::total_shard_cache_misses() const {
   std::uint64_t n = 0;
   for (const auto& e : engines_) n += e->shard_cache_misses();
   return n;
+}
+
+std::vector<const telemetry::Registry*> Testbed::registries() const {
+  std::vector<const telemetry::Registry*> regs;
+  regs.push_back(&fabric_metrics_);
+  for (const auto& e : engines_) regs.push_back(&e->telemetry());
+  for (const auto& s : svc_) regs.push_back(&s->telemetry());
+  for (const auto& c : clients_) regs.push_back(&c->telemetry());
+  return regs;
+}
+
+void Testbed::dump_metrics(std::ostream& os, telemetry::DumpFormat fmt) const {
+  telemetry::write_dump(os, registries(), fmt);
+}
+
+telemetry::DurationHistogram::State Testbed::client_rpc_latency(const std::string& op) const {
+  telemetry::DurationHistogram::State sum;
+  for (const auto& c : clients_) {
+    const auto* h =
+        c->telemetry().find<telemetry::DurationHistogram>("rpc/" + op + "/latency_ns");
+    if (h != nullptr) sum += h->state();
+  }
+  return sum;
 }
 
 }  // namespace daosim::cluster

@@ -6,6 +6,7 @@
 
 #include <memory>
 #include <optional>
+#include <ostream>
 #include <vector>
 
 #include "client/client.hpp"
@@ -17,6 +18,7 @@
 #include "pool/pool_service.hpp"
 #include "rebuild/rebuild.hpp"
 #include "sim/scheduler.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace daosim::cluster {
 
@@ -110,6 +112,19 @@ class Testbed {
   std::uint64_t total_fetches() const;
   std::uint64_t total_shard_cache_misses() const;
 
+  // --- telemetry ---
+
+  /// Every metric registry in the cluster: fabric, engines, pool-service
+  /// replicas, clients. Order is fixed; exporters re-sort by path anyway.
+  std::vector<const telemetry::Registry*> registries() const;
+  /// Deterministic snapshot dump of all registries (sorted paths —
+  /// byte-identical across same-seed runs).
+  void dump_metrics(std::ostream& os,
+                    telemetry::DumpFormat fmt = telemetry::DumpFormat::json) const;
+  /// Summed client-side completed-RPC latency histogram for opcode label
+  /// `op` ("update", "fetch") — the per-phase breakdown source for IOR.
+  telemetry::DurationHistogram::State client_rpc_latency(const std::string& op) const;
+
  private:
   template <typename F>
   static sim::CoTask<void> invoke_holding(F f) {
@@ -119,6 +134,7 @@ class Testbed {
 
   ClusterConfig cfg_;
   sim::Scheduler sched_;
+  telemetry::Registry fabric_metrics_{"fabric"};  // before fabric_: bound in its ctor body
   net::Fabric fabric_;
   std::unique_ptr<net::RpcDomain> domain_;
   std::vector<std::unique_ptr<media::DcpmmInterleaveSet>> sockets_;

@@ -1,6 +1,7 @@
 #include "engine/engine.hpp"
 
 #include <algorithm>
+#include <cinttypes>
 
 namespace daosim::engine {
 
@@ -10,14 +11,40 @@ using net::Request;
 
 Engine::Engine(net::RpcDomain& domain, net::NodeId node, media::DcpmmInterleaveSet& media,
                EngineConfig cfg)
-    : ep_(domain, node), sched_(domain.scheduler()), media_(media), cfg_(cfg) {
+    : ep_(domain, node),
+      sched_(domain.scheduler()),
+      media_(media),
+      cfg_(cfg),
+      metrics_(strfmt("engine/%u", node)) {
   DAOSIM_REQUIRE(cfg_.targets > 0, "engine needs at least one target");
   // Per-target sustained rates (xstream-bound); the shared interleave-set
   // pipe still caps the socket aggregate.
   for (std::uint32_t i = 0; i < cfg_.targets; ++i) {
     targets_.push_back(std::make_unique<Target>(sched_, cfg_.payload, cfg_.target_read_bw,
                                                 cfg_.target_write_bw));
+    targets_.back()->idx = i;
+    targets_.back()->queue_depth =
+        &metrics_.find_or_create<telemetry::StatGauge>(strfmt("target/%u/queue_depth", i));
   }
+  ep_.set_telemetry(&metrics_);
+  metrics_.add_probe("vos/tree_lookups", [this] {
+    std::uint64_t n = 0;
+    for (const auto& t : targets_) n += t->vos.tree_stats().lookups;
+    return n;
+  });
+  metrics_.add_probe("vos/tree_inserts", [this] {
+    std::uint64_t n = 0;
+    for (const auto& t : targets_) n += t->vos.tree_stats().inserts;
+    return n;
+  });
+  metrics_.add_probe("vos/extent_merges", [this] {
+    std::uint64_t n = 0;
+    for (const auto& t : targets_) n += t->vos.tree_stats().extent_merges;
+    return n;
+  });
+  metrics_.add_probe("svc/updates", [this] { return updates_; });
+  metrics_.add_probe("svc/fetches", [this] { return fetches_; });
+  metrics_.add_probe("svc/stream_misses", [this] { return cache_misses_; });
   ep_.register_handler(kOpObjUpdate, [this](Request r) { return on_update(std::move(r)); });
   ep_.register_handler(kOpObjFetch, [this](Request r) { return on_fetch(std::move(r)); });
   ep_.register_handler(kOpObjEnumDkeys,
@@ -31,6 +58,14 @@ Engine::Engine(net::RpcDomain& domain, net::NodeId node, media::DcpmmInterleaveS
 Engine::Target& Engine::target_for(std::uint32_t idx) {
   DAOSIM_REQUIRE(idx < targets_.size(), "target index %u out of range", idx);
   return *targets_[idx];
+}
+
+telemetry::DurationHistogram* Engine::svc_enter(Target& t, const char* op) {
+  // Queue depth as seen by an arriving request: callers already holding or
+  // waiting on the target's xstream.
+  t.queue_depth->sample(double(t.xstream.waiting()));
+  return &metrics_.find_or_create<telemetry::DurationHistogram>(
+      std::string("svc/") + op + "/time_ns");
 }
 
 void Engine::stall_target(std::uint32_t idx, sim::Time duration) {
@@ -58,6 +93,7 @@ sim::Time Engine::stream_context_touch(Target& t, vos::Uuid cont, vos::ObjId oid
 }
 
 sim::CoTask<void> Engine::media_write(Target& t, std::uint64_t bytes) {
+  const sim::Time t0 = sched_.now();
   // Target slice and socket pipe are charged concurrently: the slice models
   // the xstream's DIMM-channel share, the pipe the socket aggregate.
   std::vector<sim::CoTask<void>> stages;
@@ -66,15 +102,24 @@ sim::CoTask<void> Engine::media_write(Target& t, std::uint64_t bytes) {
   }(t.write_slice, bytes));
   stages.push_back(media_.write(bytes));
   co_await sim::when_all(sched_, std::move(stages));
+  if (sim::SpanSink* sink = sched_.span_sink()) {
+    sink->span("media", strfmt("write %" PRIu64 "B", bytes), ep_.node(), t.idx, t0,
+               sched_.now());
+  }
 }
 
 sim::CoTask<void> Engine::media_read(Target& t, std::uint64_t bytes) {
+  const sim::Time t0 = sched_.now();
   std::vector<sim::CoTask<void>> stages;
   stages.push_back([](sim::SharedBandwidth& bw, std::uint64_t b) -> sim::CoTask<void> {
     co_await bw.transfer(b);
   }(t.read_slice, bytes));
   stages.push_back(media_.read(bytes));
   co_await sim::when_all(sched_, std::move(stages));
+  if (sim::SpanSink* sink = sched_.span_sink()) {
+    sink->span("media", strfmt("read %" PRIu64 "B", bytes), ep_.node(), t.idx, t0,
+               sched_.now());
+  }
 }
 
 sim::CoTask<void> Engine::rebuild_read(std::uint32_t idx, std::uint64_t bytes) {
@@ -97,6 +142,8 @@ sim::CoTask<net::Reply> Engine::on_update(net::Request req) {
   auto& r = req.body.get<ObjUpdateReq>();
   Target& t = target_for(r.target);
   ++updates_;
+  const sim::Time svc_t0 = sched_.now();
+  telemetry::DurationHistogram* svc = svc_enter(t, "update");
 
   // A stream-context miss occupies the target's xstream (serialised): a
   // target fed from many distinct objects loses throughput, not just latency.
@@ -110,6 +157,7 @@ sim::CoTask<net::Reply> Engine::on_update(net::Request req) {
   auto& cont = t.vos.container(r.cont);
   if (r.cond_insert && r.type == RecordType::single_value &&
       cont.kv_get(r.oid, r.dkey, r.akey, vos::kEpochMax).exists) {
+    svc->record(sched_.now() - svc_t0);
     co_return Reply{Errno::exists, kObjRpcHeader, {}};
   }
   const vos::Epoch epoch = cont.next_epoch();
@@ -121,6 +169,7 @@ sim::CoTask<net::Reply> Engine::on_update(net::Request req) {
   } else {
     cont.kv_put(r.oid, r.dkey, r.akey, data, epoch);
   }
+  svc->record(sched_.now() - svc_t0);
   co_return Reply{Errno::ok, kObjRpcHeader, {}};
 }
 
@@ -128,6 +177,8 @@ sim::CoTask<net::Reply> Engine::on_fetch(net::Request req) {
   auto& r = req.body.get<ObjFetchReq>();
   Target& t = target_for(r.target);
   ++fetches_;
+  const sim::Time svc_t0 = sched_.now();
+  telemetry::DurationHistogram* svc = svc_enter(t, "fetch");
 
   const sim::Time sw = stream_context_touch(t, r.cont, r.oid, /*write=*/false);
   co_await t.xstream.acquire();
@@ -159,12 +210,15 @@ sim::CoTask<net::Reply> Engine::on_fetch(net::Request req) {
     }
     reply_bytes = view.size;
   }
+  svc->record(sched_.now() - svc_t0);
   co_return Reply{Errno::ok, kObjRpcHeader + reply_bytes, Body::make(std::move(resp))};
 }
 
 sim::CoTask<net::Reply> Engine::on_enum_dkeys(net::Request req) {
   auto& r = req.body.get<ObjEnumReq>();
   Target& t = target_for(r.target);
+  const sim::Time svc_t0 = sched_.now();
+  telemetry::DurationHistogram* svc = svc_enter(t, "enum_dkeys");
 
   co_await t.xstream.acquire();
   co_await sched_.delay(cfg_.enum_cpu);
@@ -175,12 +229,15 @@ sim::CoTask<net::Reply> Engine::on_enum_dkeys(net::Request req) {
   std::uint64_t bytes = kObjRpcHeader;
   for (const auto& k : resp.keys) bytes += k.size() + 8;
   co_await media_read(t, bytes);
+  svc->record(sched_.now() - svc_t0);
   co_return Reply{Errno::ok, bytes, Body::make(std::move(resp))};
 }
 
 sim::CoTask<net::Reply> Engine::on_enum_akeys(net::Request req) {
   auto& r = req.body.get<ObjEnumReq>();
   Target& t = target_for(r.target);
+  const sim::Time svc_t0 = sched_.now();
+  telemetry::DurationHistogram* svc = svc_enter(t, "enum_akeys");
 
   co_await t.xstream.acquire();
   co_await sched_.delay(cfg_.enum_cpu);
@@ -191,12 +248,15 @@ sim::CoTask<net::Reply> Engine::on_enum_akeys(net::Request req) {
   std::uint64_t bytes = kObjRpcHeader;
   for (const auto& k : resp.keys) bytes += k.size() + 8;
   co_await media_read(t, bytes);
+  svc->record(sched_.now() - svc_t0);
   co_return Reply{Errno::ok, bytes, Body::make(std::move(resp))};
 }
 
 sim::CoTask<net::Reply> Engine::on_punch(net::Request req) {
   auto& r = req.body.get<ObjPunchReq>();
   Target& t = target_for(r.target);
+  const sim::Time svc_t0 = sched_.now();
+  telemetry::DurationHistogram* svc = svc_enter(t, "punch");
 
   co_await t.xstream.acquire();
   co_await sched_.delay(cfg_.punch_cpu);
@@ -210,12 +270,15 @@ sim::CoTask<net::Reply> Engine::on_punch(net::Request req) {
     case PunchScope::dkey: cont.punch_dkey(r.oid, r.dkey, epoch); break;
     case PunchScope::akey: cont.punch_akey(r.oid, r.dkey, r.akey, epoch); break;
   }
+  svc->record(sched_.now() - svc_t0);
   co_return Reply{Errno::ok, kObjRpcHeader, {}};
 }
 
 sim::CoTask<net::Reply> Engine::on_query(net::Request req) {
   auto& r = req.body.get<ObjQueryReq>();
   Target& t = target_for(r.target);
+  const sim::Time svc_t0 = sched_.now();
+  telemetry::DurationHistogram* svc = svc_enter(t, "query");
 
   co_await t.xstream.acquire();
   co_await sched_.delay(cfg_.fetch_cpu);
@@ -230,6 +293,7 @@ sim::CoTask<net::Reply> Engine::on_query(net::Request req) {
       resp.value = cont.array_size(r.oid, r.dkey, r.akey, r.epoch);
       break;
   }
+  svc->record(sched_.now() - svc_t0);
   co_return Reply{Errno::ok, kObjRpcHeader, Body::make(resp)};
 }
 

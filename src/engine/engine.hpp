@@ -17,6 +17,7 @@
 #include "media/dcpmm.hpp"
 #include "net/rpc.hpp"
 #include "sim/sync.hpp"
+#include "telemetry/telemetry.hpp"
 #include "vos/target.hpp"
 
 namespace daosim::engine {
@@ -76,6 +77,13 @@ class Engine {
   std::uint64_t fetches_served() const { return fetches_; }
   std::uint64_t shard_cache_misses() const { return cache_misses_; }  // stream-context misses
 
+  /// This engine's metric tree ("engine/<node>"): per-opcode service-time
+  /// histograms, per-target queue-depth stat gauges, VOS index probes, plus
+  /// the endpoint's RPC metrics. The rebuild service hangs its counters
+  /// here too.
+  telemetry::Registry& telemetry() { return metrics_; }
+  const telemetry::Registry& telemetry() const { return metrics_; }
+
  private:
   struct Target {
     Target(sim::Scheduler& s, vos::PayloadMode mode, double read_bw, double write_bw)
@@ -85,6 +93,8 @@ class Engine {
     sim::SharedBandwidth read_slice;
     sim::SharedBandwidth write_slice;
     std::deque<std::pair<vos::Uuid, vos::ObjId>> stream_lru;  // hot object streams
+    std::uint32_t idx = 0;
+    telemetry::StatGauge* queue_depth = nullptr;
   };
 
   sim::CoTask<net::Reply> on_update(net::Request req);
@@ -100,10 +110,15 @@ class Engine {
   sim::CoTask<void> media_write(Target& t, std::uint64_t bytes);
   sim::CoTask<void> media_read(Target& t, std::uint64_t bytes);
 
+  /// Samples the target's queue depth and returns the service-time histogram
+  /// for `op` — called at handler entry; the handler records at exit.
+  telemetry::DurationHistogram* svc_enter(Target& t, const char* op);
+
   net::RpcEndpoint ep_;
   sim::Scheduler& sched_;
   media::DcpmmInterleaveSet& media_;
   EngineConfig cfg_;
+  telemetry::Registry metrics_;
   std::vector<std::unique_ptr<Target>> targets_;
   std::uint64_t updates_ = 0;
   std::uint64_t fetches_ = 0;

@@ -44,6 +44,11 @@ struct IorRunner::JobState {
   std::uint64_t file_seed = 0;
   double write_start = 0, write_end = 0;
   double read_start = 0, read_end = 0;
+  /// Client RPC-latency histogram snapshots at the phase barriers (rank 0),
+  /// so the result can report per-phase deltas. Pure reads of passive
+  /// counters: taking them cannot perturb timing or trace_hash().
+  telemetry::DurationHistogram::State update_at_write_start, update_at_write_end;
+  telemetry::DurationHistogram::State fetch_at_read_start, fetch_at_read_end;
   std::uint64_t verify_errors = 0;
   std::uint64_t fill_errors = 0;
   std::uint64_t data_loss_errors = 0;
@@ -133,10 +138,12 @@ sim::CoTask<void> IorRunner::job_main(const IorConfig* cfg, IorResult* result) {
   if (cfg->do_write) {
     result->write.seconds = st->write_end - st->write_start;
     result->write.bytes = total;
+    result->write_rpc_latency = st->update_at_write_end - st->update_at_write_start;
   }
   if (cfg->do_read) {
     result->read.seconds = st->read_end - st->read_start;
     result->read.bytes = total;
+    result->read_rpc_latency = st->fetch_at_read_end - st->fetch_at_read_start;
   }
   result->verify_errors = st->verify_errors;
   result->read_fill_errors = st->fill_errors;
@@ -359,7 +366,10 @@ sim::CoTask<void> IorRunner::rank_body(mpi::Comm comm, const IorConfig* cfg,
   // ------------------------------------------------------------------ write
   if (cfg->do_write) {
     co_await comm.barrier();
-    if (me == 0) st->write_start = comm.wtime();
+    if (me == 0) {
+      st->write_start = comm.wtime();
+      st->update_at_write_start = tb_.client_rpc_latency("update");
+    }
 
     auto rf = co_await open_file(me, /*writing=*/true);
     DAOSIM_REQUIRE(rf.ok(), "rank %d: write open failed: %s", me, errno_name(rf.error()));
@@ -377,14 +387,20 @@ sim::CoTask<void> IorRunner::rank_body(mpi::Comm comm, const IorConfig* cfg,
     const Errno rc = co_await rf->close();
     DAOSIM_REQUIRE(rc == Errno::ok, "rank %d: close failed: %s", me, errno_name(rc));
     co_await comm.barrier();
-    if (me == 0) st->write_end = comm.wtime();
+    if (me == 0) {
+      st->write_end = comm.wtime();
+      st->update_at_write_end = tb_.client_rpc_latency("update");
+    }
   }
 
   // ------------------------------------------------------------------- read
   if (cfg->do_read) {
     const int target = cfg->reorder_tasks ? (me + 1) % p : me;
     co_await comm.barrier();
-    if (me == 0) st->read_start = comm.wtime();
+    if (me == 0) {
+      st->read_start = comm.wtime();
+      st->fetch_at_read_start = tb_.client_rpc_latency("fetch");
+    }
 
     auto rf = co_await open_file(target, /*writing=*/false);
     DAOSIM_REQUIRE(rf.ok(), "rank %d: read open failed: %s", me, errno_name(rf.error()));
@@ -424,7 +440,10 @@ sim::CoTask<void> IorRunner::rank_body(mpi::Comm comm, const IorConfig* cfg,
     const Errno rc = co_await rf->close();
     DAOSIM_REQUIRE(rc == Errno::ok, "rank %d: read close failed: %s", me, errno_name(rc));
     co_await comm.barrier();
-    if (me == 0) st->read_end = comm.wtime();
+    if (me == 0) {
+      st->read_end = comm.wtime();
+      st->fetch_at_read_end = tb_.client_rpc_latency("fetch");
+    }
   }
 }
 

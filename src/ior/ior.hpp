@@ -58,6 +58,12 @@ struct IorResult {
   /// (Errno::data_loss). Counted, not fatal: IOR keeps going, like a real
   /// job riding out a degraded pool.
   std::uint64_t data_loss_events = 0;
+  /// Client-observed object-RPC latency during each phase: the delta of the
+  /// summed per-client "rpc/update/latency_ns" (write) / "rpc/fetch/latency_ns"
+  /// (read) histograms between the phase barriers. Delta states report exact
+  /// count/sum and bucket-resolution percentiles; min/max are unavailable (0).
+  telemetry::DurationHistogram::State write_rpc_latency;
+  telemetry::DurationHistogram::State read_rpc_latency;
 };
 
 /// Drives IOR jobs on a testbed. One runner per testbed; per-client-node DFS

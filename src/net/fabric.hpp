@@ -17,6 +17,7 @@
 #include "sim/scheduler.hpp"
 #include "sim/sync.hpp"
 #include "sim/time.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace daosim::net {
 
@@ -59,14 +60,23 @@ class Fabric {
   using DelayHook = std::function<sim::Time(NodeId src, NodeId dst)>;
   void set_delay_hook(DelayHook h) { delay_hook_ = std::move(h); }
 
+  /// Attaches a metric registry: per-node wire-byte counters under
+  /// "node/<id>/{tx,rx}_bytes", a message counter, and a queueing-delay
+  /// histogram (time spent beyond the contention-free serialization time of
+  /// each transfer). Recording is passive; nullptr detaches.
+  void set_telemetry(telemetry::Registry* reg);
+
  private:
   struct Node {
     std::unique_ptr<sim::SharedBandwidth> egress;
     std::unique_ptr<sim::SharedBandwidth> ingress;
     std::uint64_t bytes_sent = 0;
+    telemetry::Counter* tx = nullptr;  // lazily bound when telemetry is on
+    telemetry::Counter* rx = nullptr;
   };
 
   void ensure_switch();
+  void bind_node_counters(NodeId n);
 
   sim::Scheduler& sched_;
   FabricConfig cfg_;
@@ -74,6 +84,9 @@ class Fabric {
   std::unique_ptr<sim::SharedBandwidth> switch_;
   std::uint64_t messages_ = 0;
   DelayHook delay_hook_;
+  telemetry::Registry* telemetry_ = nullptr;
+  telemetry::Counter* messages_metric_ = nullptr;
+  telemetry::DurationHistogram* queue_delay_ = nullptr;
 };
 
 }  // namespace daosim::net

@@ -14,21 +14,54 @@ void RpcEndpoint::register_handler(std::uint16_t opcode, Handler h) {
   handlers_[opcode] = std::move(h);
 }
 
+void RpcEndpoint::set_telemetry(telemetry::Registry* reg) {
+  telemetry_ = reg;
+  op_metrics_.clear();
+  inflight_gauge_ = reg ? &reg->find_or_create<telemetry::Gauge>("rpc/inflight") : nullptr;
+}
+
+RpcEndpoint::OpMetrics& RpcEndpoint::op_metrics(std::uint16_t opcode) {
+  auto it = op_metrics_.find(opcode);
+  if (it != op_metrics_.end()) return it->second;
+  const std::string base = "rpc/" + domain_.opcode_name(opcode) + "/";
+  OpMetrics m;
+  m.sent = &telemetry_->find_or_create<telemetry::Counter>(base + "sent");
+  m.completed = &telemetry_->find_or_create<telemetry::Counter>(base + "completed");
+  m.timed_out = &telemetry_->find_or_create<telemetry::Counter>(base + "timed_out");
+  m.busy = &telemetry_->find_or_create<telemetry::Counter>(base + "busy");
+  m.latency = &telemetry_->find_or_create<telemetry::DurationHistogram>(base + "latency_ns");
+  return op_metrics_.emplace(opcode, m).first->second;
+}
+
 sim::CoTask<Reply> RpcEndpoint::call(NodeId dst, std::uint16_t opcode, Body body,
                                      std::uint64_t request_bytes) {
+  OpMetrics* m = telemetry_ != nullptr ? &op_metrics(opcode) : nullptr;
   if (inflight_ >= max_inflight_) {
     ++busy_rejections_;
+    if (m) m->busy->inc();
     co_return Reply{Errno::busy, 0, {}};
   }
-  InflightGuard guard(inflight_);
+  InflightGuard guard(inflight_, inflight_gauge_);
   ++calls_;
+  if (m) m->sent->inc();
   auto& fabric = domain_.fabric_;
+  const sim::Time t0 = fabric.scheduler().now();
+  // Span emission and metric recording are passive: they never schedule,
+  // so attaching telemetry cannot perturb trace_hash() or timings.
+  const auto emit_span = [&](const char* suffix) {
+    if (sim::SpanSink* sink = fabric.scheduler().span_sink()) {
+      sink->span("rpc", domain_.opcode_name(opcode) + suffix + strfmt(" ->%u", dst), node_,
+                 opcode, t0, fabric.scheduler().now());
+    }
+  };
 
   if (domain_.fault_hook_) {
     const CallFault fault = domain_.fault_hook_(node_, dst, opcode);
     if (fault.drop) {
       // The request vanished on the wire; the caller burns the full timeout.
       co_await fabric.scheduler().delay(kRpcTimeout);
+      if (m) m->timed_out->inc();
+      emit_span("!timeout");
       co_return Reply{Errno::timed_out, 0, {}};
     }
     if (fault.extra_delay > 0) co_await fabric.scheduler().delay(fault.extra_delay);
@@ -40,6 +73,8 @@ sim::CoTask<Reply> RpcEndpoint::call(NodeId dst, std::uint16_t opcode, Body body
   if (it == domain_.endpoints_.end() || it->second->down_ || down_) {
     // Destination unreachable (crashed node / partition): model a timeout.
     co_await fabric.scheduler().delay(kRpcTimeout);
+    if (m) m->timed_out->inc();
+    emit_span("!timeout");
     co_return Reply{Errno::timed_out, 0, {}};
   }
   RpcEndpoint& server = *it->second;
@@ -57,10 +92,17 @@ sim::CoTask<Reply> RpcEndpoint::call(NodeId dst, std::uint16_t opcode, Body body
   auto again = domain_.endpoints_.find(dst);
   if (again == domain_.endpoints_.end() || again->second->down_ || down_) {
     co_await fabric.scheduler().delay(kRpcTimeout);
+    if (m) m->timed_out->inc();
+    emit_span("!timeout");
     co_return Reply{Errno::timed_out, 0, {}};
   }
 
   co_await fabric.transfer(dst, node_, reply.wire_bytes);
+  if (m) {
+    m->completed->inc();
+    m->latency->record(fabric.scheduler().now() - t0);
+  }
+  emit_span("");
   co_return reply;
 }
 

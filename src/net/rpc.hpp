@@ -6,12 +6,15 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
+#include <string>
 #include <unordered_map>
 
 #include "common/error.hpp"
 #include "net/fabric.hpp"
 #include "sim/co_task.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace daosim::net {
 
@@ -81,11 +84,22 @@ class RpcDomain {
   using FaultHook = std::function<CallFault(NodeId src, NodeId dst, std::uint16_t opcode)>;
   void set_fault_hook(FaultHook h) { fault_hook_ = std::move(h); }
 
+  /// Human-readable opcode label used in metric paths and trace spans
+  /// ("update", "rebuild_scan"). Unnamed opcodes fall back to "op%04x".
+  void name_opcode(std::uint16_t opcode, std::string name) {
+    opcode_names_[opcode] = std::move(name);
+  }
+  std::string opcode_name(std::uint16_t opcode) const {
+    const auto it = opcode_names_.find(opcode);
+    return it != opcode_names_.end() ? it->second : strfmt("op%04x", opcode);
+  }
+
  private:
   friend class RpcEndpoint;
   Fabric& fabric_;
   std::unordered_map<NodeId, RpcEndpoint*> endpoints_;
   FaultHook fault_hook_;
+  std::map<std::uint16_t, std::string> opcode_names_;
 };
 
 /// Per-node RPC endpoint: registers handlers, issues calls.
@@ -122,14 +136,39 @@ class RpcEndpoint {
   std::uint64_t calls_made() const { return calls_; }
   std::uint64_t calls_served() const { return served_; }
 
+  /// Attaches a metric registry: per-opcode sent/completed/timed_out/busy
+  /// counters and a completed-call latency histogram land under
+  /// "rpc/<opcode name>/", plus an in-flight gauge at "rpc/inflight".
+  /// Recording is passive (no scheduling); nullptr detaches.
+  void set_telemetry(telemetry::Registry* reg);
+  telemetry::Registry* telemetry() const { return telemetry_; }
+
  private:
+  struct OpMetrics {
+    telemetry::Counter* sent = nullptr;
+    telemetry::Counter* completed = nullptr;
+    telemetry::Counter* timed_out = nullptr;
+    telemetry::Counter* busy = nullptr;
+    telemetry::DurationHistogram* latency = nullptr;
+  };
+
   struct InflightGuard {
-    explicit InflightGuard(std::size_t& n) : n_(n) { ++n_; }
-    ~InflightGuard() { --n_; }
+    InflightGuard(std::size_t& n, telemetry::Gauge* g) : n_(n), g_(g) {
+      ++n_;
+      if (g_) g_->set(std::int64_t(n_));
+    }
+    ~InflightGuard() {
+      --n_;
+      if (g_) g_->set(std::int64_t(n_));
+    }
     InflightGuard(const InflightGuard&) = delete;
     InflightGuard& operator=(const InflightGuard&) = delete;
     std::size_t& n_;
+    telemetry::Gauge* g_;
   };
+
+  /// Lazily builds the per-opcode metric set; requires telemetry_ != null.
+  OpMetrics& op_metrics(std::uint16_t opcode);
 
   RpcDomain& domain_;
   NodeId node_;
@@ -140,6 +179,9 @@ class RpcEndpoint {
   std::size_t inflight_ = 0;
   std::size_t max_inflight_ = 1024;
   std::uint64_t busy_rejections_ = 0;
+  telemetry::Registry* telemetry_ = nullptr;
+  telemetry::Gauge* inflight_gauge_ = nullptr;
+  std::unordered_map<std::uint16_t, OpMetrics> op_metrics_;  // keyed lookups only
 };
 
 /// Timeout used when calling an unreachable node.

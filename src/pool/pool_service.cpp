@@ -261,9 +261,9 @@ void PoolMetaSm::restore(const std::string& snap) {
   std::size_t ntasks = 0;
   is >> ntasks;
   const auto read_set = [&is](std::set<net::NodeId>& out) {
-    std::size_t n = 0;
-    is >> n;
-    for (std::size_t i = 0; i < n; ++i) {
+    std::size_t count = 0;
+    is >> count;
+    for (std::size_t i = 0; i < count; ++i) {
       net::NodeId e = 0;
       is >> e;
       out.insert(e);
@@ -285,10 +285,15 @@ void PoolMetaSm::restore(const std::string& snap) {
 
 PoolServiceReplica::PoolServiceReplica(net::RpcEndpoint& ep, std::vector<net::NodeId> replicas,
                                        PoolMap map, raft::RaftConfig cfg, std::uint64_t seed)
-    : ep_(ep), map_(std::move(map)) {
+    : ep_(ep), map_(std::move(map)), metrics_(strfmt("pool/%u", ep.node())) {
   std::set<net::NodeId> engines;
   for (const auto& t : map_.targets) engines.insert(t.engine);
   sm_.set_engines(std::move(engines));
+  commands_applied_ = &metrics_.find_or_create<telemetry::Counter>("commands_applied");
+  rebuild_reports_ = &metrics_.find_or_create<telemetry::Counter>("rebuild/done_reports");
+  metrics_.add_probe("rebuild/tasks_total", [this] { return sm_.rebuild_tasks().size(); });
+  metrics_.add_probe("rebuild/tasks_incomplete", [this] { return sm_.rebuilds_incomplete(); });
+  metrics_.add_probe("map_version", [this] { return sm_.map_version(); });
   raft_ = std::make_unique<raft::RaftNode>(ep_, std::move(replicas), sm_, cfg, seed);
   ep_.register_handler(engine::kOpPoolSvc,
                        [this](Request r) { return on_client_command(std::move(r)); });
@@ -403,6 +408,7 @@ sim::CoTask<net::Reply> PoolServiceReplica::on_rebuild_done(net::Request req) {
     engine::RebuildDoneResp resp{sr.leader_hint};
     co_return Reply{sr.status, 64, Body::make(std::move(resp))};
   }
+  rebuild_reports_->inc();
   ep_.domain().scheduler().trace_note(kTraceRebuildDone ^ (std::uint64_t(r.version) << 16) ^
                                       r.engine);
   engine::RebuildDoneResp resp{raft_->leader_hint()};
@@ -420,6 +426,7 @@ sim::CoTask<net::Reply> PoolServiceReplica::on_client_command(net::Request req) 
     engine::PoolSvcResp resp{{}, sr.leader_hint};
     co_return Reply{sr.status, 64, Body::make(std::move(resp))};
   }
+  commands_applied_->inc();
   engine::PoolSvcResp resp{std::move(sr.response), raft_->leader_hint()};
   co_return Reply{Errno::ok, 64 + resp.response.size(), Body::make(std::move(resp))};
 }

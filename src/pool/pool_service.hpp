@@ -26,6 +26,7 @@
 #include "net/rpc.hpp"
 #include "pool/pool_map.hpp"
 #include "raft/raft.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace daosim::pool {
 
@@ -115,6 +116,11 @@ class PoolServiceReplica {
   const PoolMap& pool_map() const { return map_; }
   const PoolMetaSm& meta() const { return sm_; }
 
+  /// This replica's metric tree ("pool/<node>"): leader-side command and
+  /// rebuild-report counters plus task/map-version probes.
+  telemetry::Registry& telemetry() { return metrics_; }
+  const telemetry::Registry& telemetry() const { return metrics_; }
+
  private:
   sim::CoTask<net::Reply> on_client_command(net::Request req);
   sim::CoTask<net::Reply> on_rebuild_done(net::Request req);
@@ -128,6 +134,9 @@ class PoolServiceReplica {
   net::RpcEndpoint& ep_;
   PoolMap map_;
   PoolMetaSm sm_;
+  telemetry::Registry metrics_;
+  telemetry::Counter* commands_applied_ = nullptr;
+  telemetry::Counter* rebuild_reports_ = nullptr;
   std::unique_ptr<raft::RaftNode> raft_;
   bool coord_running_ = false;
   bool driving_ = false;

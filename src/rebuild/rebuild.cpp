@@ -33,6 +33,11 @@ RebuildService::RebuildService(engine::Engine& eng, pool::PoolMap base_map,
       engine::kOpRebuildScan, [this](net::Request req) { return on_scan(std::move(req)); });
   eng_.endpoint().register_handler(
       engine::kOpRebuildFetch, [this](net::Request req) { return on_fetch(std::move(req)); });
+  telemetry::Registry& reg = eng_.telemetry();
+  records_pulled_ = &reg.find_or_create<telemetry::Counter>("rebuild/records_pulled");
+  bytes_pulled_ = &reg.find_or_create<telemetry::Counter>("rebuild/bytes_pulled");
+  resync_bytes_ = &reg.find_or_create<telemetry::Counter>("rebuild/resync_bytes");
+  task_time_ = &reg.find_or_create<telemetry::DurationHistogram>("rebuild/task_time_ns");
 }
 
 sim::CoTask<net::Reply> RebuildService::on_scan(net::Request req) {
@@ -234,6 +239,7 @@ vos::Epoch RebuildService::task_floor(std::uint32_t version, std::uint32_t targe
 
 sim::CoTask<void> RebuildService::run_assignment(std::uint32_t version,
                                                  std::vector<engine::RebuildEntry> entries) {
+  const sim::Time t0 = sched_.now();
   auto failed = std::make_shared<bool>(false);
   sim::WaitGroup wg(sched_);
   for (const auto& e : entries) {
@@ -241,6 +247,11 @@ sim::CoTask<void> RebuildService::run_assignment(std::uint32_t version,
   }
   co_await wg.wait();
   active_.erase(version);
+  task_time_->record(sched_.now() - t0);
+  if (sim::SpanSink* sink = sched_.span_sink()) {
+    sink->span("rebuild", strfmt("task v%u%s", version, *failed ? " (failed)" : ""),
+               eng_.node(), version, t0, sched_.now());
+  }
   if (*failed) co_return;  // coordinator re-drives the task next tick
   completed_.insert(version);
   co_await report_done(version);
@@ -350,9 +361,12 @@ void RebuildService::apply_records(std::uint32_t version, const engine::RebuildE
       cont.array_write(entry.oid, rec.dkey, rec.akey, 0, img.size(), data, cont.next_epoch());
     }
     ++records_;
+    records_pulled_->inc();
   }
   if (resp.array_end > 0) cont.note_array_end(entry.oid, resp.array_end);
   bytes_ += resp.bytes;
+  bytes_pulled_->inc(resp.bytes);
+  if (entry.resync) resync_bytes_->inc(resp.bytes);
 }
 
 sim::CoTask<void> RebuildService::report_done(std::uint32_t version) {

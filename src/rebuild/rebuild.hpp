@@ -102,6 +102,11 @@ class RebuildService {
       task_floors_;
   std::uint64_t records_ = 0;
   std::uint64_t bytes_ = 0;
+  // Metrics live under the owning engine's registry ("engine/<node>/rebuild/...").
+  telemetry::Counter* records_pulled_ = nullptr;
+  telemetry::Counter* bytes_pulled_ = nullptr;
+  telemetry::Counter* resync_bytes_ = nullptr;
+  telemetry::DurationHistogram* task_time_ = nullptr;
 };
 
 }  // namespace daosim::rebuild

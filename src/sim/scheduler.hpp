@@ -10,6 +10,7 @@
 #include <functional>
 #include <memory>
 #include <queue>
+#include <string>
 #include <vector>
 
 #include "sim/co_task.hpp"
@@ -18,6 +19,21 @@
 namespace daosim::sim {
 
 class Scheduler;
+
+/// Passive receiver for structured trace spans (RPCs, media transfers,
+/// rebuild tasks). Implementations record the span; they must not touch the
+/// scheduler — a sink never schedules events, so attaching one cannot change
+/// `trace_hash()` or any simulated timing.
+class SpanSink {
+ public:
+  virtual ~SpanSink() = default;
+  /// One completed span: `category` is a static label ("rpc", "xfer",
+  /// "media", "rebuild"), `name` a human-readable description, `pid`/`tid` a
+  /// process/track grouping (typically node id / opcode or stream), and
+  /// [begin, end] the simulated-time interval.
+  virtual void span(const char* category, std::string name, std::uint32_t pid,
+                    std::uint64_t tid, Time begin, Time end) = 0;
+};
 
 /// Handle to a cancellable callback timer (see Scheduler::schedule_callback).
 class Timer {
@@ -117,6 +133,13 @@ class Scheduler {
   /// noted here so fault runs stay bit-reproducible end to end.
   void trace_note(std::uint64_t v) { fold_trace(v); }
 
+  /// Opt-in structured tracing: when a sink is attached, instrumented
+  /// components emit spans to it. Null (the default) disables emission; the
+  /// sink is observed-only, never owned, and never scheduled, so toggling it
+  /// leaves `trace_hash()` and all timings bit-identical.
+  void set_span_sink(SpanSink* sink) { span_sink_ = sink; }
+  SpanSink* span_sink() const { return span_sink_; }
+
  private:
   struct Detached {
     struct promise_type {
@@ -175,6 +198,7 @@ class Scheduler {
   std::uint64_t trace_hash_ = 0xCBF29CE484222325ULL;  // FNV-1a offset basis
   std::vector<std::exception_ptr> errors_;
   std::vector<std::coroutine_handle<Detached::promise_type>> detached_;
+  SpanSink* span_sink_ = nullptr;
 };
 
 }  // namespace daosim::sim

@@ -26,8 +26,17 @@ class Summary {
   double mean() const { return n_ ? mean_ : 0.0; }
   double variance() const { return n_ > 1 ? m2_ / double(n_ - 1) : 0.0; }
   double stddev() const { return std::sqrt(variance()); }
-  double min() const { return n_ ? min_ : 0.0; }
-  double max() const { return n_ ? max_ : 0.0; }
+  /// Extrema are only defined once a sample exists; asking an empty summary
+  /// would silently yield the +/-infinity seeds (or a made-up 0.0), so it is
+  /// rejected outright — mirroring Samples::percentile().
+  double min() const {
+    DAOSIM_REQUIRE(n_ > 0, "min of empty summary");
+    return min_;
+  }
+  double max() const {
+    DAOSIM_REQUIRE(n_ > 0, "max of empty summary");
+    return max_;
+  }
 
  private:
   std::uint64_t n_ = 0;
@@ -64,7 +73,10 @@ class Samples {
 
   double median() { return percentile(50.0); }
 
+  /// Summarizing an empty set is rejected like percentile(): the Summary it
+  /// would return has no defined min()/max().
   Summary summarize() const {
+    DAOSIM_REQUIRE(!data_.empty(), "summarize of empty sample set");
     Summary s;
     for (double x : data_) s.add(x);
     return s;

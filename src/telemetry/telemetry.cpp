@@ -1,0 +1,232 @@
+#include "telemetry/telemetry.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+
+namespace daosim::telemetry {
+
+namespace {
+
+std::string u64_str(std::uint64_t v) { return strfmt("%" PRIu64, v); }
+std::string i64_str(std::int64_t v) { return strfmt("%" PRId64, v); }
+
+// %.17g round-trips every finite double bit-exactly, so formatting is as
+// deterministic as the value itself.
+std::string f64_str(double v) { return strfmt("%.17g", v); }
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += strfmt("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+struct Row {
+  std::string path;  // <root>/<node path>
+  Kind kind;
+  std::vector<Field> fields;
+};
+
+std::vector<Row> flatten(const std::vector<const Registry*>& regs) {
+  std::vector<Row> rows;
+  for (const Registry* reg : regs) {
+    if (reg == nullptr) continue;
+    for (const auto& [path, node] : reg->nodes()) {
+      Row r{reg->root() + "/" + path, node->kind(), {}};
+      node->fields(r.fields);
+      rows.push_back(std::move(r));
+    }
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.path < b.path; });
+  return rows;
+}
+
+}  // namespace
+
+const char* kind_name(Kind k) {
+  switch (k) {
+    case Kind::counter: return "counter";
+    case Kind::gauge: return "gauge";
+    case Kind::stat_gauge: return "stat_gauge";
+    case Kind::histogram: return "histogram";
+    case Kind::probe: return "probe";
+  }
+  return "unknown";
+}
+
+void Counter::fields(std::vector<Field>& out) const {
+  out.push_back({"value", u64_str(value_)});
+}
+
+void Gauge::fields(std::vector<Field>& out) const {
+  out.push_back({"value", i64_str(value_)});
+  out.push_back({"max", i64_str(max_)});
+}
+
+void StatGauge::fields(std::vector<Field>& out) const {
+  const bool any = stats_.count() > 0;
+  out.push_back({"count", u64_str(stats_.count())});
+  out.push_back({"mean", f64_str(stats_.mean())});
+  out.push_back({"min", f64_str(any ? stats_.min() : 0.0)});
+  out.push_back({"max", f64_str(any ? stats_.max() : 0.0)});
+}
+
+DurationHistogram::State& DurationHistogram::State::operator+=(const State& o) {
+  if (o.count > 0) {
+    min_ns = count == 0 ? o.min_ns : std::min(min_ns, o.min_ns);
+    max_ns = count == 0 ? o.max_ns : std::max(max_ns, o.max_ns);
+  }
+  count += o.count;
+  sum_ns += o.sum_ns;
+  for (std::size_t k = 0; k < kBuckets; ++k) buckets[k] += o.buckets[k];
+  return *this;
+}
+
+DurationHistogram::State DurationHistogram::State::operator-(const State& earlier) const {
+  DAOSIM_REQUIRE(count >= earlier.count && sum_ns >= earlier.sum_ns,
+                 "histogram delta against a later snapshot");
+  State d;
+  d.count = count - earlier.count;
+  d.sum_ns = sum_ns - earlier.sum_ns;
+  for (std::size_t k = 0; k < kBuckets; ++k) {
+    DAOSIM_REQUIRE(buckets[k] >= earlier.buckets[k], "histogram delta bucket underflow");
+    d.buckets[k] = buckets[k] - earlier.buckets[k];
+  }
+  return d;
+}
+
+double DurationHistogram::State::percentile_ns(double p) const {
+  DAOSIM_REQUIRE(p >= 0.0 && p <= 100.0, "percentile out of range");
+  if (count == 0) return 0.0;
+  const double rank = p / 100.0 * double(count - 1);  // 0-based sample rank
+  std::uint64_t seen = 0;
+  for (std::size_t k = 0; k < kBuckets; ++k) {
+    if (buckets[k] == 0) continue;
+    if (double(seen + buckets[k] - 1) >= rank) {
+      // Interpolate inside bucket k, whose durations have bit_width k.
+      const double lo = k == 0 ? 0.0 : std::ldexp(1.0, int(k) - 1);
+      const double hi = std::ldexp(1.0, int(k));
+      const double frac =
+          buckets[k] == 1 ? 0.0 : (rank - double(seen)) / double(buckets[k] - 1);
+      double v = lo + frac * (hi - lo);
+      if (max_ns > 0) v = std::min(v, double(max_ns));
+      if (min_ns > 0) v = std::max(v, double(min_ns));
+      return v;
+    }
+    seen += buckets[k];
+  }
+  return double(max_ns);
+}
+
+void DurationHistogram::record(sim::Time ns) {
+  if (s_.count == 0) {
+    s_.min_ns = ns;
+    s_.max_ns = ns;
+  } else {
+    s_.min_ns = std::min(s_.min_ns, ns);
+    s_.max_ns = std::max(s_.max_ns, ns);
+  }
+  ++s_.count;
+  s_.sum_ns += ns;
+  const std::size_t k = ns == 0 ? 0 : std::size_t(std::bit_width(ns));
+  ++s_.buckets[std::min(k, kBuckets - 1)];
+}
+
+void DurationHistogram::fields(std::vector<Field>& out) const {
+  out.push_back({"count", u64_str(s_.count)});
+  out.push_back({"sum_ns", u64_str(s_.sum_ns)});
+  out.push_back({"min_ns", u64_str(s_.count ? s_.min_ns : 0)});
+  out.push_back({"max_ns", u64_str(s_.count ? s_.max_ns : 0)});
+  out.push_back({"p50_ns", f64_str(s_.percentile_ns(50.0))});
+  out.push_back({"p99_ns", f64_str(s_.percentile_ns(99.0))});
+}
+
+void Probe::fields(std::vector<Field>& out) const {
+  out.push_back({"value", u64_str(fn_())});
+}
+
+Probe& Registry::add_probe(const std::string& path, std::function<std::uint64_t()> fn) {
+  auto [it, inserted] = nodes_.emplace(path, std::make_unique<Probe>(std::move(fn)));
+  DAOSIM_REQUIRE(inserted, "telemetry probe %s/%s already exists", root_.c_str(), path.c_str());
+  return *static_cast<Probe*>(it->second.get());
+}
+
+void write_csv(std::ostream& os, const std::vector<const Registry*>& regs) {
+  os << "path,kind,field,value\n";
+  for (const Row& r : flatten(regs)) {
+    for (const Field& f : r.fields) {
+      os << r.path << ',' << kind_name(r.kind) << ',' << f.name << ',' << f.value << '\n';
+    }
+  }
+}
+
+void write_json(std::ostream& os, const std::vector<const Registry*>& regs) {
+  os << "{\n";
+  const std::vector<Row> rows = flatten(regs);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    os << "  \"" << json_escape(r.path) << "\": {\"kind\": \"" << kind_name(r.kind) << '"';
+    for (const Field& f : r.fields) os << ", \"" << f.name << "\": " << f.value;
+    os << (i + 1 < rows.size() ? "},\n" : "}\n");
+  }
+  os << "}\n";
+}
+
+void write_dump(std::ostream& os, const std::vector<const Registry*>& regs, DumpFormat fmt) {
+  if (fmt == DumpFormat::csv) {
+    write_csv(os, regs);
+  } else {
+    write_json(os, regs);
+  }
+}
+
+void TraceLog::span(const char* category, std::string name, std::uint32_t pid,
+                    std::uint64_t tid, sim::Time begin, sim::Time end) {
+  spans_.push_back({category, std::move(name), pid, tid, begin, end});
+}
+
+void TraceLog::set_process_name(std::uint32_t pid, std::string name) {
+  process_names_[pid] = std::move(name);
+}
+
+std::size_t TraceLog::count(const std::string& category) const {
+  std::size_t n = 0;
+  for (const Span& s : spans_) n += category == s.category ? 1 : 0;
+  return n;
+}
+
+void TraceLog::write_chrome_json(std::ostream& os) const {
+  os << "{\"traceEvents\": [\n";
+  bool first = true;
+  for (const auto& [pid, name] : process_names_) {
+    os << (first ? "" : ",\n") << "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": "
+       << pid << ", \"tid\": 0, \"args\": {\"name\": \"" << json_escape(name) << "\"}}";
+    first = false;
+  }
+  for (const Span& s : spans_) {
+    // Chrome trace timestamps are microseconds; keep ns precision as a
+    // fraction. "X" is a complete (begin+duration) event.
+    os << (first ? "" : ",\n") << "  {\"name\": \"" << json_escape(s.name) << "\", \"cat\": \""
+       << s.category << "\", \"ph\": \"X\", \"ts\": " << f64_str(double(s.begin) / 1000.0)
+       << ", \"dur\": " << f64_str(double(s.end - s.begin) / 1000.0) << ", \"pid\": " << s.pid
+       << ", \"tid\": " << s.tid << "}";
+    first = false;
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace daosim::telemetry

@@ -1,0 +1,225 @@
+// d_tm-style hierarchical telemetry: a path-addressed tree of counters,
+// gauges, stat-gauges and duration histograms, one Registry root per engine,
+// client, pool service and fabric, plus deterministic CSV/JSON exporters and
+// a Chrome trace-event span sink. All instrumentation is passive — recording
+// a metric never schedules an event, so enabling telemetry leaves
+// Scheduler::trace_hash() and every simulated timing bit-identical.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/stats.hpp"
+
+namespace daosim::telemetry {
+
+enum class Kind : std::uint8_t { counter, gauge, stat_gauge, histogram, probe };
+
+const char* kind_name(Kind k);
+
+/// One exported (field, preformatted value) pair of a node. Values are
+/// formatted once, deterministically, so CSV and JSON dumps are byte-stable.
+struct Field {
+  const char* name;
+  std::string value;
+};
+
+/// Base of every metric node in a Registry tree.
+class Node {
+ public:
+  explicit Node(Kind k) : kind_(k) {}
+  virtual ~Node() = default;
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  Kind kind() const { return kind_; }
+  /// Appends this node's fields in a fixed order.
+  virtual void fields(std::vector<Field>& out) const = 0;
+
+ private:
+  Kind kind_;
+};
+
+/// Monotonic event count (d_tm counter).
+class Counter final : public Node {
+ public:
+  Counter() : Node(Kind::counter) {}
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+  void fields(std::vector<Field>& out) const override;
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Instantaneous level with a high-water mark (d_tm gauge).
+class Gauge final : public Node {
+ public:
+  Gauge() : Node(Kind::gauge) {}
+  void set(std::int64_t v) {
+    value_ = v;
+    max_ = std::max(max_, v);
+  }
+  void add(std::int64_t d) { set(value_ + d); }
+  std::int64_t value() const { return value_; }
+  std::int64_t max_seen() const { return max_; }
+  void fields(std::vector<Field>& out) const override;
+
+ private:
+  std::int64_t value_ = 0;
+  std::int64_t max_ = 0;
+};
+
+/// Gauge with streaming statistics over every sampled level (d_tm stats
+/// gauge); wraps the existing sim::Summary.
+class StatGauge final : public Node {
+ public:
+  StatGauge() : Node(Kind::stat_gauge) {}
+  void sample(double v) { stats_.add(v); }
+  const sim::Summary& stats() const { return stats_; }
+  void fields(std::vector<Field>& out) const override;
+
+ private:
+  sim::Summary stats_;
+};
+
+/// Fixed-bucket duration histogram over simulated nanoseconds: 65 log2
+/// buckets (bucket k counts durations with bit_width k, i.e. [2^(k-1), 2^k)),
+/// plus exact count/sum/min/max. Snapshots are plain values, so callers can
+/// diff two snapshots to get a per-phase histogram.
+class DurationHistogram final : public Node {
+ public:
+  static constexpr std::size_t kBuckets = 65;
+
+  /// Value snapshot of a histogram; supports merge (+=), per-phase delta (-)
+  /// and bucket-interpolated percentiles.
+  struct State {
+    std::uint64_t count = 0;
+    std::uint64_t sum_ns = 0;
+    std::uint64_t min_ns = 0;  // meaningful only when count > 0
+    std::uint64_t max_ns = 0;
+    std::array<std::uint64_t, kBuckets> buckets{};
+
+    State& operator+=(const State& o);
+    /// Bucket-wise difference `*this - earlier`; min/max are not recoverable
+    /// from a delta and come back as 0 (percentile() then clamps to bucket
+    /// bounds only).
+    State operator-(const State& earlier) const;
+    double mean_ns() const { return count ? double(sum_ns) / double(count) : 0.0; }
+    /// p in [0, 100]; linear interpolation inside the covering bucket,
+    /// clamped to the exact min/max when they are known. 0.0 when empty.
+    double percentile_ns(double p) const;
+  };
+
+  DurationHistogram() : Node(Kind::histogram) {}
+  void record(sim::Time ns);
+  const State& state() const { return s_; }
+  State snapshot() const { return s_; }
+  void fields(std::vector<Field>& out) const override;
+
+ private:
+  State s_;
+};
+
+/// Value polled at dump time from a callback — exports counters that live as
+/// plain members elsewhere (VOS tree stats, pool-service task counts)
+/// without coupling those layers to telemetry.
+class Probe final : public Node {
+ public:
+  explicit Probe(std::function<std::uint64_t()> fn) : Node(Kind::probe), fn_(std::move(fn)) {}
+  std::uint64_t value() const { return fn_(); }
+  void fields(std::vector<Field>& out) const override;
+
+ private:
+  std::function<std::uint64_t()> fn_;
+};
+
+/// One metric tree root ("engine/3", "client/12", "pool/0", "fabric").
+/// Nodes are addressed by '/'-separated paths below the root and stored in a
+/// sorted map, so iteration — and therefore every dump — is deterministic.
+class Registry {
+ public:
+  explicit Registry(std::string root) : root_(std::move(root)) {}
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  const std::string& root() const { return root_; }
+
+  /// Returns the node at `path`, creating it if absent. The only sanctioned
+  /// way to materialize a metric (see the `untracked-metric` lint rule);
+  /// rejects a path already holding a different kind.
+  template <typename T>
+  T& find_or_create(const std::string& path) {
+    auto it = nodes_.find(path);
+    if (it == nodes_.end()) it = nodes_.emplace(path, std::make_unique<T>()).first;
+    T* p = dynamic_cast<T*>(it->second.get());
+    DAOSIM_REQUIRE(p != nullptr, "telemetry node %s/%s already exists with kind %s",
+                   root_.c_str(), path.c_str(), kind_name(it->second->kind()));
+    return *p;
+  }
+
+  /// Probes carry a callback, so they get a dedicated registration.
+  Probe& add_probe(const std::string& path, std::function<std::uint64_t()> fn);
+
+  /// Lookup without creation; nullptr when absent or of another kind.
+  template <typename T>
+  const T* find(const std::string& path) const {
+    const auto it = nodes_.find(path);
+    return it == nodes_.end() ? nullptr : dynamic_cast<const T*>(it->second.get());
+  }
+
+  const std::map<std::string, std::unique_ptr<Node>>& nodes() const { return nodes_; }
+
+ private:
+  std::string root_;
+  std::map<std::string, std::unique_ptr<Node>> nodes_;
+};
+
+enum class DumpFormat : std::uint8_t { csv, json };
+
+/// Snapshot dump of a set of registries, rows sorted by full path
+/// (`<root>/<path>`). Byte-identical across same-seed runs.
+void write_csv(std::ostream& os, const std::vector<const Registry*>& regs);
+void write_json(std::ostream& os, const std::vector<const Registry*>& regs);
+void write_dump(std::ostream& os, const std::vector<const Registry*>& regs, DumpFormat fmt);
+
+/// Span sink accumulating structured trace events, serializable as Chrome
+/// trace-event JSON (chrome://tracing, Perfetto).
+class TraceLog final : public sim::SpanSink {
+ public:
+  void span(const char* category, std::string name, std::uint32_t pid, std::uint64_t tid,
+            sim::Time begin, sim::Time end) override;
+
+  /// Labels a pid track in the viewer ("engine/3", "client/12").
+  void set_process_name(std::uint32_t pid, std::string name);
+
+  std::size_t size() const { return spans_.size(); }
+  /// Count of recorded spans in `category`.
+  std::size_t count(const std::string& category) const;
+
+  void write_chrome_json(std::ostream& os) const;
+
+ private:
+  struct Span {
+    const char* category;
+    std::string name;
+    std::uint32_t pid;
+    std::uint64_t tid;
+    sim::Time begin;
+    sim::Time end;
+  };
+  std::vector<Span> spans_;
+  std::map<std::uint32_t, std::string> process_names_;
+};
+
+}  // namespace daosim::telemetry

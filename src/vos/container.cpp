@@ -5,14 +5,17 @@
 namespace daosim::vos {
 
 VosContainer::ObjectNode& VosContainer::obj(ObjId oid) {
+  ++tree_stats_.lookups;
   if (auto* p = objects_.find(oid)) return **p;
   auto node = std::make_unique<ObjectNode>();
   auto* raw = node.get();
+  ++tree_stats_.inserts;
   objects_.insert_or_assign(oid, std::move(node));
   return *raw;
 }
 
 const VosContainer::ObjectNode* VosContainer::find_obj(ObjId oid) const {
+  ++tree_stats_.lookups;
   const auto* p = objects_.find(oid);
   return p != nullptr ? p->get() : nullptr;
 }
@@ -20,16 +23,20 @@ const VosContainer::ObjectNode* VosContainer::find_obj(ObjId oid) const {
 VosContainer::AkeyNode& VosContainer::akey_node(ObjId oid, const Key& dkey, const Key& akey) {
   ObjectNode& o = obj(oid);
   DkeyNode* dk;
+  ++tree_stats_.lookups;
   if (auto* p = o.dkeys.find(dkey)) {
     dk = p->get();
   } else {
     auto node = std::make_unique<DkeyNode>();
     dk = node.get();
+    ++tree_stats_.inserts;
     o.dkeys.insert_or_assign(dkey, std::move(node));
   }
+  ++tree_stats_.lookups;
   if (auto* p = dk->akeys.find(akey)) return **p;
   auto node = std::make_unique<AkeyNode>();
   auto* raw = node.get();
+  ++tree_stats_.inserts;
   dk->akeys.insert_or_assign(akey, std::move(node));
   return *raw;
 }
@@ -38,8 +45,10 @@ const VosContainer::AkeyNode* VosContainer::find_akey(ObjId oid, const Key& dkey
                                                       const Key& akey) const {
   const auto* o = find_obj(oid);
   if (o == nullptr) return nullptr;
+  ++tree_stats_.lookups;
   const auto* dk = const_cast<ObjectNode*>(o)->dkeys.find(dkey);
   if (dk == nullptr) return nullptr;
+  ++tree_stats_.lookups;
   const auto* ak = (*dk)->akeys.find(akey);
   return ak != nullptr ? ak->get() : nullptr;
 }
@@ -203,7 +212,11 @@ void VosContainer::aggregate(Epoch upto) {
       for (auto ait = akeys.begin(); ait != akeys.end(); ++ait) {
         AkeyNode& a = *ait.value();
         if (a.has_sv) a.sv.aggregate(upto);
-        if (a.has_arr) a.arr.aggregate(upto, mode_);
+        if (a.has_arr) {
+          const std::size_t before = a.arr.extent_count();
+          a.arr.aggregate(upto, mode_);
+          tree_stats_.extent_merges += before - std::min(before, a.arr.extent_count());
+        }
       }
     }
   }

@@ -94,6 +94,23 @@ class VosContainer {
   std::uint64_t stored_bytes() const;
   std::uint64_t logical_bytes_written() const { return logical_bytes_; }
 
+  /// Plain index-operation counters polled by the engine's telemetry probes
+  /// (VOS itself stays free of the telemetry dependency). `lookups` counts
+  /// tree probes (object/dkey/akey), `inserts` node creations, and
+  /// `extent_merges` array extents retired by aggregate().
+  struct TreeStats {
+    std::uint64_t lookups = 0;
+    std::uint64_t inserts = 0;
+    std::uint64_t extent_merges = 0;
+    TreeStats& operator+=(const TreeStats& o) {
+      lookups += o.lookups;
+      inserts += o.inserts;
+      extent_merges += o.extent_merges;
+      return *this;
+    }
+  };
+  const TreeStats& tree_stats() const { return tree_stats_; }
+
  private:
   struct AkeyNode {
     SingleValueStore sv;
@@ -118,6 +135,7 @@ class VosContainer {
   PayloadMode mode_;
   Epoch epoch_clock_ = 0;
   std::uint64_t logical_bytes_ = 0;
+  mutable TreeStats tree_stats_;  // mutable: lookups count on const reads
   BPlusTree<ObjId, std::unique_ptr<ObjectNode>> objects_;
 };
 

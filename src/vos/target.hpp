@@ -55,6 +55,14 @@ class VosTarget {
     return total;
   }
 
+  /// Index-operation counters summed over this target's container shards
+  /// (order-independent, so the unordered walk is safe).
+  VosContainer::TreeStats tree_stats() const {
+    VosContainer::TreeStats total;
+    for (const auto& [uuid, c] : containers_) total += c.tree_stats();
+    return total;
+  }
+
  private:
   PayloadMode mode_;
   std::unordered_map<Uuid, VosContainer> containers_;

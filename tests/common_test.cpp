@@ -1,5 +1,6 @@
-// Coverage for the common error vocabulary (Result<T>, Errno, errno_name)
-// and the sim::Timer cancel/armed/fired state machine.
+// Coverage for the common error vocabulary (Result<T>, Errno, errno_name),
+// the sim::Timer cancel/armed/fired state machine, and the empty-set
+// behavior of the statistics helpers.
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -8,6 +9,7 @@
 
 #include "common/error.hpp"
 #include "sim/scheduler.hpp"
+#include "sim/stats.hpp"
 
 namespace daosim {
 namespace {
@@ -162,6 +164,34 @@ TEST(TimerTest, CancelMidRunBeforeExpiry) {
   s.run();
   EXPECT_FALSE(late_fired);
   EXPECT_FALSE(late.armed());
+}
+
+// ------------------------------------------------- empty-set statistics
+
+// Empty extrema used to silently return the +/-infinity seeds; they are now
+// rejected outright, mirroring Samples::percentile().
+TEST(StatsEmptyTest, SummaryMinMaxThrowOnEmpty) {
+  sim::Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);  // moments keep their defined-empty values
+  EXPECT_EQ(s.stddev(), 0.0);
+  EXPECT_THROW((void)s.min(), DaosimError);
+  EXPECT_THROW((void)s.max(), DaosimError);
+  s.add(3.5);
+  EXPECT_EQ(s.min(), 3.5);
+  EXPECT_EQ(s.max(), 3.5);
+}
+
+TEST(StatsEmptyTest, SamplesSummarizeThrowsOnEmpty) {
+  sim::Samples s;
+  EXPECT_THROW((void)s.summarize(), DaosimError);
+  EXPECT_THROW((void)s.percentile(50.0), DaosimError);
+  s.add(1.0);
+  s.add(2.0);
+  const sim::Summary sum = s.summarize();
+  EXPECT_EQ(sum.count(), 2u);
+  EXPECT_EQ(sum.min(), 1.0);
+  EXPECT_EQ(sum.max(), 2.0);
 }
 
 TEST(TimerTest, RearmingReplacesState) {

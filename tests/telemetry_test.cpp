@@ -1,0 +1,401 @@
+// Telemetry tests: the metric-tree primitives, the deterministic exporters,
+// the Chrome-trace span sink, and the end-to-end contracts — same-seed runs
+// dump byte-identical metrics, attaching a span sink never perturbs the
+// simulation, and fault-injection counters match the injector's schedule.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "co_assert.hpp"
+#include "fault/fault.hpp"
+#include "ior/ior.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace daosim::telemetry {
+namespace {
+
+using cluster::ClusterConfig;
+using cluster::kPoolUuid;
+using cluster::Testbed;
+using sim::CoTask;
+
+// ---------------------------------------------------------------------------
+// Registry & node primitives
+
+TEST(Registry, FindOrCreateReturnsTheSameNode) {
+  Registry r("unit");
+  Counter& a = r.find_or_create<Counter>("x/count");
+  a.inc(3);
+  Counter& b = r.find_or_create<Counter>("x/count");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 3u);
+  EXPECT_EQ(r.nodes().size(), 1u);
+}
+
+TEST(Registry, KindMismatchIsRejected) {
+  Registry r("unit");
+  r.find_or_create<Counter>("x");
+  EXPECT_THROW(r.find_or_create<Gauge>("x"), DaosimError);
+  EXPECT_EQ(r.find<Gauge>("x"), nullptr);          // wrong kind -> null
+  EXPECT_NE(r.find<Counter>("x"), nullptr);        // right kind -> node
+  EXPECT_EQ(r.find<Counter>("absent"), nullptr);   // absent -> null
+}
+
+TEST(Registry, GaugeTracksLevelAndHighWater) {
+  Registry r("unit");
+  Gauge& g = r.find_or_create<Gauge>("depth");
+  g.set(5);
+  g.add(3);
+  g.add(-6);
+  EXPECT_EQ(g.value(), 2);
+  EXPECT_EQ(g.max_seen(), 8);
+}
+
+TEST(Registry, StatGaugeWrapsSummary) {
+  Registry r("unit");
+  StatGauge& s = r.find_or_create<StatGauge>("queue");
+  s.sample(1.0);
+  s.sample(3.0);
+  EXPECT_EQ(s.stats().count(), 2u);
+  EXPECT_EQ(s.stats().min(), 1.0);
+  EXPECT_EQ(s.stats().max(), 3.0);
+}
+
+TEST(Registry, ProbePollsItsCallback) {
+  Registry r("unit");
+  std::uint64_t live = 7;
+  r.add_probe("live", [&] { return live; });
+  live = 42;
+  std::vector<Field> fields;
+  r.find<Probe>("live")->fields(fields);
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0].value, "42");
+}
+
+// ---------------------------------------------------------------------------
+// DurationHistogram
+
+TEST(Histogram, ExactStatsAndClampedPercentiles) {
+  Registry r("unit");
+  DurationHistogram& h = r.find_or_create<DurationHistogram>("lat");
+  h.record(1000);
+  EXPECT_EQ(h.state().count, 1u);
+  EXPECT_EQ(h.state().sum_ns, 1000u);
+  EXPECT_EQ(h.state().min_ns, 1000u);
+  EXPECT_EQ(h.state().max_ns, 1000u);
+  // A single sample: every percentile clamps to the exact value.
+  EXPECT_EQ(h.state().percentile_ns(0), 1000.0);
+  EXPECT_EQ(h.state().percentile_ns(50), 1000.0);
+  EXPECT_EQ(h.state().percentile_ns(100), 1000.0);
+
+  h.record(1);
+  h.record(2);
+  h.record(1u << 20);
+  const DurationHistogram::State& s = h.state();
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_EQ(s.min_ns, 1u);
+  EXPECT_EQ(s.max_ns, 1u << 20);
+  EXPECT_LE(s.percentile_ns(50), s.percentile_ns(99));
+  EXPECT_GE(s.percentile_ns(0), 1.0);
+  EXPECT_LE(s.percentile_ns(100), double(1u << 20));
+  EXPECT_DOUBLE_EQ(s.mean_ns(), double(1000 + 1 + 2 + (1u << 20)) / 4.0);
+}
+
+TEST(Histogram, DeltaIsolatesAPhase) {
+  Registry r("unit");
+  DurationHistogram& h = r.find_or_create<DurationHistogram>("lat");
+  h.record(100);
+  h.record(200);
+  const DurationHistogram::State before = h.snapshot();
+  h.record(1000);
+  const DurationHistogram::State delta = h.snapshot() - before;
+  EXPECT_EQ(delta.count, 1u);
+  EXPECT_EQ(delta.sum_ns, 1000u);
+  // min/max are not recoverable from a delta; percentiles fall back to the
+  // covering bucket's bounds ([512, 1024) for 1000ns).
+  EXPECT_EQ(delta.min_ns, 0u);
+  EXPECT_GE(delta.percentile_ns(50), 512.0);
+  EXPECT_LE(delta.percentile_ns(50), 1024.0);
+}
+
+TEST(Histogram, MergeAccumulatesAcrossClients) {
+  Registry r("unit");
+  DurationHistogram& a = r.find_or_create<DurationHistogram>("a");
+  DurationHistogram& b = r.find_or_create<DurationHistogram>("b");
+  a.record(10);
+  b.record(30);
+  DurationHistogram::State sum = a.snapshot();
+  sum += b.snapshot();
+  EXPECT_EQ(sum.count, 2u);
+  EXPECT_EQ(sum.sum_ns, 40u);
+  EXPECT_EQ(sum.min_ns, 10u);
+  EXPECT_EQ(sum.max_ns, 30u);
+}
+
+// ---------------------------------------------------------------------------
+// Exporters
+
+Registry& seeded_registry(Registry& r) {
+  r.find_or_create<Counter>("b/count").inc(2);
+  r.find_or_create<Gauge>("a/depth").set(4);
+  r.find_or_create<StatGauge>("c/queue").sample(1.5);
+  r.find_or_create<DurationHistogram>("a/lat").record(1000);
+  r.add_probe("d/live", [] { return std::uint64_t{9}; });
+  return r;
+}
+
+TEST(Dump, CsvIsSortedAndStable) {
+  Registry r("unit");
+  seeded_registry(r);
+  std::ostringstream a, b;
+  write_csv(a, {&r});
+  write_csv(b, {&r});
+  EXPECT_EQ(a.str(), b.str());
+  const std::string csv = a.str();
+  EXPECT_EQ(csv.substr(0, csv.find('\n')), "path,kind,field,value");
+  // Rows come out in sorted path order.
+  EXPECT_LT(csv.find("unit/a/depth"), csv.find("unit/a/lat"));
+  EXPECT_LT(csv.find("unit/a/lat"), csv.find("unit/b/count"));
+  EXPECT_LT(csv.find("unit/b/count"), csv.find("unit/c/queue"));
+  EXPECT_NE(csv.find("unit/b/count,counter,value,2"), std::string::npos);
+  EXPECT_NE(csv.find("unit/d/live,probe,value,9"), std::string::npos);
+}
+
+TEST(Dump, JsonSortsAcrossRegistries) {
+  Registry eng("engine/1");
+  Registry cl("client/9");
+  eng.find_or_create<Counter>("x").inc();
+  cl.find_or_create<Counter>("x").inc();
+  std::ostringstream os;
+  // Handed over out of order: the dump re-sorts by full path.
+  write_json(os, {&eng, &cl});
+  const std::string json = os.str();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_LT(json.find("\"client/9/x\""), json.find("\"engine/1/x\""));
+  EXPECT_NE(json.find("\"kind\": \"counter\""), std::string::npos);
+}
+
+TEST(Trace, ChromeJsonCarriesSpansAndProcessNames) {
+  TraceLog log;
+  log.set_process_name(1, "engine/1");
+  log.span("rpc", "update ->1", 1, 0x20, 1000, 5000);
+  log.span("media", "write 4096B", 1, 0, 2000, 3000);
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.count("rpc"), 1u);
+  EXPECT_EQ(log.count("media"), 1u);
+  EXPECT_EQ(log.count("rebuild"), 0u);
+  std::ostringstream os;
+  log.write_chrome_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"update ->1\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\": 4"), std::string::npos);  // 4000ns -> 4us
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: same-seed runs dump byte-identical metrics, and attaching a
+// span sink changes nothing about the simulation.
+
+ClusterConfig small_cluster() {
+  ClusterConfig cfg;
+  cfg.server_nodes = 2;
+  cfg.engines_per_server = 2;
+  cfg.targets_per_engine = 4;
+  cfg.client_nodes = 2;
+  return cfg;
+}
+
+ior::IorConfig small_job(ior::Api api, bool fpp) {
+  ior::IorConfig cfg;
+  cfg.api = api;
+  cfg.transfer_size = 256 * kKiB;
+  cfg.block_size = 1 * kMiB;
+  cfg.segments = 2;
+  cfg.file_per_process = fpp;
+  return cfg;
+}
+
+struct DumpDigest {
+  std::string csv;
+  std::string json;
+  std::uint64_t trace_hash = 0;
+  double write_seconds = 0;
+  double read_seconds = 0;
+  std::uint64_t rpc_p99_write = 0;
+};
+
+DumpDigest run_and_dump(ior::Api api, bool fpp, TraceLog* sink = nullptr) {
+  Testbed tb(small_cluster());
+  if (sink != nullptr) tb.sched().set_span_sink(sink);
+  tb.start();
+  ior::IorRunner runner(tb, /*ppn=*/4);
+  const ior::IorResult res = runner.run(small_job(api, fpp));
+  tb.stop();
+  DumpDigest d;
+  std::ostringstream csv, json;
+  tb.dump_metrics(csv, DumpFormat::csv);
+  tb.dump_metrics(json, DumpFormat::json);
+  d.csv = csv.str();
+  d.json = json.str();
+  d.trace_hash = tb.sched().trace_hash();
+  d.write_seconds = res.write.seconds;
+  d.read_seconds = res.read.seconds;
+  d.rpc_p99_write = std::uint64_t(res.write_rpc_latency.percentile_ns(99));
+  return d;
+}
+
+class DumpDeterminism
+    : public ::testing::TestWithParam<std::tuple<ior::Api, bool /*file_per_process*/>> {};
+
+TEST_P(DumpDeterminism, SameSeedRunsDumpByteIdentically) {
+  const auto [api, fpp] = GetParam();
+  const DumpDigest first = run_and_dump(api, fpp);
+  const DumpDigest second = run_and_dump(api, fpp);
+  EXPECT_EQ(first.csv, second.csv) << "CSV dump drifted across same-seed runs";
+  EXPECT_EQ(first.json, second.json) << "JSON dump drifted across same-seed runs";
+  EXPECT_EQ(first.trace_hash, second.trace_hash);
+  // The dumps are real: data-path metrics are present and non-trivial.
+  EXPECT_NE(first.csv.find("rpc/update/sent"), std::string::npos);
+  EXPECT_NE(first.csv.find("fabric/messages"), std::string::npos);
+  EXPECT_NE(first.json.find("svc/update/time_ns"), std::string::npos);
+  EXPECT_GT(first.rpc_p99_write, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EasyAndHard, DumpDeterminism,
+    ::testing::Combine(::testing::Values(ior::Api::dfs, ior::Api::mpiio, ior::Api::hdf5),
+                       ::testing::Values(true, false)),
+    [](const auto& tp) {
+      return std::string(ior::to_string(std::get<0>(tp.param))) +
+             (std::get<1>(tp.param) ? "_easy" : "_hard");
+    });
+
+TEST(SpanSink, AttachingATraceLogPerturbsNothing) {
+  const DumpDigest bare = run_and_dump(ior::Api::dfs, /*fpp=*/true);
+  TraceLog log;
+  const DumpDigest traced = run_and_dump(ior::Api::dfs, /*fpp=*/true, &log);
+  // The observability acceptance bar: identical event trace, identical
+  // bandwidth numbers, identical metric dumps — with spans collected.
+  EXPECT_EQ(bare.trace_hash, traced.trace_hash);
+  EXPECT_EQ(bare.write_seconds, traced.write_seconds);
+  EXPECT_EQ(bare.read_seconds, traced.read_seconds);
+  EXPECT_EQ(bare.csv, traced.csv);
+  EXPECT_GT(log.count("rpc"), 0u);
+  EXPECT_GT(log.count("xfer"), 0u);
+  EXPECT_GT(log.count("media"), 0u);
+}
+
+TEST(SpanSink, RebuildTasksEmitSpans) {
+  Testbed tb(small_cluster());
+  TraceLog log;
+  tb.sched().set_span_sink(&log);
+  tb.start();
+  auto schedule = fault::Schedule::parse("crash@5ms:e3");
+  ASSERT_TRUE(schedule.ok());
+  tb.inject_faults(*schedule, /*seed=*/7);
+  ior::IorRunner runner(tb, /*ppn=*/4);
+  ior::IorConfig job = small_job(ior::Api::daos_array, /*fpp=*/false);
+  job.oclass = std::uint8_t(client::ObjClass::RP_2GX);
+  (void)runner.run(job);
+  EXPECT_TRUE(tb.wait_rebuild());
+  tb.stop();
+  EXPECT_GT(log.count("rebuild"), 0u);
+  EXPECT_GT(log.count("rpc"), 0u);
+  std::ostringstream os;
+  log.write_chrome_json(os);
+  EXPECT_NE(os.str().find("\"rebuild\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injection counters match the schedule exactly.
+
+std::uint64_t counter_value(const Registry& r, const std::string& path) {
+  const Counter* c = r.find<Counter>(path);
+  return c != nullptr ? c->value() : 0;
+}
+
+TEST(FaultCounters, DroppedCallsAreCountedExactly) {
+  Testbed tb(small_cluster());
+  tb.start();
+  // Deterministically drop the first 3 object-update RPCs: the client's
+  // retry loop must send 4, see 3 timeouts, and complete 1.
+  int update_calls = 0;
+  tb.domain().set_fault_hook(
+      [&update_calls](net::NodeId, net::NodeId, std::uint16_t opcode) {
+        net::CallFault f;
+        if (opcode == engine::kOpObjUpdate && update_calls < 3) {
+          ++update_calls;
+          f.drop = true;
+        }
+        return f;
+      });
+  tb.run([&]() -> CoTask<void> {
+    auto& cl = tb.client(0);
+    (void)co_await cl.cont_create(kPoolUuid, {});  // daosim-lint: allow(ignored-result)
+    client::KvObject kv(cl, kPoolUuid, client::make_oid(1, client::ObjClass::S1));
+    std::vector<std::byte> v(8);
+    CO_ASSERT_ERRNO(co_await kv.put("d", "a", v), Errno::ok);
+  });
+  tb.domain().set_fault_hook(nullptr);
+  tb.stop();
+
+  const Registry& reg = tb.client(0).telemetry();
+  EXPECT_EQ(counter_value(reg, "rpc/update/sent"), 4u);
+  EXPECT_EQ(counter_value(reg, "rpc/update/timed_out"), 3u);
+  EXPECT_EQ(counter_value(reg, "rpc/update/completed"), 1u);
+  EXPECT_EQ(counter_value(reg, "retry/attempts"), 3u);
+  EXPECT_GT(counter_value(reg, "retry/backoff_ns"), 0u);
+  const DurationHistogram* lat = reg.find<DurationHistogram>("rpc/update/latency_ns");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->state().count, 1u);  // only the completed call is timed
+}
+
+std::uint64_t sum_counters_with_suffix(const std::vector<const Registry*>& regs,
+                                       const std::string& suffix) {
+  std::uint64_t n = 0;
+  for (const Registry* r : regs) {
+    for (const auto& [path, node] : r->nodes()) {
+      if (path.ends_with(suffix) && node->kind() == Kind::counter) {
+        n += r->find<Counter>(path)->value();
+      }
+    }
+  }
+  return n;
+}
+
+TEST(FaultCounters, TimeoutTotalsMatchTheInjectorSchedule) {
+  Testbed tb(small_cluster());
+  tb.start();
+  // A 150ms total-drop window against engine 1: every timed-out RPC in the
+  // whole cluster during this run comes from the injector, so the summed
+  // per-opcode timeout counters must equal its drop count exactly.
+  auto schedule = fault::Schedule::parse("drop@0-150ms:e1:1");
+  ASSERT_TRUE(schedule.ok());
+  const fault::Injector& inj = tb.inject_faults(*schedule, /*seed=*/3);
+  ior::IorRunner runner(tb, /*ppn=*/4);
+  (void)runner.run(small_job(ior::Api::dfs, /*fpp=*/true));
+  tb.stop();
+
+  const std::uint64_t dropped = inj.calls_dropped();
+  EXPECT_GT(dropped, 0u) << "the drop window never fired — the test lost its teeth";
+  EXPECT_EQ(sum_counters_with_suffix(tb.registries(), "/timed_out"), dropped);
+  // Client retries recovered every drop aimed at them: whatever the clients
+  // lost, they re-sent (engine-to-engine traffic retries at its own layer).
+  std::uint64_t client_timeouts = 0;
+  for (std::uint32_t c = 0; c < tb.client_node_count(); ++c) {
+    client_timeouts += sum_counters_with_suffix({&tb.client(c).telemetry()}, "/timed_out");
+  }
+  std::uint64_t client_retries = 0;
+  for (std::uint32_t c = 0; c < tb.client_node_count(); ++c) {
+    client_retries += counter_value(tb.client(c).telemetry(), "retry/attempts");
+  }
+  EXPECT_GE(client_retries, client_timeouts > 0 ? 1u : 0u);
+}
+
+}  // namespace
+}  // namespace daosim::telemetry

@@ -10,6 +10,9 @@
 #                          asan stage re-runs it under ASan+UBSan)
 #   tools/ci.sh rebuild    self-healing redundancy suite only (release build;
 #                          the asan stage re-runs it under ASan+UBSan)
+#   tools/ci.sh telemetry  telemetry suite only: dump determinism, fault
+#                          counters, metrics_diff, plus a live ior_cli run
+#                          validating the Chrome trace JSON
 #
 # Every configuration runs the full ctest suite, which itself includes the
 # lint tree scan and lint self-test, so `ctest` alone also catches violations.
@@ -72,6 +75,33 @@ if [[ $STAGE == rebuild ]]; then
   echo "=== [rebuild] ctest ==="
   ctest --test-dir build-ci-rebuild --output-on-failure -j "$JOBS" \
     -R 'GroupPlacement|RebuildSm|Rebuild\.|RebuildDeterminism'
+fi
+
+if [[ $STAGE == telemetry ]]; then
+  # Focused observability run: metric-tree unit tests, byte-identical
+  # same-seed dumps (easy/hard x DFS/MPI-IO/HDF5), span-sink invariance,
+  # exact fault counters, and the metrics_diff tool against real dumps.
+  echo "=== [telemetry] configure + build ==="
+  cmake -B build-ci-telemetry -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-ci-telemetry -j "$JOBS" --target telemetry_test ior_cli
+  echo "=== [telemetry] ctest ==="
+  ctest --test-dir build-ci-telemetry --output-on-failure -j "$JOBS" \
+    -R 'Registry\.|Histogram\.|Dump|Trace\.|SpanSink|FaultCounters|StatsEmpty|tools.metrics_diff'
+  echo "=== [telemetry] trace export validates ==="
+  build-ci-telemetry/examples/ior_cli -a DFS -t 1m -b 4m -N 2 -n 4 -S 2 \
+    --metrics-dump=build-ci-telemetry/metrics.json \
+    --trace-out=build-ci-telemetry/trace.json
+  python3 - <<'EOF'
+import json
+trace = json.load(open("build-ci-telemetry/trace.json"))
+events = trace["traceEvents"]
+assert events, "trace is empty"
+cats = {e.get("cat") for e in events if e.get("ph") == "X"}
+assert {"rpc", "xfer", "media"} <= cats, f"missing span categories: {cats}"
+metrics = json.load(open("build-ci-telemetry/metrics.json"))
+assert any(p.endswith("rpc/update/sent") for p in metrics), "metrics dump is empty"
+print(f"trace OK: {len(events)} events, categories {sorted(c for c in cats if c)}")
+EOF
 fi
 
 echo "=== CI ($STAGE) passed ==="

@@ -35,6 +35,13 @@ coroutine-heavy C++ codebases:
                       on lost replies and re-driven tasks, so an unguarded
                       handler double-counts the reporting engine and declares
                       rebuild complete too early.
+  untracked-metric    Direct construction of a telemetry metric node
+                      (telemetry::Counter/Gauge/StatGauge/DurationHistogram/
+                      Probe) by value, new, or make_unique outside
+                      src/telemetry/. A node that does not live in a
+                      telemetry::Registry has no path and never appears in a
+                      dump; obtain nodes via Registry::find_or_create /
+                      add_probe and hold pointers.
 
 Suppression: append  // daosim-lint: allow(<rule>)  to the offending line,
 or put  // daosim-lint: allow-file(<rule>)  anywhere in the file.
@@ -53,7 +60,7 @@ import re
 import sys
 
 RULES = ("spawn-temporary", "wall-clock", "unordered-iteration", "ignored-result",
-         "raw-rpc-call", "rebuild-idempotency")
+         "raw-rpc-call", "rebuild-idempotency", "untracked-metric")
 
 # wall-clock applies to src/ only: tests and benches may legitimately measure
 # host time; the simulation itself never may.
@@ -62,6 +69,9 @@ WALL_CLOCK_DIRS = ("src",)
 # raw-rpc-call applies to the client library only: engines, raft, and tests
 # drive endpoints directly by design; client code must use the retry wrappers.
 RAW_RPC_DIRS = ("src/client",)
+# untracked-metric applies everywhere except the telemetry library itself,
+# which is the one place sanctioned to materialize nodes.
+UNTRACKED_METRIC_EXCLUDE = ("src/telemetry",)
 
 CPP_EXTS = (".hpp", ".cpp", ".h", ".cc", ".cxx")
 
@@ -444,10 +454,40 @@ def check_rebuild_idempotency(path, text, clean):
     return out
 
 
+METRIC_TYPES = "Counter|Gauge|StatGauge|DurationHistogram|Probe"
+# Value declaration (`telemetry::Counter x`), heap construction (`new
+# telemetry::Counter`), or make_unique — each bypasses the registry. Pointer
+# and reference declarations (`telemetry::Counter*`/`&`) and nested names
+# (`telemetry::DurationHistogram::State`) don't match: the identifier must
+# follow the type name directly.
+UNTRACKED_METRIC_RE = re.compile(
+    rf"\bnew\s+(?:daosim\s*::\s*)?telemetry\s*::\s*(?:{METRIC_TYPES})\b"
+    rf"|make_unique\s*<\s*(?:daosim\s*::\s*)?telemetry\s*::\s*(?:{METRIC_TYPES})\s*>"
+    rf"|\btelemetry\s*::\s*(?:{METRIC_TYPES})\s+[A-Za-z_]"
+)
+
+
+def check_untracked_metric(path, text, clean):
+    out = []
+    for m in UNTRACKED_METRIC_RE.finditer(clean):
+        out.append(
+            Violation(
+                path,
+                line_of(clean, m.start()),
+                "untracked-metric",
+                "telemetry node constructed outside a Registry: it has no path "
+                "and never appears in a metrics dump; use "
+                "Registry::find_or_create<T>(path) / add_probe and hold a pointer",
+            )
+        )
+    return out
+
+
 # ----------------------------------------------------------- driver ----
 
 
-def lint_file(path, rel, result_fns, wall_clock_scope, raw_rpc_scope=False):
+def lint_file(path, rel, result_fns, wall_clock_scope, raw_rpc_scope=False,
+              untracked_metric_scope=True):
     try:
         text = open(path, encoding="utf-8", errors="replace").read()
     except OSError as e:
@@ -462,6 +502,8 @@ def lint_file(path, rel, result_fns, wall_clock_scope, raw_rpc_scope=False):
     if raw_rpc_scope:
         violations += check_raw_rpc_call(rel, text, clean)
     violations += check_rebuild_idempotency(rel, text, clean)
+    if untracked_metric_scope:
+        violations += check_untracked_metric(rel, text, clean)
 
     # Apply suppressions from the original text (comments live there).
     file_allows = set()
@@ -491,17 +533,20 @@ def iter_tree_files(root):
                 if f.endswith(CPP_EXTS):
                     full = os.path.join(dirpath, f)
                     rel = os.path.relpath(full, root)
-                    rpc = rel.replace(os.sep, "/").startswith(tuple(d + "/" for d in RAW_RPC_DIRS))
-                    yield full, rel, top in WALL_CLOCK_DIRS, rpc
+                    posix_rel = rel.replace(os.sep, "/")
+                    rpc = posix_rel.startswith(tuple(d + "/" for d in RAW_RPC_DIRS))
+                    untracked = not posix_rel.startswith(
+                        tuple(d + "/" for d in UNTRACKED_METRIC_EXCLUDE))
+                    yield full, rel, top in WALL_CLOCK_DIRS, rpc, untracked
 
 
 def run_tree(root, quiet):
     result_fns = result_returning_functions(root)
     violations = []
     nfiles = 0
-    for full, rel, wall, rpc in iter_tree_files(root):
+    for full, rel, wall, rpc, untracked in iter_tree_files(root):
         nfiles += 1
-        violations.extend(lint_file(full, rel, result_fns, wall, rpc))
+        violations.extend(lint_file(full, rel, result_fns, wall, rpc, untracked))
     for v in violations:
         print(v)
     if nfiles == 0:

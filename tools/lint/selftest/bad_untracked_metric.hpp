@@ -1,0 +1,40 @@
+// Seeded violations for the untracked-metric rule: metric nodes constructed
+// outside telemetry::Registry never get a path and never reach a dump.
+#pragma once
+
+#include <memory>
+
+namespace daosim::telemetry {
+class Counter;
+class Gauge;
+class StatGauge;
+class Registry;
+}  // namespace daosim::telemetry
+
+namespace fixture {
+
+struct GoodHolder {
+  // Pointers into a registry are the sanctioned pattern — no finding.
+  daosim::telemetry::Counter* tracked = nullptr;
+  daosim::telemetry::Gauge& bound_ref();
+  // Registries themselves (and nested value types) are not metric nodes.
+  daosim::telemetry::Registry* reg = nullptr;
+};
+
+struct BadHolder {
+  daosim::telemetry::Counter loose;  // EXPECT-LINT: untracked-metric
+};
+
+inline void make_loose_metrics() {
+  auto owned = std::make_unique<daosim::telemetry::Gauge>();  // EXPECT-LINT: untracked-metric
+  auto* leaked = new daosim::telemetry::StatGauge();  // EXPECT-LINT: untracked-metric
+  (void)owned;
+  (void)leaked;
+}
+
+// Suppressible like every rule, e.g. for a unit test of the node type itself:
+struct Allowed {
+  daosim::telemetry::Counter standalone;  // daosim-lint: allow(untracked-metric)
+};
+
+}  // namespace fixture

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""metrics_diff: compare two daosim metrics JSON dumps (ior_cli --metrics-dump,
+Testbed::dump_metrics).
+
+Reports, in sorted path order:
+  + <path>              metric present only in the second dump
+  - <path>              metric present only in the first dump
+  ~ <path> field: a -> b (+x%)   changed field value (percent delta for
+                                 numeric fields, against the first dump)
+
+Exit status: 0 when the dumps are identical, 1 when they differ, 2 on a
+usage/parse error — so a determinism harness can assert `metrics_diff a b`
+succeeds on same-seed runs and fails when something drifted.
+
+Usage:
+  metrics_diff.py A.json B.json [--ignore-kinds probe] [--quiet]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"metrics_diff: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if not isinstance(doc, dict):
+        print(f"metrics_diff: {path}: expected a JSON object of path -> fields",
+              file=sys.stderr)
+        sys.exit(2)
+    return doc
+
+
+def fmt_delta(old, new):
+    if isinstance(old, (int, float)) and isinstance(new, (int, float)):
+        if old != 0:
+            return f" ({(new - old) / old * 100.0:+.1f}%)"
+        return " (new from zero)" if new != 0 else ""
+    return ""
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("first")
+    ap.add_argument("second")
+    ap.add_argument("--ignore-kinds", default="",
+                    help="comma-separated node kinds to skip (e.g. probe,gauge)")
+    ap.add_argument("--quiet", action="store_true", help="suppress the summary line")
+    args = ap.parse_args()
+
+    a = load(args.first)
+    b = load(args.second)
+    ignored = {k.strip() for k in args.ignore_kinds.split(",") if k.strip()}
+
+    def kept(doc):
+        return {p: v for p, v in doc.items()
+                if not (isinstance(v, dict) and v.get("kind") in ignored)}
+
+    a, b = kept(a), kept(b)
+    added = sorted(set(b) - set(a))
+    removed = sorted(set(a) - set(b))
+    changed = 0
+
+    for p in removed:
+        print(f"- {p}")
+    for p in added:
+        print(f"+ {p}")
+    for p in sorted(set(a) & set(b)):
+        va, vb = a[p], b[p]
+        if va == vb:
+            continue
+        if not (isinstance(va, dict) and isinstance(vb, dict)):
+            changed += 1
+            print(f"~ {p}: {va!r} -> {vb!r}")
+            continue
+        for field in sorted(set(va) | set(vb)):
+            fa, fb = va.get(field), vb.get(field)
+            if fa == fb:
+                continue
+            changed += 1
+            print(f"~ {p} {field}: {fa} -> {fb}{fmt_delta(fa, fb)}")
+
+    ndiff = len(added) + len(removed) + changed
+    if not args.quiet:
+        print(f"metrics_diff: {len(added)} added, {len(removed)} removed, "
+              f"{changed} changed field(s)", file=sys.stderr)
+    return 1 if ndiff else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

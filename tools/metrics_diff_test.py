@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Tier-1 test for metrics_diff.py.
+
+Drives ior_cli to produce real dumps:
+  * two same-seed runs must diff clean (exit 0) — the determinism contract;
+  * runs with different workloads must diff dirty (exit 1), reporting changed
+    counter fields;
+plus synthetic dumps covering added/removed paths and the parse-error exit.
+
+Usage: metrics_diff_test.py <metrics_diff.py> <ior_cli>
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+FAILURES = []
+
+
+def check(name, ok, detail=""):
+    if ok:
+        print(f"ok   {name}")
+    else:
+        FAILURES.append(name)
+        print(f"FAIL {name} {detail}")
+
+
+def run_ior(ior_cli, out, extra):
+    cmd = [ior_cli, "-a", "DFS", "-t", "1m", "-b", "4m", "-N", "2", "-n", "4",
+           "-S", "2", f"--metrics-dump={out}"] + extra
+    subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
+
+
+def diff(tool, a, b, *flags):
+    return subprocess.run([sys.executable, tool, a, b, *flags],
+                          stdout=subprocess.PIPE, text=True)
+
+
+def main():
+    tool, ior_cli = sys.argv[1], sys.argv[2]
+    with tempfile.TemporaryDirectory() as td:
+        a = os.path.join(td, "a.json")
+        b = os.path.join(td, "b.json")
+        c = os.path.join(td, "c.json")
+        run_ior(ior_cli, a, [])
+        run_ior(ior_cli, b, [])
+        run_ior(ior_cli, c, ["-s", "2"])
+
+        r = diff(tool, a, b)
+        check("same-seed dumps diff clean", r.returncode == 0 and not r.stdout.strip(),
+              f"rc={r.returncode} out={r.stdout[:200]!r}")
+
+        r = diff(tool, a, c)
+        check("different workloads diff dirty", r.returncode == 1, f"rc={r.returncode}")
+        check("changed fields reported", "~ " in r.stdout, r.stdout[:200])
+        check("percent delta reported", "%" in r.stdout, r.stdout[:200])
+
+        # Synthetic added/removed paths.
+        x = os.path.join(td, "x.json")
+        y = os.path.join(td, "y.json")
+        with open(x, "w") as f:
+            json.dump({"engine/0/a": {"kind": "counter", "value": 1},
+                       "engine/0/b": {"kind": "counter", "value": 2}}, f)
+        with open(y, "w") as f:
+            json.dump({"engine/0/b": {"kind": "counter", "value": 2},
+                       "engine/0/c": {"kind": "probe", "value": 3}}, f)
+        r = diff(tool, x, y)
+        check("added path reported", "+ engine/0/c" in r.stdout, r.stdout)
+        check("removed path reported", "- engine/0/a" in r.stdout, r.stdout)
+        r = diff(tool, x, y, "--ignore-kinds", "probe,counter")
+        check("ignore-kinds filters everything", r.returncode == 0, r.stdout)
+
+        bad = os.path.join(td, "bad.json")
+        with open(bad, "w") as f:
+            f.write("not json")
+        r = diff(tool, x, bad)
+        check("parse error exits 2", r.returncode == 2, f"rc={r.returncode}")
+
+    if FAILURES:
+        print(f"{len(FAILURES)} failure(s): {', '.join(FAILURES)}", file=sys.stderr)
+        return 1
+    print("metrics_diff_test: all checks passed", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
