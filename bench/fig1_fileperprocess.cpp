@@ -12,6 +12,6 @@ int main() {
                                           /*transfer=*/8 * kMiB,
                                           /*block=*/32 * kMiB);
   bench::SweepOptions opt;
-  bench::print_figure("Fig.1 IOR file-per-process (easy)", series, opt);
+  bench::print_figure("Fig.1 IOR file-per-process (easy)", series, opt, "fig1_fileperprocess");
   return 0;
 }

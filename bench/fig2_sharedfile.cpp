@@ -10,6 +10,6 @@ int main() {
                                           /*transfer=*/8 * kMiB,
                                           /*block=*/32 * kMiB);
   bench::SweepOptions opt;
-  bench::print_figure("Fig.2 IOR shared-file (hard)", series, opt);
+  bench::print_figure("Fig.2 IOR shared-file (hard)", series, opt, "fig2_sharedfile");
   return 0;
 }

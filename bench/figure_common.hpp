@@ -3,6 +3,7 @@
 // the read/write bandwidth tables the paper's figures plot.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -45,7 +46,62 @@ struct Cell {
   /// change the bandwidth numbers.
   double read_p50_us = 0, read_p99_us = 0;
   double write_p50_us = 0, write_p99_us = 0;
+  /// Simulator cost of the job: scheduler events processed and host
+  /// wall-clock. The perf-trajectory JSON tracks both so a change that
+  /// trades simulated bandwidth for simulation slowness is visible.
+  std::uint64_t events = 0;
+  double wall_s = 0;
 };
+
+/// One row of the machine-readable BENCH_*.json perf trajectory.
+struct JsonRow {
+  double x = 0;  // sweep coordinate (client nodes, transfer KiB, ...)
+  std::string series;
+  double read_gibs = 0, write_gibs = 0;
+  double read_p99_us = 0, write_p99_us = 0;
+  std::uint64_t events = 0;
+  double wall_s = 0;
+};
+
+/// Writes BENCH_<bench>.json in the current directory: a flat row list so CI
+/// and the trajectory tooling parse it with nothing but the json module.
+inline void write_bench_json(const std::string& bench, const std::vector<JsonRow>& rows) {
+  const std::string path = "BENCH_" + bench + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"rows\": [\n", bench.c_str());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const JsonRow& r = rows[i];
+    std::fprintf(f,
+                 "    {\"x\": %g, \"series\": \"%s\", \"read_gibs\": %.4f, "
+                 "\"write_gibs\": %.4f, \"read_p99_us\": %.1f, \"write_p99_us\": %.1f, "
+                 "\"events\": %llu, \"wall_s\": %.3f}%s\n",
+                 r.x, r.series.c_str(), r.read_gibs, r.write_gibs, r.read_p99_us,
+                 r.write_p99_us, static_cast<unsigned long long>(r.events), r.wall_s,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s (%zu rows)\n", path.c_str(), rows.size());
+}
+
+/// Flattens a node-count sweep into JSON rows (x = client nodes).
+inline std::vector<JsonRow> sweep_rows(const std::vector<Series>& series,
+                                       const SweepOptions& opt,
+                                       const std::vector<std::vector<Cell>>& results) {
+  std::vector<JsonRow> rows;
+  for (std::size_t i = 0; i < opt.node_counts.size(); ++i) {
+    for (std::size_t j = 0; j < series.size(); ++j) {
+      const Cell& c = results[i][j];
+      rows.push_back(JsonRow{double(opt.node_counts[i]), series[j].name, c.read_gibs,
+                             c.write_gibs, c.read_p99_us, c.write_p99_us, c.events, c.wall_s});
+    }
+  }
+  return rows;
+}
 
 /// Runs the sweep; returns results[node_count_index][series_index].
 inline std::vector<std::vector<Cell>> run_sweep(const std::vector<Series>& series,
@@ -57,12 +113,16 @@ inline std::vector<std::vector<Cell>> run_sweep(const std::vector<Series>& serie
     ior::IorRunner runner(tb, opt.ppn, opt.dfs_chunk, opt.dfuse);
     std::vector<Cell> row;
     for (const Series& s : series) {
+      const std::uint64_t events0 = tb.sched().events_processed();
+      const auto wall0 = std::chrono::steady_clock::now();
       const ior::IorResult r = runner.run(s.cfg);
       Cell cell{r.read.gib_per_sec(), r.write.gib_per_sec()};
       cell.read_p50_us = r.read_rpc_latency.percentile_ns(50) / 1e3;
       cell.read_p99_us = r.read_rpc_latency.percentile_ns(99) / 1e3;
       cell.write_p50_us = r.write_rpc_latency.percentile_ns(50) / 1e3;
       cell.write_p99_us = r.write_rpc_latency.percentile_ns(99) / 1e3;
+      cell.events = tb.sched().events_processed() - events0;
+      cell.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0).count();
       row.push_back(cell);
       std::fprintf(stderr,
                    "  [%2u nodes] %-10s write %8.2f GiB/s (p99 %7.0f us)"
@@ -115,13 +175,14 @@ inline void print_latency_table(const char* title, bool read, const std::vector<
 }
 
 inline void print_figure(const char* title, const std::vector<Series>& series,
-                         const SweepOptions& opt) {
+                         const SweepOptions& opt, const char* json_name = nullptr) {
   const auto results = run_sweep(series, opt);
   print_table(title, /*read=*/true, series, opt, results);
   print_table(title, /*read=*/false, series, opt, results);
   print_latency_table(title, /*read=*/true, series, opt, results);
   print_latency_table(title, /*read=*/false, series, opt, results);
   std::printf("\n");
+  if (json_name != nullptr) write_bench_json(json_name, sweep_rows(series, opt, results));
 }
 
 /// The figure-1/2 series: DFS ("DAOS") under S1/S2/SX plus MPI-IO and HDF5

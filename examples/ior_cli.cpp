@@ -44,6 +44,10 @@ int usage() {
                "  -o CLASS   object class S1|S2|S4|S8|SX|RP_2G1|RP_2G2|RP_2GX (default SX)\n"
                "  -S N       server nodes (default 8)\n"
                "  -V         store payloads and verify data\n"
+               "  --eq-depth N      transfers in flight per rank via the client\n"
+               "                    event queue (default 1 = blocking; docs/io_path.md)\n"
+               "  --max-batch-extents N  extents coalesced per object RPC\n"
+               "                    (default 16; 1 = legacy one-RPC-per-extent)\n"
                "  --faults SPEC     fault schedule, e.g. crash@200ms:e3 (docs/faults.md)\n"
                "  --fault-seed N    seed for probabilistic faults (default 1)\n"
                "  --wait-rebuild    after the job, wait for self-healing to converge\n"
@@ -67,6 +71,7 @@ int main(int argc, char** argv) {
   std::uint64_t fault_seed = 1;
   bool wait_rebuild = false;
   std::uint32_t rebuild_inflight = 4;
+  std::uint32_t max_batch_extents = client::ClientConfig{}.max_batch_extents;
   std::string metrics_path;
   std::string trace_path;
 
@@ -107,6 +112,22 @@ int main(int argc, char** argv) {
     else if (arg == "-c") cfg.collective = true;
     else if (arg == "-S") servers = std::uint32_t(std::atoi(next()));
     else if (arg == "-V") verify = true;
+    else if (arg == "--eq-depth") {
+      const int v = std::atoi(next());
+      if (v <= 0) {
+        std::fprintf(stderr, "ior_cli: --eq-depth must be positive\n");
+        return usage();
+      }
+      cfg.eq_depth = std::uint32_t(v);
+    }
+    else if (arg == "--max-batch-extents") {
+      const int v = std::atoi(next());
+      if (v <= 0) {
+        std::fprintf(stderr, "ior_cli: --max-batch-extents must be positive\n");
+        return usage();
+      }
+      max_batch_extents = std::uint32_t(v);
+    }
     else if (arg == "--faults") fault_spec = next();
     else if (arg == "--fault-seed") fault_seed = std::uint64_t(std::strtoull(next(), nullptr, 10));
     else if (arg == "--wait-rebuild") wait_rebuild = true;
@@ -147,6 +168,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "ior_cli: block size (-b) must be a multiple of transfer size (-t)\n");
     return usage();
   }
+  if (cfg.collective && cfg.eq_depth > 1) {
+    std::fprintf(stderr,
+                 "ior_cli: --eq-depth > 1 is incompatible with collective I/O (-c): "
+                 "two-phase exchange orders each rank's transfers\n");
+    return usage();
+  }
 
   cluster::ClusterConfig ccfg;
   ccfg.server_nodes = servers;
@@ -155,6 +182,7 @@ int main(int argc, char** argv) {
   ccfg.client_nodes = client_nodes;
   ccfg.payload = verify ? vos::PayloadMode::store : vos::PayloadMode::discard;
   ccfg.rebuild.max_inflight = rebuild_inflight;
+  ccfg.client.max_batch_extents = max_batch_extents;
 
   std::printf("IOR (daosim) -a %s %s t=%s b=%s segs=%u  %u nodes x %u ppn, %u servers\n",
               ior::to_string(cfg.api), cfg.file_per_process ? "file-per-process" : "shared-file",

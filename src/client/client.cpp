@@ -1,6 +1,7 @@
 #include "client/client.hpp"
 
 #include <algorithm>
+#include <map>
 #include <set>
 #include <sstream>
 
@@ -49,18 +50,25 @@ bool nominal_group_lost(const pool::PoolMap& map, const GroupLayout& nominal, st
 }  // namespace
 
 DaosClient::DaosClient(net::RpcDomain& domain, net::NodeId node, pool::PoolMap map,
-                       std::vector<net::NodeId> svc_replicas)
+                       std::vector<net::NodeId> svc_replicas, ClientConfig cfg)
     : ep_(domain, node),
       sched_(domain.scheduler()),
       map_(std::move(map)),
       svc_replicas_(std::move(svc_replicas)),
+      cfg_(cfg),
       metrics_(strfmt("client/%u", node)) {
   DAOSIM_REQUIRE(!svc_replicas_.empty(), "no pool service replicas");
   DAOSIM_REQUIRE(map_.target_count() > 0, "empty pool map");
+  DAOSIM_REQUIRE(cfg_.max_batch_extents >= 1, "max_batch_extents must be >= 1");
+  DAOSIM_REQUIRE(cfg_.max_inflight_rpcs >= 1, "max_inflight_rpcs must be >= 1");
+  rpc_credits_ = std::make_unique<sim::Semaphore>(sched_, cfg_.max_inflight_rpcs);
   ep_.set_telemetry(&metrics_);
   retry_attempts_ = &metrics_.find_or_create<telemetry::Counter>("retry/attempts");
   retry_backoff_ns_ = &metrics_.find_or_create<telemetry::Counter>("retry/backoff_ns");
   degraded_reads_ = &metrics_.find_or_create<telemetry::Counter>("degraded/reads");
+  batch_extents_coalesced_ =
+      &metrics_.find_or_create<telemetry::Counter>("batch/extents_coalesced");
+  batch_rpcs_saved_ = &metrics_.find_or_create<telemetry::Counter>("batch/rpcs_saved");
   metrics_.add_probe("evictions_reported", [this] { return evictions_; });
   metrics_.add_probe("degraded/data_loss", [this] { return data_loss_; });
   metrics_.add_probe("map_refreshes", [this] { return map_refreshes_; });
@@ -498,74 +506,249 @@ void ArrayObject::refresh_layout() {
   layout_ = compute_group_layout(oid_, nominal_.groups(), nominal_.replicas, client_.pool_map());
 }
 
+std::vector<ArrayObject::Piece> ArrayObject::split_pieces(std::uint64_t offset,
+                                                          std::uint64_t length) const {
+  std::vector<Piece> pieces;
+  const std::uint64_t end = offset + length;
+  std::uint64_t pos = offset;
+  while (pos < end) {
+    const std::uint64_t chunk_idx = pos / chunk_;
+    const std::uint64_t in_chunk = pos % chunk_;
+    const std::uint64_t len = std::min(chunk_ - in_chunk, end - pos);
+    pieces.push_back(Piece{chunk_idx, in_chunk, len, pos - offset});
+    pos += len;
+  }
+  return pieces;
+}
+
 sim::CoTask<Errno> ArrayObject::write(std::uint64_t offset, std::uint64_t length,
                                       std::span<const std::byte> data) {
   DAOSIM_REQUIRE(data.empty() || data.size() == length, "payload size mismatch");
   if (length == 0) co_return Errno::ok;
-  auto status = std::make_shared<Errno>(Errno::ok);
-  sim::WaitGroup wg(client_.scheduler());
   const std::uint64_t global_end = offset + length;
+  const std::vector<Piece> pieces = split_pieces(offset, length);
+  const std::size_t max_batch = client_.config().max_batch_extents;
 
-  std::uint64_t pos = offset;
-  while (pos < global_end) {
-    const std::uint64_t chunk_idx = pos / chunk_;
-    const std::uint64_t in_chunk = pos % chunk_;
-    const std::uint64_t piece = std::min(chunk_ - in_chunk, global_end - pos);
-
-    ObjUpdateReq req;
-    req.cont = cont_;
-    req.oid = oid_;
-    req.dkey = strfmt("%llu", static_cast<unsigned long long>(chunk_idx));
-    req.akey = "0";
-    req.type = RecordType::array;
-    req.offset = in_chunk;
-    req.length = piece;
-    req.array_end_hint = global_end;
-    if (!data.empty()) {
-      auto sub = data.subspan(std::size_t(pos - offset), std::size_t(piece));
-      req.data = std::make_shared<std::vector<std::byte>>(sub.begin(), sub.end());
-    }
-    const std::uint64_t wire = engine::kObjRpcHeader + piece;
-    // Fan the piece to every replica of its group (payload is shared, so the
-    // request copies are cheap). All replicas must land for the write to be ok.
-    for (std::uint32_t rep = 0; rep < layout_.replicas; ++rep) {
-      wg.spawn(update_piece(chunk_idx, rep, req, wire, status));
-    }
-    pos += piece;
+  // Fan each piece to every replica of its group. Pieces sharing a target
+  // this round ride one batched RPC (bounded by max_batch_extents); pairs
+  // whose batch came back stale re-group against the refreshed map next
+  // round (bounded, like the old per-piece re-placement loop).
+  struct Pend {
+    std::uint32_t piece;
+    std::uint32_t rep;
+  };
+  std::vector<Pend> pending;
+  pending.reserve(pieces.size() * layout_.replicas);
+  for (std::uint32_t p = 0; p < pieces.size(); ++p) {
+    for (std::uint32_t rep = 0; rep < layout_.replicas; ++rep) pending.push_back(Pend{p, rep});
   }
-  co_await wg.wait();
-  co_return *status;
+
+  Errno status = Errno::ok;
+  for (int round = 0; !pending.empty() && round <= kMaxPlaceRounds; ++round) {
+    refresh_layout();
+    // std::map: batch issue order must never depend on addresses (determinism).
+    std::map<std::uint32_t, std::vector<Pend>> by_target;
+    for (const Pend& p : pending) {
+      const std::uint32_t tgt = layout_.at(group_of_chunk(pieces[p.piece].chunk_idx), p.rep);
+      by_target[tgt].push_back(p);
+    }
+    // Local fan-out bound: don't materialise more batch coroutines than the
+    // client-wide credit window (update_batch's semaphore is what actually
+    // protects the endpoint's in-flight cap across concurrent calls).
+    EventQueue eq(client_.scheduler(), client_.config().max_inflight_rpcs);
+    std::vector<std::pair<std::vector<Pend>, std::shared_ptr<Errno>>> batches;
+    for (auto& [tgt, list] : by_target) {
+      for (std::size_t i = 0; i < list.size(); i += max_batch) {
+        const std::size_t n = std::min(max_batch, list.size() - i);
+        ObjUpdateReq req;
+        req.cont = cont_;
+        req.oid = oid_;
+        req.akey = "0";
+        req.type = RecordType::array;
+        req.array_end_hint = global_end;
+        req.extents.reserve(n);
+        std::uint64_t payload_bytes = 0;
+        for (std::size_t k = 0; k < n; ++k) {
+          const Piece& pc = pieces[list[i + k].piece];
+          req.extents.push_back(
+              {strfmt("%llu", static_cast<unsigned long long>(pc.chunk_idx)), pc.offset,
+               pc.length, payload_bytes});
+          payload_bytes += pc.length;
+        }
+        if (!data.empty()) {
+          auto buf = std::make_shared<std::vector<std::byte>>();
+          buf->reserve(std::size_t(payload_bytes));
+          for (std::size_t k = 0; k < n; ++k) {
+            const Piece& pc = pieces[list[i + k].piece];
+            auto sub = data.subspan(std::size_t(pc.buffer_off), std::size_t(pc.length));
+            buf->insert(buf->end(), sub.begin(), sub.end());
+          }
+          req.data = std::move(buf);
+        }
+        const std::uint64_t wire = engine::obj_wire_bytes(n, payload_bytes);
+        auto rc = std::make_shared<Errno>(Errno::ok);
+        std::vector<Pend> members(list.begin() + std::ptrdiff_t(i),
+                                  list.begin() + std::ptrdiff_t(i + n));
+        sim::CoTask<void> task = update_batch(tgt, std::move(req), wire, rc);
+        co_await eq.launch(std::move(task));
+        batches.emplace_back(std::move(members), std::move(rc));
+      }
+    }
+    co_await eq.wait_all();
+    std::vector<Pend> next;
+    for (auto& [members, rc] : batches) {
+      if (*rc == Errno::stale) {
+        next.insert(next.end(), members.begin(), members.end());
+      } else if (*rc != Errno::ok) {
+        status = *rc;
+      }
+    }
+    pending = std::move(next);
+  }
+  if (status == Errno::ok && !pending.empty()) status = Errno::stale;
+  co_return status;
 }
 
 sim::CoTask<Result<std::uint64_t>> ArrayObject::read(std::uint64_t offset,
                                                      std::span<std::byte> out) {
   if (out.empty()) co_return std::uint64_t{0};
-  auto status = std::make_shared<Errno>(Errno::ok);
-  auto filled = std::make_shared<std::uint64_t>(0);
-  sim::WaitGroup wg(client_.scheduler());
-  const std::uint64_t end = offset + out.size();
+  const std::vector<Piece> pieces = split_pieces(offset, out.size());
+  const std::size_t max_batch = client_.config().max_batch_extents;
+  const std::uint32_t nreps = layout_.replicas;
 
-  std::uint64_t pos = offset;
-  while (pos < end) {
-    const std::uint64_t chunk_idx = pos / chunk_;
-    const std::uint64_t in_chunk = pos % chunk_;
-    const std::uint64_t piece = std::min(chunk_ - in_chunk, end - pos);
+  // Degraded read, batched: each round every unfinished piece probes one
+  // (target, replica) — pieces sharing a target ride one RPC. Replies that
+  // are stale re-place (bounded) on the same replica; failures fall back to
+  // the next replica from the piece's hashed starting point; the best
+  // (most-filled) answer wins, exactly as the old per-piece loop did.
+  std::vector<ReadProgress> prog(pieces.size());
+  auto rep_of = [&](std::uint32_t i) {
+    const std::uint32_t r0 =
+        nreps == 1 ? 0 : std::uint32_t(mix64(pieces[i].chunk_idx ^ mix64(oid_.lo)) % nreps);
+    return (r0 + prog[i].attempt) % nreps;
+  };
 
-    ObjFetchReq req;
-    req.cont = cont_;
-    req.oid = oid_;
-    req.dkey = strfmt("%llu", static_cast<unsigned long long>(chunk_idx));
-    req.akey = "0";
-    req.type = RecordType::array;
-    req.offset = in_chunk;
-    req.length = piece;
-    auto dst = out.subspan(std::size_t(pos - offset), std::size_t(piece));
-    wg.spawn(fetch_piece(chunk_idx, std::move(req), dst, status, filled));
-    pos += piece;
+  for (;;) {
+    std::vector<std::uint32_t> active;
+    for (std::uint32_t i = 0; i < prog.size(); ++i) {
+      if (!prog[i].done && prog[i].attempt < nreps) active.push_back(i);
+    }
+    if (active.empty()) break;
+    refresh_layout();
+    std::map<std::uint32_t, std::vector<std::uint32_t>> by_target;
+    for (const std::uint32_t i : active) {
+      by_target[layout_.at(group_of_chunk(pieces[i].chunk_idx), rep_of(i))].push_back(i);
+    }
+    EventQueue eq(client_.scheduler(), client_.config().max_inflight_rpcs);
+    std::vector<std::pair<std::vector<std::uint32_t>, std::shared_ptr<Reply>>> batches;
+    for (auto& [tgt, list] : by_target) {
+      for (std::size_t b = 0; b < list.size(); b += max_batch) {
+        const std::size_t n = std::min(max_batch, list.size() - b);
+        ObjFetchReq req;
+        req.cont = cont_;
+        req.oid = oid_;
+        req.akey = "0";
+        req.type = RecordType::array;
+        req.extents.reserve(n);
+        std::uint64_t payload_bytes = 0;
+        for (std::size_t k = 0; k < n; ++k) {
+          const Piece& pc = pieces[list[b + k]];
+          req.extents.push_back(
+              {strfmt("%llu", static_cast<unsigned long long>(pc.chunk_idx)), pc.offset,
+               pc.length, payload_bytes});
+          payload_bytes += pc.length;
+        }
+        auto reply = std::make_shared<Reply>();
+        std::vector<std::uint32_t> members(list.begin() + std::ptrdiff_t(b),
+                                           list.begin() + std::ptrdiff_t(b + n));
+        sim::CoTask<void> task = fetch_batch(tgt, std::move(req), reply);
+        co_await eq.launch(std::move(task));
+        batches.emplace_back(std::move(members), std::move(reply));
+      }
+    }
+    co_await eq.wait_all();
+    for (auto& [members, reply] : batches) {
+      if (reply->status == Errno::stale) {
+        for (const std::uint32_t i : members) {
+          ReadProgress& st = prog[i];
+          if (st.stale_rounds < kMaxPlaceRounds) {
+            ++st.stale_rounds;  // re-place on the same replica next round
+          } else {
+            st.last = Errno::stale;
+            st.all_answered = false;
+            client_.note_degraded_read();
+            ++st.attempt;
+            st.stale_rounds = 0;
+          }
+        }
+      } else if (reply->status != Errno::ok) {
+        for (const std::uint32_t i : members) {
+          ReadProgress& st = prog[i];
+          st.last = reply->status;
+          st.all_answered = false;
+          client_.note_degraded_read();
+          ++st.attempt;
+          st.stale_rounds = 0;
+        }
+      } else {
+        auto& resp = reply->body.get<ObjFetchResp>();
+        DAOSIM_REQUIRE(resp.fills.size() == members.size(), "batched fetch fill mismatch");
+        std::uint64_t payload_off = 0;
+        for (std::size_t k = 0; k < members.size(); ++k) {
+          const std::uint32_t i = members[k];
+          const Piece& pc = pieces[i];
+          ReadProgress& st = prog[i];
+          if (!st.have_best || resp.fills[k] > st.best_filled) {
+            st.have_best = true;
+            st.best_filled = resp.fills[k];
+            if (resp.data != nullptr) {
+              auto src = std::span<const std::byte>(*resp.data)
+                             .subspan(std::size_t(payload_off), std::size_t(pc.length));
+              auto dst = out.subspan(std::size_t(pc.buffer_off), std::size_t(pc.length));
+              std::copy(src.begin(), src.end(), dst.begin());
+            }
+          }
+          payload_off += pc.length;
+          if (st.best_filled >= pc.length) {
+            st.done = true;
+          } else {
+            ++st.attempt;
+            st.stale_rounds = 0;
+          }
+        }
+      }
+    }
   }
-  co_await wg.wait();
-  if (*status != Errno::ok) co_return *status;
-  co_return *filled;
+
+  Errno status = Errno::ok;
+  std::uint64_t filled = 0;
+  for (std::uint32_t i = 0; i < prog.size(); ++i) {
+    const ReadProgress& st = prog[i];
+    const std::uint32_t g = group_of_chunk(pieces[i].chunk_idx);
+    if (!st.have_best) {
+      if (group_lost(g)) {
+        client_.note_data_loss(oid_, g);
+        status = Errno::data_loss;
+      } else {
+        status = st.last;
+      }
+      continue;
+    }
+    filled += st.best_filled;
+    // A short read whose group lost every nominal replica is data loss, not a
+    // legitimate hole; one with a failed replica is equally inconclusive
+    // (see the old fetch_piece note).
+    if (st.best_filled < pieces[i].length) {
+      if (group_lost(g)) {
+        client_.note_data_loss(oid_, g);
+        status = Errno::data_loss;
+      } else if (!st.all_answered) {
+        status = st.last;
+      }
+    }
+  }
+  if (status != Errno::ok) co_return status;
+  co_return filled;
 }
 
 sim::CoTask<Result<std::uint64_t>> ArrayObject::size() {
@@ -585,88 +768,30 @@ sim::CoTask<Result<std::uint64_t>> ArrayObject::size() {
   co_return *max_end;
 }
 
-sim::CoTask<void> ArrayObject::update_piece(std::uint64_t chunk_idx, std::uint32_t replica,
-                                            engine::ObjUpdateReq req, std::uint64_t wire,
-                                            std::shared_ptr<Errno> status) {
-  Reply reply{};
-  for (int round = 0;; ++round) {
-    refresh_layout();
-    const std::uint32_t map_target = layout_.at(group_of_chunk(chunk_idx), replica);
-    req.target = client_.pool_map().targets[map_target].target;
-    Body body = Body::make(req);
-    reply = co_await client_.call_target(map_target, engine::kOpObjUpdate, std::move(body), wire);
-    if (reply.status != Errno::stale || round >= kMaxPlaceRounds) break;
-  }
-  if (reply.status != Errno::ok) *status = reply.status;
+sim::CoTask<void> ArrayObject::update_batch(std::uint32_t map_target, engine::ObjUpdateReq req,
+                                            std::uint64_t wire, std::shared_ptr<Errno> out) {
+  req.target = client_.pool_map().targets[map_target].target;
+  client_.note_batch(req.extents.size());
+  Body body = Body::make(std::move(req));
+  // One client-wide credit per in-flight object RPC: many concurrent array
+  // calls (IOR ranks x eq_depth) must collectively stay under the endpoint's
+  // hard in-flight cap, which fails excess calls with Errno::busy.
+  co_await client_.rpc_credits().acquire();
+  Reply reply =
+      co_await client_.call_target(map_target, engine::kOpObjUpdate, std::move(body), wire);
+  client_.rpc_credits().release();
+  *out = reply.status;
 }
 
-sim::CoTask<void> ArrayObject::fetch_piece(std::uint64_t chunk_idx, engine::ObjFetchReq req,
-                                           std::span<std::byte> dst,
-                                           std::shared_ptr<Errno> status,
-                                           std::shared_ptr<std::uint64_t> filled) {
-  const std::uint32_t g = group_of_chunk(chunk_idx);
-  const std::uint32_t nreps = layout_.replicas;
-  // Degraded read: try replicas from a per-chunk starting point; keep the
-  // best (most-filled) answer and stop early once the piece is complete.
-  const std::uint32_t r0 =
-      nreps == 1 ? 0 : std::uint32_t(mix64(chunk_idx ^ mix64(oid_.lo)) % nreps);
-  bool have_best = false;
-  bool all_answered = true;
-  std::uint64_t best_filled = 0;
-  engine::Payload best_data;
-  Errno last = Errno::io;
-  for (std::uint32_t i = 0; i < nreps; ++i) {
-    const std::uint32_t rep = (r0 + i) % nreps;
-    Reply reply{};
-    for (int round = 0;; ++round) {
-      refresh_layout();
-      const std::uint32_t map_target = layout_.at(g, rep);
-      req.target = client_.pool_map().targets[map_target].target;
-      Body body = Body::make(req);
-      reply = co_await client_.call_target(map_target, engine::kOpObjFetch, std::move(body),
-                                           engine::kObjRpcHeader);
-      if (reply.status != Errno::stale || round >= kMaxPlaceRounds) break;
-    }
-    if (reply.status != Errno::ok) {
-      last = reply.status;
-      all_answered = false;
-      client_.note_degraded_read();
-      continue;
-    }
-    auto& resp = reply.body.get<ObjFetchResp>();
-    if (!have_best || resp.filled > best_filled) {
-      have_best = true;
-      best_filled = resp.filled;
-      best_data = resp.data;
-    }
-    if (best_filled >= req.length) break;
-  }
-  if (!have_best) {
-    if (group_lost(g)) {
-      client_.note_data_loss(oid_, g);
-      *status = Errno::data_loss;
-    } else {
-      *status = last;
-    }
-    co_return;
-  }
-  *filled += best_filled;
-  if (best_data != nullptr) {
-    std::copy(best_data->begin(), best_data->end(), dst.begin());
-  }
-  // A short read whose group lost every nominal replica is data loss, not a
-  // legitimate hole: surface it instead of silently returning zeros. A short
-  // read with a failed replica is equally inconclusive — a 0-filled answer
-  // from an empty substitute must not pass off as a hole while the replica
-  // that may hold the bytes was unreachable.
-  if (best_filled < req.length) {
-    if (group_lost(g)) {
-      client_.note_data_loss(oid_, g);
-      *status = Errno::data_loss;
-    } else if (!all_answered) {
-      *status = last;
-    }
-  }
+sim::CoTask<void> ArrayObject::fetch_batch(std::uint32_t map_target, engine::ObjFetchReq req,
+                                           std::shared_ptr<net::Reply> out) {
+  const std::uint64_t wire = engine::obj_wire_bytes(req.extents.size(), 0);
+  req.target = client_.pool_map().targets[map_target].target;
+  client_.note_batch(req.extents.size());
+  Body body = Body::make(std::move(req));
+  co_await client_.rpc_credits().acquire();  // see update_batch
+  *out = co_await client_.call_target(map_target, engine::kOpObjFetch, std::move(body), wire);
+  client_.rpc_credits().release();
 }
 
 sim::CoTask<void> ArrayObject::query_piece(std::uint32_t shard, engine::ObjQueryReq req,

@@ -74,6 +74,23 @@ struct ContInfo {
   pool::ContProps props;
 };
 
+/// Client-side I/O tuning knobs.
+struct ClientConfig {
+  /// Upper bound on extents coalesced into one batched ObjUpdate/ObjFetch
+  /// RPC by ArrayObject::write/read (the sgl/iod vector length). 1 disables
+  /// batching — one RPC per chunk piece per replica, the pre-vectorized
+  /// behaviour, kept for A/B runs.
+  std::uint32_t max_batch_extents = 16;
+  /// Client-wide credit window on batched object RPCs: every
+  /// ArrayObject::write/read on this client draws from one shared semaphore,
+  /// so the node's total in-flight object I/O stays under the endpoint's
+  /// hard in-flight cap (which rejects with Errno::busy instead of queueing)
+  /// no matter how many concurrent calls — ranks x eq_depth under IOR — the
+  /// node runs. Also bounds the coroutine fan-out of a single many-extent
+  /// call (small chunk sizes, max_batch_extents=1).
+  std::uint32_t max_inflight_rpcs = 32;
+};
+
 /// Client-side RPC resilience policy: every RPC gets a per-attempt reply
 /// deadline and a bounded number of retries separated by deterministic
 /// exponential backoff. All durations are virtual time, so the resulting
@@ -109,7 +126,7 @@ class DaosClient {
   /// @param map           the pool map obtained at pool connect
   /// @param svc_replicas  engines hosting the pool service (Raft group)
   DaosClient(net::RpcDomain& domain, net::NodeId node, pool::PoolMap map,
-             std::vector<net::NodeId> svc_replicas);
+             std::vector<net::NodeId> svc_replicas, ClientConfig cfg = {});
 
   net::RpcEndpoint& endpoint() { return ep_; }
   sim::Scheduler& scheduler() { return sched_; }
@@ -117,6 +134,21 @@ class DaosClient {
 
   const RetryPolicy& retry_policy() const { return retry_; }
   void set_retry_policy(RetryPolicy p) { retry_ = p; }
+
+  const ClientConfig& config() const { return cfg_; }
+  /// Must not be called with object I/O in flight: the RPC credit semaphore
+  /// is rebuilt to the new window size.
+  void set_config(ClientConfig cfg) {
+    DAOSIM_REQUIRE(cfg.max_batch_extents >= 1, "max_batch_extents must be >= 1");
+    DAOSIM_REQUIRE(cfg.max_inflight_rpcs >= 1, "max_inflight_rpcs must be >= 1");
+    cfg_ = cfg;
+    rpc_credits_ = std::make_unique<sim::Semaphore>(sched_, cfg_.max_inflight_rpcs);
+  }
+
+  /// The client-wide object-RPC credit window (see
+  /// ClientConfig::max_inflight_rpcs). Batched update/fetch paths hold one
+  /// credit for the duration of each call_target.
+  sim::Semaphore& rpc_credits() { return *rpc_credits_; }
 
   // --- pool service operations ---
   sim::CoTask<Result<ContInfo>> cont_create(vos::Uuid uuid, pool::ContProps props);
@@ -176,6 +208,16 @@ class DaosClient {
   /// (called by the object handles' degraded-read loops).
   void note_degraded_read() { degraded_reads_->inc(); }
 
+  /// Records one batched object RPC carrying `extents` descriptors:
+  /// batch/extents_coalesced counts extents that shared an RPC with at least
+  /// one other, batch/rpcs_saved the RPCs batching avoided sending.
+  void note_batch(std::size_t extents) {
+    if (extents > 1) {
+      batch_extents_coalesced_->inc(extents);
+      batch_rpcs_saved_->inc(extents - 1);
+    }
+  }
+
  private:
   struct PendingCall;
 
@@ -191,10 +233,14 @@ class DaosClient {
   std::vector<net::NodeId> svc_replicas_;
   std::optional<net::NodeId> cached_leader_;
   RetryPolicy retry_;
+  ClientConfig cfg_;
+  std::unique_ptr<sim::Semaphore> rpc_credits_;
   telemetry::Registry metrics_;
   telemetry::Counter* retry_attempts_ = nullptr;
   telemetry::Counter* retry_backoff_ns_ = nullptr;
   telemetry::Counter* degraded_reads_ = nullptr;
+  telemetry::Counter* batch_extents_coalesced_ = nullptr;
+  telemetry::Counter* batch_rpcs_saved_ = nullptr;
   /// Coalesces concurrent failure reports per engine: the first caller runs
   /// the eviction, later callers wait on its gate. std::map: iteration order
   /// must never depend on addresses (determinism).
@@ -267,15 +313,35 @@ class ArrayObject {
   /// See KvObject::refresh_layout.
   void refresh_layout();
 
-  // Per-piece coroutines (explicit parameters; see CP.51 note in scheduler.hpp).
-  // Each piece resolves its target from the current layout per attempt and
-  // re-places (bounded) when the pool map goes stale under it.
-  sim::CoTask<void> update_piece(std::uint64_t chunk_idx, std::uint32_t replica,
-                                 engine::ObjUpdateReq req, std::uint64_t wire,
-                                 std::shared_ptr<Errno> status);
-  sim::CoTask<void> fetch_piece(std::uint64_t chunk_idx, engine::ObjFetchReq req,
-                                std::span<std::byte> dst, std::shared_ptr<Errno> status,
-                                std::shared_ptr<std::uint64_t> filled);
+  /// One chunk piece of a write/read call: a dkey-relative byte range plus
+  /// its offset into the caller's buffer. Pieces are grouped by
+  /// (map_target, replica) into batched RPCs per placement round.
+  struct Piece {
+    std::uint64_t chunk_idx = 0;
+    std::uint64_t offset = 0;       // offset within the chunk (dkey)
+    std::uint64_t length = 0;
+    std::uint64_t buffer_off = 0;   // offset into the caller's data/out span
+  };
+  /// Per-piece degraded-read bookkeeping (see ArrayObject::read).
+  struct ReadProgress {
+    std::uint32_t attempt = 0;  // replica attempts consumed (0..nreps)
+    int stale_rounds = 0;       // re-placement rounds burned on the current replica
+    bool done = false;          // best answer covers the piece
+    bool have_best = false;
+    bool all_answered = true;
+    std::uint64_t best_filled = 0;
+    Errno last = Errno::io;
+  };
+  std::vector<Piece> split_pieces(std::uint64_t offset, std::uint64_t length) const;
+
+  // Per-batch coroutines (explicit parameters; see CP.51 note in
+  // scheduler.hpp): each sends ONE batched RPC to one resolved target and
+  // parks the reply for the caller's round barrier, which owns stale
+  // re-placement and degraded-read fallback per piece.
+  sim::CoTask<void> update_batch(std::uint32_t map_target, engine::ObjUpdateReq req,
+                                 std::uint64_t wire, std::shared_ptr<Errno> out);
+  sim::CoTask<void> fetch_batch(std::uint32_t map_target, engine::ObjFetchReq req,
+                                std::shared_ptr<net::Reply> out);
   sim::CoTask<void> query_piece(std::uint32_t shard, engine::ObjQueryReq req,
                                 std::shared_ptr<Errno> status,
                                 std::shared_ptr<std::uint64_t> max_end);

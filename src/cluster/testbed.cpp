@@ -62,7 +62,8 @@ Testbed::Testbed(ClusterConfig cfg) : cfg_(cfg), fabric_(sched_, cfg.fabric) {
   // Client nodes (dual-rail NICs) with one DaosClient each.
   for (std::uint32_t c = 0; c < cfg_.client_nodes; ++c) {
     const net::NodeId node = fabric_.add_node();
-    clients_.push_back(std::make_unique<client::DaosClient>(*domain_, node, map_, svc_nodes_));
+    clients_.push_back(
+        std::make_unique<client::DaosClient>(*domain_, node, map_, svc_nodes_, cfg_.client));
   }
 }
 

@@ -31,6 +31,7 @@ struct ClusterConfig {
   net::FabricConfig fabric{};      // dual-rail for clients; engines bind 1 rail
   media::DcpmmConfig dcpmm{};
   engine::EngineConfig engine{};
+  client::ClientConfig client{};  // batching knobs for every testbed client
   raft::RaftConfig raft{};
   vos::PayloadMode payload = vos::PayloadMode::store;
   rebuild::RebuildConfig rebuild{};  // per-engine rebuild throttle

@@ -27,6 +27,10 @@ Engine::Engine(net::RpcDomain& domain, net::NodeId node, media::DcpmmInterleaveS
         &metrics_.find_or_create<telemetry::StatGauge>(strfmt("target/%u/queue_depth", i));
   }
   ep_.set_telemetry(&metrics_);
+  update_extents_ = &metrics_.find_or_create<telemetry::DurationHistogram>(
+      "rpc/obj_update/extents_per_rpc");
+  fetch_extents_ = &metrics_.find_or_create<telemetry::DurationHistogram>(
+      "rpc/obj_fetch/extents_per_rpc");
   metrics_.add_probe("vos/tree_lookups", [this] {
     std::uint64_t n = 0;
     for (const auto& t : targets_) n += t->vos.tree_stats().lookups;
@@ -142,19 +146,41 @@ sim::CoTask<net::Reply> Engine::on_update(net::Request req) {
   auto& r = req.body.get<ObjUpdateReq>();
   Target& t = target_for(r.target);
   ++updates_;
+  const std::size_t nex = r.extents.empty() ? 1 : r.extents.size();
+  update_extents_->record(sim::Time(nex));
   const sim::Time svc_t0 = sched_.now();
   telemetry::DurationHistogram* svc = svc_enter(t, "update");
 
   // A stream-context miss occupies the target's xstream (serialised): a
   // target fed from many distinct objects loses throughput, not just latency.
+  // A batched request pays one queue entry and one context touch; only the
+  // marginal per-descriptor CPU scales with the extent count.
   const sim::Time sw = stream_context_touch(t, r.cont, r.oid, /*write=*/true);
   co_await t.xstream.acquire();
-  co_await sched_.delay(cfg_.update_cpu + sw);
+  co_await sched_.delay(cfg_.update_cpu + sim::Time(nex - 1) * cfg_.update_cpu_extent + sw);
   t.xstream.release();
+
+  auto& cont = t.vos.container(r.cont);
+  if (!r.extents.empty()) {
+    DAOSIM_REQUIRE(r.type == RecordType::array, "batched update must be an array op");
+    std::uint64_t total = 0;
+    std::vector<vos::VosContainer::ArrayExtent> exts;
+    exts.reserve(r.extents.size());
+    for (const IoExtent& e : r.extents) {
+      exts.push_back({e.dkey, e.offset, e.length, e.payload_off});
+      total += e.length;
+    }
+    co_await media_write(t, total + 64 * nex);  // records + per-extent tree-node writes
+    std::span<const std::byte> payload;
+    if (r.data != nullptr) payload = std::span<const std::byte>(*r.data);
+    cont.array_write_extents(r.oid, r.akey, exts, payload);
+    if (r.array_end_hint > 0) cont.note_array_end(r.oid, r.array_end_hint);
+    svc->record(sched_.now() - svc_t0);
+    co_return Reply{Errno::ok, kObjRpcHeader, {}};
+  }
 
   co_await media_write(t, r.length + 64);  // record + tree-node write
 
-  auto& cont = t.vos.container(r.cont);
   if (r.cond_insert && r.type == RecordType::single_value &&
       cont.kv_get(r.oid, r.dkey, r.akey, vos::kEpochMax).exists) {
     svc->record(sched_.now() - svc_t0);
@@ -177,17 +203,41 @@ sim::CoTask<net::Reply> Engine::on_fetch(net::Request req) {
   auto& r = req.body.get<ObjFetchReq>();
   Target& t = target_for(r.target);
   ++fetches_;
+  const std::size_t nex = r.extents.empty() ? 1 : r.extents.size();
+  fetch_extents_->record(sim::Time(nex));
   const sim::Time svc_t0 = sched_.now();
   telemetry::DurationHistogram* svc = svc_enter(t, "fetch");
 
   const sim::Time sw = stream_context_touch(t, r.cont, r.oid, /*write=*/false);
   co_await t.xstream.acquire();
-  co_await sched_.delay(cfg_.fetch_cpu + sw);
+  co_await sched_.delay(cfg_.fetch_cpu + sim::Time(nex - 1) * cfg_.fetch_cpu_extent + sw);
   t.xstream.release();
 
   ObjFetchResp resp;
   auto& cont = t.vos.container(r.cont);
   std::uint64_t reply_bytes = 0;
+  if (!r.extents.empty()) {
+    DAOSIM_REQUIRE(r.type == RecordType::array, "batched fetch must be an array op");
+    std::uint64_t total = 0;
+    std::vector<vos::VosContainer::ArrayExtent> exts;
+    exts.reserve(r.extents.size());
+    for (const IoExtent& e : r.extents) {
+      exts.push_back({e.dkey, e.offset, e.length, e.payload_off});
+      total += e.length;
+    }
+    co_await media_read(t, total + 64 * nex);
+    resp.fills.resize(r.extents.size());
+    std::span<std::byte> payload;
+    if (cfg_.payload == vos::PayloadMode::store) {
+      resp.data = std::make_shared<std::vector<std::byte>>(total);
+      payload = *resp.data;
+    }
+    resp.filled = cont.array_read_extents(r.oid, r.akey, exts, payload, resp.fills, r.epoch);
+    resp.exists = resp.filled > 0;
+    reply_bytes = total + std::uint64_t(nex - 1) * kExtentDescBytes;
+    svc->record(sched_.now() - svc_t0);
+    co_return Reply{Errno::ok, kObjRpcHeader + reply_bytes, Body::make(std::move(resp))};
+  }
   if (r.type == RecordType::array) {
     co_await media_read(t, r.length + 64);
     if (cfg_.payload == vos::PayloadMode::store) {

@@ -26,6 +26,12 @@ struct EngineConfig {
   std::uint32_t targets = 8;
   sim::Time update_cpu = 9 * sim::kUs;  // per-RPC server CPU (checksums, tree ops)
   sim::Time fetch_cpu = 6 * sim::kUs;
+  /// Marginal CPU per additional extent in a batched (multi-extent) RPC:
+  /// the per-descriptor checksum/tree work that batching cannot amortize.
+  /// A k-extent update costs update_cpu + (k-1)*update_cpu_extent, so a
+  /// 1-extent batch costs exactly what the unbatched path did.
+  sim::Time update_cpu_extent = 2 * sim::kUs;
+  sim::Time fetch_cpu_extent = 1 * sim::kUs;
   sim::Time enum_cpu = 12 * sim::kUs;
   sim::Time punch_cpu = 8 * sim::kUs;
   /// Per-target sustained throughput (xstream service + its share of the
@@ -119,6 +125,10 @@ class Engine {
   media::DcpmmInterleaveSet& media_;
   EngineConfig cfg_;
   telemetry::Registry metrics_;
+  /// Extents per object RPC (1 for unbatched/KV), as histograms so the
+  /// batching ablations can read the whole distribution.
+  telemetry::DurationHistogram* update_extents_ = nullptr;
+  telemetry::DurationHistogram* fetch_extents_ = nullptr;
   std::vector<std::unique_ptr<Target>> targets_;
   std::uint64_t updates_ = 0;
   std::uint64_t fetches_ = 0;

@@ -33,9 +33,33 @@ constexpr std::uint16_t kOpRebuildDone = 0x42;
 /// Fixed per-message protocol overhead added to payload sizes.
 constexpr std::uint64_t kObjRpcHeader = 256;
 
+/// Wire cost of each additional I/O descriptor in a batched (multi-extent)
+/// object RPC: dkey + offset/length + checksum slot, as in a DAOS iod/sgl
+/// entry. The first extent rides in the fixed header, so a single-extent
+/// batch costs exactly what the unbatched protocol did.
+constexpr std::uint64_t kExtentDescBytes = 32;
+
 using Payload = std::shared_ptr<std::vector<std::byte>>;
 
 enum class RecordType : std::uint8_t { array, single_value };
+
+/// One extent of a batched (scatter-gather) array RPC. All extents of a
+/// request share the object/akey and one payload buffer; `payload_off` is
+/// this extent's offset into it.
+struct IoExtent {
+  vos::Key dkey;
+  std::uint64_t offset = 0;       // offset within the dkey's array
+  std::uint64_t length = 0;       // logical bytes
+  std::uint64_t payload_off = 0;  // offset into the request/reply payload
+};
+
+/// Request wire bytes for an object RPC carrying `extents` descriptors and
+/// `payload_bytes` of data (extents == 0 or 1 both mean "no extra
+/// descriptors": the legacy single-extent encoding).
+constexpr std::uint64_t obj_wire_bytes(std::size_t extents, std::uint64_t payload_bytes) {
+  const std::uint64_t extra = extents > 1 ? std::uint64_t(extents - 1) * kExtentDescBytes : 0;
+  return kObjRpcHeader + payload_bytes + extra;
+}
 
 struct ObjUpdateReq {
   vos::Uuid cont;
@@ -47,6 +71,11 @@ struct ObjUpdateReq {
   std::uint64_t offset = 0;  // array only
   std::uint64_t length = 0;  // logical bytes (payload may be null in discard mode)
   Payload data;              // null => metadata-only accounting
+  /// Batched (vectorized) encoding: when non-empty, the request carries
+  /// these extents instead of the dkey/offset/length above, all applied to
+  /// the same target in one service visit. `data` then holds every extent's
+  /// bytes at its `payload_off`. Arrays only.
+  std::vector<IoExtent> extents;
   std::uint64_t array_end_hint = 0;  // global array high-water mark (0 = none)
   /// Conditional dkey insert (DAOS_COND_DKEY_INSERT): fail with
   /// Errno::exists if the dkey already holds a visible record. Serialises
@@ -63,13 +92,21 @@ struct ObjFetchReq {
   RecordType type = RecordType::array;
   std::uint64_t offset = 0;
   std::uint64_t length = 0;
+  /// Batched encoding (see ObjUpdateReq::extents): when non-empty the fetch
+  /// reads every extent in one service visit; the reply's payload holds each
+  /// extent's bytes at its `payload_off` and `fills` reports per-extent
+  /// overlap. Arrays only.
+  std::vector<IoExtent> extents;
   vos::Epoch epoch = vos::kEpochMax;
 };
 
 struct ObjFetchResp {
   bool exists = false;       // single-value: record present
-  std::uint64_t filled = 0;  // array: bytes overlapping written data
+  std::uint64_t filled = 0;  // array: bytes overlapping written data (batched: total)
   Payload data;              // null in discard mode
+  /// Batched fetch: bytes overlapping written data per request extent
+  /// (parallel to ObjFetchReq::extents); empty for single-extent requests.
+  std::vector<std::uint64_t> fills;
 };
 
 struct ObjEnumReq {

@@ -240,9 +240,11 @@ sim::CoTask<void> IorRunner::rank_body(mpi::Comm comm, const IorConfig* cfg,
   const std::uint32_t transfers = std::uint32_t(cfg->block_size / cfg->transfer_size);
   DAOSIM_REQUIRE(transfers * cfg->transfer_size == cfg->block_size,
                  "block size must be a multiple of transfer size");
-
-  std::vector<std::byte> buf;
-  if (store) buf.resize(std::size_t(cfg->transfer_size));
+  DAOSIM_REQUIRE(cfg->eq_depth >= 1, "eq_depth must be >= 1");
+  // Collective MPI-IO interleaves barriers across ranks; overlapping two
+  // collective calls from one rank would mismatch them.
+  DAOSIM_REQUIRE(cfg->eq_depth == 1 || !cfg->collective,
+                 "eq_depth > 1 is incompatible with collective I/O");
 
   auto path_of = [&](int file_rank) {
     return cfg->file_per_process
@@ -374,16 +376,28 @@ sim::CoTask<void> IorRunner::rank_body(mpi::Comm comm, const IorConfig* cfg,
     auto rf = co_await open_file(me, /*writing=*/true);
     DAOSIM_REQUIRE(rf.ok(), "rank %d: write open failed: %s", me, errno_name(rf.error()));
     const std::uint64_t seed = seed_of(me);
+    // Async window (daos_event model): up to eq_depth transfers in flight per
+    // rank; depth 1 degenerates to the classic blocking IOR loop. The rank
+    // frame outlives wait_all(), so by-reference captures are safe.
+    client::EventQueue eq(tb_.sched(), cfg->eq_depth);
     for (std::uint32_t seg = 0; seg < cfg->segments; ++seg) {
       for (std::uint32_t t = 0; t < transfers; ++t) {
         const std::uint64_t off = file_offset(me, seg, t);
-        if (store) fill_pattern(buf, off, seed);
-        std::span<const std::byte> data;
-        if (store) data = buf;
-        const Errno rc = co_await rf->write(off, cfg->transfer_size, data);
-        DAOSIM_REQUIRE(rc == Errno::ok, "rank %d: write failed: %s", me, errno_name(rc));
+        auto op = [&, off]() -> sim::CoTask<void> {
+          std::vector<std::byte> wbuf;  // per-op buffer: bounded by eq_depth
+          std::span<const std::byte> data;
+          if (store) {
+            wbuf.resize(std::size_t(cfg->transfer_size));
+            fill_pattern(wbuf, off, seed);
+            data = wbuf;
+          }
+          const Errno wrc = co_await rf->write(off, cfg->transfer_size, data);
+          DAOSIM_REQUIRE(wrc == Errno::ok, "rank %d: write failed: %s", me, errno_name(wrc));
+        };
+        co_await eq.launch(std::move(op));
       }
     }
+    co_await eq.wait_all();
     const Errno rc = co_await rf->close();
     DAOSIM_REQUIRE(rc == Errno::ok, "rank %d: close failed: %s", me, errno_name(rc));
     co_await comm.barrier();
@@ -405,14 +419,16 @@ sim::CoTask<void> IorRunner::rank_body(mpi::Comm comm, const IorConfig* cfg,
     auto rf = co_await open_file(target, /*writing=*/false);
     DAOSIM_REQUIRE(rf.ok(), "rank %d: read open failed: %s", me, errno_name(rf.error()));
     const std::uint64_t seed = seed_of(target);
+    client::EventQueue eq(tb_.sched(), cfg->eq_depth);
     for (std::uint32_t seg = 0; seg < cfg->segments; ++seg) {
       for (std::uint32_t t = 0; t < transfers; ++t) {
         const std::uint64_t off = file_offset(target, seg, t);
-        std::span<std::byte> out;
-        if (store) out = buf;
-        std::uint64_t filled = cfg->transfer_size;
-        if (store) {
-          auto n = co_await rf->read(off, out);
+        auto op = [&, off]() -> sim::CoTask<void> {
+          // Per-op sink (bounded by eq_depth); in discard mode the payload
+          // bytes never materialize, only the size matters.
+          std::vector<std::byte> rbuf(std::size_t(cfg->transfer_size));
+          std::uint64_t filled = cfg->transfer_size;
+          auto n = co_await rf->read(off, rbuf);
           if (!n.ok() && n.error() == Errno::data_loss) {
             // Every replica of the group is gone: count the event, read on.
             ++st->data_loss_errors;
@@ -420,23 +436,14 @@ sim::CoTask<void> IorRunner::rank_body(mpi::Comm comm, const IorConfig* cfg,
           } else {
             DAOSIM_REQUIRE(n.ok(), "rank %d: read failed: %s", me, errno_name(n.error()));
             filled = *n;
-            if (cfg->verify) st->verify_errors += check_pattern(buf, off, seed);
+            if (store && cfg->verify) st->verify_errors += check_pattern(rbuf, off, seed);
           }
-        } else {
-          // Metadata-only mode: issue a zero-copy read of the right size.
-          std::vector<std::byte> sink(std::size_t(cfg->transfer_size));
-          auto n = co_await rf->read(off, sink);
-          if (!n.ok() && n.error() == Errno::data_loss) {
-            ++st->data_loss_errors;
-            filled = 0;
-          } else {
-            DAOSIM_REQUIRE(n.ok(), "rank %d: read failed: %s", me, errno_name(n.error()));
-            filled = *n;
-          }
-        }
-        if (filled != cfg->transfer_size) ++st->fill_errors;
+          if (filled != cfg->transfer_size) ++st->fill_errors;
+        };
+        co_await eq.launch(std::move(op));
       }
     }
+    co_await eq.wait_all();
     const Errno rc = co_await rf->close();
     DAOSIM_REQUIRE(rc == Errno::ok, "rank %d: read close failed: %s", me, errno_name(rc));
     co_await comm.barrier();

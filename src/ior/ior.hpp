@@ -41,6 +41,9 @@ struct IorConfig {
   std::string test_dir = "/ior";
   bool do_write = true;
   bool do_read = true;
+  /// Transfers each rank keeps in flight through its client EventQueue
+  /// (daos_event model). 1 = fully serial, matching classic blocking IOR.
+  std::uint32_t eq_depth = 1;
 };
 
 struct PhaseResult {

@@ -21,7 +21,11 @@ const VosContainer::ObjectNode* VosContainer::find_obj(ObjId oid) const {
 }
 
 VosContainer::AkeyNode& VosContainer::akey_node(ObjId oid, const Key& dkey, const Key& akey) {
-  ObjectNode& o = obj(oid);
+  return akey_node_in(obj(oid), dkey, akey);
+}
+
+VosContainer::AkeyNode& VosContainer::akey_node_in(ObjectNode& o, const Key& dkey,
+                                                   const Key& akey) {
   DkeyNode* dk;
   ++tree_stats_.lookups;
   if (auto* p = o.dkeys.find(dkey)) {
@@ -45,8 +49,13 @@ const VosContainer::AkeyNode* VosContainer::find_akey(ObjId oid, const Key& dkey
                                                       const Key& akey) const {
   const auto* o = find_obj(oid);
   if (o == nullptr) return nullptr;
+  return find_akey_in(*o, dkey, akey);
+}
+
+const VosContainer::AkeyNode* VosContainer::find_akey_in(const ObjectNode& o, const Key& dkey,
+                                                         const Key& akey) const {
   ++tree_stats_.lookups;
-  const auto* dk = const_cast<ObjectNode*>(o)->dkeys.find(dkey);
+  const auto* dk = const_cast<ObjectNode&>(o).dkeys.find(dkey);
   if (dk == nullptr) return nullptr;
   ++tree_stats_.lookups;
   const auto* ak = (*dk)->akeys.find(akey);
@@ -72,6 +81,52 @@ std::uint64_t VosContainer::array_read(ObjId oid, const Key& dkey, const Key& ak
     return 0;
   }
   return a->arr.read(offset, out, epoch);
+}
+
+void VosContainer::array_write_extents(ObjId oid, const Key& akey,
+                                       std::span<const ArrayExtent> extents,
+                                       std::span<const std::byte> payload) {
+  if (extents.empty()) return;
+  ObjectNode& o = obj(oid);  // one object-table descent for the whole batch
+  for (const ArrayExtent& e : extents) {
+    AkeyNode& a = akey_node_in(o, e.dkey, akey);
+    DAOSIM_REQUIRE(!a.has_sv, "akey already holds a single value");
+    a.has_arr = true;
+    std::span<const std::byte> data;
+    if (!payload.empty()) data = payload.subspan(std::size_t(e.payload_off), std::size_t(e.length));
+    // One epoch per extent: versioning identical to N separate updates.
+    a.arr.write(e.offset, e.length, data, next_epoch(), mode_);
+    logical_bytes_ += e.length;
+  }
+}
+
+std::uint64_t VosContainer::array_read_extents(ObjId oid, const Key& akey,
+                                               std::span<const ArrayExtent> extents,
+                                               std::span<std::byte> payload,
+                                               std::span<std::uint64_t> fills,
+                                               Epoch epoch) const {
+  DAOSIM_REQUIRE(fills.size() == extents.size(), "per-extent fill slots mismatch");
+  if (!payload.empty()) std::fill(payload.begin(), payload.end(), std::byte{0});
+  std::uint64_t total = 0;
+  const ObjectNode* o = find_obj(oid);
+  for (std::size_t i = 0; i < extents.size(); ++i) {
+    const ArrayExtent& e = extents[i];
+    const AkeyNode* a = o != nullptr ? find_akey_in(*o, e.dkey, akey) : nullptr;
+    std::uint64_t filled = 0;
+    if (a != nullptr && a->has_arr) {
+      if (!payload.empty()) {
+        auto out = payload.subspan(std::size_t(e.payload_off), std::size_t(e.length));
+        filled = a->arr.read(e.offset, out, epoch);
+      } else {
+        // Discard mode: fill state from extent metadata only.
+        const std::uint64_t sz = a->arr.size(epoch);
+        filled = sz > e.offset ? std::min(e.length, sz - e.offset) : 0;
+      }
+    }
+    fills[i] = filled;
+    total += filled;
+  }
+  return total;
 }
 
 std::uint64_t VosContainer::array_read_masked(ObjId oid, const Key& dkey, const Key& akey,

@@ -34,6 +34,28 @@ class VosContainer {
   /// Returns bytes that overlapped written data; holes read as zero.
   std::uint64_t array_read(ObjId oid, const Key& dkey, const Key& akey, std::uint64_t offset,
                            std::span<std::byte> out, Epoch epoch) const;
+
+  /// One extent of a batched array visit: a dkey-relative byte range plus
+  /// its offset into the shared payload buffer.
+  struct ArrayExtent {
+    Key dkey;
+    std::uint64_t offset = 0;
+    std::uint64_t length = 0;
+    std::uint64_t payload_off = 0;
+  };
+  /// Batched array write (the engine's single-service-visit entry point):
+  /// applies every extent under one object-table descent. Each extent gets
+  /// its own epoch from next_epoch(), so versioning is identical to issuing
+  /// the extents as separate updates. `payload` is empty in discard mode.
+  void array_write_extents(ObjId oid, const Key& akey, std::span<const ArrayExtent> extents,
+                           std::span<const std::byte> payload);
+  /// Batched array read: one object-table descent, then per-extent dkey/akey
+  /// probes. Fills `payload` at each extent's payload_off (when non-empty)
+  /// and `fills[i]` with the extent's overlap; returns the total overlap.
+  std::uint64_t array_read_extents(ObjId oid, const Key& akey,
+                                   std::span<const ArrayExtent> extents,
+                                   std::span<std::byte> payload, std::span<std::uint64_t> fills,
+                                   Epoch epoch) const;
   /// Like array_read, but also reports the per-byte fill state in `mask`
   /// (resized to out.size()). Rebuild merges a pulled image under the bytes
   /// this replica already holds.
@@ -129,6 +151,10 @@ class VosContainer {
   ObjectNode& obj(ObjId oid);
   const ObjectNode* find_obj(ObjId oid) const;
   AkeyNode& akey_node(ObjId oid, const Key& dkey, const Key& akey);
+  /// Descends from an already-resolved object node (batched visits resolve
+  /// the object once and reuse it across extents).
+  AkeyNode& akey_node_in(ObjectNode& o, const Key& dkey, const Key& akey);
+  const AkeyNode* find_akey_in(const ObjectNode& o, const Key& dkey, const Key& akey) const;
   const AkeyNode* find_akey(ObjId oid, const Key& dkey, const Key& akey) const;
   static bool akey_visible(const AkeyNode& a, Epoch epoch);
 

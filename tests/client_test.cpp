@@ -329,6 +329,56 @@ TEST(Cluster, S1WritesStayOnOneTarget) {
   tb.stop();
 }
 
+TEST(Cluster, EventQueueBackpressureBlocksLaunch) {
+  Testbed tb(small_cluster());
+  tb.start();
+  tb.run([&]() -> CoTask<void> {
+    constexpr std::size_t kDepth = 2;
+    EventQueue eq(tb.sched(), kDepth);
+    auto started = std::make_shared<std::vector<sim::Time>>();
+    auto finished = std::make_shared<std::vector<sim::Time>>();
+    for (int i = 0; i < 8; ++i) {
+      auto op = [started, finished, &tb]() -> CoTask<void> {
+        started->push_back(tb.sched().now());
+        co_await tb.sched().delay(100 * sim::kUs);
+        finished->push_back(tb.sched().now());
+      };
+      co_await eq.launch(std::move(op));
+    }
+    co_await eq.wait_all();
+    CO_ASSERT_EQ(started->size(), 8u);
+    // With kDepth slots, op i can only start once op i-kDepth released its
+    // slot: launch() blocked the producer instead of queueing unboundedly.
+    for (std::size_t i = kDepth; i < started->size(); ++i) {
+      EXPECT_GE((*started)[i], (*finished)[i - kDepth]) << "op " << i << " jumped the window";
+    }
+  });
+  tb.stop();
+}
+
+TEST(Cluster, EventQueueCompletionsAreOutOfOrderButWaitAllIsABarrier) {
+  Testbed tb(small_cluster());
+  tb.start();
+  tb.run([&]() -> CoTask<void> {
+    // Unbounded queue, descending delays: completions must reverse the launch
+    // order, and wait_all() must still hold until the slowest (first) op ends.
+    EventQueue eq(tb.sched(), /*max_inflight=*/0);
+    auto done = std::make_shared<std::vector<int>>();
+    for (int i = 0; i < 4; ++i) {
+      auto op = [done, i, &tb]() -> CoTask<void> {
+        co_await tb.sched().delay(sim::Time(4 - i) * 10 * sim::kUs);
+        done->push_back(i);
+      };
+      co_await eq.launch(std::move(op));
+    }
+    co_await eq.wait_all();
+    CO_ASSERT_EQ(done->size(), 4u);
+    EXPECT_EQ(*done, (std::vector<int>{3, 2, 1, 0}));
+    EXPECT_EQ(eq.inflight(), 0u);
+  });
+  tb.stop();
+}
+
 TEST(Cluster, EventQueueBoundsInflight) {
   Testbed tb(small_cluster());
   tb.start();
@@ -350,6 +400,199 @@ TEST(Cluster, EventQueueBoundsInflight) {
     co_await eq.wait_all();
     EXPECT_LE(*peak, 4u);
     EXPECT_EQ(eq.inflight(), 0u);
+  });
+  tb.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Vectorized I/O: chunk pieces coalesce into multi-extent RPCs per
+// (target, replica), bounded by ClientConfig::max_batch_extents.
+
+std::uint64_t total_updates(Testbed& tb) {
+  std::uint64_t n = 0;
+  for (std::uint32_t e = 0; e < tb.engine_count(); ++e) n += tb.engine(e).updates_served();
+  return n;
+}
+
+std::uint64_t total_fetches(Testbed& tb) {
+  std::uint64_t n = 0;
+  for (std::uint32_t e = 0; e < tb.engine_count(); ++e) n += tb.engine(e).fetches_served();
+  return n;
+}
+
+TEST(Batch, CoalescesChunkPiecesIntoOneRpc) {
+  Testbed tb(small_cluster());
+  tb.start();
+  tb.run([&]() -> CoTask<void> {
+    auto& cl = tb.client(0);
+    (void)co_await cl.cont_create(kPoolUuid, {});  // daosim-lint: allow(ignored-result)
+    // 16 chunks on an S1 object: one target, one redundancy group — with the
+    // default cap of 16 extents the whole write fits in a single RPC.
+    ArrayObject arr(cl, kPoolUuid, make_oid(40, ObjClass::S1), /*chunk=*/4096);
+    std::vector<std::byte> data(16 * 4096);
+    for (std::size_t i = 0; i < data.size(); ++i) data[i] = std::byte(i % 241);
+    EXPECT_EQ(co_await arr.write(0, data.size(), data), Errno::ok);
+    EXPECT_EQ(total_updates(tb), 1u);
+
+    std::vector<std::byte> out(data.size());
+    auto filled = co_await arr.read(0, out);
+    CO_ASSERT_TRUE(filled.ok());
+    EXPECT_EQ(*filled, data.size());
+    EXPECT_EQ(std::memcmp(out.data(), data.data(), data.size()), 0);
+    EXPECT_EQ(total_fetches(tb), 1u);
+  });
+  tb.stop();
+}
+
+TEST(Batch, CapOneRecoversLegacyPerPieceRpcs) {
+  auto cfg = small_cluster();
+  cfg.client.max_batch_extents = 1;  // the A/B knob: one RPC per extent
+  Testbed tb(cfg);
+  tb.start();
+  tb.run([&]() -> CoTask<void> {
+    auto& cl = tb.client(0);
+    (void)co_await cl.cont_create(kPoolUuid, {});  // daosim-lint: allow(ignored-result)
+    ArrayObject arr(cl, kPoolUuid, make_oid(41, ObjClass::S1), 4096);
+    std::vector<std::byte> data(16 * 4096, std::byte{7});
+    EXPECT_EQ(co_await arr.write(0, data.size(), data), Errno::ok);
+    EXPECT_EQ(total_updates(tb), 16u);
+    std::vector<std::byte> out(data.size());
+    auto filled = co_await arr.read(0, out);
+    CO_ASSERT_TRUE(filled.ok());
+    EXPECT_EQ(*filled, data.size());
+    EXPECT_EQ(total_fetches(tb), 16u);
+  });
+  tb.stop();
+}
+
+TEST(Batch, SplitsAtTheConfiguredCap) {
+  auto cfg = small_cluster();
+  cfg.client.max_batch_extents = 4;
+  Testbed tb(cfg);
+  tb.start();
+  tb.run([&]() -> CoTask<void> {
+    auto& cl = tb.client(0);
+    (void)co_await cl.cont_create(kPoolUuid, {});  // daosim-lint: allow(ignored-result)
+    ArrayObject arr(cl, kPoolUuid, make_oid(42, ObjClass::S1), 4096);
+    // 10 pieces under a cap of 4 -> sub-batches of 4 + 4 + 2.
+    std::vector<std::byte> data(10 * 4096, std::byte{9});
+    EXPECT_EQ(co_await arr.write(0, data.size(), data), Errno::ok);
+    EXPECT_EQ(total_updates(tb), 3u);
+  });
+  tb.stop();
+}
+
+TEST(Batch, UnalignedWriteSplitsAtChunkBoundaries) {
+  Testbed tb(small_cluster());
+  tb.start();
+  tb.run([&]() -> CoTask<void> {
+    auto& cl = tb.client(0);
+    (void)co_await cl.cont_create(kPoolUuid, {});  // daosim-lint: allow(ignored-result)
+    ArrayObject arr(cl, kPoolUuid, make_oid(43, ObjClass::S1), 4096);
+    // [1000, 12000): pieces of 3096 + 4096 + 2904 bytes — three extents in
+    // one RPC, visible in the engine's extents-per-RPC histogram.
+    std::vector<std::byte> data(11'000);
+    for (std::size_t i = 0; i < data.size(); ++i) data[i] = std::byte(i % 251);
+    EXPECT_EQ(co_await arr.write(1000, data.size(), data), Errno::ok);
+    EXPECT_EQ(total_updates(tb), 1u);
+
+    const telemetry::DurationHistogram* h = nullptr;
+    for (std::uint32_t e = 0; e < tb.engine_count(); ++e) {
+      if (tb.engine(e).updates_served() == 0) continue;
+      h = tb.engine(e).telemetry().find<telemetry::DurationHistogram>(
+          "rpc/obj_update/extents_per_rpc");
+    }
+    CO_ASSERT_TRUE(h != nullptr);
+    EXPECT_EQ(h->state().count, 1u);
+    EXPECT_EQ(h->state().sum_ns, 3u);  // extent count rides the ns axis
+
+    std::vector<std::byte> out(data.size());
+    auto filled = co_await arr.read(1000, out);
+    CO_ASSERT_TRUE(filled.ok());
+    EXPECT_EQ(*filled, data.size());
+    EXPECT_EQ(std::memcmp(out.data(), data.data(), data.size()), 0);
+  });
+  tb.stop();
+}
+
+TEST(Batch, ReplicaFanOutSendsOneRpcPerReplica) {
+  Testbed tb(small_cluster());
+  tb.start();
+  tb.run([&]() -> CoTask<void> {
+    auto& cl = tb.client(0);
+    (void)co_await cl.cont_create(kPoolUuid, {});  // daosim-lint: allow(ignored-result)
+    // RP_2G1: one group, two replicas. Eight pieces fan out to exactly two
+    // batched updates — one per replica target. The read hashes each piece to
+    // a starting replica for load spreading, so it may split across both
+    // replicas — but never into more RPCs than replicas, and the batches must
+    // carry all eight extents between them.
+    ArrayObject arr(cl, kPoolUuid, make_oid(44, ObjClass::RP_2G1), 4096);
+    std::vector<std::byte> data(8 * 4096);
+    for (std::size_t i = 0; i < data.size(); ++i) data[i] = std::byte(i % 127);
+    EXPECT_EQ(co_await arr.write(0, data.size(), data), Errno::ok);
+    EXPECT_EQ(total_updates(tb), 2u);
+    int engines_hit = 0;
+    for (std::uint32_t e = 0; e < tb.engine_count(); ++e) {
+      if (tb.engine(e).updates_served() > 0) ++engines_hit;
+    }
+    EXPECT_EQ(engines_hit, 2);  // replicas live on distinct engines
+
+    std::vector<std::byte> out(data.size());
+    auto filled = co_await arr.read(0, out);
+    CO_ASSERT_TRUE(filled.ok());
+    EXPECT_EQ(*filled, data.size());
+    EXPECT_EQ(std::memcmp(out.data(), data.data(), data.size()), 0);
+    EXPECT_GE(total_fetches(tb), 1u);
+    EXPECT_LE(total_fetches(tb), 2u);
+    std::uint64_t fetched_extents = 0;
+    for (std::uint32_t e = 0; e < tb.engine_count(); ++e) {
+      if (const auto* h = tb.engine(e).telemetry().find<telemetry::DurationHistogram>(
+              "rpc/obj_fetch/extents_per_rpc")) {
+        fetched_extents += h->state().sum_ns;
+      }
+    }
+    EXPECT_EQ(fetched_extents, 8u);
+  });
+  tb.stop();
+}
+
+TEST(Batch, DegradedTargetMidBatchFallsBackPerExtent) {
+  Testbed tb(small_cluster());
+  tb.start();
+  tb.run([&]() -> CoTask<void> {
+    auto& cl = tb.client(0);
+    (void)co_await cl.cont_create(kPoolUuid, {});  // daosim-lint: allow(ignored-result)
+    ArrayObject arr(cl, kPoolUuid, make_oid(45, ObjClass::RP_2G1), 4096);
+    std::vector<std::byte> data(8 * 4096);
+    for (std::size_t i = 0; i < data.size(); ++i) data[i] = std::byte(i % 199);
+    EXPECT_EQ(co_await arr.write(0, data.size(), data), Errno::ok);
+
+    // Silence one of the two replica engines for fetches only: pieces hashed
+    // to it fail inside their batch and must individually fall back to the
+    // surviving replica, while their batch-mates succeed untouched.
+    net::NodeId dead{};
+    for (std::uint32_t e = 0; e < tb.engine_count(); ++e) {
+      if (tb.engine(e).updates_served() > 0) {
+        dead = tb.engine(e).node();
+        break;
+      }
+    }
+    tb.domain().set_fault_hook([dead](net::NodeId, net::NodeId dst, std::uint16_t op) {
+      net::CallFault f;
+      f.drop = op == engine::kOpObjFetch && dst == dead;
+      return f;
+    });
+
+    std::vector<std::byte> out(data.size());
+    auto filled = co_await arr.read(0, out);
+    tb.domain().set_fault_hook({});
+    CO_ASSERT_TRUE(filled.ok());
+    EXPECT_EQ(*filled, data.size());
+    EXPECT_EQ(std::memcmp(out.data(), data.data(), data.size()), 0);
+    // The pieces aimed at the silenced replica burned their retry budget,
+    // reported the engine, and were individually re-driven — their
+    // batch-mates on the healthy replica never re-sent.
+    EXPECT_GE(cl.evictions_reported(), 1u);
   });
   tb.stop();
 }

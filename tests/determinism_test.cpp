@@ -233,5 +233,47 @@ TEST(RebuildDeterminism, LeaderCrashMidRebuildResumesBitIdentically) {
       << "leader failover mid-rebuild diverged — resume path is nondeterministic";
 }
 
+// ---------------------------------------------------------------------------
+// Vectorized-path determinism: extent batching groups pieces through ordered
+// std::maps and the EventQueue credit window gates launches through the
+// scheduler, so batched and pipelined configurations must replay
+// bit-identically too — and the knobs must actually reach the event trace.
+
+std::uint64_t run_batched_scenario(std::uint32_t max_batch, std::uint32_t eq_depth) {
+  ClusterConfig cluster = small_cluster();
+  cluster.client.max_batch_extents = max_batch;
+  Testbed tb(cluster);
+  tb.start();
+  // 32 KiB DFS chunks under 256 KiB transfers: eight extents per transfer,
+  // so batching and the legacy per-extent path genuinely diverge.
+  IorRunner runner(tb, /*ppn=*/4, /*chunk_size=*/32 * kKiB);
+  IorConfig job = small_job(Api::dfs, /*fpp=*/false);
+  job.eq_depth = eq_depth;
+  const IorResult res = runner.run(job);
+  EXPECT_EQ(res.verify_errors, 0u);
+  EXPECT_EQ(res.read_fill_errors, 0u);
+  tb.stop();
+  return tb.sched().trace_hash();
+}
+
+TEST(BatchDeterminism, BatchedRunReplaysBitIdentically) {
+  EXPECT_EQ(run_batched_scenario(16, 1), run_batched_scenario(16, 1));
+}
+
+TEST(BatchDeterminism, LegacyCapOneReplaysBitIdentically) {
+  EXPECT_EQ(run_batched_scenario(1, 1), run_batched_scenario(1, 1));
+}
+
+TEST(BatchDeterminism, PipelinedEqReplaysBitIdentically) {
+  EXPECT_EQ(run_batched_scenario(16, 4), run_batched_scenario(16, 4));
+}
+
+TEST(BatchDeterminism, KnobsPerturbTheTrace) {
+  // Distinct configurations must not collapse onto one schedule; otherwise
+  // the A/B ablation would be comparing identical runs.
+  EXPECT_NE(run_batched_scenario(16, 1), run_batched_scenario(1, 1));
+  EXPECT_NE(run_batched_scenario(16, 1), run_batched_scenario(16, 4));
+}
+
 }  // namespace
 }  // namespace daosim::ior

@@ -531,6 +531,33 @@ TEST(FaultAcceptance, HardModeRunSurvivesMidWriteCrash) {
   tb.stop();
 }
 
+// The same crash against the vectorized path: multi-extent batches in flight
+// (32 KiB chunks -> 8 extents per transfer) plus an async window of two
+// transfers per rank. A batch that dies mid-flight must be retried or
+// re-placed as a unit without losing any member extent's bytes.
+TEST(FaultAcceptance, BatchedPipelinedWriteSurvivesMidWriteCrash) {
+  Testbed tb(small_cluster());
+  tb.start();
+  fault::Schedule sched;
+  sched.crash(5 * sim::kMs, 3);
+  tb.inject_faults(sched, /*seed=*/7);
+
+  ior::IorRunner runner(tb, /*ppn=*/4, /*chunk_size=*/32 * kKiB);
+  ior::IorConfig cfg = fault_job(/*fpp=*/false);
+  cfg.do_read = false;
+  cfg.eq_depth = 2;
+  const ior::IorResult res = runner.run(cfg);
+
+  EXPECT_EQ(res.write.bytes, 8ull * 4 * 2 * kMiB);  // every rank finished
+  EXPECT_GT(res.write.gib_per_sec(), 0.0);
+
+  const auto leader = tb.svc_leader();
+  ASSERT_TRUE(leader.has_value());
+  EXPECT_EQ(tb.svc_replica(*leader).meta().map_version(), 2u);
+  EXPECT_EQ(tb.svc_replica(*leader).meta().excluded_engines().count(tb.engine(3).node()), 1u);
+  tb.stop();
+}
+
 // ---------------------------------------------------------------------------
 // Delay-only schedules degrade latency without triggering evictions
 

@@ -195,6 +195,31 @@ TEST(Ior, Hdf5SlowerThanDfsInEasyMode) {
   tb.stop();
 }
 
+TEST(Ior, EqDepthPipelinesTransfersAndVerifies) {
+  // The daos_event model: each rank keeps eq_depth transfers in flight. A
+  // deeper queue overlaps RPC round-trips and must never be slower than
+  // issuing the same transfers serially — while still verifying every byte.
+  auto run = [](std::uint32_t depth) {
+    Testbed tb(small_cluster());
+    tb.start();
+    IorRunner runner(tb, /*ppn=*/4, /*chunk_size=*/64 * kKiB);
+    IorConfig cfg = small_job(Api::dfs, /*fpp=*/true);
+    cfg.eq_depth = depth;
+    const IorResult res = runner.run(cfg);
+    tb.stop();
+    return res;
+  };
+  const IorResult eq1 = run(1);
+  const IorResult eq4 = run(4);
+  EXPECT_EQ(eq1.verify_errors, 0u);
+  EXPECT_EQ(eq4.verify_errors, 0u);
+  EXPECT_EQ(eq4.read_fill_errors, 0u);
+  EXPECT_EQ(eq4.write.bytes, eq1.write.bytes);
+  EXPECT_EQ(eq4.read.bytes, eq1.read.bytes);
+  EXPECT_LT(eq4.write.seconds, eq1.write.seconds) << "deeper queue failed to pipeline writes";
+  EXPECT_LE(eq4.read.seconds, eq1.read.seconds);
+}
+
 TEST(Ior, PatternHelpersRoundTrip) {
   std::vector<std::byte> buf(4096);
   fill_pattern(buf, 777, 42);

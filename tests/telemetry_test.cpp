@@ -397,5 +397,77 @@ TEST(FaultCounters, TimeoutTotalsMatchTheInjectorSchedule) {
   EXPECT_GE(client_retries, client_timeouts > 0 ? 1u : 0u);
 }
 
+// ---------------------------------------------------------------------------
+// Vectorized-I/O telemetry: engines histogram the extents carried per object
+// RPC, clients count what coalescing saved — exact numbers for an exact job.
+
+TEST(BatchTelemetry, ExtentHistogramsAndCoalescingCountersAreExact) {
+  Testbed tb(small_cluster());
+  tb.start();
+  tb.run([&]() -> CoTask<void> {
+    auto& cl = tb.client(0);
+    (void)co_await cl.cont_create(kPoolUuid, {});  // daosim-lint: allow(ignored-result)
+    // 16 x 4 KiB chunks on S1: one target, so the write is one 16-extent
+    // batch and the readback one 16-extent fetch.
+    client::ArrayObject arr(cl, kPoolUuid, client::make_oid(9, client::ObjClass::S1), 4096);
+    std::vector<std::byte> data(16 * 4096, std::byte{5});
+    CO_ASSERT_ERRNO(co_await arr.write(0, data.size(), data), Errno::ok);
+    std::vector<std::byte> out(data.size());
+    auto filled = co_await arr.read(0, out);
+    CO_ASSERT_TRUE(filled.ok() && *filled == data.size());
+  });
+  tb.stop();
+
+  DurationHistogram::State upd, fet;
+  for (std::uint32_t e = 0; e < tb.engine_count(); ++e) {
+    const Registry& reg = tb.engine(e).telemetry();
+    if (const auto* h = reg.find<DurationHistogram>("rpc/obj_update/extents_per_rpc")) {
+      upd.count += h->state().count;
+      upd.sum_ns += h->state().sum_ns;
+    }
+    if (const auto* h = reg.find<DurationHistogram>("rpc/obj_fetch/extents_per_rpc")) {
+      fet.count += h->state().count;
+      fet.sum_ns += h->state().sum_ns;
+    }
+  }
+  EXPECT_EQ(upd.count, 1u);    // one batched update RPC...
+  EXPECT_EQ(upd.sum_ns, 16u);  // ...carrying all 16 extents
+  EXPECT_EQ(fet.count, 1u);
+  EXPECT_EQ(fet.sum_ns, 16u);
+
+  const Registry& creg = tb.client(0).telemetry();
+  EXPECT_EQ(counter_value(creg, "batch/extents_coalesced"), 32u);  // 16 write + 16 read
+  EXPECT_EQ(counter_value(creg, "batch/rpcs_saved"), 30u);         // 15 + 15
+}
+
+TEST(BatchTelemetry, CapOneLeavesCoalescingCountersAtZero) {
+  ClusterConfig cluster = small_cluster();
+  cluster.client.max_batch_extents = 1;
+  Testbed tb(cluster);
+  tb.start();
+  tb.run([&]() -> CoTask<void> {
+    auto& cl = tb.client(0);
+    (void)co_await cl.cont_create(kPoolUuid, {});  // daosim-lint: allow(ignored-result)
+    client::ArrayObject arr(cl, kPoolUuid, client::make_oid(9, client::ObjClass::S1), 4096);
+    std::vector<std::byte> data(16 * 4096, std::byte{5});
+    CO_ASSERT_ERRNO(co_await arr.write(0, data.size(), data), Errno::ok);
+  });
+  tb.stop();
+
+  std::uint64_t rpcs = 0, extents = 0;
+  for (std::uint32_t e = 0; e < tb.engine_count(); ++e) {
+    if (const auto* h = tb.engine(e).telemetry().find<DurationHistogram>(
+            "rpc/obj_update/extents_per_rpc")) {
+      rpcs += h->state().count;
+      extents += h->state().sum_ns;
+    }
+  }
+  EXPECT_EQ(rpcs, 16u);     // one RPC per extent on the legacy path
+  EXPECT_EQ(extents, 16u);  // every RPC carried exactly one extent
+  const Registry& creg = tb.client(0).telemetry();
+  EXPECT_EQ(counter_value(creg, "batch/extents_coalesced"), 0u);
+  EXPECT_EQ(counter_value(creg, "batch/rpcs_saved"), 0u);
+}
+
 }  // namespace
 }  // namespace daosim::telemetry

@@ -13,6 +13,9 @@
 #   tools/ci.sh telemetry  telemetry suite only: dump determinism, fault
 #                          counters, metrics_diff, plus a live ior_cli run
 #                          validating the Chrome trace JSON
+#   tools/ci.sh bench-smoke  tiny-scale ablation_xfersize run (2 nodes, 2
+#                          transfer sizes) asserting the BENCH_*.json perf
+#                          trajectory parses and is non-empty
 #
 # Every configuration runs the full ctest suite, which itself includes the
 # lint tree scan and lint self-test, so `ctest` alone also catches violations.
@@ -86,7 +89,7 @@ if [[ $STAGE == telemetry ]]; then
   cmake --build build-ci-telemetry -j "$JOBS" --target telemetry_test ior_cli
   echo "=== [telemetry] ctest ==="
   ctest --test-dir build-ci-telemetry --output-on-failure -j "$JOBS" \
-    -R 'Registry\.|Histogram\.|Dump|Trace\.|SpanSink|FaultCounters|StatsEmpty|tools.metrics_diff'
+    -R 'Registry\.|Histogram\.|Dump|Trace\.|SpanSink|FaultCounters|BatchTelemetry|StatsEmpty|tools.metrics_diff'
   echo "=== [telemetry] trace export validates ==="
   build-ci-telemetry/examples/ior_cli -a DFS -t 1m -b 4m -N 2 -n 4 -S 2 \
     --metrics-dump=build-ci-telemetry/metrics.json \
@@ -101,6 +104,31 @@ assert {"rpc", "xfer", "media"} <= cats, f"missing span categories: {cats}"
 metrics = json.load(open("build-ci-telemetry/metrics.json"))
 assert any(p.endswith("rpc/update/sent") for p in metrics), "metrics dump is empty"
 print(f"trace OK: {len(events)} events, categories {sorted(c for c in cats if c)}")
+EOF
+fi
+
+if [[ $STAGE == bench-smoke ]]; then
+  # Perf-trajectory smoke: the batching/EQ ablation at tiny scale. Guards the
+  # bench binary, the machine-readable JSON output, and the invariant that
+  # batched coalescing never loses to the legacy per-extent path.
+  echo "=== [bench-smoke] configure + build ==="
+  cmake -B build-ci-bench -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-ci-bench -j "$JOBS" --target ablation_xfersize
+  echo "=== [bench-smoke] run ==="
+  (cd build-ci-bench/bench && ./ablation_xfersize --smoke)
+  echo "=== [bench-smoke] JSON validates ==="
+  python3 - <<'EOF'
+import json
+bench = json.load(open("build-ci-bench/bench/BENCH_ablation_xfersize.json"))
+rows = bench["rows"]
+assert rows, "perf-trajectory JSON has no rows"
+assert all(r["write_gibs"] > 0 and r["read_gibs"] > 0 for r in rows), "zero bandwidth row"
+assert all(r["events"] > 0 for r in rows), "zero-event job"
+by = {(r["series"], r["x"]): r["write_gibs"] for r in rows}
+small = min(r["x"] for r in rows)
+assert by[("hard/batch16", small)] >= by[("hard/batch1", small)] * 0.98, \
+    "batched hard-mode write lost to the unbatched path at the smallest transfer"
+print(f"bench-smoke OK: {len(rows)} rows")
 EOF
 fi
 

@@ -42,6 +42,13 @@ coroutine-heavy C++ codebases:
                       telemetry::Registry has no path and never appears in a
                       dump; obtain nodes via Registry::find_or_create /
                       add_probe and hold pointers.
+  unbatched-extent-rpc A for/while loop in src/client/ that both declares an
+                      ObjUpdateReq/ObjFetchReq and calls Body::make in its
+                      body: one RPC per extent, bypassing the vectorized
+                      batcher. Build the extent vector first and let
+                      ArrayObject's update_batch/fetch_batch coalesce pieces
+                      per (target, replica), bounded by
+                      ClientConfig::max_batch_extents.
 
 Suppression: append  // daosim-lint: allow(<rule>)  to the offending line,
 or put  // daosim-lint: allow-file(<rule>)  anywhere in the file.
@@ -60,7 +67,8 @@ import re
 import sys
 
 RULES = ("spawn-temporary", "wall-clock", "unordered-iteration", "ignored-result",
-         "raw-rpc-call", "rebuild-idempotency", "untracked-metric")
+         "raw-rpc-call", "rebuild-idempotency", "untracked-metric",
+         "unbatched-extent-rpc")
 
 # wall-clock applies to src/ only: tests and benches may legitimately measure
 # host time; the simulation itself never may.
@@ -68,6 +76,8 @@ TREE_DIRS = ("src", "tests", "bench", "examples")
 WALL_CLOCK_DIRS = ("src",)
 # raw-rpc-call applies to the client library only: engines, raft, and tests
 # drive endpoints directly by design; client code must use the retry wrappers.
+# unbatched-extent-rpc shares this scope: only the client library owns the
+# extent batcher; servers and tests build per-extent requests legitimately.
 RAW_RPC_DIRS = ("src/client",)
 # untracked-metric applies everywhere except the telemetry library itself,
 # which is the one place sanctioned to materialize nodes.
@@ -454,6 +464,44 @@ def check_rebuild_idempotency(path, text, clean):
     return out
 
 
+# A per-extent RPC loop: the loop body both declares an object-I/O request
+# (one extent each) and serializes it with Body::make — N extents become N
+# RPCs, bypassing the client batcher. Loops that only *build* requests (and
+# hand them to update_batch/fetch_batch for coalescing) don't call Body::make
+# inside the loop and stay clean.
+LOOP_HEAD_RE = re.compile(r"\b(?:for|while)\s*\(")
+EXTENT_REQ_DECL_RE = re.compile(r"\bObj(?:Update|Fetch)Req\s+[A-Za-z_]\w*\s*[;{=]")
+BODY_MAKE_RE = re.compile(r"\bBody\s*::\s*make\s*\(")
+
+
+def check_unbatched_extent_rpc(path, text, clean):
+    out = []
+    for m in LOOP_HEAD_RE.finditer(clean):
+        head_end = skip_balanced(clean, m.end() - 1, "(", ")")
+        body_start = head_end
+        while body_start < len(clean) and clean[body_start].isspace():
+            body_start += 1
+        if body_start < len(clean) and clean[body_start] == "{":
+            body_end = skip_balanced(clean, body_start, "{", "}")
+        else:
+            body_end = clean.find(";", body_start) + 1
+        body = clean[body_start:body_end]
+        dm = EXTENT_REQ_DECL_RE.search(body)
+        if dm and BODY_MAKE_RE.search(body):
+            out.append(
+                Violation(
+                    path,
+                    line_of(clean, m.start()),
+                    "unbatched-extent-rpc",
+                    "loop declares an ObjUpdateReq/ObjFetchReq and serializes it "
+                    "with Body::make per iteration: one RPC per extent bypasses "
+                    "the batcher; collect extents and go through ArrayObject's "
+                    "update_batch/fetch_batch (ClientConfig::max_batch_extents)",
+                )
+            )
+    return out
+
+
 METRIC_TYPES = "Counter|Gauge|StatGauge|DurationHistogram|Probe"
 # Value declaration (`telemetry::Counter x`), heap construction (`new
 # telemetry::Counter`), or make_unique — each bypasses the registry. Pointer
@@ -501,6 +549,7 @@ def lint_file(path, rel, result_fns, wall_clock_scope, raw_rpc_scope=False,
     violations += check_ignored_result(rel, text, clean, result_fns)
     if raw_rpc_scope:
         violations += check_raw_rpc_call(rel, text, clean)
+        violations += check_unbatched_extent_rpc(rel, text, clean)
     violations += check_rebuild_idempotency(rel, text, clean)
     if untracked_metric_scope:
         violations += check_untracked_metric(rel, text, clean)
