@@ -76,7 +76,8 @@ void BM_SimulatedArrayWrite(benchmark::State& state) {
   for (auto _ : state) {
     tb.run([&]() -> CoTask<void> {
       if (!created) {
-        (void)co_await tb.client(0).cont_create(cluster::kPoolUuid, {});
+        auto cr = co_await tb.client(0).cont_create(cluster::kPoolUuid, {});
+        DAOSIM_REQUIRE(cr.ok(), "cont_create: %s", errno_name(cr.error()));
         created = true;
       }
       client::ArrayObject arr(tb.client(0), cluster::kPoolUuid,

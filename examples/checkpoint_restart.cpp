@@ -62,7 +62,8 @@ int main() {
   tb.start();
 
   tb.run([&]() -> CoTask<void> {
-    (void)co_await tb.client(0).cont_create(kPoolUuid, pool::ContProps{1 * kMiB, 0});
+    auto created = co_await tb.client(0).cont_create(kPoolUuid, pool::ContProps{1 * kMiB, 0});
+    DAOSIM_REQUIRE(created.ok(), "cont_create: %s", errno_name(created.error()));
     // One DFS + DFuse mount per client node, as deployed in practice.
     std::vector<std::unique_ptr<dfs::DfsMount>> dfs_mounts;
     std::vector<std::unique_ptr<posix::DfuseMount>> mounts;

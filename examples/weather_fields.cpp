@@ -69,7 +69,8 @@ int main() {
 
   tb.run([&]() -> CoTask<void> {
     auto& client = tb.client(0);
-    (void)co_await client.cont_create(kPoolUuid, pool::ContProps{1 * kMiB, 0});  // daosim-lint: allow(ignored-result)
+    auto created = co_await client.cont_create(kPoolUuid, pool::ContProps{1 * kMiB, 0});
+    DAOSIM_REQUIRE(created.ok(), "cont_create: %s", errno_name(created.error()));
     auto mount = co_await dfs::DfsMount::mount(client, kPoolUuid);
     auto& dfs = **mount;
     (void)co_await dfs.mkdir("/fdb");

@@ -74,7 +74,9 @@ telemetry::DurationHistogram* Engine::svc_enter(Target& t, const char* op) {
 
 void Engine::stall_target(std::uint32_t idx, sim::Time duration) {
   Target& t = target_for(idx);  // targets_ holds unique_ptrs: the ref is stable
-  sched_.spawn([&t, duration, this]() -> sim::CoTask<void> {
+  // &t and this outlive the frame: targets_ owns t by unique_ptr and the
+  // Engine owns the scheduler's workload for the whole run.
+  sched_.spawn([&t, duration, this]() -> sim::CoTask<void> {  // daosim-check: allow(ref-capture-spawn): Engine and unique_ptr target outlive the run
     co_await t.xstream.acquire();
     co_await sched_.delay(duration);
     t.xstream.release();
@@ -160,7 +162,6 @@ sim::CoTask<net::Reply> Engine::on_update(net::Request req) {
   co_await sched_.delay(cfg_.update_cpu + sim::Time(nex - 1) * cfg_.update_cpu_extent + sw);
   t.xstream.release();
 
-  auto& cont = t.vos.container(r.cont);
   if (!r.extents.empty()) {
     DAOSIM_REQUIRE(r.type == RecordType::array, "batched update must be an array op");
     std::uint64_t total = 0;
@@ -171,6 +172,9 @@ sim::CoTask<net::Reply> Engine::on_update(net::Request req) {
       total += e.length;
     }
     co_await media_write(t, total + 64 * nex);  // records + per-extent tree-node writes
+    // Shard lookup deliberately after the last suspension: never hold a
+    // storage reference across a media await (suspension-safety audit).
+    vos::VosContainer& cont = t.vos.container(r.cont);
     std::span<const std::byte> payload;
     if (r.data != nullptr) payload = std::span<const std::byte>(*r.data);
     cont.array_write_extents(r.oid, r.akey, exts, payload);
@@ -181,6 +185,7 @@ sim::CoTask<net::Reply> Engine::on_update(net::Request req) {
 
   co_await media_write(t, r.length + 64);  // record + tree-node write
 
+  vos::VosContainer& cont = t.vos.container(r.cont);
   if (r.cond_insert && r.type == RecordType::single_value &&
       cont.kv_get(r.oid, r.dkey, r.akey, vos::kEpochMax).exists) {
     svc->record(sched_.now() - svc_t0);
@@ -214,7 +219,6 @@ sim::CoTask<net::Reply> Engine::on_fetch(net::Request req) {
   t.xstream.release();
 
   ObjFetchResp resp;
-  auto& cont = t.vos.container(r.cont);
   std::uint64_t reply_bytes = 0;
   if (!r.extents.empty()) {
     DAOSIM_REQUIRE(r.type == RecordType::array, "batched fetch must be an array op");
@@ -226,6 +230,8 @@ sim::CoTask<net::Reply> Engine::on_fetch(net::Request req) {
       total += e.length;
     }
     co_await media_read(t, total + 64 * nex);
+    // Shard lookup after the last suspension (see on_update).
+    vos::VosContainer& cont = t.vos.container(r.cont);
     resp.fills.resize(r.extents.size());
     std::span<std::byte> payload;
     if (cfg_.payload == vos::PayloadMode::store) {
@@ -240,6 +246,7 @@ sim::CoTask<net::Reply> Engine::on_fetch(net::Request req) {
   }
   if (r.type == RecordType::array) {
     co_await media_read(t, r.length + 64);
+    vos::VosContainer& cont = t.vos.container(r.cont);
     if (cfg_.payload == vos::PayloadMode::store) {
       resp.data = std::make_shared<std::vector<std::byte>>(r.length);
       resp.filled = cont.array_read(r.oid, r.dkey, r.akey, r.offset, *resp.data, r.epoch);
@@ -251,7 +258,10 @@ sim::CoTask<net::Reply> Engine::on_fetch(net::Request req) {
     resp.exists = resp.filled > 0;
     reply_bytes = r.length;
   } else {
-    auto view = cont.kv_get(r.oid, r.dkey, r.akey, r.epoch);
+    // kv_get copies size/existence into `view` pre-suspension; the data span
+    // points at the epoch record, which is immutable once written (VOS is
+    // versioned: overwrites append at a new epoch, they never edit in place).
+    auto view = t.vos.container(r.cont).kv_get(r.oid, r.dkey, r.akey, r.epoch);
     co_await media_read(t, view.size + 64);
     resp.exists = view.exists;
     if (view.exists) {

@@ -68,7 +68,7 @@ sim::CoTask<void> IorRunner::setup() {
   auto& c0 = tb_.client(0);
   pool::ContProps props;
   props.chunk_size = chunk_size_;
-  (void)co_await c0.cont_create(kPoolUuid, props);  // EEXIST on reruns is fine; daosim-lint: allow(ignored-result)
+  (void)co_await c0.cont_create(kPoolUuid, props);  // daosim-lint: allow(ignored-result): EEXIST on reruns of setup() is expected
   nodes_.resize(tb_.client_node_count());
   std::vector<net::NodeId> rank_nodes;
   for (std::uint32_t i = 0; i < tb_.client_node_count(); ++i) {

@@ -69,7 +69,10 @@ sim::CoTask<Reply> RpcEndpoint::call(NodeId dst, std::uint16_t opcode, Body body
 
   co_await fabric.transfer(node_, dst, request_bytes);
 
-  auto it = domain_.endpoints_.find(dst);
+  // The awaits between this lookup and its uses sit on co_return paths, and
+  // endpoints_ nodes are erased only in ~RpcEndpoint (a crash flips down_,
+  // it never unregisters), so the iterator cannot dangle here.
+  auto it = domain_.endpoints_.find(dst);  // daosim-check: allow(ref-across-suspend): erase only in ~RpcEndpoint; awaits co_return
   if (it == domain_.endpoints_.end() || it->second->down_ || down_) {
     // Destination unreachable (crashed node / partition): model a timeout.
     co_await fabric.scheduler().delay(kRpcTimeout);
@@ -78,7 +81,9 @@ sim::CoTask<Reply> RpcEndpoint::call(NodeId dst, std::uint16_t opcode, Body body
     co_return Reply{Errno::timed_out, 0, {}};
   }
   RpcEndpoint& server = *it->second;
-  auto hit = server.handlers_.find(opcode);
+  // Handlers are registered once at endpoint setup and never erased, so the
+  // handler map cannot rehash under the co_await that invokes hit->second.
+  auto hit = server.handlers_.find(opcode);  // daosim-check: allow(ref-across-suspend): handlers_ is insert-once at setup
   if (hit == server.handlers_.end()) {
     co_return Reply{Errno::not_supported, 0, {}};
   }

@@ -33,7 +33,7 @@ sim::CoTask<Result<Fd>> DfuseMount::open(const std::string& path, VfsOpenFlags f
   request_gate_exit();
   if (!file.ok()) co_return file.error();
   const Fd fd = next_fd_++;
-  fds_[fd] = OpenFile{std::make_unique<dfs::File>(std::move(*file))};
+  fds_[fd] = OpenFile{std::make_shared<dfs::File>(std::move(*file))};
   co_return fd;
 }
 
@@ -52,7 +52,11 @@ sim::CoTask<void> DfuseMount::write_piece(Fd fd, std::uint64_t offset, std::uint
     request_gate_exit();
     co_return;
   }
-  const Errno st = co_await it->second.file->write(offset, length, data);
+  // Pin the file before suspending: a concurrent close() erases the fd table
+  // entry (invalidating `it` and dropping its reference) while we sit in the
+  // DFS write below.
+  const std::shared_ptr<dfs::File> file = it->second.file;
+  const Errno st = co_await file->write(offset, length, data);
   if (st != Errno::ok) *status = st;
   request_gate_exit();
 }
@@ -67,7 +71,9 @@ sim::CoTask<void> DfuseMount::read_piece(Fd fd, std::uint64_t offset, std::span<
     request_gate_exit();
     co_return;
   }
-  auto n = co_await it->second.file->read(offset, out);
+  // Pin the file before suspending (see write_piece).
+  const std::shared_ptr<dfs::File> file = it->second.file;
+  auto n = co_await file->read(offset, out);
   if (n.ok()) {
     *filled += *n;
   } else {
@@ -118,8 +124,11 @@ sim::CoTask<Result<std::uint64_t>> DfuseMount::pread(Fd fd, std::uint64_t offset
 sim::CoTask<Result<std::uint64_t>> DfuseMount::fsize(Fd fd) {
   auto it = fds_.find(fd);
   if (it == fds_.end()) co_return Errno::bad_fd;
+  // Pin the file before the gate suspends us (see write_piece): the lookup
+  // above is pre-suspension, but `it` would not survive a concurrent close().
+  const std::shared_ptr<dfs::File> file = it->second.file;
   co_await request_gate_enter();
-  auto sz = co_await it->second.file->size();
+  auto sz = co_await file->size();
   request_gate_exit();
   if (!sz.ok()) co_return sz.error();
   co_return *sz;

@@ -61,8 +61,13 @@ class DfuseMount final : public Vfs {
                                std::shared_ptr<Errno> status,
                                std::shared_ptr<std::uint64_t> filled);
 
+  // Shared ownership mirrors the kernel's FUSE refcounting: a release() that
+  // races an in-flight request drops the table entry, but the dfs::File stays
+  // alive until the last suspended request holding it completes. Holding the
+  // map iterator across a suspension instead was a use-after-free (a
+  // concurrent close() erases the node and destroys the file mid-request).
   struct OpenFile {
-    std::unique_ptr<dfs::File> file;
+    std::shared_ptr<dfs::File> file;
   };
 
   sim::Scheduler& sched_;

@@ -221,7 +221,9 @@ sim::CoTask<void> RaftNode::solicit_vote(net::NodeId peer, std::uint64_t term,
 sim::CoTask<void> RaftNode::replicator(net::NodeId peer) {
   const std::uint64_t epoch = epoch_;
   const std::uint64_t term = term_;
-  auto& notify = *peer_notify_.at(peer);
+  // peer_notify_ is filled once per membership and entries are never erased;
+  // the unique_ptr indirection keeps each Event's address stable regardless.
+  auto& notify = *peer_notify_.at(peer);  // daosim-check: allow(ref-across-suspend): insert-only map of unique_ptr; Event address is stable
   while (running_ && epoch == epoch_ && role_ == Role::leader && term_ == term) {
     std::uint64_t ni = next_index_[peer];
     if (ni <= snap_last_index_) {

@@ -3,8 +3,7 @@
 // routes object shard I/O here.
 #pragma once
 
-#include <algorithm>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "vos/container.hpp"
@@ -16,6 +15,11 @@ class VosTarget {
   explicit VosTarget(PayloadMode mode) : mode_(mode) {}
 
   /// Opens (creating on first touch) the container's shard on this target.
+  /// The returned reference is stable for the target's lifetime: containers_
+  /// is a node-based std::map, so a concurrent first-touch of a different
+  /// container never relocates existing shards. (It was an unordered_map by
+  /// value, where any insert could rehash and move every VosContainer out
+  /// from under engine coroutines suspended on media I/O.)
   VosContainer& container(Uuid uuid) {
     auto it = containers_.find(uuid);
     if (it == containers_.end()) {
@@ -34,13 +38,12 @@ class VosTarget {
   std::size_t container_count() const { return containers_.size(); }
   PayloadMode payload_mode() const { return mode_; }
 
-  /// Container UUIDs in sorted order (the backing map is unordered; the
-  /// rebuild scanner needs a deterministic walk).
+  /// Container UUIDs in sorted order (the rebuild scanner needs a
+  /// deterministic walk; the ordered map gives it for free).
   std::vector<Uuid> list_containers() const {
     std::vector<Uuid> out;
     out.reserve(containers_.size());
     for (const auto& [uuid, c] : containers_) out.push_back(uuid);
-    std::sort(out.begin(), out.end());
     return out;
   }
 
@@ -55,8 +58,7 @@ class VosTarget {
     return total;
   }
 
-  /// Index-operation counters summed over this target's container shards
-  /// (order-independent, so the unordered walk is safe).
+  /// Index-operation counters summed over this target's container shards.
   VosContainer::TreeStats tree_stats() const {
     VosContainer::TreeStats total;
     for (const auto& [uuid, c] : containers_) total += c.tree_stats();
@@ -65,7 +67,7 @@ class VosTarget {
 
  private:
   PayloadMode mode_;
-  std::unordered_map<Uuid, VosContainer> containers_;
+  std::map<Uuid, VosContainer> containers_;
 };
 
 }  // namespace daosim::vos

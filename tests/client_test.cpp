@@ -158,7 +158,7 @@ TEST(Cluster, OidAllocationIsDisjoint) {
   tb.start();
   tb.run([&]() -> CoTask<void> {
     auto& cl = tb.client(0);
-    (void)co_await cl.cont_create(kPoolUuid, {});  // daosim-lint: allow(ignored-result)
+    CO_ASSERT_TRUE((co_await cl.cont_create(kPoolUuid, {})).ok());
     auto a = co_await cl.alloc_oids(kPoolUuid, 100);
     auto b = co_await cl.alloc_oids(kPoolUuid, 100);
     CO_ASSERT_TRUE(a.ok());
@@ -173,7 +173,7 @@ TEST(Cluster, KvPutGetRoundTrip) {
   tb.start();
   tb.run([&]() -> CoTask<void> {
     auto& cl = tb.client(0);
-    (void)co_await cl.cont_create(kPoolUuid, {});  // daosim-lint: allow(ignored-result)
+    CO_ASSERT_TRUE((co_await cl.cont_create(kPoolUuid, {})).ok());
     KvObject kv(cl, kPoolUuid, make_oid(1, ObjClass::S1));
     auto v = bytes("hello-daos");
     EXPECT_EQ(co_await kv.put("dir", "entry", v), Errno::ok);
@@ -191,7 +191,7 @@ TEST(Cluster, KvEnumerationAcrossShards) {
   tb.start();
   tb.run([&]() -> CoTask<void> {
     auto& cl = tb.client(0);
-    (void)co_await cl.cont_create(kPoolUuid, {});  // daosim-lint: allow(ignored-result)
+    CO_ASSERT_TRUE((co_await cl.cont_create(kPoolUuid, {})).ok());
     KvObject kv(cl, kPoolUuid, make_oid(2, ObjClass::S8));  // multi-shard dir
     auto v = bytes("x");
     for (int i = 0; i < 20; ++i) {
@@ -216,7 +216,7 @@ TEST(Cluster, ArrayWriteReadRoundTrip) {
   tb.start();
   tb.run([&]() -> CoTask<void> {
     auto& cl = tb.client(0);
-    (void)co_await cl.cont_create(kPoolUuid, {});  // daosim-lint: allow(ignored-result)
+    CO_ASSERT_TRUE((co_await cl.cont_create(kPoolUuid, {})).ok());
     ArrayObject arr(cl, kPoolUuid, make_oid(3, ObjClass::S2), /*chunk=*/4096);
     // Write a pattern spanning several chunks, unaligned.
     std::vector<std::byte> data(10'000);
@@ -241,7 +241,7 @@ TEST(Cluster, ArrayHolesReadZero) {
   tb.start();
   tb.run([&]() -> CoTask<void> {
     auto& cl = tb.client(0);
-    (void)co_await cl.cont_create(kPoolUuid, {});  // daosim-lint: allow(ignored-result)
+    CO_ASSERT_TRUE((co_await cl.cont_create(kPoolUuid, {})).ok());
     ArrayObject arr(cl, kPoolUuid, make_oid(4, ObjClass::SX), 4096);
     auto d = bytes("marker");
     EXPECT_EQ(co_await arr.write(100'000, d.size(), d), Errno::ok);
@@ -259,7 +259,7 @@ TEST(Cluster, ArrayPunchResetsSize) {
   tb.start();
   tb.run([&]() -> CoTask<void> {
     auto& cl = tb.client(0);
-    (void)co_await cl.cont_create(kPoolUuid, {});  // daosim-lint: allow(ignored-result)
+    CO_ASSERT_TRUE((co_await cl.cont_create(kPoolUuid, {})).ok());
     ArrayObject arr(cl, kPoolUuid, make_oid(5, ObjClass::S2), 4096);
     auto d = bytes("0123456789");
     EXPECT_EQ(co_await arr.write(0, d.size(), d), Errno::ok);
@@ -279,7 +279,7 @@ TEST(Cluster, MetadataOnlyWritesTrackSizes) {
   tb.start();
   tb.run([&]() -> CoTask<void> {
     auto& cl = tb.client(0);
-    (void)co_await cl.cont_create(kPoolUuid, {});  // daosim-lint: allow(ignored-result)
+    CO_ASSERT_TRUE((co_await cl.cont_create(kPoolUuid, {})).ok());
     ArrayObject arr(cl, kPoolUuid, make_oid(6, ObjClass::SX), 1 << 20);
     EXPECT_EQ(co_await arr.write(0, 64 << 20, {}), Errno::ok);  // 64 MiB, no payload
     auto sz = co_await arr.size();
@@ -298,7 +298,7 @@ TEST(Cluster, SxWritesTouchManyEngines) {
   tb.start();
   tb.run([&]() -> CoTask<void> {
     auto& cl = tb.client(0);
-    (void)co_await cl.cont_create(kPoolUuid, {});  // daosim-lint: allow(ignored-result)
+    CO_ASSERT_TRUE((co_await cl.cont_create(kPoolUuid, {})).ok());
     ArrayObject arr(cl, kPoolUuid, make_oid(7, ObjClass::SX), 4096);
     std::vector<std::byte> data(64 * 4096);
     EXPECT_EQ(co_await arr.write(0, data.size(), data), Errno::ok);
@@ -316,7 +316,7 @@ TEST(Cluster, S1WritesStayOnOneTarget) {
   tb.start();
   tb.run([&]() -> CoTask<void> {
     auto& cl = tb.client(0);
-    (void)co_await cl.cont_create(kPoolUuid, {});  // daosim-lint: allow(ignored-result)
+    CO_ASSERT_TRUE((co_await cl.cont_create(kPoolUuid, {})).ok());
     ArrayObject arr(cl, kPoolUuid, make_oid(8, ObjClass::S1), 4096);
     std::vector<std::byte> data(64 * 4096);
     EXPECT_EQ(co_await arr.write(0, data.size(), data), Errno::ok);
@@ -384,7 +384,7 @@ TEST(Cluster, EventQueueBoundsInflight) {
   tb.start();
   tb.run([&]() -> CoTask<void> {
     auto& cl = tb.client(0);
-    (void)co_await cl.cont_create(kPoolUuid, {});  // daosim-lint: allow(ignored-result)
+    CO_ASSERT_TRUE((co_await cl.cont_create(kPoolUuid, {})).ok());
     EventQueue eq(tb.sched(), /*max_inflight=*/4);
     auto peak = std::make_shared<std::size_t>(0);
     for (int i = 0; i < 32; ++i) {
@@ -425,7 +425,7 @@ TEST(Batch, CoalescesChunkPiecesIntoOneRpc) {
   tb.start();
   tb.run([&]() -> CoTask<void> {
     auto& cl = tb.client(0);
-    (void)co_await cl.cont_create(kPoolUuid, {});  // daosim-lint: allow(ignored-result)
+    CO_ASSERT_TRUE((co_await cl.cont_create(kPoolUuid, {})).ok());
     // 16 chunks on an S1 object: one target, one redundancy group — with the
     // default cap of 16 extents the whole write fits in a single RPC.
     ArrayObject arr(cl, kPoolUuid, make_oid(40, ObjClass::S1), /*chunk=*/4096);
@@ -451,7 +451,7 @@ TEST(Batch, CapOneRecoversLegacyPerPieceRpcs) {
   tb.start();
   tb.run([&]() -> CoTask<void> {
     auto& cl = tb.client(0);
-    (void)co_await cl.cont_create(kPoolUuid, {});  // daosim-lint: allow(ignored-result)
+    CO_ASSERT_TRUE((co_await cl.cont_create(kPoolUuid, {})).ok());
     ArrayObject arr(cl, kPoolUuid, make_oid(41, ObjClass::S1), 4096);
     std::vector<std::byte> data(16 * 4096, std::byte{7});
     EXPECT_EQ(co_await arr.write(0, data.size(), data), Errno::ok);
@@ -472,7 +472,7 @@ TEST(Batch, SplitsAtTheConfiguredCap) {
   tb.start();
   tb.run([&]() -> CoTask<void> {
     auto& cl = tb.client(0);
-    (void)co_await cl.cont_create(kPoolUuid, {});  // daosim-lint: allow(ignored-result)
+    CO_ASSERT_TRUE((co_await cl.cont_create(kPoolUuid, {})).ok());
     ArrayObject arr(cl, kPoolUuid, make_oid(42, ObjClass::S1), 4096);
     // 10 pieces under a cap of 4 -> sub-batches of 4 + 4 + 2.
     std::vector<std::byte> data(10 * 4096, std::byte{9});
@@ -487,7 +487,7 @@ TEST(Batch, UnalignedWriteSplitsAtChunkBoundaries) {
   tb.start();
   tb.run([&]() -> CoTask<void> {
     auto& cl = tb.client(0);
-    (void)co_await cl.cont_create(kPoolUuid, {});  // daosim-lint: allow(ignored-result)
+    CO_ASSERT_TRUE((co_await cl.cont_create(kPoolUuid, {})).ok());
     ArrayObject arr(cl, kPoolUuid, make_oid(43, ObjClass::S1), 4096);
     // [1000, 12000): pieces of 3096 + 4096 + 2904 bytes — three extents in
     // one RPC, visible in the engine's extents-per-RPC histogram.
@@ -520,7 +520,7 @@ TEST(Batch, ReplicaFanOutSendsOneRpcPerReplica) {
   tb.start();
   tb.run([&]() -> CoTask<void> {
     auto& cl = tb.client(0);
-    (void)co_await cl.cont_create(kPoolUuid, {});  // daosim-lint: allow(ignored-result)
+    CO_ASSERT_TRUE((co_await cl.cont_create(kPoolUuid, {})).ok());
     // RP_2G1: one group, two replicas. Eight pieces fan out to exactly two
     // batched updates — one per replica target. The read hashes each piece to
     // a starting replica for load spreading, so it may split across both
@@ -561,7 +561,7 @@ TEST(Batch, DegradedTargetMidBatchFallsBackPerExtent) {
   tb.start();
   tb.run([&]() -> CoTask<void> {
     auto& cl = tb.client(0);
-    (void)co_await cl.cont_create(kPoolUuid, {});  // daosim-lint: allow(ignored-result)
+    CO_ASSERT_TRUE((co_await cl.cont_create(kPoolUuid, {})).ok());
     ArrayObject arr(cl, kPoolUuid, make_oid(45, ObjClass::RP_2G1), 4096);
     std::vector<std::byte> data(8 * 4096);
     for (std::size_t i = 0; i < data.size(); ++i) data[i] = std::byte(i % 199);

@@ -103,7 +103,7 @@ TEST(PoolService, AllocationsAreDisjointAcrossClients) {
   Testbed tb(cfg);
   tb.start();
   tb.run([&]() -> CoTask<void> {
-    (void)co_await tb.client(0).cont_create(kPoolUuid, {});
+    CO_ASSERT_OK(co_await tb.client(0).cont_create(kPoolUuid, {}));
     auto a = std::make_shared<std::uint64_t>(0);
     auto b = std::make_shared<std::uint64_t>(0);
     sim::WaitGroup wg(tb.sched());

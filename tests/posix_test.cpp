@@ -74,7 +74,7 @@ TEST(MemVfs, RenameAndStat) {
     auto fd = co_await vfs.open("/a", flags);
     CO_ASSERT_OK(fd);
     std::vector<std::byte> d(7, std::byte{1});
-    (void)co_await vfs.pwrite(*fd, 0, d.size(), d);  // daosim-lint: allow(ignored-result)
+    CO_ASSERT_OK(co_await vfs.pwrite(*fd, 0, d.size(), d));
     CO_ASSERT_ERRNO(co_await vfs.rename("/a", "/b"), Errno::ok);
     auto st = co_await vfs.stat("/b");
     CO_ASSERT_OK(st);
@@ -93,7 +93,7 @@ TEST(MemVfs, ReadPastEofReturnsShort) {
     auto fd = co_await vfs.open("/f", flags);
     CO_ASSERT_OK(fd);
     std::vector<std::byte> d(10, std::byte{2});
-    (void)co_await vfs.pwrite(*fd, 0, d.size(), d);  // daosim-lint: allow(ignored-result)
+    CO_ASSERT_OK(co_await vfs.pwrite(*fd, 0, d.size(), d));
     std::vector<std::byte> out(20);
     auto r = co_await vfs.pread(*fd, 5, out);
     CO_ASSERT_OK(r);
@@ -115,7 +115,7 @@ class DfuseTest : public ::testing::Test {
     tb_ = std::make_unique<Testbed>(cfg);
     tb_->start();
     tb_->run([this]() -> CoTask<void> {
-      (void)co_await tb_->client(0).cont_create(kPoolUuid, {});
+      CO_ASSERT_OK(co_await tb_->client(0).cont_create(kPoolUuid, {}));
       auto m = co_await dfs::DfsMount::mount(tb_->client(0), kPoolUuid);
       CO_ASSERT_OK(m);
       dfs_ = std::move(*m);

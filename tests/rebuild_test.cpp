@@ -307,7 +307,7 @@ TEST(Rebuild, ReadSurfacesDataLossWhenGroupIsGone) {
 
   tb.run([&]() -> CoTask<void> {
     auto& cl = tb.client(0);
-    (void)co_await cl.cont_create(kPoolUuid, {});  // daosim-lint: allow(ignored-result)
+    CO_ASSERT_OK(co_await cl.cont_create(kPoolUuid, {}));
     client::KvObject kv(cl, kPoolUuid, client::make_oid(seq, ObjClass::RP_2G1));
     auto v = bytes("survives-one-crash-not-two");
     CO_ASSERT_ERRNO(co_await kv.put("d", "a", v), Errno::ok);
@@ -348,7 +348,7 @@ TEST(Rebuild, MissWithFailedReplicaIsNotNoEntry) {
 
   tb.run([&]() -> CoTask<void> {
     auto& cl = tb.client(0);
-    (void)co_await cl.cont_create(kPoolUuid, {});  // daosim-lint: allow(ignored-result)
+    CO_ASSERT_OK(co_await cl.cont_create(kPoolUuid, {}));
     client::KvObject kv(cl, kPoolUuid, oid);
     auto v1 = bytes("present");
     CO_ASSERT_ERRNO(co_await kv.put("k1", "a", v1), Errno::ok);
@@ -493,7 +493,7 @@ TEST(Rebuild, ReintegrationResyncsWindowWrites) {
 
   tb.run([&]() -> CoTask<void> {
     auto& cl = tb.client(0);
-    (void)co_await cl.cont_create(kPoolUuid, {});  // daosim-lint: allow(ignored-result)
+    CO_ASSERT_OK(co_await cl.cont_create(kPoolUuid, {}));
     client::KvObject kv(cl, kPoolUuid, oid);
     auto v1 = bytes("pre-eviction");
     CO_ASSERT_ERRNO(co_await kv.put("k1", "a", v1), Errno::ok);
@@ -563,7 +563,7 @@ TEST(Rebuild, ResyncPreservesPostReintegrationWrites) {
 
   tb.run([&]() -> CoTask<void> {
     auto& cl = tb.client(0);
-    (void)co_await cl.cont_create(kPoolUuid, {});  // daosim-lint: allow(ignored-result)
+    CO_ASSERT_OK(co_await cl.cont_create(kPoolUuid, {}));
     client::KvObject kv(cl, kPoolUuid, oid);
     auto v1 = bytes("pre-eviction");
     CO_ASSERT_ERRNO(co_await kv.put("k1", "a", v1), Errno::ok);
@@ -672,7 +672,7 @@ TEST(Rebuild, RedrivenTaskRescansDoneSources) {
 
   tb.run([&]() -> CoTask<void> {
     auto& cl = tb.client(0);
-    (void)co_await cl.cont_create(kPoolUuid, {});  // daosim-lint: allow(ignored-result)
+    CO_ASSERT_OK(co_await cl.cont_create(kPoolUuid, {}));
     client::KvObject kv(cl, kPoolUuid, oid);
     auto v1 = bytes("needs-rebuild");
     CO_ASSERT_ERRNO(co_await kv.put("k1", "a", v1), Errno::ok);

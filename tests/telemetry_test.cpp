@@ -336,7 +336,7 @@ TEST(FaultCounters, DroppedCallsAreCountedExactly) {
       });
   tb.run([&]() -> CoTask<void> {
     auto& cl = tb.client(0);
-    (void)co_await cl.cont_create(kPoolUuid, {});  // daosim-lint: allow(ignored-result)
+    CO_ASSERT_OK(co_await cl.cont_create(kPoolUuid, {}));
     client::KvObject kv(cl, kPoolUuid, client::make_oid(1, client::ObjClass::S1));
     std::vector<std::byte> v(8);
     CO_ASSERT_ERRNO(co_await kv.put("d", "a", v), Errno::ok);
@@ -406,7 +406,7 @@ TEST(BatchTelemetry, ExtentHistogramsAndCoalescingCountersAreExact) {
   tb.start();
   tb.run([&]() -> CoTask<void> {
     auto& cl = tb.client(0);
-    (void)co_await cl.cont_create(kPoolUuid, {});  // daosim-lint: allow(ignored-result)
+    CO_ASSERT_OK(co_await cl.cont_create(kPoolUuid, {}));
     // 16 x 4 KiB chunks on S1: one target, so the write is one 16-extent
     // batch and the readback one 16-extent fetch.
     client::ArrayObject arr(cl, kPoolUuid, client::make_oid(9, client::ObjClass::S1), 4096);
@@ -447,7 +447,7 @@ TEST(BatchTelemetry, CapOneLeavesCoalescingCountersAtZero) {
   tb.start();
   tb.run([&]() -> CoTask<void> {
     auto& cl = tb.client(0);
-    (void)co_await cl.cont_create(kPoolUuid, {});  // daosim-lint: allow(ignored-result)
+    CO_ASSERT_OK(co_await cl.cont_create(kPoolUuid, {}));
     client::ArrayObject arr(cl, kPoolUuid, client::make_oid(9, client::ObjClass::S1), 4096);
     std::vector<std::byte> data(16 * 4096, std::byte{5});
     CO_ASSERT_ERRNO(co_await arr.write(0, data.size(), data), Errno::ok);

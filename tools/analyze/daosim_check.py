@@ -1,0 +1,760 @@
+#!/usr/bin/env python3
+"""daosim-check: libclang-based suspension-safety and determinism analyzer.
+
+daosim-lint (tools/lint) is a fast regex pass; this tool parses real
+translation units through CMake's compile_commands.json and walks coroutine
+bodies with cursor-level precision, so its facts are AST facts: canonical
+types (aliases and `auto` resolved), real declarations and uses, real lambda
+capture lists, and real `co_await` suspension points from the token stream.
+
+The simulator's core claim is determinism under cooperative coroutine
+scheduling: one seed, one virtual-time trace. The rules ban the lifetime and
+ordering mistakes that survive a regex but not a suspension:
+
+  ref-across-suspend    A reference, pointer, or iterator derived from a
+                        container lookup (find/at/operator[]/begin/...) that
+                        is still used after a later `co_await` in the same
+                        scope. While the frame is suspended another coroutine
+                        can insert/erase/rehash the container; the resumed
+                        frame then touches freed or relocated memory. This is
+                        the PR-1 ASan class (H5File::open_dataset held a
+                        shadow-map iterator across a pread) and this PR's
+                        DfuseMount class (fd-table iterator across a DFS
+                        write racing close()). Copy the value, pin shared
+                        ownership, or re-look-up after resuming.
+  ref-capture-spawn     A lambda handed to Scheduler::spawn / WaitGroup::spawn
+                        that captures by reference or captures `this`. The
+                        spawned frame is detached: it can outlive the scope
+                        that owns the captured objects. Capture by value, or
+                        suppress with a justification naming why the referent
+                        provably outlives the frame.
+  guard-across-suspend  A host RAII lock (std::lock_guard / unique_lock /
+                        scoped_lock / shared_lock) held across `co_await`.
+                        The simulation is single-threaded and cooperative: a
+                        second coroutine resuming on the same OS thread and
+                        touching the same mutex deadlocks the process. Use
+                        sim::Mutex + sim::ScopedLock, which suspend instead
+                        of blocking.
+  discarded-task        A sim::CoTask created and never co_awaited, spawned,
+                        or stored for later use — also `(void)`-casts of a
+                        task. CoTask is lazily started: a dropped task is
+                        work that silently never ran.
+  unordered-source-of-order  Range-for over a std::unordered_{map,set,...}
+                        (checked on the range's *canonical* type, so aliases
+                        and `auto&` count) whose body schedules work (spawn /
+                        schedule / resume / co_await). Hash order is
+                        address-dependent; feeding it into the event queue
+                        makes traces machine-dependent. Iterate a sorted
+                        snapshot instead. This is the AST-accurate
+                        replacement for daosim-lint's regex rule.
+
+Suppression: append  // daosim-check: allow(<rule>): <reason>  to the line
+the finding is reported on, or put  // daosim-check: allow-file(<rule>): <reason>
+anywhere in the file. daosim-lint's `unjustified-allow` rule enforces that
+the reason is present.
+
+Usage:
+  daosim_check.py --root <repo> [--build <dir>] [--require] [--quiet]
+      Analyze every src/ translation unit listed in the build directory's
+      compile_commands.json (configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON,
+      which this repo's CMakeLists sets by default). Exit 1 on findings.
+  daosim_check.py --self-test [--require]
+      Parse the seeded-violation fixtures under selftest/ and require the
+      findings to match their // EXPECT-CHECK annotations exactly; also
+      require every rule to be covered by at least one fixture.
+
+Without libclang + the clang.cindex Python bindings the tool prints a SKIP
+notice and exits 0 so local tier-1 runs stay green; pass --require (the CI
+analyze stage does) to turn a missing toolchain into a failure.
+"""
+
+import argparse
+import glob
+import json
+import os
+import re
+import shlex
+import sys
+
+RULES = (
+    "ref-across-suspend",
+    "ref-capture-spawn",
+    "guard-across-suspend",
+    "discarded-task",
+    "unordered-source-of-order",
+)
+
+ALLOW_LINE_RE = re.compile(r"daosim-check:\s*allow\(([\w,\s-]+)\)")
+ALLOW_FILE_RE = re.compile(r"daosim-check:\s*allow-file\(([\w,\s-]+)\)")
+EXPECT_RE = re.compile(r"//\s*EXPECT-CHECK:\s*([\w-]+)")
+
+# Lookups whose result points into the container's node storage only when the
+# receiver is an associative container (references survive a vector push_back
+# until reallocation, but map/set lookups are the class that bit us).
+MAP_LOOKUPS = frozenset(
+    ("find", "at", "operator[]", "lower_bound", "upper_bound", "equal_range",
+     "emplace", "try_emplace", "insert"))
+# Iterator/element accessors that pin container internals for any container.
+ANY_LOOKUPS = frozenset(
+    ("begin", "end", "cbegin", "cend", "rbegin", "rend", "crbegin", "crend",
+     "front", "back", "data", "c_str"))
+
+MAPLIKE_RE = re.compile(
+    r"\bstd::(?:unordered_)?(?:multi)?(?:map|set)\s*<")
+CONTAINERISH_RE = re.compile(
+    r"\bstd::(?:unordered_)?(?:multi)?(?:map|set)\s*<"
+    r"|\bstd::(?:vector|deque|list|array|basic_string|span)\s*<")
+UNORDERED_RE = re.compile(r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<")
+GUARD_RE = re.compile(r"\bstd::(?:lock_guard|unique_lock|scoped_lock|shared_lock)\s*<")
+TASK_RE = re.compile(r"\bCoTask\s*<")
+SPAWN_SINKS = frozenset(("spawn",))
+SCHEDULING_TOKENS = frozenset(("spawn", "schedule", "schedule_callback", "resume", "co_await"))
+
+
+class Finding:
+    __slots__ = ("path", "line", "rule", "message")
+
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def key(self):
+        return (self.path, self.line, self.rule, self.message)
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+# ------------------------------------------------------------ toolchain ----
+
+
+def load_cindex():
+    """Returns (cindex_module, Index) or (None, reason)."""
+    try:
+        from clang import cindex  # python3-clang / pip libclang
+    except ImportError:
+        return None, "python bindings not importable (apt: python3-clang, pip: libclang)"
+    if cindex.Config.library_file is None and cindex.Config.library_path is None:
+        import ctypes.util
+        if ctypes.util.find_library("clang") is None:
+            candidates = sorted(
+                glob.glob("/usr/lib/llvm-*/lib/libclang-*.so*")
+                + glob.glob("/usr/lib/llvm-*/lib/libclang.so*")
+                + glob.glob("/usr/lib/*/libclang-*.so*")
+                + glob.glob("/usr/lib/*/libclang.so*"),
+                reverse=True)
+            import ctypes
+            for cand in candidates:
+                try:
+                    ctypes.CDLL(cand)
+                except OSError:
+                    continue
+                cindex.Config.set_library_file(cand)
+                break
+    try:
+        index = cindex.Index.create()
+    except Exception as e:  # LibclangError: no loadable libclang anywhere
+        return None, f"libclang shared library unavailable ({e})"
+    return (cindex, index), None
+
+
+# ------------------------------------------------- compile_commands.json ----
+
+
+def find_build_dir(root, build):
+    if build:
+        return build if os.path.isfile(os.path.join(build, "compile_commands.json")) else None
+    for d in sorted(glob.glob(os.path.join(root, "build*"))):
+        if os.path.isfile(os.path.join(d, "compile_commands.json")):
+            return d
+    return None
+
+
+def sanitize_args(raw, directory):
+    """Keep only include paths, defines and the language standard: the rest of
+    a GCC command line (warnings, sanitizers, -o, codegen flags) is noise that
+    libclang may not accept."""
+    keep = []
+    it = iter(raw)
+    for a in it:
+        if a in ("-I", "-isystem", "-iquote", "-D", "-U", "-include"):
+            nxt = next(it, None)
+            if nxt is None:
+                break
+            if a in ("-I", "-isystem", "-iquote", "-include") and not os.path.isabs(nxt):
+                nxt = os.path.normpath(os.path.join(directory, nxt))
+            keep += [a, nxt]
+        elif a.startswith(("-I", "-D", "-U")) and len(a) > 2:
+            flag, val = a[:2], a[2:]
+            if flag == "-I" and not os.path.isabs(val):
+                val = os.path.normpath(os.path.join(directory, val))
+            keep.append(flag + val)
+        elif a.startswith(("-isystem", "-iquote")) and len(a) > 8:
+            keep.append(a)
+        elif a.startswith("-std="):
+            keep.append(a)
+    if not any(a.startswith("-std=") for a in keep):
+        keep.append("-std=c++20")
+    return keep
+
+
+def src_translation_units(root, build_dir):
+    """Sorted [(source_path, parse_args)] for TUs under <root>/src."""
+    with open(os.path.join(build_dir, "compile_commands.json"), encoding="utf-8") as f:
+        data = json.load(f)
+    src_prefix = os.path.join(os.path.realpath(root), "src") + os.sep
+    out = {}
+    for entry in data:
+        path = entry["file"]
+        if not os.path.isabs(path):
+            path = os.path.normpath(os.path.join(entry["directory"], path))
+        path = os.path.realpath(path)
+        if not path.startswith(src_prefix):
+            continue
+        raw = entry.get("arguments") or shlex.split(entry["command"])
+        out[path] = sanitize_args(raw[1:], entry["directory"])
+    return sorted(out.items())
+
+
+# ------------------------------------------------------------- analysis ----
+
+
+class Analyzer:
+    """Per-process analysis state: rule drivers plus finding collection."""
+
+    def __init__(self, cindex, root):
+        self.ci = cindex
+        self.root = os.path.realpath(root)
+        self.findings = {}  # key -> Finding (dedup across TUs sharing headers)
+        self.files_seen = set()
+
+    # -- cursor helpers ----------------------------------------------------
+
+    def in_scope_file(self, cursor, scope_prefixes):
+        loc = cursor.location
+        if loc.file is None:
+            return None
+        path = os.path.realpath(loc.file.name)
+        if not path.startswith(self.root + os.sep):
+            return None
+        rel = os.path.relpath(path, self.root).replace(os.sep, "/")
+        if scope_prefixes and not rel.startswith(scope_prefixes):
+            return None
+        return rel
+
+    def function_units(self, tu, scope_prefixes):
+        """Yields (rel_path, fn_cursor, body_cursor) for every function,
+        method, and lambda definition in project files. Lambdas are their own
+        units: a co_await inside a nested lambda suspends the lambda's frame,
+        not the enclosing function's."""
+        ck = self.ci.CursorKind
+        fn_kinds = {ck.FUNCTION_DECL, ck.CXX_METHOD, ck.CONSTRUCTOR,
+                    ck.DESTRUCTOR, ck.CONVERSION_FUNCTION, ck.FUNCTION_TEMPLATE,
+                    ck.LAMBDA_EXPR}
+        for cursor in tu.cursor.walk_preorder():
+            if cursor.kind not in fn_kinds:
+                continue
+            if cursor.kind != ck.LAMBDA_EXPR and not cursor.is_definition():
+                continue
+            rel = self.in_scope_file(cursor, scope_prefixes)
+            if rel is None:
+                continue
+            body = None
+            for child in cursor.get_children():
+                if child.kind == ck.COMPOUND_STMT:
+                    body = child
+            if body is not None:
+                yield rel, cursor, body
+
+    def walk_pruned(self, cursor):
+        """Preorder walk that yields lambdas but does not descend into them:
+        their bodies belong to their own unit."""
+        ck = self.ci.CursorKind
+        stack = [cursor]
+        while stack:
+            c = stack.pop()
+            yield c
+            if c is not cursor and c.kind == ck.LAMBDA_EXPR:
+                continue
+            stack.extend(reversed(list(c.get_children())))
+
+    def lambda_extents(self, body):
+        ck = self.ci.CursorKind
+        out = []
+        for c in self.walk_pruned(body):
+            if c is not body and c.kind == ck.LAMBDA_EXPR:
+                ext = c.extent
+                out.append((ext.start.offset, ext.end.offset))
+        return out
+
+    def suspend_points(self, body, holes):
+        """(offset, line) of every co_await keyword in the unit's own body —
+        token-stream accurate, so strings and comments never match — with
+        nested-lambda extents (`holes`) excluded."""
+        points = []
+        for tok in body.get_tokens():
+            if tok.spelling != "co_await":
+                continue
+            off = tok.extent.start.offset
+            if any(a <= off < b for a, b in holes):
+                continue
+            points.append((off, tok.location.line))
+        return points
+
+    def compound_extents(self, body):
+        ck = self.ci.CursorKind
+        out = []
+        for c in self.walk_pruned(body):
+            if c.kind == ck.COMPOUND_STMT:
+                out.append((c.extent.start.offset, c.extent.end.offset))
+        return out
+
+    def enclosing_scope(self, compounds, offset):
+        best = None
+        for a, b in compounds:
+            if a <= offset < b and (best is None or (a, -b) > best[:2]):
+                best = (a, -b, b)
+        return (best[0], best[2]) if best else None
+
+    def canonical(self, type_obj):
+        try:
+            return type_obj.get_canonical().spelling
+        except Exception:
+            return ""
+
+    def report(self, rel, line, rule, message):
+        f = Finding(rel, line, rule, message)
+        self.findings.setdefault(f.key(), f)
+        self.files_seen.add(rel)
+
+    # -- rules -------------------------------------------------------------
+
+    def lookup_origin(self, var_cursor):
+        """If the declaration's initializer contains a container lookup call,
+        returns the lookup's member name, else None."""
+        ck = self.ci.CursorKind
+        for c in self.walk_pruned(var_cursor):
+            if c.kind != ck.CALL_EXPR:
+                continue
+            name = c.spelling
+            if name in MAP_LOOKUPS:
+                pattern = MAPLIKE_RE
+            elif name in ANY_LOOKUPS:
+                pattern = CONTAINERISH_RE
+            else:
+                continue
+            for sub in self.walk_pruned(c):
+                if sub is c:
+                    continue
+                if pattern.search(self.canonical(sub.type)):
+                    return name
+        return None
+
+    def check_ref_across_suspend(self, rel, body, suspends, compounds):
+        ck = self.ci.CursorKind
+        tk = self.ci.TypeKind
+        if not suspends:
+            return
+        candidates = {}  # var cursor hash -> (cursor, lookup_name, decl_end)
+        for c in self.walk_pruned(body):
+            if c.kind != ck.VAR_DECL:
+                continue
+            canon = c.type.get_canonical()
+            refish = canon.kind in (tk.POINTER, tk.LVALUEREFERENCE, tk.RVALUEREFERENCE) \
+                or "iterator" in canon.spelling
+            if not refish:
+                continue
+            origin = self.lookup_origin(c)
+            if origin is not None:
+                candidates[c.hash] = (c, origin, c.extent.end.offset)
+        if not candidates:
+            return
+        uses = {}  # var hash -> [(offset, line)]
+        for c in self.walk_pruned(body):
+            if c.kind != ck.DECL_REF_EXPR:
+                continue
+            ref = c.referenced
+            if ref is not None and ref.hash in candidates:
+                uses.setdefault(ref.hash, []).append(
+                    (c.location.offset, c.location.line))
+        for var_hash, (var, origin, decl_end) in sorted(
+                candidates.items(), key=lambda kv: kv[1][2]):
+            scope = self.enclosing_scope(compounds, var.location.offset)
+            lo, hi = scope if scope else (decl_end, body.extent.end.offset)
+            for s_off, s_line in suspends:
+                if not (decl_end < s_off < hi):
+                    continue
+                after = [(o, ln) for o, ln in uses.get(var_hash, ())
+                         if s_off < o < hi]
+                if after:
+                    u_line = min(after)[1]
+                    kind = "reference" if var.type.get_canonical().kind in (
+                        tk.LVALUEREFERENCE, tk.RVALUEREFERENCE) else (
+                        "pointer" if var.type.get_canonical().kind == tk.POINTER
+                        else "iterator")
+                    self.report(
+                        rel, var.location.line, "ref-across-suspend",
+                        f"{kind} '{var.spelling}' (from '{origin}') is live "
+                        f"across co_await at line {s_line} and used at line "
+                        f"{u_line}: the container can mutate while the frame "
+                        "is suspended; copy the value or re-look-up after "
+                        "resuming")
+                    break
+
+    def lambda_capture_tokens(self, lam):
+        """Token spellings of the capture list: everything between the opening
+        '[' and its matching ']'."""
+        toks = []
+        depth = 0
+        for tok in lam.get_tokens():
+            s = tok.spelling
+            if depth == 0:
+                if s != "[":
+                    # Attributes or whitespace shouldn't precede the
+                    # introducer; bail rather than misparse.
+                    return []
+                depth = 1
+                continue
+            if s == "[":
+                depth += 1
+            elif s == "]":
+                depth -= 1
+                if depth == 0:
+                    return toks
+            toks.append(s)
+        return toks
+
+    def check_ref_capture_spawn(self, rel, body):
+        ck = self.ci.CursorKind
+        for c in self.walk_pruned(body):
+            if c.kind != ck.CALL_EXPR or c.spelling not in SPAWN_SINKS:
+                continue
+            lambdas = [sub for sub in self.walk_pruned(c)
+                       if sub is not c and sub.kind == ck.LAMBDA_EXPR]
+            for lam in lambdas:
+                toks = self.lambda_capture_tokens(lam)
+                bad = []
+                for i, s in enumerate(toks):
+                    # '&' introduces a by-reference capture only at the start
+                    # of a capture item ('[&]', '[&x]', '[&x = y]'); an '&'
+                    # after '=' is address-of in an init-capture ('[p = &v]').
+                    if s == "&" and (i == 0 or toks[i - 1] == ","):
+                        nxt = toks[i + 1] if i + 1 < len(toks) else ""
+                        bad.append("&" + (nxt if nxt not in (",", "") else ""))
+                    elif s == "this" and (i == 0 or toks[i - 1] in (",",)):
+                        bad.append("this")
+                if bad:
+                    self.report(
+                        rel, lam.location.line, "ref-capture-spawn",
+                        f"lambda passed to spawn() captures [{', '.join(bad)}] "
+                        "by reference: the detached frame can outlive the "
+                        "enclosing scope; capture by value or pass owning "
+                        "handles")
+
+    def check_guard_across_suspend(self, rel, body, suspends, compounds):
+        ck = self.ci.CursorKind
+        if not suspends:
+            return
+        for c in self.walk_pruned(body):
+            if c.kind != ck.VAR_DECL:
+                continue
+            if not GUARD_RE.search(self.canonical(c.type)):
+                continue
+            scope = self.enclosing_scope(compounds, c.location.offset)
+            lo, hi = scope if scope else (c.extent.end.offset, body.extent.end.offset)
+            decl_end = c.extent.end.offset
+            for s_off, s_line in suspends:
+                if decl_end < s_off < hi:
+                    self.report(
+                        rel, c.location.line, "guard-across-suspend",
+                        f"host RAII lock '{c.spelling}' is held across "
+                        f"co_await at line {s_line}: cooperative scheduling "
+                        "is single-threaded, so a second coroutine touching "
+                        "the same mutex deadlocks; use sim::Mutex + "
+                        "sim::ScopedLock")
+                    break
+
+    def unwrap_expr(self, c):
+        ck = self.ci.CursorKind
+        while c.kind == ck.UNEXPOSED_EXPR:
+            kids = list(c.get_children())
+            if len(kids) != 1:
+                break
+            c = kids[0]
+        return c
+
+    def check_discarded_task(self, rel, body, holes):
+        ck = self.ci.CursorKind
+        # (a) task-typed locals never referenced again
+        task_vars = {}
+        used = set()
+        for c in self.walk_pruned(body):
+            if c.kind == ck.VAR_DECL and TASK_RE.search(self.canonical(c.type)):
+                task_vars[c.hash] = c
+            elif c.kind == ck.DECL_REF_EXPR:
+                ref = c.referenced
+                if ref is not None:
+                    used.add(ref.hash)
+        for h, c in sorted(task_vars.items(), key=lambda kv: kv[1].location.offset):
+            if h in used:
+                continue
+            canon = self.canonical(c.type)
+            if not canon.startswith(("daosim::sim::CoTask", "sim::CoTask", "CoTask")):
+                continue  # containers of tasks are judged by their own uses
+            self.report(
+                rel, c.location.line, "discarded-task",
+                f"'{c.spelling}' ({canon}) is created but never co_awaited, "
+                "spawned, or moved: CoTask is lazily started, so this work "
+                "silently never runs")
+        # (b) statement-level discards: bare calls and (void)-casts
+        for c in self.walk_pruned(body):
+            if c.kind != ck.COMPOUND_STMT:
+                continue
+            for stmt in c.get_children():
+                ext = stmt.extent
+                off = ext.start.offset
+                if any(a <= off < b for a, b in holes):
+                    continue
+                inner = self.unwrap_expr(stmt)
+                if inner.kind == ck.CSTYLE_CAST_EXPR or inner.kind == ck.CXX_STATIC_CAST_EXPR:
+                    kids = [self.unwrap_expr(k) for k in inner.get_children()]
+                    if any(k.kind == ck.CALL_EXPR
+                           and TASK_RE.search(self.canonical(k.type)) for k in kids):
+                        self.report(
+                            rel, inner.location.line, "discarded-task",
+                            "(void)-cast discards a CoTask: the coroutine is "
+                            "lazily started and this work silently never runs")
+                    continue
+                if inner.kind != ck.CALL_EXPR:
+                    continue
+                if not TASK_RE.search(self.canonical(inner.type)):
+                    continue
+                if any("co_await" == t.spelling for t in stmt.get_tokens()):
+                    continue
+                self.report(
+                    rel, inner.location.line, "discarded-task",
+                    f"result of '{inner.spelling}(...)' is a CoTask dropped on "
+                    "the floor: co_await it, spawn it, or store it")
+
+    def check_unordered_source_of_order(self, rel, body):
+        ck = self.ci.CursorKind
+        for c in self.walk_pruned(body):
+            if c.kind != ck.CXX_FOR_RANGE_STMT:
+                continue
+            kids = list(c.get_children())
+            if len(kids) < 2:
+                continue
+            loop_body, range_kids = kids[-1], kids[:-1]
+            unordered_type = None
+            for rk in range_kids:
+                for sub in self.walk_pruned(rk):
+                    canon = self.canonical(sub.type)
+                    if UNORDERED_RE.search(canon):
+                        unordered_type = canon
+                        break
+                if unordered_type:
+                    break
+            if not unordered_type:
+                continue
+            schedules = None
+            for tok in loop_body.get_tokens():
+                if tok.spelling in SCHEDULING_TOKENS:
+                    schedules = tok.spelling
+                    break
+            if schedules:
+                short = unordered_type.split("<", 1)[0]
+                self.report(
+                    rel, c.location.line, "unordered-source-of-order",
+                    f"range-for over '{short}' (canonical type of the range) "
+                    f"schedules work ('{schedules}') in its body: hash order "
+                    "is address-dependent and leaks into the event queue; "
+                    "iterate a sorted snapshot instead")
+
+    # -- driver ------------------------------------------------------------
+
+    def analyze_tu(self, tu, scope_prefixes):
+        for rel, _fn, body in self.function_units(tu, scope_prefixes):
+            holes = self.lambda_extents(body)
+            suspends = self.suspend_points(body, holes)
+            compounds = self.compound_extents(body)
+            self.check_ref_across_suspend(rel, body, suspends, compounds)
+            self.check_ref_capture_spawn(rel, body)
+            self.check_guard_across_suspend(rel, body, suspends, compounds)
+            self.check_discarded_task(rel, body, holes)
+            self.check_unordered_source_of_order(rel, body)
+
+    def suppressed_findings(self):
+        """Applies // daosim-check: allow(...) suppressions; returns the kept
+        findings sorted for byte-stable output."""
+        kept = []
+        file_cache = {}
+        for f in self.findings.values():
+            path = os.path.join(self.root, f.path)
+            if path not in file_cache:
+                try:
+                    text = open(path, encoding="utf-8", errors="replace").read()
+                except OSError:
+                    text = ""
+                allows = set()
+                for m in ALLOW_FILE_RE.finditer(text):
+                    allows.update(r.strip() for r in m.group(1).split(","))
+                file_cache[path] = (text.split("\n"), allows)
+            lines, file_allows = file_cache[path]
+            if f.rule in file_allows:
+                continue
+            line_txt = lines[f.line - 1] if f.line - 1 < len(lines) else ""
+            m = ALLOW_LINE_RE.search(line_txt)
+            if m and f.rule in {r.strip() for r in m.group(1).split(",")}:
+                continue
+            kept.append(f)
+        kept.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+        return kept
+
+
+# -------------------------------------------------------------- drivers ----
+
+
+def run_tree(cindex, index, root, build, quiet):
+    build_dir = find_build_dir(root, build)
+    if build_dir is None:
+        print("daosim-check: error: no compile_commands.json found "
+              f"(looked in {build or os.path.join(root, 'build*')}); configure "
+              "with cmake first (CMAKE_EXPORT_COMPILE_COMMANDS is on by default)",
+              file=sys.stderr)
+        return 2
+    units = src_translation_units(root, build_dir)
+    if not units:
+        print(f"daosim-check: error: {build_dir}/compile_commands.json lists "
+              "no translation units under src/", file=sys.stderr)
+        return 2
+    analyzer = Analyzer(cindex, root)
+    parse_failures = []
+    for path, args in units:
+        try:
+            tu = index.parse(path, args=args)
+        except Exception as e:
+            parse_failures.append(f"{os.path.relpath(path, root)}: {e}")
+            continue
+        errors = [d for d in tu.diagnostics
+                  if d.severity >= cindex.Diagnostic.Error]
+        if errors:
+            rel = os.path.relpath(path, root)
+            parse_failures.append(
+                f"{rel}: {errors[0].spelling} (+{len(errors) - 1} more)"
+                if len(errors) > 1 else f"{rel}: {errors[0].spelling}")
+            continue
+        analyzer.analyze_tu(tu, ("src/",))
+    if parse_failures:
+        for msg in parse_failures:
+            print(f"daosim-check: parse error: {msg}", file=sys.stderr)
+        return 2
+    kept = analyzer.suppressed_findings()
+    for f in kept:
+        print(f)
+    if not quiet:
+        print(f"daosim-check: {len(units)} translation units, "
+              f"{len(kept)} finding(s)", file=sys.stderr)
+    return 1 if kept else 0
+
+
+def run_self_test(cindex, index):
+    fixture_dir = os.path.join(os.path.dirname(os.path.abspath(__file__)), "selftest")
+    fixtures = sorted(
+        f for f in glob.glob(os.path.join(fixture_dir, "*.cpp")))
+    if not fixtures:
+        print("daosim-check self-test: error: no fixtures under selftest/",
+              file=sys.stderr)
+        return 2
+    failures = []
+    total_expected = 0
+    covered = set()
+    for path in fixtures:
+        rel = os.path.basename(path)
+        text = open(path, encoding="utf-8", errors="replace").read()
+        expected = {}
+        for i, line in enumerate(text.split("\n"), start=1):
+            for em in EXPECT_RE.finditer(line):
+                expected[(i, em.group(1))] = expected.get((i, em.group(1)), 0) + 1
+                total_expected += 1
+                covered.add(em.group(1))
+        analyzer = Analyzer(cindex, fixture_dir)
+        try:
+            tu = index.parse(path, args=["-std=c++20", "-I", fixture_dir])
+        except Exception as e:
+            failures.append(f"{rel}: parse exception: {e}")
+            continue
+        errors = [d for d in tu.diagnostics
+                  if d.severity >= cindex.Diagnostic.Error]
+        if errors:
+            failures.append(f"{rel}: fixture does not parse: {errors[0].spelling}")
+            continue
+        analyzer.analyze_tu(tu, ())
+        got = {}
+        for f in analyzer.suppressed_findings():
+            if f.path != rel:
+                # The shared support header must stay finding-free; anything
+                # here is fixture noise, not a seeded violation.
+                failures.append(
+                    f"{rel}: stray finding in {f.path}:{f.line} [{f.rule}]")
+                continue
+            got[(f.line, f.rule)] = got.get((f.line, f.rule), 0) + 1
+        for key, cnt in sorted(expected.items()):
+            if got.get(key, 0) < cnt:
+                failures.append(
+                    f"{rel}:{key[0]}: expected [{key[1]}] but the rule did not fire")
+        for key, cnt in sorted(got.items()):
+            if expected.get(key, 0) < cnt:
+                failures.append(f"{rel}:{key[0]}: unexpected [{key[1]}] finding")
+    for rule in RULES:
+        if rule not in covered:
+            failures.append(
+                f"selftest/: rule [{rule}] has no seeded fixture (every rule "
+                "must prove it fires; add a fixture with an EXPECT-CHECK line)")
+    for msg in failures:
+        print(msg)
+    print(f"daosim-check self-test: {len(fixtures)} fixtures, "
+          f"{total_expected} seeded violations, {len(failures)} mismatch(es)",
+          file=sys.stderr)
+    return 1 if failures else 0
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--root", default=".", help="repository root (default: cwd)")
+    ap.add_argument("--build", default=None,
+                    help="build directory holding compile_commands.json "
+                         "(default: newest <root>/build*)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the seeded-violation fixtures")
+    ap.add_argument("--require", action="store_true",
+                    help="fail (exit 3) instead of skipping when libclang is missing")
+    ap.add_argument("--quiet", action="store_true", help="suppress the summary line")
+    args = ap.parse_args()
+
+    # Validate paths before the libclang probe: a typo'd --root must exit 2
+    # everywhere, not read as a SKIP on hosts without libclang.
+    if not args.self_test and not os.path.isdir(os.path.join(args.root, "src")):
+        print(f"daosim-check: error: no src/ under '{args.root}' — not a repo root",
+              file=sys.stderr)
+        return 2
+
+    loaded, reason = load_cindex()
+    if loaded is None:
+        mode = "self-test" if args.self_test else "tree scan"
+        if args.require:
+            print(f"daosim-check: FAIL: libclang required but {reason}", file=sys.stderr)
+            return 3
+        print(f"daosim-check: SKIP ({mode}): {reason}; the CI analyze stage "
+              "runs this with libclang installed", file=sys.stderr)
+        return 0
+    cindex, index = loaded
+    if args.self_test:
+        return run_self_test(cindex, index)
+    return run_tree(cindex, index, os.path.abspath(args.root), args.build, args.quiet)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,92 @@
+// Minimal coroutine scaffolding for the daosim-check seeded-violation
+// fixtures. The analyzer matches on canonical type spellings (std::map,
+// std::unordered_map, std::lock_guard, CoTask<...>) and on member names
+// (find/at/begin/spawn), so the fixtures use the real standard containers and
+// a purpose-built CoTask just rich enough to make each fixture a valid C++20
+// translation unit. Keep this header finding-free: self-test fixtures assert
+// an exact finding set and anything flagged here would show up as noise.
+#pragma once
+
+#include <coroutine>
+#include <map>
+#include <mutex>
+#include <type_traits>
+#include <unordered_map>
+#include <utility>
+
+template <typename T>
+struct CoTask;
+
+namespace detail {
+
+template <typename T>
+struct Promise {
+  CoTask<T> get_return_object();
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  std::suspend_always final_suspend() noexcept { return {}; }
+  void return_value(T) {}
+  void unhandled_exception() {}
+};
+
+template <>
+struct Promise<void> {
+  CoTask<void> get_return_object();
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  std::suspend_always final_suspend() noexcept { return {}; }
+  void return_void() {}
+  void unhandled_exception() {}
+};
+
+}  // namespace detail
+
+template <typename T>
+struct CoTask {
+  using promise_type = detail::Promise<T>;
+
+  explicit CoTask(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  CoTask(CoTask&& other) noexcept : handle_(other.handle_) { other.handle_ = {}; }
+  CoTask(const CoTask&) = delete;
+  ~CoTask() {
+    if (handle_) handle_.destroy();
+  }
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<>) noexcept {}
+  T await_resume() {
+    if constexpr (!std::is_void_v<T>) return T{};
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+namespace detail {
+
+template <typename T>
+CoTask<T> Promise<T>::get_return_object() {
+  return CoTask<T>{std::coroutine_handle<Promise<T>>::from_promise(*this)};
+}
+
+inline CoTask<void> Promise<void>::get_return_object() {
+  return CoTask<void>{std::coroutine_handle<Promise<void>>::from_promise(*this)};
+}
+
+}  // namespace detail
+
+/// A bare suspension point: co_await suspend() parks the frame.
+struct SuspendAwaiter {
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<>) noexcept {}
+  void await_resume() const noexcept {}
+};
+
+inline SuspendAwaiter suspend() { return {}; }
+
+/// Stand-in for sim::Scheduler: owns detached frames handed to spawn().
+struct Scheduler {
+  void spawn(CoTask<void>&&) {}
+  template <typename F>
+  void spawn(F&&) {}
+};
+
+inline void use(int) {}
+inline void use(const int*) {}

@@ -1,0 +1,40 @@
+// Seeded violations for [discarded-task]: CoTask values created and then
+// dropped. CoTask is lazily started, so a discarded task is work that
+// silently never runs.
+#include "check_support.hpp"
+
+CoTask<int> work() { co_return 42; }
+
+// A bare call statement drops the task on the floor.
+CoTask<void> bad_bare_call() {
+  work();  // EXPECT-CHECK: discarded-task
+  co_await suspend();
+}
+
+// (void)-casting does not make the discard any less of a bug.
+CoTask<void> bad_void_cast() {
+  (void)work();  // EXPECT-CHECK: discarded-task
+  co_await suspend();
+}
+
+// A task bound to a local that is never awaited, spawned, or moved.
+CoTask<void> bad_unused_local() {
+  CoTask<int> pending = work();  // EXPECT-CHECK: discarded-task
+  co_await suspend();
+}
+
+// The good shapes: await it, hand it to the scheduler, or move it onward.
+CoTask<void> good_awaited() {
+  int v = co_await work();
+  use(v);
+}
+
+void good_spawned(Scheduler& sched) {
+  sched.spawn([]() -> CoTask<void> { co_await work(); }());
+}
+
+CoTask<void> good_moved_local(Scheduler& sched) {
+  CoTask<int> pending = work();
+  int v = co_await std::move(pending);
+  use(v);
+}

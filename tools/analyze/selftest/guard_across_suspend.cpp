@@ -1,0 +1,32 @@
+// Seeded violations for [guard-across-suspend]: host RAII locks held across
+// co_await. Under cooperative single-threaded scheduling the second frame
+// touching the mutex deadlocks the process instead of suspending.
+#include "check_support.hpp"
+
+CoTask<void> bad_lock_guard(std::mutex& m) {
+  std::lock_guard<std::mutex> hold(m);  // EXPECT-CHECK: guard-across-suspend
+  co_await suspend();
+}
+
+CoTask<void> bad_unique_lock(std::mutex& m) {
+  std::unique_lock<std::mutex> hold(m);  // EXPECT-CHECK: guard-across-suspend
+  co_await suspend();
+  hold.unlock();
+}
+
+// Scoping the guard so it releases before the suspension is the fix (when the
+// critical section really is synchronous).
+CoTask<void> good_scoped_release(std::mutex& m, int& counter) {
+  {
+    std::lock_guard<std::mutex> hold(m);
+    ++counter;
+  }
+  co_await suspend();
+}
+
+// A guard in a coroutine with no suspension in scope is plain RAII.
+CoTask<void> good_no_suspend_in_scope(std::mutex& m, int& counter) {
+  co_await suspend();
+  std::lock_guard<std::mutex> hold(m);
+  ++counter;
+}

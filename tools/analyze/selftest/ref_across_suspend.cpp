@@ -1,0 +1,44 @@
+// Seeded violations for [ref-across-suspend]: container-lookup results that
+// stay live across a co_await. Each EXPECT-CHECK line must be reported by
+// daosim_check.py --self-test; unmarked code must stay finding-free.
+#include "check_support.hpp"
+
+// An iterator from find() survives a suspension: the map can rehash/erase
+// while the frame is parked.
+CoTask<void> bad_iterator(std::map<int, int>& table) {
+  auto it = table.find(1);  // EXPECT-CHECK: ref-across-suspend
+  co_await suspend();
+  use(it->second);
+}
+
+// Same defect through a pointer taken from an unordered container, where the
+// canonical-type check must see through `auto`.
+CoTask<void> bad_pointer(std::unordered_map<int, int>& table) {
+  auto* slot = &table.at(2);  // EXPECT-CHECK: ref-across-suspend
+  co_await suspend();
+  use(slot);
+}
+
+// The fix shape: copy the value out before suspending.
+CoTask<void> good_copy(std::map<int, int>& table) {
+  int value = 0;
+  if (auto it = table.find(1); it != table.end()) value = it->second;
+  co_await suspend();
+  use(value);
+}
+
+// Lookup placed after the last suspension is fine.
+CoTask<void> good_lookup_after(std::map<int, int>& table) {
+  co_await suspend();
+  auto it = table.find(1);
+  if (it != table.end()) use(it->second);
+}
+
+// Suppression grammar: the allow() marker on the reported line silences the
+// finding (self-test fails with "unexpected finding" if it ever stops doing
+// so).
+CoTask<void> suppressed(std::map<int, int>& table) {
+  auto it = table.find(3);  // daosim-check: allow(ref-across-suspend): fixture exercises the suppression path
+  co_await suspend();
+  use(it->second);
+}

@@ -1,0 +1,47 @@
+// Seeded violations for [ref-capture-spawn]: by-reference and `this` lambda
+// captures handed to spawn(), whose frames detach and can outlive the scope.
+#include "check_support.hpp"
+
+CoTask<void> idle() { co_await suspend(); }
+
+void bad_ref_capture(Scheduler& sched) {
+  int local = 0;
+  sched.spawn([&local]() -> CoTask<void> {  // EXPECT-CHECK: ref-capture-spawn
+    use(local);
+    co_await suspend();
+  }());
+}
+
+void bad_default_ref(Scheduler& sched) {
+  int local = 0;
+  sched.spawn([&]() -> CoTask<void> {  // EXPECT-CHECK: ref-capture-spawn
+    use(local);
+    co_await suspend();
+  }());
+}
+
+struct Service {
+  void bad_this_capture() {
+    sched.spawn([this]() -> CoTask<void> {  // EXPECT-CHECK: ref-capture-spawn
+      use(counter);
+      co_await suspend();
+    }());
+  }
+
+  // By-value captures (including an init-capture whose initializer merely
+  // takes an address) do not detach a dangling reference.
+  void good_value_capture() {
+    int local = 7;
+    sched.spawn([local, copy = counter]() -> CoTask<void> {
+      use(local);
+      use(copy);
+      co_await suspend();
+    }());
+  }
+
+  Scheduler sched;
+  int counter = 0;
+};
+
+// Spawning a named coroutine (no lambda at all) is the common good shape.
+void good_spawn_task(Scheduler& sched) { sched.spawn(idle()); }

@@ -1,0 +1,44 @@
+// Seeded violations for [unordered-source-of-order]: range-for over an
+// unordered container whose body schedules work. Hash order is
+// address-dependent, so it must never feed the event queue. The rule checks
+// the range's canonical type, so aliases and `auto` cannot hide the hazard
+// from it the way they do from the regex linter.
+#include "check_support.hpp"
+
+CoTask<void> ping(int) { co_await suspend(); }
+
+void bad_spawn_in_hash_order(Scheduler& sched, std::unordered_map<int, int>& peers) {
+  for (const auto& [id, state] : peers) {  // EXPECT-CHECK: unordered-source-of-order
+    sched.spawn(ping(id));
+  }
+}
+
+// The alias case the regex linter cannot see: canonical type is still
+// std::unordered_map.
+using PeerTable = std::unordered_map<int, int>;
+
+void bad_alias_hides_hash(Scheduler& sched, PeerTable& peers) {
+  for (const auto& [id, state] : peers) {  // EXPECT-CHECK: unordered-source-of-order
+    sched.spawn(ping(id));
+  }
+}
+
+CoTask<void> bad_await_in_hash_order(std::unordered_map<int, int>& peers) {
+  for (const auto& [id, state] : peers) {  // EXPECT-CHECK: unordered-source-of-order
+    co_await ping(id);
+  }
+}
+
+// Pure aggregation over a hash map is fine: no ordering escapes.
+int good_pure_aggregation(const std::unordered_map<int, int>& peers) {
+  int total = 0;
+  for (const auto& [id, state] : peers) total += state;
+  return total;
+}
+
+// An ordered map is a legitimate source of order.
+void good_ordered_map(Scheduler& sched, std::map<int, int>& peers) {
+  for (const auto& [id, state] : peers) {
+    sched.spawn(ping(id));
+  }
+}

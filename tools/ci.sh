@@ -16,14 +16,36 @@
 #   tools/ci.sh bench-smoke  tiny-scale ablation_xfersize run (2 nodes, 2
 #                          transfer sizes) asserting the BENCH_*.json perf
 #                          trajectory parses and is non-empty
+#   tools/ci.sh analyze    libclang suspension-safety analyzer: rule self-test
+#                          on the seeded fixtures, then the AST scan of every
+#                          src/ TU via compile_commands.json. Standalone runs
+#                          --require (missing libclang fails); under `all` it
+#                          skips gracefully so bare local hosts stay green.
 #
 # Every configuration runs the full ctest suite, which itself includes the
 # lint tree scan and lint self-test, so `ctest` alone also catches violations.
+# A per-stage wall-clock summary prints on exit (also after a failure, for the
+# stages that completed).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS=${JOBS:-$(nproc)}
 STAGE=${1:-all}
+
+STAGE_SUMMARY=""
+_stage_name=""
+_stage_t0=0
+stage_begin() { _stage_name=$1; _stage_t0=$SECONDS; }
+stage_end() {
+  STAGE_SUMMARY+=$(printf '  %-12s %4ds' "$_stage_name" $((SECONDS - _stage_t0)))$'\n'
+}
+print_stage_summary() {
+  if [[ -n $STAGE_SUMMARY ]]; then
+    echo "=== stage timing ==="
+    printf '%s' "$STAGE_SUMMARY"
+  fi
+}
+trap print_stage_summary EXIT
 
 run_config() {
   local name=$1
@@ -37,27 +59,36 @@ run_config() {
 }
 
 if [[ $STAGE == lint || $STAGE == all ]]; then
+  stage_begin lint
   echo "=== [lint] tree scan + rule self-test ==="
   python3 tools/lint/daosim_lint.py --root .
   python3 tools/lint/daosim_lint.py --self-test --root .
+  stage_end
 fi
 
 if [[ $STAGE == release || $STAGE == all ]]; then
+  stage_begin release
   run_config release -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  stage_end
 fi
 
 if [[ $STAGE == asan || $STAGE == all ]]; then
+  stage_begin asan
   # Audits ride along with the sanitizer config: same "slow but thorough"
   # budget, and ASan stack traces make audit failures easy to localise.
   run_config asan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DDAOSIM_SANITIZE="address;undefined" -DDAOSIM_AUDIT=ON
+  stage_end
 fi
 
 if [[ $STAGE == tsan ]]; then
+  stage_begin tsan
   run_config tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDAOSIM_SANITIZE=thread
+  stage_end
 fi
 
 if [[ $STAGE == faults ]]; then
+  stage_begin faults
   # Focused fault-injection run: crash/restart/drop/delay/stall schedules,
   # retry/backoff, eviction, Raft failover, and seeded-trace determinism.
   echo "=== [faults] configure + build ==="
@@ -66,9 +97,11 @@ if [[ $STAGE == faults ]]; then
   echo "=== [faults] ctest ==="
   ctest --test-dir build-ci-faults --output-on-failure -j "$JOBS" \
     -R 'FaultSchedule|FaultDeterminism|FaultAcceptance|FaultDelayOnly|RetryBackoff|RetryPath|RaftFailover|Idempotency|RpcInflight|Placement\.'
+  stage_end
 fi
 
 if [[ $STAGE == rebuild ]]; then
+  stage_begin rebuild
   # Focused self-healing run: replicated placement, the rebuild-task state
   # machine, degraded reads/data-loss, crash-mid-IOR healing, reintegration
   # resync, and seeded rebuild-trace determinism.
@@ -78,9 +111,11 @@ if [[ $STAGE == rebuild ]]; then
   echo "=== [rebuild] ctest ==="
   ctest --test-dir build-ci-rebuild --output-on-failure -j "$JOBS" \
     -R 'GroupPlacement|RebuildSm|Rebuild\.|RebuildDeterminism'
+  stage_end
 fi
 
 if [[ $STAGE == telemetry ]]; then
+  stage_begin telemetry
   # Focused observability run: metric-tree unit tests, byte-identical
   # same-seed dumps (easy/hard x DFS/MPI-IO/HDF5), span-sink invariance,
   # exact fault counters, and the metrics_diff tool against real dumps.
@@ -105,9 +140,11 @@ metrics = json.load(open("build-ci-telemetry/metrics.json"))
 assert any(p.endswith("rpc/update/sent") for p in metrics), "metrics dump is empty"
 print(f"trace OK: {len(events)} events, categories {sorted(c for c in cats if c)}")
 EOF
+  stage_end
 fi
 
 if [[ $STAGE == bench-smoke ]]; then
+  stage_begin bench-smoke
   # Perf-trajectory smoke: the batching/EQ ablation at tiny scale. Guards the
   # bench binary, the machine-readable JSON output, and the invariant that
   # batched coalescing never loses to the legacy per-extent path.
@@ -130,6 +167,24 @@ assert by[("hard/batch16", small)] >= by[("hard/batch1", small)] * 0.98, \
     "batched hard-mode write lost to the unbatched path at the smallest transfer"
 print(f"bench-smoke OK: {len(rows)} rows")
 EOF
+  stage_end
+fi
+
+if [[ $STAGE == analyze || $STAGE == all ]]; then
+  stage_begin analyze
+  # AST-level suspension-safety pass: parses the real src/ TUs with libclang.
+  # Standalone (CI) the toolchain is mandatory; under `all` the analyzer's own
+  # graceful-skip path keeps hosts without libclang green.
+  require=()
+  [[ $STAGE == analyze ]] && require=(--require)
+  echo "=== [analyze] configure (compile_commands.json) ==="
+  cmake -B build-ci-analyze -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  echo "=== [analyze] rule self-test on seeded fixtures ==="
+  python3 tools/analyze/daosim_check.py --self-test ${require[@]+"${require[@]}"}
+  echo "=== [analyze] src/ tree scan ==="
+  python3 tools/analyze/daosim_check.py --root . --build build-ci-analyze \
+    ${require[@]+"${require[@]}"}
+  stage_end
 fi
 
 echo "=== CI ($STAGE) passed ==="

@@ -50,8 +50,15 @@ coroutine-heavy C++ codebases:
                       per (target, replica), bounded by
                       ClientConfig::max_batch_extents.
 
-Suppression: append  // daosim-lint: allow(<rule>)  to the offending line,
-or put  // daosim-lint: allow-file(<rule>)  anywhere in the file.
+  unjustified-allow   A daosim-lint or daosim-check suppression marker without
+                      a trailing justification, or naming a rule that does not
+                      exist. Every allow is a claim that the checker is wrong
+                      here; the claim must say why, and it must point at a
+                      real rule or it silences nothing.
+
+Suppression: append  // daosim-lint: allow(<rule>): <reason>  to the offending
+line, or put  // daosim-lint: allow-file(<rule>): <reason>  anywhere in the
+file. The reason is mandatory (enforced by unjustified-allow).
 
 Usage:
   daosim_lint.py --root <repo> [--quiet]      lint the tree (src/tests/bench/
@@ -68,7 +75,14 @@ import sys
 
 RULES = ("spawn-temporary", "wall-clock", "unordered-iteration", "ignored-result",
          "raw-rpc-call", "rebuild-idempotency", "untracked-metric",
-         "unbatched-extent-rpc")
+         "unbatched-extent-rpc", "unjustified-allow")
+
+# Rules owned by the libclang analyzer (tools/analyze/daosim_check.py). The
+# unjustified-allow rule validates daosim-check markers against this list, and
+# the meta-selftest requires a seeded fixture per analyzer rule, so the plain
+# ctest suite catches a rule/fixture drift even on hosts without libclang.
+CHECK_RULES = ("ref-across-suspend", "ref-capture-spawn", "guard-across-suspend",
+               "discarded-task", "unordered-source-of-order")
 
 # wall-clock applies to src/ only: tests and benches may legitimately measure
 # host time; the simulation itself never may.
@@ -343,11 +357,56 @@ def result_returning_functions(root):
     return result_names - other_names
 
 
+# '(' is deliberately absent: a *closed* paren group may be a call link in a
+# receiver chain (`endpoint().unlink();`), which RECEIVER_RE judges; an
+# unclosed one fails its fullmatch anyway.
 STMT_PREFIX_EXCLUDE_RE = re.compile(
-    r"[=,(]|\breturn\b|\bco_return\b|\bco_yield\b|\bif\b|\bwhile\b|\bfor\b|\bswitch\b|\bcase\b"
+    r"[=,]|\breturn\b|\bco_return\b|\bco_yield\b|\bif\b|\bwhile\b|\bfor\b|\bswitch\b|\bcase\b"
 )
-# A pure receiver chain: `a.`, `x->y.`, `ns::obj->`, possibly templated.
-RECEIVER_RE = re.compile(r"(?:[A-Za-z_]\w*(?:\s*<[^<>;]*>)?\s*(?:\.|->|::)\s*)+")
+# A pure receiver chain: `a.`, `x->y.`, `ns::obj->`, possibly templated, with
+# at most one call link per segment (`endpoint().`, `mount(id)->`) whose
+# arguments stay flat — nested parens or `;` mean we are not looking at a
+# simple receiver anymore.
+RECEIVER_RE = re.compile(
+    r"(?:[A-Za-z_]\w*(?:\s*<[^<>;]*>)?(?:\s*\([^();]*\))?\s*(?:\.|->|::)\s*)+")
+CONTROL_HEAD_RE = re.compile(r"(?:if|while|for|switch)\s*(?:constexpr\s*)?\(")
+
+
+def close_of_paren(s, pos):
+    """pos points at '('; returns the index one past its matching ')', or -1
+    when the group does not close inside s."""
+    depth = 0
+    for i in range(pos, len(s)):
+        if s[i] == "(":
+            depth += 1
+        elif s[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return -1
+
+
+def peel_control_prefix(stripped):
+    """Strips complete leading control clauses — `if (...)`, `while (...)`,
+    `for (...)`, `switch (...)`, `else`, `do` — so that the call in
+    `if (cached) co_await flush();` is judged as the statement it is. A clause
+    whose parens do NOT close inside the prefix means the call sits in the
+    condition itself (its value is used); the prefix is returned unpeeled and
+    the caller's exclusion test rejects it."""
+    while True:
+        stripped = stripped.strip()
+        m = CONTROL_HEAD_RE.match(stripped)
+        if m:
+            end = close_of_paren(stripped, m.end() - 1)
+            if end < 0:
+                return stripped
+            stripped = stripped[end:]
+            continue
+        m = re.match(r"(?:else|do)\b", stripped)
+        if m:
+            stripped = stripped[m.end():]
+            continue
+        return stripped
 
 
 def check_ignored_result(path, text, clean, result_fns):
@@ -360,7 +419,7 @@ def check_ignored_result(path, text, clean, result_fns):
         # Find the start of the enclosing statement.
         stmt_start = max(clean.rfind(";", 0, m.start()), clean.rfind("{", 0, m.start()),
                          clean.rfind("}", 0, m.start())) + 1
-        stripped = clean[stmt_start : m.start()].strip()
+        stripped = peel_control_prefix(clean[stmt_start : m.start()].strip())
         void_cast = False
         vm = re.match(r"\(\s*void\s*\)", stripped)
         if vm:
@@ -531,6 +590,51 @@ def check_untracked_metric(path, text, clean):
     return out
 
 
+# Any suppression marker, from either tool, line- or file-scoped. Group 1 is
+# the tool, group 2 the optional "-file", group 3 the rule list, and the
+# justification (": <reason>") is judged from the text that follows.
+ALLOW_MARKER_RE = re.compile(r"daosim-(lint|check):\s*allow(-file)?\(([^)\n]*)\)")
+
+
+def check_unjustified_allow(path, text, clean):
+    """Every allow marker asserts the checker is wrong on that line; the
+    assertion must carry a reason and name a rule that exists. Scans the raw
+    text: markers live in comments, which `clean` blanks out."""
+    out = []
+    for m in ALLOW_MARKER_RE.finditer(text):
+        tool = m.group(1)
+        marker = f"daosim-{tool}: allow{m.group(2) or ''}(...)"
+        known = RULES if tool == "lint" else CHECK_RULES
+        names = [r.strip() for r in m.group(3).split(",")]
+        line = line_of(text, m.start())
+        for name in names:
+            if name and name not in known:
+                out.append(
+                    Violation(
+                        path, line, "unjustified-allow",
+                        f"{marker} names unknown rule '{name}': it suppresses "
+                        "nothing (known: " + ", ".join(known) + ")",
+                    )
+                )
+        if not any(names):
+            out.append(
+                Violation(
+                    path, line, "unjustified-allow",
+                    f"{marker} lists no rule: it suppresses nothing",
+                )
+            )
+        rest_of_line = text[m.end():].split("\n", 1)[0]
+        if not re.match(r"\s*:\s*\S", rest_of_line):
+            out.append(
+                Violation(
+                    path, line, "unjustified-allow",
+                    f"{marker} has no justification: write "
+                    f"allow(<rule>): <why this specific line is safe>",
+                )
+            )
+    return out
+
+
 # ----------------------------------------------------------- driver ----
 
 
@@ -553,6 +657,7 @@ def lint_file(path, rel, result_fns, wall_clock_scope, raw_rpc_scope=False,
     violations += check_rebuild_idempotency(rel, text, clean)
     if untracked_metric_scope:
         violations += check_untracked_metric(rel, text, clean)
+    violations += check_unjustified_allow(rel, text, clean)
 
     # Apply suppressions from the original text (comments live there).
     file_allows = set()
@@ -630,6 +735,7 @@ def run_self_test(root):
 
     failures = []
     total_expected = 0
+    covered = set()  # lint rules with at least one seeded fixture
     for dirpath, _dirs, files in os.walk(fixture_dir):
         for f in sorted(files):
             if not f.endswith(CPP_EXTS):
@@ -642,6 +748,7 @@ def run_self_test(root):
                 for em in EXPECT_RE.finditer(line):
                     expected[(i, em.group(1))] = expected.get((i, em.group(1)), 0) + 1
                     total_expected += 1
+                    covered.add(em.group(1))
             got = {}
             for v in lint_file(full, rel, result_fns, wall_clock_scope=True,
                                raw_rpc_scope=True):
@@ -652,6 +759,35 @@ def run_self_test(root):
             for key, cnt in got.items():
                 if expected.get(key, 0) < cnt:
                     failures.append(f"{rel}:{key[0]}: unexpected [{key[1]}] finding")
+
+    # Meta-check: a rule without a seeded fixture is a rule nobody has proven
+    # fires. Covers this linter's RULES (via EXPECT-LINT above) and the
+    # analyzer's CHECK_RULES (via EXPECT-CHECK markers in its fixtures, read
+    # textually so the check runs even on hosts without libclang).
+    for rule in RULES:
+        if rule not in covered:
+            failures.append(
+                f"selftest/: lint rule [{rule}] has no seeded fixture; add one "
+                "with an EXPECT-LINT line")
+    analyze_dir = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                               os.pardir, "analyze", "selftest")
+    check_covered = set()
+    check_expect_re = re.compile(r"//\s*EXPECT-CHECK:\s*([\w-]+)")
+    if os.path.isdir(analyze_dir):
+        for f in sorted(os.listdir(analyze_dir)):
+            if f.endswith(CPP_EXTS):
+                text = open(os.path.join(analyze_dir, f), encoding="utf-8",
+                            errors="replace").read()
+                check_covered.update(m.group(1) for m in check_expect_re.finditer(text))
+    for rule in CHECK_RULES:
+        if rule not in check_covered:
+            failures.append(
+                f"../analyze/selftest/: analyzer rule [{rule}] has no seeded "
+                "fixture; add one with an EXPECT-CHECK line")
+    for rule in sorted(check_covered - set(CHECK_RULES)):
+        failures.append(
+            f"../analyze/selftest/: EXPECT-CHECK names [{rule}], which is not "
+            "in CHECK_RULES; update the lists together")
 
     for msg in failures:
         print(msg)

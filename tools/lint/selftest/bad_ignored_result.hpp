@@ -42,7 +42,26 @@ inline void cases(Dir& d) {
   }
 
   // GOOD (suppressed): best-effort cleanup where failure is acceptable.
-  unlink_fixture("/tmp/scratch");  // daosim-lint: allow(ignored-result)
+  unlink_fixture("/tmp/scratch");  // daosim-lint: allow(ignored-result): best-effort cleanup, ENOENT is fine
+
+  // BAD: a control-clause prefix does not make the statement any less bare —
+  // the drop is just conditional.
+  if (d.remove_fixture("w").ok()) unlink_fixture("/tmp/w");  // EXPECT-LINT: ignored-result
+  while (frob_fixture(6).ok()) frob_fixture(7);  // EXPECT-LINT: ignored-result
+
+  // GOOD: the call's value is consumed by the condition itself.
+  if (frob_fixture(8).ok()) {
+  }
+}
+
+// BAD: a call-expression receiver (`dir().x()`) is still a bare statement.
+inline Dir& dir();
+inline void receiver_cases() {
+  dir().remove_fixture("r");  // EXPECT-LINT: ignored-result
+
+  // GOOD: chained past the call — the Result is consumed.
+  if (!dir().remove_fixture("s").ok()) {
+  }
 }
 
 }  // namespace fixture

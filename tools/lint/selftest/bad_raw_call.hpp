@@ -31,7 +31,7 @@ inline void cases(Endpoint& ep, Endpoint* pep) {
   auto h = ep.call(1, 0x20);
 
   // GOOD: the single bootstrap site may be suppressed explicitly.
-  auto i = co_await ep.call(1, 0x20);  // daosim-lint: allow(raw-rpc-call)
+  auto i = co_await ep.call(1, 0x20);  // daosim-lint: allow(raw-rpc-call): fixture proves the suppression path
 
   (void)a; (void)b; (void)c; (void)d; (void)e; (void)f; (void)g; (void)h; (void)i;
 }

@@ -29,7 +29,7 @@ inline void cases(Sched& s, int fd) {
 
   // GOOD (suppressed): capture-free immediately-invoked lambda has no state to
   // dangle; an explicit allow documents that.
-  s.spawn([]() -> CoTaskVoid { return {}; }());  // daosim-lint: allow(spawn-temporary)
+  s.spawn([]() -> CoTaskVoid { return {}; }());  // daosim-lint: allow(spawn-temporary): fixture proves the suppression path
 }
 
 }  // namespace fixture

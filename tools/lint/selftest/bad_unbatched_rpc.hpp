@@ -45,7 +45,7 @@ inline void cases(long npieces) {
   }
 
   // GOOD: the legacy A/B path may be suppressed explicitly.
-  for (long i = 0; i < npieces; ++i) {  // daosim-lint: allow(unbatched-extent-rpc)
+  for (long i = 0; i < npieces; ++i) {  // daosim-lint: allow(unbatched-extent-rpc): fixture proves the suppression path
     ObjUpdateReq req{0, i * 4096, 4096};
     send(Body::make(req));
   }

@@ -42,7 +42,7 @@ struct Node {
     for (auto& h : hs) sched_.schedule(0, h);
 
     // GOOD (suppressed): sole-element maps cannot expose an order.
-    for (auto& [id, h] : waiters_) {  // daosim-lint: allow(unordered-iteration)
+    for (auto& [id, h] : waiters_) {  // daosim-lint: allow(unordered-iteration): fixture proves the suppression path
       sched_.schedule(1, h);
     }
   }
