@@ -1,0 +1,109 @@
+// Ablation A7 — distributed-transaction commit latency vs conflict rate.
+// Eight client nodes hammer one replicated KV object with two-key
+// transactions drawn from a shrinking hot-key space: the smaller the space,
+// the more often two in-flight transactions prepare the same key and the
+// loser pays a restart (fresh epoch, re-prepare) before its commit lands.
+// The table reports the realized conflict rate next to the commit-latency
+// distribution, so the cost of optimistic 2PC under contention is a single
+// read-across.
+//
+//   ablation_dtx [--smoke]   # --smoke: 2 client nodes, 2 key-space sizes (CI)
+//
+// BENCH_ablation_dtx.json column mapping (the shared JsonRow schema is
+// bandwidth-shaped): x = hot-key-space size, write_gibs = committed tx/s,
+// read_gibs = conflict rate (restarts / attempts), read_p99_us = commit p50
+// in us, write_p99_us = commit p99 in us.
+#include <chrono>
+
+#include "client/tx.hpp"
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace daosim;
+  using cluster::kPoolUuid;
+  using sim::CoTask;
+
+  const bool smoke = argc > 1 && std::string(argv[1]) == "--smoke";
+  const std::uint32_t clients = smoke ? 2 : 8;
+  const std::uint32_t txs_per_client = smoke ? 10 : 50;
+  const std::vector<std::uint32_t> key_spaces =
+      smoke ? std::vector<std::uint32_t>{16, 2} : std::vector<std::uint32_t>{256, 32, 8, 2};
+
+  std::printf("# A7 DTX — commit latency vs conflict rate (%u clients x %u txs, 2 keys/tx)\n",
+              clients, txs_per_client);
+  std::printf("%-10s %10s %10s %10s %12s %12s %12s\n", "hot_keys", "commits", "restarts",
+              "conflict", "p50_us", "p99_us", "commits/s");
+
+  std::vector<bench::JsonRow> rows;
+  for (const std::uint32_t keys : key_spaces) {
+    cluster::ClusterConfig cfg;
+    cfg.server_nodes = 4;
+    cfg.engines_per_server = 2;
+    cfg.targets_per_engine = 8;
+    cfg.client_nodes = clients;
+    cluster::Testbed tb(cfg);
+    tb.start();
+
+    const std::uint64_t events0 = tb.sched().events_processed();
+    const auto wall0 = std::chrono::steady_clock::now();
+    const auto oid = client::make_oid(1, client::ObjClass::RP_2G2);
+    sim::Time span = 0;
+
+    tb.run([&]() -> CoTask<void> {
+      auto created = co_await tb.client(0).cont_create(kPoolUuid, {});
+      DAOSIM_REQUIRE(created.ok(), "cont_create: %s", errno_name(created.error()));
+      const sim::Time t0 = tb.sched().now();
+      sim::WaitGroup wg(tb.sched());
+      for (std::uint32_t c = 0; c < clients; ++c) {
+        wg.spawn([&, c]() -> CoTask<void> {
+          auto& cl = tb.client(c);
+          for (std::uint32_t t = 0; t < txs_per_client; ++t) {
+            // Deterministic two-key pick from the hot space (no RNG: draw
+            // order must not depend on coroutine interleaving).
+            const std::uint32_t k1 = (c * 7 + t * 13) % keys;
+            std::uint32_t k2 = (c * 11 + t * 3 + 1) % keys;
+            if (k2 == k1) k2 = (k2 + 1) % keys;
+            const std::string val = strfmt("c%u.t%u", c, t);
+            (void)co_await cl.run_tx(kPoolUuid, [&](client::TxHandle& tx) -> CoTask<Errno> {
+              tx.kv_put(oid, strfmt("k%u", k1), "v", std::as_bytes(std::span(val)));
+              tx.kv_put(oid, strfmt("k%u", k2), "v", std::as_bytes(std::span(val)));
+              co_return Errno::ok;
+            });
+          }
+        });
+      }
+      co_await wg.wait();
+      span = tb.sched().now() - t0;
+    });
+
+    std::uint64_t commits = 0;
+    std::uint64_t restarts = 0;
+    telemetry::DurationHistogram::State lat;
+    for (std::uint32_t c = 0; c < clients; ++c) {
+      commits += tb.client(c).tx_commits();
+      restarts += tb.client(c).tx_restarts();
+      const auto* h =
+          tb.client(c).telemetry().find<telemetry::DurationHistogram>("tx/commit_time_ns");
+      if (h != nullptr) lat += h->state();
+    }
+    const std::uint64_t events = tb.sched().events_processed() - events0;
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0).count();
+    tb.stop();
+
+    const double conflict =
+        commits + restarts > 0 ? double(restarts) / double(commits + restarts) : 0;
+    const double p50 = lat.percentile_ns(50) / 1e3;
+    const double p99 = lat.percentile_ns(99) / 1e3;
+    const double rate = span > 0 ? double(commits) / sim::to_seconds(span) : 0;
+    std::printf("%-10u %10llu %10llu %9.1f%% %12.1f %12.1f %12.0f\n", keys,
+                static_cast<unsigned long long>(commits),
+                static_cast<unsigned long long>(restarts), conflict * 100, p50, p99, rate);
+
+    rows.push_back(bench::JsonRow{double(keys), "dtx", conflict, rate, p50, p99, events,
+                                  wall_s});
+  }
+
+  bench::write_bench_json("ablation_dtx", rows);
+  return 0;
+}

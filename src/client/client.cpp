@@ -69,6 +69,10 @@ DaosClient::DaosClient(net::RpcDomain& domain, net::NodeId node, pool::PoolMap m
   batch_extents_coalesced_ =
       &metrics_.find_or_create<telemetry::Counter>("batch/extents_coalesced");
   batch_rpcs_saved_ = &metrics_.find_or_create<telemetry::Counter>("batch/rpcs_saved");
+  tx_commits_ = &metrics_.find_or_create<telemetry::Counter>("tx/commits");
+  tx_aborts_ = &metrics_.find_or_create<telemetry::Counter>("tx/aborts");
+  tx_restarts_ = &metrics_.find_or_create<telemetry::Counter>("tx/restarts");
+  tx_commit_time_ = &metrics_.find_or_create<telemetry::DurationHistogram>("tx/commit_time_ns");
   metrics_.add_probe("evictions_reported", [this] { return evictions_; });
   metrics_.add_probe("degraded/data_loss", [this] { return data_loss_; });
   metrics_.add_probe("map_refreshes", [this] { return map_refreshes_; });
@@ -345,13 +349,15 @@ sim::CoTask<Errno> KvObject::put(const vos::Key& dkey, const vos::Key& akey,
 }
 
 sim::CoTask<Result<std::vector<std::byte>>> KvObject::get(const vos::Key& dkey,
-                                                          const vos::Key& akey) {
+                                                          const vos::Key& akey,
+                                                          vos::Epoch epoch) {
   ObjFetchReq req;
   req.cont = cont_;
   req.oid = oid_;
   req.dkey = dkey;
   req.akey = akey;
   req.type = RecordType::single_value;
+  req.epoch = epoch;
   const std::uint32_t g = group_of(dkey);
   const std::uint32_t nreps = layout_.replicas;
   // Degraded read: try replicas in order from a per-key starting point
@@ -610,7 +616,8 @@ sim::CoTask<Errno> ArrayObject::write(std::uint64_t offset, std::uint64_t length
 }
 
 sim::CoTask<Result<std::uint64_t>> ArrayObject::read(std::uint64_t offset,
-                                                     std::span<std::byte> out) {
+                                                     std::span<std::byte> out,
+                                                     vos::Epoch epoch) {
   if (out.empty()) co_return std::uint64_t{0};
   const std::vector<Piece> pieces = split_pieces(offset, out.size());
   const std::size_t max_batch = client_.config().max_batch_extents;
@@ -649,6 +656,7 @@ sim::CoTask<Result<std::uint64_t>> ArrayObject::read(std::uint64_t offset,
         req.oid = oid_;
         req.akey = "0";
         req.type = RecordType::array;
+        req.epoch = epoch;
         req.extents.reserve(n);
         std::uint64_t payload_bytes = 0;
         for (std::size_t k = 0; k < n; ++k) {

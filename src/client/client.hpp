@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -21,6 +22,8 @@
 #include "telemetry/telemetry.hpp"
 
 namespace daosim::client {
+
+class TxHandle;
 
 /// Bounded asynchronous operation queue (the daos_event/EQ model): launch
 /// operations without blocking, then await completion of all of them.
@@ -157,6 +160,38 @@ class DaosClient {
   /// Allocates a contiguous range of object sequence numbers; returns base.
   sim::CoTask<Result<std::uint64_t>> alloc_oids(vos::Uuid cont, std::uint64_t count);
 
+  // --- distributed transactions & snapshots (client/tx.cpp) ---
+
+  /// Opens a transaction on `cont`. Writes staged through the handle become
+  /// visible atomically at commit; see TxHandle. Every handle must be closed
+  /// with a co_await'ed commit() or abort() (enforced by the tx-unresolved
+  /// lint rule).
+  TxHandle tx_begin(vos::Uuid cont);
+
+  /// Runs `body` inside a transaction, committing afterwards and restarting
+  /// from scratch (fresh handle, fresh epoch, deterministic backoff) on
+  /// Errno::tx_restart conflicts or stale placements, up to `max_restarts`.
+  sim::CoTask<Errno> run_tx(vos::Uuid cont, std::function<sim::CoTask<Errno>(TxHandle&)> body,
+                            int max_restarts = 8);
+
+  /// Allocates a fresh client HLC epoch: vos::hlc_client(now) bumped past
+  /// every epoch this client handed out before, so one client's transactions
+  /// and snapshots are strictly ordered.
+  vos::Epoch tx_alloc_epoch();
+
+  /// Registers a snapshot of `cont` at a fresh HLC epoch and returns that
+  /// epoch. Reads at it (KvObject::get / ArrayObject::read epoch parameter)
+  /// see the committed state as of the cut; aggregation stays below the
+  /// lowest registered snapshot until snapshot_destroy unpins it.
+  sim::CoTask<Result<vos::Epoch>> snapshot_create(vos::Uuid cont);
+  sim::CoTask<Result<void>> snapshot_destroy(vos::Uuid cont, vos::Epoch epoch);
+  /// Registered snapshot epochs, ascending.
+  sim::CoTask<Result<std::vector<vos::Epoch>>> list_snapshots(vos::Uuid cont);
+  /// Fans epoch aggregation over every UP target of the pool, with `upto`
+  /// clamped below the container's lowest snapshot (engines additionally
+  /// clamp below their oldest prepared transaction).
+  sim::CoTask<Result<void>> cont_aggregate(vos::Uuid cont, vos::Epoch upto = vos::kEpochMax);
+
   // --- resilient RPC (the only sanctioned path to RpcEndpoint::call) ---
 
   /// One RPC attempt racing a reply deadline. On expiry the attempt is
@@ -208,6 +243,17 @@ class DaosClient {
   /// (called by the object handles' degraded-read loops).
   void note_degraded_read() { degraded_reads_->inc(); }
 
+  /// Transaction outcome accounting (called by TxHandle / run_tx).
+  void note_tx_commit(sim::Time duration) {
+    tx_commits_->inc();
+    tx_commit_time_->record(duration);
+  }
+  void note_tx_abort() { tx_aborts_->inc(); }
+  void note_tx_restart() { tx_restarts_->inc(); }
+  std::uint64_t tx_commits() const { return tx_commits_->value(); }
+  std::uint64_t tx_aborts() const { return tx_aborts_->value(); }
+  std::uint64_t tx_restarts() const { return tx_restarts_->value(); }
+
   /// Records one batched object RPC carrying `extents` descriptors:
   /// batch/extents_coalesced counts extents that shared an RPC with at least
   /// one other, batch/rpcs_saved the RPCs batching avoided sending.
@@ -241,6 +287,12 @@ class DaosClient {
   telemetry::Counter* degraded_reads_ = nullptr;
   telemetry::Counter* batch_extents_coalesced_ = nullptr;
   telemetry::Counter* batch_rpcs_saved_ = nullptr;
+  telemetry::Counter* tx_commits_ = nullptr;
+  telemetry::Counter* tx_aborts_ = nullptr;
+  telemetry::Counter* tx_restarts_ = nullptr;
+  telemetry::DurationHistogram* tx_commit_time_ = nullptr;
+  std::uint64_t tx_seq_ = 0;         // per-client transaction sequence
+  vos::Epoch tx_last_epoch_ = 0;     // last HLC epoch handed out
   /// Coalesces concurrent failure reports per engine: the first caller runs
   /// the eviction, later callers wait on its gate. std::map: iteration order
   /// must never depend on addresses (determinism).
@@ -263,7 +315,10 @@ class KvObject {
   /// visible record (DAOS conditional insert).
   sim::CoTask<Errno> put(const vos::Key& dkey, const vos::Key& akey,
                          std::span<const std::byte> value, bool excl = false);
-  sim::CoTask<Result<std::vector<std::byte>>> get(const vos::Key& dkey, const vos::Key& akey);
+  /// `epoch` bounds visibility (read-at-snapshot): only records committed at
+  /// or below it are seen. Default = present state.
+  sim::CoTask<Result<std::vector<std::byte>>> get(const vos::Key& dkey, const vos::Key& akey,
+                                                  vos::Epoch epoch = vos::kEpochMax);
   sim::CoTask<Result<std::vector<vos::Key>>> list_dkeys();
   sim::CoTask<Errno> punch();
   sim::CoTask<Errno> punch_dkey(const vos::Key& dkey);
@@ -295,8 +350,10 @@ class ArrayObject {
   /// length bytes or empty (metadata-only mode for large benchmarks).
   sim::CoTask<Errno> write(std::uint64_t offset, std::uint64_t length,
                            std::span<const std::byte> data);
-  /// Reads into `out`; returns bytes overlapping written data.
-  sim::CoTask<Result<std::uint64_t>> read(std::uint64_t offset, std::span<std::byte> out);
+  /// Reads into `out`; returns bytes overlapping written data. `epoch`
+  /// bounds visibility (read-at-snapshot); default = present state.
+  sim::CoTask<Result<std::uint64_t>> read(std::uint64_t offset, std::span<std::byte> out,
+                                          vos::Epoch epoch = vos::kEpochMax);
   /// Array size = high-water mark of all completed writes.
   sim::CoTask<Result<std::uint64_t>> size();
   sim::CoTask<Errno> punch();

@@ -22,6 +22,11 @@ Testbed::Testbed(ClusterConfig cfg) : cfg_(cfg), fabric_(sched_, cfg.fabric) {
   domain_->name_opcode(engine::kOpRebuildScan, "rebuild_scan");
   domain_->name_opcode(engine::kOpRebuildFetch, "rebuild_fetch");
   domain_->name_opcode(engine::kOpRebuildDone, "rebuild_done");
+  domain_->name_opcode(engine::kOpTxPrepare, "tx_prepare");
+  domain_->name_opcode(engine::kOpTxCommit, "tx_commit");
+  domain_->name_opcode(engine::kOpTxAbort, "tx_abort");
+  domain_->name_opcode(engine::kOpTxResolve, "tx_resolve");
+  domain_->name_opcode(engine::kOpContAggregate, "cont_aggregate");
 
   // Engines: one fabric node per engine (each socket binds one rail of the
   // server's dual-rail NIC), one DCPMM interleave set per socket.
@@ -59,6 +64,11 @@ Testbed::Testbed(ClusterConfig cfg) : cfg_(cfg), fabric_(sched_, cfg.fabric) {
         std::make_unique<rebuild::RebuildService>(*eng, map_, svc_nodes_, cfg_.rebuild));
   }
 
+  // One DTX service per engine: 2PC shard handlers plus the orphan reaper.
+  for (auto& eng : engines_) {
+    dtxs_.push_back(std::make_unique<dtx::DtxService>(*eng, map_, cfg_.dtx));
+  }
+
   // Client nodes (dual-rail NICs) with one DaosClient each.
   for (std::uint32_t c = 0; c < cfg_.client_nodes; ++c) {
     const net::NodeId node = fabric_.add_node();
@@ -74,6 +84,7 @@ Testbed::~Testbed() {
 void Testbed::start() {
   DAOSIM_REQUIRE(!started_, "testbed already started");
   for (auto& s : svc_) s->start();
+  for (auto& d : dtxs_) d->start();
   started_ = true;
   // Run until the pool service has a leader.
   const sim::Time deadline = sched_.now() + 10 * sim::kSec;
@@ -89,6 +100,7 @@ void Testbed::start() {
 void Testbed::stop() {
   if (!started_) return;
   for (auto& s : svc_) s->stop();
+  for (auto& d : dtxs_) d->stop();
   started_ = false;
   sched_.run();  // drain retired service loops
 }
@@ -146,6 +158,10 @@ void Testbed::restart_engine(std::uint32_t i) {
   // Pin resync epoch floors before the endpoint comes back up, so the first
   // post-restart client write is already above the floor.
   rebuilds_[i]->note_restart();
+  // Schedule the DTX resync sweep: prepared-but-undecided entries left by
+  // the crash are resolved against their leader shards shortly after the
+  // endpoint reopens.
+  dtxs_[i]->note_restart();
   engines_[i]->endpoint().set_down(false);
   for (std::uint32_t s = 0; s < svc_.size(); ++s) {
     if (svc_nodes_[s] == node && !svc_[s]->raft().running()) svc_[s]->raft().restart();

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "client/client.hpp"
+#include "dtx/dtx.hpp"
 #include "engine/engine.hpp"
 #include "fault/fault.hpp"
 #include "media/dcpmm.hpp"
@@ -35,6 +36,7 @@ struct ClusterConfig {
   raft::RaftConfig raft{};
   vos::PayloadMode payload = vos::PayloadMode::store;
   rebuild::RebuildConfig rebuild{};  // per-engine rebuild throttle
+  dtx::DtxConfig dtx{};              // per-engine DTX reaper/resync knobs
   std::uint64_t seed = 42;
 };
 
@@ -102,6 +104,8 @@ class Testbed {
 
   /// Engine `i`'s rebuild service (scan/pull counters, throttle config).
   rebuild::RebuildService& rebuild_service(std::uint32_t i) { return *rebuilds_[i]; }
+  /// Engine `i`'s DTX service (2PC handlers, orphan reaper, resync).
+  dtx::DtxService& dtx_service(std::uint32_t i) { return *dtxs_[i]; }
   /// Barrier: runs the simulation until the pool service's Raft-committed
   /// rebuild state shows no incomplete task (every eviction healed, every
   /// reintegration resynced). Returns false if `timeout` virtual time passes
@@ -143,6 +147,7 @@ class Testbed {
   std::vector<std::unique_ptr<pool::PoolServiceReplica>> svc_;
   std::vector<net::NodeId> svc_nodes_;
   std::vector<std::unique_ptr<rebuild::RebuildService>> rebuilds_;  // one per engine
+  std::vector<std::unique_ptr<dtx::DtxService>> dtxs_;              // one per engine
   std::vector<std::unique_ptr<client::DaosClient>> clients_;
   pool::PoolMap map_;
   /// Declared after domain_/engines_/svc_: the injector's destructor

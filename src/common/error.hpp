@@ -68,6 +68,7 @@ enum class Errno : int {
   stale,           // ESTALE (e.g. pool map out of date)
   timed_out,       // ETIMEDOUT
   data_loss,       // every replica of a redundancy group is gone
+  tx_restart,      // DER_TX_RESTART: transaction conflict, restart it
 };
 
 inline const char* errno_name(Errno e) {
@@ -90,6 +91,7 @@ inline const char* errno_name(Errno e) {
     case Errno::stale: return "ESTALE";
     case Errno::timed_out: return "ETIMEDOUT";
     case Errno::data_loss: return "EDATALOSS";
+    case Errno::tx_restart: return "ETXRESTART";
   }
   return "E?";
 }

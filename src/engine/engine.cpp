@@ -175,6 +175,7 @@ sim::CoTask<net::Reply> Engine::on_update(net::Request req) {
     // Shard lookup deliberately after the last suspension: never hold a
     // storage reference across a media await (suspension-safety audit).
     vos::VosContainer& cont = t.vos.container(r.cont);
+    cont.observe_time(vos::hlc_base(sched_.now()));
     std::span<const std::byte> payload;
     if (r.data != nullptr) payload = std::span<const std::byte>(*r.data);
     cont.array_write_extents(r.oid, r.akey, exts, payload);
@@ -191,6 +192,7 @@ sim::CoTask<net::Reply> Engine::on_update(net::Request req) {
     svc->record(sched_.now() - svc_t0);
     co_return Reply{Errno::exists, kObjRpcHeader, {}};
   }
+  cont.observe_time(vos::hlc_base(sched_.now()));
   const vos::Epoch epoch = cont.next_epoch();
   std::span<const std::byte> data;
   if (r.data != nullptr) data = std::span<const std::byte>(*r.data);
@@ -324,6 +326,7 @@ sim::CoTask<net::Reply> Engine::on_punch(net::Request req) {
   co_await media_write(t, 64);
 
   auto& cont = t.vos.container(r.cont);
+  cont.observe_time(vos::hlc_base(sched_.now()));
   const vos::Epoch epoch = cont.next_epoch();
   switch (r.scope) {
     case PunchScope::object: cont.punch_object(r.oid, epoch); break;

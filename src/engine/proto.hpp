@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "net/fabric.hpp"
+#include "vos/dtx.hpp"
 #include "vos/types.hpp"
 
 namespace daosim::engine {
@@ -29,6 +30,16 @@ constexpr std::uint16_t kOpPoolSvc = 0x30;
 constexpr std::uint16_t kOpRebuildScan = 0x40;
 constexpr std::uint16_t kOpRebuildFetch = 0x41;
 constexpr std::uint16_t kOpRebuildDone = 0x42;
+
+// DTX protocol opcodes (0x50 block): client-coordinated two-phase commit
+// over the participating shards, resolve queries for crash resync, and
+// snapshot-floored container aggregation. Served by the engine-side
+// DtxService (src/dtx).
+constexpr std::uint16_t kOpTxPrepare = 0x50;
+constexpr std::uint16_t kOpTxCommit = 0x51;
+constexpr std::uint16_t kOpTxAbort = 0x52;
+constexpr std::uint16_t kOpTxResolve = 0x53;
+constexpr std::uint16_t kOpContAggregate = 0x54;
 
 /// Fixed per-message protocol overhead added to payload sizes.
 constexpr std::uint64_t kObjRpcHeader = 256;
@@ -216,6 +227,64 @@ struct RebuildDoneReq {
 
 struct RebuildDoneResp {
   std::optional<net::NodeId> leader_hint{};
+};
+
+/// One staged write of a transaction, scoped to the receiving shard. Arrays
+/// are pre-split into chunk pieces (dkey-relative offsets) by the client.
+struct TxOpDesc {
+  vos::ObjId oid;
+  vos::Key dkey;
+  vos::Key akey;
+  RecordType type = RecordType::single_value;
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+  std::uint64_t array_end_hint = 0;  // global array high-water mark (0 = none)
+  Payload data;                      // null => metadata-only accounting
+};
+
+/// Phase 1: stage `ops` at `epoch` on the shard, locking the touched keys.
+/// Errno::tx_restart on conflict (the loser restarts with a fresh epoch).
+struct TxPrepareReq {
+  vos::Uuid cont;
+  std::uint64_t tx_client = 0;  // DtxId
+  std::uint64_t tx_seq = 0;
+  vos::Epoch epoch = 0;
+  std::uint32_t target = 0;  // target index within the engine
+  std::uint32_t leader = 0;  // pool-map index of the transaction's leader shard
+  std::vector<TxOpDesc> ops;
+};
+
+/// Phase 2: commit (apply staged ops at the prepare epoch) or abort (drop
+/// them). The coordinator sends commit to the leader shard FIRST — its
+/// decision-table entry is the durable commit point — then fans out to the
+/// other participants. Both opcodes share this body.
+struct TxDecideReq {
+  vos::Uuid cont;
+  std::uint64_t tx_client = 0;
+  std::uint64_t tx_seq = 0;
+  std::uint32_t target = 0;
+};
+
+/// Resync query (participant -> leader shard): what happened to this
+/// transaction? Unknown means the leader never saw or already decided and
+/// pruned nothing — the asker keeps waiting for the reaper's verdict.
+struct TxResolveReq {
+  vos::Uuid cont;
+  std::uint64_t tx_client = 0;
+  std::uint64_t tx_seq = 0;
+  std::uint32_t target = 0;
+};
+
+struct TxResolveResp {
+  vos::DtxState state = vos::DtxState::unknown;
+};
+
+/// Client-driven container aggregation on one shard, with `upto` already
+/// clamped below the pool's lowest snapshot epoch by the caller.
+struct ContAggregateReq {
+  vos::Uuid cont;
+  std::uint32_t target = 0;
+  vos::Epoch upto = 0;
 };
 
 /// Pool service client command: an opaque state-machine command string

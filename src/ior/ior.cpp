@@ -55,6 +55,8 @@ struct IorRunner::JobState {
   std::unique_ptr<mpiio::CollectiveFile> cfile;
   std::map<std::string, std::shared_ptr<h5::H5Meta>> h5meta;
   std::uint64_t oid_base = 0;  // daos_array backend
+  /// Snapshot epoch the read phase is pinned to (read_at_snapshot); 0 = none.
+  vos::Epoch snapshot_epoch = 0;
 };
 
 IorRunner::IorRunner(cluster::Testbed& tb, std::uint32_t ppn, std::uint64_t chunk_size,
@@ -165,6 +167,9 @@ struct RankFile {
   std::unique_ptr<h5::H5File> h5file;
   std::optional<h5::H5Dataset> h5dset;
   mpi::Comm comm;
+  /// Visibility bound for array reads (read-at-snapshot); other backends
+  /// always read present state.
+  vos::Epoch read_epoch = vos::kEpochMax;
 
   sim::CoTask<Errno> write(std::uint64_t off, std::uint64_t len,
                            std::span<const std::byte> data) {
@@ -187,7 +192,7 @@ struct RankFile {
   sim::CoTask<Result<std::uint64_t>> read(std::uint64_t off, std::span<std::byte> out) {
     if (vfs != nullptr) co_return co_await vfs->pread(fd, off, out);
     if (dfs_file != nullptr) co_return co_await dfs_file->read(off, out);
-    if (array != nullptr) co_return co_await array->read(off, out);
+    if (array != nullptr) co_return co_await array->read(off, out, read_epoch);
     if (cfile != nullptr) {
       if (collective) co_return co_await cfile->read_at_all(comm, off, out);
       co_return co_await cfile->read_at(comm, off, out);
@@ -296,6 +301,7 @@ sim::CoTask<void> IorRunner::rank_body(mpi::Comm comm, const IorConfig* cfg,
         const auto oid = client::make_oid(seq, client::ObjClass(cfg->oclass));
         rf.array = std::make_unique<ArrayObject>(tb_.client(std::uint32_t(me) / ppn_),
                                                  kPoolUuid, oid, 1 * kMiB);
+        if (!writing && st->snapshot_epoch != 0) rf.read_epoch = st->snapshot_epoch;
         break;
       }
       case Api::mpiio: {
@@ -410,6 +416,17 @@ sim::CoTask<void> IorRunner::rank_body(mpi::Comm comm, const IorConfig* cfg,
   // ------------------------------------------------------------------- read
   if (cfg->do_read) {
     const int target = cfg->reorder_tasks ? (me + 1) % p : me;
+    if (cfg->read_at_snapshot && cfg->api == Api::daos_array) {
+      // Rank 0 pins the epoch cut every rank reads at; the barrier publishes
+      // it before any read opens.
+      if (me == 0) {
+        auto snap = co_await tb_.client(0).snapshot_create(cluster::kPoolUuid);
+        DAOSIM_REQUIRE(snap.ok(), "read_at_snapshot: snapshot_create failed: %s",
+                       errno_name(snap.error()));
+        st->snapshot_epoch = *snap;
+      }
+      co_await comm.barrier();
+    }
     co_await comm.barrier();
     if (me == 0) {
       st->read_start = comm.wtime();

@@ -44,6 +44,10 @@ struct IorConfig {
   /// Transfers each rank keeps in flight through its client EventQueue
   /// (daos_event model). 1 = fully serial, matching classic blocking IOR.
   std::uint32_t eq_depth = 1;
+  /// daos_array API only: after the write barrier, rank 0 snapshots the
+  /// container and the read phase runs at that epoch — verification is
+  /// isolated from anything written concurrently (see docs/dtx.md).
+  bool read_at_snapshot = false;
 };
 
 struct PhaseResult {

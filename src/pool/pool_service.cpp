@@ -102,6 +102,33 @@ std::string PoolMetaSm::apply(const std::string& command) {
     if (!it->second.done.insert(engine).second) return "ok dup";
     return "ok";
   }
+  if (op == "snap_create") {
+    vos::Uuid u;
+    vos::Epoch e = 0;
+    is >> u.hi >> u.lo >> e;
+    auto it = containers_.find(u);
+    if (it == containers_.end()) return "ENOENT";
+    it->second.snapshots.insert(e);  // idempotent: re-creating is a no-op
+    return "ok";
+  }
+  if (op == "snap_destroy") {
+    vos::Uuid u;
+    vos::Epoch e = 0;
+    is >> u.hi >> u.lo >> e;
+    auto it = containers_.find(u);
+    if (it == containers_.end()) return "ENOENT";
+    return it->second.snapshots.erase(e) > 0 ? "ok" : "ENOENT";
+  }
+  if (op == "snap_list") {
+    vos::Uuid u;
+    is >> u.hi >> u.lo;
+    auto it = containers_.find(u);
+    if (it == containers_.end()) return "ENOENT";
+    std::ostringstream os;
+    os << "ok " << it->second.snapshots.size();
+    for (const vos::Epoch e : it->second.snapshots) os << ' ' << e;
+    return os.str();
+  }
   if (op == "map_query") {
     std::ostringstream os;
     os << "ok " << map_version_ << ' ' << excluded_.size();
@@ -216,6 +243,17 @@ std::string PoolMetaSm::snapshot() const {
     for (const net::NodeId e : t.done) os << ' ' << e;
     os << '\n';
   }
+  // Container snapshot epochs, appended last so older snapshots (without the
+  // section) still restore.
+  std::size_t with_snaps = 0;
+  for (const auto& [u, m] : containers_) with_snaps += m.snapshots.empty() ? 0 : 1;
+  os << with_snaps << '\n';
+  for (const auto& [u, m] : containers_) {
+    if (m.snapshots.empty()) continue;
+    os << u.hi << ' ' << u.lo << ' ' << m.snapshots.size();
+    for (const vos::Epoch e : m.snapshots) os << ' ' << e;
+    os << '\n';
+  }
   return os.str();
 }
 
@@ -280,6 +318,19 @@ void PoolMetaSm::restore(const std::string& snap) {
     read_set(t.participants);
     read_set(t.done);
     rebuilds_.emplace(t.version, std::move(t));
+  }
+  std::size_t nsnap = 0;
+  if (!(is >> nsnap)) return;  // snapshot from before container snapshots existed
+  for (std::size_t i = 0; i < nsnap; ++i) {
+    vos::Uuid u;
+    std::size_t count = 0;
+    is >> u.hi >> u.lo >> count;
+    auto it = containers_.find(u);
+    for (std::size_t k = 0; k < count; ++k) {
+      vos::Epoch e = 0;
+      is >> e;
+      if (it != containers_.end()) it->second.snapshots.insert(e);
+    }
   }
 }
 

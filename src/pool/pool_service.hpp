@@ -13,6 +13,9 @@
 //   pool_reint <engine>                      -> "ok <map_version>"   (idempotent)
 //   map_query                                -> "ok <map_version> <k> <engine> ..."
 //   rebuild_done <engine> <version>          -> "ok" | "ok dup" | "ok stale"
+//   snap_create <hi> <lo> <epoch>            -> "ok" | "ENOENT"
+//   snap_destroy <hi> <lo> <epoch>           -> "ok" | "ENOENT"
+//   snap_list <hi> <lo>                      -> "ok <n> <epoch> ..." | "ENOENT"
 #pragma once
 
 #include <map>
@@ -40,6 +43,10 @@ class PoolMetaSm final : public raft::StateMachine {
   struct ContMeta {
     ContProps props;
     std::uint64_t oid_counter = 1;
+    /// Container snapshot epochs (Raft-replicated like the rest of the
+    /// metadata). Readers pin an epoch in this set; aggregation must stay
+    /// below the lowest entry so pinned history is never merged away.
+    std::set<vos::Epoch> snapshots;
   };
   const std::map<vos::Uuid, ContMeta>& containers() const { return containers_; }
 

@@ -259,6 +259,10 @@ std::uint64_t VosContainer::array_end_hint(ObjId oid) const {
 }
 
 void VosContainer::aggregate(Epoch upto) {
+  // Undecided transactions pin aggregation: a prepared entry may still
+  // commit at its (older) epoch, which must not land below merged state.
+  const Epoch dtx_floor = dtx_min_prepared_epoch();
+  if (dtx_floor != kEpochMax && dtx_floor > 0) upto = std::min(upto, dtx_floor - 1);
   auto& objects = objects_;
   for (auto oit = objects.begin(); oit != objects.end(); ++oit) {
     auto& dkeys = oit.value()->dkeys;

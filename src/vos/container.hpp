@@ -6,12 +6,14 @@
 // transaction clock).
 #pragma once
 
+#include <map>
 #include <memory>
 #include <span>
 #include <vector>
 
 #include "common/error.hpp"
 #include "vos/btree.hpp"
+#include "vos/dtx.hpp"
 #include "vos/types.hpp"
 #include "vos/value_store.hpp"
 
@@ -27,6 +29,15 @@ class VosContainer {
   Epoch next_epoch() { return ++epoch_clock_; }
   Epoch current_epoch() const { return epoch_clock_; }
   PayloadMode payload_mode() const { return mode_; }
+
+  /// Hybrid-logical-clock receive rule: runs the epoch clock forward to an
+  /// externally observed timestamp (never backwards). Engines feed it the
+  /// virtual wall clock before issuing write epochs, which places every
+  /// shard's epochs — and the client-chosen DTX commit/snapshot epochs drawn
+  /// from the same clock — on one comparable timeline.
+  void observe_time(Epoch e) {
+    if (epoch_clock_ < e) epoch_clock_ = e;
+  }
 
   // --- array records ---
   void array_write(ObjId oid, const Key& dkey, const Key& akey, std::uint64_t offset,
@@ -95,7 +106,34 @@ class VosContainer {
   std::uint64_t array_end_hint(ObjId oid) const;
 
   /// Merges record versions <= `upto` (background aggregation service).
+  /// Never merges across the oldest prepared-transaction epoch: an undecided
+  /// DTX must still be able to commit below everything aggregated so far.
   void aggregate(Epoch upto);
+
+  // --- distributed transactions (implemented in dtx.cpp; see docs/dtx.md) ---
+
+  /// Phase 1: stages the entry's writes, invisible to reads, locking every
+  /// touched (oid, dkey, akey). Errno::tx_restart on a write-write conflict
+  /// with another prepared transaction or with a committed record newer than
+  /// the entry's epoch. Idempotent per id; a prepare that arrives after the
+  /// decision returns ok (committed) or tx_restart (aborted).
+  Errno dtx_prepare(DtxEntry entry);
+  /// Phase 2: records the committed decision and applies the staged ops at
+  /// the entry's epoch. Idempotent; returns false iff the id was already
+  /// decided as aborted (the sticky abort a too-late commit runs into).
+  bool dtx_commit(const DtxId& id);
+  /// Records the aborted decision and drops the staged ops, leaving no
+  /// trace. Idempotent; a no-op when the id already committed.
+  void dtx_abort(const DtxId& id);
+  /// Resolve query: prepared / committed / aborted / unknown (never seen).
+  DtxState dtx_state(const DtxId& id) const;
+  const DtxEntry* dtx_find_prepared(const DtxId& id) const;
+  /// Prepared ids in DtxId order (deterministic resync/reaper walks).
+  std::vector<DtxId> dtx_prepared_ids() const;
+  /// Oldest prepared epoch (kEpochMax when none): the aggregation floor.
+  Epoch dtx_min_prepared_epoch() const;
+  std::size_t dtx_prepared_count() const { return dtx_prepared_.size(); }
+  std::size_t dtx_decided_count() const { return dtx_decisions_.size(); }
 
   /// One record flattened for rebuild transfer: arrays export their full
   /// visible image (holes as zeros), single values the latest version.
@@ -158,9 +196,20 @@ class VosContainer {
   const AkeyNode* find_akey(ObjId oid, const Key& dkey, const Key& akey) const;
   static bool akey_visible(const AkeyNode& a, Epoch epoch);
 
+  /// Newest stored epoch (put/punch, single-value or array) for the akey;
+  /// 0 when the akey holds nothing. The DTX lost-update conflict check.
+  Epoch akey_latest_epoch(ObjId oid, const Key& dkey, const Key& akey) const;
+  void apply_dtx_op(const DtxOp& op, Epoch epoch);
+
   PayloadMode mode_;
   Epoch epoch_clock_ = 0;
   std::uint64_t logical_bytes_ = 0;
+  /// Staged-but-undecided transactions touching this shard (std::map:
+  /// deterministic iteration for conflict checks and resync walks).
+  std::map<DtxId, DtxEntry> dtx_prepared_;
+  /// Commit/abort decisions (the DAOS committed table): idempotency for
+  /// retried phase-2 RPCs and the answer store for resolve queries.
+  std::map<DtxId, DtxState> dtx_decisions_;
   mutable TreeStats tree_stats_;  // mutable: lookups count on const reads
   BPlusTree<ObjId, std::unique_ptr<ObjectNode>> objects_;
 };

@@ -9,27 +9,27 @@ namespace daosim::vos {
 // ---------------------------------------------------------------------------
 // SingleValueStore
 
-void SingleValueStore::put(std::span<const std::byte> value, Epoch epoch, PayloadMode mode) {
-  DAOSIM_REQUIRE(versions_.empty() || versions_.back().epoch <= epoch,
-                 "single-value epochs must be non-decreasing");
-  Version v{epoch, false, value.size(), {}};
-  if (mode == PayloadMode::store) v.data.assign(value.begin(), value.end());
-  if (!versions_.empty() && versions_.back().epoch == epoch) {
-    versions_.back() = std::move(v);
+// Stores are epoch-sorted, and writes normally arrive in epoch order — but a
+// DTX commit applies at the transaction's prepare-time epoch, which can sit
+// below versions the shard's clock has since issued. Sorted insertion keeps
+// every read/aggregate path (all of which scan ascending epochs) correct.
+void SingleValueStore::insert_sorted(Version v) {
+  auto pos = std::lower_bound(versions_.begin(), versions_.end(), v.epoch,
+                              [](const Version& a, Epoch e) { return a.epoch < e; });
+  if (pos != versions_.end() && pos->epoch == v.epoch) {
+    *pos = std::move(v);  // same-epoch overwrite keeps one version per epoch
   } else {
-    versions_.push_back(std::move(v));
+    versions_.insert(pos, std::move(v));
   }
 }
 
-void SingleValueStore::punch(Epoch epoch) {
-  DAOSIM_REQUIRE(versions_.empty() || versions_.back().epoch <= epoch,
-                 "single-value epochs must be non-decreasing");
-  if (!versions_.empty() && versions_.back().epoch == epoch) {
-    versions_.back() = Version{epoch, true, 0, {}};
-  } else {
-    versions_.push_back(Version{epoch, true, 0, {}});
-  }
+void SingleValueStore::put(std::span<const std::byte> value, Epoch epoch, PayloadMode mode) {
+  Version v{epoch, false, value.size(), {}};
+  if (mode == PayloadMode::store) v.data.assign(value.begin(), value.end());
+  insert_sorted(std::move(v));
 }
+
+void SingleValueStore::punch(Epoch epoch) { insert_sorted(Version{epoch, true, 0, {}}); }
 
 SingleValueStore::View SingleValueStore::get(Epoch epoch) const {
   // Versions are sorted by epoch: find the last one <= epoch.
@@ -72,8 +72,6 @@ Epoch ArrayStore::last_full_punch_at(Epoch epoch) const {
 void ArrayStore::write(std::uint64_t offset, std::uint64_t length,
                        std::span<const std::byte> data, Epoch epoch, PayloadMode mode) {
   if (length == 0) return;
-  DAOSIM_REQUIRE(extents_.empty() || extents_.back().epoch <= epoch,
-                 "array epochs must be non-decreasing");
   Extent e{offset, length, epoch, false, {}};
   // An empty span with store mode means "no payload shipped" (callers doing
   // metadata-only I/O against a storing container): the extent reads as zeros.
@@ -83,20 +81,30 @@ void ArrayStore::write(std::uint64_t offset, std::uint64_t length,
     e.data.assign(data.begin(), data.end());
     stored_bytes_ += length;
   }
-  extents_.push_back(std::move(e));
+  insert_sorted(std::move(e));
+}
+
+// See SingleValueStore::insert_sorted: DTX commits can land below the clock.
+// upper_bound keeps arrival order among equal-epoch extents, so the overlay
+// ("later versions overwrite earlier") stays identical for in-order writers.
+void ArrayStore::insert_sorted(Extent e) {
+  if (extents_.empty() || extents_.back().epoch <= e.epoch) {
+    extents_.push_back(std::move(e));
+    return;
+  }
+  auto pos = std::upper_bound(extents_.begin(), extents_.end(), e.epoch,
+                              [](Epoch ep, const Extent& x) { return ep < x.epoch; });
+  extents_.insert(pos, std::move(e));
 }
 
 void ArrayStore::punch_range(std::uint64_t offset, std::uint64_t length, Epoch epoch) {
   if (length == 0) return;
-  DAOSIM_REQUIRE(extents_.empty() || extents_.back().epoch <= epoch,
-                 "array epochs must be non-decreasing");
-  extents_.push_back(Extent{offset, length, epoch, true, {}});
+  insert_sorted(Extent{offset, length, epoch, true, {}});
 }
 
 void ArrayStore::punch_all(Epoch epoch) {
-  DAOSIM_REQUIRE(full_punches_.empty() || full_punches_.back() <= epoch,
-                 "punch epochs must be non-decreasing");
-  if (full_punches_.empty() || full_punches_.back() != epoch) full_punches_.push_back(epoch);
+  auto pos = std::lower_bound(full_punches_.begin(), full_punches_.end(), epoch);
+  if (pos == full_punches_.end() || *pos != epoch) full_punches_.insert(pos, epoch);
 }
 
 std::uint64_t ArrayStore::read(std::uint64_t offset, std::span<std::byte> out,

@@ -45,6 +45,9 @@ class SingleValueStore {
     std::uint64_t size;
     std::vector<std::byte> data;
   };
+  /// Keeps versions_ ascending when a write (e.g. a DTX commit) lands below
+  /// the newest stored epoch; a same-epoch insert replaces in place.
+  void insert_sorted(Version v);
   std::vector<Version> versions_;  // ascending epoch
 };
 
@@ -102,8 +105,11 @@ class ArrayStore {
     bool punch;  // range punch: reads as hole above older data
     std::vector<std::byte> data;  // empty in discard mode or punch extents
   };
-  // Ascending epoch order (append-only between aggregations). Visibility is
-  // resolved by overlaying extents oldest-to-newest.
+  /// Keeps extents_ ascending when a write (e.g. a DTX commit) lands below
+  /// the newest stored epoch; equal epochs preserve arrival order.
+  void insert_sorted(Extent e);
+  // Ascending epoch order (sorted insert; normal writes append). Visibility
+  // is resolved by overlaying extents oldest-to-newest.
   std::vector<Extent> extents_;
   std::vector<Epoch> full_punches_;  // ascending
   std::uint64_t stored_bytes_ = 0;

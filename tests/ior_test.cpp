@@ -3,6 +3,7 @@
 // cluster, and the bandwidth accounting is sane.
 #include <gtest/gtest.h>
 
+#include "co_assert.hpp"
 #include "ior/ior.hpp"
 
 namespace daosim::ior {
@@ -93,6 +94,26 @@ TEST(Ior, NoReorderAlsoVerifies) {
   cfg.reorder_tasks = false;
   const IorResult res = runner.run(cfg);
   EXPECT_EQ(res.verify_errors, 0u);
+  tb.stop();
+}
+
+TEST(Ior, ReadAtSnapshotVerifiesOnPinnedEpoch) {
+  Testbed tb(small_cluster());
+  tb.start();
+  IorRunner runner(tb, 4);
+  for (const bool fpp : {true, false}) {
+    auto cfg = small_job(Api::daos_array, fpp);
+    cfg.read_at_snapshot = true;
+    const IorResult res = runner.run(cfg);
+    EXPECT_EQ(res.verify_errors, 0u) << (fpp ? "easy" : "hard");
+    EXPECT_EQ(res.read_fill_errors, 0u) << (fpp ? "easy" : "hard");
+  }
+  // Each job registered its read-phase snapshot with the pool service.
+  tb.run([&]() -> sim::CoTask<void> {
+    auto snaps = co_await tb.client(0).list_snapshots(cluster::kPoolUuid);
+    CO_ASSERT_OK(snaps);
+    CO_ASSERT_EQ(snaps->size(), 2u);
+  });
   tb.stop();
 }
 

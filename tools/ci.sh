@@ -13,9 +13,13 @@
 #   tools/ci.sh telemetry  telemetry suite only: dump determinism, fault
 #                          counters, metrics_diff, plus a live ior_cli run
 #                          validating the Chrome trace JSON
-#   tools/ci.sh bench-smoke  tiny-scale ablation_xfersize run (2 nodes, 2
-#                          transfer sizes) asserting the BENCH_*.json perf
-#                          trajectory parses and is non-empty
+#   tools/ci.sh dtx        distributed-transaction suite (2PC, snapshots,
+#                          crash recovery, serializability property) under
+#                          ASan+UBSan with the runtime audits on — undefined
+#                          behaviour in the conflict paths must fail loudly
+#   tools/ci.sh bench-smoke  tiny-scale ablation_xfersize + ablation_dtx runs
+#                          asserting the BENCH_*.json perf trajectories parse
+#                          and are non-empty
 #   tools/ci.sh analyze    libclang suspension-safety analyzer: rule self-test
 #                          on the seeded fixtures, then the AST scan of every
 #                          src/ TU via compile_commands.json. Standalone runs
@@ -143,6 +147,23 @@ EOF
   stage_end
 fi
 
+if [[ $STAGE == dtx ]]; then
+  stage_begin dtx
+  # Focused distributed-transaction run under the harshest configuration:
+  # ASan+UBSan plus the runtime determinism audits. The DTX paths are the
+  # ones that juggle prepared-entry lifetimes across crashes and concurrent
+  # coroutines — exactly where a lifetime bug would hide — so this suite
+  # always runs sanitized, not just when the full asan stage does.
+  echo "=== [dtx] configure + build ==="
+  cmake -B build-ci-dtx -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DDAOSIM_SANITIZE="address;undefined" -DDAOSIM_AUDIT=ON
+  cmake --build build-ci-dtx -j "$JOBS" --target dtx_test ior_test
+  echo "=== [dtx] ctest ==="
+  ctest --test-dir build-ci-dtx --output-on-failure -j "$JOBS" \
+    -R 'DtxVos|DtxCluster|DtxFault|DtxProperty|Ior\.ReadAtSnapshot'
+  stage_end
+fi
+
 if [[ $STAGE == bench-smoke ]]; then
   stage_begin bench-smoke
   # Perf-trajectory smoke: the batching/EQ ablation at tiny scale. Guards the
@@ -150,9 +171,9 @@ if [[ $STAGE == bench-smoke ]]; then
   # batched coalescing never loses to the legacy per-extent path.
   echo "=== [bench-smoke] configure + build ==="
   cmake -B build-ci-bench -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
-  cmake --build build-ci-bench -j "$JOBS" --target ablation_xfersize
+  cmake --build build-ci-bench -j "$JOBS" --target ablation_xfersize ablation_dtx
   echo "=== [bench-smoke] run ==="
-  (cd build-ci-bench/bench && ./ablation_xfersize --smoke)
+  (cd build-ci-bench/bench && ./ablation_xfersize --smoke && ./ablation_dtx --smoke)
   echo "=== [bench-smoke] JSON validates ==="
   python3 - <<'EOF'
 import json
@@ -166,6 +187,18 @@ small = min(r["x"] for r in rows)
 assert by[("hard/batch16", small)] >= by[("hard/batch1", small)] * 0.98, \
     "batched hard-mode write lost to the unbatched path at the smallest transfer"
 print(f"bench-smoke OK: {len(rows)} rows")
+
+# ablation_dtx column mapping (see bench/ablation_dtx.cpp): x = hot-key-space
+# size, read_gibs = conflict rate in [0,1), write_gibs = commits/s,
+# read_p99_us = commit p50 us, write_p99_us = commit p99 us.
+dtx = json.load(open("build-ci-bench/bench/BENCH_ablation_dtx.json"))
+rows = dtx["rows"]
+assert rows, "DTX trajectory JSON has no rows"
+assert all(r["write_gibs"] > 0 for r in rows), "zero commit throughput row"
+assert all(0.0 <= r["read_gibs"] < 1.0 for r in rows), "conflict rate out of range"
+assert all(r["write_p99_us"] >= r["read_p99_us"] > 0 for r in rows), "p99 below p50"
+assert all(r["events"] > 0 for r in rows), "zero-event sweep point"
+print(f"bench-smoke OK: {len(rows)} DTX rows")
 EOF
   stage_end
 fi

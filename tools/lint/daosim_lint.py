@@ -50,6 +50,12 @@ coroutine-heavy C++ codebases:
                       per (target, replica), bounded by
                       ClientConfig::max_batch_extents.
 
+  tx-unresolved       A TxHandle obtained from tx_begin() that reaches the end
+                      of its scope without a co_await'ed .commit() or .abort()
+                      (and without escaping via return/std::move). An
+                      unresolved handle leaves prepared DTX entries on every
+                      touched shard; they pin aggregation until the orphan
+                      reaper times them out and aborts them seconds later.
   unjustified-allow   A daosim-lint or daosim-check suppression marker without
                       a trailing justification, or naming a rule that does not
                       exist. Every allow is a claim that the checker is wrong
@@ -75,7 +81,7 @@ import sys
 
 RULES = ("spawn-temporary", "wall-clock", "unordered-iteration", "ignored-result",
          "raw-rpc-call", "rebuild-idempotency", "untracked-metric",
-         "unbatched-extent-rpc", "unjustified-allow")
+         "unbatched-extent-rpc", "tx-unresolved", "unjustified-allow")
 
 # Rules owned by the libclang analyzer (tools/analyze/daosim_check.py). The
 # unjustified-allow rule validates daosim-check markers against this list, and
@@ -590,6 +596,71 @@ def check_untracked_metric(path, text, clean):
     return out
 
 
+# A handle bound from tx_begin(): `auto tx = cl.tx_begin(...)` or
+# `TxHandle tx = tx_begin(...)`. The receiver chain mirrors RECEIVER_RE so
+# `tb.client(0).tx_begin(...)` matches too. The *definition* of tx_begin
+# (`TxHandle DaosClient::tx_begin(vos::Uuid cont)`) has no `=` before the name
+# and never matches.
+TX_BEGIN_ASSIGN_RE = re.compile(
+    r"\b([A-Za-z_]\w*)\s*=\s*"
+    r"(?:[A-Za-z_][\w:]*(?:\s*\([^();]*\))?\s*(?:\.|->|::)\s*)*"
+    r"tx_begin\s*\(")
+
+
+def enclosing_scope_end(clean, pos):
+    """Index of the '}' closing the scope that contains pos (file end if the
+    declaration sits at namespace level)."""
+    depth = 0
+    n = len(clean)
+    while pos < n:
+        c = clean[pos]
+        if c == "{":
+            depth += 1
+        elif c == "}":
+            depth -= 1
+            if depth < 0:
+                return pos
+        pos += 1
+    return n
+
+
+def check_tx_unresolved(path, text, clean):
+    """Every tx_begin() handle must reach a co_await'ed commit()/abort() (or
+    escape the scope via return/std::move) before its scope closes. A handle
+    that silently dies leaves prepared-but-undecided DTX entries on every
+    participating shard: readers conflict against them and aggregation stalls
+    until the server-side orphan reaper ages them out."""
+    out = []
+    for m in TX_BEGIN_ASSIGN_RE.finditer(clean):
+        name = m.group(1)
+        scope = clean[m.end():enclosing_scope_end(clean, m.end())]
+        # Resolution: the handle's commit/abort awaited somewhere in the rest
+        # of the scope. A bare `tx.commit();` without co_await does NOT count:
+        # it discards the CoTask and the RPCs never run.
+        resolved = re.search(
+            rf"\bco_await\b[^;]*\b{re.escape(name)}\s*\.\s*(?:commit|abort)\s*\(",
+            scope)
+        # Escape: ownership moves out of this scope; resolution is the
+        # recipient's job.
+        escaped = re.search(
+            rf"\b(?:co_)?return\s+(?:std\s*::\s*move\s*\(\s*)?{re.escape(name)}\b"
+            rf"|std\s*::\s*move\s*\(\s*{re.escape(name)}\s*\)",
+            scope)
+        if not resolved and not escaped:
+            out.append(
+                Violation(
+                    path,
+                    line_of(clean, m.start()),
+                    "tx-unresolved",
+                    f"TxHandle '{name}' from tx_begin() is never resolved: no "
+                    "co_await'ed .commit()/.abort() before end of scope; the "
+                    "prepared entries block conflicting writers and pin "
+                    "aggregation until the orphan reaper aborts them",
+                )
+            )
+    return out
+
+
 # Any suppression marker, from either tool, line- or file-scoped. Group 1 is
 # the tool, group 2 the optional "-file", group 3 the rule list, and the
 # justification (": <reason>") is judged from the text that follows.
@@ -655,6 +726,7 @@ def lint_file(path, rel, result_fns, wall_clock_scope, raw_rpc_scope=False,
         violations += check_raw_rpc_call(rel, text, clean)
         violations += check_unbatched_extent_rpc(rel, text, clean)
     violations += check_rebuild_idempotency(rel, text, clean)
+    violations += check_tx_unresolved(rel, text, clean)
     if untracked_metric_scope:
         violations += check_untracked_metric(rel, text, clean)
     violations += check_unjustified_allow(rel, text, clean)

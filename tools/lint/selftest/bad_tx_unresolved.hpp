@@ -1,0 +1,76 @@
+// Fixture: tx-unresolved — a TxHandle from tx_begin() that reaches the end
+// of its scope without a co_await'ed commit()/abort(). The prepared DTX
+// entries it staged stay undecided on every participating shard: conflicting
+// writers restart against them and aggregation is pinned until the orphan
+// reaper ages the transaction out and aborts it server-side.
+#pragma once
+#include <utility>
+
+namespace fixture {
+
+struct CoTaskErrno {};
+struct TxHandle {
+  void kv_put(int oid, const char* dkey, const char* akey, int v);
+  CoTaskErrno commit();
+  CoTaskErrno abort();
+};
+struct Client {
+  TxHandle tx_begin(int cont);
+};
+void stash(TxHandle h);
+
+inline CoTaskErrno cases(Client& cl) {
+  {
+    // BAD: staged writes, handle dies unresolved at the closing brace.
+    auto tx = cl.tx_begin(1);  // EXPECT-LINT: tx-unresolved
+    tx.kv_put(7, "dkey", "akey", 1);
+  }
+
+  {
+    // BAD: commit() without co_await discards the CoTask; no RPC ever runs.
+    auto tx = cl.tx_begin(1);  // EXPECT-LINT: tx-unresolved
+    tx.kv_put(7, "dkey", "akey", 2);
+    tx.commit();
+  }
+
+  {
+    // GOOD: awaited commit resolves the handle.
+    auto tx = cl.tx_begin(1);
+    tx.kv_put(7, "dkey", "akey", 3);
+    co_await tx.commit();
+  }
+
+  {
+    // GOOD: an awaited abort is also a resolution.
+    TxHandle tx = cl.tx_begin(1);
+    co_await tx.abort();
+  }
+
+  {
+    // GOOD: the awaited call may sit inside a larger expression/statement.
+    auto tx = cl.tx_begin(1);
+    if ((co_await tx.commit(), true)) {
+    }
+  }
+
+  {
+    // GOOD: ownership escapes via std::move; the recipient resolves it.
+    auto tx = cl.tx_begin(1);
+    stash(std::move(tx));
+  }
+
+  // GOOD (suppressed): intentionally-orphaned handle in a reaper test.
+  {
+    auto tx = cl.tx_begin(1);  // daosim-lint: allow(tx-unresolved): fixture proves the suppression path
+    tx.kv_put(7, "dkey", "akey", 4);
+  }
+  co_return CoTaskErrno{};
+}
+
+inline TxHandle factory(Client& cl) {
+  // GOOD: the handle is returned; the caller owns resolution.
+  auto tx = cl.tx_begin(1);
+  return tx;
+}
+
+}  // namespace fixture
