@@ -66,7 +66,7 @@ Testbed::Testbed(ClusterConfig cfg) : cfg_(cfg), fabric_(sched_, cfg.fabric) {
 
   // One DTX service per engine: 2PC shard handlers plus the orphan reaper.
   for (auto& eng : engines_) {
-    dtxs_.push_back(std::make_unique<dtx::DtxService>(*eng, map_, cfg_.dtx));
+    dtxs_.push_back(std::make_unique<dtx::DtxService>(*eng, map_, svc_nodes_, cfg_.dtx));
   }
 
   // Client nodes (dual-rail NICs) with one DaosClient each.

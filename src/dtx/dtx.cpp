@@ -1,5 +1,7 @@
 #include "dtx/dtx.hpp"
 
+#include <set>
+#include <sstream>
 #include <utility>
 
 namespace daosim::dtx {
@@ -18,12 +20,20 @@ constexpr std::uint64_t kTraceTxReap = 0xFA17E00D'0000'0000ULL;
 constexpr std::uint64_t tx_tag(std::uint64_t client, std::uint64_t seq) {
   return (client << 32) ^ seq;
 }
+
+// Pool-service map_query (engine_excluded): bounded attempts per sweep; a
+// failed query is simply not authoritative and the next sweep asks again.
+constexpr int kMapQueryAttempts = 3;
+constexpr sim::Time kMapQueryRetryDelay = 50 * sim::kMs;
+constexpr std::uint64_t kMapQueryWireBytes = 128;
 }  // namespace
 
-DtxService::DtxService(engine::Engine& eng, pool::PoolMap base_map, DtxConfig cfg)
+DtxService::DtxService(engine::Engine& eng, pool::PoolMap base_map,
+                       std::vector<net::NodeId> svc_nodes, DtxConfig cfg)
     : eng_(eng),
       sched_(eng.endpoint().domain().scheduler()),
       base_map_(std::move(base_map)),
+      svc_nodes_(std::move(svc_nodes)),
       cfg_(cfg) {
   eng_.endpoint().register_handler(
       engine::kOpTxPrepare, [this](net::Request req) { return on_prepare(std::move(req)); });
@@ -119,10 +129,16 @@ sim::CoTask<net::Reply> DtxService::on_abort(net::Request req) {
   const auto& r = req.body.get<engine::TxDecideReq>();
   co_await eng_.rebuild_write(r.target, 64);
   vos::VosContainer& cont = eng_.vos_target(r.target).container(r.cont);
-  cont.dtx_abort(vos::DtxId{r.tx_client, r.tx_seq});
+  const vos::DtxId id{r.tx_client, r.tx_seq};
+  cont.dtx_abort(id);
   aborts_->inc();
   sched_.trace_note(kTraceTxAbort ^ tx_tag(r.tx_client, r.tx_seq));
-  co_return Reply{Errno::ok, engine::kObjRpcHeader, {}};
+  // Report the decision that now stands: `aborted` normally, `committed`
+  // when a sticky commit record already existed. The participant fence path
+  // (settle) needs to know which way the race went.
+  engine::TxResolveResp resp;
+  resp.state = cont.dtx_state(id);
+  co_return Reply{Errno::ok, engine::kObjRpcHeader, Body::make(resp)};
 }
 
 sim::CoTask<net::Reply> DtxService::on_resolve(net::Request req) {
@@ -175,6 +191,13 @@ sim::CoTask<void> DtxService::sweep(bool force) {
   // Copy the worklist out of VOS first: settle() suspends on RPCs and media,
   // and no container reference may live across those suspensions.
   const std::vector<SweepItem> items = collect_prepared();
+  // Drop failure counters for entries that settled by other means (a late
+  // client decision landed between sweeps), so the map cannot grow without
+  // bound and a re-prepared id starts from a clean count.
+  std::set<EntryKey> live;
+  for (const SweepItem& item : items) live.insert({item.target, item.cont, item.id});
+  std::erase_if(resolve_failures_,
+                [&live](const auto& kv) { return !live.contains(kv.first); });
   for (const SweepItem& item : items) {
     if (!force && item.age < cfg_.orphan_timeout) continue;
     co_await settle(item);
@@ -200,6 +223,7 @@ sim::CoTask<void> DtxService::settle(SweepItem item) {
       verdict = vos::DtxState::aborted;
     }
   } else {
+    const EntryKey fkey{item.target, item.cont, item.id};
     resolves_->inc();
     engine::TxResolveReq rreq;
     rreq.cont = item.cont;
@@ -209,15 +233,61 @@ sim::CoTask<void> DtxService::settle(SweepItem item) {
     Body body = Body::make(rreq);
     Reply rep = co_await eng_.endpoint().call(lt.engine, engine::kOpTxResolve, std::move(body),
                                               engine::kObjRpcHeader);
-    if (rep.status != Errno::ok) co_return;  // leader unreachable: next sweep retries
-    verdict = rep.body.get<engine::TxResolveResp>().state;
-    if (verdict == vos::DtxState::prepared) co_return;  // undecided: keep waiting
-    if (verdict == vos::DtxState::unknown) {
-      // No leader record: the transaction can never commit (commit requires
-      // the leader's durable decision), but give an in-flight prepare its
-      // grace period before declaring the coordinator dead.
+    if (rep.status != Errno::ok) {
+      // Leader unreachable. Normally the next sweep just retries, but a
+      // leader engine that is gone for good would leave this entry prepared
+      // forever, pinning dtx_min_prepared_epoch and the aggregation floor.
+      // Commit requires the leader's durable decision record, which nobody
+      // else can reach either, so once the pool map shows the engine
+      // EXCLUDED — or resolves have kept failing well past the orphan
+      // window (the backstop for maps that never converge) — an abort is
+      // authoritative.
       if (item.age < cfg_.orphan_timeout) co_return;
+      const std::uint32_t failures = ++resolve_failures_[fkey];
+      bool abandoned = failures >= cfg_.abandon_resolve_failures;
+      if (!abandoned && !svc_nodes_.empty() && failures % 4 == 0) {
+        abandoned = co_await engine_excluded(lt.engine);
+      }
+      if (!abandoned) co_return;
+      resolve_failures_.erase(fkey);
       verdict = vos::DtxState::aborted;
+      orphans_aborted_->inc();
+      sched_.trace_note(kTraceTxReap ^ tx_tag(item.id.client, item.id.seq));
+    } else {
+      resolve_failures_.erase(fkey);
+      verdict = rep.body.get<engine::TxResolveResp>().state;
+      if (verdict == vos::DtxState::prepared) co_return;  // undecided: keep waiting
+      if (verdict == vos::DtxState::unknown) {
+        // No leader record: the transaction can never commit (commit
+        // requires the leader's durable decision), but give an in-flight
+        // prepare its grace period before declaring the coordinator dead.
+        if (item.age < cfg_.orphan_timeout) co_return;
+        // Fence the leader BEFORE aborting locally: a prepare RPC may still
+        // be in flight (the client retry policy allows several seconds per
+        // attempt), and without a sticky abort at the leader a late prepare
+        // could land there, the client would commit at the leader, and the
+        // commit fan-out would bounce off our local abort — the transaction
+        // reported committed with this shard's writes lost.
+        engine::TxDecideReq areq;
+        areq.cont = item.cont;
+        areq.tx_client = item.id.client;
+        areq.tx_seq = item.id.seq;
+        areq.target = lt.target;
+        Body abody = Body::make(areq);
+        Reply arep = co_await eng_.endpoint().call(lt.engine, engine::kOpTxAbort,
+                                                   std::move(abody), engine::kObjRpcHeader);
+        if (arep.status != Errno::ok) co_return;  // fence failed: retry next sweep
+        const auto fenced = arep.body.get<engine::TxResolveResp>().state;
+        if (fenced == vos::DtxState::committed) {
+          // The fence lost the race: a late prepare+commit landed at the
+          // leader first. The decision is durable — honour it.
+          verdict = vos::DtxState::committed;
+        } else {
+          verdict = vos::DtxState::aborted;
+          orphans_aborted_->inc();
+          sched_.trace_note(kTraceTxReap ^ tx_tag(item.id.client, item.id.seq));
+        }
+      }
     }
   }
   co_await eng_.rebuild_write(item.target, 64);  // local decision record
@@ -230,6 +300,40 @@ sim::CoTask<void> DtxService::settle(SweepItem item) {
   }
   resyncs_resolved_->inc();
   sched_.trace_note(kTraceTxResolve ^ tx_tag(item.id.client, item.id.seq));
+}
+
+sim::CoTask<bool> DtxService::engine_excluded(net::NodeId engine) {
+  // The same map_query the clients use, with the usual leader-hint redirect
+  // dance (see RebuildService::report_done for the engine-side idiom).
+  for (int attempt = 0; attempt < kMapQueryAttempts; ++attempt) {
+    const net::NodeId dst =
+        svc_hint_ ? *svc_hint_ : svc_nodes_[std::size_t(attempt) % svc_nodes_.size()];
+    engine::PoolSvcReq preq{"map_query"};
+    Body body = Body::make(std::move(preq));
+    Reply r = co_await eng_.endpoint().call(dst, engine::kOpPoolSvc, std::move(body),
+                                            kMapQueryWireBytes);
+    if (r.status == Errno::ok) {
+      svc_hint_ = dst;
+      std::istringstream is(r.body.get<engine::PoolSvcResp>().response);
+      std::string status;
+      std::uint32_t version = 0;
+      std::size_t count = 0;
+      is >> status >> version >> count;
+      if (status != "ok") co_return false;
+      for (std::size_t i = 0; i < count; ++i) {
+        net::NodeId e = 0;
+        is >> e;
+        if (e == engine) co_return true;
+      }
+      co_return false;
+    }
+    svc_hint_.reset();
+    if (r.status == Errno::again && r.body.has_value()) {
+      svc_hint_ = r.body.get<engine::PoolSvcResp>().leader_hint;
+    }
+    co_await sched_.delay(kMapQueryRetryDelay);
+  }
+  co_return false;  // pool service unreachable: not authoritative, keep waiting
 }
 
 }  // namespace daosim::dtx

@@ -7,6 +7,9 @@
 // aggregation. Protocol and failure matrix: docs/dtx.md.
 #pragma once
 
+#include <map>
+#include <optional>
+#include <tuple>
 #include <vector>
 
 #include "engine/engine.hpp"
@@ -23,13 +26,26 @@ struct DtxConfig {
   sim::Time orphan_timeout = 2 * sim::kSec;
   /// Reaper sweep period per engine.
   sim::Time reap_tick = 250 * sim::kMs;
+  /// A participant entry whose leader shard never answers resolve RPCs can
+  /// never commit (commit requires the leader's durable decision record,
+  /// which nobody else can reach either), so it must not stay prepared
+  /// forever pinning dtx_min_prepared_epoch and the aggregation floor.
+  /// Past orphan_timeout the reaper consults the pool service's exclusion
+  /// list (map_query) and aborts once the leader's engine is EXCLUDED; as a
+  /// backstop for maps that never converge, this many consecutive failed
+  /// resolves force the same authoritative abort.
+  std::uint32_t abandon_resolve_failures = 16;
 };
 
 class DtxService {
  public:
-  /// @param base_map  the pool map at assembly time (membership only; maps
-  ///                  the leader shard's map-target index to its engine)
-  DtxService(engine::Engine& eng, pool::PoolMap base_map, DtxConfig cfg = {});
+  /// @param base_map   the pool map at assembly time (membership only; maps
+  ///                   the leader shard's map-target index to its engine)
+  /// @param svc_nodes  pool-service replica nodes (for map_query when a
+  ///                   leader shard stays unreachable; empty disables the
+  ///                   exclusion check, leaving only the failure backstop)
+  DtxService(engine::Engine& eng, pool::PoolMap base_map, std::vector<net::NodeId> svc_nodes,
+             DtxConfig cfg = {});
   DtxService(const DtxService&) = delete;
   DtxService& operator=(const DtxService&) = delete;
 
@@ -72,10 +88,23 @@ class DtxService {
   sim::CoTask<void> sweep(bool force);
   std::vector<SweepItem> collect_prepared() const;
   sim::CoTask<void> settle(SweepItem item);
+  /// Asks the pool service (map_query, with the usual leader-hint redirect)
+  /// whether `engine` is in the Raft-committed exclusion list. False when
+  /// the service is unreachable — absence of evidence is not authoritative.
+  sim::CoTask<bool> engine_excluded(net::NodeId engine);
+
+  /// Identifies one local prepared entry across sweeps (for the
+  /// consecutive-resolve-failure backstop).
+  using EntryKey = std::tuple<std::uint32_t, vos::Uuid, vos::DtxId>;
 
   engine::Engine& eng_;
   sim::Scheduler& sched_;
   pool::PoolMap base_map_;
+  std::vector<net::NodeId> svc_nodes_;
+  std::optional<net::NodeId> svc_hint_;  // last pool-service leader that answered
+  /// Consecutive failed leader resolves per prepared entry; reset on any
+  /// successful resolve and pruned when the entry settles by other means.
+  std::map<EntryKey, std::uint32_t> resolve_failures_;
   DtxConfig cfg_;
   bool running_ = false;
   bool sweeping_ = false;

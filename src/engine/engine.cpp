@@ -64,6 +64,29 @@ Engine::Target& Engine::target_for(std::uint32_t idx) {
   return *targets_[idx];
 }
 
+namespace {
+/// Poll period while an epoch-bounded read waits out a prepared transaction.
+/// Decisions normally land within a round trip; the worst case (crashed
+/// coordinator, dead leader) is bounded by the DTX reaper's settle paths.
+constexpr sim::Time kDtxReadRetryTick = 10 * sim::kMs;
+}  // namespace
+
+sim::CoTask<void> Engine::dtx_read_barrier(Target& t, vos::Uuid cont, vos::Epoch epoch) {
+  // A transaction prepared below the read epoch is invisible now, but its
+  // commit would apply at that older epoch and retroactively appear in later
+  // reads of the same snapshot. Wait until every such entry settles (the
+  // reaper guarantees each one eventually commits or aborts), so a given
+  // epoch always reads the same bytes. Plain reads (kEpochMax) keep
+  // read-committed semantics and never wait.
+  if (epoch == vos::kEpochMax) co_return;
+  for (;;) {
+    // Floor copied out as a value: no container reference spans the delay.
+    const vos::Epoch floor = t.vos.container(cont).dtx_min_prepared_epoch();
+    if (floor > epoch) co_return;
+    co_await sched_.delay(kDtxReadRetryTick);
+  }
+}
+
 telemetry::DurationHistogram* Engine::svc_enter(Target& t, const char* op) {
   // Queue depth as seen by an arriving request: callers already holding or
   // waiting on the target's xstream.
@@ -212,6 +235,7 @@ sim::CoTask<net::Reply> Engine::on_fetch(net::Request req) {
   ++fetches_;
   const std::size_t nex = r.extents.empty() ? 1 : r.extents.size();
   fetch_extents_->record(sim::Time(nex));
+  co_await dtx_read_barrier(t, r.cont, r.epoch);
   const sim::Time svc_t0 = sched_.now();
   telemetry::DurationHistogram* svc = svc_enter(t, "fetch");
 
@@ -279,6 +303,7 @@ sim::CoTask<net::Reply> Engine::on_fetch(net::Request req) {
 sim::CoTask<net::Reply> Engine::on_enum_dkeys(net::Request req) {
   auto& r = req.body.get<ObjEnumReq>();
   Target& t = target_for(r.target);
+  co_await dtx_read_barrier(t, r.cont, r.epoch);
   const sim::Time svc_t0 = sched_.now();
   telemetry::DurationHistogram* svc = svc_enter(t, "enum_dkeys");
 
@@ -298,6 +323,7 @@ sim::CoTask<net::Reply> Engine::on_enum_dkeys(net::Request req) {
 sim::CoTask<net::Reply> Engine::on_enum_akeys(net::Request req) {
   auto& r = req.body.get<ObjEnumReq>();
   Target& t = target_for(r.target);
+  co_await dtx_read_barrier(t, r.cont, r.epoch);
   const sim::Time svc_t0 = sched_.now();
   telemetry::DurationHistogram* svc = svc_enter(t, "enum_akeys");
 
@@ -340,6 +366,7 @@ sim::CoTask<net::Reply> Engine::on_punch(net::Request req) {
 sim::CoTask<net::Reply> Engine::on_query(net::Request req) {
   auto& r = req.body.get<ObjQueryReq>();
   Target& t = target_for(r.target);
+  co_await dtx_read_barrier(t, r.cont, r.epoch);
   const sim::Time svc_t0 = sched_.now();
   telemetry::DurationHistogram* svc = svc_enter(t, "query");
 

@@ -111,6 +111,10 @@ class Engine {
   sim::CoTask<net::Reply> on_query(net::Request req);
 
   Target& target_for(std::uint32_t idx);
+  /// Snapshot-stable reads: an epoch-bounded read parks until every prepared
+  /// transaction that could still commit at or below `epoch` has settled.
+  /// Plain reads (kEpochMax) never wait.
+  sim::CoTask<void> dtx_read_barrier(Target& t, vos::Uuid cont, vos::Epoch epoch);
   /// Checks/updates the target's stream-context set; returns the switch cost.
   sim::Time stream_context_touch(Target& t, vos::Uuid cont, vos::ObjId oid, bool write);
   sim::CoTask<void> media_write(Target& t, std::uint64_t bytes);

@@ -38,8 +38,13 @@ Errno VosContainer::dtx_prepare(DtxEntry entry) {
       }
     }
     // Lost-update conflict: a committed record newer than the transaction's
-    // epoch would be shadowed by committing under it.
-    if (akey_latest_epoch(op.oid, op.dkey, op.akey) > entry.epoch) return Errno::tx_restart;
+    // epoch would be shadowed by committing under it. Equal epochs conflict
+    // too: hlc_client keys client epochs by only 7 node bits, so two clients
+    // whose node ids collide mod 128 can mint the same epoch within one
+    // virtual nanosecond — committing would silently overwrite the earlier
+    // value (insert_sorted replaces same-epoch records) instead of losing
+    // the race detectably.
+    if (akey_latest_epoch(op.oid, op.dkey, op.akey) >= entry.epoch) return Errno::tx_restart;
   }
   dtx_prepared_.emplace(entry.id, std::move(entry));
   return Errno::ok;

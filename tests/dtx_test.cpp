@@ -216,6 +216,30 @@ TEST(DtxVos, LostUpdateConflictsWithNewerCommittedRecord) {
             Errno::ok);
 }
 
+TEST(DtxVos, EqualEpochCommitConflictsInsteadOfSilentOverwrite) {
+  vos::VosContainer c(vos::PayloadMode::store);
+  const auto oid = client::make_oid(1, ObjClass::S1);
+  // hlc_client keys client epochs by only 7 node bits: two clients whose
+  // node ids collide mod 128 mint the SAME epoch in the same virtual
+  // nanosecond.
+  const vos::Epoch ep = vos::hlc_client(10, 1);
+  ASSERT_EQ(vos::hlc_client(10, 0x80 | 1), ep);
+
+  auto e1 = make_entry(1, ep, {kv_op(oid, "d", "a", "first")});
+  const vos::DtxId id1 = e1.id;
+  ASSERT_EQ(c.dtx_prepare(std::move(e1)), Errno::ok);
+  EXPECT_TRUE(c.dtx_commit(id1));
+
+  // A second transaction at the equal epoch must conflict: committing it
+  // would silently replace the first value (insert_sorted overwrites
+  // same-epoch records) — an undetected lost update, not a visible race.
+  EXPECT_EQ(c.dtx_prepare(make_entry(2, ep, {kv_op(oid, "d", "a", "second")})),
+            Errno::tx_restart);
+  const auto v = c.kv_get(oid, "d", "a", vos::kEpochMax);
+  ASSERT_TRUE(v.exists);
+  EXPECT_EQ(str(v), "first");
+}
+
 TEST(DtxVos, DecisionsAreStickyAndIdempotent) {
   vos::VosContainer c(vos::PayloadMode::store);
   const auto oid = client::make_oid(1, ObjClass::S1);
@@ -686,6 +710,65 @@ CoTask<void> raw_decide(client::DaosClient& cl, const pool::PoolMap& map, std::u
   *out = rep.status;
 }
 
+// Snapshot-stable reads (placed here because it freezes a transaction
+// between 2PC phases with the raw helpers above): a transaction prepared
+// BELOW a snapshot epoch must not pop into the snapshot retroactively when
+// it commits. The engine parks the epoch-bounded read until the prepared
+// entry settles, so the first snapshot read already sees the commit and
+// every later read of the same snapshot agrees with it.
+TEST(DtxCluster, SnapshotReadsAreStableAgainstInFlightCommits) {
+  Testbed tb(small_cluster());
+  tb.start();
+  tb.run([&]() -> CoTask<void> {
+    auto& cl = tb.client(0);
+    CO_ASSERT_OK(co_await cl.cont_create(kPoolUuid, {}));
+    const auto& map = tb.pool_map();
+    const auto oid = client::make_oid(1, ObjClass::S1);
+    const auto layout = client::compute_group_layout(oid, 1, 1, map);
+    const std::uint32_t mt = layout.at(0, 0);
+
+    // Prepare below the snapshot, snapshot, THEN commit: the classic
+    // unstable-read interleaving.
+    const vos::DtxId id{9999, 6};
+    const vos::Epoch ep = cl.tx_alloc_epoch();
+    Errno rc = Errno::ok;
+    co_await raw_prepare(cl, map, mt, /*leader=*/mt, id, ep, oid, "d", "staged", &rc);
+    CO_ASSERT_ERRNO(rc, Errno::ok);
+    auto snap = co_await cl.snapshot_create(kPoolUuid);
+    CO_ASSERT_OK(snap);
+    const vos::Epoch s = *snap;
+    CO_ASSERT_TRUE(s > ep);
+
+    client::KvObject kv(cl, kPoolUuid, oid);
+    // Plain (present-time) reads never wait on prepared entries.
+    CO_ASSERT_ERRNO((co_await kv.get("d", "a")).error(), Errno::no_entry);
+
+    // Commit lands 200ms later, from a second client.
+    Errno drc = Errno::ok;
+    sim::WaitGroup wg(tb.sched());
+    wg.spawn([&]() -> CoTask<void> {
+      co_await tb.sched().delay(200 * sim::kMs);
+      co_await raw_decide(tb.client(1), map, mt, engine::kOpTxCommit, id, &drc);
+    });
+
+    // The snapshot read blocks until the commit settles instead of answering
+    // no_entry now and "staged" on the next read of the SAME epoch.
+    const sim::Time t0 = tb.sched().now();
+    auto r1 = co_await kv.get("d", "a", s);
+    CO_ASSERT_OK(r1);
+    CO_ASSERT_EQ(str(*r1), "staged");
+    CO_ASSERT_TRUE(tb.sched().now() - t0 >= 200 * sim::kMs);
+    co_await wg.wait();
+    CO_ASSERT_ERRNO(drc, Errno::ok);
+
+    // Re-reading the snapshot agrees with the first read.
+    auto r2 = co_await kv.get("d", "a", s);
+    CO_ASSERT_OK(r2);
+    CO_ASSERT_EQ(str(*r2), "staged");
+  });
+  tb.stop();
+}
+
 TEST(DtxFault, OrphanedPrepareIsReapedAndAborted) {
   Testbed tb(small_cluster());
   tb.start();
@@ -914,6 +997,192 @@ TEST(DtxFault, CrashedParticipantEvictsAndTxRestages) {
   });
   // The eviction opened a rebuild task; let it settle before teardown.
   EXPECT_TRUE(tb.wait_rebuild());
+  tb.stop();
+}
+
+TEST(DtxFault, ParticipantOrphanFencesLeaderBeforeLocalAbort) {
+  Testbed tb(small_cluster());
+  tb.start();
+  tb.run([&]() -> CoTask<void> {
+    auto& cl = tb.client(0);
+    CO_ASSERT_OK(co_await cl.cont_create(kPoolUuid, {}));
+    const auto& map = tb.pool_map();
+
+    // A replicated object whose leader and follower shards live on DIFFERENT
+    // engines, so the fence is a real cross-engine RPC.
+    vos::ObjId oid{};
+    std::uint32_t leader = 0;
+    std::uint32_t follower = 0;
+    bool found = false;
+    for (std::uint64_t seq = 1; seq < 500 && !found; ++seq) {
+      const auto cand = client::make_oid(seq, ObjClass::RP_2G1);
+      const auto layout = client::compute_group_layout(cand, 1, 2, map);
+      const std::uint32_t lo = std::min(layout.at(0, 0), layout.at(0, 1));
+      const std::uint32_t hi = std::max(layout.at(0, 0), layout.at(0, 1));
+      if (map.targets[lo].engine != map.targets[hi].engine) {
+        oid = cand;
+        leader = lo;
+        follower = hi;
+        found = true;
+      }
+    }
+    CO_ASSERT_TRUE(found);
+    const std::uint32_t fei = engine_index(tb, map.targets[follower].engine);
+
+    // The coordinator prepares ONLY the follower and dies: the leader never
+    // hears of the transaction (its prepare could still be in flight).
+    const vos::DtxId id{9999, 7};
+    Errno rc = Errno::ok;
+    co_await raw_prepare(cl, map, follower, leader, id, cl.tx_alloc_epoch(), oid, "d",
+                         "fenced", &rc);
+    CO_ASSERT_ERRNO(rc, Errno::ok);
+    CO_ASSERT_EQ(shard_of(tb, leader).dtx_state(id), vos::DtxState::unknown);
+
+    // The follower's reaper resolves `unknown` at the leader past the orphan
+    // timeout. It must NOT just abort locally: it plants a sticky abort at
+    // the leader first, closing the door on any late prepare+commit there.
+    co_await tb.sched().delay(tb.dtx_service(fei).config().orphan_timeout + 2 * sim::kSec);
+    CO_ASSERT_EQ(shard_of(tb, leader).dtx_state(id), vos::DtxState::aborted);
+    CO_ASSERT_EQ(shard_of(tb, follower).dtx_state(id), vos::DtxState::aborted);
+    CO_ASSERT_TRUE(tb.dtx_service(fei).orphans_aborted() >= 1);
+
+    // The late coordinator now bounces off the fence at every step: the
+    // delayed prepare is refused, and so is a commit attempt — no path
+    // reports this transaction committed.
+    co_await raw_prepare(cl, map, leader, leader, id, cl.tx_alloc_epoch(), oid, "d",
+                         "late", &rc);
+    CO_ASSERT_ERRNO(rc, Errno::tx_restart);
+    co_await raw_decide(cl, map, leader, engine::kOpTxCommit, id, &rc);
+    CO_ASSERT_ERRNO(rc, Errno::tx_restart);
+    client::KvObject kv(cl, kPoolUuid, oid);
+    CO_ASSERT_ERRNO((co_await kv.get("d", "a")).error(), Errno::no_entry);
+  });
+  tb.stop();
+}
+
+TEST(DtxFault, ExcludedLeaderEngineAbandonsPreparedEntry) {
+  Testbed tb(small_cluster());
+  tb.start();
+  tb.run([&]() -> CoTask<void> {
+    auto& cl = tb.client(0);
+    CO_ASSERT_OK(co_await cl.cont_create(kPoolUuid, {}));
+    const auto& map = tb.pool_map();
+    const net::NodeId doomed = tb.engine(3).node();  // no svc replica there
+
+    // One S1 key on engine 3 (its shard will be the dead leader, and a
+    // transaction against it drives the eviction) and one off it (the
+    // surviving participant holding the stuck prepared entry).
+    vos::ObjId on3{};
+    vos::ObjId off3{};
+    std::uint32_t lt = 0;
+    std::uint32_t ft = 0;
+    bool f1 = false;
+    bool f2 = false;
+    for (std::uint64_t seq = 1; seq < 500 && !(f1 && f2); ++seq) {
+      const auto cand = client::make_oid(seq, ObjClass::S1);
+      const auto layout = client::compute_group_layout(cand, 1, 1, map);
+      const std::uint32_t t = layout.at(0, 0);
+      if (!f1 && map.targets[t].engine == doomed) {
+        on3 = cand;
+        lt = t;
+        f1 = true;
+      } else if (!f2 && map.targets[t].engine != doomed) {
+        off3 = cand;
+        ft = t;
+        f2 = true;
+      }
+    }
+    CO_ASSERT_TRUE(f1 && f2);
+    const std::uint32_t fei = engine_index(tb, map.targets[ft].engine);
+
+    const vos::DtxId id{9999, 8};
+    Errno rc = Errno::ok;
+    co_await raw_prepare(cl, map, ft, /*leader=*/lt, id, cl.tx_alloc_epoch(), off3, "d",
+                         "stuck", &rc);
+    CO_ASSERT_ERRNO(rc, Errno::ok);
+
+    // The leader engine dies for good and is evicted through the usual
+    // client path: a transaction against its key exhausts retries, reports
+    // the eviction, and restages against the refreshed map.
+    tb.crash_engine(3);
+    CO_ASSERT_ERRNO(co_await cl.run_tx(kPoolUuid,
+                                       [&](client::TxHandle& tx) -> CoTask<Errno> {
+                                         tx.kv_put(on3, "d", "a", bytes("replaced"));
+                                         co_return Errno::ok;
+                                       }),
+                    Errno::ok);
+    CO_ASSERT_TRUE(cl.evictions_reported() >= 1);
+
+    // With the leader engine EXCLUDED in the pool map, the participant's
+    // reaper abandons the entry instead of resolving against it forever —
+    // the aggregation floor is released.
+    co_await tb.sched().delay(8 * sim::kSec);
+    CO_ASSERT_EQ(shard_of(tb, ft).dtx_state(id), vos::DtxState::aborted);
+    CO_ASSERT_TRUE(tb.dtx_service(fei).orphans_aborted() >= 1);
+    CO_ASSERT_EQ(shard_of(tb, ft).dtx_prepared_count(), 0u);
+    CO_ASSERT_EQ(shard_of(tb, ft).dtx_min_prepared_epoch(), vos::kEpochMax);
+  });
+  // The eviction opened a rebuild task; let it settle before teardown.
+  EXPECT_TRUE(tb.wait_rebuild());
+  tb.stop();
+}
+
+TEST(DtxFault, UnreachableLeaderBackstopAbandonsPreparedEntry) {
+  Testbed tb(small_cluster());
+  tb.start();
+  tb.run([&]() -> CoTask<void> {
+    auto& cl = tb.client(0);
+    CO_ASSERT_OK(co_await cl.cont_create(kPoolUuid, {}));
+    const auto& map = tb.pool_map();
+    const net::NodeId doomed = tb.engine(3).node();
+
+    vos::ObjId off3{};
+    std::uint32_t lt = 0;
+    std::uint32_t ft = 0;
+    bool f1 = false;
+    bool f2 = false;
+    for (std::uint64_t seq = 1; seq < 500 && !(f1 && f2); ++seq) {
+      const auto cand = client::make_oid(seq, ObjClass::S1);
+      const auto layout = client::compute_group_layout(cand, 1, 1, map);
+      const std::uint32_t t = layout.at(0, 0);
+      if (!f1 && map.targets[t].engine == doomed) {
+        lt = t;
+        f1 = true;
+      } else if (!f2 && map.targets[t].engine != doomed) {
+        off3 = cand;
+        ft = t;
+        f2 = true;
+      }
+    }
+    CO_ASSERT_TRUE(f1 && f2);
+    const std::uint32_t fei = engine_index(tb, map.targets[ft].engine);
+
+    const vos::DtxId id{9999, 9};
+    Errno rc = Errno::ok;
+    co_await raw_prepare(cl, map, ft, /*leader=*/lt, id, cl.tx_alloc_epoch(), off3, "d",
+                         "limbo", &rc);
+    CO_ASSERT_ERRNO(rc, Errno::ok);
+
+    // The leader engine crashes but is NEVER evicted: no client traffic
+    // touches it, so the pool map keeps reporting it healthy and the
+    // exclusion check keeps answering no.
+    tb.crash_engine(3);
+
+    // Well past the orphan timeout the entry is still prepared — a merely
+    // unreachable leader is not authoritative evidence by itself.
+    co_await tb.sched().delay(4 * sim::kSec);
+    CO_ASSERT_EQ(shard_of(tb, ft).dtx_state(id), vos::DtxState::prepared);
+
+    // But the consecutive-failed-resolve backstop eventually is: the entry
+    // cannot pin dtx_min_prepared_epoch (and aggregation) forever. Each
+    // failed resolve eats the 100ms RPC timeout on top of the reap tick, so
+    // 16 of them take ~7.5s from the prepare.
+    co_await tb.sched().delay(6 * sim::kSec);
+    CO_ASSERT_EQ(shard_of(tb, ft).dtx_state(id), vos::DtxState::aborted);
+    CO_ASSERT_TRUE(tb.dtx_service(fei).orphans_aborted() >= 1);
+    CO_ASSERT_EQ(shard_of(tb, ft).dtx_prepared_count(), 0u);
+    CO_ASSERT_EQ(shard_of(tb, ft).dtx_min_prepared_epoch(), vos::kEpochMax);
+  });
   tb.stop();
 }
 
