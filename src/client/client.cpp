@@ -31,7 +31,8 @@ constexpr int kMaxPlaceRounds = 3;
 // Trace-digest tags for recovery actions (arbitrary distinct constants,
 // xor-combined with the affected engine/version).
 constexpr std::uint64_t kTraceEvictReport = 0xFA17E001'0000'0000ULL;
-constexpr std::uint64_t kTraceMapRefresh = 0xFA17E002'0000'0000ULL;
+// 0xFA17E002 (map refresh) and 0xFA17E014/15 (staleness/delta apply) live in
+// client/refresh.cpp.
 constexpr std::uint64_t kTraceRefreshFail = 0xFA17E003'0000'0000ULL;
 constexpr std::uint64_t kTraceDataLoss = 0xFA17E004'0000'0000ULL;
 
@@ -76,6 +77,10 @@ DaosClient::DaosClient(net::RpcDomain& domain, net::NodeId node, pool::PoolMap m
   metrics_.add_probe("evictions_reported", [this] { return evictions_; });
   metrics_.add_probe("degraded/data_loss", [this] { return data_loss_; });
   metrics_.add_probe("map_refreshes", [this] { return map_refreshes_; });
+  metrics_.add_probe("map/delta_fetches", [this] { return map_delta_fetches_; });
+  metrics_.add_probe("map/full_fetches", [this] { return map_full_fetches_; });
+  metrics_.add_probe("map/piggyback_staleness_detected",
+                     [this] { return map_staleness_detected_; });
 }
 
 // ---------------------------------------------------------------------------
@@ -133,6 +138,15 @@ sim::CoTask<net::Reply> DaosClient::call_target(std::uint32_t map_target, std::u
     co_return net::Reply{Errno::stale, 0, {}};
   }
   net::Reply r = co_await call_retry(ref.engine, opcode, std::move(body), wire_bytes);
+  if (r.map_version > map_.version) {
+    // IV piggyback: the reply is stamped with a newer pool-map version than
+    // ours. Pull the missing deltas (single-flight, from the very engine that
+    // revealed the staleness) before returning, so the caller re-places
+    // against a current map without anyone polling the leader. Timed-out
+    // replies carry map_version 0 and never trigger this.
+    ++map_staleness_detected_;
+    co_await refresh_to_version(r.map_version, ref.engine);
+  }
   if (r.status != Errno::timed_out) co_return r;
   // The whole attempt budget burned: suspect the engine (DOWN), report it for
   // eviction, and hand Errno::stale to the caller so it re-places against the
@@ -176,34 +190,9 @@ void DaosClient::note_data_loss(vos::ObjId oid, std::uint32_t group) {
   sched_.trace_note(kTraceDataLoss ^ oid.lo ^ group);
 }
 
-sim::CoTask<Result<void>> DaosClient::refresh_pool_map() {
-  ++map_refreshes_;
-  auto res = co_await svc_command("map_query");
-  if (!res.ok()) co_return res.error();
-  std::istringstream is(*res);
-  std::string status;
-  std::uint32_t version = 0;
-  std::size_t count = 0;
-  is >> status >> version >> count;
-  if (status != "ok") co_return Errno::io;
-  std::set<net::NodeId> excluded;
-  for (std::size_t i = 0; i < count; ++i) {
-    net::NodeId e = 0;
-    is >> e;
-    excluded.insert(e);
-  }
-  if (version <= map_.version) co_return Result<void>{};
-  map_.version = version;
-  for (auto& t : map_.targets) {
-    if (excluded.contains(t.engine)) {
-      t.health = pool::TargetHealth::excluded;
-    } else if (t.health == pool::TargetHealth::excluded) {
-      t.health = pool::TargetHealth::up;  // reintegrated
-    }
-  }
-  sched_.trace_note(kTraceMapRefresh ^ version);
-  co_return Result<void>{};
-}
+// DaosClient::refresh_pool_map / refresh_to_version / apply_map_deltas live
+// in client/refresh.cpp — the only client module allowed to issue the raw
+// leader map query (direct-map-query lint rule).
 
 sim::CoTask<Result<void>> DaosClient::pool_reint(net::NodeId engine) {
   auto res = co_await svc_command(strfmt("pool_reint %u", engine));

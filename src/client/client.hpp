@@ -214,8 +214,13 @@ class DaosClient {
   sim::CoTask<net::Reply> call_target(std::uint32_t map_target, std::uint16_t opcode,
                                       net::Body body, std::uint64_t wire_bytes);
 
-  /// Re-fetches pool-map health state (map_query) from the pool service and
-  /// applies it to the local map if the version advanced.
+  /// Re-fetches pool-map health state from the pool service with a point
+  /// query and applies it to the local map if the version advanced. The slow
+  /// path: the IV piggyback (call_target noticing a newer version stamped on
+  /// a reply) fetches version deltas from an engine instead, and only falls
+  /// back here when no engine can serve them. Defined in client/refresh.cpp —
+  /// the only module allowed to issue the raw leader query (enforced by the
+  /// direct-map-query lint rule).
   sim::CoTask<Result<void>> refresh_pool_map();
 
   /// Admin reintegration (the `dmg pool reintegrate` equivalent): clears the
@@ -230,6 +235,10 @@ class DaosClient {
 
   std::uint64_t rpcs_sent() const { return ep_.calls_made(); }
   std::uint64_t evictions_reported() const { return evictions_; }
+  std::uint64_t map_refreshes() const { return map_refreshes_; }
+  std::uint64_t map_delta_fetches() const { return map_delta_fetches_; }
+  std::uint64_t map_full_fetches() const { return map_full_fetches_; }
+  std::uint64_t map_staleness_detected() const { return map_staleness_detected_; }
   std::uint64_t data_loss_events() const { return data_loss_; }
   const std::string& last_data_loss() const { return last_data_loss_; }
 
@@ -273,6 +282,19 @@ class DaosClient {
                                     std::shared_ptr<PendingCall> st);
   sim::CoTask<void> report_engine_failure(net::NodeId engine);
 
+  // --- IV map refresh (client/refresh.cpp) ---
+
+  /// Piggyback staleness reaction: pulls the pool map forward to at least
+  /// `version` by fetching version deltas (kOpMapFetch) from `source` — the
+  /// engine whose reply revealed the staleness — falling back to the full
+  /// point query when the engine can't serve deltas. Single-flight: while one
+  /// refresh is in flight, concurrent triggers wait on its gate instead of
+  /// issuing their own fetch.
+  sim::CoTask<void> refresh_to_version(std::uint32_t version, net::NodeId source);
+  /// Applies a fetched delta suffix to the local map (health flips per
+  /// entry), then advances map_.version to `latest`.
+  void apply_map_deltas(std::uint32_t latest, const std::vector<engine::MapDeltaEntry>& deltas);
+
   net::RpcEndpoint ep_;
   sim::Scheduler& sched_;
   pool::PoolMap map_;
@@ -297,9 +319,18 @@ class DaosClient {
   /// the eviction, later callers wait on its gate. std::map: iteration order
   /// must never depend on addresses (determinism).
   std::map<net::NodeId, std::shared_ptr<sim::Event>> evict_gates_;
+  /// Single-flight gate for refresh_to_version (same idiom as evict_gates_,
+  /// but one gate: the map is client-global, so any in-flight refresh serves
+  /// every concurrent staleness trigger).
+  std::shared_ptr<sim::Event> refresh_gate_;
   std::uint64_t evictions_ = 0;
   std::uint64_t data_loss_ = 0;
   std::uint64_t map_refreshes_ = 0;
+  /// IV accounting (exported as map/delta_fetches, map/full_fetches,
+  /// map/piggyback_staleness_detected — see docs/membership.md).
+  std::uint64_t map_delta_fetches_ = 0;
+  std::uint64_t map_full_fetches_ = 0;
+  std::uint64_t map_staleness_detected_ = 0;
   std::string last_data_loss_;
 };
 

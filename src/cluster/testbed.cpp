@@ -27,6 +27,9 @@ Testbed::Testbed(ClusterConfig cfg) : cfg_(cfg), fabric_(sched_, cfg.fabric) {
   domain_->name_opcode(engine::kOpTxAbort, "tx_abort");
   domain_->name_opcode(engine::kOpTxResolve, "tx_resolve");
   domain_->name_opcode(engine::kOpContAggregate, "cont_aggregate");
+  domain_->name_opcode(engine::kOpSwimPing, "swim_ping");
+  domain_->name_opcode(engine::kOpSwimPingReq, "swim_ping_req");
+  domain_->name_opcode(engine::kOpMapFetch, "map_fetch");
 
   // Engines: one fabric node per engine (each socket binds one rail of the
   // server's dual-rail NIC), one DCPMM interleave set per socket.
@@ -69,6 +72,28 @@ Testbed::Testbed(ClusterConfig cfg) : cfg_(cfg), fabric_(sched_, cfg.fabric) {
     dtxs_.push_back(std::make_unique<dtx::DtxService>(*eng, map_, svc_nodes_, cfg_.dtx));
   }
 
+  // One SWIM service per engine: failure-detector probes (only when enabled)
+  // plus the always-on kOpMapFetch handler of the IV dissemination tree.
+  // Engines co-located with a pool-service replica are tree roots: they read
+  // the Raft-committed map state directly instead of fetching over RPC.
+  std::vector<net::NodeId> engine_nodes;
+  for (auto& eng : engines_) engine_nodes.push_back(eng->node());
+  for (std::uint32_t e = 0; e < total_engines; ++e) {
+    swims_.push_back(std::make_unique<swim::SwimService>(
+        *engines_[e], e, engine_nodes, svc_nodes_, cfg_.swim, cfg_.seed + 0x5717 + e));
+  }
+  for (std::uint32_t s = 0; s < nsvc; ++s) {
+    pool::PoolServiceReplica* rep = svc_[s].get();
+    swims_[s]->set_local_map_source([rep](std::uint32_t since) {
+      engine::MapFetchResp resp;
+      resp.latest_version = rep->meta().map_version();
+      for (const auto& d : rep->meta().deltas_since(since)) {
+        resp.deltas.push_back(engine::MapDeltaEntry{d.version, d.engine, d.excluded});
+      }
+      return resp;
+    });
+  }
+
   // Client nodes (dual-rail NICs) with one DaosClient each.
   for (std::uint32_t c = 0; c < cfg_.client_nodes; ++c) {
     const net::NodeId node = fabric_.add_node();
@@ -85,6 +110,9 @@ void Testbed::start() {
   DAOSIM_REQUIRE(!started_, "testbed already started");
   for (auto& s : svc_) s->start();
   for (auto& d : dtxs_) d->start();
+  if (cfg_.swim.enabled) {
+    for (auto& w : swims_) w->start();
+  }
   started_ = true;
   // Run until the pool service has a leader.
   const sim::Time deadline = sched_.now() + 10 * sim::kSec;
@@ -101,6 +129,7 @@ void Testbed::stop() {
   if (!started_) return;
   for (auto& s : svc_) s->stop();
   for (auto& d : dtxs_) d->stop();
+  for (auto& w : swims_) w->stop();
   started_ = false;
   sched_.run();  // drain retired service loops
 }
@@ -162,6 +191,9 @@ void Testbed::restart_engine(std::uint32_t i) {
   // the crash are resolved against their leader shards shortly after the
   // endpoint reopens.
   dtxs_[i]->note_restart();
+  // Bump the SWIM incarnation past any suspicion accrued while down, so the
+  // engine refutes instead of being (re-)declared dead on rejoin.
+  swims_[i]->note_restart();
   engines_[i]->endpoint().set_down(false);
   for (std::uint32_t s = 0; s < svc_.size(); ++s) {
     if (svc_nodes_[s] == node && !svc_[s]->raft().running()) svc_[s]->raft().restart();

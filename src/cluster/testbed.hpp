@@ -19,6 +19,7 @@
 #include "pool/pool_service.hpp"
 #include "rebuild/rebuild.hpp"
 #include "sim/scheduler.hpp"
+#include "swim/swim.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace daosim::cluster {
@@ -37,6 +38,7 @@ struct ClusterConfig {
   vos::PayloadMode payload = vos::PayloadMode::store;
   rebuild::RebuildConfig rebuild{};  // per-engine rebuild throttle
   dtx::DtxConfig dtx{};              // per-engine DTX reaper/resync knobs
+  swim::SwimConfig swim{};           // failure detector + IV relay; off by default
   std::uint64_t seed = 42;
 };
 
@@ -106,6 +108,9 @@ class Testbed {
   rebuild::RebuildService& rebuild_service(std::uint32_t i) { return *rebuilds_[i]; }
   /// Engine `i`'s DTX service (2PC handlers, orphan reaper, resync).
   dtx::DtxService& dtx_service(std::uint32_t i) { return *dtxs_[i]; }
+  /// Engine `i`'s SWIM failure detector / IV map relay (probing only when
+  /// ClusterConfig::swim.enabled; the kOpMapFetch handler always serves).
+  swim::SwimService& swim_service(std::uint32_t i) { return *swims_[i]; }
   /// Barrier: runs the simulation until the pool service's Raft-committed
   /// rebuild state shows no incomplete task (every eviction healed, every
   /// reintegration resynced). Returns false if `timeout` virtual time passes
@@ -148,6 +153,7 @@ class Testbed {
   std::vector<net::NodeId> svc_nodes_;
   std::vector<std::unique_ptr<rebuild::RebuildService>> rebuilds_;  // one per engine
   std::vector<std::unique_ptr<dtx::DtxService>> dtxs_;              // one per engine
+  std::vector<std::unique_ptr<swim::SwimService>> swims_;           // one per engine
   std::vector<std::unique_ptr<client::DaosClient>> clients_;
   pool::PoolMap map_;
   /// Declared after domain_/engines_/svc_: the injector's destructor

@@ -27,6 +27,7 @@ Engine::Engine(net::RpcDomain& domain, net::NodeId node, media::DcpmmInterleaveS
         &metrics_.find_or_create<telemetry::StatGauge>(strfmt("target/%u/queue_depth", i));
   }
   ep_.set_telemetry(&metrics_);
+  ep_.set_map_version_source([this] { return cached_map_version_; });
   update_extents_ = &metrics_.find_or_create<telemetry::DurationHistogram>(
       "rpc/obj_update/extents_per_rpc");
   fetch_extents_ = &metrics_.find_or_create<telemetry::DurationHistogram>(

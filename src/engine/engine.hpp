@@ -83,6 +83,14 @@ class Engine {
   std::uint64_t fetches_served() const { return fetches_; }
   std::uint64_t shard_cache_misses() const { return cache_misses_; }  // stream-context misses
 
+  /// The engine's cached pool-map version, stamped on every reply this
+  /// endpoint serves (the IV piggyback — see docs/membership.md). Starts at
+  /// 1, the version of the map handed out at connect; the SwimService
+  /// advances it as deltas disseminate. With SWIM off it never moves, so
+  /// clients see no staleness signal and legacy behavior is unchanged.
+  std::uint32_t cached_map_version() const { return cached_map_version_; }
+  void set_cached_map_version(std::uint32_t v) { cached_map_version_ = v; }
+
   /// This engine's metric tree ("engine/<node>"): per-opcode service-time
   /// histograms, per-target queue-depth stat gauges, VOS index probes, plus
   /// the endpoint's RPC metrics. The rebuild service hangs its counters
@@ -137,6 +145,7 @@ class Engine {
   std::uint64_t updates_ = 0;
   std::uint64_t fetches_ = 0;
   std::uint64_t cache_misses_ = 0;
+  std::uint32_t cached_map_version_ = 1;
 };
 
 }  // namespace daosim::engine

@@ -41,6 +41,14 @@ constexpr std::uint16_t kOpTxAbort = 0x52;
 constexpr std::uint16_t kOpTxResolve = 0x53;
 constexpr std::uint16_t kOpContAggregate = 0x54;
 
+// SWIM + IV opcodes (0x60 block): engine-to-engine failure-detector probes
+// (direct ping and indirect ping-req through a witness) and the incremental
+// pool-map delta fetch every engine serves from its locally relayed delta
+// log. Served by the engine-side SwimService (src/swim).
+constexpr std::uint16_t kOpSwimPing = 0x60;
+constexpr std::uint16_t kOpSwimPingReq = 0x61;
+constexpr std::uint16_t kOpMapFetch = 0x62;
+
 /// Fixed per-message protocol overhead added to payload sizes.
 constexpr std::uint64_t kObjRpcHeader = 256;
 
@@ -296,6 +304,66 @@ struct PoolSvcReq {
 struct PoolSvcResp {
   std::string response;                      // state machine output
   std::optional<net::NodeId> leader_hint{};  // when redirected
+};
+
+/// SWIM gossip: one member's state as known to the sender, piggybacked on
+/// every probe and ack. `suspect` carries the suspicion (a member seeing
+/// itself suspected refutes by bumping its incarnation).
+struct SwimMemberUpdate {
+  net::NodeId member = 0;
+  std::uint64_t incarnation = 0;
+  bool suspect = false;
+};
+
+/// Direct probe (kOpSwimPing). The piggyback rides both ways: the request
+/// carries the prober's freshest updates, the ack the target's. `map_version`
+/// is the sender's cached pool-map version — the IV dissemination signal
+/// between engines (clients get the same signal via net::Reply::map_version).
+struct SwimPingReq {
+  net::NodeId from = 0;
+  std::uint32_t map_version = 0;
+  std::vector<SwimMemberUpdate> updates;
+};
+
+struct SwimPingResp {
+  std::uint32_t map_version = 0;
+  std::vector<SwimMemberUpdate> updates;
+  /// Witness acks only: whether the indirect ping reached the subject.
+  /// Always true on a direct ack.
+  bool subject_acked = true;
+};
+
+/// Indirect probe (kOpSwimPingReq): prober -> witness, asking the witness to
+/// ping `subject` on its behalf. The witness's ack relays the subject's
+/// piggyback when the indirect ping succeeds.
+struct SwimPingReqReq {
+  net::NodeId from = 0;
+  net::NodeId subject = 0;
+  std::uint32_t map_version = 0;
+  std::vector<SwimMemberUpdate> updates;
+};
+
+/// One committed pool-map membership change, as recorded in the pool
+/// service's delta log: at `version` the engine became excluded (eviction)
+/// or un-excluded (reintegration).
+struct MapDeltaEntry {
+  std::uint32_t version = 0;
+  net::NodeId engine = 0;
+  bool excluded = false;
+};
+
+/// IV delta fetch (kOpMapFetch): give me every membership change committed
+/// after `since`. Any engine answers from its locally relayed delta log; the
+/// pool-service roots answer from the Raft-replicated state machine.
+struct MapFetchReq {
+  std::uint32_t since = 0;
+};
+
+struct MapFetchResp {
+  /// The responder's latest map version. May exceed the last delta's version:
+  /// rebuild requeues bump the version without changing membership.
+  std::uint32_t latest_version = 0;
+  std::vector<MapDeltaEntry> deltas;
 };
 
 }  // namespace daosim::engine

@@ -1,5 +1,6 @@
 #include "fault/fault.hpp"
 
+#include <algorithm>
 #include <charconv>
 
 namespace daosim::fault {
@@ -10,6 +11,7 @@ namespace {
 // tag ^ detail, keeping fault runs bit-reproducible end to end.
 constexpr std::uint64_t kTraceFault = 0xFA017'0000'0000ULL;
 constexpr std::uint64_t kTraceDrop = 0xFA0D2'0000'0000ULL;
+constexpr std::uint64_t kTracePartition = 0xFA0D3'0000'0000ULL;
 
 /// Parses "200ms" / "1.5s" / "300us" / bare seconds. Returns false on junk.
 bool parse_time(std::string_view s, sim::Time& out) {
@@ -48,6 +50,26 @@ bool parse_selector(std::string_view s, std::uint32_t& engine, std::uint32_t* ta
   return ec2 == std::errc{} && p2 == tpart.data() + tpart.size() && !tpart.empty();
 }
 
+/// Parses one bare engine token "eN" (no '.' target part, no wildcard).
+bool parse_engine_token(std::string_view s, std::uint32_t& engine) {
+  if (s.size() < 2 || s[0] != 'e') return false;
+  s.remove_prefix(1);
+  auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), engine);
+  return ec == std::errc{} && p == s.data() + s.size();
+}
+
+/// Parses a partition group: '+'-joined engine tokens, e.g. "e0+e1+e5".
+bool parse_group(std::string_view s, std::vector<std::uint32_t>& out) {
+  for (;;) {
+    const std::size_t plus = s.find('+');
+    std::uint32_t e = 0;
+    if (!parse_engine_token(s.substr(0, plus), e)) return false;
+    out.push_back(e);
+    if (plus == std::string_view::npos) return true;
+    s = s.substr(plus + 1);
+  }
+}
+
 /// Splits "T" or "T1-T2" at the dash (the dash never appears inside a time).
 bool parse_time_range(std::string_view s, sim::Time& from, sim::Time& until, bool window) {
   const std::size_t dash = s.find('-');
@@ -68,6 +90,7 @@ const char* to_string(Kind k) {
     case Kind::drop: return "drop";
     case Kind::delay: return "delay";
     case Kind::stall: return "stall";
+    case Kind::partition: return "partition";
   }
   return "?";
 }
@@ -102,6 +125,23 @@ Schedule& Schedule::stall(sim::Time at, std::uint32_t engine, std::uint32_t targ
                           sim::Time duration) {
   DAOSIM_REQUIRE(duration > 0, "stall duration must be positive");
   events_.push_back(Event{Kind::stall, at, 0, engine, target, 1.0, duration});
+  return *this;
+}
+
+Schedule& Schedule::partition(sim::Time from, sim::Time until,
+                              std::vector<std::uint32_t> group_a,
+                              std::vector<std::uint32_t> group_b, bool oneway) {
+  DAOSIM_REQUIRE(until > from, "empty partition window");
+  DAOSIM_REQUIRE(!group_a.empty() && !group_b.empty(), "empty partition group");
+  for (std::uint32_t a : group_a) {
+    DAOSIM_REQUIRE(std::find(group_b.begin(), group_b.end(), a) == group_b.end(),
+                   "engine %u on both sides of a partition", a);
+  }
+  Event ev{Kind::partition, from, until, 0, 0, 1.0, 0};
+  ev.group_a = std::move(group_a);
+  ev.group_b = std::move(group_b);
+  ev.oneway = oneway;
+  events_.push_back(std::move(ev));
   return *this;
 }
 
@@ -159,6 +199,24 @@ Result<Schedule> Schedule::parse(std::string_view spec) {
       sim::Time duration = 0;
       if (!parse_time(arg_str, duration) || duration == 0) return Errno::invalid;
       out.stall(from, engine, target, duration);
+    } else if (kind_str == "partition") {
+      if (!parse_time_range(time_str, from, until, /*window=*/true)) return Errno::invalid;
+      if (!arg_str.empty()) return Errno::invalid;
+      // groupA|groupB severs both directions; groupA>groupB only A->B.
+      std::size_t sep = sel_str.find('|');
+      bool oneway = false;
+      if (sep == std::string_view::npos) {
+        sep = sel_str.find('>');
+        oneway = true;
+      }
+      if (sep == std::string_view::npos) return Errno::invalid;
+      std::vector<std::uint32_t> ga, gb;
+      if (!parse_group(sel_str.substr(0, sep), ga)) return Errno::invalid;
+      if (!parse_group(sel_str.substr(sep + 1), gb)) return Errno::invalid;
+      for (std::uint32_t a : ga) {
+        if (std::find(gb.begin(), gb.end(), a) != gb.end()) return Errno::invalid;
+      }
+      out.partition(from, until, std::move(ga), std::move(gb), oneway);
     } else {
       return Errno::invalid;
     }
@@ -169,6 +227,15 @@ Result<Schedule> Schedule::parse(std::string_view spec) {
 Result<void> Schedule::validate(std::uint32_t engine_count,
                                 std::uint32_t targets_per_engine) const {
   for (const Event& ev : events_) {
+    if (ev.kind == Kind::partition) {
+      for (std::uint32_t e : ev.group_a) {
+        if (e >= engine_count) return Errno::invalid;
+      }
+      for (std::uint32_t e : ev.group_b) {
+        if (e >= engine_count) return Errno::invalid;
+      }
+      continue;
+    }
     if (ev.engine != kAllEngines && ev.engine >= engine_count) return Errno::invalid;
     if (ev.kind == Kind::stall && ev.target >= targets_per_engine) return Errno::invalid;
   }
@@ -221,6 +288,25 @@ void Injector::arm(const Schedule& s) {
         windows_.push_back(w);
         break;
       }
+      case Kind::partition: {
+        Window w;
+        w.kind = Kind::partition;
+        w.from = base + ev.at;
+        w.until = base + ev.until;
+        w.oneway = ev.oneway;
+        for (std::uint32_t e : ev.group_a) {
+          DAOSIM_REQUIRE(e < hooks_.engine_count, "partition names engine %u of %u", e,
+                         hooks_.engine_count);
+          w.nodes_a.push_back(hooks_.node_of(e));
+        }
+        for (std::uint32_t e : ev.group_b) {
+          DAOSIM_REQUIRE(e < hooks_.engine_count, "partition names engine %u of %u", e,
+                         hooks_.engine_count);
+          w.nodes_b.push_back(hooks_.node_of(e));
+        }
+        windows_.push_back(std::move(w));
+        break;
+      }
     }
   }
 }
@@ -244,6 +330,24 @@ bool Injector::window_matches(const Window& w, net::NodeId src, net::NodeId dst)
 
 net::CallFault Injector::on_call(net::NodeId src, net::NodeId dst) {
   net::CallFault fault;
+  // Partition windows first, and with NO rng draw: a severed link drops every
+  // matching call unconditionally, so layering a partition onto a schedule
+  // never perturbs the seeded probability stream of coexisting drop windows.
+  const sim::Time now = sched_.now();
+  for (const Window& w : windows_) {
+    if (w.kind != Kind::partition || now < w.from || now >= w.until) continue;
+    auto in = [](const std::vector<net::NodeId>& g, net::NodeId n) {
+      return std::find(g.begin(), g.end(), n) != g.end();
+    };
+    const bool a_to_b = in(w.nodes_a, src) && in(w.nodes_b, dst);
+    const bool b_to_a = in(w.nodes_b, src) && in(w.nodes_a, dst);
+    if (a_to_b || (!w.oneway && b_to_a)) {
+      fault.drop = true;
+      ++partitioned_;
+      sched_.trace_note(kTracePartition ^ (std::uint64_t(src) << 32) ^ dst);
+      return fault;
+    }
+  }
   for (const Window& w : windows_) {
     if (w.kind != Kind::drop || !window_matches(w, src, dst)) continue;
     // One rng draw per matching call: calls are dispatched in deterministic

@@ -23,7 +23,7 @@
 
 namespace daosim::fault {
 
-enum class Kind : std::uint8_t { crash, restart, drop, delay, stall };
+enum class Kind : std::uint8_t { crash, restart, drop, delay, stall, partition };
 
 const char* to_string(Kind k);
 
@@ -39,6 +39,11 @@ struct Event {
   std::uint32_t target = 0;    // stall only: target index within the engine
   double probability = 1.0;    // drop only: per-call drop probability
   sim::Time amount = 0;        // delay: per-call extra latency; stall: duration
+  // partition only: engine-index groups whose cross traffic is severed for
+  // the window. Symmetric by default; oneway drops only group_a -> group_b.
+  std::vector<std::uint32_t> group_a;
+  std::vector<std::uint32_t> group_b;
+  bool oneway = false;
 };
 
 /// An ordered list of fault events; build with the fluent methods or parse
@@ -50,12 +55,21 @@ class Schedule {
   Schedule& drop(sim::Time from, sim::Time until, std::uint32_t engine, double probability);
   Schedule& delay(sim::Time from, sim::Time until, std::uint32_t engine, sim::Time extra);
   Schedule& stall(sim::Time at, std::uint32_t engine, std::uint32_t target, sim::Time duration);
+  /// Network partition window: every RPC between `group_a` and `group_b`
+  /// (engine-index sets, disjoint and non-empty) is dropped unconditionally
+  /// while the window is open. With `oneway`, only group_a -> group_b traffic
+  /// is severed (asymmetric link failure); replies from B still cross.
+  Schedule& partition(sim::Time from, sim::Time until, std::vector<std::uint32_t> group_a,
+                      std::vector<std::uint32_t> group_b, bool oneway = false);
 
   /// Parses the comma-separated spec grammar, e.g.
   ///   crash@200ms:e3,restart@1.5s:e3,drop@0-500ms:e1:0.3,
-  ///   delay@100ms-1s:*:200us,stall@50ms:e0.2:30ms
-  /// Times take us/ms/s suffixes (bare numbers are seconds). Fails with
-  /// Errno::invalid on malformed input (including the empty string).
+  ///   delay@100ms-1s:*:200us,stall@50ms:e0.2:30ms,
+  ///   partition@1s-4s:e0+e1|e2+e3,partition@1s-4s:e0>e1
+  /// Times take us/ms/s suffixes (bare numbers are seconds). Partition groups
+  /// are '+'-joined engine selectors split by '|' (symmetric) or '>'
+  /// (one-way, left drops toward right). Fails with Errno::invalid on
+  /// malformed input (including the empty string).
   static Result<Schedule> parse(std::string_view spec);
 
   /// Checks every event against a concrete cluster shape: engine indices must
@@ -100,6 +114,7 @@ class Injector {
   std::uint64_t faults_injected() const { return injected_; }
   std::uint64_t calls_dropped() const { return dropped_; }
   std::uint64_t calls_delayed() const { return delayed_; }
+  std::uint64_t calls_partitioned() const { return partitioned_; }
 
  private:
   struct Window {
@@ -110,6 +125,11 @@ class Injector {
     bool all_nodes = false;
     double probability = 1.0;
     sim::Time amount = 0;
+    // partition only: fabric-node groups (resolved from engine indices at
+    // arm time) and the one-way flag.
+    std::vector<net::NodeId> nodes_a;
+    std::vector<net::NodeId> nodes_b;
+    bool oneway = false;
   };
 
   void fire(const Event& ev);
@@ -126,6 +146,7 @@ class Injector {
   std::uint64_t injected_ = 0;
   std::uint64_t dropped_ = 0;
   std::uint64_t delayed_ = 0;
+  std::uint64_t partitioned_ = 0;
 };
 
 }  // namespace daosim::fault

@@ -101,6 +101,11 @@ sim::CoTask<Reply> RpcEndpoint::call(NodeId dst, std::uint16_t opcode, Body body
     emit_span("!timeout");
     co_return Reply{Errno::timed_out, 0, {}};
   }
+  // IV piggyback: stamp the callee's cached pool-map version on the reply.
+  // Central so every handler gets it for free; reading the source is passive.
+  if (again->second->map_version_source_) {
+    reply.map_version = again->second->map_version_source_();
+  }
 
   co_await fabric.transfer(dst, node_, reply.wire_bytes);
   if (m) {

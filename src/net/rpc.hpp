@@ -49,6 +49,11 @@ struct Reply {
   Errno status = Errno::ok;
   std::uint64_t wire_bytes = 0;  // reply payload size for timing
   Body body;
+  /// IV piggyback: the callee's cached pool-map version, stamped on every
+  /// served reply when the callee installed a map-version source (engines
+  /// do). 0 = no source; callers treat it as "no information". This is how
+  /// clients learn about map changes passively instead of polling.
+  std::uint32_t map_version = 0;
 };
 
 struct Request {
@@ -136,6 +141,14 @@ class RpcEndpoint {
   std::uint64_t calls_made() const { return calls_; }
   std::uint64_t calls_served() const { return served_; }
 
+  /// Installs the IV piggyback source: every reply served by this endpoint
+  /// is stamped with the value it returns (the engine's cached pool-map
+  /// version). Stamping is passive — reading the source takes no virtual
+  /// time and schedules nothing. nullptr-equivalent (default) stamps 0.
+  void set_map_version_source(std::function<std::uint32_t()> f) {
+    map_version_source_ = std::move(f);
+  }
+
   /// Attaches a metric registry: per-opcode sent/completed/timed_out/busy
   /// counters and a completed-call latency histogram land under
   /// "rpc/<opcode name>/", plus an in-flight gauge at "rpc/inflight".
@@ -179,6 +192,7 @@ class RpcEndpoint {
   std::size_t inflight_ = 0;
   std::size_t max_inflight_ = 1024;
   std::uint64_t busy_rejections_ = 0;
+  std::function<std::uint32_t()> map_version_source_;
   telemetry::Registry* telemetry_ = nullptr;
   telemetry::Gauge* inflight_gauge_ = nullptr;
   std::unordered_map<std::uint16_t, OpMetrics> op_metrics_;  // keyed lookups only

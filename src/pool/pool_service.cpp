@@ -77,6 +77,9 @@ std::string PoolMetaSm::apply(const std::string& command) {
     if (excluded_.insert(engine).second) {
       ++map_version_;
       evicted_at_[engine] = map_version_;
+      // Delta log BEFORE start_rebuild: requeues may bump map_version_ again
+      // without a membership change, and the log records only the latter.
+      deltas_.push_back(MapDelta{map_version_, engine, /*excluded=*/true});
       start_rebuild(/*resync=*/false, engine, 0);
     }
     return strfmt("ok %u", map_version_);
@@ -86,6 +89,7 @@ std::string PoolMetaSm::apply(const std::string& command) {
     is >> engine;
     if (excluded_.erase(engine) > 0) {
       ++map_version_;
+      deltas_.push_back(MapDelta{map_version_, engine, /*excluded=*/false});
       const auto it = evicted_at_.find(engine);
       start_rebuild(/*resync=*/true, engine, it != evicted_at_.end() ? it->second : 0);
     }
@@ -189,6 +193,14 @@ void PoolMetaSm::queue_task(bool resync, net::NodeId node, std::uint32_t since_v
   rebuilds_.emplace(map_version_, std::move(task));
 }
 
+std::vector<PoolMetaSm::MapDelta> PoolMetaSm::deltas_since(std::uint32_t version) const {
+  std::vector<MapDelta> out;
+  for (const MapDelta& d : deltas_) {
+    if (d.version > version) out.push_back(d);
+  }
+  return out;
+}
+
 const PoolMetaSm::RebuildTask* PoolMetaSm::rebuild_task(std::uint32_t version) const {
   const auto it = rebuilds_.find(version);
   return it == rebuilds_.end() ? nullptr : &it->second;
@@ -254,6 +266,11 @@ std::string PoolMetaSm::snapshot() const {
     for (const vos::Epoch e : m.snapshots) os << ' ' << e;
     os << '\n';
   }
+  // IV delta log, appended last so older snapshots still restore.
+  os << deltas_.size() << '\n';
+  for (const MapDelta& d : deltas_) {
+    os << d.version << ' ' << d.engine << ' ' << (d.excluded ? 1 : 0) << '\n';
+  }
   return os.str();
 }
 
@@ -263,6 +280,7 @@ void PoolMetaSm::restore(const std::string& snap) {
   excluded_.clear();
   evicted_at_.clear();
   rebuilds_.clear();
+  deltas_.clear();
   if (snap.empty()) return;
   std::istringstream is(snap);
   std::size_t n = 0;
@@ -331,6 +349,15 @@ void PoolMetaSm::restore(const std::string& snap) {
       is >> e;
       if (it != containers_.end()) it->second.snapshots.insert(e);
     }
+  }
+  std::size_t ndelta = 0;
+  if (!(is >> ndelta)) return;  // snapshot from before the IV delta log existed
+  for (std::size_t i = 0; i < ndelta; ++i) {
+    MapDelta d;
+    int excluded = 0;
+    is >> d.version >> d.engine >> excluded;
+    d.excluded = excluded != 0;
+    deltas_.push_back(d);
   }
 }
 

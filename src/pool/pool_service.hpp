@@ -57,6 +57,19 @@ class PoolMetaSm final : public raft::StateMachine {
   std::uint32_t map_version() const { return map_version_; }
   const std::set<net::NodeId>& excluded_engines() const { return excluded_; }
 
+  /// One committed membership change, for the IV delta log. Rebuild requeues
+  /// bump map_version() without a membership change, so the log is sparse:
+  /// a fetcher applies the deltas then jumps its version to the responder's
+  /// latest (MapFetchResp::latest_version).
+  struct MapDelta {
+    std::uint32_t version = 0;
+    net::NodeId engine = 0;
+    bool excluded = false;  // true: eviction; false: reintegration
+  };
+  /// Append-only since version 1 — deltas_since(v) is complete for any v.
+  const std::vector<MapDelta>& map_deltas() const { return deltas_; }
+  std::vector<MapDelta> deltas_since(std::uint32_t version) const;
+
   /// One rebuild task, Raft-replicated with the rest of the pool metadata:
   /// created when an eviction (or reintegration resync) becomes effective,
   /// complete when every surviving participant reported rebuild_done for its
@@ -106,6 +119,7 @@ class PoolMetaSm final : public raft::StateMachine {
   std::set<net::NodeId> engines_;
   std::map<net::NodeId, std::uint32_t> evicted_at_;  // engine -> eviction map version
   std::map<std::uint32_t, RebuildTask> rebuilds_;    // keyed by map version
+  std::vector<MapDelta> deltas_;                     // IV delta log, version-ascending
 };
 
 /// One pool-service replica, sharing an engine's RPC endpoint. The replica

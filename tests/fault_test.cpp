@@ -70,6 +70,54 @@ TEST(FaultSchedule, ParseAcceptsFullGrammar) {
   EXPECT_EQ(ev[4].amount, 30 * sim::kMs);
 }
 
+TEST(FaultSchedule, ParsePartitionSymmetricAndOneWay) {
+  auto parsed = fault::Schedule::parse("partition@1s-4s:e0+e1|e2+e3,partition@2s-3s:e0>e3");
+  ASSERT_TRUE(parsed.ok());
+  const auto& ev = parsed->events();
+  ASSERT_EQ(ev.size(), 2u);
+
+  EXPECT_EQ(ev[0].kind, fault::Kind::partition);
+  EXPECT_EQ(ev[0].at, 1 * sim::kSec);
+  EXPECT_EQ(ev[0].until, 4 * sim::kSec);
+  EXPECT_EQ(ev[0].group_a, (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_EQ(ev[0].group_b, (std::vector<std::uint32_t>{2, 3}));
+  EXPECT_FALSE(ev[0].oneway);
+
+  EXPECT_EQ(ev[1].kind, fault::Kind::partition);
+  EXPECT_EQ(ev[1].group_a, (std::vector<std::uint32_t>{0}));
+  EXPECT_EQ(ev[1].group_b, (std::vector<std::uint32_t>{3}));
+  EXPECT_TRUE(ev[1].oneway);
+}
+
+TEST(FaultSchedule, ParseRejectsMalformedPartitions) {
+  const char* bad[] = {
+      "partition@1s:e0|e1",          // point time on a window event
+      "partition@2s-1s:e0|e1",       // reversed window
+      "partition@1s-2s:e0",          // no group separator
+      "partition@1s-2s:e0|",         // empty right group
+      "partition@1s-2s:|e1",         // empty left group
+      "partition@1s-2s:e0+|e1",      // trailing '+' in a group
+      "partition@1s-2s:*|e1",        // wildcard is not a group member
+      "partition@1s-2s:e0.1|e1",     // targets don't partition
+      "partition@1s-2s:e0|e0",       // overlapping groups
+      "partition@1s-2s:e0+e1|e1",    // overlapping groups
+      "partition@1s-2s:e0|e1:0.5",   // partition takes no argument
+      "partition@1s-2s:e0|e1>e2",    // mixing both separators
+  };
+  for (const char* spec : bad) {
+    auto parsed = fault::Schedule::parse(spec);
+    EXPECT_FALSE(parsed.ok()) << "spec accepted: '" << spec << "'";
+    EXPECT_EQ(parsed.error(), Errno::invalid) << spec;
+  }
+}
+
+TEST(FaultSchedule, ValidateChecksPartitionGroupBounds) {
+  auto sched = fault::Schedule::parse("partition@1s-2s:e0+e3|e1");
+  ASSERT_TRUE(sched.ok());
+  EXPECT_TRUE(sched->validate(4, 8).ok());
+  EXPECT_EQ(sched->validate(3, 8).error(), Errno::invalid);  // e3 out of range
+}
+
 TEST(FaultSchedule, BareNumbersAreSeconds) {
   auto parsed = fault::Schedule::parse("crash@2:e0");
   ASSERT_TRUE(parsed.ok());
@@ -415,6 +463,65 @@ TEST(RaftFailover, RestartDoesNotReintegrateUntilPoolReint) {
     net::Body b2 = net::Body::make(engine::ObjFetchReq{});
     const net::Reply r2 = co_await cl.call_target(mt, engine::kOpObjFetch, std::move(b2), 64);
     EXPECT_EQ(r2.status, Errno::ok) << "reintegrated target must serve again";
+  });
+  tb.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Partition windows: engine groups severed symmetrically or one-way
+
+TEST(PartitionFault, IsolatedLeaderLosesLeadershipAndClusterHeals) {
+  Testbed tb(small_cluster());
+  tb.start();
+  const auto leader0 = tb.svc_leader();
+  ASSERT_TRUE(leader0.has_value());
+  const std::uint32_t old_leader = *leader0;  // replica index == engine index
+  std::vector<std::uint32_t> others;
+  for (std::uint32_t e = 0; e < tb.engine_count(); ++e) {
+    if (e != old_leader) others.push_back(e);
+  }
+  fault::Schedule sched;
+  sched.partition(0, 2 * sim::kSec, {old_leader}, others);
+  fault::Injector& inj = tb.inject_faults(sched, /*seed=*/5);
+
+  tb.run([&]() -> CoTask<void> {
+    // The majority side must elect a new leader while the old one is cut off.
+    bool new_leader_seen = false;
+    const sim::Time deadline = tb.sched().now() + 2 * sim::kSec;
+    while (tb.sched().now() < deadline && !new_leader_seen) {
+      for (std::uint32_t s = 0; s < tb.svc_replica_count(); ++s) {
+        if (s != old_leader && tb.svc_replica(s).is_leader()) new_leader_seen = true;
+      }
+      if (!new_leader_seen) co_await tb.sched().delay(20 * sim::kMs);
+    }
+    EXPECT_TRUE(new_leader_seen) << "no failover while the leader was partitioned";
+    EXPECT_GT(inj.calls_partitioned(), 0u);
+    // After the window closes the old leader rejoins as a follower and the
+    // service keeps working — no engine was evicted by the partition itself.
+    co_await tb.sched().delay(2500 * sim::kMs);
+    CO_ASSERT_OK(co_await tb.client(0).cont_create(kPoolUuid, {}));
+    EXPECT_EQ(tb.client(0).evictions_reported(), 0u);
+  });
+  tb.stop();
+}
+
+TEST(PartitionFault, OneWayPartitionSeversOnlyForwardDirection) {
+  Testbed tb(small_cluster());
+  tb.start();
+  fault::Schedule sched;
+  sched.partition(0, sim::kSec, {3}, {0}, /*oneway=*/true);
+  tb.inject_faults(sched, /*seed=*/5);
+  tb.run([&]() -> CoTask<void> {
+    // Raw endpoint calls on purpose: this exercises the injector's call hook
+    // directly (the raw-rpc-call lint only scopes src/client/).
+    net::Body fwd = net::Body::make(engine::SwimPingReq{});
+    const net::Reply r1 = co_await tb.engine(3).endpoint().call(
+        tb.engine(0).node(), engine::kOpSwimPing, std::move(fwd), 64);
+    EXPECT_EQ(r1.status, Errno::timed_out) << "e3 -> e0 must be severed";
+    net::Body rev = net::Body::make(engine::SwimPingReq{});
+    const net::Reply r2 = co_await tb.engine(0).endpoint().call(
+        tb.engine(3).node(), engine::kOpSwimPing, std::move(rev), 64);
+    EXPECT_EQ(r2.status, Errno::ok) << "e0 -> e3 must still cross one-way";
   });
   tb.stop();
 }

@@ -17,6 +17,11 @@
 #                          crash recovery, serializability property) under
 #                          ASan+UBSan with the runtime audits on — undefined
 #                          behaviour in the conflict paths must fail loudly
+#   tools/ci.sh swim       membership suite (SWIM failure detection,
+#                          refutation, partition heal, IV dissemination,
+#                          client staleness piggyback) under ASan+UBSan with
+#                          the runtime audits on — the detector's coroutines
+#                          and gossip buffers must be lifetime-clean
 #   tools/ci.sh bench-smoke  tiny-scale ablation_xfersize + ablation_dtx runs
 #                          asserting the BENCH_*.json perf trajectories parse
 #                          and are non-empty
@@ -161,6 +166,24 @@ if [[ $STAGE == dtx ]]; then
   echo "=== [dtx] ctest ==="
   ctest --test-dir build-ci-dtx --output-on-failure -j "$JOBS" \
     -R 'DtxVos|DtxCluster|DtxFault|DtxProperty|Ior\.ReadAtSnapshot'
+  stage_end
+fi
+
+if [[ $STAGE == swim ]]; then
+  stage_begin swim
+  # Focused membership run, always sanitized: the SWIM detector juggles
+  # per-member state across probe coroutines and gossip piggybacks, and the
+  # IV path resumes parked waiters off a shared single-flight gate — the
+  # classic places for a lifetime bug to hide. Covers detection, refutation,
+  # partition heal (plus the partition fault grammar/behavior suite), the
+  # client staleness piggyback, and seeded-trace determinism.
+  echo "=== [swim] configure + build ==="
+  cmake -B build-ci-swim -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DDAOSIM_SANITIZE="address;undefined" -DDAOSIM_AUDIT=ON
+  cmake --build build-ci-swim -j "$JOBS" --target swim_test fault_test
+  echo "=== [swim] ctest ==="
+  ctest --test-dir build-ci-swim --output-on-failure -j "$JOBS" \
+    -R 'SwimDetect|SwimRefute|SwimPartition|IvPiggyback|SwimDeterminism|PartitionFault|FaultSchedule'
   stage_end
 fi
 

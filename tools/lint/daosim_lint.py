@@ -50,6 +50,13 @@ coroutine-heavy C++ codebases:
                       per (target, replica), bounded by
                       ClientConfig::max_batch_extents.
 
+  direct-map-query    The pool-service "map_query" command issued from a
+                      src/client/ file other than client/refresh.cpp. The
+                      point query hits the pool-service leader — O(clients)
+                      leader load per membership change. Clients learn map
+                      versions passively from stamped replies and pull deltas
+                      from engines (docs/membership.md); only the refresh
+                      module's sanctioned fallback may query the leader.
   tx-unresolved       A TxHandle obtained from tx_begin() that reaches the end
                       of its scope without a co_await'ed .commit() or .abort()
                       (and without escaping via return/std::move). An
@@ -81,7 +88,8 @@ import sys
 
 RULES = ("spawn-temporary", "wall-clock", "unordered-iteration", "ignored-result",
          "raw-rpc-call", "rebuild-idempotency", "untracked-metric",
-         "unbatched-extent-rpc", "tx-unresolved", "unjustified-allow")
+         "unbatched-extent-rpc", "direct-map-query", "tx-unresolved",
+         "unjustified-allow")
 
 # Rules owned by the libclang analyzer (tools/analyze/daosim_check.py). The
 # unjustified-allow rule validates daosim-check markers against this list, and
@@ -596,6 +604,34 @@ def check_untracked_metric(path, text, clean):
     return out
 
 
+# The "map_query" string literal itself, matched in the RAW text (string
+# literals are blanked in `clean`): the command only exists to be sent to the
+# pool service, so quoting it in client code IS issuing the point query.
+# Unquoted mentions in comments stay free. Shares the raw-rpc-call scope
+# (src/client/); the refresh module owns the sanctioned fallback.
+MAP_QUERY_RE = re.compile(r'"map_query')
+MAP_QUERY_EXEMPT_SUFFIX = "client/refresh.cpp"
+
+
+def check_direct_map_query(path, text, clean):
+    if path.replace(os.sep, "/").endswith(MAP_QUERY_EXEMPT_SUFFIX):
+        return []
+    out = []
+    for m in MAP_QUERY_RE.finditer(text):
+        out.append(
+            Violation(
+                path,
+                line_of(text, m.start()),
+                "direct-map-query",
+                "pool-map point query outside client/refresh.cpp: map_query "
+                "hits the pool-service leader (O(clients) load per membership "
+                "change); rely on the IV piggyback + delta fetch, or call "
+                "refresh_pool_map() if the authoritative fallback is required",
+            )
+        )
+    return out
+
+
 # A handle bound from tx_begin(): `auto tx = cl.tx_begin(...)` or
 # `TxHandle tx = tx_begin(...)`. The receiver chain mirrors RECEIVER_RE so
 # `tb.client(0).tx_begin(...)` matches too. The *definition* of tx_begin
@@ -725,6 +761,7 @@ def lint_file(path, rel, result_fns, wall_clock_scope, raw_rpc_scope=False,
     if raw_rpc_scope:
         violations += check_raw_rpc_call(rel, text, clean)
         violations += check_unbatched_extent_rpc(rel, text, clean)
+        violations += check_direct_map_query(rel, text, clean)
     violations += check_rebuild_idempotency(rel, text, clean)
     violations += check_tx_unresolved(rel, text, clean)
     if untracked_metric_scope:

@@ -1,0 +1,31 @@
+// Fixture: direct-map-query — the pool-service map_query point query may
+// only be issued from client/refresh.cpp (the IV fallback). Every other
+// client site must learn map versions passively from reply stamps and pull
+// deltas from engines (docs/membership.md). The rule matches the quoted
+// command literal, so unquoted comment mentions — like this sentence's
+// map_query — never fire. The refresh.cpp exemption is path-based and
+// therefore not representable in a fixture.
+#pragma once
+
+#include <string>
+
+namespace fixture {
+
+std::string svc_command(std::string cmd);
+
+inline void cases() {
+  auto a = svc_command("map_query");                      // EXPECT-LINT: direct-map-query
+  const char* cmd = "map_query";                          // EXPECT-LINT: direct-map-query
+  auto b = svc_command(std::string("map_query") + " 3");  // EXPECT-LINT: direct-map-query
+
+  // GOOD: other pool-service commands are not map point queries.
+  auto c = svc_command("pool_reint 4");
+  auto d = svc_command("pool_evict 4");
+
+  // GOOD: the one sanctioned bootstrap site may suppress explicitly.
+  auto e = svc_command("map_query");  // daosim-lint: allow(direct-map-query): fixture proves the suppression path
+
+  (void)a; (void)cmd; (void)b; (void)c; (void)d; (void)e;
+}
+
+}  // namespace fixture
