@@ -23,6 +23,10 @@ struct SweepOptions {
   std::uint64_t dfs_chunk = 1 * kMiB;
   posix::DfuseConfig dfuse{};
   std::uint64_t seed = 42;
+  /// Causal-trace sampling for the critical-path tables: 1 in N client ops
+  /// (0 = no tracing). Sampling is seeded and zero-perturbation, so the
+  /// bandwidth numbers are bit-identical either way (docs/tracing.md).
+  std::uint64_t trace_sample = 16;
 };
 
 /// The paper's benchmark deployment: 8 server nodes, 2 engines each.
@@ -51,6 +55,10 @@ struct Cell {
   /// trades simulated bandwidth for simulation slowness is visible.
   std::uint64_t events = 0;
   double wall_s = 0;
+  /// Critical-path stage attribution of the sampled data ops (arr_write /
+  /// arr_read trees), for the per-phase tables printed after the latency
+  /// tables. Empty (count 0) when SweepOptions::trace_sample is 0.
+  telemetry::TraceLog::OpProfile write_path, read_path;
 };
 
 /// One row of the machine-readable BENCH_*.json perf trajectory.
@@ -108,11 +116,20 @@ inline std::vector<std::vector<Cell>> run_sweep(const std::vector<Series>& serie
                                                 const SweepOptions& opt) {
   std::vector<std::vector<Cell>> results;
   for (const std::uint32_t nodes : opt.node_counts) {
-    cluster::Testbed tb(nextgenio_cluster(nodes, opt.seed));
+    cluster::ClusterConfig ccfg = nextgenio_cluster(nodes, opt.seed);
+    ccfg.client.trace_sample = opt.trace_sample;
+    ccfg.client.trace_seed = opt.seed;
+    cluster::Testbed tb(ccfg);
     tb.start();
     ior::IorRunner runner(tb, opt.ppn, opt.dfs_chunk, opt.dfuse);
     std::vector<Cell> row;
     for (const Series& s : series) {
+      // Fresh per-series span log, keeping only the sampled trees so memory
+      // stays bounded by the sampling rate. Attaching it never perturbs
+      // timing (span ids are allocated whether or not a sink listens).
+      telemetry::TraceLog trace;
+      trace.set_keep_unsampled(false);
+      if (opt.trace_sample != 0) tb.attach_trace(&trace);
       const std::uint64_t events0 = tb.sched().events_processed();
       const auto wall0 = std::chrono::steady_clock::now();
       const ior::IorResult r = runner.run(s.cfg);
@@ -123,6 +140,12 @@ inline std::vector<std::vector<Cell>> run_sweep(const std::vector<Series>& serie
       cell.write_p99_us = r.write_rpc_latency.percentile_ns(99) / 1e3;
       cell.events = tb.sched().events_processed() - events0;
       cell.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0).count();
+      if (opt.trace_sample != 0) {
+        const auto prof = trace.profile_ops();
+        if (const auto it = prof.find("arr_write"); it != prof.end()) cell.write_path = it->second;
+        if (const auto it = prof.find("arr_read"); it != prof.end()) cell.read_path = it->second;
+        tb.attach_trace(nullptr);
+      }
       row.push_back(cell);
       std::fprintf(stderr,
                    "  [%2u nodes] %-10s write %8.2f GiB/s (p99 %7.0f us)"
@@ -174,6 +197,36 @@ inline void print_latency_table(const char* title, bool read, const std::vector<
   }
 }
 
+/// Per-phase critical-path table: one row per (node count, series), mean us
+/// per sampled data op attributed across the six pipeline stages. Printed in
+/// long format next to the p50/p99 tables (six numbers don't fit a cell).
+inline void print_critical_path_table(const char* title, bool read,
+                                      const std::vector<Series>& series,
+                                      const SweepOptions& opt,
+                                      const std::vector<std::vector<Cell>>& results) {
+  using telemetry::TraceLog;
+  std::printf("\n# %s — %s critical path (1/%llu sampled, mean us/op by stage)\n", title,
+              read ? "read" : "write", static_cast<unsigned long long>(opt.trace_sample));
+  std::printf("%-12s %-10s %8s", "client_nodes", "series", "ops");
+  for (std::size_t st = 0; st < TraceLog::kStages; ++st) {
+    std::printf(" %12s", TraceLog::stage_name(st));
+  }
+  std::printf(" %12s\n", "total");
+  for (std::size_t i = 0; i < opt.node_counts.size(); ++i) {
+    for (std::size_t j = 0; j < series.size(); ++j) {
+      const TraceLog::OpProfile& p =
+          read ? results[i][j].read_path : results[i][j].write_path;
+      if (p.count == 0) continue;
+      std::printf("%-12u %-10s %8llu", opt.node_counts[i], series[j].name.c_str(),
+                  static_cast<unsigned long long>(p.count));
+      for (std::size_t st = 0; st < TraceLog::kStages; ++st) {
+        std::printf(" %12.1f", double(p.stages.ns[st]) / double(p.count) / 1e3);
+      }
+      std::printf(" %12.1f\n", double(p.stages.total_ns()) / double(p.count) / 1e3);
+    }
+  }
+}
+
 inline void print_figure(const char* title, const std::vector<Series>& series,
                          const SweepOptions& opt, const char* json_name = nullptr) {
   const auto results = run_sweep(series, opt);
@@ -181,6 +234,10 @@ inline void print_figure(const char* title, const std::vector<Series>& series,
   print_table(title, /*read=*/false, series, opt, results);
   print_latency_table(title, /*read=*/true, series, opt, results);
   print_latency_table(title, /*read=*/false, series, opt, results);
+  if (opt.trace_sample != 0) {
+    print_critical_path_table(title, /*read=*/true, series, opt, results);
+    print_critical_path_table(title, /*read=*/false, series, opt, results);
+  }
   std::printf("\n");
   if (json_name != nullptr) write_bench_json(json_name, sweep_rows(series, opt, results));
 }

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <string>
 
 #include "fault/fault.hpp"
@@ -55,7 +56,13 @@ int usage() {
                "  --metrics-dump PATH   dump the metric tree after the job (.csv ext\n"
                "                        selects CSV, anything else JSON; docs/telemetry.md)\n"
                "  --trace-out PATH      Chrome trace-event JSON of RPC/transfer/rebuild\n"
-               "                        spans (open in Perfetto / chrome://tracing)\n");
+               "                        spans (open in Perfetto / chrome://tracing)\n"
+               "  --trace-sample N      trace 1 in N client ops (default 1 = all, 0 = off;\n"
+               "                        seeded and deterministic; docs/tracing.md)\n"
+               "  --critical-path       print per-op critical-path stage attribution\n"
+               "                        (implied by --trace-out / --slow-ops)\n"
+               "  --slow-ops US         after the job, dump the top-10 sampled ops taking\n"
+               "                        at least US microseconds, with stage breakdowns\n");
   return 2;
 }
 
@@ -74,6 +81,9 @@ int main(int argc, char** argv) {
   std::uint32_t max_batch_extents = client::ClientConfig{}.max_batch_extents;
   std::string metrics_path;
   std::string trace_path;
+  std::uint64_t trace_sample = 1;
+  bool critical_path = false;
+  std::int64_t slow_us = -1;  // < 0: no slow-op dump
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -141,6 +151,25 @@ int main(int argc, char** argv) {
     }
     else if (arg == "--metrics-dump") metrics_path = next();
     else if (arg == "--trace-out") trace_path = next();
+    else if (arg == "--trace-sample") {
+      const char* v = next();
+      char* end = nullptr;
+      trace_sample = std::uint64_t(std::strtoull(v, &end, 10));
+      if (end == v || *end != '\0') {
+        std::fprintf(stderr, "ior_cli: --trace-sample must be a non-negative integer\n");
+        return usage();
+      }
+    }
+    else if (arg == "--critical-path") critical_path = true;
+    else if (arg == "--slow-ops") {
+      const char* v = next();
+      char* end = nullptr;
+      slow_us = std::strtoll(v, &end, 10);
+      if (end == v || *end != '\0' || slow_us < 0) {
+        std::fprintf(stderr, "ior_cli: --slow-ops must be a non-negative microsecond count\n");
+        return usage();
+      }
+    }
     else if (arg == "-o") {
       const std::string oc = next();
       using client::ObjClass;
@@ -183,6 +212,8 @@ int main(int argc, char** argv) {
   ccfg.payload = verify ? vos::PayloadMode::store : vos::PayloadMode::discard;
   ccfg.rebuild.max_inflight = rebuild_inflight;
   ccfg.client.max_batch_extents = max_batch_extents;
+  ccfg.client.trace_sample = trace_sample;
+  ccfg.client.trace_seed = ccfg.seed;
 
   std::printf("IOR (daosim) -a %s %s t=%s b=%s segs=%u  %u nodes x %u ppn, %u servers\n",
               ior::to_string(cfg.api), cfg.file_per_process ? "file-per-process" : "shared-file",
@@ -191,7 +222,8 @@ int main(int argc, char** argv) {
 
   cluster::Testbed tb(ccfg);
   telemetry::TraceLog trace;
-  if (!trace_path.empty()) {
+  const bool tracing = !trace_path.empty() || critical_path || slow_us >= 0;
+  if (tracing) {
     for (std::uint32_t e = 0; e < tb.engine_count(); ++e) {
       trace.set_process_name(tb.engine(e).node(), strfmt("engine/%u", tb.engine(e).node()));
     }
@@ -199,7 +231,10 @@ int main(int argc, char** argv) {
       const net::NodeId n = tb.client(c).endpoint().node();
       trace.set_process_name(n, strfmt("client/%u", n));
     }
-    tb.sched().set_span_sink(&trace);
+    // The chrome dump wants the full span log; in-process analysis only
+    // needs the sampled trees, so skip the rest when not writing a file.
+    trace.set_keep_unsampled(!trace_path.empty());
+    tb.attach_trace(&trace);
   }
   tb.start();
   if (!fault_spec.empty()) {
@@ -238,6 +273,30 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(res.read_rpc_latency.count),
                 res.read_rpc_latency.percentile_ns(50) / 1e3,
                 res.read_rpc_latency.percentile_ns(99) / 1e3);
+  }
+  if (tracing) {
+    // Critical-path attribution next to the p50/p99 lines: mean us per op,
+    // split across the six pipeline stages (docs/tracing.md).
+    const auto prof = trace.profile_ops();
+    std::printf("critical path (1/%llu sampled, mean us/op by stage):\n",
+                static_cast<unsigned long long>(trace_sample));
+    std::printf("  %-14s %8s", "op", "count");
+    for (std::size_t st = 0; st < telemetry::TraceLog::kStages; ++st) {
+      std::printf(" %12s", telemetry::TraceLog::stage_name(st));
+    }
+    std::printf(" %12s\n", "total");
+    for (const auto& [name, p] : prof) {
+      std::printf("  %-14s %8llu", name.c_str(), static_cast<unsigned long long>(p.count));
+      for (std::size_t st = 0; st < telemetry::TraceLog::kStages; ++st) {
+        std::printf(" %12.1f", double(p.stages.ns[st]) / double(p.count) / 1e3);
+      }
+      std::printf(" %12.1f\n", double(p.stages.total_ns()) / double(p.count) / 1e3);
+    }
+  }
+  if (slow_us >= 0) {
+    std::ostringstream slow;
+    tb.dump_slow_ops(slow, sim::Time(slow_us) * 1000, 10);
+    std::printf("%s", slow.str().c_str());
   }
   if (verify) {
     std::printf("verify: %llu bad bytes, %llu short reads\n",

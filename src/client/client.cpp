@@ -94,20 +94,21 @@ struct DaosClient::PendingCall {
 
 sim::CoTask<void> DaosClient::run_call(net::RpcEndpoint* ep, net::NodeId dst,
                                        std::uint16_t opcode, net::Body body,
-                                       std::uint64_t wire_bytes,
+                                       std::uint64_t wire_bytes, sim::TraceContext ctx,
                                        std::shared_ptr<PendingCall> st) {
-  st->reply = co_await ep->call(dst, opcode, std::move(body), wire_bytes);  // daosim-lint: allow(raw-rpc-call): this IS the wrapper; call_with_deadline owns the timeout
+  st->reply = co_await ep->call(dst, opcode, std::move(body), wire_bytes, ctx);  // daosim-lint: allow(raw-rpc-call): this IS the wrapper; call_with_deadline owns the timeout
   st->done.set();
 }
 
 sim::CoTask<net::Reply> DaosClient::call_with_deadline(net::NodeId dst, std::uint16_t opcode,
                                                        net::Body body, std::uint64_t wire_bytes,
-                                                       sim::Time deadline) {
+                                                       sim::Time deadline,
+                                                       sim::TraceContext ctx) {
   auto st = std::make_shared<PendingCall>(sched_);
   // The attempt runs detached so an expired deadline abandons it without
   // cancelling it: the request already left this node, and the server will
   // still execute it — which is why retried updates must be idempotent.
-  sim::CoTask<void> runner = run_call(&ep_, dst, opcode, std::move(body), wire_bytes, st);
+  sim::CoTask<void> runner = run_call(&ep_, dst, opcode, std::move(body), wire_bytes, ctx, st);
   sched_.spawn(std::move(runner));
   const bool replied = co_await st->done.wait_for(deadline);
   if (!replied) co_return net::Reply{Errno::timed_out, 0, {}};
@@ -115,29 +116,39 @@ sim::CoTask<net::Reply> DaosClient::call_with_deadline(net::NodeId dst, std::uin
 }
 
 sim::CoTask<net::Reply> DaosClient::call_retry(net::NodeId dst, std::uint16_t opcode,
-                                               net::Body body, std::uint64_t wire_bytes) {
+                                               net::Body body, std::uint64_t wire_bytes,
+                                               sim::TraceContext ctx) {
   Reply r{};
   for (int attempt = 1;; ++attempt) {
     Body attempt_body = body;  // bodies are shared_ptr-held: copies are cheap
     r = co_await call_with_deadline(dst, opcode, std::move(attempt_body), wire_bytes,
-                                    retry_.deadline);
+                                    retry_.deadline, ctx);
     if (r.status != Errno::timed_out && r.status != Errno::busy) co_return r;
     if (attempt >= retry_.max_attempts) co_return r;
     const sim::Time backoff = retry_backoff(retry_, attempt);
     retry_attempts_->inc();
     retry_backoff_ns_->inc(backoff);
+    // Backoff as a "retry" child span: traced ops show the wait between
+    // attempts instead of an unexplained gap. Id allocated unconditionally.
+    const sim::TraceContext retry_ctx = ctx.child(sched_.alloc_span_id());
+    const sim::Time b0 = sched_.now();
     co_await sched_.delay(backoff);
+    if (sim::SpanSink* sink = sched_.span_sink()) {
+      sink->span("retry", strfmt("backoff after attempt %d ->%u", attempt, dst), ep_.node(),
+                 opcode, b0, sched_.now(), retry_ctx);
+    }
   }
 }
 
 sim::CoTask<net::Reply> DaosClient::call_target(std::uint32_t map_target, std::uint16_t opcode,
-                                                net::Body body, std::uint64_t wire_bytes) {
+                                                net::Body body, std::uint64_t wire_bytes,
+                                                sim::TraceContext ctx) {
   DAOSIM_REQUIRE(map_target < map_.target_count(), "target %u outside pool map", map_target);
   const pool::TargetRef ref = map_.targets[map_target];  // copy: map_ may refresh mid-call
   if (ref.health == pool::TargetHealth::excluded) {
     co_return net::Reply{Errno::stale, 0, {}};
   }
-  net::Reply r = co_await call_retry(ref.engine, opcode, std::move(body), wire_bytes);
+  net::Reply r = co_await call_retry(ref.engine, opcode, std::move(body), wire_bytes, ctx);
   if (r.map_version > map_.version) {
     // IV piggyback: the reply is stamped with a newer pool-map version than
     // ours. Pull the missing deltas (single-flight, from the very engine that
@@ -180,6 +191,18 @@ sim::CoTask<void> DaosClient::report_engine_failure(net::NodeId engine) {
   }
   evict_gates_.erase(engine);
   gate->set();
+}
+
+sim::TraceContext DaosClient::sample_op_trace() {
+  // Both counters bump unconditionally — the op sequence and the span id are
+  // pure increments — so the stream of ids (and thus trace JSON and
+  // trace_hash) is identical whatever the sampling rate or sink state.
+  const std::uint64_t seq = ++trace_op_seq_;
+  const std::uint64_t id = sched_.alloc_span_id();
+  if (cfg_.trace_sample == 0) return {};
+  const std::uint64_t h = mix64(cfg_.trace_seed ^ (std::uint64_t(ep_.node()) << 32) ^ seq);
+  if (h % cfg_.trace_sample != 0) return {};
+  return sim::TraceContext::root(id);
 }
 
 void DaosClient::note_data_loss(vos::ObjId oid, std::uint32_t group) {
@@ -308,6 +331,7 @@ void KvObject::refresh_layout() {
 
 sim::CoTask<Errno> KvObject::put(const vos::Key& dkey, const vos::Key& akey,
                                  std::span<const std::byte> value, bool excl) {
+  OpTrace tr(client_, "kv_put");
   ObjUpdateReq req;
   req.cont = cont_;
   req.oid = oid_;
@@ -328,7 +352,7 @@ sim::CoTask<Errno> KvObject::put(const vos::Key& dkey, const vos::Key& akey,
       req.target = client_.pool_map().targets[map_target].target;
       Body body = Body::make(req);
       Reply r = co_await client_.call_target(map_target, engine::kOpObjUpdate, std::move(body),
-                                             engine::kObjRpcHeader + value.size());
+                                             engine::kObjRpcHeader + value.size(), tr.ctx());
       if (r.status == Errno::stale && round < kMaxPlaceRounds) continue;
       if (r.status != Errno::ok) co_return r.status;
       break;
@@ -340,6 +364,7 @@ sim::CoTask<Errno> KvObject::put(const vos::Key& dkey, const vos::Key& akey,
 sim::CoTask<Result<std::vector<std::byte>>> KvObject::get(const vos::Key& dkey,
                                                           const vos::Key& akey,
                                                           vos::Epoch epoch) {
+  OpTrace tr(client_, "kv_get");
   ObjFetchReq req;
   req.cont = cont_;
   req.oid = oid_;
@@ -364,7 +389,7 @@ sim::CoTask<Result<std::vector<std::byte>>> KvObject::get(const vos::Key& dkey,
       req.target = client_.pool_map().targets[map_target].target;
       Body body = Body::make(req);
       r = co_await client_.call_target(map_target, engine::kOpObjFetch, std::move(body),
-                                       engine::kObjRpcHeader);
+                                       engine::kObjRpcHeader, tr.ctx());
       if (r.status != Errno::stale || round >= kMaxPlaceRounds) break;
     }
     if (r.status != Errno::ok) {
@@ -390,6 +415,7 @@ sim::CoTask<Result<std::vector<std::byte>>> KvObject::get(const vos::Key& dkey,
 }
 
 sim::CoTask<Result<std::vector<vos::Key>>> KvObject::list_dkeys() {
+  OpTrace tr(client_, "kv_list_dkeys");
   std::set<vos::Key> merged;
   refresh_layout();
   for (std::uint32_t g = 0; g < layout_.groups(); ++g) {
@@ -406,7 +432,7 @@ sim::CoTask<Result<std::vector<vos::Key>>> KvObject::list_dkeys() {
         req.target = client_.pool_map().targets[map_target].target;
         Body body = Body::make(req);
         r = co_await client_.call_target(map_target, engine::kOpObjEnumDkeys, std::move(body),
-                                         engine::kObjRpcHeader);
+                                         engine::kObjRpcHeader, tr.ctx());
         if (r.status != Errno::stale || round >= kMaxPlaceRounds) break;
       }
       if (r.status != Errno::ok) {
@@ -428,6 +454,7 @@ sim::CoTask<Result<std::vector<vos::Key>>> KvObject::list_dkeys() {
 }
 
 sim::CoTask<Errno> KvObject::punch() {
+  OpTrace tr(client_, "kv_punch");
   refresh_layout();
   Errno status = Errno::ok;
   // The layout is a permutation on a healthy map, so per-shard iteration hits
@@ -445,7 +472,7 @@ sim::CoTask<Errno> KvObject::punch() {
       req.target = client_.pool_map().targets[map_target].target;
       Body body = Body::make(req);
       r = co_await client_.call_target(map_target, engine::kOpObjPunch, std::move(body),
-                                       engine::kObjRpcHeader);
+                                       engine::kObjRpcHeader, tr.ctx());
       if (r.status != Errno::stale || round >= kMaxPlaceRounds) break;
     }
     if (r.status != Errno::ok) status = r.status;
@@ -454,6 +481,7 @@ sim::CoTask<Errno> KvObject::punch() {
 }
 
 sim::CoTask<Errno> KvObject::punch_dkey(const vos::Key& dkey) {
+  OpTrace tr(client_, "kv_punch_dkey");
   ObjPunchReq req;
   req.cont = cont_;
   req.oid = oid_;
@@ -467,7 +495,7 @@ sim::CoTask<Errno> KvObject::punch_dkey(const vos::Key& dkey) {
       req.target = client_.pool_map().targets[map_target].target;
       Body body = Body::make(req);
       Reply r = co_await client_.call_target(map_target, engine::kOpObjPunch, std::move(body),
-                                             engine::kObjRpcHeader);
+                                             engine::kObjRpcHeader, tr.ctx());
       if (r.status == Errno::stale && round < kMaxPlaceRounds) continue;
       if (r.status != Errno::ok) co_return r.status;
       break;
@@ -520,6 +548,7 @@ sim::CoTask<Errno> ArrayObject::write(std::uint64_t offset, std::uint64_t length
                                       std::span<const std::byte> data) {
   DAOSIM_REQUIRE(data.empty() || data.size() == length, "payload size mismatch");
   if (length == 0) co_return Errno::ok;
+  OpTrace tr(client_, "arr_write");
   const std::uint64_t global_end = offset + length;
   const std::vector<Piece> pieces = split_pieces(offset, length);
   const std::size_t max_batch = client_.config().max_batch_extents;
@@ -540,6 +569,10 @@ sim::CoTask<Errno> ArrayObject::write(std::uint64_t offset, std::uint64_t length
 
   Errno status = Errno::ok;
   for (int round = 0; !pending.empty() && round <= kMaxPlaceRounds; ++round) {
+    // One "batch" span per coalescing round: everything the round issues
+    // (credit waits, RPCs) hangs beneath it. Id allocated unconditionally.
+    const sim::TraceContext round_ctx = tr.ctx().child(client_.scheduler().alloc_span_id());
+    const sim::Time round_t0 = client_.scheduler().now();
     refresh_layout();
     // std::map: batch issue order must never depend on addresses (determinism).
     std::map<std::uint32_t, std::vector<Pend>> by_target;
@@ -584,12 +617,16 @@ sim::CoTask<Errno> ArrayObject::write(std::uint64_t offset, std::uint64_t length
         auto rc = std::make_shared<Errno>(Errno::ok);
         std::vector<Pend> members(list.begin() + std::ptrdiff_t(i),
                                   list.begin() + std::ptrdiff_t(i + n));
-        sim::CoTask<void> task = update_batch(tgt, std::move(req), wire, rc);
+        sim::CoTask<void> task = update_batch(tgt, std::move(req), wire, round_ctx, rc);
         co_await eq.launch(std::move(task));
         batches.emplace_back(std::move(members), std::move(rc));
       }
     }
     co_await eq.wait_all();
+    if (sim::SpanSink* sink = client_.scheduler().span_sink()) {
+      sink->span("batch", strfmt("write round %d: %zu batches", round, batches.size()),
+                 client_.endpoint().node(), 0, round_t0, client_.scheduler().now(), round_ctx);
+    }
     std::vector<Pend> next;
     for (auto& [members, rc] : batches) {
       if (*rc == Errno::stale) {
@@ -608,6 +645,7 @@ sim::CoTask<Result<std::uint64_t>> ArrayObject::read(std::uint64_t offset,
                                                      std::span<std::byte> out,
                                                      vos::Epoch epoch) {
   if (out.empty()) co_return std::uint64_t{0};
+  OpTrace tr(client_, "arr_read");
   const std::vector<Piece> pieces = split_pieces(offset, out.size());
   const std::size_t max_batch = client_.config().max_batch_extents;
   const std::uint32_t nreps = layout_.replicas;
@@ -624,12 +662,15 @@ sim::CoTask<Result<std::uint64_t>> ArrayObject::read(std::uint64_t offset,
     return (r0 + prog[i].attempt) % nreps;
   };
 
-  for (;;) {
+  for (int round = 0;; ++round) {
     std::vector<std::uint32_t> active;
     for (std::uint32_t i = 0; i < prog.size(); ++i) {
       if (!prog[i].done && prog[i].attempt < nreps) active.push_back(i);
     }
     if (active.empty()) break;
+    // Per-round "batch" span, as in write. Id allocated unconditionally.
+    const sim::TraceContext round_ctx = tr.ctx().child(client_.scheduler().alloc_span_id());
+    const sim::Time round_t0 = client_.scheduler().now();
     refresh_layout();
     std::map<std::uint32_t, std::vector<std::uint32_t>> by_target;
     for (const std::uint32_t i : active) {
@@ -658,12 +699,16 @@ sim::CoTask<Result<std::uint64_t>> ArrayObject::read(std::uint64_t offset,
         auto reply = std::make_shared<Reply>();
         std::vector<std::uint32_t> members(list.begin() + std::ptrdiff_t(b),
                                            list.begin() + std::ptrdiff_t(b + n));
-        sim::CoTask<void> task = fetch_batch(tgt, std::move(req), reply);
+        sim::CoTask<void> task = fetch_batch(tgt, std::move(req), round_ctx, reply);
         co_await eq.launch(std::move(task));
         batches.emplace_back(std::move(members), std::move(reply));
       }
     }
     co_await eq.wait_all();
+    if (sim::SpanSink* sink = client_.scheduler().span_sink()) {
+      sink->span("batch", strfmt("read round %d: %zu batches", round, batches.size()),
+                 client_.endpoint().node(), 0, round_t0, client_.scheduler().now(), round_ctx);
+    }
     for (auto& [members, reply] : batches) {
       if (reply->status == Errno::stale) {
         for (const std::uint32_t i : members) {
@@ -749,6 +794,7 @@ sim::CoTask<Result<std::uint64_t>> ArrayObject::read(std::uint64_t offset,
 }
 
 sim::CoTask<Result<std::uint64_t>> ArrayObject::size() {
+  OpTrace tr(client_, "arr_size");
   refresh_layout();
   auto status = std::make_shared<Errno>(Errno::ok);
   auto max_end = std::make_shared<std::uint64_t>(0);
@@ -758,7 +804,7 @@ sim::CoTask<Result<std::uint64_t>> ArrayObject::size() {
     req.cont = cont_;
     req.oid = oid_;
     req.kind = engine::QueryKind::array_end_hint;
-    wg.spawn(query_piece(s, std::move(req), status, max_end));
+    wg.spawn(query_piece(s, std::move(req), tr.ctx(), status, max_end));
   }
   co_await wg.wait();
   if (*status != Errno::ok) co_return *status;
@@ -766,32 +812,50 @@ sim::CoTask<Result<std::uint64_t>> ArrayObject::size() {
 }
 
 sim::CoTask<void> ArrayObject::update_batch(std::uint32_t map_target, engine::ObjUpdateReq req,
-                                            std::uint64_t wire, std::shared_ptr<Errno> out) {
+                                            std::uint64_t wire, sim::TraceContext ctx,
+                                            std::shared_ptr<Errno> out) {
   req.target = client_.pool_map().targets[map_target].target;
   client_.note_batch(req.extents.size());
   Body body = Body::make(std::move(req));
   // One client-wide credit per in-flight object RPC: many concurrent array
   // calls (IOR ranks x eq_depth) must collectively stay under the endpoint's
   // hard in-flight cap, which fails excess calls with Errno::busy.
+  // The wait is a "credit" child span: under EQ pressure this is where
+  // client-side queueing shows up. Id allocated unconditionally.
+  const sim::TraceContext credit_ctx = ctx.child(client_.scheduler().alloc_span_id());
+  const sim::Time c0 = client_.scheduler().now();
   co_await client_.rpc_credits().acquire();
+  if (sim::SpanSink* sink = client_.scheduler().span_sink()) {
+    sink->span("credit", strfmt("rpc credit ->%u", map_target), client_.endpoint().node(), 0,
+               c0, client_.scheduler().now(), credit_ctx);
+  }
   Reply reply =
-      co_await client_.call_target(map_target, engine::kOpObjUpdate, std::move(body), wire);
+      co_await client_.call_target(map_target, engine::kOpObjUpdate, std::move(body), wire, ctx);
   client_.rpc_credits().release();
   *out = reply.status;
 }
 
 sim::CoTask<void> ArrayObject::fetch_batch(std::uint32_t map_target, engine::ObjFetchReq req,
+                                           sim::TraceContext ctx,
                                            std::shared_ptr<net::Reply> out) {
   const std::uint64_t wire = engine::obj_wire_bytes(req.extents.size(), 0);
   req.target = client_.pool_map().targets[map_target].target;
   client_.note_batch(req.extents.size());
   Body body = Body::make(std::move(req));
+  const sim::TraceContext credit_ctx = ctx.child(client_.scheduler().alloc_span_id());
+  const sim::Time c0 = client_.scheduler().now();
   co_await client_.rpc_credits().acquire();  // see update_batch
-  *out = co_await client_.call_target(map_target, engine::kOpObjFetch, std::move(body), wire);
+  if (sim::SpanSink* sink = client_.scheduler().span_sink()) {
+    sink->span("credit", strfmt("rpc credit ->%u", map_target), client_.endpoint().node(), 0,
+               c0, client_.scheduler().now(), credit_ctx);
+  }
+  *out = co_await client_.call_target(map_target, engine::kOpObjFetch, std::move(body), wire,
+                                      ctx);
   client_.rpc_credits().release();
 }
 
 sim::CoTask<void> ArrayObject::query_piece(std::uint32_t shard, engine::ObjQueryReq req,
+                                           sim::TraceContext ctx,
                                            std::shared_ptr<Errno> status,
                                            std::shared_ptr<std::uint64_t> max_end) {
   Reply reply{};
@@ -801,7 +865,7 @@ sim::CoTask<void> ArrayObject::query_piece(std::uint32_t shard, engine::ObjQuery
     req.target = client_.pool_map().targets[map_target].target;
     Body body = Body::make(req);
     reply = co_await client_.call_target(map_target, engine::kOpObjQuery, std::move(body),
-                                         engine::kObjRpcHeader);
+                                         engine::kObjRpcHeader, ctx);
     if (reply.status != Errno::stale || round >= kMaxPlaceRounds) break;
   }
   if (reply.status != Errno::ok) {
@@ -812,6 +876,7 @@ sim::CoTask<void> ArrayObject::query_piece(std::uint32_t shard, engine::ObjQuery
 }
 
 sim::CoTask<Errno> ArrayObject::punch() {
+  OpTrace tr(client_, "arr_punch");
   refresh_layout();
   Errno status = Errno::ok;
   for (std::uint32_t s = 0; s < layout_.size(); ++s) {
@@ -826,7 +891,7 @@ sim::CoTask<Errno> ArrayObject::punch() {
       req.target = client_.pool_map().targets[map_target].target;
       Body body = Body::make(req);
       r = co_await client_.call_target(map_target, engine::kOpObjPunch, std::move(body),
-                                       engine::kObjRpcHeader);
+                                       engine::kObjRpcHeader, tr.ctx());
       if (r.status != Errno::stale || round >= kMaxPlaceRounds) break;
     }
     if (r.status != Errno::ok) status = r.status;

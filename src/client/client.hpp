@@ -92,6 +92,14 @@ struct ClientConfig {
   /// node runs. Also bounds the coroutine fan-out of a single many-extent
   /// call (small chunk sizes, max_batch_extents=1).
   std::uint32_t max_inflight_rpcs = 32;
+  /// Causal-trace sampling: 1 in trace_sample client-level ops becomes a
+  /// trace root (1 = every op, 0 = none). The decision hashes
+  /// (trace_seed, node, op sequence) so it is deterministic and per-op
+  /// independent; unsampled ops still bump the op sequence and span-id
+  /// counter, so changing the rate never perturbs ids, timings or
+  /// trace_hash().
+  std::uint64_t trace_sample = 1;
+  std::uint64_t trace_seed = 0;
 };
 
 /// Client-side RPC resilience policy: every RPC gets a per-attempt reply
@@ -197,22 +205,31 @@ class DaosClient {
   /// One RPC attempt racing a reply deadline. On expiry the attempt is
   /// abandoned (the in-flight call still completes against the server — the
   /// duplicate-apply window real retries face) and Errno::timed_out returns.
+  /// `ctx` links the attempt into the caller's trace tree (see call_target).
   sim::CoTask<net::Reply> call_with_deadline(net::NodeId dst, std::uint16_t opcode,
                                              net::Body body, std::uint64_t wire_bytes,
-                                             sim::Time deadline);
+                                             sim::Time deadline, sim::TraceContext ctx = {});
 
   /// Bounded retry with deterministic exponential backoff: retries on
   /// timed_out/busy up to the policy's attempt budget, then surfaces the
-  /// final status.
+  /// final status. Backoff waits are recorded as "retry" child spans of
+  /// `ctx`, so traced ops show retry storms explicitly.
   sim::CoTask<net::Reply> call_retry(net::NodeId dst, std::uint16_t opcode, net::Body body,
-                                     std::uint64_t wire_bytes);
+                                     std::uint64_t wire_bytes, sim::TraceContext ctx = {});
 
   /// Object RPC to a pool-map target. Targets this client already knows are
   /// EXCLUDED fail fast with Errno::stale; a target that exhausts its retry
   /// budget is reported to the pool service for eviction, the local map is
   /// refreshed, and Errno::stale tells the caller to re-place.
   sim::CoTask<net::Reply> call_target(std::uint32_t map_target, std::uint16_t opcode,
-                                      net::Body body, std::uint64_t wire_bytes);
+                                      net::Body body, std::uint64_t wire_bytes,
+                                      sim::TraceContext ctx = {});
+
+  /// Samples the next client-level op into a trace: bumps the op sequence
+  /// and allocates a root span id unconditionally (both pure counters), then
+  /// returns an active root context for 1-in-trace_sample ops and an
+  /// inactive one otherwise. Object handles use this via OpTrace.
+  sim::TraceContext sample_op_trace();
 
   /// Re-fetches pool-map health state from the pool service with a point
   /// query and applies it to the local map if the version advanced. The slow
@@ -279,7 +296,7 @@ class DaosClient {
   sim::CoTask<Result<std::string>> svc_command(std::string cmd);
   static sim::CoTask<void> run_call(net::RpcEndpoint* ep, net::NodeId dst, std::uint16_t opcode,
                                     net::Body body, std::uint64_t wire_bytes,
-                                    std::shared_ptr<PendingCall> st);
+                                    sim::TraceContext ctx, std::shared_ptr<PendingCall> st);
   sim::CoTask<void> report_engine_failure(net::NodeId engine);
 
   // --- IV map refresh (client/refresh.cpp) ---
@@ -315,6 +332,7 @@ class DaosClient {
   telemetry::DurationHistogram* tx_commit_time_ = nullptr;
   std::uint64_t tx_seq_ = 0;         // per-client transaction sequence
   vos::Epoch tx_last_epoch_ = 0;     // last HLC epoch handed out
+  std::uint64_t trace_op_seq_ = 0;   // client-level op counter for trace sampling
   /// Coalesces concurrent failure reports per engine: the first caller runs
   /// the eviction, later callers wait on its gate. std::map: iteration order
   /// must never depend on addresses (determinism).
@@ -332,6 +350,35 @@ class DaosClient {
   std::uint64_t map_full_fetches_ = 0;
   std::uint64_t map_staleness_detected_ = 0;
   std::string last_data_loss_;
+};
+
+/// RAII root-span guard for one client-level operation (a KvObject put, an
+/// ArrayObject write, ...). Construction draws the sampling decision from
+/// DaosClient::sample_op_trace; destruction — at the coroutine frame's
+/// co_return, i.e. the op's virtual completion time — emits the "op" span.
+/// Everything the op does derives child contexts from ctx(); when the op was
+/// not sampled, ctx() is inactive and the whole subtree stays unsampled.
+class OpTrace {
+ public:
+  OpTrace(DaosClient& client, const char* name)
+      : client_(client), name_(name), begin_(client.scheduler().now()),
+        ctx_(client.sample_op_trace()) {}
+  ~OpTrace() {
+    if (sim::SpanSink* sink = client_.scheduler().span_sink()) {
+      sink->span("op", name_, client_.endpoint().node(), 0, begin_,
+                 client_.scheduler().now(), ctx_);
+    }
+  }
+  OpTrace(const OpTrace&) = delete;
+  OpTrace& operator=(const OpTrace&) = delete;
+
+  const sim::TraceContext& ctx() const { return ctx_; }
+
+ private:
+  DaosClient& client_;
+  const char* name_;  // static label: no formatting unless a sink is attached
+  sim::Time begin_;
+  sim::TraceContext ctx_;
 };
 
 /// KV-style object handle (DAOS "multi-level KV" API): dkey -> akey -> value.
@@ -427,11 +474,12 @@ class ArrayObject {
   // parks the reply for the caller's round barrier, which owns stale
   // re-placement and degraded-read fallback per piece.
   sim::CoTask<void> update_batch(std::uint32_t map_target, engine::ObjUpdateReq req,
-                                 std::uint64_t wire, std::shared_ptr<Errno> out);
+                                 std::uint64_t wire, sim::TraceContext ctx,
+                                 std::shared_ptr<Errno> out);
   sim::CoTask<void> fetch_batch(std::uint32_t map_target, engine::ObjFetchReq req,
-                                std::shared_ptr<net::Reply> out);
+                                sim::TraceContext ctx, std::shared_ptr<net::Reply> out);
   sim::CoTask<void> query_piece(std::uint32_t shard, engine::ObjQueryReq req,
-                                std::shared_ptr<Errno> status,
+                                sim::TraceContext ctx, std::shared_ptr<Errno> status,
                                 std::shared_ptr<std::uint64_t> max_end);
 
   DaosClient& client_;

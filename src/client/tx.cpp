@@ -92,6 +92,9 @@ sim::CoTask<Errno> TxHandle::commit() {
     client_.note_tx_commit(0);
     co_return Errno::ok;
   }
+  // The commit is a traced client-level op: prepares, the leader decision
+  // and both fans hang beneath one root, so a 2PC reads as a single tree.
+  OpTrace tr(client_, "tx_commit");
   sim::Scheduler& sched = client_.scheduler();
   const sim::Time t0 = sched.now();
   epoch_ = client_.tx_alloc_epoch();
@@ -104,7 +107,7 @@ sim::CoTask<Errno> TxHandle::commit() {
   std::vector<std::shared_ptr<Errno>> results;
   for (const auto& [mt, ops] : staged_) {
     auto rc = std::make_shared<Errno>(Errno::ok);
-    sim::CoTask<void> task = prepare_one(mt, rc);
+    sim::CoTask<void> task = prepare_one(mt, tr.ctx(), rc);
     wg.spawn(std::move(task));
     results.push_back(std::move(rc));
   }
@@ -117,7 +120,7 @@ sim::CoTask<Errno> TxHandle::commit() {
   if (prep != Errno::ok) {
     // Abort everywhere (including the leader, whose sticky abort record
     // fences any prepare still in flight after a timed-out attempt).
-    co_await abort_fan();
+    co_await abort_fan(tr.ctx());
     state_ = State::aborted;
     client_.note_tx_abort();
     if (prep == Errno::tx_restart) {
@@ -129,10 +132,10 @@ sim::CoTask<Errno> TxHandle::commit() {
 
   // Phase 2: decide on the leader shard FIRST — its decision record is the
   // durable commit point every resolve consults.
-  const Errno lead = co_await decide_one(leader_, engine::kOpTxCommit);
+  const Errno lead = co_await decide_one(leader_, engine::kOpTxCommit, tr.ctx());
   if (lead == Errno::tx_restart) {
     // The orphan reaper's sticky abort beat the commit: definitive loss.
-    co_await abort_fan();
+    co_await abort_fan(tr.ctx());
     state_ = State::aborted;
     client_.note_tx_abort();
     client_.note_tx_restart();
@@ -152,7 +155,7 @@ sim::CoTask<Errno> TxHandle::commit() {
   sim::WaitGroup fan(sched);
   for (const auto& [mt, ops] : staged_) {
     if (mt == leader_) continue;
-    sim::CoTask<void> task = decide_quiet(mt, engine::kOpTxCommit);
+    sim::CoTask<void> task = decide_quiet(mt, engine::kOpTxCommit, tr.ctx());
     fan.spawn(std::move(task));
   }
   co_await fan.wait();
@@ -171,7 +174,8 @@ sim::CoTask<Errno> TxHandle::abort() {
   co_return Errno::ok;
 }
 
-sim::CoTask<void> TxHandle::prepare_one(std::uint32_t map_target, std::shared_ptr<Errno> out) {
+sim::CoTask<void> TxHandle::prepare_one(std::uint32_t map_target, sim::TraceContext ctx,
+                                        std::shared_ptr<Errno> out) {
   engine::TxPrepareReq req;
   req.cont = cont_;
   req.tx_client = id_.client;
@@ -184,32 +188,42 @@ sim::CoTask<void> TxHandle::prepare_one(std::uint32_t map_target, std::shared_pt
   for (const auto& op : req.ops) payload += op.length;
   const std::uint64_t wire = engine::obj_wire_bytes(req.ops.size(), payload);
   Body body = Body::make(std::move(req));
-  co_await client_.rpc_credits().acquire();  // see ArrayObject::update_batch
-  Reply r = co_await client_.call_target(map_target, engine::kOpTxPrepare, std::move(body), wire);
+  // Credit wait as a "credit" child span (see ArrayObject::update_batch).
+  const sim::TraceContext credit_ctx = ctx.child(client_.scheduler().alloc_span_id());
+  const sim::Time c0 = client_.scheduler().now();
+  co_await client_.rpc_credits().acquire();
+  if (sim::SpanSink* sink = client_.scheduler().span_sink()) {
+    sink->span("credit", strfmt("rpc credit ->%u", map_target), client_.endpoint().node(), 0,
+               c0, client_.scheduler().now(), credit_ctx);
+  }
+  Reply r = co_await client_.call_target(map_target, engine::kOpTxPrepare, std::move(body), wire,
+                                         ctx);
   client_.rpc_credits().release();
   *out = r.status;
 }
 
-sim::CoTask<Errno> TxHandle::decide_one(std::uint32_t map_target, std::uint16_t opcode) {
+sim::CoTask<Errno> TxHandle::decide_one(std::uint32_t map_target, std::uint16_t opcode,
+                                        sim::TraceContext ctx) {
   engine::TxDecideReq req;
   req.cont = cont_;
   req.tx_client = id_.client;
   req.tx_seq = id_.seq;
   req.target = client_.pool_map().targets[map_target].target;
   Body body = Body::make(std::move(req));
-  Reply r =
-      co_await client_.call_target(map_target, opcode, std::move(body), engine::kObjRpcHeader);
+  Reply r = co_await client_.call_target(map_target, opcode, std::move(body),
+                                         engine::kObjRpcHeader, ctx);
   co_return r.status;
 }
 
-sim::CoTask<void> TxHandle::decide_quiet(std::uint32_t map_target, std::uint16_t opcode) {
-  (void)co_await decide_one(map_target, opcode);
+sim::CoTask<void> TxHandle::decide_quiet(std::uint32_t map_target, std::uint16_t opcode,
+                                         sim::TraceContext ctx) {
+  (void)co_await decide_one(map_target, opcode, ctx);
 }
 
-sim::CoTask<void> TxHandle::abort_fan() {
+sim::CoTask<void> TxHandle::abort_fan(sim::TraceContext ctx) {
   sim::WaitGroup wg(client_.scheduler());
   for (const auto& [mt, ops] : staged_) {
-    sim::CoTask<void> task = decide_quiet(mt, engine::kOpTxAbort);
+    sim::CoTask<void> task = decide_quiet(mt, engine::kOpTxAbort, ctx);
     wg.spawn(std::move(task));
   }
   co_await wg.wait();

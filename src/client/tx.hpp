@@ -57,12 +57,17 @@ class TxHandle {
   enum class State : std::uint8_t { open, committed, aborted, in_doubt };
 
   void stage(std::uint32_t map_target, engine::TxOpDesc op);
-  sim::CoTask<void> prepare_one(std::uint32_t map_target, std::shared_ptr<Errno> out);
-  sim::CoTask<Errno> decide_one(std::uint32_t map_target, std::uint16_t opcode);
-  sim::CoTask<void> decide_quiet(std::uint32_t map_target, std::uint16_t opcode);
+  // `ctx` is the commit-time trace root: the whole 2PC — prepares, the
+  // leader decision, the commit/abort fans — assembles into one trace tree.
+  sim::CoTask<void> prepare_one(std::uint32_t map_target, sim::TraceContext ctx,
+                                std::shared_ptr<Errno> out);
+  sim::CoTask<Errno> decide_one(std::uint32_t map_target, std::uint16_t opcode,
+                                sim::TraceContext ctx);
+  sim::CoTask<void> decide_quiet(std::uint32_t map_target, std::uint16_t opcode,
+                                 sim::TraceContext ctx);
   /// Abort on every participant, failures tolerated (the reaper finishes
   /// the job against the leader's sticky abort record).
-  sim::CoTask<void> abort_fan();
+  sim::CoTask<void> abort_fan(sim::TraceContext ctx);
 
   DaosClient& client_;
   vos::Uuid cont_;

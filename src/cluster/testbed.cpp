@@ -258,4 +258,14 @@ telemetry::DurationHistogram::State Testbed::client_rpc_latency(const std::strin
   return sum;
 }
 
+void Testbed::attach_trace(telemetry::TraceLog* log) {
+  trace_log_ = log;
+  sched_.set_span_sink(log);
+}
+
+void Testbed::dump_slow_ops(std::ostream& os, sim::Time threshold, std::size_t top_k) const {
+  if (trace_log_ == nullptr) return;
+  trace_log_->write_slow_ops(os, threshold, top_k);
+}
+
 }  // namespace daosim::cluster

@@ -135,6 +135,16 @@ class Testbed {
   /// `op` ("update", "fetch") — the per-phase breakdown source for IOR.
   telemetry::DurationHistogram::State client_rpc_latency(const std::string& op) const;
 
+  /// Attaches `log` as the scheduler's span sink (nullptr detaches). Purely
+  /// observational: toggling it never changes timings or trace_hash().
+  void attach_trace(telemetry::TraceLog* log);
+  telemetry::TraceLog* trace_log() const { return trace_log_; }
+  /// Deterministic slow-op report from the attached trace log: the top-k
+  /// sampled client ops at or above `threshold`, each with its critical-path
+  /// stage breakdown (see TraceLog::write_slow_ops). No-op when no log is
+  /// attached.
+  void dump_slow_ops(std::ostream& os, sim::Time threshold, std::size_t top_k = 10) const;
+
  private:
   template <typename F>
   static sim::CoTask<void> invoke_holding(F f) {
@@ -159,6 +169,7 @@ class Testbed {
   /// Declared after domain_/engines_/svc_: the injector's destructor
   /// uninstalls its hooks from the domain, so it must die first.
   std::unique_ptr<fault::Injector> injector_;
+  telemetry::TraceLog* trace_log_ = nullptr;  // observed only, never owned
   bool started_ = false;
 };
 

@@ -122,7 +122,8 @@ sim::Time Engine::stream_context_touch(Target& t, vos::Uuid cont, vos::ObjId oid
   return write ? cfg_.stream_switch_write : cfg_.stream_switch_read;
 }
 
-sim::CoTask<void> Engine::media_write(Target& t, std::uint64_t bytes) {
+sim::CoTask<void> Engine::media_write(Target& t, std::uint64_t bytes, sim::TraceContext ctx) {
+  const sim::TraceContext media_ctx = ctx.child(sched_.alloc_span_id());
   const sim::Time t0 = sched_.now();
   // Target slice and socket pipe are charged concurrently: the slice models
   // the xstream's DIMM-channel share, the pipe the socket aggregate.
@@ -134,11 +135,12 @@ sim::CoTask<void> Engine::media_write(Target& t, std::uint64_t bytes) {
   co_await sim::when_all(sched_, std::move(stages));
   if (sim::SpanSink* sink = sched_.span_sink()) {
     sink->span("media", strfmt("write %" PRIu64 "B", bytes), ep_.node(), t.idx, t0,
-               sched_.now());
+               sched_.now(), media_ctx);
   }
 }
 
-sim::CoTask<void> Engine::media_read(Target& t, std::uint64_t bytes) {
+sim::CoTask<void> Engine::media_read(Target& t, std::uint64_t bytes, sim::TraceContext ctx) {
+  const sim::TraceContext media_ctx = ctx.child(sched_.alloc_span_id());
   const sim::Time t0 = sched_.now();
   std::vector<sim::CoTask<void>> stages;
   stages.push_back([](sim::SharedBandwidth& bw, std::uint64_t b) -> sim::CoTask<void> {
@@ -148,24 +150,39 @@ sim::CoTask<void> Engine::media_read(Target& t, std::uint64_t bytes) {
   co_await sim::when_all(sched_, std::move(stages));
   if (sim::SpanSink* sink = sched_.span_sink()) {
     sink->span("media", strfmt("read %" PRIu64 "B", bytes), ep_.node(), t.idx, t0,
-               sched_.now());
+               sched_.now(), media_ctx);
   }
 }
 
-sim::CoTask<void> Engine::rebuild_read(std::uint32_t idx, std::uint64_t bytes) {
-  Target& t = target_for(idx);
+sim::CoTask<void> Engine::xstream_exec(Target& t, sim::Time cpu, sim::TraceContext ctx) {
+  const sim::TraceContext queue_ctx = ctx.child(sched_.alloc_span_id());
+  const sim::TraceContext vos_ctx = ctx.child(sched_.alloc_span_id());
+  const sim::Time t0 = sched_.now();
   co_await t.xstream.acquire();
-  co_await sched_.delay(cfg_.fetch_cpu);
+  const sim::Time t1 = sched_.now();
+  if (sim::SpanSink* sink = sched_.span_sink()) {
+    sink->span("queue", strfmt("target %u wait", t.idx), ep_.node(), t.idx, t0, t1, queue_ctx);
+  }
+  co_await sched_.delay(cpu);
   t.xstream.release();
-  co_await media_read(t, bytes + 64);
+  if (sim::SpanSink* sink = sched_.span_sink()) {
+    sink->span("vos", strfmt("target %u cpu", t.idx), ep_.node(), t.idx, t1, sched_.now(),
+               vos_ctx);
+  }
 }
 
-sim::CoTask<void> Engine::rebuild_write(std::uint32_t idx, std::uint64_t bytes) {
+sim::CoTask<void> Engine::rebuild_read(std::uint32_t idx, std::uint64_t bytes,
+                                       sim::TraceContext ctx) {
   Target& t = target_for(idx);
-  co_await t.xstream.acquire();
-  co_await sched_.delay(cfg_.update_cpu);
-  t.xstream.release();
-  co_await media_write(t, bytes + 64);
+  co_await xstream_exec(t, cfg_.fetch_cpu, ctx);
+  co_await media_read(t, bytes + 64, ctx);
+}
+
+sim::CoTask<void> Engine::rebuild_write(std::uint32_t idx, std::uint64_t bytes,
+                                        sim::TraceContext ctx) {
+  Target& t = target_for(idx);
+  co_await xstream_exec(t, cfg_.update_cpu, ctx);
+  co_await media_write(t, bytes + 64, ctx);
 }
 
 sim::CoTask<net::Reply> Engine::on_update(net::Request req) {
@@ -182,9 +199,8 @@ sim::CoTask<net::Reply> Engine::on_update(net::Request req) {
   // A batched request pays one queue entry and one context touch; only the
   // marginal per-descriptor CPU scales with the extent count.
   const sim::Time sw = stream_context_touch(t, r.cont, r.oid, /*write=*/true);
-  co_await t.xstream.acquire();
-  co_await sched_.delay(cfg_.update_cpu + sim::Time(nex - 1) * cfg_.update_cpu_extent + sw);
-  t.xstream.release();
+  co_await xstream_exec(t, cfg_.update_cpu + sim::Time(nex - 1) * cfg_.update_cpu_extent + sw,
+                        req.ctx);
 
   if (!r.extents.empty()) {
     DAOSIM_REQUIRE(r.type == RecordType::array, "batched update must be an array op");
@@ -195,7 +211,8 @@ sim::CoTask<net::Reply> Engine::on_update(net::Request req) {
       exts.push_back({e.dkey, e.offset, e.length, e.payload_off});
       total += e.length;
     }
-    co_await media_write(t, total + 64 * nex);  // records + per-extent tree-node writes
+    // Records + per-extent tree-node writes.
+    co_await media_write(t, total + 64 * nex, req.ctx);
     // Shard lookup deliberately after the last suspension: never hold a
     // storage reference across a media await (suspension-safety audit).
     vos::VosContainer& cont = t.vos.container(r.cont);
@@ -208,7 +225,7 @@ sim::CoTask<net::Reply> Engine::on_update(net::Request req) {
     co_return Reply{Errno::ok, kObjRpcHeader, {}};
   }
 
-  co_await media_write(t, r.length + 64);  // record + tree-node write
+  co_await media_write(t, r.length + 64, req.ctx);  // record + tree-node write
 
   vos::VosContainer& cont = t.vos.container(r.cont);
   if (r.cond_insert && r.type == RecordType::single_value &&
@@ -241,9 +258,8 @@ sim::CoTask<net::Reply> Engine::on_fetch(net::Request req) {
   telemetry::DurationHistogram* svc = svc_enter(t, "fetch");
 
   const sim::Time sw = stream_context_touch(t, r.cont, r.oid, /*write=*/false);
-  co_await t.xstream.acquire();
-  co_await sched_.delay(cfg_.fetch_cpu + sim::Time(nex - 1) * cfg_.fetch_cpu_extent + sw);
-  t.xstream.release();
+  co_await xstream_exec(t, cfg_.fetch_cpu + sim::Time(nex - 1) * cfg_.fetch_cpu_extent + sw,
+                        req.ctx);
 
   ObjFetchResp resp;
   std::uint64_t reply_bytes = 0;
@@ -256,7 +272,7 @@ sim::CoTask<net::Reply> Engine::on_fetch(net::Request req) {
       exts.push_back({e.dkey, e.offset, e.length, e.payload_off});
       total += e.length;
     }
-    co_await media_read(t, total + 64 * nex);
+    co_await media_read(t, total + 64 * nex, req.ctx);
     // Shard lookup after the last suspension (see on_update).
     vos::VosContainer& cont = t.vos.container(r.cont);
     resp.fills.resize(r.extents.size());
@@ -272,7 +288,7 @@ sim::CoTask<net::Reply> Engine::on_fetch(net::Request req) {
     co_return Reply{Errno::ok, kObjRpcHeader + reply_bytes, Body::make(std::move(resp))};
   }
   if (r.type == RecordType::array) {
-    co_await media_read(t, r.length + 64);
+    co_await media_read(t, r.length + 64, req.ctx);
     vos::VosContainer& cont = t.vos.container(r.cont);
     if (cfg_.payload == vos::PayloadMode::store) {
       resp.data = std::make_shared<std::vector<std::byte>>(r.length);
@@ -289,7 +305,7 @@ sim::CoTask<net::Reply> Engine::on_fetch(net::Request req) {
     // points at the epoch record, which is immutable once written (VOS is
     // versioned: overwrites append at a new epoch, they never edit in place).
     auto view = t.vos.container(r.cont).kv_get(r.oid, r.dkey, r.akey, r.epoch);
-    co_await media_read(t, view.size + 64);
+    co_await media_read(t, view.size + 64, req.ctx);
     resp.exists = view.exists;
     if (view.exists) {
       resp.data = std::make_shared<std::vector<std::byte>>(view.data.begin(), view.data.end());
@@ -308,15 +324,13 @@ sim::CoTask<net::Reply> Engine::on_enum_dkeys(net::Request req) {
   const sim::Time svc_t0 = sched_.now();
   telemetry::DurationHistogram* svc = svc_enter(t, "enum_dkeys");
 
-  co_await t.xstream.acquire();
-  co_await sched_.delay(cfg_.enum_cpu);
-  t.xstream.release();
+  co_await xstream_exec(t, cfg_.enum_cpu, req.ctx);
 
   ObjEnumResp resp;
   resp.keys = t.vos.container(r.cont).list_dkeys(r.oid, r.epoch);
   std::uint64_t bytes = kObjRpcHeader;
   for (const auto& k : resp.keys) bytes += k.size() + 8;
-  co_await media_read(t, bytes);
+  co_await media_read(t, bytes, req.ctx);
   svc->record(sched_.now() - svc_t0);
   co_return Reply{Errno::ok, bytes, Body::make(std::move(resp))};
 }
@@ -328,15 +342,13 @@ sim::CoTask<net::Reply> Engine::on_enum_akeys(net::Request req) {
   const sim::Time svc_t0 = sched_.now();
   telemetry::DurationHistogram* svc = svc_enter(t, "enum_akeys");
 
-  co_await t.xstream.acquire();
-  co_await sched_.delay(cfg_.enum_cpu);
-  t.xstream.release();
+  co_await xstream_exec(t, cfg_.enum_cpu, req.ctx);
 
   ObjEnumResp resp;
   resp.keys = t.vos.container(r.cont).list_akeys(r.oid, r.dkey, r.epoch);
   std::uint64_t bytes = kObjRpcHeader;
   for (const auto& k : resp.keys) bytes += k.size() + 8;
-  co_await media_read(t, bytes);
+  co_await media_read(t, bytes, req.ctx);
   svc->record(sched_.now() - svc_t0);
   co_return Reply{Errno::ok, bytes, Body::make(std::move(resp))};
 }
@@ -347,10 +359,8 @@ sim::CoTask<net::Reply> Engine::on_punch(net::Request req) {
   const sim::Time svc_t0 = sched_.now();
   telemetry::DurationHistogram* svc = svc_enter(t, "punch");
 
-  co_await t.xstream.acquire();
-  co_await sched_.delay(cfg_.punch_cpu);
-  t.xstream.release();
-  co_await media_write(t, 64);
+  co_await xstream_exec(t, cfg_.punch_cpu, req.ctx);
+  co_await media_write(t, 64, req.ctx);
 
   auto& cont = t.vos.container(r.cont);
   cont.observe_time(vos::hlc_base(sched_.now()));
@@ -371,10 +381,8 @@ sim::CoTask<net::Reply> Engine::on_query(net::Request req) {
   const sim::Time svc_t0 = sched_.now();
   telemetry::DurationHistogram* svc = svc_enter(t, "query");
 
-  co_await t.xstream.acquire();
-  co_await sched_.delay(cfg_.fetch_cpu);
-  t.xstream.release();
-  co_await media_read(t, 64);
+  co_await xstream_exec(t, cfg_.fetch_cpu, req.ctx);
+  co_await media_read(t, 64, req.ctx);
 
   ObjQueryResp resp;
   auto& cont = t.vos.container(r.cont);

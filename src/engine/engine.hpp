@@ -75,9 +75,12 @@ class Engine {
 
   /// Rebuild traffic: charges the target's xstream and media bandwidth like a
   /// foreground fetch/update, so rebuild transfers share the pipes with
-  /// application I/O instead of teleporting data.
-  sim::CoTask<void> rebuild_read(std::uint32_t idx, std::uint64_t bytes);
-  sim::CoTask<void> rebuild_write(std::uint32_t idx, std::uint64_t bytes);
+  /// application I/O instead of teleporting data. `ctx` links the work into
+  /// the rebuild task's trace tree.
+  sim::CoTask<void> rebuild_read(std::uint32_t idx, std::uint64_t bytes,
+                                 sim::TraceContext ctx = {});
+  sim::CoTask<void> rebuild_write(std::uint32_t idx, std::uint64_t bytes,
+                                  sim::TraceContext ctx = {});
 
   std::uint64_t updates_served() const { return updates_; }
   std::uint64_t fetches_served() const { return fetches_; }
@@ -125,8 +128,12 @@ class Engine {
   sim::CoTask<void> dtx_read_barrier(Target& t, vos::Uuid cont, vos::Epoch epoch);
   /// Checks/updates the target's stream-context set; returns the switch cost.
   sim::Time stream_context_touch(Target& t, vos::Uuid cont, vos::ObjId oid, bool write);
-  sim::CoTask<void> media_write(Target& t, std::uint64_t bytes);
-  sim::CoTask<void> media_read(Target& t, std::uint64_t bytes);
+  sim::CoTask<void> media_write(Target& t, std::uint64_t bytes, sim::TraceContext ctx = {});
+  sim::CoTask<void> media_read(Target& t, std::uint64_t bytes, sim::TraceContext ctx = {});
+  /// Queue on the target's xstream, then charge `cpu` of service time.
+  /// Emits a "queue" span for the wait and a "vos" span for the CPU burn
+  /// (tree descent, checksums), both children of `ctx`.
+  sim::CoTask<void> xstream_exec(Target& t, sim::Time cpu, sim::TraceContext ctx);
 
   /// Samples the target's queue depth and returns the service-time histogram
   /// for `op` — called at handler entry; the handler records at exit.

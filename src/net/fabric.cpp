@@ -55,7 +55,8 @@ void Fabric::bind_node_counters(NodeId n) {
   nodes_[n].rx = &telemetry_->find_or_create<telemetry::Counter>(strfmt("node/%u/rx_bytes", n));
 }
 
-sim::CoTask<void> Fabric::transfer(NodeId src, NodeId dst, std::uint64_t bytes) {
+sim::CoTask<void> Fabric::transfer(NodeId src, NodeId dst, std::uint64_t bytes,
+                                   sim::TraceContext ctx) {
   DAOSIM_REQUIRE(src < nodes_.size() && dst < nodes_.size(), "unknown fabric node");
   ++messages_;
   const std::uint64_t wire = bytes + cfg_.message_header_bytes;
@@ -74,6 +75,9 @@ sim::CoTask<void> Fabric::transfer(NodeId src, NodeId dst, std::uint64_t bytes) 
   ensure_switch();
   sim::Time latency = cfg_.latency;
   if (delay_hook_) latency += delay_hook_(src, dst);
+  // Span id allocated unconditionally (sink or not, sampled or not) so ids
+  // stay bit-identical when tracing toggles.
+  const sim::TraceContext xfer_ctx = ctx.child(sched_.alloc_span_id());
   const sim::Time t0 = sched_.now();
   co_await sched_.delay(latency);
   // Cut-through: the transfer completes when the last byte has cleared the
@@ -96,7 +100,7 @@ sim::CoTask<void> Fabric::transfer(NodeId src, NodeId dst, std::uint64_t bytes) 
   }
   if (sim::SpanSink* sink = sched_.span_sink()) {
     sink->span("xfer", strfmt("%u->%u %" PRIu64 "B", src, dst, wire), src, dst, t0,
-               sched_.now());
+               sched_.now(), xfer_ctx);
   }
 }
 

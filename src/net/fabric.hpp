@@ -48,8 +48,11 @@ class Fabric {
   sim::Scheduler& scheduler() { return sched_; }
 
   /// Moves `bytes` (plus the message header) from `src` to `dst`, completing
-  /// when the last byte lands. Loopback messages pay latency only.
-  sim::CoTask<void> transfer(NodeId src, NodeId dst, std::uint64_t bytes);
+  /// when the last byte lands. Loopback messages pay latency only. `ctx` is
+  /// the caller's trace context; the transfer's "xfer" span is emitted as its
+  /// child (inactive context = unlinked span, exactly as before).
+  sim::CoTask<void> transfer(NodeId src, NodeId dst, std::uint64_t bytes,
+                             sim::TraceContext ctx = {});
 
   std::uint64_t bytes_sent(NodeId n) const;
   std::uint64_t messages_sent() const { return messages_; }

@@ -34,7 +34,7 @@ RpcEndpoint::OpMetrics& RpcEndpoint::op_metrics(std::uint16_t opcode) {
 }
 
 sim::CoTask<Reply> RpcEndpoint::call(NodeId dst, std::uint16_t opcode, Body body,
-                                     std::uint64_t request_bytes) {
+                                     std::uint64_t request_bytes, sim::TraceContext ctx) {
   OpMetrics* m = telemetry_ != nullptr ? &op_metrics(opcode) : nullptr;
   if (inflight_ >= max_inflight_) {
     ++busy_rejections_;
@@ -45,13 +45,19 @@ sim::CoTask<Reply> RpcEndpoint::call(NodeId dst, std::uint16_t opcode, Body body
   ++calls_;
   if (m) m->sent->inc();
   auto& fabric = domain_.fabric_;
+  // Trace contexts: the client-side "rpc" span is a child of the caller's
+  // context, the server-side "svc" span (emitted below, around the handler)
+  // its child in turn. Span ids are allocated unconditionally — a pure
+  // counter bump — so ids never depend on the sink or on sampling.
+  const sim::TraceContext rpc_ctx = ctx.child(fabric.scheduler().alloc_span_id());
+  const sim::TraceContext svc_ctx = rpc_ctx.child(fabric.scheduler().alloc_span_id());
   const sim::Time t0 = fabric.scheduler().now();
   // Span emission and metric recording are passive: they never schedule,
   // so attaching telemetry cannot perturb trace_hash() or timings.
   const auto emit_span = [&](const char* suffix) {
     if (sim::SpanSink* sink = fabric.scheduler().span_sink()) {
       sink->span("rpc", domain_.opcode_name(opcode) + suffix + strfmt(" ->%u", dst), node_,
-                 opcode, t0, fabric.scheduler().now());
+                 opcode, t0, fabric.scheduler().now(), rpc_ctx);
     }
   };
 
@@ -67,7 +73,7 @@ sim::CoTask<Reply> RpcEndpoint::call(NodeId dst, std::uint16_t opcode, Body body
     if (fault.extra_delay > 0) co_await fabric.scheduler().delay(fault.extra_delay);
   }
 
-  co_await fabric.transfer(node_, dst, request_bytes);
+  co_await fabric.transfer(node_, dst, request_bytes, rpc_ctx);
 
   // The awaits between this lookup and its uses sit on co_return paths, and
   // endpoints_ nodes are erased only in ~RpcEndpoint (a crash flips down_,
@@ -88,8 +94,15 @@ sim::CoTask<Reply> RpcEndpoint::call(NodeId dst, std::uint16_t opcode, Body body
     co_return Reply{Errno::not_supported, 0, {}};
   }
   ++server.served_;
-  Request req{node_, request_bytes, std::move(body)};
+  Request req{node_, request_bytes, std::move(body), svc_ctx};
+  const sim::Time t_svc = fabric.scheduler().now();
   Reply reply = co_await hit->second(std::move(req));
+  // Central server-side span: every handler (engine ops, DTX, rebuild, SWIM,
+  // pool service) gets its service interval recorded without touching it.
+  if (sim::SpanSink* sink = fabric.scheduler().span_sink()) {
+    sink->span("svc", domain_.opcode_name(opcode), dst, opcode, t_svc,
+               fabric.scheduler().now(), svc_ctx);
+  }
 
   // The server may have crashed while the handler ran (the handler had
   // already mutated server state): the reply is lost, the caller times out.
@@ -106,8 +119,11 @@ sim::CoTask<Reply> RpcEndpoint::call(NodeId dst, std::uint16_t opcode, Body body
   if (again->second->map_version_source_) {
     reply.map_version = again->second->map_version_source_();
   }
+  // Trace piggyback: stamp the server-side context on the reply, centrally,
+  // so callers can link what served them without every handler cooperating.
+  reply.ctx = svc_ctx;
 
-  co_await fabric.transfer(dst, node_, reply.wire_bytes);
+  co_await fabric.transfer(dst, node_, reply.wire_bytes, rpc_ctx);
   if (m) {
     m->completed->inc();
     m->latency->record(fabric.scheduler().now() - t0);

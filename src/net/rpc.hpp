@@ -54,12 +54,20 @@ struct Reply {
   /// do). 0 = no source; callers treat it as "no information". This is how
   /// clients learn about map changes passively instead of polling.
   std::uint32_t map_version = 0;
+  /// Causal trace context of the server-side span that produced this reply,
+  /// stamped centrally in RpcEndpoint::call (like map_version). Inactive
+  /// when the call was not part of a sampled trace.
+  sim::TraceContext ctx;
 };
 
 struct Request {
   NodeId source = 0;
   std::uint64_t wire_bytes = 0;  // request payload size for timing
   Body body;
+  /// Causal trace context for the handler: the server-side "svc" span's own
+  /// context, stamped centrally in RpcEndpoint::call. Handlers derive child
+  /// spans (queue wait, VOS, media) from it with ctx.child().
+  sim::TraceContext ctx;
 };
 
 using Handler = std::function<sim::CoTask<Reply>(Request)>;
@@ -122,8 +130,11 @@ class RpcEndpoint {
 
   /// Issues an RPC to `dst` and awaits the reply. Calls to nodes without an
   /// endpoint or handler fail with Errno::no_entry / Errno::not_supported.
+  /// `ctx` is the caller's trace context: the RPC's client-side span becomes
+  /// its child and the server-side handler span a grandchild; both request
+  /// and reply are stamped centrally here (see Request::ctx / Reply::ctx).
   sim::CoTask<Reply> call(NodeId dst, std::uint16_t opcode, Body body,
-                          std::uint64_t request_bytes);
+                          std::uint64_t request_bytes, sim::TraceContext ctx = {});
 
   /// Marks this endpoint unreachable (for failure injection); calls to it
   /// time out with Errno::timed_out after `timeout`.

@@ -68,8 +68,9 @@ sim::CoTask<net::Reply> RebuildService::on_fetch(net::Request req) {
   const auto& r = req.body.get<engine::RebuildFetchReq>();
   engine::RebuildFetchResp resp = fetch_records(r);
   // Source-side cost: the export streams through the target's xstream and
-  // media read path like a foreground fetch.
-  co_await eng_.rebuild_read(r.target, resp.bytes);
+  // media read path like a foreground fetch. req.ctx links the read into the
+  // puller's trace tree across the fabric hop.
+  co_await eng_.rebuild_read(r.target, resp.bytes, req.ctx);
   const std::uint64_t wire = engine::kObjRpcHeader + resp.bytes;
   co_return net::Reply{Errno::ok, wire, net::Body::make(std::move(resp))};
 }
@@ -240,17 +241,20 @@ vos::Epoch RebuildService::task_floor(std::uint32_t version, std::uint32_t targe
 sim::CoTask<void> RebuildService::run_assignment(std::uint32_t version,
                                                  std::vector<engine::RebuildEntry> entries) {
   const sim::Time t0 = sched_.now();
+  // Every assignment is a trace root (no sampling — rebuilds are rare and
+  // always worth a tree); the id allocation is a pure counter bump.
+  const sim::TraceContext ctx = sim::TraceContext::root(sched_.alloc_span_id());
   auto failed = std::make_shared<bool>(false);
   sim::WaitGroup wg(sched_);
   for (const auto& e : entries) {
-    wg.spawn(pull_entry(version, e, failed));
+    wg.spawn(pull_entry(version, e, ctx, failed));
   }
   co_await wg.wait();
   active_.erase(version);
   task_time_->record(sched_.now() - t0);
   if (sim::SpanSink* sink = sched_.span_sink()) {
     sink->span("rebuild", strfmt("task v%u%s", version, *failed ? " (failed)" : ""),
-               eng_.node(), version, t0, sched_.now());
+               eng_.node(), version, t0, sched_.now(), ctx);
   }
   if (*failed) co_return;  // coordinator re-drives the task next tick
   completed_.insert(version);
@@ -258,6 +262,7 @@ sim::CoTask<void> RebuildService::run_assignment(std::uint32_t version,
 }
 
 sim::CoTask<void> RebuildService::pull_entry(std::uint32_t version, engine::RebuildEntry entry,
+                                             sim::TraceContext ctx,
                                              std::shared_ptr<bool> failed) {
   // Throttle: at most cfg_.max_inflight transfers pull concurrently, so
   // rebuild never monopolises the engine's xstreams and media bandwidth.
@@ -279,13 +284,13 @@ sim::CoTask<void> RebuildService::pull_entry(std::uint32_t version, engine::Rebu
     // Source and destination share this engine: skip the fabric, still pay
     // the source-side read.
     resp = fetch_records(req);
-    co_await eng_.rebuild_read(req.target, resp.bytes);
+    co_await eng_.rebuild_read(req.target, resp.bytes, ctx);
     ok = true;
   } else {
     for (int attempt = 0; attempt < kFetchAttempts && !ok; ++attempt) {
       net::Body body = net::Body::make(req);
       net::Reply r = co_await eng_.endpoint().call(src_engine, engine::kOpRebuildFetch,
-                                                   std::move(body), 256);
+                                                   std::move(body), 256, ctx);
       if (r.status == Errno::ok) {
         resp = std::move(r.body.get<engine::RebuildFetchResp>());
         ok = true;
@@ -296,7 +301,7 @@ sim::CoTask<void> RebuildService::pull_entry(std::uint32_t version, engine::Rebu
     *failed = true;
   } else {
     apply_records(version, entry, resp);
-    co_await eng_.rebuild_write(base_map_.targets[entry.dst].target, resp.bytes);
+    co_await eng_.rebuild_write(base_map_.targets[entry.dst].target, resp.bytes, ctx);
     sched_.trace_note(kTraceRebuildPull ^ entry.oid.lo ^ (std::uint64_t(entry.dst) << 32));
   }
   --cur_inflight_;

@@ -61,8 +61,10 @@ class RebuildService {
 
   sim::CoTask<void> run_assignment(std::uint32_t version,
                                    std::vector<engine::RebuildEntry> entries);
+  /// `ctx` is the assignment's trace root: each pull's fetch RPC and its
+  /// local read/write charges hang beneath it as one rebuild trace tree.
   sim::CoTask<void> pull_entry(std::uint32_t version, engine::RebuildEntry entry,
-                               std::shared_ptr<bool> failed);
+                               sim::TraceContext ctx, std::shared_ptr<bool> failed);
   void apply_records(std::uint32_t version, const engine::RebuildEntry& entry,
                      const engine::RebuildFetchResp& resp);
   sim::CoTask<void> report_done(std::uint32_t version);

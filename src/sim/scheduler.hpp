@@ -20,6 +20,30 @@ namespace daosim::sim {
 
 class Scheduler;
 
+/// Causal trace context: identifies one span inside one trace tree. A context
+/// is allocated at a trace root (a sampled client op, a DTX commit, a rebuild
+/// assignment, a SWIM probe round) and handed down the call chain; each hop
+/// derives a child with `child()`. All-zero means "not traced" — span ids are
+/// never 0, so `active()` distinguishes sampled from unsampled work, and a
+/// child of an inactive context stays inactive (sampling decisions propagate
+/// for free). Plain value type: copying or dropping one never schedules.
+struct TraceContext {
+  std::uint64_t trace_id = 0;   ///< root span id of the whole tree
+  std::uint64_t span_id = 0;    ///< this span
+  std::uint64_t parent_id = 0;  ///< enclosing span (0 for the root)
+
+  bool active() const { return trace_id != 0; }
+  /// Derives the context of a child span with the given freshly-allocated id
+  /// (see Scheduler::alloc_span_id). Inactive contexts stay inactive.
+  TraceContext child(std::uint64_t id) const {
+    return active() ? TraceContext{trace_id, id, span_id} : TraceContext{};
+  }
+  /// Starts a new trace tree rooted at span `id`. The only sanctioned way to
+  /// originate a context (see the orphan-span lint rule): everything below a
+  /// root must derive via child(), so every span id has a reachable parent.
+  static TraceContext root(std::uint64_t id) { return TraceContext{id, id, 0}; }
+};
+
 /// Passive receiver for structured trace spans (RPCs, media transfers,
 /// rebuild tasks). Implementations record the span; they must not touch the
 /// scheduler — a sink never schedules events, so attaching one cannot change
@@ -28,11 +52,13 @@ class SpanSink {
  public:
   virtual ~SpanSink() = default;
   /// One completed span: `category` is a static label ("rpc", "xfer",
-  /// "media", "rebuild"), `name` a human-readable description, `pid`/`tid` a
-  /// process/track grouping (typically node id / opcode or stream), and
-  /// [begin, end] the simulated-time interval.
+  /// "media", "rebuild", "op", "svc", "queue", "vos", ...), `name` a
+  /// human-readable description, `pid`/`tid` a process/track grouping
+  /// (typically node id / opcode or stream), [begin, end] the simulated-time
+  /// interval and `ctx` the causal linkage (inactive when the work was not
+  /// sampled into a trace tree).
   virtual void span(const char* category, std::string name, std::uint32_t pid,
-                    std::uint64_t tid, Time begin, Time end) = 0;
+                    std::uint64_t tid, Time begin, Time end, TraceContext ctx = {}) = 0;
 };
 
 /// Handle to a cancellable callback timer (see Scheduler::schedule_callback).
@@ -140,6 +166,14 @@ class Scheduler {
   void set_span_sink(SpanSink* sink) { span_sink_ = sink; }
   SpanSink* span_sink() const { return span_sink_; }
 
+  /// Allocates a fresh nonzero span id for trace contexts. A bare counter
+  /// increment: it never schedules and never feeds the trace digest, and it
+  /// is bumped unconditionally at instrumentation sites (whether or not a
+  /// sink is attached or the op was sampled), so span ids — and therefore
+  /// trace JSON — are bit-identical across same-seed runs and unchanged by
+  /// toggling the sink.
+  std::uint64_t alloc_span_id() { return ++next_span_id_; }
+
  private:
   struct Detached {
     struct promise_type {
@@ -196,6 +230,7 @@ class Scheduler {
   std::uint64_t events_ = 0;
   std::size_t live_ = 0;
   std::uint64_t trace_hash_ = 0xCBF29CE484222325ULL;  // FNV-1a offset basis
+  std::uint64_t next_span_id_ = 0;
   std::vector<std::exception_ptr> errors_;
   std::vector<std::coroutine_handle<Detached::promise_type>> detached_;
   SpanSink* span_sink_ = nullptr;

@@ -197,8 +197,10 @@ sim::CoTask<net::Reply> SwimService::on_ping_req(net::Request req) {
   ping.map_version = eng_.cached_map_version();
   ping.updates = gossip();
   Body body = Body::make(std::move(ping));
-  Reply sub =
-      co_await eng_.endpoint().call(subject, engine::kOpSwimPing, std::move(body), kSwimMsgBytes);
+  // req.ctx threads the prober's trace through the relay: probe -> ping-req
+  // -> relayed ping shows up as one chain across three nodes.
+  Reply sub = co_await eng_.endpoint().call(subject, engine::kOpSwimPing, std::move(body),
+                                            kSwimMsgBytes, req.ctx);
   engine::SwimPingResp resp;
   resp.subject_acked = sub.status == Errno::ok;
   if (sub.status == Errno::ok) {
@@ -333,13 +335,30 @@ sim::CoTask<void> SwimService::probe_once() {
   if (m == kNone) co_return;
   const net::NodeId subject = members_[m];
   probes_->inc();
+  // Every probe round is a trace root (no sampling): the direct ping and any
+  // witness fan assemble into one tree under the "probe" span emitted by the
+  // guard below. Id allocation is a pure counter bump.
+  const sim::TraceContext ctx = sim::TraceContext::root(sched_.alloc_span_id());
+  const sim::Time probe_t0 = sched_.now();
+  struct ProbeSpan {
+    sim::Scheduler& sched;
+    net::NodeId node;
+    net::NodeId subject;
+    sim::Time t0;
+    sim::TraceContext ctx;
+    ~ProbeSpan() {
+      if (sim::SpanSink* sink = sched.span_sink()) {
+        sink->span("probe", strfmt("probe ->%u", subject), node, 0, t0, sched.now(), ctx);
+      }
+    }
+  } probe_span{sched_, eng_.node(), subject, probe_t0, ctx};
   engine::SwimPingReq ping;
   ping.from = eng_.node();
   ping.map_version = eng_.cached_map_version();
   ping.updates = gossip();
   Body body = Body::make(std::move(ping));
-  Reply r =
-      co_await eng_.endpoint().call(subject, engine::kOpSwimPing, std::move(body), kSwimMsgBytes);
+  Reply r = co_await eng_.endpoint().call(subject, engine::kOpSwimPing, std::move(body),
+                                          kSwimMsgBytes, ctx);
   if (r.status == Errno::ok) {
     const auto& ack = r.body.get<engine::SwimPingResp>();
     process_updates(ack.updates);
@@ -359,7 +378,7 @@ sim::CoTask<void> SwimService::probe_once() {
     rr.updates = gossip();
     Body rbody = Body::make(std::move(rr));
     Reply wr = co_await eng_.endpoint().call(members_[w], engine::kOpSwimPingReq,
-                                             std::move(rbody), kSwimMsgBytes);
+                                             std::move(rbody), kSwimMsgBytes, ctx);
     if (wr.status != Errno::ok) continue;
     const auto& ack = wr.body.get<engine::SwimPingResp>();
     process_updates(ack.updates);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cinttypes>
+#include <string_view>
 
 namespace daosim::telemetry {
 
@@ -153,6 +154,20 @@ void DurationHistogram::fields(std::vector<Field>& out) const {
   out.push_back({"max_ns", u64_str(s_.count ? s_.max_ns : 0)});
   out.push_back({"p50_ns", f64_str(s_.percentile_ns(50.0))});
   out.push_back({"p99_ns", f64_str(s_.percentile_ns(99.0))});
+  // Log2 bucket vector, trimmed to the last occupied bucket (a JSON array;
+  // the CSV writer quotes it). tools/metrics_diff.py diffs these
+  // element-wise, so percentile shifts are explainable bucket by bucket.
+  std::size_t last = 0;
+  for (std::size_t k = 0; k < kBuckets; ++k) {
+    if (s_.buckets[k] > 0) last = k + 1;
+  }
+  std::string b = "[";
+  for (std::size_t k = 0; k < last; ++k) {
+    if (k > 0) b += ',';
+    b += u64_str(s_.buckets[k]);
+  }
+  b += ']';
+  out.push_back({"buckets", std::move(b)});
 }
 
 void Probe::fields(std::vector<Field>& out) const {
@@ -165,11 +180,29 @@ Probe& Registry::add_probe(const std::string& path, std::function<std::uint64_t(
   return *static_cast<Probe*>(it->second.get());
 }
 
+namespace {
+
+// RFC 4180 quoting for values embedding commas/quotes (histogram bucket
+// arrays); plain values pass through untouched so existing dumps are stable.
+std::string csv_field(const std::string& v) {
+  if (v.find_first_of(",\"\n") == std::string::npos) return v;
+  std::string out = "\"";
+  for (const char c : v) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
 void write_csv(std::ostream& os, const std::vector<const Registry*>& regs) {
   os << "path,kind,field,value\n";
   for (const Row& r : flatten(regs)) {
     for (const Field& f : r.fields) {
-      os << r.path << ',' << kind_name(r.kind) << ',' << f.name << ',' << f.value << '\n';
+      os << r.path << ',' << kind_name(r.kind) << ',' << f.name << ',' << csv_field(f.value)
+         << '\n';
     }
   }
 }
@@ -195,8 +228,9 @@ void write_dump(std::ostream& os, const std::vector<const Registry*>& regs, Dump
 }
 
 void TraceLog::span(const char* category, std::string name, std::uint32_t pid,
-                    std::uint64_t tid, sim::Time begin, sim::Time end) {
-  spans_.push_back({category, std::move(name), pid, tid, begin, end});
+                    std::uint64_t tid, sim::Time begin, sim::Time end, TraceContext ctx) {
+  if (!keep_unsampled_ && !ctx.active()) return;
+  spans_.push_back({category, std::move(name), pid, tid, begin, end, ctx});
 }
 
 void TraceLog::set_process_name(std::uint32_t pid, std::string name) {
@@ -219,14 +253,183 @@ void TraceLog::write_chrome_json(std::ostream& os) const {
   }
   for (const Span& s : spans_) {
     // Chrome trace timestamps are microseconds; keep ns precision as a
-    // fraction. "X" is a complete (begin+duration) event.
+    // fraction. "X" is a complete (begin+duration) event. Traced spans carry
+    // their causal ids in args so offline tools can rebuild the tree.
     os << (first ? "" : ",\n") << "  {\"name\": \"" << json_escape(s.name) << "\", \"cat\": \""
        << s.category << "\", \"ph\": \"X\", \"ts\": " << f64_str(double(s.begin) / 1000.0)
        << ", \"dur\": " << f64_str(double(s.end - s.begin) / 1000.0) << ", \"pid\": " << s.pid
-       << ", \"tid\": " << s.tid << "}";
+       << ", \"tid\": " << s.tid;
+    if (s.ctx.active()) {
+      os << ", \"args\": {\"trace\": " << s.ctx.trace_id << ", \"span\": " << s.ctx.span_id
+         << ", \"parent\": " << s.ctx.parent_id << "}";
+    }
+    os << "}";
+    first = false;
+  }
+  // Flow events: one "s"/"f" pair per cross-process parent/child edge, so
+  // Perfetto draws an arrow from the parent's track to the child's. The flow
+  // id is the child's span id (unique per edge).
+  std::map<std::uint64_t, const Span*> by_id;
+  for (const Span& s : spans_) {
+    if (s.ctx.active()) by_id.emplace(s.ctx.span_id, &s);
+  }
+  for (const Span& s : spans_) {
+    if (!s.ctx.active() || s.ctx.parent_id == 0) continue;
+    const auto it = by_id.find(s.ctx.parent_id);
+    if (it == by_id.end() || it->second->pid == s.pid) continue;
+    const Span& p = *it->second;
+    const std::string ts = f64_str(double(s.begin) / 1000.0);
+    os << (first ? "" : ",\n") << "  {\"name\": \"flow\", \"cat\": \"trace\", \"ph\": \"s\", "
+       << "\"id\": " << s.ctx.span_id << ", \"pid\": " << p.pid << ", \"tid\": " << p.tid
+       << ", \"ts\": " << ts << "},\n"
+       << "  {\"name\": \"flow\", \"cat\": \"trace\", \"ph\": \"f\", \"bp\": \"e\", \"id\": "
+       << s.ctx.span_id << ", \"pid\": " << s.pid << ", \"tid\": " << s.tid
+       << ", \"ts\": " << ts << "}";
     first = false;
   }
   os << "\n]}\n";
+}
+
+const char* TraceLog::stage_name(std::size_t stage) {
+  static constexpr const char* kNames[kStages] = {"client-queue", "fabric", "engine-queue",
+                                                  "service",      "vos",    "media"};
+  DAOSIM_REQUIRE(stage < kStages, "stage index %zu out of range", stage);
+  return kNames[stage];
+}
+
+std::size_t TraceLog::stage_of(const char* category) {
+  const std::string_view c = category;
+  if (c == "rpc" || c == "xfer") return 1;  // fabric
+  if (c == "queue") return 2;               // engine-queue
+  if (c == "svc") return 3;                 // service
+  if (c == "vos") return 4;                 // vos
+  if (c == "media") return 5;               // media
+  // op / batch / credit / retry and background roots (tx, rebuild, probe):
+  // client-side or self time, claimed only when no deeper span covers it.
+  return 0;
+}
+
+std::uint64_t TraceLog::StageBreakdown::total_ns() const {
+  std::uint64_t t = 0;
+  for (const std::uint64_t v : ns) t += v;
+  return t;
+}
+
+namespace {
+
+/// Stage breakdown of one trace's spans (keyed by span id — sorted, so the
+/// tie-breaks below are deterministic and "smaller span id wins" falls out
+/// of iteration order). Shared by attribute() and profile_ops().
+TraceLog::StageBreakdown attribute_group(const std::map<std::uint64_t, const TraceLog::Span*>& by_id,
+                                         const TraceLog::Span* root) {
+  using Span = TraceLog::Span;
+  TraceLog::StageBreakdown out;
+  if (root == nullptr) return out;
+  // Depth (hops to the root) decides segment ownership: deepest span wins.
+  std::map<std::uint64_t, std::size_t> depth;
+  for (const auto& [id, sp] : by_id) {
+    std::size_t d = 0;
+    const Span* cur = sp;
+    while (cur->ctx.parent_id != 0 && d <= by_id.size()) {
+      const auto it = by_id.find(cur->ctx.parent_id);
+      if (it == by_id.end()) break;  // orphan: treat its link as the root
+      cur = it->second;
+      ++d;
+    }
+    depth[id] = d;
+  }
+  // Segment the root interval at every span boundary; charge each segment to
+  // the deepest covering span (tie: later stage, then smaller span id). The
+  // segments partition [root.begin, root.end], so stage times sum exactly to
+  // the root duration.
+  std::vector<sim::Time> cuts{root->begin, root->end};
+  for (const auto& [id, sp] : by_id) {
+    if (sp->begin > root->begin && sp->begin < root->end) cuts.push_back(sp->begin);
+    if (sp->end > root->begin && sp->end < root->end) cuts.push_back(sp->end);
+  }
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+  for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+    const sim::Time a = cuts[i];
+    const sim::Time b = cuts[i + 1];
+    std::size_t win_stage = 0;
+    std::size_t win_depth = 0;
+    bool found = false;
+    for (const auto& [id, sp] : by_id) {
+      if (sp->begin > a || sp->end < b) continue;  // does not cover [a, b]
+      const std::size_t d = depth[id];
+      const std::size_t st = TraceLog::stage_of(sp->category);
+      if (!found || d > win_depth || (d == win_depth && st > win_stage)) {
+        found = true;
+        win_depth = d;
+        win_stage = st;
+      }
+    }
+    out.ns[win_stage] += b - a;  // the root always covers, so found holds
+  }
+  return out;
+}
+
+}  // namespace
+
+TraceLog::StageBreakdown TraceLog::attribute(std::uint64_t trace_id) const {
+  std::map<std::uint64_t, const Span*> by_id;
+  const Span* root = nullptr;
+  for (const Span& s : spans_) {
+    if (s.ctx.trace_id != trace_id || !s.ctx.active()) continue;
+    by_id.emplace(s.ctx.span_id, &s);
+    if (s.ctx.parent_id == 0) root = &s;
+  }
+  return attribute_group(by_id, root);
+}
+
+std::map<std::string, TraceLog::OpProfile> TraceLog::profile_ops() const {
+  // Group spans by trace id once, then attribute each sampled op's tree.
+  std::map<std::uint64_t, std::map<std::uint64_t, const Span*>> traces;
+  std::map<std::uint64_t, const Span*> roots;
+  for (const Span& s : spans_) {
+    if (!s.ctx.active()) continue;
+    traces[s.ctx.trace_id].emplace(s.ctx.span_id, &s);
+    if (s.ctx.parent_id == 0 && std::string_view(s.category) == "op") {
+      roots[s.ctx.trace_id] = &s;
+    }
+  }
+  std::map<std::string, OpProfile> out;
+  for (const auto& [trace_id, root] : roots) {
+    const StageBreakdown bd = attribute_group(traces[trace_id], root);
+    OpProfile& p = out[root->name];
+    ++p.count;
+    for (std::size_t st = 0; st < kStages; ++st) p.stages.ns[st] += bd.ns[st];
+  }
+  return out;
+}
+
+void TraceLog::write_slow_ops(std::ostream& os, sim::Time threshold, std::size_t top_k) const {
+  std::vector<const Span*> ops;
+  for (const Span& s : spans_) {
+    if (std::string_view(s.category) == "op" && s.ctx.active() && s.ctx.parent_id == 0 &&
+        s.end - s.begin >= threshold) {
+      ops.push_back(&s);
+    }
+  }
+  std::sort(ops.begin(), ops.end(), [](const Span* a, const Span* b) {
+    const sim::Time da = a->end - a->begin;
+    const sim::Time db = b->end - b->begin;
+    if (da != db) return da > db;
+    if (a->begin != b->begin) return a->begin < b->begin;
+    return a->ctx.span_id < b->ctx.span_id;
+  });
+  if (ops.size() > top_k) ops.resize(top_k);
+  os << "slow ops >= " << threshold << " ns: " << ops.size() << "\n";
+  for (const Span* sp : ops) {
+    const StageBreakdown bd = attribute(sp->ctx.trace_id);
+    os << strfmt("  trace %" PRIu64 " pid %u %s: %" PRIu64 " ns", sp->ctx.trace_id, sp->pid,
+                 sp->name.c_str(), sp->end - sp->begin);
+    for (std::size_t st = 0; st < kStages; ++st) {
+      os << strfmt(" | %s %" PRIu64, stage_name(st), bd.ns[st]);
+    }
+    os << "\n";
+  }
 }
 
 }  // namespace daosim::telemetry

@@ -23,6 +23,11 @@
 
 namespace daosim::telemetry {
 
+/// Causal trace context (trace_id / span_id / parent_id) threaded through the
+/// request path. Defined in sim so SpanSink can carry it; re-exported here
+/// because telemetry is its natural home for users.
+using TraceContext = sim::TraceContext;
+
 enum class Kind : std::uint8_t { counter, gauge, stat_gauge, histogram, probe };
 
 const char* kind_name(Kind k);
@@ -194,22 +199,11 @@ void write_json(std::ostream& os, const std::vector<const Registry*>& regs);
 void write_dump(std::ostream& os, const std::vector<const Registry*>& regs, DumpFormat fmt);
 
 /// Span sink accumulating structured trace events, serializable as Chrome
-/// trace-event JSON (chrome://tracing, Perfetto).
+/// trace-event JSON (chrome://tracing, Perfetto). Spans carry their causal
+/// TraceContext; cross-process parent/child edges become Perfetto flow
+/// events ("s"/"f") so the viewer draws arrows between nodes.
 class TraceLog final : public sim::SpanSink {
  public:
-  void span(const char* category, std::string name, std::uint32_t pid, std::uint64_t tid,
-            sim::Time begin, sim::Time end) override;
-
-  /// Labels a pid track in the viewer ("engine/3", "client/12").
-  void set_process_name(std::uint32_t pid, std::string name);
-
-  std::size_t size() const { return spans_.size(); }
-  /// Count of recorded spans in `category`.
-  std::size_t count(const std::string& category) const;
-
-  void write_chrome_json(std::ostream& os) const;
-
- private:
   struct Span {
     const char* category;
     std::string name;
@@ -217,9 +211,69 @@ class TraceLog final : public sim::SpanSink {
     std::uint64_t tid;
     sim::Time begin;
     sim::Time end;
+    TraceContext ctx;
   };
+
+  void span(const char* category, std::string name, std::uint32_t pid, std::uint64_t tid,
+            sim::Time begin, sim::Time end, TraceContext ctx = {}) override;
+
+  /// Labels a pid track in the viewer ("engine/3", "client/12").
+  void set_process_name(std::uint32_t pid, std::string name);
+
+  std::size_t size() const { return spans_.size(); }
+  /// Count of recorded spans in `category`.
+  std::size_t count(const std::string& category) const;
+  const std::vector<Span>& spans() const { return spans_; }
+
+  void write_chrome_json(std::ostream& os) const;
+
+  // -- Critical-path attribution ------------------------------------------
+  // Six pipeline stages; every span category maps to one. tools/
+  // trace_analyze.py implements the identical segmentation so in-process and
+  // offline breakdowns agree.
+  static constexpr std::size_t kStages = 6;
+  static const char* stage_name(std::size_t stage);
+  /// Stage index for a span category ("rpc" -> fabric, "vos" -> vos, ...).
+  /// Root/self categories ("op", "tx", "rebuild", "probe", ...) map to the
+  /// client-queue stage — time no deeper span claims.
+  static std::size_t stage_of(const char* category);
+
+  struct StageBreakdown {
+    std::array<std::uint64_t, kStages> ns{};
+    std::uint64_t total_ns() const;
+  };
+
+  /// Attributes the wall time of trace `trace_id`'s root span to stages by
+  /// segmenting the root interval at every span boundary and charging each
+  /// segment to its deepest covering span (ties: later pipeline stage, then
+  /// smaller span id). Segments always partition the root interval exactly,
+  /// so the breakdown sums to the root's duration.
+  StageBreakdown attribute(std::uint64_t trace_id) const;
+
+  /// Per-op-name aggregate: every sampled "op" root span's breakdown, summed
+  /// by op name ("arr_write", "kv_put", ...). One pass over the log (spans
+  /// grouped by trace id), so profiling a whole IOR job is linear-ish rather
+  /// than one full scan per op.
+  struct OpProfile {
+    std::uint64_t count = 0;
+    StageBreakdown stages;  // summed over the ops; divide by count for means
+  };
+  std::map<std::string, OpProfile> profile_ops() const;
+
+  /// Deterministic slow-op report: client "op" root spans at least
+  /// `threshold` long, top `top_k` by (duration desc, begin asc, span id
+  /// asc), each with its per-stage breakdown.
+  void write_slow_ops(std::ostream& os, sim::Time threshold, std::size_t top_k) const;
+
+  /// When false, spans without an active trace context are dropped at record
+  /// time, bounding memory to the sampled traces (bench sweeps run with 1/N
+  /// sampling and this off). Default keeps everything, as a raw span log.
+  void set_keep_unsampled(bool keep) { keep_unsampled_ = keep; }
+
+ private:
   std::vector<Span> spans_;
   std::map<std::uint32_t, std::string> process_names_;
+  bool keep_unsampled_ = true;
 };
 
 }  // namespace daosim::telemetry

@@ -1,0 +1,342 @@
+// Causal-tracing tests: the zero-perturbation contract (same-seed trace_hash
+// is bit-identical with tracing on, off, or at any sampling rate), same-seed
+// byte-identical trace JSON, well-formed cross-node span trees for the data
+// path, DTX 2PC and crash->rebuild, the critical-path attribution invariant
+// (stage times partition the root's duration exactly), and the deterministic
+// slow-op log.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "client/tx.hpp"
+#include "co_assert.hpp"
+#include "fault/fault.hpp"
+#include "ior/ior.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace daosim::telemetry {
+namespace {
+
+using cluster::ClusterConfig;
+using cluster::kPoolUuid;
+using cluster::Testbed;
+using sim::CoTask;
+
+ClusterConfig small_cluster(std::uint64_t trace_sample = 1) {
+  ClusterConfig cfg;
+  cfg.server_nodes = 2;
+  cfg.engines_per_server = 2;
+  cfg.targets_per_engine = 4;
+  cfg.client_nodes = 2;
+  cfg.client.trace_sample = trace_sample;
+  return cfg;
+}
+
+ior::IorConfig hard_job() {
+  ior::IorConfig cfg;
+  cfg.api = ior::Api::dfs;
+  cfg.transfer_size = 256 * kKiB;
+  cfg.block_size = 1 * kMiB;
+  cfg.segments = 2;
+  cfg.file_per_process = false;  // shared file: ops cross the fabric
+  return cfg;
+}
+
+std::vector<std::byte> bytes(std::string_view s) {
+  std::vector<std::byte> v(s.size());
+  std::memcpy(v.data(), s.data(), s.size());
+  return v;
+}
+
+/// Groups the log's context-carrying spans by trace id.
+std::map<std::uint64_t, std::map<std::uint64_t, const TraceLog::Span*>> trees_of(
+    const TraceLog& log) {
+  std::map<std::uint64_t, std::map<std::uint64_t, const TraceLog::Span*>> trees;
+  for (const TraceLog::Span& s : log.spans()) {
+    if (s.ctx.active()) trees[s.ctx.trace_id].emplace(s.ctx.span_id, &s);
+  }
+  return trees;
+}
+
+/// Asserts one trace is a single well-formed tree: exactly one root, every
+/// parent id resolves within the trace (no orphans), and every child's
+/// interval is contained in its parent's.
+void expect_well_formed(std::uint64_t trace_id,
+                        const std::map<std::uint64_t, const TraceLog::Span*>& by_id) {
+  std::size_t roots = 0;
+  for (const auto& [id, sp] : by_id) {
+    if (sp->ctx.parent_id == 0) {
+      ++roots;
+      continue;
+    }
+    const auto parent = by_id.find(sp->ctx.parent_id);
+    ASSERT_NE(parent, by_id.end())
+        << "trace " << trace_id << ": span " << id << " (" << sp->category << "/" << sp->name
+        << ") is orphaned: parent " << sp->ctx.parent_id << " missing";
+    EXPECT_GE(sp->begin, parent->second->begin)
+        << "trace " << trace_id << ": span " << id << " starts before parent";
+    EXPECT_LE(sp->end, parent->second->end)
+        << "trace " << trace_id << ": span " << id << " ends after parent";
+  }
+  EXPECT_EQ(roots, 1u) << "trace " << trace_id << " is not a single tree";
+}
+
+struct TracedRun {
+  std::string trace_json;
+  std::string slow_ops;
+  std::uint64_t trace_hash = 0;
+  double write_seconds = 0;
+  double read_seconds = 0;
+};
+
+TracedRun run_traced(std::uint64_t trace_sample, bool attach, TraceLog* out = nullptr) {
+  Testbed tb(small_cluster(trace_sample));
+  TraceLog local;
+  TraceLog& log = out != nullptr ? *out : local;
+  if (attach) tb.attach_trace(&log);
+  tb.start();
+  ior::IorRunner runner(tb, /*ppn=*/4);
+  const ior::IorResult res = runner.run(hard_job());
+  TracedRun r;
+  std::ostringstream slow;
+  tb.dump_slow_ops(slow, /*threshold=*/0, /*top_k=*/5);
+  tb.stop();
+  std::ostringstream os;
+  log.write_chrome_json(os);
+  r.trace_json = os.str();
+  r.slow_ops = slow.str();
+  r.trace_hash = tb.sched().trace_hash();
+  r.write_seconds = res.write.seconds;
+  r.read_seconds = res.read.seconds;
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Determinism battery
+
+TEST(TracingDeterminism, SameSeedRunsProduceByteIdenticalTraceJson) {
+  const TracedRun a = run_traced(/*trace_sample=*/1, /*attach=*/true);
+  const TracedRun b = run_traced(/*trace_sample=*/1, /*attach=*/true);
+  EXPECT_GT(a.trace_json.size(), 2u);
+  EXPECT_EQ(a.trace_json, b.trace_json) << "trace JSON drifted across same-seed runs";
+  EXPECT_EQ(a.slow_ops, b.slow_ops) << "slow-op log drifted across same-seed runs";
+}
+
+TEST(TracingDeterminism, TraceHashInvariantToSinkAttachment) {
+  const TracedRun off = run_traced(/*trace_sample=*/1, /*attach=*/false);
+  const TracedRun on = run_traced(/*trace_sample=*/1, /*attach=*/true);
+  EXPECT_EQ(off.trace_hash, on.trace_hash) << "attaching the trace sink perturbed the run";
+  EXPECT_EQ(off.write_seconds, on.write_seconds);
+  EXPECT_EQ(off.read_seconds, on.read_seconds);
+}
+
+TEST(TracingDeterminism, TraceHashInvariantToSamplingRate) {
+  const TracedRun all = run_traced(/*trace_sample=*/1, /*attach=*/true);
+  const TracedRun some = run_traced(/*trace_sample=*/4, /*attach=*/true);
+  const TracedRun none = run_traced(/*trace_sample=*/0, /*attach=*/true);
+  EXPECT_EQ(all.trace_hash, some.trace_hash) << "sampling rate perturbed the run";
+  EXPECT_EQ(all.trace_hash, none.trace_hash) << "disabling sampling perturbed the run";
+  EXPECT_EQ(all.write_seconds, some.write_seconds);
+  EXPECT_EQ(all.write_seconds, none.write_seconds);
+}
+
+TEST(TracingDeterminism, SamplingThinsRootsWithoutRenumberingSpans) {
+  TraceLog all, some, none;
+  (void)run_traced(/*trace_sample=*/1, /*attach=*/true, &all);
+  (void)run_traced(/*trace_sample=*/4, /*attach=*/true, &some);
+  (void)run_traced(/*trace_sample=*/0, /*attach=*/true, &none);
+  auto active_ops = [](const TraceLog& log) {
+    std::size_t n = 0;
+    for (const TraceLog::Span& s : log.spans()) {
+      if (std::string_view(s.category) == "op" && s.ctx.active()) ++n;
+    }
+    return n;
+  };
+  EXPECT_GT(active_ops(all), active_ops(some));
+  EXPECT_GT(active_ops(some), 0u);
+  EXPECT_EQ(active_ops(none), 0u);
+  // Span ids are allocated whether or not an op is sampled, so the ids any
+  // given trace uses are identical at every sampling rate: every tree in the
+  // thinned log appears, span for span, in the full one.
+  const auto full = trees_of(all);
+  for (const auto& [trace_id, by_id] : trees_of(some)) {
+    const auto it = full.find(trace_id);
+    ASSERT_NE(it, full.end()) << "sampled trace " << trace_id << " absent from the full log";
+    EXPECT_EQ(by_id.size(), it->second.size());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tree shape and the attribution invariant
+
+TEST(TracingTrees, HardModeOpsFormSingleCrossNodeTrees) {
+  TraceLog log;
+  (void)run_traced(/*trace_sample=*/1, /*attach=*/true, &log);
+  const auto trees = trees_of(log);
+  ASSERT_GT(trees.size(), 0u);
+  std::size_t cross_node = 0;
+  std::size_t op_roots = 0;
+  for (const auto& [trace_id, by_id] : trees) {
+    expect_well_formed(trace_id, by_id);
+    std::uint32_t root_pid = 0;
+    bool is_op = false;
+    bool remote = false;
+    for (const auto& [id, sp] : by_id) {
+      if (sp->ctx.parent_id == 0) {
+        root_pid = sp->pid;
+        is_op = std::string_view(sp->category) == "op";
+      }
+    }
+    for (const auto& [id, sp] : by_id) {
+      if (sp->pid != root_pid) remote = true;
+    }
+    op_roots += is_op ? 1 : 0;
+    cross_node += (is_op && remote) ? 1 : 0;
+  }
+  EXPECT_GT(op_roots, 0u);
+  EXPECT_GT(cross_node, 0u) << "no sampled op reached another node in hard mode";
+}
+
+TEST(TracingTrees, StageAttributionPartitionsEveryRootExactly) {
+  TraceLog log;
+  (void)run_traced(/*trace_sample=*/1, /*attach=*/true, &log);
+  std::size_t checked = 0;
+  for (const TraceLog::Span& s : log.spans()) {
+    if (!s.ctx.active() || s.ctx.parent_id != 0) continue;
+    const TraceLog::StageBreakdown bd = log.attribute(s.ctx.trace_id);
+    EXPECT_EQ(bd.total_ns(), s.end - s.begin)
+        << "trace " << s.ctx.trace_id << " (" << s.name << "): stages do not sum to the root";
+    ++checked;
+  }
+  EXPECT_GT(checked, 0u);
+  // The aggregate profile covers the same ops the roots do.
+  std::uint64_t profiled = 0;
+  for (const auto& [name, p] : log.profile_ops()) profiled += p.count;
+  EXPECT_GT(profiled, 0u);
+}
+
+TEST(TracingTrees, Dtx2pcCommitIsOneTraceAcrossParticipants) {
+  Testbed tb(small_cluster());
+  TraceLog log;
+  tb.attach_trace(&log);
+  tb.start();
+  tb.run([&]() -> CoTask<void> {
+    auto& cl = tb.client(0);
+    CO_ASSERT_OK(co_await cl.cont_create(kPoolUuid, {}));
+    auto tx = cl.tx_begin(kPoolUuid);
+    // Several objects so the prepare/commit fans hit multiple shards.
+    for (std::uint64_t i = 1; i <= 4; ++i) {
+      tx.kv_put(client::make_oid(i, client::ObjClass::S1), "d", "a", bytes("v"));
+    }
+    CO_ASSERT_ERRNO(co_await tx.commit(), Errno::ok);
+  });
+  tb.stop();
+
+  const TraceLog::Span* root = nullptr;
+  for (const TraceLog::Span& s : log.spans()) {
+    if (s.name == "tx_commit" && s.ctx.active() && s.ctx.parent_id == 0) root = &s;
+  }
+  ASSERT_NE(root, nullptr) << "no sampled tx_commit root span";
+  const auto trees = trees_of(log);
+  const auto& tree = trees.at(root->ctx.trace_id);
+  expect_well_formed(root->ctx.trace_id, tree);
+  // Prepare fan-out + leader decision + commit fan: several RPCs, served on
+  // engine nodes (pids other than the client's), all under the one root.
+  std::size_t rpcs = 0, remote_svc = 0;
+  for (const auto& [id, sp] : tree) {
+    rpcs += std::string_view(sp->category) == "rpc" ? 1 : 0;
+    remote_svc +=
+        (std::string_view(sp->category) == "svc" && sp->pid != root->pid) ? 1 : 0;
+  }
+  EXPECT_GE(rpcs, 3u) << "2PC should fan out prepares plus the decision";
+  EXPECT_GE(remote_svc, 3u);
+  EXPECT_EQ(log.attribute(root->ctx.trace_id).total_ns(), root->end - root->begin);
+}
+
+TEST(TracingTrees, CrashRebuildTracesAreWellFormedAndCrossNode) {
+  Testbed tb(small_cluster());
+  TraceLog log;
+  tb.attach_trace(&log);
+  tb.start();
+  auto schedule = fault::Schedule::parse("crash@5ms:e3");
+  ASSERT_TRUE(schedule.ok());
+  tb.inject_faults(*schedule, /*seed=*/7);
+  ior::IorRunner runner(tb, /*ppn=*/4);
+  ior::IorConfig job = hard_job();
+  job.api = ior::Api::daos_array;
+  job.oclass = std::uint8_t(client::ObjClass::RP_2GX);
+  (void)runner.run(job);
+  EXPECT_TRUE(tb.wait_rebuild());
+  tb.stop();
+
+  // Every rebuild assignment roots its own always-sampled trace; the pull
+  // chain (fetch RPC to the surviving replica, local re-write) hangs under
+  // it, crossing nodes.
+  std::size_t rebuild_roots = 0, cross_node = 0;
+  const auto trees = trees_of(log);
+  for (const auto& [trace_id, by_id] : trees) {
+    const TraceLog::Span* root = nullptr;
+    for (const auto& [id, sp] : by_id) {
+      if (sp->ctx.parent_id == 0) root = sp;
+    }
+    if (root == nullptr || std::string_view(root->category) != "rebuild") continue;
+    ++rebuild_roots;
+    expect_well_formed(trace_id, by_id);
+    for (const auto& [id, sp] : by_id) {
+      if (sp->pid != root->pid) {
+        ++cross_node;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(rebuild_roots, 0u) << "no rebuild trace roots recorded";
+  EXPECT_GT(cross_node, 0u) << "rebuild pulls never crossed a node";
+}
+
+// ---------------------------------------------------------------------------
+// Slow-op log
+
+TEST(SlowOps, ReportIsThresholdedBoundedAndDeterministic) {
+  TraceLog log;
+  (void)run_traced(/*trace_sample=*/1, /*attach=*/true, &log);
+  std::ostringstream all, top2, none;
+  log.write_slow_ops(all, /*threshold=*/0, /*top_k=*/1000);
+  log.write_slow_ops(top2, /*threshold=*/0, /*top_k=*/2);
+  log.write_slow_ops(none, /*threshold=*/sim::Time(3600) * sim::kSec, /*top_k=*/1000);
+  auto lines = [](const std::string& s) {
+    std::size_t n = 0;
+    for (const char c : s) n += c == '\n' ? 1 : 0;
+    return n;
+  };
+  EXPECT_GT(lines(all.str()), 3u);
+  EXPECT_EQ(lines(top2.str()), 3u);  // header + 2 ops
+  EXPECT_EQ(lines(none.str()), 1u);  // header only
+  EXPECT_NE(all.str().find("slow ops >= 0 ns"), std::string::npos);
+  EXPECT_NE(all.str().find("| media"), std::string::npos);
+  std::ostringstream again;
+  log.write_slow_ops(again, /*threshold=*/0, /*top_k=*/1000);
+  EXPECT_EQ(all.str(), again.str());
+}
+
+TEST(SlowOps, UnsampledSpansCanBeDroppedAtRecordTime) {
+  TraceLog keep, drop;
+  drop.set_keep_unsampled(false);
+  (void)run_traced(/*trace_sample=*/4, /*attach=*/true, &keep);
+  (void)run_traced(/*trace_sample=*/4, /*attach=*/true, &drop);
+  EXPECT_LT(drop.size(), keep.size());
+  for (const TraceLog::Span& s : drop.spans()) {
+    EXPECT_TRUE(s.ctx.active());
+  }
+  // The sampled trees themselves are identical either way.
+  const auto a = trees_of(keep);
+  const auto b = trees_of(drop);
+  EXPECT_EQ(a.size(), b.size());
+}
+
+}  // namespace
+}  // namespace daosim::telemetry

@@ -13,6 +13,12 @@
 #   tools/ci.sh telemetry  telemetry suite only: dump determinism, fault
 #                          counters, metrics_diff, plus a live ior_cli run
 #                          validating the Chrome trace JSON
+#   tools/ci.sh trace      causal-tracing suite only: same-seed trace JSON
+#                          determinism, zero-perturbation (trace_hash invariant
+#                          to sink/sampling), span-tree well-formedness, the
+#                          trace_analyze tool, plus a live seeded ior_cli run
+#                          whose flow events and span trees are re-validated
+#                          offline with trace_analyze.py --check
 #   tools/ci.sh dtx        distributed-transaction suite (2PC, snapshots,
 #                          crash recovery, serializability property) under
 #                          ASan+UBSan with the runtime audits on — undefined
@@ -149,6 +155,48 @@ metrics = json.load(open("build-ci-telemetry/metrics.json"))
 assert any(p.endswith("rpc/update/sent") for p in metrics), "metrics dump is empty"
 print(f"trace OK: {len(events)} events, categories {sorted(c for c in cats if c)}")
 EOF
+  stage_end
+fi
+
+if [[ $STAGE == trace ]]; then
+  stage_begin trace
+  # Focused causal-tracing run: trace determinism (byte-identical same-seed
+  # JSON, trace_hash invariant to sink attachment and sampling rate), span
+  # trees (every sampled op one well-formed cross-node tree; DTX 2PC and
+  # crash->rebuild chains as single traces), stage attribution partitioning
+  # every root exactly, the slow-op report, and the offline analyzer. Then a
+  # live seeded hard-mode ior_cli run re-validated from the outside: flow
+  # events must reference emitted span ids, and trace_analyze.py --check must
+  # reassemble the trees with zero orphans.
+  echo "=== [trace] configure + build ==="
+  cmake -B build-ci-trace -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-ci-trace -j "$JOBS" --target tracing_test ior_cli
+  echo "=== [trace] ctest ==="
+  ctest --test-dir build-ci-trace --output-on-failure -j "$JOBS" \
+    -R 'TracingDeterminism|TracingTrees|SlowOps|tools.trace_analyze'
+  echo "=== [trace] seeded hard-mode run ==="
+  build-ci-trace/examples/ior_cli -a DFS -t 1m -b 4m -N 2 -n 4 -S 2 \
+    --trace-out=build-ci-trace/trace.json --critical-path --slow-ops=0
+  echo "=== [trace] flow events resolve ==="
+  python3 - <<'EOF'
+import json
+trace = json.load(open("build-ci-trace/trace.json"))
+events = trace["traceEvents"]
+spans = {e["args"]["span"] for e in events
+         if e.get("ph") == "X" and "args" in e and "span" in e["args"]}
+assert spans, "no spans in trace"
+flows = [e for e in events if e.get("ph") in ("s", "f")]
+assert flows, "no flow events in trace"
+dangling = [e["id"] for e in flows if e["id"] not in spans]
+assert not dangling, f"flow events reference unknown span ids: {dangling[:5]}"
+roots = sum(1 for e in events
+            if e.get("ph") == "X" and e.get("cat") == "op"
+            and e["args"].get("parent") == 0)
+assert roots, "no op roots in trace"
+print(f"flow OK: {len(flows)} flow events over {len(spans)} spans, {roots} op roots")
+EOF
+  echo "=== [trace] analyzer --check ==="
+  python3 tools/trace_analyze.py build-ci-trace/trace.json --check
   stage_end
 fi
 

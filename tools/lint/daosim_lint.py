@@ -63,6 +63,13 @@ coroutine-heavy C++ codebases:
                       unresolved handle leaves prepared DTX entries on every
                       touched shard; they pin aggregation until the orphan
                       reaper times them out and aborts them seconds later.
+  orphan-span         A TraceContext brace-literal with members written outside
+                      src/sim/. Hand-rolled {trace, span, parent} triples mint
+                      span ids outside Scheduler::alloc_span_id() and parent
+                      ids nothing emitted, producing orphan spans the analyzer
+                      rejects. TraceContext::root(alloc_span_id()) and
+                      ctx.child(alloc_span_id()) are the only sanctioned
+                      origins; `{}` (the inactive context) stays free.
   unjustified-allow   A daosim-lint or daosim-check suppression marker without
                       a trailing justification, or naming a rule that does not
                       exist. Every allow is a claim that the checker is wrong
@@ -89,7 +96,7 @@ import sys
 RULES = ("spawn-temporary", "wall-clock", "unordered-iteration", "ignored-result",
          "raw-rpc-call", "rebuild-idempotency", "untracked-metric",
          "unbatched-extent-rpc", "direct-map-query", "tx-unresolved",
-         "unjustified-allow")
+         "orphan-span", "unjustified-allow")
 
 # Rules owned by the libclang analyzer (tools/analyze/daosim_check.py). The
 # unjustified-allow rule validates daosim-check markers against this list, and
@@ -697,6 +704,36 @@ def check_tx_unresolved(path, text, clean):
     return out
 
 
+# A TraceContext brace-literal with members: `TraceContext{a, b, c}` or a
+# declaration `TraceContext ctx{a, ...}`. Only sim/scheduler.hpp (where
+# root()/child() live) may spell the triple out; everyone else either forwards
+# a context they were handed, derives one with ctx.child(alloc_span_id()), or
+# starts a protocol trace with TraceContext::root(alloc_span_id()). The empty
+# `TraceContext{}` is the inactive context and stays free.
+ORPHAN_SPAN_RE = re.compile(
+    r"(?<!struct )(?<!class )\bTraceContext\s*(?:[A-Za-z_]\w*\s*)?\{\s*[^}\s]")
+ORPHAN_SPAN_EXEMPT_PREFIX = "src/sim/"
+
+
+def check_orphan_span(path, text, clean):
+    if path.replace(os.sep, "/").startswith(ORPHAN_SPAN_EXEMPT_PREFIX):
+        return []
+    out = []
+    for m in ORPHAN_SPAN_RE.finditer(clean):
+        out.append(
+            Violation(
+                path,
+                line_of(clean, m.start()),
+                "orphan-span",
+                "hand-rolled TraceContext literal: span ids minted outside "
+                "Scheduler::alloc_span_id() collide or parent nothing, and the "
+                "trace analyzer rejects the orphan; use "
+                "TraceContext::root(alloc_span_id()) or ctx.child(alloc_span_id())",
+            )
+        )
+    return out
+
+
 # Any suppression marker, from either tool, line- or file-scoped. Group 1 is
 # the tool, group 2 the optional "-file", group 3 the rule list, and the
 # justification (": <reason>") is judged from the text that follows.
@@ -764,6 +801,7 @@ def lint_file(path, rel, result_fns, wall_clock_scope, raw_rpc_scope=False,
         violations += check_direct_map_query(rel, text, clean)
     violations += check_rebuild_idempotency(rel, text, clean)
     violations += check_tx_unresolved(rel, text, clean)
+    violations += check_orphan_span(rel, text, clean)
     if untracked_metric_scope:
         violations += check_untracked_metric(rel, text, clean)
     violations += check_unjustified_allow(rel, text, clean)

@@ -1,0 +1,47 @@
+// Fixture: orphan-span — a TraceContext brace-literal with members mints
+// span/trace ids outside Scheduler::alloc_span_id(). Hand-picked ids collide
+// with allocator-issued ones or parent a span that was never emitted, and
+// trace_analyze.py rejects the resulting orphan. TraceContext::root() and
+// ctx.child() (both fed from alloc_span_id()) are the only sanctioned
+// origins; the empty `TraceContext{}` is the inactive context and stays
+// free. The src/sim/ exemption (where root()/child() themselves spell the
+// triple out) is path-based and therefore not representable in a fixture.
+#pragma once
+
+#include <cstdint>
+
+namespace fixture {
+
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;
+  bool active() const { return trace_id != 0; }
+  TraceContext child(std::uint64_t id) const;
+  static TraceContext root(std::uint64_t id);
+};
+
+std::uint64_t alloc_span_id();
+void emit(TraceContext ctx);
+
+inline void cases() {
+  emit(TraceContext{7, 7, 0});            // EXPECT-LINT: orphan-span
+  TraceContext forged{1, 2, 3};           // EXPECT-LINT: orphan-span
+  emit(TraceContext{alloc_span_id(),      // EXPECT-LINT: orphan-span
+                    alloc_span_id(), 0});
+
+  // GOOD: the inactive context carries no ids and traces nothing.
+  emit(TraceContext{});
+  TraceContext inactive{};
+
+  // GOOD: the sanctioned origins route every id through the allocator.
+  TraceContext op = TraceContext::root(alloc_span_id());
+  emit(op.child(alloc_span_id()));
+
+  // GOOD: a site with a real reason may suppress explicitly.
+  emit(TraceContext{9, 9, 0});  // daosim-lint: allow(orphan-span): fixture proves the suppression path
+
+  (void)forged; (void)inactive;
+}
+
+}  // namespace fixture

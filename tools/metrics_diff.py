@@ -7,6 +7,10 @@ Reports, in sorted path order:
   - <path>              metric present only in the first dump
   ~ <path> field: a -> b (+x%)   changed field value (percent delta for
                                  numeric fields, against the first dump)
+  ~ <path> buckets[k] [lo, hi) ns: a -> b (+x%)
+                        histogram bucket vectors are diffed element-wise
+                        (bucket k counts durations with bit_width k), so a
+                        p50/p99 shift is explainable bucket by bucket
 
 Exit status: 0 when the dumps are identical, 1 when they differ, 2 on a
 usage/parse error — so a determinism harness can assert `metrics_diff a b`
@@ -41,6 +45,23 @@ def fmt_delta(old, new):
             return f" ({(new - old) / old * 100.0:+.1f}%)"
         return " (new from zero)" if new != 0 else ""
     return ""
+
+
+def diff_buckets(path, old, new):
+    """Element-wise diff of two DurationHistogram bucket vectors; returns the
+    number of changed buckets. Bucket k counts durations with bit_width k,
+    i.e. [2^(k-1), 2^k) ns (bucket 0 is the zero-duration bucket); the dumps
+    trim trailing zero buckets, so the vectors may differ in length."""
+    changed = 0
+    for k in range(max(len(old), len(new))):
+        ca = old[k] if k < len(old) else 0
+        cb = new[k] if k < len(new) else 0
+        if ca == cb:
+            continue
+        changed += 1
+        lo, hi = (0, 1) if k == 0 else (1 << (k - 1), 1 << k)
+        print(f"~ {path} buckets[{k}] [{lo}, {hi}) ns: {ca} -> {cb}{fmt_delta(ca, cb)}")
+    return changed
 
 
 def main():
@@ -81,6 +102,9 @@ def main():
         for field in sorted(set(va) | set(vb)):
             fa, fb = va.get(field), vb.get(field)
             if fa == fb:
+                continue
+            if field == "buckets" and isinstance(fa, list) and isinstance(fb, list):
+                changed += diff_buckets(p, fa, fb)
                 continue
             changed += 1
             print(f"~ {p} {field}: {fa} -> {fb}{fmt_delta(fa, fb)}")

@@ -56,6 +56,27 @@ def main():
         check("different workloads diff dirty", r.returncode == 1, f"rc={r.returncode}")
         check("changed fields reported", "~ " in r.stdout, r.stdout[:200])
         check("percent delta reported", "%" in r.stdout, r.stdout[:200])
+        check("histogram buckets diffed element-wise", "buckets[" in r.stdout,
+              r.stdout[:400])
+
+        # Synthetic histogram fixture: a p99 shift must be explainable bucket
+        # by bucket, with per-bucket ns ranges and percent deltas.
+        h1 = os.path.join(td, "h1.json")
+        h2 = os.path.join(td, "h2.json")
+        with open(h1, "w") as f:
+            json.dump({"client/0/rpc/latency_ns": {
+                "kind": "histogram", "count": 6, "p50_ns": 3.0, "p99_ns": 7.0,
+                "buckets": [0, 1, 2, 3]}}, f)
+        with open(h2, "w") as f:
+            json.dump({"client/0/rpc/latency_ns": {
+                "kind": "histogram", "count": 7, "p50_ns": 3.0, "p99_ns": 14.0,
+                "buckets": [0, 1, 2, 3, 1]}}, f)
+        r = diff(tool, h1, h2)
+        check("grown bucket reported with range",
+              "buckets[4] [8, 16) ns: 0 -> 1" in r.stdout, r.stdout)
+        check("unchanged buckets not reported", "buckets[1]" not in r.stdout, r.stdout)
+        check("percentile delta reported",
+              "p99_ns: 7.0 -> 14.0 (+100.0%)" in r.stdout, r.stdout)
 
         # Synthetic added/removed paths.
         x = os.path.join(td, "x.json")

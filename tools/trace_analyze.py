@@ -1,0 +1,225 @@
+#!/usr/bin/env python3
+"""trace_analyze: reassemble causal span trees from a daosim Chrome trace
+(ior_cli --trace-out, telemetry::TraceLog::write_chrome_json) and attribute
+each sampled op's wall time to the six pipeline stages.
+
+The segmentation mirrors telemetry::TraceLog::attribute() bit for bit — the
+root interval is cut at every span boundary and each segment is charged to
+its deepest covering span (ties: later pipeline stage, then smaller span id)
+— so the in-process and offline breakdowns agree exactly.
+
+Reports:
+  * per-trace tree health: orphan spans (parent id absent from the trace),
+    multiple/missing roots, child intervals escaping their parent;
+  * flow events ("s"/"f") referencing span ids that exist in the log;
+  * aggregate critical path per op name, mean us across the six stages;
+  * --top N: the N slowest root ops with their stage breakdowns.
+
+--check exits 1 unless every tree is well-formed, every flow id resolves and
+every root's stage attribution sums exactly to its duration (the attribution
+invariant). Exit 2 on a parse/usage error.
+
+Usage:
+  trace_analyze.py TRACE.json [--check] [--top N] [--quiet]
+"""
+
+import argparse
+import json
+import sys
+
+STAGES = ["client-queue", "fabric", "engine-queue", "service", "vos", "media"]
+_STAGE_OF = {"rpc": 1, "xfer": 1, "queue": 2, "svc": 3, "vos": 4, "media": 5}
+
+
+def stage_of(category):
+    """Mirror of TraceLog::stage_of: everything else is client-side/self time."""
+    return _STAGE_OF.get(category, 0)
+
+
+class Span:
+    __slots__ = ("name", "category", "pid", "tid", "begin_ns", "end_ns",
+                 "trace", "span", "parent")
+
+    def __init__(self, ev):
+        self.name = ev.get("name", "")
+        self.category = ev.get("cat", "")
+        self.pid = ev.get("pid", 0)
+        self.tid = ev.get("tid", 0)
+        # write_chrome_json emits ts/dur as ns/1000.0; ns < 2**53 round-trips.
+        self.begin_ns = round(ev["ts"] * 1000.0)
+        self.end_ns = self.begin_ns + round(ev["dur"] * 1000.0)
+        args = ev.get("args", {})
+        self.trace = args.get("trace", 0)
+        self.span = args.get("span", 0)
+        self.parent = args.get("parent", 0)
+
+    @property
+    def dur_ns(self):
+        return self.end_ns - self.begin_ns
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"trace_analyze: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        print(f"trace_analyze: {path}: no traceEvents array", file=sys.stderr)
+        sys.exit(2)
+    spans, flows = [], []
+    for ev in events:
+        ph = ev.get("ph")
+        if ph == "X":
+            spans.append(Span(ev))
+        elif ph in ("s", "f"):
+            flows.append(ev)
+    return spans, flows
+
+
+def attribute(by_id, root):
+    """Stage breakdown of one trace; exact mirror of attribute_group()."""
+    out = [0] * len(STAGES)
+    if root is None:
+        return out
+    # Depth (hops to the root) decides segment ownership: deepest span wins.
+    depth = {}
+    for sid in sorted(by_id):
+        d = 0
+        cur = by_id[sid]
+        while cur.parent != 0 and d <= len(by_id):
+            nxt = by_id.get(cur.parent)
+            if nxt is None:
+                break  # orphan: treat its link as the root
+            cur = nxt
+            d += 1
+        depth[sid] = d
+    cuts = {root.begin_ns, root.end_ns}
+    for sid in by_id:
+        sp = by_id[sid]
+        if root.begin_ns < sp.begin_ns < root.end_ns:
+            cuts.add(sp.begin_ns)
+        if root.begin_ns < sp.end_ns < root.end_ns:
+            cuts.add(sp.end_ns)
+    cuts = sorted(cuts)
+    for i in range(len(cuts) - 1):
+        a, b = cuts[i], cuts[i + 1]
+        win_stage, win_depth, found = 0, 0, False
+        for sid in sorted(by_id):
+            sp = by_id[sid]
+            if sp.begin_ns > a or sp.end_ns < b:
+                continue  # does not cover [a, b]
+            d, st = depth[sid], stage_of(sp.category)
+            if not found or d > win_depth or (d == win_depth and st > win_stage):
+                found, win_depth, win_stage = True, d, st
+        out[win_stage] += b - a
+    return out
+
+
+def check_tree(trace_id, by_id, errors):
+    """Well-formedness: single root, no orphans, parents contain children."""
+    roots = [sp for sp in by_id.values() if sp.parent == 0]
+    if len(roots) != 1:
+        errors.append(f"trace {trace_id}: {len(roots)} roots (want 1)")
+        return None
+    for sid in sorted(by_id):
+        sp = by_id[sid]
+        if sp.parent == 0:
+            continue
+        parent = by_id.get(sp.parent)
+        if parent is None:
+            errors.append(f"trace {trace_id}: span {sid} ({sp.category}/{sp.name}) "
+                          f"orphaned: parent {sp.parent} not in trace")
+            continue
+        if sp.begin_ns < parent.begin_ns or sp.end_ns > parent.end_ns:
+            errors.append(
+                f"trace {trace_id}: span {sid} [{sp.begin_ns}, {sp.end_ns}] escapes "
+                f"parent {sp.parent} [{parent.begin_ns}, {parent.end_ns}]")
+    return roots[0]
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("trace")
+    ap.add_argument("--check", action="store_true",
+                    help="exit 1 on any tree/flow/attribution violation")
+    ap.add_argument("--top", type=int, default=0, metavar="N",
+                    help="also print the N slowest root ops")
+    ap.add_argument("--quiet", action="store_true", help="suppress the tables")
+    args = ap.parse_args()
+
+    spans, flows = load(args.trace)
+    traces = {}
+    span_ids = set()
+    for sp in spans:
+        if sp.trace == 0:
+            continue  # unsampled span: no causal ids attached
+        traces.setdefault(sp.trace, {})[sp.span] = sp
+        span_ids.add(sp.span)
+
+    errors = []
+    roots = {}
+    for trace_id in sorted(traces):
+        root = check_tree(trace_id, traces[trace_id], errors)
+        if root is not None:
+            roots[trace_id] = root
+
+    for ev in flows:
+        if ev.get("id") not in span_ids:
+            errors.append(f"flow event ({ev.get('ph')}) references unknown span id "
+                          f"{ev.get('id')}")
+
+    # Aggregate critical path per op name; verify the partition invariant.
+    profile = {}  # name -> [count, [stage ns]]
+    breakdowns = {}
+    for trace_id in sorted(roots):
+        root = roots[trace_id]
+        bd = attribute(traces[trace_id], root)
+        breakdowns[trace_id] = bd
+        if sum(bd) != root.dur_ns:
+            errors.append(f"trace {trace_id}: stage attribution sums to {sum(bd)} ns, "
+                          f"root duration is {root.dur_ns} ns")
+        if root.category == "op":
+            entry = profile.setdefault(root.name, [0, [0] * len(STAGES)])
+            entry[0] += 1
+            for st in range(len(STAGES)):
+                entry[1][st] += bd[st]
+
+    n_orphans = sum("orphaned" in e for e in errors)
+    print(f"trace_analyze: {len(spans)} spans, {len(traces)} traces, "
+          f"{len(roots)} trees, {len(flows)} flow events, {n_orphans} orphans")
+    if not args.quiet and profile:
+        hdr = "  {:<14} {:>8}".format("op", "count")
+        hdr += "".join(f" {s:>12}" for s in STAGES) + f" {'total':>12}"
+        print("critical path (mean us/op by stage):")
+        print(hdr)
+        for name in sorted(profile):
+            count, ns = profile[name]
+            row = f"  {name:<14} {count:>8}"
+            row += "".join(f" {v / count / 1e3:>12.1f}" for v in ns)
+            row += f" {sum(ns) / count / 1e3:>12.1f}"
+            print(row)
+    if not args.quiet and args.top > 0:
+        ops = [(trace_id, roots[trace_id]) for trace_id in sorted(roots)
+               if roots[trace_id].category == "op"]
+        ops.sort(key=lambda item: (-item[1].dur_ns, item[1].begin_ns, item[1].span))
+        print(f"top {min(args.top, len(ops))} slowest ops:")
+        for trace_id, root in ops[:args.top]:
+            bd = breakdowns[trace_id]
+            stages = " | ".join(f"{STAGES[st]} {bd[st]}" for st in range(len(STAGES)))
+            print(f"  trace {trace_id} pid {root.pid} {root.name}: "
+                  f"{root.dur_ns} ns | {stages}")
+
+    for e in errors:
+        print(f"ERROR {e}")
+    if args.check:
+        print(f"check: {'FAIL' if errors else 'ok'} ({len(errors)} violation(s))")
+        return 1 if errors else 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

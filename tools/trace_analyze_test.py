@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Tier-1 test for trace_analyze.py.
+
+Drives ior_cli in hard mode (shared file) with tracing on to produce a real
+cross-node trace, then checks:
+  * --check passes: every sampled op reassembles into a single well-formed
+    span tree (zero orphans), every flow event resolves, and stage
+    attribution sums exactly to each root's duration;
+  * two same-seed runs produce byte-identical trace JSON;
+  * the analyzer's aggregate table matches ior_cli's in-process
+    critical-path table line for line;
+plus synthetic traces covering orphan detection, parent-interval escapes,
+bad flow references and the parse-error exit.
+
+Usage: trace_analyze_test.py <trace_analyze.py> <ior_cli>
+"""
+
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+FAILURES = []
+
+
+def check(name, ok, detail=""):
+    if ok:
+        print(f"ok   {name}")
+    else:
+        FAILURES.append(name)
+        print(f"FAIL {name} {detail}")
+
+
+def run_ior(ior_cli, out):
+    # Hard mode: one shared file, so every rank's ops cross the fabric.
+    cmd = [ior_cli, "-a", "DFS", "-t", "1m", "-b", "4m", "-N", "2", "-n", "4",
+           "-S", "2", f"--trace-out={out}"]
+    return subprocess.run(cmd, check=True, stdout=subprocess.PIPE, text=True).stdout
+
+
+def analyze(tool, trace, *flags):
+    return subprocess.run([sys.executable, tool, trace, *flags],
+                          stdout=subprocess.PIPE, text=True)
+
+
+def span(trace_id, span_id, parent, begin_ns, end_ns, cat="op", name="x", pid=1):
+    return {"name": name, "cat": cat, "ph": "X", "ts": begin_ns / 1000.0,
+            "dur": (end_ns - begin_ns) / 1000.0, "pid": pid, "tid": 0,
+            "args": {"trace": trace_id, "span": span_id, "parent": parent}}
+
+
+def write_trace(path, events):
+    with open(path, "w") as f:
+        json.dump({"traceEvents": events}, f)
+
+
+def main():
+    tool, ior_cli = sys.argv[1], sys.argv[2]
+    with tempfile.TemporaryDirectory() as td:
+        a = os.path.join(td, "a.json")
+        b = os.path.join(td, "b.json")
+        out_a = run_ior(ior_cli, a)
+        run_ior(ior_cli, b)
+
+        with open(a, "rb") as f1, open(b, "rb") as f2:
+            check("same-seed trace JSON byte-identical", f1.read() == f2.read())
+
+        r = analyze(tool, a, "--check")
+        check("real trace passes --check", r.returncode == 0, r.stdout[-400:])
+        check("zero orphans reported", "0 orphans" in r.stdout, r.stdout[:200])
+
+        # The in-process table (ior_cli) and the offline one must agree.
+        def table_rows(text):
+            return [re.sub(r"\s+", " ", line.strip()) for line in text.splitlines()
+                    if re.match(r"\s+(arr_|kv_|tx_)", line)]
+        cli_rows = table_rows(out_a)
+        check("ior_cli printed a critical-path table", len(cli_rows) > 0, out_a[:400])
+        check("offline table matches in-process table",
+              cli_rows == table_rows(r.stdout),
+              f"cli={cli_rows} offline={table_rows(r.stdout)}")
+
+        # Orphan span: parent id never emitted.
+        orphan = os.path.join(td, "orphan.json")
+        write_trace(orphan, [span(1, 1, 0, 0, 100),
+                             span(1, 3, 2, 10, 20, cat="rpc")])
+        r = analyze(tool, orphan, "--check")
+        check("orphan detected", r.returncode == 1 and "orphaned" in r.stdout, r.stdout)
+
+        # Child interval escaping its parent.
+        escape = os.path.join(td, "escape.json")
+        write_trace(escape, [span(1, 1, 0, 0, 100),
+                             span(1, 2, 1, 50, 150, cat="rpc")])
+        r = analyze(tool, escape, "--check")
+        check("parent-interval escape detected",
+              r.returncode == 1 and "escapes" in r.stdout, r.stdout)
+
+        # Flow event referencing a span id that does not exist.
+        badflow = os.path.join(td, "badflow.json")
+        write_trace(badflow, [span(1, 1, 0, 0, 100),
+                              {"name": "flow", "cat": "trace", "ph": "s", "id": 99,
+                               "pid": 1, "tid": 0, "ts": 0.0}])
+        r = analyze(tool, badflow, "--check")
+        check("dangling flow id detected",
+              r.returncode == 1 and "unknown span id 99" in r.stdout, r.stdout)
+
+        # A healthy synthetic tree still checks clean.
+        good = os.path.join(td, "good.json")
+        write_trace(good, [span(1, 1, 0, 0, 100),
+                           span(1, 2, 1, 10, 90, cat="rpc", pid=1),
+                           span(1, 3, 2, 20, 80, cat="svc", pid=2)])
+        r = analyze(tool, good, "--check")
+        check("well-formed synthetic tree passes", r.returncode == 0, r.stdout)
+
+        bad = os.path.join(td, "bad.json")
+        with open(bad, "w") as f:
+            f.write("not json")
+        r = analyze(tool, bad)
+        check("parse error exits 2", r.returncode == 2, f"rc={r.returncode}")
+
+    if FAILURES:
+        print(f"{len(FAILURES)} failure(s): {', '.join(FAILURES)}", file=sys.stderr)
+        return 1
+    print("trace_analyze_test: all checks passed", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
