@@ -72,6 +72,13 @@ Testbed::Testbed(ClusterConfig cfg) : cfg_(cfg), fabric_(sched_, cfg.fabric) {
     dtxs_.push_back(std::make_unique<dtx::DtxService>(*eng, map_, svc_nodes_, cfg_.dtx));
   }
 
+  // One aggregation service per engine, constrained by the co-indexed
+  // rebuild service's resync floors (loops spawn only when cfg.agg.enabled).
+  for (std::uint32_t e = 0; e < total_engines; ++e) {
+    aggs_.push_back(std::make_unique<agg::AggregationService>(*engines_[e], rebuilds_[e].get(),
+                                                              svc_nodes_, cfg_.agg));
+  }
+
   // One SWIM service per engine: failure-detector probes (only when enabled)
   // plus the always-on kOpMapFetch handler of the IV dissemination tree.
   // Engines co-located with a pool-service replica are tree roots: they read
@@ -113,6 +120,9 @@ void Testbed::start() {
   if (cfg_.swim.enabled) {
     for (auto& w : swims_) w->start();
   }
+  if (cfg_.agg.enabled) {
+    for (auto& a : aggs_) a->start();
+  }
   started_ = true;
   // Run until the pool service has a leader.
   const sim::Time deadline = sched_.now() + 10 * sim::kSec;
@@ -130,6 +140,7 @@ void Testbed::stop() {
   for (auto& s : svc_) s->stop();
   for (auto& d : dtxs_) d->stop();
   for (auto& w : swims_) w->stop();
+  for (auto& a : aggs_) a->stop();
   started_ = false;
   sched_.run();  // drain retired service loops
 }
@@ -194,6 +205,9 @@ void Testbed::restart_engine(std::uint32_t i) {
   // Bump the SWIM incarnation past any suspicion accrued while down, so the
   // engine refutes instead of being (re-)declared dead on rejoin.
   swims_[i]->note_restart();
+  // Drop the aggregator's cached pool-service leader hint (the leader may
+  // have moved while the engine was down).
+  aggs_[i]->note_restart();
   engines_[i]->endpoint().set_down(false);
   for (std::uint32_t s = 0; s < svc_.size(); ++s) {
     if (svc_nodes_[s] == node && !svc_[s]->raft().running()) svc_[s]->raft().restart();

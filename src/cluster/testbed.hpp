@@ -9,6 +9,7 @@
 #include <ostream>
 #include <vector>
 
+#include "agg/agg.hpp"
 #include "client/client.hpp"
 #include "dtx/dtx.hpp"
 #include "engine/engine.hpp"
@@ -39,6 +40,7 @@ struct ClusterConfig {
   rebuild::RebuildConfig rebuild{};  // per-engine rebuild throttle
   dtx::DtxConfig dtx{};              // per-engine DTX reaper/resync knobs
   swim::SwimConfig swim{};           // failure detector + IV relay; off by default
+  agg::AggConfig agg{};              // background epoch aggregation; off by default
   std::uint64_t seed = 42;
 };
 
@@ -111,6 +113,9 @@ class Testbed {
   /// Engine `i`'s SWIM failure detector / IV map relay (probing only when
   /// ClusterConfig::swim.enabled; the kOpMapFetch handler always serves).
   swim::SwimService& swim_service(std::uint32_t i) { return *swims_[i]; }
+  /// Engine `i`'s background aggregation service (flattening only when
+  /// ClusterConfig::agg.enabled).
+  agg::AggregationService& agg_service(std::uint32_t i) { return *aggs_[i]; }
   /// Barrier: runs the simulation until the pool service's Raft-committed
   /// rebuild state shows no incomplete task (every eviction healed, every
   /// reintegration resynced). Returns false if `timeout` virtual time passes
@@ -164,6 +169,7 @@ class Testbed {
   std::vector<std::unique_ptr<rebuild::RebuildService>> rebuilds_;  // one per engine
   std::vector<std::unique_ptr<dtx::DtxService>> dtxs_;              // one per engine
   std::vector<std::unique_ptr<swim::SwimService>> swims_;           // one per engine
+  std::vector<std::unique_ptr<agg::AggregationService>> aggs_;      // one per engine
   std::vector<std::unique_ptr<client::DaosClient>> clients_;
   pool::PoolMap map_;
   /// Declared after domain_/engines_/svc_: the injector's destructor

@@ -47,6 +47,11 @@ Engine::Engine(net::RpcDomain& domain, net::NodeId node, media::DcpmmInterleaveS
     for (const auto& t : targets_) n += t->vos.tree_stats().extent_merges;
     return n;
   });
+  metrics_.add_probe("vos/extent_probes", [this] {
+    std::uint64_t n = 0;
+    for (const auto& t : targets_) n += t->vos.tree_stats().extent_probes;
+    return n;
+  });
   metrics_.add_probe("svc/updates", [this] { return updates_; });
   metrics_.add_probe("svc/fetches", [this] { return fetches_; });
   metrics_.add_probe("svc/stream_misses", [this] { return cache_misses_; });

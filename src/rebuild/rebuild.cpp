@@ -230,6 +230,19 @@ void RebuildService::record_task_floors(std::uint32_t version) {
   }
 }
 
+vos::Epoch RebuildService::min_resync_floor() const {
+  vos::Epoch floor = vos::kEpochMax;
+  // Restart floors stay live after the resync that consumed them: a future
+  // eviction of this engine pins its task floors from the same marks, so
+  // aggregation stays conservative below the newest restart generation.
+  for (const auto& [key, e] : restart_floors_) floor = std::min(floor, e);
+  for (const auto& [version, floors] : task_floors_) {
+    if (completed_.contains(version)) continue;
+    for (const auto& [key, e] : floors) floor = std::min(floor, e);
+  }
+  return floor;
+}
+
 vos::Epoch RebuildService::task_floor(std::uint32_t version, std::uint32_t target,
                                       const vos::Uuid& cont) const {
   const auto it = task_floors_.find(version);

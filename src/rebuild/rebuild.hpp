@@ -49,6 +49,15 @@ class RebuildService {
   /// it is a post-reintegration client write that must not be shadowed.
   void note_restart();
 
+  /// Lowest resync epoch floor this engine may still compare record epochs
+  /// against: the minimum over restart floors and the floors pinned by
+  /// resync tasks that have not completed; vos::kEpochMax when none.
+  /// Background aggregation must not flatten across a resync floor —
+  /// coalescing stamps a merged extent with the run's newest epoch, which
+  /// could lift a pre-eviction byte above the floor and make a later resync
+  /// preserve it as if it were a post-reintegration write.
+  vos::Epoch min_resync_floor() const;
+
  private:
   sim::CoTask<net::Reply> on_scan(net::Request req);
   sim::CoTask<net::Reply> on_fetch(net::Request req);

@@ -40,6 +40,9 @@ VosContainer::AkeyNode& VosContainer::akey_node_in(ObjectNode& o, const Key& dke
   if (auto* p = dk->akeys.find(akey)) return **p;
   auto node = std::make_unique<AkeyNode>();
   auto* raw = node.get();
+  // Array visibility probes count into this container's stats (the node's
+  // address is stable — unique_ptr — and the container is pinned in place).
+  raw->arr.bind_probe_counter(&tree_stats_.extent_probes);
   ++tree_stats_.inserts;
   dk->akeys.insert_or_assign(akey, std::move(node));
   return *raw;
@@ -258,11 +261,13 @@ std::uint64_t VosContainer::array_end_hint(ObjId oid) const {
   return o != nullptr ? o->array_end_hint : 0;
 }
 
-void VosContainer::aggregate(Epoch upto) {
+VosContainer::AggregateResult VosContainer::aggregate(Epoch upto) {
   // Undecided transactions pin aggregation: a prepared entry may still
   // commit at its (older) epoch, which must not land below merged state.
   const Epoch dtx_floor = dtx_min_prepared_epoch();
   if (dtx_floor != kEpochMax && dtx_floor > 0) upto = std::min(upto, dtx_floor - 1);
+  AggregateResult total;
+  total.upto = upto;
   auto& objects = objects_;
   for (auto oit = objects.begin(); oit != objects.end(); ++oit) {
     auto& dkeys = oit.value()->dkeys;
@@ -272,13 +277,17 @@ void VosContainer::aggregate(Epoch upto) {
         AkeyNode& a = *ait.value();
         if (a.has_sv) a.sv.aggregate(upto);
         if (a.has_arr) {
-          const std::size_t before = a.arr.extent_count();
-          a.arr.aggregate(upto, mode_);
-          tree_stats_.extent_merges += before - std::min(before, a.arr.extent_count());
+          // The store reports retired extents directly — no before/after
+          // extent_count() rescan per record.
+          const ArrayStore::AggResult r = a.arr.aggregate(upto, mode_);
+          tree_stats_.extent_merges += r.extents_retired;
+          total.extents_retired += r.extents_retired;
+          total.bytes_flattened += r.bytes_flattened;
         }
       }
     }
   }
+  return total;
 }
 
 std::vector<VosContainer::ExportRecord> VosContainer::export_object(ObjId oid,

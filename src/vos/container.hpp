@@ -22,8 +22,11 @@ namespace daosim::vos {
 class VosContainer {
  public:
   explicit VosContainer(PayloadMode mode) : mode_(mode) {}
-  VosContainer(VosContainer&&) noexcept = default;
-  VosContainer& operator=(VosContainer&&) noexcept = default;
+  /// Not movable: array stores bind their probe accounting to the address of
+  /// tree_stats_ (see akey_node_in), so a moved-from container would leave
+  /// dangling counter pointers behind. VosTarget constructs shards in place.
+  VosContainer(VosContainer&&) = delete;
+  VosContainer& operator=(VosContainer&&) = delete;
 
   /// Issues the next write epoch (monotonic per container).
   Epoch next_epoch() { return ++epoch_clock_; }
@@ -105,10 +108,18 @@ class VosContainer {
   void note_array_end(ObjId oid, std::uint64_t global_end);
   std::uint64_t array_end_hint(ObjId oid) const;
 
+  /// One aggregation pass's outcome (summed over every akey's array store).
+  /// `upto` is the epoch actually aggregated to after the DTX-floor clamp.
+  struct AggregateResult {
+    std::uint64_t extents_retired = 0;
+    std::uint64_t bytes_flattened = 0;
+    Epoch upto = 0;
+  };
+
   /// Merges record versions <= `upto` (background aggregation service).
   /// Never merges across the oldest prepared-transaction epoch: an undecided
   /// DTX must still be able to commit below everything aggregated so far.
-  void aggregate(Epoch upto);
+  AggregateResult aggregate(Epoch upto);
 
   // --- distributed transactions (implemented in dtx.cpp; see docs/dtx.md) ---
 
@@ -156,16 +167,21 @@ class VosContainer {
 
   /// Plain index-operation counters polled by the engine's telemetry probes
   /// (VOS itself stays free of the telemetry dependency). `lookups` counts
-  /// tree probes (object/dkey/akey), `inserts` node creations, and
-  /// `extent_merges` array extents retired by aggregate().
+  /// tree probes (object/dkey/akey), `inserts` node creations,
+  /// `extent_merges` array extents retired by aggregate(), and
+  /// `extent_probes` evtree visibility probes on read-side resolution (one
+  /// per index seek plus log2(version-stack depth) per overlapped segment —
+  /// the per-read cost the endurance bench watches stay flat).
   struct TreeStats {
     std::uint64_t lookups = 0;
     std::uint64_t inserts = 0;
     std::uint64_t extent_merges = 0;
+    std::uint64_t extent_probes = 0;
     TreeStats& operator+=(const TreeStats& o) {
       lookups += o.lookups;
       inserts += o.inserts;
       extent_merges += o.extent_merges;
+      extent_probes += o.extent_probes;
       return *this;
     }
   };

@@ -21,11 +21,10 @@ class VosTarget {
   /// value, where any insert could rehash and move every VosContainer out
   /// from under engine coroutines suspended on media I/O.)
   VosContainer& container(Uuid uuid) {
-    auto it = containers_.find(uuid);
-    if (it == containers_.end()) {
-      it = containers_.emplace(uuid, VosContainer(mode_)).first;
-    }
-    return it->second;
+    // try_emplace constructs the shard in place: VosContainer is pinned
+    // (not movable) because its array stores bind probe counters to the
+    // container's own stats block.
+    return containers_.try_emplace(uuid, mode_).first->second;
   }
 
   const VosContainer* find_container(Uuid uuid) const {

@@ -1,6 +1,7 @@
 #include "vos/value_store.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/error.hpp"
 
@@ -61,50 +62,117 @@ void SingleValueStore::aggregate(Epoch upto) {
 // ArrayStore
 
 Epoch ArrayStore::last_full_punch_at(Epoch epoch) const {
-  Epoch last = 0;
-  for (Epoch p : full_punches_) {
-    if (p > epoch) break;
-    last = p;
+  // full_punches_ is ascending: last one <= epoch.
+  auto it = std::upper_bound(full_punches_.begin(), full_punches_.end(), epoch);
+  return it == full_punches_.begin() ? 0 : *std::prev(it);
+}
+
+void ArrayStore::split_at(std::uint64_t x) {
+  auto it = segs_.upper_bound(x);
+  if (it == segs_.begin()) return;
+  --it;
+  const std::uint64_t start = it->first;
+  Segment& s = it->second;
+  if (start == x || start + s.length <= x) return;
+  const std::uint64_t left_len = x - start;
+  Segment right;
+  right.length = s.length - left_len;
+  right.versions.reserve(s.versions.size());
+  for (auto& v : s.versions) {
+    Version rv{v.epoch, v.seq, v.punch, {}};
+    if (!v.data.empty()) {
+      rv.data.assign(v.data.begin() + std::ptrdiff_t(left_len), v.data.end());
+      v.data.resize(left_len);
+    }
+    right.versions.push_back(std::move(rv));
   }
-  return last;
+  s.length = left_len;
+  segs_.emplace_hint(std::next(it), x, std::move(right));
+}
+
+void ArrayStore::insert_version(Segment& s, Version v) {
+  if (s.versions.empty() || s.versions.back().epoch <= v.epoch) {
+    s.versions.push_back(std::move(v));
+    return;
+  }
+  // A below-top insert (DTX commit at its prepare-time epoch): position by
+  // epoch; upper_bound keeps arrival order among equal epochs, so the
+  // resolved visibility stays identical for in-order writers.
+  auto pos = std::upper_bound(s.versions.begin(), s.versions.end(), v.epoch,
+                              [](Epoch e, const Version& x) { return e < x.epoch; });
+  s.versions.insert(pos, std::move(v));
+}
+
+void ArrayStore::apply_range(std::uint64_t offset, std::uint64_t length,
+                             std::span<const std::byte> data, Epoch epoch, bool punch,
+                             bool payload) {
+  split_at(offset);
+  const std::uint64_t end = offset + length;
+  split_at(end);
+  const std::uint64_t seq = seq_++;
+  std::uint64_t pos = offset;
+  auto it = segs_.lower_bound(offset);
+  while (pos < end) {
+    if (it != segs_.end() && it->first == pos) {
+      // Existing segment, fully inside [offset, end) after the splits.
+      Segment& s = it->second;
+      Version v{epoch, seq, punch, {}};
+      if (payload) {
+        const auto* src = data.data() + (pos - offset);
+        v.data.assign(src, src + s.length);
+        stored_bytes_ += s.length;
+      }
+      insert_version(s, std::move(v));
+      pos += s.length;
+      ++it;
+    } else {
+      // Gap up to the next segment (or to the end of the write).
+      const std::uint64_t next =
+          it == segs_.end() ? end : std::min<std::uint64_t>(end, it->first);
+      Segment s;
+      s.length = next - pos;
+      Version v{epoch, seq, punch, {}};
+      if (payload) {
+        const auto* src = data.data() + (pos - offset);
+        v.data.assign(src, src + s.length);
+        stored_bytes_ += s.length;
+      }
+      s.versions.push_back(std::move(v));
+      it = std::next(segs_.emplace_hint(it, pos, std::move(s)));
+      pos = next;
+    }
+  }
+  if (epoch > max_epoch_) max_epoch_ = epoch;
 }
 
 void ArrayStore::write(std::uint64_t offset, std::uint64_t length,
                        std::span<const std::byte> data, Epoch epoch, PayloadMode mode) {
   if (length == 0) return;
-  Extent e{offset, length, epoch, false, {}};
   // An empty span with store mode means "no payload shipped" (callers doing
   // metadata-only I/O against a storing container): the extent reads as zeros.
-  if (mode == PayloadMode::store && !data.empty()) {
+  const bool payload = mode == PayloadMode::store && !data.empty();
+  if (payload) {
     DAOSIM_REQUIRE(data.size() == length, "payload size mismatch (%zu vs %llu)", data.size(),
                    static_cast<unsigned long long>(length));
-    e.data.assign(data.begin(), data.end());
-    stored_bytes_ += length;
   }
-  insert_sorted(std::move(e));
-}
-
-// See SingleValueStore::insert_sorted: DTX commits can land below the clock.
-// upper_bound keeps arrival order among equal-epoch extents, so the overlay
-// ("later versions overwrite earlier") stays identical for in-order writers.
-void ArrayStore::insert_sorted(Extent e) {
-  if (extents_.empty() || extents_.back().epoch <= e.epoch) {
-    extents_.push_back(std::move(e));
-    return;
-  }
-  auto pos = std::upper_bound(extents_.begin(), extents_.end(), e.epoch,
-                              [](Epoch ep, const Extent& x) { return ep < x.epoch; });
-  extents_.insert(pos, std::move(e));
+  apply_range(offset, length, data, epoch, /*punch=*/false, payload);
 }
 
 void ArrayStore::punch_range(std::uint64_t offset, std::uint64_t length, Epoch epoch) {
   if (length == 0) return;
-  insert_sorted(Extent{offset, length, epoch, true, {}});
+  apply_range(offset, length, {}, epoch, /*punch=*/true, /*payload=*/false);
 }
 
 void ArrayStore::punch_all(Epoch epoch) {
   auto pos = std::lower_bound(full_punches_.begin(), full_punches_.end(), epoch);
   if (pos == full_punches_.end() || *pos != epoch) full_punches_.insert(pos, epoch);
+}
+
+const ArrayStore::Version* ArrayStore::newest_at(const Segment& s, Epoch epoch) {
+  auto it = std::upper_bound(s.versions.begin(), s.versions.end(), epoch,
+                             [](Epoch e, const Version& v) { return e < v.epoch; });
+  if (it == s.versions.begin()) return nullptr;
+  return &*std::prev(it);
 }
 
 std::uint64_t ArrayStore::read(std::uint64_t offset, std::span<std::byte> out,
@@ -120,26 +188,29 @@ std::uint64_t ArrayStore::read_masked(std::uint64_t offset, std::span<std::byte>
   if (out.empty()) return 0;
   const Epoch floor = last_full_punch_at(epoch);
   const std::uint64_t end = offset + out.size();
+  std::uint64_t probes = 1;  // the ordered-index seek
+  std::uint64_t count = 0;
 
-  // Overlay extents oldest-to-newest: later versions overwrite earlier ones.
-  // Track fill state per byte to report the filled count.
-  for (const auto& e : extents_) {
-    if (e.epoch > epoch || e.epoch <= floor) continue;
-    const std::uint64_t lo = std::max(offset, e.offset);
-    const std::uint64_t hi = std::min(end, e.offset + e.length);
+  auto it = segs_.upper_bound(offset);
+  if (it != segs_.begin()) --it;  // predecessor may extend into the range
+  for (; it != segs_.end() && it->first < end; ++it) {
+    const std::uint64_t start = it->first;
+    const Segment& s = it->second;
+    const std::uint64_t lo = std::max(offset, start);
+    const std::uint64_t hi = std::min(end, start + s.length);
     if (lo >= hi) continue;
+    probes += 1 + std::uint64_t(std::bit_width(s.versions.size()));
+    const Version* v = newest_at(s, epoch);
+    if (v == nullptr || v->epoch <= floor || v->punch) continue;
     for (std::uint64_t b = lo; b < hi; ++b) {
       const std::size_t oi = std::size_t(b - offset);
-      if (e.punch) {
-        out[oi] = std::byte{0};
-        filled[oi] = false;
-      } else {
-        out[oi] = e.data.empty() ? std::byte{0} : e.data[std::size_t(b - e.offset)];
-        filled[oi] = true;
-      }
+      out[oi] = v->data.empty() ? std::byte{0} : v->data[std::size_t(b - start)];
+      filled[oi] = true;
     }
+    count += hi - lo;
   }
-  return std::uint64_t(std::count(filled.begin(), filled.end(), true));
+  if (probes_ != nullptr) *probes_ += probes;
+  return count;
 }
 
 void ArrayStore::mask_newer_than(std::uint64_t offset, Epoch since,
@@ -150,84 +221,122 @@ void ArrayStore::mask_newer_than(std::uint64_t offset, Epoch since,
     return;
   }
   const std::uint64_t end = offset + mask.size();
-  for (const auto& e : extents_) {
-    if (e.epoch <= since) continue;
-    const std::uint64_t lo = std::max(offset, e.offset);
-    const std::uint64_t hi = std::min(end, e.offset + e.length);
+  std::uint64_t probes = 1;
+  auto it = segs_.upper_bound(offset);
+  if (it != segs_.begin()) --it;
+  for (; it != segs_.end() && it->first < end; ++it) {
+    const std::uint64_t lo = std::max(offset, it->first);
+    const std::uint64_t hi = std::min(end, it->first + it->second.length);
+    if (lo >= hi) continue;
+    ++probes;
+    // The segment's newest version is versions.back(); every version spans
+    // the whole segment, so one comparison decides all its bytes.
+    if (it->second.versions.back().epoch <= since) continue;
     for (std::uint64_t b = lo; b < hi; ++b) mask[std::size_t(b - offset)] = true;
   }
+  if (probes_ != nullptr) *probes_ += probes;
 }
 
 std::uint64_t ArrayStore::size(Epoch epoch) const {
   const Epoch floor = last_full_punch_at(epoch);
+  std::uint64_t probes = 1;
   std::uint64_t max_end = 0;
-  for (const auto& e : extents_) {
-    if (e.epoch > epoch || e.epoch <= floor || e.punch) continue;
-    max_end = std::max(max_end, e.offset + e.length);
+  // Scan from the highest offset down: the first segment holding any
+  // non-punch version in (floor, epoch] decides the size.
+  for (auto it = segs_.rbegin(); it != segs_.rend() && max_end == 0; ++it) {
+    const Segment& s = it->second;
+    probes += 1 + std::uint64_t(std::bit_width(s.versions.size()));
+    auto v = std::upper_bound(s.versions.begin(), s.versions.end(), epoch,
+                              [](Epoch e, const Version& x) { return e < x.epoch; });
+    while (v != s.versions.begin()) {
+      --v;
+      if (v->epoch <= floor) break;
+      if (!v->punch) {
+        max_end = it->first + s.length;
+        break;
+      }
+    }
   }
+  if (probes_ != nullptr) *probes_ += probes;
   return max_end;
 }
 
-void ArrayStore::aggregate(Epoch upto, PayloadMode mode) {
+std::size_t ArrayStore::extent_count() const {
+  std::size_t n = 0;
+  for (const auto& [start, s] : segs_) n += s.versions.size();
+  return n;
+}
+
+ArrayStore::AggResult ArrayStore::aggregate(Epoch upto, PayloadMode mode) {
+  (void)mode;  // payload-ness is carried per version; nothing to decide here
+  AggResult res;
   const Epoch floor = last_full_punch_at(upto);
-  // Elementary-segment resolution over all boundaries of extents <= upto.
-  std::vector<std::uint64_t> cuts;
-  std::vector<const Extent*> old_extents;
-  std::vector<Extent> keep;
-  for (auto& e : extents_) {
-    if (e.epoch > upto) {
-      keep.push_back(std::move(e));
-    } else if (e.epoch > floor) {
-      old_extents.push_back(&e);
-      cuts.push_back(e.offset);
-      cuts.push_back(e.offset + e.length);
-    }
-  }
-  std::sort(cuts.begin(), cuts.end());
-  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
 
-  std::vector<Extent> merged;
-  for (std::size_t s = 0; s + 1 < cuts.size(); ++s) {
-    const std::uint64_t lo = cuts[s], hi = cuts[s + 1];
-    // Newest covering extent wins for the whole elementary segment.
-    const Extent* top = nullptr;
-    for (const Extent* e : old_extents) {
-      if (e->offset <= lo && e->offset + e->length >= hi) top = e;  // ascending epoch
+  // Pass 1 — per segment, drop every version <= upto except the newest
+  // survivor in (floor, upto]. A punch survivor (or one shadowed by a full
+  // punch) vanishes too: nobody may read below `upto` once aggregated, so a
+  // hole needs no record. Survivors keep their original (epoch, seq).
+  for (auto it = segs_.begin(); it != segs_.end();) {
+    Segment& s = it->second;
+    auto above = std::upper_bound(s.versions.begin(), s.versions.end(), upto,
+                                  [](Epoch e, const Version& v) { return e < v.epoch; });
+    const Version* top = nullptr;
+    if (above != s.versions.begin()) {
+      const auto t = std::prev(above);
+      if (t->epoch > floor && !t->punch) top = &*t;
     }
-    if (top == nullptr || top->punch) continue;
-    const bool has_payload = mode == PayloadMode::store && !top->data.empty();
-    // Coalesce with the previous merged extent when contiguous and both
-    // sides carry (or both lack) payload bytes.
-    if (!merged.empty() && merged.back().offset + merged.back().length == lo &&
-        (merged.back().data.size() == merged.back().length) == has_payload) {
-      auto& prev = merged.back();
-      prev.length += hi - lo;
-      if (has_payload) {
-        const auto* src = top->data.data() + (lo - top->offset);
-        prev.data.insert(prev.data.end(), src, src + (hi - lo));
+    std::vector<Version> kept;
+    kept.reserve(std::size_t(s.versions.end() - above) + (top != nullptr ? 1 : 0));
+    for (auto v = s.versions.begin(); v != above; ++v) {
+      if (&*v == top) {
+        kept.push_back(std::move(*v));
+      } else {
+        ++res.extents_retired;
+        res.bytes_flattened += v->data.size();
+        stored_bytes_ -= v->data.size();
       }
-      continue;
     }
-    Extent m{lo, hi - lo, upto, false, {}};
-    if (has_payload) {
-      m.data.assign(top->data.begin() + std::ptrdiff_t(lo - top->offset),
-                    top->data.begin() + std::ptrdiff_t(hi - top->offset));
-    }
-    merged.push_back(std::move(m));
+    for (auto v = above; v != s.versions.end(); ++v) kept.push_back(std::move(*v));
+    s.versions = std::move(kept);
+    it = s.versions.empty() ? segs_.erase(it) : std::next(it);
   }
 
-  stored_bytes_ = 0;
-  extents_.clear();
-  for (auto& e : merged) {
-    stored_bytes_ += e.data.size();
-    extents_.push_back(std::move(e));
+  // Pass 2 — coalesce adjacent fully-aggregated segments: contiguous,
+  // single-version, epoch <= upto, matching payload-ness. The merged record
+  // takes the max (epoch, seq) of the run — never above a real write, so
+  // latest_epoch()/mask_newer_than() stay exact for everything above `upto`.
+  for (auto it = segs_.begin(); it != segs_.end();) {
+    auto next = std::next(it);
+    if (next == segs_.end()) break;
+    Segment& a = it->second;
+    Segment& b = next->second;
+    if (it->first + a.length == next->first && a.versions.size() == 1 &&
+        b.versions.size() == 1 && a.versions[0].epoch <= upto &&
+        b.versions[0].epoch <= upto && !a.versions[0].punch && !b.versions[0].punch &&
+        a.versions[0].data.empty() == b.versions[0].data.empty()) {
+      Version& va = a.versions[0];
+      Version& vb = b.versions[0];
+      va.epoch = std::max(va.epoch, vb.epoch);
+      va.seq = std::max(va.seq, vb.seq);
+      if (!va.data.empty()) va.data.insert(va.data.end(), vb.data.begin(), vb.data.end());
+      a.length += b.length;
+      ++res.extents_retired;
+      segs_.erase(next);
+      continue;  // keep extending the same run
+    }
+    it = next;
   }
-  for (auto& e : keep) {
-    stored_bytes_ += e.data.size();
-    extents_.push_back(std::move(e));
-  }
-  // Full punches <= upto are now baked into the merged extents.
+
+  // Full punches <= upto are baked into the surviving records.
   std::erase_if(full_punches_, [&](Epoch p) { return p <= upto; });
+
+  // Recompute the exact newest-extent epoch: aggregation may have dropped
+  // the previous maximum (e.g. a punch top).
+  max_epoch_ = 0;
+  for (const auto& [start, s] : segs_) {
+    max_epoch_ = std::max(max_epoch_, s.versions.back().epoch);
+  }
+  return res;
 }
 
 }  // namespace daosim::vos

@@ -3,11 +3,16 @@
 //   ArrayStore       — byte-extent records with epoch-resolved visibility
 //
 // Both keep every version until aggregate() merges epochs, mirroring VOS's
-// multi-version design.
+// multi-version design. ArrayStore is organised as an evtree-style ordered
+// interval index (see docs/vos.md): non-overlapping byte segments keyed by
+// start offset, each holding an epoch-sorted version stack, so visibility
+// resolution costs O(log segments + overlapped segments * log versions)
+// instead of a whole-history overlay scan.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <span>
 #include <vector>
 
@@ -83,38 +88,75 @@ class ArrayStore {
   /// top of the pulled window image. Only sets bits, never clears them.
   void mask_newer_than(std::uint64_t offset, Epoch since, std::vector<bool>& mask) const;
 
-  /// Merges all versions <= `upto` into flat non-overlapping extents.
-  void aggregate(Epoch upto, PayloadMode mode);
+  /// What one aggregation pass removed (extents-retired feeds the container's
+  /// `extent_merges` stat directly — no before/after rescan needed).
+  struct AggResult {
+    std::uint64_t extents_retired = 0;  // version records dropped or merged away
+    std::uint64_t bytes_flattened = 0;  // payload bytes those records held
+  };
 
-  std::size_t extent_count() const { return extents_.size(); }
+  /// Merges all versions <= `upto` into flat non-overlapping extents. Kept
+  /// survivors retain their original epochs (merged runs take the max epoch
+  /// of the run), so latest_epoch() never inflates past a real write — the
+  /// rebuild-resync and DTX-conflict guards that compare against it stay
+  /// exact across aggregation.
+  AggResult aggregate(Epoch upto, PayloadMode mode);
+
+  /// Total version records held (every fragment of every epoch).
+  std::size_t extent_count() const;
+  /// Distinct byte ranges in the interval index.
+  std::size_t segment_count() const { return segs_.size(); }
   std::uint64_t stored_bytes() const { return stored_bytes_; }
 
   /// Epoch of the newest extent or full punch (0 if empty). Rebuild resync
   /// uses this to skip akeys the stale replica already holds.
   Epoch latest_epoch() const {
-    const Epoch e = extents_.empty() ? 0 : extents_.back().epoch;
     const Epoch p = full_punches_.empty() ? 0 : full_punches_.back();
-    return e > p ? e : p;
+    return max_epoch_ > p ? max_epoch_ : p;
   }
 
- private:
-  struct Extent {
-    std::uint64_t offset;
-    std::uint64_t length;
-    Epoch epoch;
-    bool punch;  // range punch: reads as hole above older data
-    std::vector<std::byte> data;  // empty in discard mode or punch extents
-  };
-  /// Keeps extents_ ascending when a write (e.g. a DTX commit) lands below
-  /// the newest stored epoch; equal epochs preserve arrival order.
-  void insert_sorted(Extent e);
-  // Ascending epoch order (sorted insert; normal writes append). Visibility
-  // is resolved by overlaying extents oldest-to-newest.
-  std::vector<Extent> extents_;
-  std::vector<Epoch> full_punches_;  // ascending
-  std::uint64_t stored_bytes_ = 0;
+  /// Points visibility-probe accounting at an external counter (the owning
+  /// container's TreeStats::extent_probes). Each read-side resolution adds
+  /// one unit per index seek plus log2(version-stack depth) per overlapped
+  /// segment — the polled `vos/extent_probes` telemetry that the endurance
+  /// bench tracks per pass. nullptr (the default) disables accounting.
+  void bind_probe_counter(std::uint64_t* probes) { probes_ = probes; }
 
+ private:
+  struct Version {
+    Epoch epoch = 0;
+    std::uint64_t seq = 0;  // arrival order among equal epochs (per store)
+    bool punch = false;     // range punch: reads as hole above older data
+    std::vector<std::byte> data;  // empty, or exactly segment-length bytes
+  };
+  /// One byte range [start, start+length) with its epoch-sorted version
+  /// stack. Every version spans the whole segment: writes split segments at
+  /// their boundaries before stacking, so per-byte and per-segment
+  /// visibility coincide.
+  struct Segment {
+    std::uint64_t length = 0;
+    std::vector<Version> versions;  // ascending (epoch, seq)
+  };
+
+  /// Splits the segment containing offset `x` (if any) so `x` becomes a
+  /// segment boundary; version payloads are sliced, conserving byte totals.
+  void split_at(std::uint64_t x);
+  /// Common write/punch path: stacks one version over [offset, offset+length).
+  void apply_range(std::uint64_t offset, std::uint64_t length,
+                   std::span<const std::byte> data, Epoch epoch, bool punch, bool payload);
+  /// Keeps a segment's stack ascending when a write (e.g. a DTX commit)
+  /// lands below the newest stored epoch; equal epochs keep arrival order.
+  static void insert_version(Segment& s, Version v);
+  /// Newest version with epoch <= `epoch` (nullptr when none).
+  static const Version* newest_at(const Segment& s, Epoch epoch);
   Epoch last_full_punch_at(Epoch epoch) const;
+
+  std::map<std::uint64_t, Segment> segs_;  // keyed by segment start offset
+  std::vector<Epoch> full_punches_;        // ascending
+  std::uint64_t stored_bytes_ = 0;
+  std::uint64_t seq_ = 0;   // next arrival stamp
+  Epoch max_epoch_ = 0;     // newest extent epoch (full punches tracked apart)
+  std::uint64_t* probes_ = nullptr;  // see bind_probe_counter()
 };
 
 }  // namespace daosim::vos

@@ -1,0 +1,333 @@
+// Property tests for the evtree ArrayStore against a flat op-list oracle:
+// randomized write / range-punch / full-punch / below-top-commit sequences
+// must read byte-identically (data, fill mask, newer-than mask, size) at
+// every sampled epoch, before and after aggregation points. Also pins the
+// equal-epoch arrival-order rule (DTX below-top commits), the exactness of
+// the AggResult accounting, and the probe-counter depth signal the
+// endurance bench watches.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "vos/value_store.hpp"
+
+namespace daosim::vos {
+namespace {
+
+// One recorded operation; arrival order is the vector order. A write's byte
+// at position b reads as uint8_t(seed + (b - off)).
+struct Op {
+  std::uint64_t off = 0;
+  std::uint64_t len = 0;
+  Epoch epoch = 0;
+  bool punch = false;
+  std::uint8_t seed = 0;
+};
+
+// Flat-overlay oracle: replays the op list per query, no index. Visibility
+// of byte b at epoch e = the op covering b with the maximum (epoch, arrival)
+// among epochs <= e, holed below the newest full punch <= e.
+struct FlatOracle {
+  std::uint64_t space = 0;
+  std::vector<Op> ops;
+  std::vector<Epoch> fulls;  // ascending
+  Epoch agg = 0;             // last aggregation point applied to the store
+
+  Epoch floor_at(Epoch e) const {
+    Epoch f = 0;
+    for (Epoch p : fulls) {
+      if (p <= e) f = p;
+    }
+    return f;
+  }
+
+  void read(Epoch e, std::vector<std::uint8_t>& img, std::vector<bool>& filled) const {
+    img.assign(space, 0);
+    filled.assign(space, false);
+    const Epoch floor = floor_at(e);
+    for (std::uint64_t b = 0; b < space; ++b) {
+      int best = -1;
+      for (int i = 0; i < int(ops.size()); ++i) {
+        const Op& o = ops[i];
+        if (o.epoch > e || b < o.off || b >= o.off + o.len) continue;
+        if (best < 0 || o.epoch >= ops[best].epoch) best = i;  // ties: later arrival
+      }
+      if (best < 0 || ops[best].epoch <= floor || ops[best].punch) continue;
+      img[b] = std::uint8_t(ops[best].seed + (b - ops[best].off));
+      filled[b] = true;
+    }
+  }
+
+  std::vector<bool> mask_newer(Epoch since) const {
+    std::vector<bool> m(space, false);
+    for (Epoch p : fulls) {
+      if (p > since) {
+        m.assign(space, true);
+        return m;
+      }
+    }
+    for (const Op& o : ops) {
+      if (o.epoch <= since) continue;
+      for (std::uint64_t b = o.off; b < o.off + o.len && b < space; ++b) m[b] = true;
+    }
+    return m;
+  }
+
+  std::uint64_t size(Epoch e) const {
+    const Epoch floor = floor_at(e);
+    std::uint64_t hi = 0;
+    for (const Op& o : ops) {
+      if (!o.punch && o.epoch > std::max(floor, agg) && o.epoch <= e) {
+        hi = std::max(hi, o.off + o.len);
+      }
+    }
+    if (agg > 0 && floor < agg) {
+      // Aggregation materializes the image at the agg point (matching the
+      // pre-evtree flat store): a write later shadowed by a range punch loses
+      // its record, so below the agg point only the visible tail counts.
+      std::vector<std::uint8_t> img;
+      std::vector<bool> fill;
+      read(agg, img, fill);
+      for (std::uint64_t b = space; b > 0; --b) {
+        if (fill[b - 1]) {
+          hi = std::max(hi, b);
+          break;
+        }
+      }
+    }
+    return hi;
+  }
+};
+
+std::vector<std::byte> payload_of(const Op& o) {
+  std::vector<std::byte> d(o.len);
+  for (std::uint64_t i = 0; i < o.len; ++i) d[i] = std::byte(std::uint8_t(o.seed + i));
+  return d;
+}
+
+void check_view(const ArrayStore& a, const FlatOracle& oracle, Epoch e, const char* where) {
+  std::vector<std::uint8_t> want_img;
+  std::vector<bool> want_fill;
+  oracle.read(e, want_img, want_fill);
+  std::vector<std::byte> out(oracle.space);
+  std::vector<bool> got_fill;
+  const std::uint64_t filled = a.read_masked(0, out, got_fill, e);
+  std::uint64_t want_count = 0;
+  for (std::uint64_t b = 0; b < oracle.space; ++b) {
+    ASSERT_EQ(std::uint8_t(out[b]), want_img[b]) << where << " epoch " << e << " byte " << b;
+    ASSERT_EQ(got_fill[b], want_fill[b]) << where << " epoch " << e << " fill bit " << b;
+    want_count += want_fill[b];
+  }
+  ASSERT_EQ(filled, want_count) << where << " epoch " << e;
+  ASSERT_EQ(a.size(e), oracle.size(e)) << where << " epoch " << e;
+}
+
+void check_mask(const ArrayStore& a, const FlatOracle& oracle, Epoch since, const char* where) {
+  std::vector<bool> got(oracle.space, false);
+  a.mask_newer_than(0, since, got);
+  const std::vector<bool> want = oracle.mask_newer(since);
+  for (std::uint64_t b = 0; b < oracle.space; ++b) {
+    ASSERT_EQ(got[b], want[b]) << where << " since " << since << " bit " << b;
+  }
+}
+
+class EvtreeOracleProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EvtreeOracleProperty, RandomOpsMatchFlatOracle) {
+  sim::Xoshiro256 rng(GetParam() * 0x9E3779B97F4A7C15ULL + 7);
+  const std::uint64_t space = 256;
+  ArrayStore a;
+  FlatOracle oracle{space, {}, {}};
+
+  Epoch top = 0;       // newest epoch issued so far
+  Epoch agg_floor = 0; // last aggregation point; below-top ops stay above it
+
+  auto sample_epochs = [&](std::vector<Epoch>& es) {
+    es.clear();
+    for (Epoch e = top > 3 ? top - 3 : 1; e <= top; ++e) es.push_back(e);
+    for (int i = 0; i < 8; ++i) {
+      const Epoch e = agg_floor + 1 + rng.uniform(top > agg_floor ? top - agg_floor : 1);
+      es.push_back(std::min<Epoch>(e, top));
+    }
+    es.push_back(kEpochMax);
+  };
+
+  std::vector<Epoch> epochs;
+  for (int step = 1; step <= 100; ++step) {
+    const int kind = int(rng.uniform(100));
+    Epoch e;
+    if (kind < 10 && top > agg_floor + 1) {
+      // Below-top epoch (a DTX committing under already-applied writes);
+      // may collide with an existing epoch, exercising arrival order.
+      e = agg_floor + 1 + rng.uniform(top - agg_floor);
+    } else {
+      top += 1 + rng.uniform(3);
+      e = top;
+    }
+    if (kind >= 90 && e == top) {
+      a.punch_all(e);
+      oracle.fulls.push_back(e);
+    } else if (kind >= 70) {
+      Op o{rng.uniform(space - 1), 0, e, true, 0};
+      o.len = 1 + rng.uniform(std::min<std::uint64_t>(48, space - o.off));
+      a.punch_range(o.off, o.len, o.epoch);
+      oracle.ops.push_back(o);
+    } else {
+      Op o{rng.uniform(space - 1), 0, e, false, std::uint8_t(rng.uniform(256))};
+      o.len = 1 + rng.uniform(std::min<std::uint64_t>(48, space - o.off));
+      a.write(o.off, o.len, payload_of(o), o.epoch, PayloadMode::store);
+      oracle.ops.push_back(o);
+    }
+
+    if (step == 40 || step == 80 || step == 100) {
+      sample_epochs(epochs);
+      for (Epoch q : epochs) check_view(a, oracle, q, "pre-agg");
+      check_mask(a, oracle, agg_floor, "pre-agg");
+      check_mask(a, oracle, top, "pre-agg");
+      check_mask(a, oracle, agg_floor + (top - agg_floor) / 2, "pre-agg");
+
+      // Aggregate to the midpoint; retired accounting must be exact.
+      const Epoch upto = agg_floor + (top - agg_floor) / 2;
+      if (upto > agg_floor) {
+        const std::size_t before = a.extent_count();
+        const ArrayStore::AggResult r = a.aggregate(upto, PayloadMode::store);
+        ASSERT_EQ(before - a.extent_count(), r.extents_retired) << "step " << step;
+        agg_floor = upto;
+        oracle.agg = upto;
+        // Every view at or above the aggregation point is preserved.
+        sample_epochs(epochs);
+        for (Epoch q : epochs) {
+          if (q >= agg_floor) check_view(a, oracle, q, "post-agg");
+        }
+        check_mask(a, oracle, agg_floor, "post-agg");
+        check_mask(a, oracle, top, "post-agg");
+      }
+    }
+  }
+
+  // Final full flatten: one version per segment, stored bytes collapse to
+  // exactly the bytes visible at the top epoch, re-aggregation is a no-op.
+  const std::size_t before = a.extent_count();
+  const ArrayStore::AggResult r = a.aggregate(top, PayloadMode::store);
+  oracle.agg = top;
+  ASSERT_EQ(before - a.extent_count(), r.extents_retired);
+  ASSERT_EQ(a.extent_count(), a.segment_count());
+  std::vector<std::uint8_t> img;
+  std::vector<bool> fill;
+  oracle.read(top, img, fill);
+  const std::uint64_t visible = std::uint64_t(std::count(fill.begin(), fill.end(), true));
+  ASSERT_EQ(a.stored_bytes(), visible);
+  check_view(a, oracle, top, "final");
+  check_view(a, oracle, kEpochMax, "final");
+  const ArrayStore::AggResult again = a.aggregate(top, PayloadMode::store);
+  ASSERT_EQ(again.extents_retired, 0u);
+  ASSERT_EQ(again.bytes_flattened, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EvtreeOracleProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+// Discard mode: no payload retained, but fill masks, sizes, and newer-than
+// masks stay oracle-exact and stored_bytes stays zero.
+TEST(EvtreeDiscard, MasksAndSizesWithoutPayload) {
+  sim::Xoshiro256 rng(0xD15CA4D);
+  const std::uint64_t space = 128;
+  ArrayStore a;
+  FlatOracle oracle{space, {}, {}};
+  Epoch top = 0;
+  for (int step = 0; step < 60; ++step) {
+    top += 1;
+    const int kind = int(rng.uniform(10));
+    if (kind >= 9) {
+      a.punch_all(top);
+      oracle.fulls.push_back(top);
+    } else if (kind >= 7) {
+      Op o{rng.uniform(space - 1), 0, top, true, 0};
+      o.len = 1 + rng.uniform(std::min<std::uint64_t>(32, space - o.off));
+      a.punch_range(o.off, o.len, o.epoch);
+      oracle.ops.push_back(o);
+    } else {
+      Op o{rng.uniform(space - 1), 0, top, false, 0};
+      o.len = 1 + rng.uniform(std::min<std::uint64_t>(32, space - o.off));
+      a.write(o.off, o.len, {}, o.epoch, PayloadMode::discard);
+      oracle.ops.push_back(o);
+    }
+  }
+  EXPECT_EQ(a.stored_bytes(), 0u);
+  for (Epoch e : std::vector<Epoch>{5, 20, 33, 47, top, kEpochMax}) {
+    std::vector<std::uint8_t> img;
+    std::vector<bool> want;
+    oracle.read(e, img, want);
+    std::vector<std::byte> out(space);
+    std::vector<bool> got;
+    a.read_masked(0, out, got, e);
+    for (std::uint64_t b = 0; b < space; ++b) {
+      ASSERT_EQ(got[b], want[b]) << "epoch " << e << " bit " << b;
+      ASSERT_EQ(out[b], std::byte{0});  // discard mode: zeros, mask only
+    }
+    ASSERT_EQ(a.size(e), oracle.size(e)) << "epoch " << e;
+  }
+  const ArrayStore::AggResult r = a.aggregate(top / 2, PayloadMode::discard);
+  oracle.agg = top / 2;
+  EXPECT_EQ(r.bytes_flattened, 0u);  // nothing stored, nothing flattened
+  EXPECT_EQ(a.stored_bytes(), 0u);
+  check_mask(a, oracle, top / 2, "post-agg");
+  for (Epoch e : std::vector<Epoch>{Epoch(top / 2), top, kEpochMax}) {
+    ASSERT_EQ(a.size(e), oracle.size(e)) << "post-agg epoch " << e;
+  }
+}
+
+// Equal epochs resolve by arrival order — the rule a DTX commit below the
+// top relies on (insert_sorted keeps later arrivals after earlier ones).
+TEST(EvtreeOrder, EqualEpochKeepsArrivalOrder) {
+  ArrayStore a;
+  std::vector<std::byte> first(8, std::byte{0x11});
+  std::vector<std::byte> second(8, std::byte{0x22});
+  a.write(0, 8, first, 5, PayloadMode::store);
+  a.write(0, 8, second, 5, PayloadMode::store);  // same epoch, later arrival
+  std::vector<std::byte> out(8);
+  a.read(0, out, 5);
+  EXPECT_EQ(out[0], std::byte{0x22});
+
+  // A below-top commit at the same epoch as an existing version also lands
+  // after it, not before.
+  std::vector<std::byte> newer(8, std::byte{0x33});
+  a.write(0, 8, newer, 9, PayloadMode::store);
+  std::vector<std::byte> late(8, std::byte{0x44});
+  a.write(0, 8, late, 5, PayloadMode::store);  // below-top, equal epoch
+  a.read(0, out, 5);
+  EXPECT_EQ(out[0], std::byte{0x44});  // latest arrival among epoch 5
+  a.read(0, out, 9);
+  EXPECT_EQ(out[0], std::byte{0x33});  // epoch 9 still wins above
+}
+
+// The probe counter is the endurance bench's depth signal: overwriting the
+// same range for many epochs grows the per-read cost logarithmically, and
+// aggregation collapses it back to the flat-read floor.
+TEST(EvtreeProbes, AggregationRestoresFlatReadCost) {
+  ArrayStore a;
+  std::uint64_t probes = 0;
+  a.bind_probe_counter(&probes);
+  std::vector<std::byte> data(64, std::byte{0xAB});
+  for (Epoch e = 1; e <= 64; ++e) a.write(0, 64, data, e, PayloadMode::store);
+
+  std::vector<std::byte> out(64);
+  probes = 0;
+  a.read(0, out, kEpochMax);
+  const std::uint64_t deep = probes;
+  // 1 seek + 1 segment * (1 + ceil-log2 of a 64-deep stack).
+  EXPECT_EQ(deep, 1 + 1 + 7u);
+
+  a.aggregate(64, PayloadMode::store);
+  EXPECT_EQ(a.extent_count(), 1u);
+  probes = 0;
+  a.read(0, out, kEpochMax);
+  EXPECT_EQ(probes, 1 + 1 + 1u);  // flat floor: depth-1 stack
+  EXPECT_LT(probes, deep);
+  EXPECT_EQ(out[0], std::byte{0xAB});
+}
+
+}  // namespace
+}  // namespace daosim::vos

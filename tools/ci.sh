@@ -28,9 +28,19 @@
 #                          client staleness piggyback) under ASan+UBSan with
 #                          the runtime audits on — the detector's coroutines
 #                          and gossip buffers must be lifetime-clean
-#   tools/ci.sh bench-smoke  tiny-scale ablation_xfersize + ablation_dtx runs
-#                          asserting the BENCH_*.json perf trajectories parse
-#                          and are non-empty
+#   tools/ci.sh agg        evtree + background-aggregation suite (the extent
+#                          index property tests against the flat oracle, the
+#                          service's floor/determinism/crash battery, and the
+#                          DTX/snapshot aggregation pins) under ASan+UBSan
+#                          with the runtime audits on — the merge passes
+#                          splice version vectors in place and must be
+#                          lifetime- and UB-clean
+#   tools/ci.sh bench-smoke  tiny-scale ablation_xfersize + ablation_dtx +
+#                          ablation_overwrite runs asserting the BENCH_*.json
+#                          perf trajectories parse, are non-empty, and that
+#                          background aggregation keeps the overwrite
+#                          endurance read cost flat (<= 1.2x first pass)
+#                          while the agg-off series grows
 #   tools/ci.sh analyze    libclang suspension-safety analyzer: rule self-test
 #                          on the seeded fixtures, then the AST scan of every
 #                          src/ TU via compile_commands.json. Standalone runs
@@ -235,6 +245,22 @@ if [[ $STAGE == swim ]]; then
   stage_end
 fi
 
+if [[ $STAGE == agg ]]; then
+  stage_begin agg
+  # Focused evtree/aggregation run, always sanitized: the aggregation passes
+  # erase and splice version vectors while read paths hold spans into them,
+  # and the service interleaves with DTX commits, snapshots, rebuild floors,
+  # and engine crashes — exactly where a dangling span or UB would hide.
+  echo "=== [agg] configure + build ==="
+  cmake -B build-ci-agg -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DDAOSIM_SANITIZE="address;undefined" -DDAOSIM_AUDIT=ON
+  cmake --build build-ci-agg -j "$JOBS" --target evtree_test agg_test dtx_test
+  echo "=== [agg] ctest ==="
+  ctest --test-dir build-ci-agg --output-on-failure -j "$JOBS" \
+    -R 'Evtree|AggService|AggDeterminism|AggFloors|AggFault|DtxVos\.PreparedEntriesPinAggregation|DtxCluster\.SnapshotPinsAggregationUntilDestroyed'
+  stage_end
+fi
+
 if [[ $STAGE == bench-smoke ]]; then
   stage_begin bench-smoke
   # Perf-trajectory smoke: the batching/EQ ablation at tiny scale. Guards the
@@ -242,9 +268,11 @@ if [[ $STAGE == bench-smoke ]]; then
   # batched coalescing never loses to the legacy per-extent path.
   echo "=== [bench-smoke] configure + build ==="
   cmake -B build-ci-bench -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
-  cmake --build build-ci-bench -j "$JOBS" --target ablation_xfersize ablation_dtx
+  cmake --build build-ci-bench -j "$JOBS" \
+    --target ablation_xfersize ablation_dtx ablation_overwrite
   echo "=== [bench-smoke] run ==="
-  (cd build-ci-bench/bench && ./ablation_xfersize --smoke && ./ablation_dtx --smoke)
+  (cd build-ci-bench/bench && ./ablation_xfersize --smoke && ./ablation_dtx --smoke &&
+   ./ablation_overwrite --smoke)
   echo "=== [bench-smoke] JSON validates ==="
   python3 - <<'EOF'
 import json
@@ -270,6 +298,25 @@ assert all(0.0 <= r["read_gibs"] < 1.0 for r in rows), "conflict rate out of ran
 assert all(r["write_p99_us"] >= r["read_p99_us"] > 0 for r in rows), "p99 below p50"
 assert all(r["events"] > 0 for r in rows), "zero-event sweep point"
 print(f"bench-smoke OK: {len(rows)} DTX rows")
+
+# ablation_overwrite column mapping (see bench/ablation_overwrite.cpp):
+# x = overwrite pass, read_p99_us = evtree probes per read op (deterministic),
+# events = the pass's total extent-probe delta. The flat-cost acceptance bar:
+# with aggregation on the final pass costs <= 1.2x the first; off, it grows.
+ow = json.load(open("build-ci-bench/bench/BENCH_ablation_overwrite.json"))
+rows = ow["rows"]
+assert rows, "overwrite trajectory JSON has no rows"
+on = sorted((r for r in rows if r["series"] == "agg_on"), key=lambda r: r["x"])
+off = sorted((r for r in rows if r["series"] == "agg_off"), key=lambda r: r["x"])
+assert on and off, "missing agg_on/agg_off series"
+assert all(r["read_p99_us"] > 0 and r["events"] > 0 for r in rows), "zero-probe pass"
+assert on[-1]["read_p99_us"] <= 1.2 * on[0]["read_p99_us"], \
+    f"agg-on read cost not flat: {on[0]['read_p99_us']} -> {on[-1]['read_p99_us']}"
+assert off[-1]["read_p99_us"] > off[0]["read_p99_us"], \
+    f"agg-off read cost did not grow: {off[0]['read_p99_us']} -> {off[-1]['read_p99_us']}"
+print(f"bench-smoke OK: overwrite flat-cost "
+      f"{on[0]['read_p99_us']:.2f} -> {on[-1]['read_p99_us']:.2f} probes/op (agg on), "
+      f"{off[0]['read_p99_us']:.2f} -> {off[-1]['read_p99_us']:.2f} (off)")
 EOF
   stage_end
 fi
